@@ -1,0 +1,279 @@
+//! One-dimensional processor-allocation primitives used by the
+//! SYNCHRONOUS baseline: proportional ("synchronous completion time")
+//! allocation across independent tasks \[HCY94\] and minimax allocation
+//! across the stages of a pipeline \[LCRY93\].
+
+/// One-dimensional execution-time estimate of an operator with scalar
+/// work `w` on `n` sites under startup cost `alpha` per site:
+/// `t(n) = w/n + α·n`.
+///
+/// This is the cost function the one-dimensional literature optimizes —
+/// perfectly divisible work plus a serial per-site startup term.
+#[inline]
+pub fn scalar_time(work: f64, alpha: f64, n: usize) -> f64 {
+    work / n as f64 + alpha * n as f64
+}
+
+/// Degree minimizing [`scalar_time`], capped at `max_n` (the classic
+/// `n* ≈ √(w/α)` speed-down point, found exactly by local search).
+pub fn scalar_optimal_degree(work: f64, alpha: f64, max_n: usize) -> usize {
+    assert!(max_n >= 1);
+    let mut best = 1usize;
+    let mut best_t = scalar_time(work, alpha, 1);
+    // t(n) is convex in n: stop at the first increase.
+    for n in 2..=max_n {
+        let t = scalar_time(work, alpha, n);
+        if t < best_t {
+            best_t = t;
+            best = n;
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+/// Proportional allocation with minimums (synchronous completion time):
+/// each item `i` receives at least `mins[i]` units, and the remaining
+/// `total − Σ mins` units are distributed proportionally to `works`
+/// (largest-remainder rounding; deterministic ties by index).
+///
+/// # Panics
+/// Panics when `Σ mins > total` or the slices disagree in length.
+pub fn proportional_alloc(works: &[f64], mins: &[usize], total: usize) -> Vec<usize> {
+    assert_eq!(works.len(), mins.len());
+    let min_sum: usize = mins.iter().sum();
+    assert!(
+        min_sum <= total,
+        "minimum demands {min_sum} exceed the available {total} units"
+    );
+    let spare = total - min_sum;
+    let work_sum: f64 = works.iter().sum();
+    let mut alloc: Vec<usize> = mins.to_vec();
+    if spare == 0 {
+        return alloc;
+    }
+    if work_sum <= 0.0 {
+        // Degenerate: split the spare round-robin.
+        let len = alloc.len().max(1);
+        for i in 0..spare {
+            alloc[i % len] += 1;
+        }
+        return alloc;
+    }
+    // Ideal share of the spare per item.
+    let ideal: Vec<f64> = works.iter().map(|w| w / work_sum * spare as f64).collect();
+    let floors: Vec<usize> = ideal.iter().map(|x| x.floor() as usize).collect();
+    let mut used: usize = floors.iter().sum();
+    for (a, f) in alloc.iter_mut().zip(&floors) {
+        *a += f;
+    }
+    // Largest remainders get the leftovers.
+    let mut rema: Vec<(usize, f64)> = ideal
+        .iter()
+        .zip(&floors)
+        .enumerate()
+        .map(|(i, (x, f))| (i, x - *f as f64))
+        .collect();
+    rema.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    let mut k = 0;
+    while used < spare {
+        alloc[rema[k % rema.len()].0] += 1;
+        used += 1;
+        k += 1;
+    }
+    alloc
+}
+
+/// Minimax stage allocation \[LCRY93\]: distribute at most `budget` sites
+/// over pipeline stages with scalar works `works`, each stage getting at
+/// least one site, to minimize the maximum stage time
+/// `t_i = w_i/n_i + α·n_i`.
+///
+/// Greedy: repeatedly grant one more site to the currently slowest stage,
+/// as long as (a) budget remains, and (b) the grant actually speeds that
+/// stage up (the convex startup term eventually makes additional sites
+/// counter-productive, at which point the allocation is minimax-optimal
+/// and leftover sites stay idle). Stages are also capped at `per_stage_cap`
+/// (no stage may exceed the machine size).
+///
+/// Returns `None` when `budget < works.len()` (each stage needs a site).
+pub fn minimax_alloc(
+    works: &[f64],
+    alpha: f64,
+    budget: usize,
+    per_stage_cap: usize,
+) -> Option<Vec<usize>> {
+    let m = works.len();
+    if m == 0 {
+        return Some(vec![]);
+    }
+    if budget < m || per_stage_cap == 0 {
+        return None;
+    }
+    let mut alloc = vec![1usize; m];
+    let mut remaining = budget - m;
+    // Stages where an extra site no longer helps (or cap reached).
+    let mut frozen = vec![false; m];
+    while remaining > 0 {
+        // Slowest unfrozen stage.
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..m {
+            if frozen[i] {
+                continue;
+            }
+            let t = scalar_time(works[i], alpha, alloc[i]);
+            if best.is_none_or(|(_, bt)| t > bt) {
+                best = Some((i, t));
+            }
+        }
+        let Some((i, t_now)) = best else { break };
+        if alloc[i] >= per_stage_cap {
+            frozen[i] = true;
+            continue;
+        }
+        let t_next = scalar_time(works[i], alpha, alloc[i] + 1);
+        if t_next >= t_now {
+            frozen[i] = true;
+            continue;
+        }
+        alloc[i] += 1;
+        remaining -= 1;
+    }
+    Some(alloc)
+}
+
+/// Splits items into sequential *waves* so that each wave's total minimum
+/// demand fits in `capacity`. Items are considered in decreasing `works`
+/// order and placed first-fit; items whose own demand exceeds `capacity`
+/// get a dedicated wave (their demand is clamped by the caller).
+pub fn waves_by_demand(works: &[f64], demands: &[usize], capacity: usize) -> Vec<Vec<usize>> {
+    assert_eq!(works.len(), demands.len());
+    assert!(capacity >= 1);
+    let mut order: Vec<usize> = (0..works.len()).collect();
+    order.sort_by(|&a, &b| works[b].total_cmp(&works[a]).then(a.cmp(&b)));
+    let mut waves: Vec<(usize, Vec<usize>)> = Vec::new(); // (used, items)
+    for i in order {
+        let need = demands[i].min(capacity);
+        match waves.iter_mut().find(|(used, _)| used + need <= capacity) {
+            Some((used, items)) => {
+                *used += need;
+                items.push(i);
+            }
+            None => waves.push((need, vec![i])),
+        }
+    }
+    waves.into_iter().map(|(_, items)| items).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_time_basics() {
+        assert_eq!(scalar_time(10.0, 0.0, 2), 5.0);
+        assert_eq!(scalar_time(10.0, 1.0, 2), 7.0);
+    }
+
+    #[test]
+    fn scalar_optimal_degree_is_sqrt_like() {
+        // w = 100, α = 1 → n* = 10.
+        assert_eq!(scalar_optimal_degree(100.0, 1.0, 1000), 10);
+        // Cap binds.
+        assert_eq!(scalar_optimal_degree(100.0, 1.0, 4), 4);
+        // Tiny work stays sequential.
+        assert_eq!(scalar_optimal_degree(0.5, 1.0, 1000), 1);
+    }
+
+    #[test]
+    fn proportional_alloc_respects_mins_and_total() {
+        let a = proportional_alloc(&[3.0, 1.0], &[1, 1], 10);
+        assert_eq!(a.iter().sum::<usize>(), 10);
+        assert!(a[0] >= 1 && a[1] >= 1);
+        assert!(a[0] > a[1], "heavier task gets more sites: {a:?}");
+        // 8 spare split 6/2.
+        assert_eq!(a, vec![7, 3]);
+    }
+
+    #[test]
+    fn proportional_alloc_exact_minimums() {
+        let a = proportional_alloc(&[5.0, 5.0], &[2, 3], 5);
+        assert_eq!(a, vec![2, 3]);
+    }
+
+    #[test]
+    fn proportional_alloc_zero_work_round_robins() {
+        let a = proportional_alloc(&[0.0, 0.0], &[1, 1], 5);
+        assert_eq!(a.iter().sum::<usize>(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn proportional_alloc_overdemand_panics() {
+        proportional_alloc(&[1.0], &[5], 3);
+    }
+
+    #[test]
+    fn minimax_alloc_balances_times() {
+        let works = [90.0, 10.0];
+        let alloc = minimax_alloc(&works, 0.01, 10, 10).unwrap();
+        assert_eq!(alloc.iter().sum::<usize>(), 10);
+        let t0 = scalar_time(works[0], 0.01, alloc[0]);
+        let t1 = scalar_time(works[1], 0.01, alloc[1]);
+        // Heavier stage ends up with most sites; times roughly equal.
+        assert!(alloc[0] > alloc[1]);
+        assert!((t0 - t1).abs() <= t0.max(t1) * 0.5, "{t0} vs {t1}");
+    }
+
+    #[test]
+    fn minimax_alloc_stops_at_speeddown() {
+        // α large: every stage keeps exactly one site even with budget.
+        let alloc = minimax_alloc(&[1.0, 1.0], 10.0, 8, 8).unwrap();
+        assert_eq!(alloc, vec![1, 1]);
+    }
+
+    #[test]
+    fn minimax_alloc_insufficient_budget() {
+        assert!(minimax_alloc(&[1.0, 1.0, 1.0], 0.1, 2, 4).is_none());
+    }
+
+    #[test]
+    fn minimax_alloc_empty() {
+        assert_eq!(minimax_alloc(&[], 0.1, 4, 4), Some(vec![]));
+    }
+
+    #[test]
+    fn minimax_alloc_respects_cap() {
+        let alloc = minimax_alloc(&[1000.0], 0.001, 64, 8).unwrap();
+        assert_eq!(alloc, vec![8]);
+    }
+
+    #[test]
+    fn waves_fit_capacity() {
+        let works = [5.0, 4.0, 3.0, 2.0];
+        let demands = [3usize, 3, 2, 2];
+        let waves = waves_by_demand(&works, &demands, 6);
+        // Every wave's demand fits.
+        for wave in &waves {
+            let used: usize = wave.iter().map(|&i| demands[i]).sum();
+            assert!(used <= 6);
+        }
+        // All items appear exactly once.
+        let mut all: Vec<usize> = waves.concat();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn oversized_item_gets_clamped_wave() {
+        let waves = waves_by_demand(&[9.0], &[100], 4);
+        assert_eq!(waves, vec![vec![0]]);
+    }
+
+    #[test]
+    fn single_wave_when_everything_fits() {
+        let waves = waves_by_demand(&[1.0, 2.0], &[1, 1], 10);
+        assert_eq!(waves.len(), 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! Shared machinery for phase-synchronized baseline schedulers: the same
+//! MinShelf phase loop and probe←build home propagation as
+//! [`mrs_core::tree::tree_schedule`], parameterized by how each phase's
+//! operator set is packed.
+
+use mrs_core::comm::CommModel;
+use mrs_core::error::ScheduleError;
+use mrs_core::model::ResponseModel;
+use mrs_core::operator::{OperatorId, OperatorSpec, Placement};
+use mrs_core::resource::{SiteId, SystemSpec};
+use mrs_core::schedule::PhaseSchedule;
+use mrs_core::tree::{coupled_degree, PhaseResult, TreeProblem, TreeScheduleResult};
+use std::collections::HashMap;
+
+/// Runs the MinShelf phase loop, calling `pack_phase` for each level's
+/// operators (with bindings already resolved into rooted placements and
+/// degrees already chosen exactly as TREESCHEDULE chooses them, including
+/// the build-probe coupling) and summing phase makespans.
+pub fn phased_schedule<M, F>(
+    problem: &TreeProblem,
+    f: f64,
+    sys: &SystemSpec,
+    comm: &CommModel,
+    model: &M,
+    mut pack_phase: F,
+) -> Result<TreeScheduleResult, ScheduleError>
+where
+    M: ResponseModel,
+    F: FnMut(Vec<(OperatorSpec, usize)>) -> Result<PhaseSchedule, ScheduleError>,
+{
+    problem.validate()?;
+    let mut binding_of: HashMap<OperatorId, OperatorId> = HashMap::new();
+    let mut dependent_of: HashMap<OperatorId, OperatorId> = HashMap::new();
+    for b in &problem.bindings {
+        binding_of.insert(b.dependent, b.source);
+        dependent_of.insert(b.source, b.dependent);
+    }
+    let mut placed: HashMap<OperatorId, Vec<SiteId>> = HashMap::new();
+    let mut phases = Vec::new();
+    let mut response_time = 0.0;
+
+    let height = problem.tasks.height();
+    for level in (0..=height).rev() {
+        let op_ids = problem.tasks.ops_at_level(level);
+        if op_ids.is_empty() {
+            continue;
+        }
+        let mut specs = Vec::with_capacity(op_ids.len());
+        for id in &op_ids {
+            let mut spec = problem.ops[id.0].clone();
+            if let Some(source) = binding_of.get(id) {
+                let homes = placed.get(source).ok_or_else(|| {
+                    ScheduleError::MalformedTaskGraph {
+                        detail: format!("binding source {source} for {id} not yet scheduled"),
+                    }
+                })?;
+                spec.placement = Placement::Rooted(homes.clone());
+            }
+            let degree = match &spec.placement {
+                Placement::Rooted(homes) => homes.len(),
+                Placement::Floating => {
+                    let dependent = dependent_of.get(id).map(|dep| &problem.ops[dep.0]);
+                    coupled_degree(&spec, dependent, f, sys, comm, model)
+                }
+            };
+            specs.push((spec, degree));
+        }
+        let schedule = pack_phase(specs)?;
+        schedule.validate(sys)?;
+        for (i, sop) in schedule.ops.iter().enumerate() {
+            placed.insert(sop.spec.id, schedule.assignment.homes[i].clone());
+        }
+        let makespan = schedule.makespan(sys, model);
+        response_time += makespan;
+        phases.push(PhaseResult {
+            level,
+            schedule,
+            makespan,
+        });
+    }
+    Ok(TreeScheduleResult {
+        phases,
+        response_time,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrs_core::comm::CommModel;
+    use mrs_core::model::OverlapModel;
+    use mrs_core::operator::OperatorKind;
+    use mrs_core::tasks::TaskGraph;
+    use mrs_core::tree::tree_schedule;
+    use mrs_core::vector::WorkVector;
+
+    #[test]
+    fn phased_with_operator_schedule_matches_tree_schedule() {
+        let sys = SystemSpec::homogeneous(8);
+        let comm = CommModel::paper_defaults();
+        let model = OverlapModel::new(0.5).unwrap();
+        let ops: Vec<_> = (0..5)
+            .map(|i| {
+                OperatorSpec::floating(
+                    OperatorId(i),
+                    OperatorKind::Other,
+                    WorkVector::from_slice(&[1.0 + i as f64, 2.0, 0.0]),
+                    100_000.0,
+                )
+            })
+            .collect();
+        let ids: Vec<_> = (0..5).map(OperatorId).collect();
+        let problem = TreeProblem {
+            ops,
+            tasks: TaskGraph::single_task(ids),
+            bindings: vec![],
+        };
+        let via_helper = phased_schedule(&problem, 0.7, &sys, &comm, &model, |specs| {
+            mrs_core::list::schedule_with_degrees(
+                specs,
+                &sys,
+                &comm,
+                mrs_core::list::ListOrder::LongestFirst,
+            )
+        })
+        .unwrap();
+        let direct = tree_schedule(&problem, 0.7, &sys, &comm, &model).unwrap();
+        assert!((via_helper.response_time - direct.response_time).abs() < 1e-12);
+    }
+}

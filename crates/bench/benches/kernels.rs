@@ -1,0 +1,247 @@
+//! Micro-benchmarks of the scheduling kernels: the vector-packing list
+//! rule, degree selection, the malleable GF sweep, plan expansion and
+//! decomposition, the fluid simulator, and the exact branch-and-bound
+//! solver.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use mrs_cost::prelude::*;
+use mrs_opt::prelude::*;
+use mrs_plan::prelude::*;
+use mrs_sim::prelude::*;
+use mrs_workload::prelude::*;
+use mrs_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn synthetic_ops(count: usize, seed: u64) -> Vec<OperatorSpec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            OperatorSpec::floating(
+                OperatorId(i),
+                OperatorKind::Other,
+                WorkVector::from_slice(&[
+                    rng.gen_range(0.5..20.0),
+                    rng.gen_range(0.0..20.0),
+                    0.0,
+                ]),
+                rng.gen_range(0.0..4e6),
+            )
+        })
+        .collect()
+}
+
+fn bench_pack_clones(c: &mut Criterion) {
+    let comm = CommModel::paper_defaults();
+    let mut g = c.benchmark_group("pack_clones");
+    for &(m, p) in &[(32usize, 16usize), (128, 64), (512, 140)] {
+        let sys = SystemSpec::homogeneous(p);
+        let ops: Vec<ScheduledOperator> = synthetic_ops(m, 3)
+            .into_iter()
+            .enumerate()
+            .map(|(i, o)| ScheduledOperator::even(o, 1 + i % p.min(8), &comm, &sys.site))
+            .collect();
+        g.bench_with_input(BenchmarkId::new("lpt", format!("{m}ops_{p}sites")), &ops, |b, ops| {
+            b.iter(|| black_box(pack_clones(ops, &sys, ListOrder::LongestFirst).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_choose_degree(c: &mut Criterion) {
+    let comm = CommModel::paper_defaults();
+    let site = SiteSpec::cpu_disk_net();
+    let model = OverlapModel::new(0.5).unwrap();
+    let op = synthetic_ops(1, 5).pop().unwrap();
+    let mut g = c.benchmark_group("choose_degree");
+    for p in [20usize, 140] {
+        g.bench_function(format!("p{p}"), |b| {
+            b.iter(|| black_box(choose_degree(&op, 0.7, p, &comm, &site, &model)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_malleable(c: &mut Criterion) {
+    let comm = CommModel::paper_defaults();
+    let model = OverlapModel::new(0.5).unwrap();
+    let mut g = c.benchmark_group("malleable_gf_sweep");
+    g.sample_size(20);
+    for &(m, p) in &[(16usize, 32usize), (64, 140)] {
+        let sys = SystemSpec::homogeneous(p);
+        let ops = synthetic_ops(m, 11);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}ops_{p}sites")),
+            &ops,
+            |b, ops| {
+                b.iter_batched(
+                    || ops.clone(),
+                    |ops| black_box(malleable_schedule(ops, &sys, &comm, &model).unwrap()),
+                    BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_plan_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("plan_pipeline");
+    for joins in [10usize, 50] {
+        let q = generate_query(&QueryGenConfig::paper(joins), 2);
+        let cost = CostModel::paper_defaults();
+        g.bench_function(format!("generate_{joins}j"), |b| {
+            b.iter(|| black_box(generate_query(&QueryGenConfig::paper(joins), 2)));
+        });
+        g.bench_function(format!("expand_decompose_cost_{joins}j"), |b| {
+            b.iter(|| {
+                black_box(
+                    problem_from_plan(
+                        &q.plan,
+                        &q.catalog,
+                        &KeyJoinMax,
+                        &cost,
+                        &ScanPlacement::Floating,
+                    )
+                    .unwrap(),
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let cost = CostModel::paper_defaults();
+    let comm = cost.params().comm_model();
+    let model = OverlapModel::new(0.5).unwrap();
+    let sys = SystemSpec::homogeneous(40);
+    let q = generate_query(&QueryGenConfig::paper(30), 4);
+    let problem = problem_from_plan(
+        &q.plan,
+        &q.catalog,
+        &KeyJoinMax,
+        &cost,
+        &ScanPlacement::Floating,
+    )
+    .unwrap();
+    let result = tree_schedule(&problem, 0.7, &sys, &comm, &model).unwrap();
+    let phase = &result.phases[0].schedule;
+
+    let mut g = c.benchmark_group("simulator");
+    g.bench_function("equal_finish_phase", |b| {
+        b.iter(|| black_box(simulate_phase(phase, &sys, &model, &SimConfig::default())));
+    });
+    let fair = SimConfig {
+        policy: SharingPolicy::FairShare,
+        timeshare_overhead: 0.1,
+    };
+    g.bench_function("fair_share_phase", |b| {
+        b.iter(|| black_box(simulate_phase(phase, &sys, &model, &fair)));
+    });
+    g.finish();
+}
+
+fn bench_branch_and_bound(c: &mut Criterion) {
+    let comm = CommModel::paper_defaults();
+    let model = OverlapModel::new(0.5).unwrap();
+    let sys = SystemSpec::homogeneous(3);
+    let ops: Vec<ScheduledOperator> = synthetic_ops(8, 21)
+        .into_iter()
+        .map(|o| ScheduledOperator::even(o, 1, &comm, &sys.site))
+        .collect();
+    let mut g = c.benchmark_group("branch_and_bound");
+    g.sample_size(20);
+    g.bench_function("8clones_3sites", |b| {
+        b.iter(|| black_box(optimal_pack(&ops, &sys, &model, 10_000_000).unwrap()));
+    });
+    g.finish();
+}
+
+fn bench_memory_scheduler(c: &mut Criterion) {
+    use mrs_core::memory::{operator_schedule_with_memory, MemoryDemand, MemorySpec};
+    let comm = CommModel::paper_defaults();
+    let model = OverlapModel::new(0.5).unwrap();
+    let sys = SystemSpec::homogeneous(40);
+    let ops = synthetic_ops(24, 31);
+    let demands: Vec<MemoryDemand> = (0..24)
+        .map(|i| MemoryDemand::bytes(0.5e6 * (1 + i % 8) as f64))
+        .collect();
+    let mut g = c.benchmark_group("memory_scheduler");
+    g.bench_function("24ops_40sites", |b| {
+        b.iter_batched(
+            || ops.clone(),
+            |ops| {
+                black_box(
+                    operator_schedule_with_memory(
+                        ops,
+                        &demands,
+                        MemorySpec::new(4e6).unwrap(),
+                        0.7,
+                        &sys,
+                        &comm,
+                        &model,
+                    )
+                    .unwrap(),
+                )
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_pipelined_simulator(c: &mut Criterion) {
+    let cost = CostModel::paper_defaults();
+    let comm = cost.params().comm_model();
+    let model = OverlapModel::new(0.5).unwrap();
+    let sys = SystemSpec::homogeneous(40);
+    let q = generate_query(&QueryGenConfig::paper(30), 4);
+    let annotated = q.plan.annotate(&q.catalog, &KeyJoinMax);
+    let optree = OperatorTree::expand(&annotated);
+    let edges: Vec<_> = optree.pipeline_edges().collect();
+    let problem = problem_from_optree(&optree, &cost, &ScanPlacement::Floating).unwrap();
+    let result = tree_schedule(&problem, 0.7, &sys, &comm, &model).unwrap();
+    let phase = &result.phases[0].schedule;
+    let mut g = c.benchmark_group("simulator");
+    g.bench_function("tight_pipeline_phase", |b| {
+        b.iter(|| {
+            black_box(simulate_phase_pipelined(
+                phase,
+                &edges,
+                &sys,
+                &model,
+                &SimConfig::default(),
+            ))
+        });
+    });
+    g.finish();
+}
+
+fn bench_optimizers(c: &mut Criterion) {
+    let q = generate_query(&QueryGenConfig::paper(12), 9);
+    let mut g = c.benchmark_group("join_order");
+    g.bench_function("greedy_12_joins", |b| {
+        b.iter(|| black_box(optimize_greedy(&q.catalog, &q.graph_edges, &KeyJoinMax).unwrap()));
+    });
+    g.sample_size(20);
+    g.bench_function("dp_12_joins", |b| {
+        b.iter(|| black_box(optimize_dp(&q.catalog, &q.graph_edges, &KeyJoinMax).unwrap()));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_pack_clones,
+    bench_choose_degree,
+    bench_malleable,
+    bench_plan_pipeline,
+    bench_simulator,
+    bench_branch_and_bound,
+    bench_memory_scheduler,
+    bench_pipelined_simulator,
+    bench_optimizers
+);
+criterion_main!(kernels);

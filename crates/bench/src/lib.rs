@@ -1,0 +1,10 @@
+//! # mrs-bench — Criterion benchmark crate
+//!
+//! Benches live in `benches/`:
+//! * `figures` — one bench per paper table/figure (fast sweeps), plus the
+//!   per-query scheduling cost underlying every figure.
+//! * `kernels` — micro-benchmarks of the packing list rule, degree
+//!   selection, malleable GF sweep, plan expansion, simulator, and the
+//!   exact branch-and-bound solver.
+//!
+//! Run with `cargo bench -p mrs-bench`.

@@ -1,0 +1,206 @@
+//! Communication cost model and coarse-grain granularity (Sections 4.2–4.3).
+//!
+//! The total communication overhead of executing an operator on `N` sites
+//! is estimated as
+//!
+//! ```text
+//! W_c(op, N) = α·N + β·D
+//! ```
+//!
+//! where `α` is the per-site startup cost, `β` the network-interface time
+//! per byte transferred, and `D` the operator's total input + output bytes
+//! shipped over the interconnect. A parallel execution is *coarse grain
+//! with parameter `f`* (`CG_f`, Definition 4.1) when
+//! `W_c(op, N) ≤ f · W_p(op)`, which yields the maximum allowable degree of
+//! partitioned parallelism (Proposition 4.1):
+//!
+//! ```text
+//! N_max(op, f) = max( ⌊ (f·W_p(op) − β·D) / α ⌋ , 1 )
+//! ```
+
+/// Architecture parameters of the interconnect (Section 4.3).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CommModel {
+    /// `α`: startup cost per participating site, in seconds. Inherently
+    /// serial — incurred at the coordinator site.
+    pub alpha: f64,
+    /// `β`: network-interface time per byte transferred, in seconds.
+    pub beta: f64,
+}
+
+impl CommModel {
+    /// Creates a communication model.
+    ///
+    /// # Errors
+    /// Returns a message if `α ≤ 0` (the model needs a strictly positive
+    /// startup cost — it is the denominator of Proposition 4.1) or if
+    /// `β < 0`, or either is non-finite.
+    pub fn new(alpha: f64, beta: f64) -> Result<Self, String> {
+        if !(alpha.is_finite() && alpha > 0.0) {
+            return Err(format!("startup cost alpha must be positive, got {alpha}"));
+        }
+        if !(beta.is_finite() && beta >= 0.0) {
+            return Err(format!(
+                "per-byte network cost beta must be non-negative, got {beta}"
+            ));
+        }
+        Ok(CommModel { alpha, beta })
+    }
+
+    /// The paper's Table 2 settings: `α = 15 ms`, `β = 0.6 µs/byte`.
+    pub fn paper_defaults() -> Self {
+        CommModel {
+            alpha: 15e-3,
+            beta: 0.6e-6,
+        }
+    }
+
+    /// Communication area `W_c(op, N) = α·N + β·D` for an operator moving
+    /// `data_volume` bytes over the interconnect on `n` sites.
+    #[inline]
+    pub fn comm_area(&self, n: usize, data_volume: f64) -> f64 {
+        self.alpha * n as f64 + self.beta * data_volume
+    }
+
+    /// Network-interface time `β·D` (the data-proportional part of the
+    /// communication area).
+    #[inline]
+    pub fn transfer_time(&self, data_volume: f64) -> f64 {
+        self.beta * data_volume
+    }
+
+    /// `N_max(op, f)` of Proposition 4.1: the largest degree of partitioned
+    /// parallelism for which the execution stays `CG_f`.
+    ///
+    /// `processing_area` is `W_p(op) = Σ_i W[i]` of the operator's pure
+    /// processing work vector; `data_volume` is `D` in bytes. The result is
+    /// at least 1 — any operator can always run sequentially.
+    pub fn n_max_coarse_grain(&self, f: f64, processing_area: f64, data_volume: f64) -> usize {
+        assert!(
+            f.is_finite() && f >= 0.0,
+            "granularity parameter must be non-negative, got {f}"
+        );
+        let budget = f * processing_area - self.beta * data_volume;
+        if budget <= 0.0 {
+            return 1;
+        }
+        let n = (budget / self.alpha).floor();
+        if n < 1.0 {
+            1
+        } else if n >= usize::MAX as f64 {
+            usize::MAX
+        } else {
+            n as usize
+        }
+    }
+
+    /// True iff running the operator on `n` sites is a `CG_f` execution
+    /// (Definition 4.1).
+    pub fn is_coarse_grain(&self, f: f64, processing_area: f64, data_volume: f64, n: usize) -> bool {
+        self.comm_area(n, data_volume) <= f * processing_area
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_table_2() {
+        let c = CommModel::paper_defaults();
+        assert_eq!(c.alpha, 0.015);
+        assert_eq!(c.beta, 0.000_000_6);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(CommModel::new(0.0, 0.1).is_err());
+        assert!(CommModel::new(-1.0, 0.1).is_err());
+        assert!(CommModel::new(1.0, -0.1).is_err());
+        assert!(CommModel::new(f64::INFINITY, 0.0).is_err());
+        assert!(CommModel::new(1.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn comm_area_linear_in_n() {
+        let c = CommModel::new(2.0, 0.5).unwrap();
+        assert_eq!(c.comm_area(1, 10.0), 2.0 + 5.0);
+        assert_eq!(c.comm_area(4, 10.0), 8.0 + 5.0);
+    }
+
+    #[test]
+    fn n_max_matches_proposition_4_1() {
+        let c = CommModel::new(1.0, 0.0).unwrap();
+        // f·W_p = 7.5 → ⌊7.5⌋ = 7 sites.
+        assert_eq!(c.n_max_coarse_grain(0.75, 10.0, 0.0), 7);
+        // Transfer eats into the budget: (7.5 − 3)/1 = 4.5 → 4.
+        let c2 = CommModel::new(1.0, 0.3).unwrap();
+        assert_eq!(c2.n_max_coarse_grain(0.75, 10.0, 10.0), 4);
+    }
+
+    #[test]
+    fn n_max_never_below_one() {
+        let c = CommModel::new(1.0, 1.0).unwrap();
+        // β·D far exceeds f·W_p: still one site allowed.
+        assert_eq!(c.n_max_coarse_grain(0.3, 1.0, 100.0), 1);
+        assert_eq!(c.n_max_coarse_grain(0.0, 100.0, 0.0), 1);
+    }
+
+    #[test]
+    fn n_max_consistent_with_is_coarse_grain() {
+        let c = CommModel::paper_defaults();
+        let (f, wp, d) = (0.7, 3.4, 128_000.0);
+        let n_max = c.n_max_coarse_grain(f, wp, d);
+        assert!(c.is_coarse_grain(f, wp, d, n_max));
+        assert!(!c.is_coarse_grain(f, wp, d, n_max + 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "granularity parameter")]
+    fn negative_granularity_panics() {
+        CommModel::paper_defaults().n_max_coarse_grain(-0.1, 1.0, 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Proposition 4.1: N_max is the *largest* CG_f degree (or 1).
+        #[test]
+        fn n_max_is_maximal(
+            alpha in 1e-6f64..10.0,
+            beta in 0.0f64..1e-3,
+            f in 0.0f64..2.0,
+            wp in 0.0f64..1e4,
+            d in 0.0f64..1e7,
+        ) {
+            let c = CommModel::new(alpha, beta).unwrap();
+            let n = c.n_max_coarse_grain(f, wp, d);
+            prop_assert!(n >= 1);
+            if n > 1 {
+                prop_assert!(c.is_coarse_grain(f, wp, d, n));
+            }
+            if n < 1_000_000 {
+                // One more site must break the granularity condition
+                // whenever n came from the floor (not the max-with-1 clamp).
+                if c.is_coarse_grain(f, wp, d, n + 1) {
+                    prop_assert_eq!(n, 1);
+                }
+            }
+        }
+
+        #[test]
+        fn n_max_monotone_in_f(
+            f1 in 0.0f64..1.0,
+            df in 0.0f64..1.0,
+            wp in 0.0f64..1e4,
+            d in 0.0f64..1e6,
+        ) {
+            let c = CommModel::paper_defaults();
+            prop_assert!(c.n_max_coarse_grain(f1 + df, wp, d) >= c.n_max_coarse_grain(f1, wp, d));
+        }
+    }
+}

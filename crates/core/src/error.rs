@@ -1,0 +1,132 @@
+//! Error types for schedule construction and validation.
+
+use crate::operator::OperatorId;
+use crate::resource::SiteId;
+use std::error::Error;
+use std::fmt;
+
+/// Why a schedule (or scheduling request) is invalid.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// Two clones of one operator were mapped to the same site, violating
+    /// constraint (A) / Definition 5.1.
+    CloneCollision {
+        /// The offending operator.
+        op: OperatorId,
+        /// The site holding more than one of its clones.
+        site: SiteId,
+    },
+    /// A clone was mapped to a site outside `0..P`.
+    SiteOutOfRange {
+        /// The offending operator.
+        op: OperatorId,
+        /// The out-of-range site.
+        site: SiteId,
+        /// The system's site count `P`.
+        sites: usize,
+    },
+    /// An operator's assignment has a different number of clones than its
+    /// degree of parallelism.
+    DegreeMismatch {
+        /// The offending operator.
+        op: OperatorId,
+        /// Expected clone count (the degree `N_i`).
+        expected: usize,
+        /// Clones actually assigned.
+        actual: usize,
+    },
+    /// A rooted operator was not placed at its required homes, violating
+    /// constraint (B).
+    RootedViolation {
+        /// The offending operator.
+        op: OperatorId,
+    },
+    /// An operator's degree of parallelism exceeds the number of sites, so
+    /// no collision-free mapping exists.
+    DegreeExceedsSites {
+        /// The offending operator.
+        op: OperatorId,
+        /// Its degree.
+        degree: usize,
+        /// The system's site count `P`.
+        sites: usize,
+    },
+    /// The problem references an operator id outside the problem's
+    /// operator table.
+    UnknownOperator {
+        /// The dangling id.
+        op: OperatorId,
+    },
+    /// A task-tree problem is structurally broken (cycle, bad parent, or a
+    /// home binding whose source runs in the same or a later phase).
+    MalformedTaskGraph {
+        /// Human-readable description of the defect.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::CloneCollision { op, site } => {
+                write!(f, "two clones of {op} mapped to the same site {site}")
+            }
+            ScheduleError::SiteOutOfRange { op, site, sites } => {
+                write!(f, "{op} mapped to {site}, but the system has only {sites} sites")
+            }
+            ScheduleError::DegreeMismatch { op, expected, actual } => write!(
+                f,
+                "{op} has degree {expected} but {actual} clones were assigned"
+            ),
+            ScheduleError::RootedViolation { op } => {
+                write!(f, "rooted operator {op} was not placed at its required homes")
+            }
+            ScheduleError::DegreeExceedsSites { op, degree, sites } => write!(
+                f,
+                "{op} requests degree {degree} on a {sites}-site system; \
+                 clones of one operator must occupy distinct sites"
+            ),
+            ScheduleError::UnknownOperator { op } => {
+                write!(f, "problem references unknown operator {op}")
+            }
+            ScheduleError::MalformedTaskGraph { detail } => {
+                write!(f, "malformed task graph: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for ScheduleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ScheduleError::CloneCollision {
+            op: OperatorId(2),
+            site: SiteId(5),
+        };
+        assert_eq!(e.to_string(), "two clones of op2 mapped to the same site s5");
+
+        let e = ScheduleError::DegreeExceedsSites {
+            op: OperatorId(0),
+            degree: 9,
+            sites: 4,
+        };
+        assert!(e.to_string().contains("degree 9"));
+        assert!(e.to_string().contains("4-site"));
+
+        let e = ScheduleError::MalformedTaskGraph {
+            detail: "cycle at task 3".into(),
+        };
+        assert!(e.to_string().contains("cycle at task 3"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: Error>(_: &E) {}
+        assert_error(&ScheduleError::UnknownOperator { op: OperatorId(1) });
+    }
+}

@@ -1,0 +1,575 @@
+//! The OPERATORSCHEDULE list-scheduling heuristic (Figure 3, Section 5.3).
+//!
+//! Scheduling a collection of concurrent operators is an instance of the
+//! *d-dimensional bin-design* problem: pack the clone work vectors into `P`
+//! d-dimensional bins (sites) minimizing the common bin capacity — the
+//! maximum resource usage `max_j l(work(s_j))` — subject to
+//!
+//! * **(A)** no two clones of one operator in the same bin, and
+//! * **(B)** rooted operators sit at their required homes.
+//!
+//! The list rule: consider floating clone vectors in non-increasing order
+//! of their maximum component `l(w̄)`; pack each into the *least filled
+//! allowable* site (minimum `l(work(s))` among sites not already holding a
+//! clone of the same operator). Theorem 5.1 bounds the resulting makespan
+//! within `2d + 1` of the optimum for the given parallelization and within
+//! `2d(fd + 1) + 1` of the optimal `CG_f` schedule.
+
+use crate::comm::CommModel;
+use crate::error::ScheduleError;
+use crate::model::ResponseModel;
+use crate::operator::{OperatorSpec, Placement};
+use crate::partition::choose_degree;
+use crate::resource::{SiteId, SystemSpec};
+use crate::schedule::{Assignment, PhaseSchedule, ScheduledOperator};
+use crate::vector::WorkVector;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Order in which floating clones are considered by the list rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ListOrder {
+    /// The paper's rule: non-increasing `l(w̄)` (longest-processing-time
+    /// analogue). Required by the Theorem 5.1 proof machinery.
+    LongestFirst,
+    /// Input order — an ablation knob quantifying how much the LPT
+    /// ordering buys (experiment X2).
+    Arbitrary,
+}
+
+/// `f64` keyed min-heap entry with total ordering.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct HeapKey {
+    load: f64,
+    site: usize,
+}
+
+impl Eq for HeapKey {}
+
+impl PartialOrd for HeapKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.load
+            .total_cmp(&other.load)
+            .then(self.site.cmp(&other.site))
+    }
+}
+
+/// Incremental packing state: per-site aggregated load vectors plus a lazy
+/// min-heap on `l(work(s_j))`.
+///
+/// The heap may hold stale entries (loads only grow); an entry is
+/// authoritative only if its key equals the site's current length. This
+/// keeps each placement at `O(log P)` amortized plus the cost of skipping
+/// sites already used by the operator, matching Proposition 5.1's
+/// `O(M P (M + log P))` overall bound.
+struct Packer {
+    loads: Vec<WorkVector>,
+    lengths: Vec<f64>,
+    heap: BinaryHeap<Reverse<HeapKey>>,
+}
+
+impl Packer {
+    fn new(sys: &SystemSpec) -> Self {
+        let loads = vec![WorkVector::zeros(sys.dim()); sys.sites];
+        let lengths = vec![0.0; sys.sites];
+        let mut heap = BinaryHeap::with_capacity(sys.sites);
+        for site in 0..sys.sites {
+            heap.push(Reverse(HeapKey { load: 0.0, site }));
+        }
+        Packer {
+            loads,
+            lengths,
+            heap,
+        }
+    }
+
+    /// Adds `w` to `site`'s load without going through the heap's
+    /// selection (used for rooted pre-placement).
+    fn place_at(&mut self, site: usize, w: &WorkVector) {
+        self.loads[site].accumulate(w);
+        let len = self.loads[site].length();
+        self.lengths[site] = len;
+        self.heap.push(Reverse(HeapKey { load: len, site }));
+    }
+
+    /// Picks the least-filled site not in `forbidden`, places `w` there,
+    /// and returns the site index. `forbidden` is the "no other clone of
+    /// this operator" predicate.
+    fn place_least_filled(
+        &mut self,
+        w: &WorkVector,
+        forbidden: impl Fn(usize) -> bool,
+    ) -> Option<usize> {
+        let mut stash: Vec<Reverse<HeapKey>> = Vec::new();
+        let mut chosen = None;
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if entry.load != self.lengths[entry.site] {
+                // Stale: reinsert the authoritative value lazily. Pushing
+                // the current value here keeps the site discoverable.
+                self.heap.push(Reverse(HeapKey {
+                    load: self.lengths[entry.site],
+                    site: entry.site,
+                }));
+                // Guard against spinning on a heap whose smallest entry is
+                // the one we just pushed: the pushed entry is authoritative,
+                // so the next pop either returns it or something smaller
+                // and equally authoritative/stale — progress is guaranteed
+                // because each stale (load, site) pair is consumed.
+                continue;
+            }
+            if forbidden(entry.site) {
+                stash.push(Reverse(entry));
+                continue;
+            }
+            chosen = Some(entry.site);
+            break;
+        }
+        // Return the skipped (authoritative) entries.
+        for e in stash {
+            self.heap.push(e);
+        }
+        let site = chosen?;
+        self.place_at(site, w);
+        Some(site)
+    }
+}
+
+/// Packs the clones of `ops` onto the sites of `sys` with the list rule.
+///
+/// Rooted operators are pre-placed at their homes (constraint (B)); the
+/// remaining floating clones are packed in the requested [`ListOrder`].
+/// Ties in clone length break by operator position then clone index; ties
+/// in site load break by site index — both choices are deterministic so
+/// schedules are reproducible.
+///
+/// # Errors
+/// [`ScheduleError::DegreeExceedsSites`] when an operator has more clones
+/// than there are sites, and [`ScheduleError::SiteOutOfRange`] /
+/// [`ScheduleError::DegreeMismatch`] for malformed rooted placements.
+pub fn pack_clones(
+    ops: &[ScheduledOperator],
+    sys: &SystemSpec,
+    order: ListOrder,
+) -> Result<Assignment, ScheduleError> {
+    let mut assignment = Assignment::with_capacity(ops.len());
+    let mut packer = Packer::new(sys);
+    // occupancy[i] = sorted site list used by operator i so far.
+    let mut occupancy: Vec<Vec<usize>> = vec![Vec::new(); ops.len()];
+
+    for (i, op) in ops.iter().enumerate() {
+        if op.degree > sys.sites {
+            return Err(ScheduleError::DegreeExceedsSites {
+                op: op.spec.id,
+                degree: op.degree,
+                sites: sys.sites,
+            });
+        }
+        if let Placement::Rooted(homes) = &op.spec.placement {
+            if homes.len() != op.degree {
+                return Err(ScheduleError::DegreeMismatch {
+                    op: op.spec.id,
+                    expected: op.degree,
+                    actual: homes.len(),
+                });
+            }
+            for (k, &site) in homes.iter().enumerate() {
+                if site.0 >= sys.sites {
+                    return Err(ScheduleError::SiteOutOfRange {
+                        op: op.spec.id,
+                        site,
+                        sites: sys.sites,
+                    });
+                }
+                packer.place_at(site.0, &op.clones[k]);
+                occupancy[i].push(site.0);
+            }
+            assignment.homes[i] = homes.clone();
+        }
+    }
+
+    // The floating clone list L of Figure 3.
+    let mut list: Vec<(usize, usize, f64)> = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        if op.spec.placement.is_floating() {
+            for (k, w) in op.clones.iter().enumerate() {
+                list.push((i, k, w.length()));
+            }
+            assignment.homes[i] = vec![SiteId(usize::MAX); op.degree];
+        }
+    }
+    if order == ListOrder::LongestFirst {
+        // Non-increasing l(w̄); stable on (op, clone) for determinism.
+        list.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+    }
+
+    for (i, k, _) in list {
+        let occupied = &occupancy[i];
+        let site = packer
+            .place_least_filled(&ops[i].clones[k], |s| occupied.binary_search(&s).is_ok())
+            .expect("degree <= P guarantees an allowable site exists");
+        assignment.homes[i][k] = SiteId(site);
+        let pos = occupancy[i].binary_search(&site).unwrap_err();
+        occupancy[i].insert(pos, site);
+    }
+
+    Ok(assignment)
+}
+
+/// The full OPERATORSCHEDULE algorithm of Figure 3: chooses each floating
+/// operator's degree of coarse-grain parallelism
+/// (`N_i = min(N_max(op_i, f), P)`, additionally capped at the speed-down
+/// point per A4), clones every operator, and packs the clones with the
+/// list rule.
+///
+/// Rooted operators keep their placement-dictated degree and homes.
+pub fn operator_schedule<M: ResponseModel>(
+    ops: Vec<OperatorSpec>,
+    f: f64,
+    sys: &SystemSpec,
+    comm: &CommModel,
+    model: &M,
+) -> Result<PhaseSchedule, ScheduleError> {
+    operator_schedule_with_order(ops, f, sys, comm, model, ListOrder::LongestFirst)
+}
+
+/// [`operator_schedule`] with an explicit clone-consideration order — the
+/// `Arbitrary` variant quantifies what the LPT ordering contributes
+/// (ablation experiment X2).
+pub fn operator_schedule_with_order<M: ResponseModel>(
+    ops: Vec<OperatorSpec>,
+    f: f64,
+    sys: &SystemSpec,
+    comm: &CommModel,
+    model: &M,
+    order: ListOrder,
+) -> Result<PhaseSchedule, ScheduleError> {
+    let scheduled = ops
+        .into_iter()
+        .map(|spec| {
+            let degree = match &spec.placement {
+                Placement::Rooted(homes) => homes.len(),
+                Placement::Floating => {
+                    choose_degree(&spec, f, sys.sites, comm, &sys.site, model).degree
+                }
+            };
+            ScheduledOperator::even(spec, degree, comm, &sys.site)
+        })
+        .collect::<Vec<_>>();
+    let assignment = pack_clones(&scheduled, sys, order)?;
+    let schedule = PhaseSchedule {
+        ops: scheduled,
+        assignment,
+    };
+    debug_assert!(schedule.validate(sys).is_ok());
+    Ok(schedule)
+}
+
+/// List-schedules operators whose degrees were fixed externally (used by
+/// the malleable scheduler of Section 7 and by bound-(a) experiments).
+pub fn schedule_with_degrees(
+    ops: Vec<(OperatorSpec, usize)>,
+    sys: &SystemSpec,
+    comm: &CommModel,
+    order: ListOrder,
+) -> Result<PhaseSchedule, ScheduleError> {
+    let scheduled = ops
+        .into_iter()
+        .map(|(spec, n)| {
+            let n = match &spec.placement {
+                Placement::Rooted(homes) => homes.len(),
+                Placement::Floating => n,
+            };
+            ScheduledOperator::even(spec, n, comm, &sys.site)
+        })
+        .collect::<Vec<_>>();
+    let assignment = pack_clones(&scheduled, sys, order)?;
+    Ok(PhaseSchedule {
+        ops: scheduled,
+        assignment,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::OverlapModel;
+    use crate::operator::{OperatorId, OperatorKind};
+
+    fn floating(id: usize, w: &[f64], data: f64) -> OperatorSpec {
+        OperatorSpec::floating(
+            OperatorId(id),
+            OperatorKind::Other,
+            WorkVector::from_slice(w),
+            data,
+        )
+    }
+
+    fn comm() -> CommModel {
+        CommModel::new(0.015, 0.6e-6).unwrap()
+    }
+
+    #[test]
+    fn single_clone_goes_to_empty_site() {
+        let sys = SystemSpec::homogeneous(3);
+        let c = comm();
+        let op = ScheduledOperator::even(floating(0, &[1.0, 0.0, 0.0], 0.0), 1, &c, &sys.site);
+        let a = pack_clones(&[op], &sys, ListOrder::LongestFirst).unwrap();
+        assert_eq!(a.homes[0].len(), 1);
+    }
+
+    #[test]
+    fn clones_of_one_op_spread_across_sites() {
+        let sys = SystemSpec::homogeneous(4);
+        let c = comm();
+        let op = ScheduledOperator::even(floating(0, &[4.0, 0.0, 0.0], 0.0), 4, &c, &sys.site);
+        let a = pack_clones(&[op], &sys, ListOrder::LongestFirst).unwrap();
+        let mut sites: Vec<_> = a.homes[0].iter().map(|s| s.0).collect();
+        sites.sort_unstable();
+        assert_eq!(sites, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn degree_exceeding_sites_rejected() {
+        let sys = SystemSpec::homogeneous(2);
+        let c = comm();
+        let op = ScheduledOperator::even(floating(0, &[4.0, 0.0, 0.0], 0.0), 3, &c, &sys.site);
+        assert!(matches!(
+            pack_clones(&[op], &sys, ListOrder::LongestFirst),
+            Err(ScheduleError::DegreeExceedsSites { degree: 3, sites: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn rooted_ops_stay_at_their_homes() {
+        let sys = SystemSpec::homogeneous(4);
+        let c = comm();
+        let rooted = OperatorSpec::rooted(
+            OperatorId(0),
+            OperatorKind::Probe,
+            WorkVector::from_slice(&[2.0, 0.0, 0.0]),
+            0.0,
+            vec![SiteId(3), SiteId(1)],
+        );
+        let sch = ScheduledOperator::even(rooted, 2, &c, &sys.site);
+        let a = pack_clones(&[sch], &sys, ListOrder::LongestFirst).unwrap();
+        assert_eq!(a.homes[0], vec![SiteId(3), SiteId(1)]);
+    }
+
+    #[test]
+    fn floating_clones_avoid_loaded_rooted_sites() {
+        let sys = SystemSpec::homogeneous(2);
+        let c = comm();
+        let rooted = OperatorSpec::rooted(
+            OperatorId(0),
+            OperatorKind::Build,
+            WorkVector::from_slice(&[100.0, 0.0, 0.0]),
+            0.0,
+            vec![SiteId(0)],
+        );
+        let ops = vec![
+            ScheduledOperator::even(rooted, 1, &c, &sys.site),
+            ScheduledOperator::even(floating(1, &[1.0, 0.0, 0.0], 0.0), 1, &c, &sys.site),
+        ];
+        let a = pack_clones(&ops, &sys, ListOrder::LongestFirst).unwrap();
+        assert_eq!(a.homes[1], vec![SiteId(1)], "clone must dodge the hot site");
+    }
+
+    #[test]
+    fn list_rule_balances_congestion() {
+        // Four unit CPU clones from four different ops on two sites: the
+        // list rule should split them 2/2.
+        let sys = SystemSpec::homogeneous(2);
+        let c = CommModel::new(1e-9, 0.0).unwrap(); // negligible startup
+        let ops: Vec<_> = (0..4)
+            .map(|i| ScheduledOperator::even(floating(i, &[1.0, 0.0, 0.0], 0.0), 1, &c, &sys.site))
+            .collect();
+        let a = pack_clones(&ops, &sys, ListOrder::LongestFirst).unwrap();
+        let per_site0 = a.homes.iter().filter(|h| h[0] == SiteId(0)).count();
+        assert_eq!(per_site0, 2);
+    }
+
+    #[test]
+    fn complementary_vectors_share_a_site() {
+        // [1,0] and [0,1] clones: a 1-site system packs both with
+        // congestion 1.0 — multi-dimensional sharing in action.
+        let sys = SystemSpec::new(
+            2,
+            crate::resource::SiteSpec::new(vec![
+                crate::resource::ResourceKind::Cpu,
+                crate::resource::ResourceKind::Network,
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        let c = CommModel::new(1e-12, 0.0).unwrap();
+        let ops = vec![
+            ScheduledOperator::even(
+                OperatorSpec::floating(OperatorId(0), OperatorKind::Other, WorkVector::from_slice(&[1.0, 0.0]), 0.0),
+                1,
+                &c,
+                &sys.site,
+            ),
+            ScheduledOperator::even(
+                OperatorSpec::floating(OperatorId(1), OperatorKind::Other, WorkVector::from_slice(&[0.0, 1.0]), 0.0),
+                1,
+                &c,
+                &sys.site,
+            ),
+        ];
+        let a = pack_clones(&ops, &sys, ListOrder::LongestFirst).unwrap();
+        // Both fit on site 0 (least-filled picks it for the first; the
+        // second sees l = 1.0 on site 0 vs 0.0 on site 1, so it goes to
+        // site 1 under the list rule — congestion is balanced either way).
+        let s = PhaseSchedule {
+            ops,
+            assignment: a,
+        };
+        assert!(s.max_congestion(&sys) <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn operator_schedule_end_to_end() {
+        let sys = SystemSpec::homogeneous(8);
+        let c = comm();
+        let model = OverlapModel::new(0.5).unwrap();
+        let ops: Vec<_> = (0..6)
+            .map(|i| floating(i, &[2.0 + i as f64, 1.0, 0.0], 256_000.0))
+            .collect();
+        let schedule = operator_schedule(ops, 0.7, &sys, &c, &model).unwrap();
+        schedule.validate(&sys).unwrap();
+        assert!(schedule.makespan(&sys, &model) > 0.0);
+        // All degrees at least 1 and at most P.
+        for op in &schedule.ops {
+            assert!((1..=sys.sites).contains(&op.degree));
+        }
+    }
+
+    #[test]
+    fn schedule_with_degrees_respects_requested_parallelism() {
+        let sys = SystemSpec::homogeneous(8);
+        let c = comm();
+        let ops = vec![
+            (floating(0, &[4.0, 0.0, 0.0], 0.0), 4),
+            (floating(1, &[2.0, 2.0, 0.0], 0.0), 2),
+        ];
+        let s = schedule_with_degrees(ops, &sys, &c, ListOrder::LongestFirst).unwrap();
+        assert_eq!(s.ops[0].degree, 4);
+        assert_eq!(s.ops[1].degree, 2);
+        s.validate(&sys).unwrap();
+    }
+
+    #[test]
+    fn arbitrary_order_is_never_better_on_adversarial_input() {
+        // LPT ordering should not lose to input order on a classic
+        // adversarial mix (big clones last in input order).
+        let sys = SystemSpec::homogeneous(2);
+        let c = CommModel::new(1e-12, 0.0).unwrap();
+        let model = OverlapModel::perfect();
+        let mk = |id: usize, cpu: f64| {
+            ScheduledOperator::even(floating(id, &[cpu, 0.0, 0.0], 0.0), 1, &c, &sys.site)
+        };
+        let ops = vec![mk(0, 1.0), mk(1, 1.0), mk(2, 1.0), mk(3, 3.0)];
+        let lpt = pack_clones(&ops, &sys, ListOrder::LongestFirst).unwrap();
+        let arb = pack_clones(&ops, &sys, ListOrder::Arbitrary).unwrap();
+        let ms = |a: Assignment| {
+            PhaseSchedule {
+                ops: ops.clone(),
+                assignment: a,
+            }
+            .makespan(&sys, &model)
+        };
+        assert!(ms(lpt) <= ms(arb) + 1e-9);
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let sys = SystemSpec::homogeneous(16);
+        let c = comm();
+        let model = OverlapModel::new(0.3).unwrap();
+        let ops: Vec<_> = (0..12)
+            .map(|i| floating(i, &[1.0 + (i % 5) as f64, (i % 3) as f64, 0.0], 64_000.0))
+            .collect();
+        let a = operator_schedule(ops.clone(), 0.5, &sys, &c, &model).unwrap();
+        let b = operator_schedule(ops, 0.5, &sys, &c, &model).unwrap();
+        assert_eq!(a.assignment, b.assignment);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::model::OverlapModel;
+    use crate::operator::{OperatorId, OperatorKind};
+    use proptest::prelude::*;
+
+    fn arb_specs() -> impl Strategy<Value = Vec<OperatorSpec>> {
+        proptest::collection::vec(
+            (
+                proptest::collection::vec(0.0f64..50.0, 3),
+                0.0f64..1e6,
+            ),
+            1..12,
+        )
+        .prop_map(|raw| {
+            raw.into_iter()
+                .enumerate()
+                .map(|(i, (mut w, d))| {
+                    w[0] += 1e-3;
+                    OperatorSpec::floating(
+                        OperatorId(i),
+                        OperatorKind::Other,
+                        WorkVector::new(w),
+                        d,
+                    )
+                })
+                .collect()
+        })
+    }
+
+    proptest! {
+        /// Every OperatorSchedule output is a valid schedule, and its two
+        /// makespan formulations (Eq 2-based and Eq 3) agree.
+        #[test]
+        fn operator_schedule_valid_and_consistent(
+            specs in arb_specs(),
+            sites in 1usize..24,
+            f in 0.1f64..1.5,
+            eps in 0.0f64..=1.0,
+        ) {
+            let sys = SystemSpec::homogeneous(sites);
+            let c = CommModel::paper_defaults();
+            let model = OverlapModel::new(eps).unwrap();
+            let s = operator_schedule(specs, f, &sys, &c, &model).unwrap();
+            prop_assert!(s.validate(&sys).is_ok());
+            let a = s.makespan(&sys, &model);
+            let b = s.makespan_eq3(&sys, &model);
+            prop_assert!((a - b).abs() <= 1e-9 * a.max(1.0));
+        }
+
+        /// The schedule's congestion respects the trivial lower bound
+        /// l(S)/P and never exceeds total work.
+        #[test]
+        fn congestion_sandwich(
+            specs in arb_specs(),
+            sites in 1usize..24,
+            eps in 0.0f64..=1.0,
+        ) {
+            let sys = SystemSpec::homogeneous(sites);
+            let c = CommModel::paper_defaults();
+            let model = OverlapModel::new(eps).unwrap();
+            let s = operator_schedule(specs, 0.7, &sys, &c, &model).unwrap();
+            let total_vec = WorkVector::vector_sum(
+                s.ops.iter().map(|o| o.total_vector()).collect::<Vec<_>>().iter()
+            ).unwrap();
+            let congestion = s.max_congestion(&sys);
+            prop_assert!(congestion + 1e-9 >= total_vec.length() / sites as f64);
+            prop_assert!(congestion <= total_vec.length() + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Operator specifications: the scheduler-facing description of a physical
+//! query operator (Section 3.1, Section 5.1).
+//!
+//! An operator is described by
+//!
+//! * its pure *processing* work vector `W_p` (zero communication costs —
+//!   the components a traditional optimizer cost model produces),
+//! * the total volume `D` of input/output bytes it moves over the
+//!   interconnect (Section 4.3), and
+//! * a placement: *floating* (the scheduler picks its parallelization) or
+//!   *rooted* (home fixed by data placement constraints, e.g. a probe that
+//!   must run where its hash table was built).
+
+use crate::resource::SiteId;
+use crate::vector::WorkVector;
+use std::fmt;
+
+/// Identifier of an operator within a scheduling problem. Dense: operators
+/// of a problem are numbered `0..M`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OperatorId(pub usize);
+
+impl fmt::Display for OperatorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// The physical kind of an operator, used for reporting and by cost
+/// models. The scheduler itself treats all kinds uniformly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OperatorKind {
+    /// Sequential scan of a base relation.
+    Scan,
+    /// Hash-table build on the inner relation of a hash join.
+    Build,
+    /// Probe of a hash table with the outer stream.
+    Probe,
+    /// Hash aggregation (blocking: groups emit after all input arrives).
+    Aggregate,
+    /// In-memory sort (blocking).
+    Sort,
+    /// Anything else.
+    Other,
+}
+
+impl fmt::Display for OperatorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OperatorKind::Scan => write!(f, "scan"),
+            OperatorKind::Build => write!(f, "build"),
+            OperatorKind::Probe => write!(f, "probe"),
+            OperatorKind::Aggregate => write!(f, "agg"),
+            OperatorKind::Sort => write!(f, "sort"),
+            OperatorKind::Other => write!(f, "other"),
+        }
+    }
+}
+
+/// Where an operator may execute (Section 3.1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Placement {
+    /// The resource scheduler is free to determine the parallelization.
+    Floating,
+    /// Home fixed by data placement constraints: clone `k` must run at
+    /// `homes[k]`; the degree of parallelism is `homes.len()`.
+    Rooted(Vec<SiteId>),
+}
+
+impl Placement {
+    /// True for [`Placement::Floating`].
+    pub fn is_floating(&self) -> bool {
+        matches!(self, Placement::Floating)
+    }
+}
+
+/// Scheduler-facing description of one physical operator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OperatorSpec {
+    /// Dense id within the scheduling problem.
+    pub id: OperatorId,
+    /// Physical kind (reporting only).
+    pub kind: OperatorKind,
+    /// Pure processing work vector `W_p` (no communication costs). Its
+    /// component sum is the *processing area* `W_p(op)` of Section 4.2.
+    pub processing: WorkVector,
+    /// Total bytes `D` moved over the interconnect (input + output).
+    pub data_volume: f64,
+    /// Floating or rooted placement.
+    pub placement: Placement,
+}
+
+impl OperatorSpec {
+    /// Creates a floating operator.
+    ///
+    /// # Panics
+    /// Panics if `data_volume` is negative or non-finite.
+    pub fn floating(
+        id: OperatorId,
+        kind: OperatorKind,
+        processing: WorkVector,
+        data_volume: f64,
+    ) -> Self {
+        assert!(
+            data_volume.is_finite() && data_volume >= 0.0,
+            "data volume must be finite and non-negative, got {data_volume}"
+        );
+        OperatorSpec {
+            id,
+            kind,
+            processing,
+            data_volume,
+            placement: Placement::Floating,
+        }
+    }
+
+    /// Creates a rooted operator with clone `k` pinned at `homes[k]`.
+    ///
+    /// # Panics
+    /// Panics if `homes` is empty, contains duplicates (two clones of one
+    /// operator may never share a site — Definition 5.1), or if
+    /// `data_volume` is invalid.
+    pub fn rooted(
+        id: OperatorId,
+        kind: OperatorKind,
+        processing: WorkVector,
+        data_volume: f64,
+        homes: Vec<SiteId>,
+    ) -> Self {
+        assert!(!homes.is_empty(), "a rooted operator needs at least one home site");
+        let mut seen = homes.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(
+            seen.len(),
+            homes.len(),
+            "rooted homes must be distinct sites (Definition 5.1)"
+        );
+        let mut spec = OperatorSpec::floating(id, kind, processing, data_volume);
+        spec.placement = Placement::Rooted(homes);
+        spec
+    }
+
+    /// The processing area `W_p(op) = Σ_i W[i]` (Section 4.2): total work
+    /// on a single site with all operands locally resident. Constant over
+    /// all executions of the operator.
+    #[inline]
+    pub fn processing_area(&self) -> f64 {
+        self.processing.total()
+    }
+
+    /// True if the scheduler may choose this operator's parallelization.
+    #[inline]
+    pub fn is_floating(&self) -> bool {
+        self.placement.is_floating()
+    }
+
+    /// The rooted homes, if any.
+    pub fn rooted_homes(&self) -> Option<&[SiteId]> {
+        match &self.placement {
+            Placement::Floating => None,
+            Placement::Rooted(homes) => Some(homes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wv(c: &[f64]) -> WorkVector {
+        WorkVector::from_slice(c)
+    }
+
+    #[test]
+    fn processing_area_is_component_sum() {
+        let op = OperatorSpec::floating(OperatorId(0), OperatorKind::Scan, wv(&[1.0, 2.0, 0.5]), 0.0);
+        assert_eq!(op.processing_area(), 3.5);
+        assert!(op.is_floating());
+        assert!(op.rooted_homes().is_none());
+    }
+
+    #[test]
+    fn rooted_exposes_homes() {
+        let op = OperatorSpec::rooted(
+            OperatorId(1),
+            OperatorKind::Probe,
+            wv(&[1.0, 0.0, 0.0]),
+            128.0,
+            vec![SiteId(3), SiteId(1)],
+        );
+        assert!(!op.is_floating());
+        assert_eq!(op.rooted_homes(), Some(&[SiteId(3), SiteId(1)][..]));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct sites")]
+    fn duplicate_homes_rejected() {
+        let _ = OperatorSpec::rooted(
+            OperatorId(0),
+            OperatorKind::Probe,
+            wv(&[1.0]),
+            0.0,
+            vec![SiteId(2), SiteId(2)],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one home")]
+    fn empty_homes_rejected() {
+        let _ = OperatorSpec::rooted(OperatorId(0), OperatorKind::Probe, wv(&[1.0]), 0.0, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "data volume")]
+    fn negative_data_volume_rejected() {
+        let _ = OperatorSpec::floating(OperatorId(0), OperatorKind::Scan, wv(&[1.0]), -1.0);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(OperatorId(4).to_string(), "op4");
+        assert_eq!(OperatorKind::Build.to_string(), "build");
+    }
+}

@@ -1,0 +1,401 @@
+//! Partitioned parallelism: cloning an operator across `N` sites
+//! (Section 5.2.1, experimental assumption EA1) and choosing the degree of
+//! partitioned parallelism (Proposition 4.1 + assumption A4).
+//!
+//! Under EA1 the operator's divisible work — its processing vector plus the
+//! `β·D` network-interface time — is split across the `N` clones; the whole
+//! `α·N` startup is charged to a single *coordinator* clone (clone 0),
+//! divided equally between the coordinator's CPU and network-interface
+//! dimensions.
+//!
+//! The *parallel execution time* of the operator in isolation is the
+//! maximum of its clones' sequential times (Equation 1):
+//!
+//! ```text
+//! T_par(op, N) = max_k T_seq(W_k)
+//! ```
+
+use crate::comm::CommModel;
+use crate::model::ResponseModel;
+use crate::operator::OperatorSpec;
+use crate::resource::SiteSpec;
+use crate::vector::WorkVector;
+
+/// How the divisible work of an operator is split among its clones.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PartitionStrategy {
+    /// EA1: perfect split — every clone receives `1/N` of the divisible
+    /// work. This is the paper's experimental assumption ("No Execution
+    /// Skew").
+    Even,
+    /// Extension (paper Section 8 future work): clone `k` receives
+    /// `weights[k] / Σ weights` of the divisible work. Used by the skew
+    /// experiments. Weights must be positive; their number fixes `N`.
+    Weighted(Vec<f64>),
+}
+
+impl PartitionStrategy {
+    /// Normalized per-clone fractions for degree `n`.
+    ///
+    /// # Panics
+    /// Panics for `Weighted` when the weight count differs from `n` or any
+    /// weight is non-positive.
+    pub fn fractions(&self, n: usize) -> Vec<f64> {
+        assert!(n >= 1, "degree of parallelism must be at least 1");
+        match self {
+            PartitionStrategy::Even => vec![1.0 / n as f64; n],
+            PartitionStrategy::Weighted(weights) => {
+                assert_eq!(
+                    weights.len(),
+                    n,
+                    "weighted partition needs exactly {n} weights, got {}",
+                    weights.len()
+                );
+                let sum: f64 = weights.iter().sum();
+                assert!(
+                    weights.iter().all(|w| w.is_finite() && *w > 0.0) && sum > 0.0,
+                    "partition weights must be positive"
+                );
+                weights.iter().map(|w| w / sum).collect()
+            }
+        }
+    }
+}
+
+/// Builds the per-clone work vectors for executing `op` on `n` sites.
+///
+/// Clone 0 is the coordinator and carries the entire `α·n` startup cost,
+/// split evenly between the CPU and network dimensions of `site` (EA1).
+/// The divisible work — `op.processing` plus `β·D` on the network
+/// dimension — is split according to `strategy`.
+pub fn clone_vectors(
+    op: &OperatorSpec,
+    n: usize,
+    comm: &CommModel,
+    site: &SiteSpec,
+    strategy: &PartitionStrategy,
+) -> Vec<WorkVector> {
+    assert_eq!(
+        op.processing.dim(),
+        site.dim(),
+        "operator work vector dimensionality must match the site layout"
+    );
+    let fractions = strategy.fractions(n);
+    let mut divisible = op.processing.clone();
+    divisible.add_at(site.net_dim(), comm.transfer_time(op.data_volume));
+
+    let startup = comm.alpha * n as f64;
+    let mut clones = Vec::with_capacity(n);
+    for (k, frac) in fractions.iter().enumerate() {
+        let mut w = divisible.scaled(*frac);
+        if k == 0 {
+            w.add_at(site.cpu_dim(), startup / 2.0);
+            w.add_at(site.net_dim(), startup / 2.0);
+        }
+        clones.push(w);
+    }
+    clones
+}
+
+/// The total (processing + communication) work vector `W̄_op` of the
+/// operator at degree `n` (Section 5.1): the vector sum of all clone
+/// vectors. Its component sum equals `W_p(op) + W_c(op, n)`.
+pub fn total_work_vector(op: &OperatorSpec, n: usize, comm: &CommModel, site: &SiteSpec) -> WorkVector {
+    let mut w = op.processing.clone();
+    w.add_at(site.net_dim(), comm.transfer_time(op.data_volume));
+    let startup = comm.alpha * n as f64;
+    w.add_at(site.cpu_dim(), startup / 2.0);
+    w.add_at(site.net_dim(), startup / 2.0);
+    w
+}
+
+/// `T_par(op, N)` of Equation (1): the parallel execution time of `op` on
+/// `n` sites while alone in the system, i.e. the max sequential time over
+/// its clones.
+pub fn t_par<M: ResponseModel>(
+    op: &OperatorSpec,
+    n: usize,
+    comm: &CommModel,
+    site: &SiteSpec,
+    model: &M,
+) -> f64 {
+    // Under the EA1 even split only two distinct clone shapes exist — the
+    // coordinator and everyone else — so evaluating both beats building
+    // all N vectors (this is the hot path of degree selection).
+    assert!(n >= 1, "degree of parallelism must be at least 1");
+    let mut plain = op.processing.scaled(1.0 / n as f64);
+    plain.add_at(site.net_dim(), comm.transfer_time(op.data_volume) / n as f64);
+    let mut coordinator = plain.clone();
+    let startup = comm.alpha * n as f64;
+    coordinator.add_at(site.cpu_dim(), startup / 2.0);
+    coordinator.add_at(site.net_dim(), startup / 2.0);
+    if n == 1 {
+        model.t_seq(&coordinator)
+    } else {
+        model.t_seq(&coordinator).max(model.t_seq(&plain))
+    }
+}
+
+/// The minimum achievable `T_par(op, n)` over all degrees `1..=sites`,
+/// with no coarse-granularity restriction — the operator's best possible
+/// parallel time on this machine. A sound per-operator lower bound for
+/// OPTBOUND-style estimates regardless of the granularity policy in force.
+pub fn min_t_par<M: ResponseModel>(
+    op: &OperatorSpec,
+    sites: usize,
+    comm: &CommModel,
+    site: &SiteSpec,
+    model: &M,
+) -> f64 {
+    assert!(sites >= 1, "system must have at least one site");
+    let mut best = t_par(op, 1, comm, site, model);
+    for n in 2..=sites {
+        let t = t_par(op, n, comm, site, model);
+        if t < best {
+            best = t;
+        }
+    }
+    best
+}
+
+/// Degree-of-parallelism decision for a floating operator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegreeChoice {
+    /// The selected degree `N_i`.
+    pub degree: usize,
+    /// `N_max(op, f)` from Proposition 4.1 before capping by `P` and A4.
+    pub coarse_grain_cap: usize,
+    /// The degree at which `T_par` stops improving (A4 speed-down point),
+    /// searched within `min(N_max, P)`.
+    pub speeddown_cap: usize,
+    /// `T_par(op, degree)`.
+    pub t_par: f64,
+}
+
+/// Chooses the degree of partitioned parallelism for a floating operator:
+/// `N_i = min(N_max(op, f), P)`, additionally capped at the speed-down
+/// point so assumption A4 (non-increasing execution times) is never
+/// violated (Section 6.1: "this optimal degree of parallelism is never
+/// exceeded for any operator").
+///
+/// The returned degree is the smallest `n ≤ min(N_max, P)` minimizing
+/// `T_par(op, n)`.
+pub fn choose_degree<M: ResponseModel>(
+    op: &OperatorSpec,
+    f: f64,
+    sites: usize,
+    comm: &CommModel,
+    site: &SiteSpec,
+    model: &M,
+) -> DegreeChoice {
+    assert!(sites >= 1, "system must have at least one site");
+    let cg_cap = comm.n_max_coarse_grain(f, op.processing_area(), op.data_volume);
+    let cap = cg_cap.min(sites);
+    let mut best_n = 1;
+    let mut best_t = t_par(op, 1, comm, site, model);
+    for n in 2..=cap {
+        let t = t_par(op, n, comm, site, model);
+        if t < best_t {
+            best_t = t;
+            best_n = n;
+        }
+    }
+    DegreeChoice {
+        degree: best_n,
+        coarse_grain_cap: cg_cap,
+        speeddown_cap: best_n,
+        t_par: best_t,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::OverlapModel;
+    use crate::operator::{OperatorId, OperatorKind};
+
+    fn op(processing: &[f64], data: f64) -> OperatorSpec {
+        OperatorSpec::floating(
+            OperatorId(0),
+            OperatorKind::Scan,
+            WorkVector::from_slice(processing),
+            data,
+        )
+    }
+
+    fn setup() -> (CommModel, SiteSpec, OverlapModel) {
+        (
+            CommModel::new(0.015, 0.6e-6).unwrap(),
+            SiteSpec::cpu_disk_net(),
+            OverlapModel::new(0.5).unwrap(),
+        )
+    }
+
+    #[test]
+    fn even_fractions_sum_to_one() {
+        let fr = PartitionStrategy::Even.fractions(4);
+        assert_eq!(fr, vec![0.25; 4]);
+    }
+
+    #[test]
+    fn weighted_fractions_normalize() {
+        let fr = PartitionStrategy::Weighted(vec![1.0, 3.0]).fractions(2);
+        assert_eq!(fr, vec![0.25, 0.75]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly 3 weights")]
+    fn weighted_wrong_count_panics() {
+        PartitionStrategy::Weighted(vec![1.0, 1.0]).fractions(3);
+    }
+
+    #[test]
+    fn clones_conserve_work_and_charge_coordinator() {
+        let (comm, site, _) = setup();
+        let o = op(&[6.0, 3.0, 0.0], 1_000_000.0);
+        let n = 3;
+        let clones = clone_vectors(&o, n, &comm, &site, &PartitionStrategy::Even);
+        assert_eq!(clones.len(), n);
+        // Total work = W_p + β·D + α·N.
+        let total: f64 = clones.iter().map(WorkVector::total).sum();
+        let expected = o.processing_area() + comm.comm_area(n, o.data_volume);
+        assert!((total - expected).abs() < 1e-9, "{total} vs {expected}");
+        // Only clone 0 carries startup: other clones are identical.
+        assert!(clones[1].approx_eq(&clones[2], 1e-12));
+        assert!(clones[0].total() > clones[1].total());
+        // Startup split between CPU and net dims.
+        let startup = comm.alpha * n as f64;
+        assert!((clones[0][site.cpu_dim()] - (clones[1][site.cpu_dim()] + startup / 2.0)).abs() < 1e-12);
+        assert!((clones[0][site.net_dim()] - (clones[1][site.net_dim()] + startup / 2.0)).abs() < 1e-12);
+        // Disk dimension untouched by communication.
+        assert!((clones[0][1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_work_vector_matches_clone_sum() {
+        let (comm, site, _) = setup();
+        let o = op(&[6.0, 3.0, 0.0], 500_000.0);
+        for n in [1usize, 2, 5, 8] {
+            let clones = clone_vectors(&o, n, &comm, &site, &PartitionStrategy::Even);
+            let sum = WorkVector::vector_sum(clones.iter()).unwrap();
+            let total = total_work_vector(&o, n, &comm, &site);
+            assert!(sum.approx_eq(&total, 1e-9), "n={n}: {sum:?} vs {total:?}");
+        }
+    }
+
+    #[test]
+    fn t_par_decreases_then_increases_with_startup() {
+        let (comm, site, model) = setup();
+        let o = op(&[10.0, 10.0, 0.0], 0.0);
+        let t1 = t_par(&o, 1, &comm, &site, &model);
+        let t4 = t_par(&o, 4, &comm, &site, &model);
+        assert!(t4 < t1, "parallelism should help: {t4} vs {t1}");
+        // With enough sites the α·N startup at the coordinator dominates.
+        let t_huge = t_par(&o, 5_000, &comm, &site, &model);
+        assert!(t_huge > t4, "startup should eventually dominate");
+    }
+
+    #[test]
+    fn choose_degree_respects_cg_cap() {
+        let (comm, site, model) = setup();
+        let o = op(&[1.0, 1.0, 0.0], 0.0);
+        // N_max = ⌊f·W_p/α⌋ = ⌊0.3·2/0.015⌋ = 40.
+        let choice = choose_degree(&o, 0.3, 1000, &comm, &site, &model);
+        assert_eq!(choice.coarse_grain_cap, 40);
+        assert!(choice.degree <= 40);
+        assert!(choice.degree >= 1);
+    }
+
+    #[test]
+    fn choose_degree_respects_site_count() {
+        let (comm, site, model) = setup();
+        let o = op(&[100.0, 100.0, 0.0], 0.0);
+        let choice = choose_degree(&o, 0.9, 8, &comm, &site, &model);
+        assert!(choice.degree <= 8);
+    }
+
+    #[test]
+    fn choose_degree_never_beyond_speeddown_point() {
+        let (comm, site, model) = setup();
+        let o = op(&[2.0, 2.0, 0.0], 0.0);
+        let choice = choose_degree(&o, 10.0, 10_000, &comm, &site, &model);
+        // T_par at the chosen degree must not improve by adding one site.
+        let t_next = t_par(&o, choice.degree + 1, &comm, &site, &model);
+        assert!(choice.t_par <= t_next + 1e-12);
+        // ... and must be no worse than running sequentially.
+        let t_seq = t_par(&o, 1, &comm, &site, &model);
+        assert!(choice.t_par <= t_seq + 1e-12);
+    }
+
+    #[test]
+    fn choose_degree_tiny_operator_stays_sequential() {
+        let (comm, site, model) = setup();
+        // W_p far below α: parallelism can never pay off.
+        let o = op(&[1e-6, 0.0, 0.0], 0.0);
+        let choice = choose_degree(&o, 0.9, 100, &comm, &site, &model);
+        assert_eq!(choice.degree, 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::model::OverlapModel;
+    use crate::operator::{OperatorId, OperatorKind};
+    use proptest::prelude::*;
+
+    fn arb_op() -> impl Strategy<Value = OperatorSpec> {
+        (
+            proptest::collection::vec(0.0f64..100.0, 3),
+            0.0f64..1e7,
+        )
+            .prop_map(|(mut w, d)| {
+                // Avoid the all-zero degenerate operator.
+                w[0] += 1e-3;
+                OperatorSpec::floating(
+                    OperatorId(0),
+                    OperatorKind::Other,
+                    WorkVector::new(w),
+                    d,
+                )
+            })
+    }
+
+    proptest! {
+        /// Work conservation: clone vectors always sum to W_p + W_c.
+        #[test]
+        fn clones_conserve_total_area(o in arb_op(), n in 1usize..32) {
+            let comm = CommModel::paper_defaults();
+            let site = SiteSpec::cpu_disk_net();
+            let clones = clone_vectors(&o, n, &comm, &site, &PartitionStrategy::Even);
+            let total: f64 = clones.iter().map(WorkVector::total).sum();
+            let expected = o.processing_area() + comm.comm_area(n, o.data_volume);
+            prop_assert!((total - expected).abs() <= 1e-6 * expected.max(1.0));
+        }
+
+        /// A4 within the search range: the chosen T_par is minimal over
+        /// all degrees up to the cap.
+        #[test]
+        fn chosen_degree_minimizes_t_par(o in arb_op(), eps in 0.0f64..=1.0, sites in 1usize..64) {
+            let comm = CommModel::paper_defaults();
+            let site = SiteSpec::cpu_disk_net();
+            let model = OverlapModel::new(eps).unwrap();
+            let choice = choose_degree(&o, 0.7, sites, &comm, &site, &model);
+            let cap = choice.coarse_grain_cap.min(sites);
+            for n in 1..=cap {
+                let t = t_par(&o, n, &comm, &site, &model);
+                prop_assert!(choice.t_par <= t + 1e-9 * t.max(1.0));
+            }
+        }
+
+        /// Section 7 footnote 5: work vectors are non-decreasing in N.
+        #[test]
+        fn total_vector_monotone_in_n(o in arb_op(), n in 1usize..64) {
+            let comm = CommModel::paper_defaults();
+            let site = SiteSpec::cpu_disk_net();
+            let a = total_work_vector(&o, n, &comm, &site);
+            let b = total_work_vector(&o, n + 1, &comm, &site);
+            prop_assert!(a.le_componentwise(&b));
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! d-dimensional work vectors.
+//!
+//! A *work vector* `W` describes the resource requirements of an operator
+//! (or operator clone) on a site with `d` preemptable resources: component
+//! `W[i]` is the effective busy time the operator induces on resource `i`
+//! (Section 4.1 of the paper). Components are non-negative finite `f64`
+//! seconds.
+//!
+//! Two notions of "length" from Section 5.1:
+//!
+//! * `l(W)` — the maximum component of a single vector,
+//! * `l(S)` — the maximum component of the vector sum of a set `S`.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Sub};
+
+/// A non-negative `d`-dimensional work vector (seconds of busy time per
+/// resource).
+///
+/// The dimensionality is fixed at construction; all arithmetic panics on a
+/// dimensionality mismatch (a programming error, not a data error).
+#[derive(Clone, PartialEq)]
+pub struct WorkVector {
+    components: Vec<f64>,
+}
+
+impl WorkVector {
+    /// Creates a zero vector of dimensionality `d`.
+    ///
+    /// # Panics
+    /// Panics if `d == 0`.
+    pub fn zeros(d: usize) -> Self {
+        assert!(d > 0, "work vectors must have at least one dimension");
+        WorkVector {
+            components: vec![0.0; d],
+        }
+    }
+
+    /// Creates a vector from raw components.
+    ///
+    /// # Panics
+    /// Panics if `components` is empty or any component is negative, NaN,
+    /// or infinite.
+    pub fn new(components: Vec<f64>) -> Self {
+        assert!(
+            !components.is_empty(),
+            "work vectors must have at least one dimension"
+        );
+        for (i, &c) in components.iter().enumerate() {
+            assert!(
+                c.is_finite() && c >= 0.0,
+                "work vector component {i} must be finite and non-negative, got {c}"
+            );
+        }
+        WorkVector { components }
+    }
+
+    /// Creates a vector from a slice.
+    pub fn from_slice(components: &[f64]) -> Self {
+        Self::new(components.to_vec())
+    }
+
+    /// Creates a vector with `value` placed at `dim` and zeros elsewhere.
+    pub fn unit(d: usize, dim: usize, value: f64) -> Self {
+        let mut v = Self::zeros(d);
+        v[dim] = value;
+        v
+    }
+
+    /// Dimensionality `d` of the vector.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.components.len()
+    }
+
+    /// The components as a slice.
+    #[inline]
+    pub fn components(&self) -> &[f64] {
+        &self.components
+    }
+
+    /// `l(W)`: the maximum component (Section 5.1).
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.components.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The total work `Σ_i W[i]` — the *processing area* when the vector
+    /// holds pure processing costs (Section 4.2).
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.components.iter().sum()
+    }
+
+    /// True iff every component is zero.
+    pub fn is_zero(&self) -> bool {
+        self.components.iter().all(|&c| c == 0.0)
+    }
+
+    /// Componentwise `≤` (the `≤_d` relation of Section 7, footnote 5).
+    pub fn le_componentwise(&self, other: &WorkVector) -> bool {
+        self.assert_same_dim(other);
+        self.components
+            .iter()
+            .zip(&other.components)
+            .all(|(a, b)| a <= b)
+    }
+
+    /// Returns a copy scaled by `factor ≥ 0`.
+    ///
+    /// # Panics
+    /// Panics if `factor` is negative or non-finite.
+    pub fn scaled(&self, factor: f64) -> WorkVector {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be finite and non-negative, got {factor}"
+        );
+        WorkVector {
+            components: self.components.iter().map(|c| c * factor).collect(),
+        }
+    }
+
+    /// Adds `value` to component `dim` in place.
+    pub fn add_at(&mut self, dim: usize, value: f64) {
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "added work must be finite and non-negative, got {value}"
+        );
+        self.components[dim] += value;
+    }
+
+    /// Adds `other` into `self` (used to accumulate site loads).
+    pub fn accumulate(&mut self, other: &WorkVector) {
+        self.assert_same_dim(other);
+        for (a, b) in self.components.iter_mut().zip(&other.components) {
+            *a += *b;
+        }
+    }
+
+    /// Removes `other` from `self`, clamping tiny negative residue from
+    /// floating-point cancellation to zero.
+    pub fn remove(&mut self, other: &WorkVector) {
+        self.assert_same_dim(other);
+        for (a, b) in self.components.iter_mut().zip(&other.components) {
+            *a = (*a - *b).max(0.0);
+        }
+    }
+
+    /// Componentwise maximum of two vectors.
+    pub fn max_with(&self, other: &WorkVector) -> WorkVector {
+        self.assert_same_dim(other);
+        WorkVector {
+            components: self
+                .components
+                .iter()
+                .zip(&other.components)
+                .map(|(a, b)| a.max(*b))
+                .collect(),
+        }
+    }
+
+    /// Sum of a set of vectors; `l(S)` is `vector_sum(S).length()`.
+    ///
+    /// Returns `None` for an empty iterator (dimensionality unknown).
+    pub fn vector_sum<'a, I>(vectors: I) -> Option<WorkVector>
+    where
+        I: IntoIterator<Item = &'a WorkVector>,
+    {
+        let mut it = vectors.into_iter();
+        let first = it.next()?;
+        let mut acc = first.clone();
+        for v in it {
+            acc.accumulate(v);
+        }
+        Some(acc)
+    }
+
+    /// `l(S)` over a set of vectors: the maximum component of the vector
+    /// sum (Section 5.1). Zero for an empty set.
+    pub fn set_length<'a, I>(vectors: I) -> f64
+    where
+        I: IntoIterator<Item = &'a WorkVector>,
+    {
+        Self::vector_sum(vectors).map_or(0.0, |v| v.length())
+    }
+
+    #[inline]
+    fn assert_same_dim(&self, other: &WorkVector) {
+        assert_eq!(
+            self.dim(),
+            other.dim(),
+            "work vector dimensionality mismatch: {} vs {}",
+            self.dim(),
+            other.dim()
+        );
+    }
+
+    /// Approximate equality with absolute tolerance `eps`, for tests and
+    /// cross-checking analytic identities.
+    pub fn approx_eq(&self, other: &WorkVector, eps: f64) -> bool {
+        self.dim() == other.dim()
+            && self
+                .components
+                .iter()
+                .zip(&other.components)
+                .all(|(a, b)| (a - b).abs() <= eps)
+    }
+}
+
+impl fmt::Debug for WorkVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "W[")?;
+        for (i, c) in self.components.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c:.6}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Index<usize> for WorkVector {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        &self.components[i]
+    }
+}
+
+impl IndexMut<usize> for WorkVector {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.components[i]
+    }
+}
+
+impl Add<&WorkVector> for &WorkVector {
+    type Output = WorkVector;
+    fn add(self, rhs: &WorkVector) -> WorkVector {
+        let mut out = self.clone();
+        out.accumulate(rhs);
+        out
+    }
+}
+
+impl AddAssign<&WorkVector> for WorkVector {
+    fn add_assign(&mut self, rhs: &WorkVector) {
+        self.accumulate(rhs);
+    }
+}
+
+impl Sub<&WorkVector> for &WorkVector {
+    type Output = WorkVector;
+    fn sub(self, rhs: &WorkVector) -> WorkVector {
+        let mut out = self.clone();
+        out.remove(rhs);
+        out
+    }
+}
+
+impl Mul<f64> for &WorkVector {
+    type Output = WorkVector;
+    fn mul(self, rhs: f64) -> WorkVector {
+        self.scaled(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_requested_dim_and_zero_length() {
+        let v = WorkVector::zeros(3);
+        assert_eq!(v.dim(), 3);
+        assert_eq!(v.length(), 0.0);
+        assert_eq!(v.total(), 0.0);
+        assert!(v.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn zero_dim_rejected() {
+        let _ = WorkVector::zeros(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_component_rejected() {
+        let _ = WorkVector::new(vec![1.0, -0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn nan_component_rejected() {
+        let _ = WorkVector::new(vec![f64::NAN]);
+    }
+
+    #[test]
+    fn length_is_max_component() {
+        let v = WorkVector::from_slice(&[1.0, 5.0, 3.0]);
+        assert_eq!(v.length(), 5.0);
+        assert_eq!(v.total(), 9.0);
+    }
+
+    #[test]
+    fn unit_places_value() {
+        let v = WorkVector::unit(3, 1, 2.5);
+        assert_eq!(v.components(), &[0.0, 2.5, 0.0]);
+    }
+
+    #[test]
+    fn set_length_is_max_of_sum_not_sum_of_max() {
+        // Paper's Section 5.2.2 example: W1 = [10, 15], W2 = [10, 5].
+        let w1 = WorkVector::from_slice(&[10.0, 15.0]);
+        let w2 = WorkVector::from_slice(&[10.0, 5.0]);
+        assert_eq!(WorkVector::set_length([&w1, &w2]), 20.0);
+        // W1 = [10, 15], W3 = [5, 10] congests the second resource.
+        let w3 = WorkVector::from_slice(&[5.0, 10.0]);
+        assert_eq!(WorkVector::set_length([&w1, &w3]), 25.0);
+    }
+
+    #[test]
+    fn set_length_empty_is_zero() {
+        assert_eq!(WorkVector::set_length(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn scaled_multiplies_all_components() {
+        let v = WorkVector::from_slice(&[2.0, 4.0]).scaled(0.5);
+        assert_eq!(v.components(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor")]
+    fn negative_scale_rejected() {
+        let _ = WorkVector::from_slice(&[1.0]).scaled(-1.0);
+    }
+
+    #[test]
+    fn le_componentwise_matches_definition() {
+        let a = WorkVector::from_slice(&[1.0, 2.0]);
+        let b = WorkVector::from_slice(&[1.0, 3.0]);
+        assert!(a.le_componentwise(&b));
+        assert!(!b.le_componentwise(&a));
+        assert!(a.le_componentwise(&a));
+    }
+
+    #[test]
+    fn remove_clamps_negative_residue() {
+        let mut a = WorkVector::from_slice(&[1.0]);
+        let b = WorkVector::from_slice(&[1.0 + 1e-12]);
+        a.remove(&b);
+        assert_eq!(a[0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn mismatched_dims_panic() {
+        let mut a = WorkVector::zeros(2);
+        a.accumulate(&WorkVector::zeros(3));
+    }
+
+    #[test]
+    fn operators_work() {
+        let a = WorkVector::from_slice(&[1.0, 2.0]);
+        let b = WorkVector::from_slice(&[3.0, 4.0]);
+        assert_eq!((&a + &b).components(), &[4.0, 6.0]);
+        assert_eq!((&b - &a).components(), &[2.0, 2.0]);
+        assert_eq!((&a * 2.0).components(), &[2.0, 4.0]);
+        assert_eq!(a.max_with(&b).components(), &[3.0, 4.0]);
+    }
+}

@@ -1,0 +1,187 @@
+//! End-to-end assembly: execution plan → fully costed
+//! [`TreeProblem`] ready for TREESCHEDULE.
+
+use crate::opcost::{operator_specs, CostError, CostModel, ScanPlacement};
+use mrs_plan::cardinality::CardinalityModel;
+use mrs_plan::decompose::decompose;
+use mrs_plan::optree::OperatorTree;
+use mrs_plan::plan::PlanTree;
+use mrs_plan::relation::Catalog;
+use mrs_core::error::ScheduleError;
+use mrs_core::tree::TreeProblem;
+
+/// Everything that can go wrong assembling a scheduling problem.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AssembleError {
+    /// Work-vector derivation failed.
+    Cost(CostError),
+    /// Task decomposition or problem validation failed.
+    Schedule(ScheduleError),
+}
+
+impl std::fmt::Display for AssembleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AssembleError::Cost(e) => write!(f, "cost model: {e}"),
+            AssembleError::Schedule(e) => write!(f, "schedule structure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AssembleError {}
+
+impl From<CostError> for AssembleError {
+    fn from(e: CostError) -> Self {
+        AssembleError::Cost(e)
+    }
+}
+
+impl From<ScheduleError> for AssembleError {
+    fn from(e: ScheduleError) -> Self {
+        AssembleError::Schedule(e)
+    }
+}
+
+/// Assembles a [`TreeProblem`] from an already-expanded operator tree.
+pub fn problem_from_optree(
+    tree: &OperatorTree,
+    cost: &CostModel,
+    placement: &ScanPlacement,
+) -> Result<TreeProblem, AssembleError> {
+    let specs = operator_specs(tree, cost, placement)?;
+    let decomposition = decompose(tree)?;
+    let problem = TreeProblem {
+        ops: specs,
+        tasks: decomposition.tasks,
+        bindings: decomposition.bindings,
+    };
+    problem.validate()?;
+    Ok(problem)
+}
+
+/// Assembles a [`TreeProblem`] straight from a plan tree: annotates
+/// cardinalities, macro-expands into the operator tree, derives work
+/// vectors, and decomposes into tasks.
+pub fn problem_from_plan(
+    plan: &PlanTree,
+    catalog: &Catalog,
+    cardinality: &impl CardinalityModel,
+    cost: &CostModel,
+    placement: &ScanPlacement,
+) -> Result<TreeProblem, AssembleError> {
+    let annotated = plan.annotate(catalog, cardinality);
+    let tree = OperatorTree::expand(&annotated);
+    problem_from_optree(&tree, cost, placement)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrs_plan::cardinality::KeyJoinMax;
+    use mrs_core::model::OverlapModel;
+    use mrs_core::resource::SystemSpec;
+    use mrs_core::tree::tree_schedule;
+
+    fn fixture() -> (PlanTree, Catalog) {
+        let mut c = Catalog::new();
+        let ids: Vec<_> = (0..4)
+            .map(|i| c.add_relation(format!("r{i}"), 2_000.0 * (i + 1) as f64))
+            .collect();
+        (PlanTree::left_deep(&ids), c)
+    }
+
+    #[test]
+    fn assembled_problem_validates() {
+        let (plan, catalog) = fixture();
+        let cost = CostModel::paper_defaults();
+        let problem = problem_from_plan(
+            &plan,
+            &catalog,
+            &KeyJoinMax,
+            &cost,
+            &ScanPlacement::Floating,
+        )
+        .unwrap();
+        assert_eq!(problem.ops.len(), 3 * 3 + 1);
+        assert_eq!(problem.bindings.len(), 3);
+        problem.validate().unwrap();
+    }
+
+    #[test]
+    fn assembled_problem_schedules_end_to_end() {
+        let (plan, catalog) = fixture();
+        let cost = CostModel::paper_defaults();
+        let problem = problem_from_plan(
+            &plan,
+            &catalog,
+            &KeyJoinMax,
+            &cost,
+            &ScanPlacement::Floating,
+        )
+        .unwrap();
+        let sys = SystemSpec::homogeneous(16);
+        let model = OverlapModel::new(0.5).unwrap();
+        let comm = cost.params().comm_model();
+        let result = tree_schedule(&problem, 0.7, &sys, &comm, &model).unwrap();
+        assert!(result.response_time > 0.0);
+        // Left-deep: two phases (builds+scans, then the probe pipeline).
+        assert_eq!(result.phases.len(), 2);
+    }
+
+    #[test]
+    fn aggregated_plan_schedules_in_extra_phase() {
+        use mrs_plan::plan::UnaryKind;
+        let (plan, catalog) = fixture();
+        let agg_plan =
+            plan.with_unary_root(UnaryKind::HashAggregate { output_fraction: 0.05 });
+        let cost = CostModel::paper_defaults();
+        let base = problem_from_plan(
+            &plan,
+            &catalog,
+            &KeyJoinMax,
+            &cost,
+            &ScanPlacement::Floating,
+        )
+        .unwrap();
+        let problem = problem_from_plan(
+            &agg_plan,
+            &catalog,
+            &KeyJoinMax,
+            &cost,
+            &ScanPlacement::Floating,
+        )
+        .unwrap();
+        assert_eq!(problem.ops.len(), base.ops.len() + 1);
+        // The aggregate's blocking input adds one more synchronized phase.
+        assert_eq!(problem.tasks.height(), base.tasks.height() + 1);
+        let sys = SystemSpec::homogeneous(12);
+        let model = OverlapModel::new(0.5).unwrap();
+        let comm = cost.params().comm_model();
+        let with_agg = tree_schedule(&problem, 0.7, &sys, &comm, &model).unwrap();
+        let without = tree_schedule(&base, 0.7, &sys, &comm, &model).unwrap();
+        assert_eq!(with_agg.phases.len(), without.phases.len() + 1);
+        assert!(with_agg.response_time > without.response_time);
+    }
+
+    #[test]
+    fn rooted_scans_flow_through() {
+        let (plan, catalog) = fixture();
+        let cost = CostModel::paper_defaults();
+        let problem = problem_from_plan(
+            &plan,
+            &catalog,
+            &KeyJoinMax,
+            &cost,
+            &ScanPlacement::RoundRobin { degree: 2, sites: 8 },
+        )
+        .unwrap();
+        let rooted = problem.ops.iter().filter(|o| !o.is_floating()).count();
+        assert_eq!(rooted, 4, "all four scans rooted");
+        // Still schedulable.
+        let sys = SystemSpec::homogeneous(8);
+        let model = OverlapModel::new(0.5).unwrap();
+        let comm = cost.params().comm_model();
+        let r = tree_schedule(&problem, 0.7, &sys, &comm, &model).unwrap();
+        assert!(r.response_time > 0.0);
+    }
+}

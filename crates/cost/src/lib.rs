@@ -1,0 +1,37 @@
+//! # mrs-cost — cost-model substrate
+//!
+//! Derives the multi-dimensional resource requirements (work vectors) of
+//! physical query operators from DBMS statistics and the hardware
+//! parameters of Table 2, following the hash-join cost equations of Hsiao
+//! et al. \[HCY94\], and assembles complete
+//! [`TreeProblem`](mrs_core::tree::TreeProblem)s from execution plans.
+//!
+//! ```
+//! use mrs_cost::prelude::*;
+//! use mrs_plan::prelude::*;
+//!
+//! let mut catalog = Catalog::new();
+//! let a = catalog.add_relation("a", 10_000.0);
+//! let b = catalog.add_relation("b", 40_000.0);
+//! let plan = PlanTree::left_deep(&[a, b]);
+//!
+//! let cost = CostModel::paper_defaults();
+//! let problem = problem_from_plan(
+//!     &plan, &catalog, &KeyJoinMax, &cost, &ScanPlacement::Floating,
+//! ).unwrap();
+//! assert_eq!(problem.ops.len(), 4); // scan, scan, build, probe
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod assemble;
+pub mod opcost;
+pub mod params;
+
+/// One-stop imports.
+pub mod prelude {
+    pub use crate::assemble::{problem_from_optree, problem_from_plan, AssembleError};
+    pub use crate::opcost::{operator_specs, CostError, CostModel, ScanPlacement};
+    pub use crate::params::{table_2, CpuCosts, SystemParams};
+}

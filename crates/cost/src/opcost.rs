@@ -1,0 +1,379 @@
+//! Per-operator work vectors: converting plan annotations into the
+//! multi-dimensional resource requirements of Section 4.
+//!
+//! The CPU and disk components follow the hash-join cost equations of
+//! Hsiao et al. \[HCY94\] with Table 2's instruction counts; the network
+//! dimension of the *processing* vector is zero (all communication cost is
+//! carried by the `αN + βD` model of Section 4.3 and added per
+//! parallelization). Hash tables are memory-resident (assumption A1), so
+//! builds and probes do no disk work.
+//!
+//! **Transfer attribution.** Following the paper's definition of `D` ("the
+//! total size of the operator's input and output data sets transferred
+//! over the interconnect"), every operator is charged for the bytes it
+//! *receives* and the bytes it *sends*: a transfer costs network-interface
+//! time at both endpoints. A scan receives nothing over the network (its
+//! input is the local disk) and a build sends nothing (its hash table
+//! stays local). With Table 2's parameters this makes the coarse-grain
+//! condition genuinely restrictive at small `f` (the behaviour Figure 5(a)
+//! reports), because `beta*D / W_p` is about 0.38 for a combined
+//! build+probe join stage (see `mrs_core::tree::coupled_degree` and
+//! DESIGN.md).
+//!
+//! | operator | CPU | disk | bytes over interconnect `D` |
+//! |---|---|---|---|
+//! | scan R | pages*read + tuples*extract | pages*t_disk | out (send) |
+//! | build  | in*hash | 0 | in (receive; table stays local) |
+//! | probe  | outer*probe + out*extract | 0 | outer (receive) + out (send) |
+
+use crate::params::SystemParams;
+use mrs_plan::optree::{OpDetail, OperatorTree};
+use mrs_core::operator::{OperatorId, OperatorKind, OperatorSpec, Placement};
+use mrs_core::resource::{SiteId, SiteSpec};
+use mrs_core::vector::WorkVector;
+
+/// Errors raised when deriving work vectors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CostError {
+    /// The site layout lacks a disk dimension but the plan contains scans.
+    NoDiskDimension,
+}
+
+impl std::fmt::Display for CostError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CostError::NoDiskDimension => {
+                write!(f, "site layout has no disk resource but the plan scans base relations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CostError {}
+
+/// Derives work vectors and interconnect data volumes for plan operators.
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    params: SystemParams,
+    site: SiteSpec,
+}
+
+impl CostModel {
+    /// Creates a cost model for the given parameters and site layout.
+    pub fn new(params: SystemParams, site: SiteSpec) -> Self {
+        CostModel { params, site }
+    }
+
+    /// Paper defaults on the `[Cpu, Disk, Network]` layout.
+    pub fn paper_defaults() -> Self {
+        CostModel::new(SystemParams::paper_defaults(), SiteSpec::cpu_disk_net())
+    }
+
+    /// The parameters in use.
+    pub fn params(&self) -> &SystemParams {
+        &self.params
+    }
+
+    /// The site layout in use.
+    pub fn site(&self) -> &SiteSpec {
+        &self.site
+    }
+
+    /// The *processing* work vector `W_p` of an operator (zero
+    /// communication costs).
+    ///
+    /// # Errors
+    /// [`CostError::NoDiskDimension`] for scans on diskless layouts.
+    pub fn processing_vector(&self, detail: &OpDetail) -> Result<WorkVector, CostError> {
+        let p = &self.params;
+        let d = self.site.dim();
+        let mut w = WorkVector::zeros(d);
+        match detail {
+            OpDetail::Scan { out_tuples, .. } => {
+                let pages = p.pages(*out_tuples);
+                // Stripe the I/O evenly across however many disk units the
+                // site layout declares (one in the paper's experiments).
+                let disk_dims: Vec<usize> = self
+                    .site
+                    .dims_of(mrs_core::resource::ResourceKind::Disk)
+                    .collect();
+                if disk_dims.is_empty() {
+                    return Err(CostError::NoDiskDimension);
+                }
+                let per_disk = pages * p.disk_page_time / disk_dims.len() as f64;
+                for dim in disk_dims {
+                    w.add_at(dim, per_disk);
+                }
+                w.add_at(
+                    self.site.cpu_dim(),
+                    p.instr_time(pages * p.cpu.read_page + out_tuples * p.cpu.extract_tuple),
+                );
+            }
+            OpDetail::Build { in_tuples, .. } => {
+                w.add_at(
+                    self.site.cpu_dim(),
+                    p.instr_time(in_tuples * p.cpu.hash_tuple),
+                );
+            }
+            OpDetail::Probe {
+                outer_tuples,
+                out_tuples,
+                ..
+            } => {
+                w.add_at(
+                    self.site.cpu_dim(),
+                    p.instr_time(
+                        outer_tuples * p.cpu.probe_table + out_tuples * p.cpu.extract_tuple,
+                    ),
+                );
+            }
+            OpDetail::Aggregate {
+                in_tuples,
+                out_tuples,
+            } => {
+                // Hash each input tuple into its group; extract each
+                // emitted group (A1: the group table is memory-resident).
+                w.add_at(
+                    self.site.cpu_dim(),
+                    p.instr_time(in_tuples * p.cpu.hash_tuple + out_tuples * p.cpu.extract_tuple),
+                );
+            }
+            OpDetail::Sort { in_tuples } => {
+                // n·log2(n) comparisons plus one extract per emitted tuple
+                // (A1: in-memory sort, no spill I/O).
+                let n = in_tuples.max(1.0);
+                w.add_at(
+                    self.site.cpu_dim(),
+                    p.instr_time(n * n.log2().max(1.0) * p.cpu.sort_compare
+                        + in_tuples * p.cpu.extract_tuple),
+                );
+            }
+        }
+        Ok(w)
+    }
+
+    /// The operator's interconnect traffic `D` in bytes: all data it
+    /// receives or sends over the network (assumption A5 — pipelined
+    /// outputs are always repartitioned). See the module docs for the
+    /// per-operator attribution.
+    pub fn data_volume(&self, detail: &OpDetail) -> f64 {
+        let p = &self.params;
+        match detail {
+            OpDetail::Scan { out_tuples, .. } => p.bytes(*out_tuples),
+            OpDetail::Build { in_tuples, .. } => p.bytes(*in_tuples),
+            OpDetail::Probe {
+                outer_tuples,
+                out_tuples,
+                ..
+            } => p.bytes(*outer_tuples) + p.bytes(*out_tuples),
+            OpDetail::Aggregate {
+                in_tuples,
+                out_tuples,
+            } => p.bytes(*in_tuples) + p.bytes(*out_tuples),
+            OpDetail::Sort { in_tuples } => 2.0 * p.bytes(*in_tuples),
+        }
+    }
+
+    /// Converts an operator-tree node into a scheduler-facing
+    /// [`OperatorSpec`], floating by default.
+    pub fn operator_spec(
+        &self,
+        id: OperatorId,
+        kind: OperatorKind,
+        detail: &OpDetail,
+    ) -> Result<OperatorSpec, CostError> {
+        Ok(OperatorSpec::floating(
+            id,
+            kind,
+            self.processing_vector(detail)?,
+            self.data_volume(detail),
+        ))
+    }
+}
+
+/// How base-relation scans are placed (the paper does not pin this down;
+/// see DESIGN.md).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScanPlacement {
+    /// Scans are floating: the scheduler declusters base relations freely
+    /// (the experiment default).
+    Floating,
+    /// Scan `i` is rooted on `degree` consecutive sites starting at
+    /// `(i · degree) mod P` — a deterministic round-robin declustering.
+    RoundRobin {
+        /// Clones per scan.
+        degree: usize,
+        /// Number of sites `P` in the target system.
+        sites: usize,
+    },
+}
+
+/// Builds the full set of [`OperatorSpec`]s for an operator tree.
+///
+/// # Errors
+/// Propagates [`CostError`]; also panics if `RoundRobin.degree` is zero or
+/// exceeds `sites` (caller bug).
+pub fn operator_specs(
+    tree: &OperatorTree,
+    cost: &CostModel,
+    placement: &ScanPlacement,
+) -> Result<Vec<OperatorSpec>, CostError> {
+    let mut specs = Vec::with_capacity(tree.len());
+    let mut scan_counter = 0usize;
+    for node in tree.nodes() {
+        let mut spec = cost.operator_spec(node.id, node.kind, &node.detail)?;
+        if let (OpDetail::Scan { .. }, ScanPlacement::RoundRobin { degree, sites }) =
+            (&node.detail, placement)
+        {
+            assert!(*degree >= 1 && degree <= sites, "invalid round-robin placement");
+            let start = (scan_counter * degree) % sites;
+            let homes: Vec<SiteId> = (0..*degree).map(|k| SiteId((start + k) % sites)).collect();
+            spec.placement = Placement::Rooted(homes);
+            scan_counter += 1;
+        }
+        specs.push(spec);
+    }
+    Ok(specs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrs_plan::cardinality::KeyJoinMax;
+    use mrs_plan::plan::PlanTree;
+    use mrs_plan::relation::Catalog;
+    use mrs_core::resource::ResourceKind;
+
+    fn one_join_tree() -> OperatorTree {
+        let mut c = Catalog::new();
+        let a = c.add_relation("a", 4_000.0);
+        let b = c.add_relation("b", 8_000.0);
+        let p = PlanTree::left_deep(&[a, b]);
+        OperatorTree::expand(&p.annotate(&c, &KeyJoinMax))
+    }
+
+    #[test]
+    fn scan_vector_matches_hand_computation() {
+        let cost = CostModel::paper_defaults();
+        let detail = OpDetail::Scan {
+            relation: mrs_plan::relation::RelationId(0),
+            out_tuples: 4_000.0,
+        };
+        let w = cost.processing_vector(&detail).unwrap();
+        // 4000 tuples = 100 pages.
+        // disk: 100 × 20ms = 2 s.
+        assert!((w[1] - 2.0).abs() < 1e-12);
+        // cpu: 100×5000 + 4000×300 = 1.7e6 instr = 1.7 s at 1 MIPS.
+        assert!((w[0] - 1.7).abs() < 1e-12);
+        // net processing component is zero (comm handled by αN + βD).
+        assert_eq!(w[2], 0.0);
+        // D = 4000 × 128 bytes.
+        assert_eq!(cost.data_volume(&detail), 512_000.0);
+    }
+
+    #[test]
+    fn build_vector_is_pure_cpu() {
+        let cost = CostModel::paper_defaults();
+        let detail = OpDetail::Build {
+            in_tuples: 8_000.0,
+            probe: OperatorId(0),
+        };
+        let w = cost.processing_vector(&detail).unwrap();
+        // 8000 × 100 instr = 0.8 s.
+        assert!((w[0] - 0.8).abs() < 1e-12);
+        assert_eq!(w[1], 0.0);
+        assert_eq!(w[2], 0.0);
+        // Receives its whole input over the interconnect (8000 x 128).
+        assert_eq!(cost.data_volume(&detail), 1_024_000.0);
+    }
+
+    #[test]
+    fn probe_vector_counts_probe_and_result_extraction() {
+        let cost = CostModel::paper_defaults();
+        let detail = OpDetail::Probe {
+            outer_tuples: 4_000.0,
+            out_tuples: 8_000.0,
+            build: OperatorId(0),
+        };
+        let w = cost.processing_vector(&detail).unwrap();
+        // 4000×200 + 8000×300 = 3.2e6 instr = 3.2 s.
+        assert!((w[0] - 3.2).abs() < 1e-12);
+        assert_eq!(w[1], 0.0);
+        // D = (4000 received + 8000 sent) x 128 bytes.
+        assert_eq!(cost.data_volume(&detail), 1_536_000.0);
+    }
+
+    #[test]
+    fn scan_on_diskless_layout_errors() {
+        let site = SiteSpec::new(vec![ResourceKind::Cpu, ResourceKind::Network]).unwrap();
+        let cost = CostModel::new(SystemParams::paper_defaults(), site);
+        let detail = OpDetail::Scan {
+            relation: mrs_plan::relation::RelationId(0),
+            out_tuples: 100.0,
+        };
+        assert_eq!(
+            cost.processing_vector(&detail),
+            Err(CostError::NoDiskDimension)
+        );
+    }
+
+    #[test]
+    fn operator_specs_cover_whole_tree() {
+        let tree = one_join_tree();
+        let cost = CostModel::paper_defaults();
+        let specs = operator_specs(&tree, &cost, &ScanPlacement::Floating).unwrap();
+        assert_eq!(specs.len(), 4);
+        assert!(specs.iter().all(|s| s.is_floating()));
+        // Ids stay dense and aligned.
+        for (i, s) in specs.iter().enumerate() {
+            assert_eq!(s.id, OperatorId(i));
+        }
+        // Every spec carries positive processing work.
+        assert!(specs.iter().all(|s| s.processing_area() > 0.0));
+        // Every operator moves data over the interconnect (dual-endpoint
+        // attribution: scans send, builds receive, probes do both).
+        assert!(specs.iter().all(|s| s.data_volume > 0.0));
+    }
+
+    #[test]
+    fn round_robin_roots_scans_only() {
+        let tree = one_join_tree();
+        let cost = CostModel::paper_defaults();
+        let specs = operator_specs(
+            &tree,
+            &cost,
+            &ScanPlacement::RoundRobin { degree: 2, sites: 8 },
+        )
+        .unwrap();
+        let mut scan_homes = Vec::new();
+        for s in &specs {
+            match s.kind {
+                OperatorKind::Scan => {
+                    let homes = s.rooted_homes().expect("scans must be rooted");
+                    assert_eq!(homes.len(), 2);
+                    scan_homes.push(homes.to_vec());
+                }
+                _ => assert!(s.is_floating()),
+            }
+        }
+        assert_eq!(scan_homes.len(), 2);
+        assert_ne!(scan_homes[0], scan_homes[1], "round robin must rotate");
+    }
+
+    #[test]
+    fn round_robin_wraps_around() {
+        let tree = one_join_tree();
+        let cost = CostModel::paper_defaults();
+        let specs = operator_specs(
+            &tree,
+            &cost,
+            &ScanPlacement::RoundRobin { degree: 2, sites: 3 },
+        )
+        .unwrap();
+        for s in specs.iter().filter(|s| s.kind == OperatorKind::Scan) {
+            for site in s.rooted_homes().unwrap() {
+                assert!(site.0 < 3);
+            }
+        }
+    }
+}

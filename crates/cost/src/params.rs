@@ -1,0 +1,221 @@
+//! System and catalog parameters (Table 2 of the paper).
+//!
+//! All times are seconds, all sizes bytes. CPU costs are expressed in
+//! instructions and converted through the CPU speed (1 MIPS in the paper,
+//! i.e. 1 µs per instruction — chosen so the simulated system is neither
+//! heavily CPU- nor IO-bound).
+
+use mrs_core::comm::CommModel;
+
+/// Per-operation CPU instruction counts (Table 2, lower half).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CpuCosts {
+    /// Instructions to read a page from disk.
+    pub read_page: f64,
+    /// Instructions to write a page to disk.
+    pub write_page: f64,
+    /// Instructions to extract (copy/form) a tuple.
+    pub extract_tuple: f64,
+    /// Instructions to hash a tuple.
+    pub hash_tuple: f64,
+    /// Instructions to probe a hash table.
+    pub probe_table: f64,
+    /// Instructions per comparison in an in-memory sort (our extension;
+    /// not part of Table 2 — sorts do not appear in the paper's plans).
+    pub sort_compare: f64,
+}
+
+impl CpuCosts {
+    /// Table 2 values.
+    pub fn paper_defaults() -> Self {
+        CpuCosts {
+            read_page: 5_000.0,
+            write_page: 5_000.0,
+            extract_tuple: 300.0,
+            hash_tuple: 100.0,
+            probe_table: 200.0,
+            sort_compare: 50.0,
+        }
+    }
+}
+
+/// The full experimental parameter set (Table 2).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SystemParams {
+    /// CPU speed in MIPS.
+    pub cpu_mips: f64,
+    /// Effective disk service time per page, seconds.
+    pub disk_page_time: f64,
+    /// Startup cost per participating site `α`, seconds.
+    pub startup_alpha: f64,
+    /// Network transfer cost per byte `β`, seconds.
+    pub net_beta: f64,
+    /// Tuple size in bytes.
+    pub tuple_bytes: f64,
+    /// Tuples per page.
+    pub page_tuples: f64,
+    /// CPU instruction costs.
+    pub cpu: CpuCosts,
+}
+
+impl SystemParams {
+    /// Table 2 values: 1 MIPS CPU, 20 ms/page disk, `α` = 15 ms,
+    /// `β` = 0.6 µs/byte, 128-byte tuples, 40 tuples/page.
+    pub fn paper_defaults() -> Self {
+        SystemParams {
+            cpu_mips: 1.0,
+            disk_page_time: 0.020,
+            startup_alpha: 0.015,
+            net_beta: 0.6e-6,
+            tuple_bytes: 128.0,
+            page_tuples: 40.0,
+            cpu: CpuCosts::paper_defaults(),
+        }
+    }
+
+    /// Seconds consumed by `instructions` CPU instructions.
+    #[inline]
+    pub fn instr_time(&self, instructions: f64) -> f64 {
+        instructions / (self.cpu_mips * 1e6)
+    }
+
+    /// Pages occupied by `tuples` tuples (fractional; the cost model works
+    /// in expectations).
+    #[inline]
+    pub fn pages(&self, tuples: f64) -> f64 {
+        tuples / self.page_tuples
+    }
+
+    /// Bytes occupied by `tuples` tuples.
+    #[inline]
+    pub fn bytes(&self, tuples: f64) -> f64 {
+        tuples * self.tuple_bytes
+    }
+
+    /// The communication model these parameters induce.
+    pub fn comm_model(&self) -> CommModel {
+        CommModel::new(self.startup_alpha, self.net_beta)
+            .expect("paper parameters are valid")
+    }
+}
+
+impl Default for SystemParams {
+    fn default() -> Self {
+        SystemParams::paper_defaults()
+    }
+}
+
+/// Renders the parameter set in the layout of Table 2 (used by the
+/// `table2` experiment).
+pub fn table_2(params: &SystemParams) -> String {
+    let mut s = String::new();
+    s.push_str("Configuration/Catalog Parameters      | Value\n");
+    s.push_str("--------------------------------------+---------------\n");
+    s.push_str(&format!(
+        "CPU Speed                             | {} MIPS\n",
+        params.cpu_mips
+    ));
+    s.push_str(&format!(
+        "Effective Disk Service Time per page  | {} msec\n",
+        params.disk_page_time * 1e3
+    ));
+    s.push_str(&format!(
+        "Startup Cost per site (alpha)         | {} msec\n",
+        params.startup_alpha * 1e3
+    ));
+    s.push_str(&format!(
+        "Network Transfer Cost per byte (beta) | {} usec\n",
+        params.net_beta * 1e6
+    ));
+    s.push_str(&format!(
+        "Tuple Size                            | {} bytes\n",
+        params.tuple_bytes
+    ));
+    s.push_str(&format!(
+        "Page Size                             | {} tuples\n",
+        params.page_tuples
+    ));
+    s.push_str("CPU Cost Parameters                   | No. of Instr.\n");
+    s.push_str("--------------------------------------+---------------\n");
+    s.push_str(&format!(
+        "Read Page from Disk                   | {}\n",
+        params.cpu.read_page
+    ));
+    s.push_str(&format!(
+        "Write Page to Disk                    | {}\n",
+        params.cpu.write_page
+    ));
+    s.push_str(&format!(
+        "Extract Tuple                         | {}\n",
+        params.cpu.extract_tuple
+    ));
+    s.push_str(&format!(
+        "Hash Tuple                            | {}\n",
+        params.cpu.hash_tuple
+    ));
+    s.push_str(&format!(
+        "Probe Hash Table                      | {}\n",
+        params.cpu.probe_table
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_table_2() {
+        let p = SystemParams::paper_defaults();
+        assert_eq!(p.cpu_mips, 1.0);
+        assert_eq!(p.disk_page_time, 0.020);
+        assert_eq!(p.startup_alpha, 0.015);
+        assert_eq!(p.net_beta, 0.6e-6);
+        assert_eq!(p.tuple_bytes, 128.0);
+        assert_eq!(p.page_tuples, 40.0);
+        assert_eq!(p.cpu.read_page, 5_000.0);
+        assert_eq!(p.cpu.probe_table, 200.0);
+    }
+
+    #[test]
+    fn instr_time_at_one_mips() {
+        let p = SystemParams::paper_defaults();
+        // 5000 instructions at 1 MIPS = 5 ms.
+        assert!((p.instr_time(5_000.0) - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pages_and_bytes() {
+        let p = SystemParams::paper_defaults();
+        assert_eq!(p.pages(4_000.0), 100.0);
+        assert_eq!(p.bytes(10.0), 1_280.0);
+    }
+
+    #[test]
+    fn comm_model_uses_alpha_beta() {
+        let p = SystemParams::paper_defaults();
+        let c = p.comm_model();
+        assert_eq!(c.alpha, 0.015);
+        assert_eq!(c.beta, 0.6e-6);
+    }
+
+    #[test]
+    fn table_2_lists_every_parameter() {
+        let s = table_2(&SystemParams::paper_defaults());
+        for needle in [
+            "CPU Speed",
+            "1 MIPS",
+            "20 msec",
+            "15 msec",
+            "0.6 usec",
+            "128 bytes",
+            "40 tuples",
+            "5000",
+            "300",
+            "100",
+            "200",
+        ] {
+            assert!(s.contains(needle), "missing {needle:?} in:\n{s}");
+        }
+    }
+}

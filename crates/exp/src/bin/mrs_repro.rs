@@ -1,0 +1,217 @@
+//! `mrs-repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! mrs-repro [--seed N] [--fast] [--csv DIR] <experiment>... | all | list
+//! mrs-repro schedule [--seed N] [--joins J] [--sites P] [--eps E] [--f F]
+//! ```
+//!
+//! Experiments: table2, fig5a, fig5b, fig6a, fig6b, ablation-dims,
+//! ablation-order, malleable, planopt, pipecheck, memcheck, optgap,
+//! simcheck, skew.
+
+use mrs_exp::config::ExpConfig;
+use mrs_exp::{all_experiments, experiment_by_id};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: mrs-repro [--seed N] [--fast] [--csv DIR] <experiment>... | all | list\n\
+       or: mrs-repro schedule [--seed N] [--joins J] [--sites P] [--eps E] [--f F]\n\
+     experiments: table2 fig5a fig5b fig6a fig6b ablation-dims ablation-order \
+     malleable planopt pipecheck memcheck dimcheck shelfcheck optgap simcheck skew"
+}
+
+/// `mrs-repro schedule`: generate one query, schedule it with both
+/// algorithms, and print a full schedule report.
+fn run_schedule_demo(args: &[String]) -> ExitCode {
+    use mrs_baseline::prelude::synchronous_schedule;
+    use mrs_cost::prelude::{problem_from_plan, CostModel, ScanPlacement};
+    use mrs_exp::render::tree_report;
+    use mrs_plan::prelude::KeyJoinMax;
+    use mrs_workload::prelude::{generate_query, QueryGenConfig};
+    use mrs_core::bounds::opt_bound;
+    use mrs_core::model::OverlapModel;
+    use mrs_core::resource::SystemSpec;
+    use mrs_core::tree::tree_schedule;
+
+    let mut seed = 1996u64;
+    let mut joins = 12usize;
+    let mut sites = 24usize;
+    let mut eps = 0.5f64;
+    let mut f = 0.7f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut grab = |target: &mut f64| -> bool {
+            match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) => {
+                    *target = v;
+                    true
+                }
+                None => false,
+            }
+        };
+        let ok = match arg.as_str() {
+            "--seed" => {
+                let mut v = seed as f64;
+                let ok = grab(&mut v);
+                seed = v as u64;
+                ok
+            }
+            "--joins" => {
+                let mut v = joins as f64;
+                let ok = grab(&mut v);
+                joins = v as usize;
+                ok
+            }
+            "--sites" => {
+                let mut v = sites as f64;
+                let ok = grab(&mut v);
+                sites = v as usize;
+                ok
+            }
+            "--eps" => grab(&mut eps),
+            "--f" => grab(&mut f),
+            other => {
+                eprintln!("unknown schedule option {other:?}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        };
+        if !ok {
+            eprintln!("{arg} needs a numeric argument\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    }
+    if joins == 0 || sites == 0 {
+        eprintln!("--joins and --sites must be positive");
+        return ExitCode::FAILURE;
+    }
+    let Ok(model) = OverlapModel::new(eps) else {
+        eprintln!("--eps must lie in [0, 1]");
+        return ExitCode::FAILURE;
+    };
+
+    let q = generate_query(&QueryGenConfig::paper(joins), seed);
+    let cost = CostModel::paper_defaults();
+    let problem = problem_from_plan(
+        &q.plan,
+        &q.catalog,
+        &KeyJoinMax,
+        &cost,
+        &ScanPlacement::Floating,
+    )
+    .expect("generated plans always assemble");
+    let sys = SystemSpec::homogeneous(sites);
+    let comm = cost.params().comm_model();
+
+    println!(
+        "query: {joins} joins (seed {seed}), machine: {sites} sites, eps={eps}, f={f}\n"
+    );
+    let result = tree_schedule(&problem, f, &sys, &comm, &model).expect("valid problem");
+    println!("=== TREESCHEDULE ===");
+    println!("{}", tree_report(&result, &sys, &model));
+    let sync = synchronous_schedule(&problem, &sys, &comm, &model).expect("valid problem");
+    let bound = opt_bound(&problem, f, &sys, &comm, &model);
+    println!("SYNCHRONOUS baseline: {:.2}s", sync.response_time);
+    println!(
+        "OPTBOUND: {:.2}s (TreeSchedule within {:.3}x; speedup over Synchronous {:.2}x)",
+        bound,
+        result.response_time / bound,
+        sync.response_time / result.response_time
+    );
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("schedule") {
+        return run_schedule_demo(&raw[1..]);
+    }
+
+    let mut cfg = ExpConfig::default();
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut requested: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(seed) => cfg.seed = seed,
+                None => {
+                    eprintln!("--seed needs an integer argument\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--fast" => cfg.fast = true,
+            "--csv" => match args.next() {
+                Some(dir) => csv_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--csv needs a directory argument\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => requested.push(other.to_owned()),
+        }
+    }
+
+    if requested.iter().any(|r| r == "list") {
+        for (id, _) in all_experiments() {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    if requested.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+    let run_all = requested.iter().any(|r| r == "all");
+    let plan: Vec<(&'static str, mrs_exp::Experiment)> = if run_all {
+        all_experiments()
+    } else {
+        let mut plan = Vec::new();
+        for id in &requested {
+            match experiment_by_id(id) {
+                Some(f) => {
+                    // Recover the 'static id from the registry.
+                    let sid = all_experiments()
+                        .into_iter()
+                        .find(|(name, _)| name == id)
+                        .map(|(name, _)| name)
+                        .expect("registry lookup succeeded");
+                    plan.push((sid, f));
+                }
+                None => {
+                    eprintln!("unknown experiment {id:?}\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        plan
+    };
+
+    println!(
+        "# Multi-dimensional Resource Scheduling for Parallel Queries (SIGMOD 1996)\n\
+         # seed={} mode={}\n",
+        cfg.seed,
+        if cfg.fast { "fast" } else { "full (paper sweeps)" }
+    );
+    for (id, f) in plan {
+        let start = std::time::Instant::now();
+        let report = f(&cfg);
+        println!("{}", report.render());
+        println!("[{} finished in {:.1?}]\n", id, start.elapsed());
+        if let Some(dir) = &csv_dir {
+            match report.write_csv(dir) {
+                Ok(path) => println!("wrote {}", path.display()),
+                Err(e) => {
+                    eprintln!("failed to write CSV for {id}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,71 @@
+//! Experiment configuration shared by all figure/table runners.
+
+/// Knobs common to every experiment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExpConfig {
+    /// Master seed for workload generation.
+    pub seed: u64,
+    /// Fast mode: smaller suites and sparser sweeps (used by tests and
+    /// benches; the full mode reproduces the paper's sweep densities).
+    pub fast: bool,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig {
+            seed: 19_960_604, // SIGMOD'96 in Montreal
+            fast: false,
+        }
+    }
+}
+
+impl ExpConfig {
+    /// Queries per suite: the paper's 20, or 5 in fast mode.
+    pub fn queries_per_size(&self) -> usize {
+        if self.fast {
+            5
+        } else {
+            20
+        }
+    }
+
+    /// The site-count sweep (Table 2: 10–140).
+    pub fn site_sweep(&self) -> Vec<usize> {
+        if self.fast {
+            vec![20, 60, 100, 140]
+        } else {
+            (1..=14).map(|i| i * 10).collect()
+        }
+    }
+
+    /// The query-size sweep (Section 6.1: 10–50 joins).
+    pub fn query_sizes(&self) -> Vec<usize> {
+        if self.fast {
+            vec![10, 30]
+        } else {
+            vec![10, 20, 30, 40, 50]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_mode_matches_paper_sweeps() {
+        let cfg = ExpConfig::default();
+        assert_eq!(cfg.queries_per_size(), 20);
+        assert_eq!(cfg.site_sweep().len(), 14);
+        assert_eq!(cfg.site_sweep()[0], 10);
+        assert_eq!(*cfg.site_sweep().last().unwrap(), 140);
+        assert_eq!(cfg.query_sizes(), vec![10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn fast_mode_is_smaller() {
+        let cfg = ExpConfig { fast: true, ..Default::default() };
+        assert!(cfg.queries_per_size() < 20);
+        assert!(cfg.site_sweep().len() < 14);
+    }
+}

@@ -1,0 +1,425 @@
+//! Extension experiments beyond the paper's figures: the malleable
+//! scheduler of Section 7 (X3), empirical verification of Theorem 5.1
+//! against the true optimum (X4), simulator validation of the analytic
+//! model (X5), and execution skew (X6 — the paper's Section 8 future
+//! work).
+
+use crate::config::ExpConfig;
+use crate::report::Report;
+use crate::runner::query_problem;
+use crate::tablefmt::{ratio, secs, Table};
+use mrs_cost::prelude::CostModel;
+use mrs_opt::prelude::optimal_pack;
+use mrs_sim::prelude::{simulate_phase, SharingPolicy, SimConfig};
+
+use mrs_workload::skew::zipf_partition;
+use mrs_workload::suite::suite;
+use mrs_core::list::operator_schedule;
+use mrs_core::malleable::malleable_schedule;
+use mrs_core::model::OverlapModel;
+use mrs_core::operator::{OperatorId, OperatorKind, OperatorSpec};
+use mrs_core::partition::PartitionStrategy;
+use mrs_core::resource::SystemSpec;
+use mrs_core::schedule::{PhaseSchedule, ScheduledOperator};
+use mrs_core::tree::tree_schedule;
+use mrs_core::vector::WorkVector;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Synthetic independent-operator sets (the Section 7 problem has no tree
+/// structure).
+fn independent_ops(count: usize, seed: u64) -> Vec<OperatorSpec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            let cpu = rng.gen_range(0.5..20.0);
+            let disk = rng.gen_range(0.0..20.0);
+            let data = rng.gen_range(0.0..4e6);
+            OperatorSpec::floating(
+                OperatorId(i),
+                OperatorKind::Other,
+                WorkVector::from_slice(&[cpu, disk, 0.0]),
+                data,
+            )
+        })
+        .collect()
+}
+
+/// X3: coarse-grain OPERATORSCHEDULE (several `f`) vs the malleable
+/// scheduler on independent operator sets.
+pub fn malleable(cfg: &ExpConfig) -> Report {
+    let eps = 0.5;
+    let cost = CostModel::paper_defaults();
+    let comm = cost.params().comm_model();
+    let model = OverlapModel::new(eps).unwrap();
+    let trials = if cfg.fast { 5 } else { 20 };
+    let op_count = if cfg.fast { 10 } else { 30 };
+
+    let mut table = Table::new(vec![
+        "sites".to_owned(),
+        "CG f=0.3".to_owned(),
+        "CG f=0.7".to_owned(),
+        "malleable".to_owned(),
+        "LB(N)".to_owned(),
+        "malleable/LB".to_owned(),
+    ]);
+    for sites in [10usize, 40, 80] {
+        let sys = SystemSpec::homogeneous(sites);
+        let (mut cg3, mut cg7, mut mal, mut lb) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        for t in 0..trials {
+            let ops = independent_ops(op_count, cfg.seed.wrapping_add(t as u64));
+            cg3 += operator_schedule(ops.clone(), 0.3, &sys, &comm, &model)
+                .unwrap()
+                .makespan(&sys, &model);
+            cg7 += operator_schedule(ops.clone(), 0.7, &sys, &comm, &model)
+                .unwrap()
+                .makespan(&sys, &model);
+            let out = malleable_schedule(ops, &sys, &comm, &model).unwrap();
+            mal += out.schedule.makespan(&sys, &model);
+            lb += out.lower_bound;
+        }
+        let n = trials as f64;
+        table.push_row(vec![
+            sites.to_string(),
+            secs(cg3 / n),
+            secs(cg7 / n),
+            secs(mal / n),
+            secs(lb / n),
+            ratio(mal / lb),
+        ]);
+    }
+    // Full-query comparison: per-phase malleable TreeSchedule vs the
+    // coarse-grain TreeSchedule on generated plans.
+    let joins = if cfg.fast { 10 } else { 30 };
+    let s2 = suite(joins, cfg.queries_per_size(), cfg.seed);
+    let mut query_table = Table::new(vec![
+        "sites".to_owned(),
+        format!("TS f=0.7 ({joins}j)"),
+        format!("TS-malleable ({joins}j)"),
+    ]);
+    for sites in [20usize, 80] {
+        let sys = SystemSpec::homogeneous(sites);
+        let cg = crate::runner::mean_response(
+            &s2.queries,
+            &crate::runner::Algo::Tree { f: 0.7 },
+            &sys,
+            eps,
+            &cost,
+        );
+        let mal = crate::runner::mean_response(
+            &s2.queries,
+            &crate::runner::Algo::TreeMalleable,
+            &sys,
+            eps,
+            &cost,
+        );
+        query_table.push_row(vec![sites.to_string(), secs(cg), secs(mal)]);
+    }
+    for row in query_table.rows {
+        let mut padded = vec![String::new(); table.headers.len()];
+        padded[0] = format!("[query {}]", row[0]);
+        padded[1] = row[1].clone();
+        padded[2] = row[2].clone();
+        padded[3] = "-".to_owned();
+        padded[4] = "-".to_owned();
+        padded[5] = "-".to_owned();
+        table.rows.push(padded);
+    }
+
+    Report {
+        id: "malleable",
+        title: "X3: Malleable scheduling (Section 7) vs coarse-grain OperatorSchedule".into(),
+        params: format!(
+            "{op_count} independent operators, epsilon={eps}, {trials} trials; \
+             [query P] rows: full {joins}-join plans, columns 2-3 = TS f=0.7 / TS-malleable"
+        ),
+        table,
+        notes: vec![
+            "The malleable scheduler needs no granularity parameter and is provably \
+             within 2d+1 of optimal over all parallelizations (Theorem 7.1); observed \
+             malleable/LB ratios are far below that bound. Minimizing LB(N) tends to \
+             under-parallelize relative to the coarse-grain degrees, so its *average* \
+             makespan can trail the f=0.7 schedule while its worst case is protected."
+                .into(),
+        ],
+    }
+}
+
+/// X4: empirical Theorem 5.1 check — the list heuristic vs the true
+/// optimum (branch and bound) on small instances.
+pub fn optgap(cfg: &ExpConfig) -> Report {
+    let cost = CostModel::paper_defaults();
+    let comm = cost.params().comm_model();
+    let trials = if cfg.fast { 10 } else { 50 };
+
+    let mut table = Table::new(vec![
+        "ops".to_owned(),
+        "sites".to_owned(),
+        "mean ratio".to_owned(),
+        "max ratio".to_owned(),
+        "bound 2d+1".to_owned(),
+        "solved".to_owned(),
+    ]);
+    for (ops_n, sites) in [(5usize, 3usize), (7, 4), (9, 3)] {
+        let sys = SystemSpec::homogeneous(sites);
+        let model = OverlapModel::new(0.5).unwrap();
+        let (mut sum, mut max, mut solved) = (0.0f64, 0.0f64, 0usize);
+        for t in 0..trials {
+            let ops = independent_ops(ops_n, cfg.seed.wrapping_add(1000 + t as u64));
+            // Theorem 5.1(a) fixes the parallelization: small explicit
+            // degrees keep the exact search tractable.
+            let with_degrees: Vec<_> = ops
+                .into_iter()
+                .enumerate()
+                .map(|(i, o)| {
+                    let n = (1 + i % 2).min(sites);
+                    (o, n)
+                })
+                .collect();
+            let schedule = mrs_core::list::schedule_with_degrees(
+                with_degrees,
+                &sys,
+                &comm,
+                mrs_core::list::ListOrder::LongestFirst,
+            )
+            .unwrap();
+            let heuristic = schedule.makespan(&sys, &model);
+            if let Some(opt) = optimal_pack(&schedule.ops, &sys, &model, 50_000_000).unwrap() {
+                let r = heuristic / opt.makespan;
+                sum += r;
+                max = max.max(r);
+                solved += 1;
+            }
+        }
+        table.push_row(vec![
+            ops_n.to_string(),
+            sites.to_string(),
+            ratio(sum / solved.max(1) as f64),
+            ratio(max),
+            "7.000".to_owned(),
+            format!("{solved}/{trials}"),
+        ]);
+    }
+    Report {
+        id: "optgap",
+        title: "X4: OperatorSchedule vs true optimum (branch and bound)".into(),
+        params: format!("f=0.7, epsilon=0.5, {trials} trials per configuration"),
+        table,
+        notes: vec![
+            "Theorem 5.1(a) guarantees ratio <= 2d+1 = 7 for d = 3; measured ratios \
+             are expected to hover near 1, confirming the bound is pessimistic."
+                .into(),
+        ],
+    }
+}
+
+/// X5: simulator validation — analytic Equation (3) vs the fluid
+/// simulator under EqualFinish (must agree) and FairShare (may exceed).
+pub fn simcheck(cfg: &ExpConfig) -> Report {
+    let eps = 0.5;
+    let f = 0.7;
+    let cost = CostModel::paper_defaults();
+    let comm = cost.params().comm_model();
+    let model = OverlapModel::new(eps).unwrap();
+    let joins = if cfg.fast { 10 } else { 30 };
+    let s = suite(joins, cfg.queries_per_size(), cfg.seed);
+
+    let mut table = Table::new(vec![
+        "sites".to_owned(),
+        "analytic".to_owned(),
+        "sim EqualFinish".to_owned(),
+        "max |rel err|".to_owned(),
+        "sim FairShare".to_owned(),
+        "sim overhead 0.3".to_owned(),
+    ]);
+    for sites in [20usize, 80] {
+        let sys = SystemSpec::homogeneous(sites);
+        let (mut analytic, mut equal, mut fair, mut ovh) = (0.0f64, 0.0, 0.0, 0.0);
+        let mut max_err = 0.0f64;
+        for q in &s.queries {
+            let problem = query_problem(q, &cost);
+            let result = tree_schedule(&problem, f, &sys, &comm, &model).unwrap();
+            analytic += result.response_time;
+            let mut eq_total = 0.0;
+            for phase in &result.phases {
+                let sim = simulate_phase(&phase.schedule, &sys, &model, &SimConfig::default());
+                eq_total += sim.makespan;
+                let err = (sim.makespan - phase.makespan).abs() / phase.makespan.max(1e-12);
+                max_err = max_err.max(err);
+            }
+            equal += eq_total;
+            let fair_cfg = SimConfig {
+                policy: SharingPolicy::FairShare,
+                timeshare_overhead: 0.0,
+            };
+            let ovh_cfg = SimConfig {
+                policy: SharingPolicy::EqualFinish,
+                timeshare_overhead: 0.3,
+            };
+            fair += result
+                .phases
+                .iter()
+                .map(|p| simulate_phase(&p.schedule, &sys, &model, &fair_cfg).makespan)
+                .sum::<f64>();
+            ovh += result
+                .phases
+                .iter()
+                .map(|p| simulate_phase(&p.schedule, &sys, &model, &ovh_cfg).makespan)
+                .sum::<f64>();
+        }
+        let n = s.queries.len() as f64;
+        table.push_row(vec![
+            sites.to_string(),
+            secs(analytic / n),
+            secs(equal / n),
+            format!("{max_err:.2e}"),
+            secs(fair / n),
+            secs(ovh / n),
+        ]);
+    }
+    Report {
+        id: "simcheck",
+        title: "X5: Discrete-event simulator vs analytic model (Equations 2-3)".into(),
+        params: format!("{joins}-join queries x{}, epsilon={eps}, f={f}", s.queries.len()),
+        table,
+        notes: vec![
+            "Under assumptions A2/A3 the EqualFinish discipline must reproduce the \
+             analytic makespan exactly (relative error ~1e-15). FairShare and non-zero \
+             time-sharing overhead are Section 8 relaxations and can only be slower."
+                .into(),
+        ],
+    }
+}
+
+/// X6: execution skew (violating EA1): the schedule is planned assuming a
+/// perfect split, then evaluated with Zipf-skewed clone vectors.
+pub fn skew(cfg: &ExpConfig) -> Report {
+    let eps = 0.5;
+    let f = 0.7;
+    let cost = CostModel::paper_defaults();
+    let comm = cost.params().comm_model();
+    let model = OverlapModel::new(eps).unwrap();
+    let joins = if cfg.fast { 10 } else { 30 };
+    let sys = SystemSpec::homogeneous(40);
+    let s = suite(joins, cfg.queries_per_size(), cfg.seed);
+
+    let thetas = [0.0, 0.3, 0.6, 1.0];
+    let mut headers = vec!["theta".to_owned(), "planned".to_owned(), "actual".to_owned()];
+    headers.push("degradation".to_owned());
+    let mut table = Table::new(headers);
+    for &theta in &thetas {
+        let (mut planned, mut actual) = (0.0f64, 0.0f64);
+        for q in &s.queries {
+            let problem = query_problem(q, &cost);
+            let result = tree_schedule(&problem, f, &sys, &comm, &model).unwrap();
+            planned += result.response_time;
+            // Re-cost every phase with skewed partitioning, keeping the
+            // planner's placement decisions.
+            for phase in &result.phases {
+                let skewed_ops: Vec<ScheduledOperator> = phase
+                    .schedule
+                    .ops
+                    .iter()
+                    .map(|sop| {
+                        let strategy: PartitionStrategy = zipf_partition(sop.degree, theta);
+                        ScheduledOperator::with_strategy(
+                            sop.spec.clone(),
+                            sop.degree,
+                            &comm,
+                            &sys.site,
+                            &strategy,
+                        )
+                    })
+                    .collect();
+                let skewed = PhaseSchedule {
+                    ops: skewed_ops,
+                    assignment: phase.schedule.assignment.clone(),
+                };
+                actual += skewed.makespan(&sys, &model);
+            }
+        }
+        let n = s.queries.len() as f64;
+        table.push_row(vec![
+            format!("{theta:.1}"),
+            secs(planned / n),
+            secs(actual / n),
+            ratio(actual / planned),
+        ]);
+    }
+    Report {
+        id: "skew",
+        title: "X6: Execution skew (EA1 relaxed): planned vs skew-afflicted response time"
+            .into(),
+        params: format!(
+            "{joins}-join queries x{}, P=40, epsilon={eps}, f={f}, Zipf(theta) splits",
+            s.queries.len()
+        ),
+        table,
+        notes: vec![
+            "theta=0 reproduces the planned schedule exactly; growing skew concentrates \
+             each operator's work on its first clones, degrading the realized response \
+             time — the paper's Section 8 motivation for skew-aware extensions."
+                .into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_cfg() -> ExpConfig {
+        ExpConfig { seed: 11, fast: true }
+    }
+
+    #[test]
+    fn malleable_report_ratios_bounded() {
+        let r = malleable(&fast_cfg());
+        let mut checked = 0;
+        for row in &r.table.rows {
+            if row[0].starts_with("[query") {
+                // Full-plan comparison rows carry no LB ratio.
+                continue;
+            }
+            let rr: f64 = row[5].parse().unwrap();
+            assert!((1.0 - 1e-9..=7.0).contains(&rr), "malleable/LB out of range: {rr}");
+            checked += 1;
+        }
+        assert!(checked >= 3);
+    }
+
+    #[test]
+    fn optgap_ratios_within_theorem() {
+        let r = optgap(&fast_cfg());
+        for row in &r.table.rows {
+            let max_ratio: f64 = row[3].parse().unwrap();
+            assert!(max_ratio <= 7.0 + 1e-9, "Theorem 5.1 violated: {max_ratio}");
+            assert!(max_ratio >= 1.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn simcheck_equalfinish_matches() {
+        let r = simcheck(&fast_cfg());
+        for row in &r.table.rows {
+            let err: f64 = row[3].parse().unwrap();
+            assert!(err < 1e-6, "simulator must match the analytic model, err={err}");
+        }
+    }
+
+    #[test]
+    fn skew_degrades_monotonically() {
+        let r = skew(&fast_cfg());
+        let degradations: Vec<f64> = r
+            .table
+            .rows
+            .iter()
+            .map(|row| row[3].parse().unwrap())
+            .collect();
+        assert!((degradations[0] - 1.0).abs() < 1e-6, "theta=0 must be exact");
+        assert!(
+            degradations.last().unwrap() > &degradations[0],
+            "skew should hurt: {degradations:?}"
+        );
+    }
+}

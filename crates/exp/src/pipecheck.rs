@@ -1,0 +1,114 @@
+//! X8 — how much does assumption A3 hide? Analytic (free-running) phases
+//! vs tightly coupled, unbuffered pipelines in the simulator.
+//!
+//! The paper's Equation (2) assumes every operator of a pipeline makes
+//! progress independently (A3: uniform resource usage). The pipelined
+//! simulator instead locks each consumer's progress rate to its live
+//! producers'. Reality — bounded buffers — sits between the two; this
+//! experiment measures the bracket's width on the paper's workloads.
+
+use crate::config::ExpConfig;
+use crate::report::Report;
+
+use crate::tablefmt::{ratio, secs, Table};
+use mrs_cost::prelude::{problem_from_optree, CostModel, ScanPlacement};
+use mrs_plan::cardinality::KeyJoinMax;
+use mrs_plan::optree::OperatorTree;
+use mrs_sim::prelude::{simulate_phase, simulate_phase_pipelined, SimConfig};
+use mrs_workload::suite::suite;
+use mrs_core::model::OverlapModel;
+use mrs_core::operator::OperatorId;
+use mrs_core::resource::SystemSpec;
+use mrs_core::tree::tree_schedule;
+
+/// Runs the pipeline-coupling experiment.
+pub fn pipecheck(cfg: &ExpConfig) -> Report {
+    let eps = 0.5;
+    let f = 0.7;
+    let cost = CostModel::paper_defaults();
+    let comm = cost.params().comm_model();
+    let model = OverlapModel::new(eps).unwrap();
+    let joins = if cfg.fast { 10 } else { 30 };
+    let s = suite(joins, cfg.queries_per_size(), cfg.seed);
+
+    let mut table = Table::new(vec![
+        "sites".to_owned(),
+        "analytic (A3)".to_owned(),
+        "sim free-running".to_owned(),
+        "sim tight pipeline".to_owned(),
+        "tight/analytic".to_owned(),
+    ]);
+    for sites in [20usize, 80] {
+        let sys = SystemSpec::homogeneous(sites);
+        let (mut analytic, mut free, mut tight) = (0.0f64, 0.0f64, 0.0f64);
+        for q in &s.queries {
+            let annotated = q.plan.annotate(&q.catalog, &KeyJoinMax);
+            let optree = OperatorTree::expand(&annotated);
+            let edges: Vec<(OperatorId, OperatorId)> = optree.pipeline_edges().collect();
+            let problem =
+                problem_from_optree(&optree, &cost, &ScanPlacement::Floating).unwrap();
+            let result = tree_schedule(&problem, f, &sys, &comm, &model).unwrap();
+            analytic += result.response_time;
+            for phase in &result.phases {
+                free += simulate_phase(&phase.schedule, &sys, &model, &SimConfig::default())
+                    .makespan;
+                tight += simulate_phase_pipelined(
+                    &phase.schedule,
+                    &edges,
+                    &sys,
+                    &model,
+                    &SimConfig::default(),
+                )
+                .makespan;
+            }
+        }
+        let n = s.queries.len() as f64;
+        table.push_row(vec![
+            sites.to_string(),
+            secs(analytic / n),
+            secs(free / n),
+            secs(tight / n),
+            ratio(tight / analytic),
+        ]);
+    }
+    Report {
+        id: "pipecheck",
+        title: "X8: Pipeline coupling vs assumption A3 (free-running pipelines)".into(),
+        params: format!(
+            "{joins}-join queries x{}, epsilon={eps}, f={f}; tight = unbuffered \
+             producer-paced pipelines",
+            s.queries.len()
+        ),
+        table,
+        notes: vec![
+            "Free-running must equal the analytic model (A3); the tight-pipeline figure \
+             is a pessimistic bound (no buffering, one-pass throttling). Their ratio \
+             brackets how much schedule quality depends on assumption A3."
+                .into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipecheck_brackets_hold() {
+        let cfg = ExpConfig { seed: 4, fast: true };
+        let r = pipecheck(&cfg);
+        for row in &r.table.rows {
+            let analytic: f64 = row[1].parse().unwrap();
+            let free: f64 = row[2].parse().unwrap();
+            let tight: f64 = row[3].parse().unwrap();
+            assert!(
+                (free - analytic).abs() <= 0.01 * analytic,
+                "free-running must match analytic: {free} vs {analytic}"
+            );
+            assert!(
+                tight >= free - 0.01 * free,
+                "tight coupling can only slow down: {tight} vs {free}"
+            );
+        }
+    }
+}

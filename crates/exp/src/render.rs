@@ -1,0 +1,168 @@
+//! Plain-text rendering of schedules: per-site resource-load heatmaps and
+//! a phase-by-phase summary — handy in examples and when debugging
+//! packings.
+
+use mrs_core::model::ResponseModel;
+use mrs_core::resource::SystemSpec;
+use mrs_core::schedule::PhaseSchedule;
+use mrs_core::tree::TreeScheduleResult;
+use std::fmt::Write as _;
+
+/// Renders one phase as a per-site load heatmap: one row per (used)
+/// site, one column per resource dimension, each cell a bar scaled to
+/// the phase's maximum single-resource load plus the numeric value.
+pub fn phase_heatmap<M: ResponseModel>(
+    schedule: &PhaseSchedule,
+    sys: &SystemSpec,
+    model: &M,
+) -> String {
+    const BAR: usize = 20;
+    let loads = schedule.site_loads(sys);
+    let times = schedule.site_times(sys, model);
+    let peak = loads
+        .iter()
+        .flat_map(|l| l.components().iter().copied())
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+
+    let mut out = String::new();
+    let _ = write!(out, "{:>5} ", "site");
+    for kind in sys.site.kinds() {
+        let _ = write!(out, "| {:^width$} ", kind.to_string(), width = BAR + 8);
+    }
+    let _ = writeln!(out, "| T_site");
+    for (j, load) in loads.iter().enumerate() {
+        if load.is_zero() {
+            continue;
+        }
+        let _ = write!(out, "{:>5} ", format!("s{j}"));
+        for k in 0..sys.dim() {
+            let frac = (load[k] / peak).clamp(0.0, 1.0);
+            let filled = (frac * BAR as f64).round() as usize;
+            let bar: String = "#".repeat(filled) + &".".repeat(BAR - filled);
+            let _ = write!(out, "| {bar} {:>6.2} ", load[k]);
+        }
+        let _ = writeln!(out, "| {:>6.2}", times[j]);
+    }
+    out
+}
+
+/// Renders a whole TREESCHEDULE result as a compact textual report:
+/// phase summaries plus the heatmap of the dominant phase.
+pub fn tree_report<M: ResponseModel>(
+    result: &TreeScheduleResult,
+    sys: &SystemSpec,
+    model: &M,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "schedule: {} phases, total response time {:.2}s",
+        result.phases.len(),
+        result.response_time
+    );
+    for phase in &result.phases {
+        let degrees: Vec<String> = phase
+            .schedule
+            .ops
+            .iter()
+            .map(|o| format!("{}x{}", o.spec.kind, o.degree))
+            .collect();
+        let _ = writeln!(
+            out,
+            "  level {:>2}: makespan {:>8.2}s  congestion {:>8.2}s  ops [{}]",
+            phase.level,
+            phase.makespan,
+            phase.schedule.max_congestion(sys),
+            degrees.join(", ")
+        );
+    }
+    if let Some(busiest) = result
+        .phases
+        .iter()
+        .max_by(|a, b| a.makespan.total_cmp(&b.makespan))
+    {
+        let _ = writeln!(out, "\ndominant phase (level {}):", busiest.level);
+        out.push_str(&phase_heatmap(&busiest.schedule, sys, model));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrs_core::comm::CommModel;
+    use mrs_core::list::operator_schedule;
+    use mrs_core::model::OverlapModel;
+    use mrs_core::operator::{OperatorId, OperatorKind, OperatorSpec};
+    use mrs_core::tasks::TaskGraph;
+    use mrs_core::tree::{tree_schedule, TreeProblem};
+    use mrs_core::vector::WorkVector;
+
+    fn schedule() -> (PhaseSchedule, SystemSpec, OverlapModel) {
+        let sys = SystemSpec::homogeneous(4);
+        let comm = CommModel::paper_defaults();
+        let model = OverlapModel::new(0.5).unwrap();
+        let ops: Vec<_> = (0..3)
+            .map(|i| {
+                OperatorSpec::floating(
+                    OperatorId(i),
+                    OperatorKind::Scan,
+                    WorkVector::from_slice(&[1.0 + i as f64, 2.0, 0.0]),
+                    100_000.0,
+                )
+            })
+            .collect();
+        let s = operator_schedule(ops, 0.7, &sys, &comm, &model).unwrap();
+        (s, sys, model)
+    }
+
+    #[test]
+    fn heatmap_mentions_resources_and_sites() {
+        let (s, sys, model) = schedule();
+        let text = phase_heatmap(&s, &sys, &model);
+        assert!(text.contains("cpu"));
+        assert!(text.contains("disk"));
+        assert!(text.contains("net"));
+        assert!(text.contains("s0"));
+        assert!(text.contains('#'), "bars should be drawn");
+        assert!(text.contains("T_site"));
+    }
+
+    #[test]
+    fn tree_report_lists_phases() {
+        let sys = SystemSpec::homogeneous(6);
+        let comm = CommModel::paper_defaults();
+        let model = OverlapModel::new(0.5).unwrap();
+        let ops: Vec<_> = (0..4)
+            .map(|i| {
+                OperatorSpec::floating(
+                    OperatorId(i),
+                    OperatorKind::Other,
+                    WorkVector::from_slice(&[2.0, 1.0, 0.0]),
+                    50_000.0,
+                )
+            })
+            .collect();
+        let ids: Vec<_> = (0..4).map(OperatorId).collect();
+        let problem = TreeProblem {
+            ops,
+            tasks: TaskGraph::single_task(ids),
+            bindings: vec![],
+        };
+        let r = tree_schedule(&problem, 0.7, &sys, &comm, &model).unwrap();
+        let text = tree_report(&r, &sys, &model);
+        assert!(text.contains("total response time"));
+        assert!(text.contains("level  0"));
+        assert!(text.contains("dominant phase"));
+    }
+
+    #[test]
+    fn empty_sites_omitted() {
+        let (s, sys, model) = schedule();
+        let text = phase_heatmap(&s, &sys, &model);
+        // 3 single-clone ops on 4 sites: at most 3 site rows + header.
+        let rows = text.lines().count();
+        assert!(rows <= 4 + 1, "unused sites must not be rendered: {rows} rows");
+    }
+}

@@ -1,0 +1,82 @@
+//! Experiment reports: a titled results table plus interpretation notes,
+//! renderable as text or CSV.
+
+use crate::tablefmt::Table;
+use std::io::Write as _;
+use std::path::Path;
+
+/// The output of one experiment run.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Stable identifier (`fig5a`, `table2`, ...), also the CSV filename.
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: String,
+    /// One-line parameter summary.
+    pub params: String,
+    /// The results.
+    pub table: Table,
+    /// Interpretation notes (expected shapes, caveats).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Renders the full report as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        out.push_str(&format!("   {}\n\n", self.params));
+        out.push_str(&self.table.render());
+        for note in &self.notes {
+            out.push_str(&format!("\nNote: {note}\n"));
+        }
+        out
+    }
+
+    /// Writes the table as `<dir>/<id>.csv`.
+    ///
+    /// # Errors
+    /// Returns I/O errors from directory creation or writing.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.id));
+        let mut file = std::fs::File::create(&path)?;
+        file.write_all(self.table.to_csv().as_bytes())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut table = Table::new(vec!["x", "y"]);
+        table.push_row(vec!["1", "2"]);
+        Report {
+            id: "sample",
+            title: "Sample".into(),
+            params: "p=1".into(),
+            table,
+            notes: vec!["a note".into()],
+        }
+    }
+
+    #[test]
+    fn render_contains_everything() {
+        let s = sample().render();
+        assert!(s.contains("== Sample =="));
+        assert!(s.contains("p=1"));
+        assert!(s.contains("a note"));
+        assert!(s.contains('1'));
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let dir = std::env::temp_dir().join(format!("mrs-exp-test-{}", std::process::id()));
+        let path = sample().write_csv(&dir).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("x,y\n"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,398 @@
+//! Exact branch-and-bound solver for the d-dimensional bin-design problem
+//! of Section 5.3 — small instances only.
+//!
+//! Given operators with *fixed* degrees of parallelism and clone vectors,
+//! the schedule's response time (Equation 3) is
+//! `max(h, max_j l(work(s_j)))` with `h = max_i T_par(op_i, N_i)` fixed,
+//! so optimizing the schedule means minimizing the maximum resource
+//! congestion. The solver enumerates clone→site assignments with:
+//!
+//! * LPT ordering (big clones first — strong early pruning),
+//! * bound pruning against the incumbent (seeded with the list heuristic's
+//!   solution, so the search never does worse than OPERATORSCHEDULE),
+//! * empty-site symmetry breaking (all empty sites are interchangeable),
+//! * the `l(S)/P` work lower bound for early termination, and
+//! * early exit once congestion no longer dominates `h`.
+//!
+//! Used by the X4 experiment and the Theorem 5.1 empirical-verification
+//! tests. Exponential in the clone count — intended for ≲ 20 clones.
+
+use mrs_core::error::ScheduleError;
+use mrs_core::list::{pack_clones, ListOrder};
+use mrs_core::model::ResponseModel;
+use mrs_core::operator::Placement;
+use mrs_core::resource::{SiteId, SystemSpec};
+use mrs_core::schedule::{Assignment, PhaseSchedule, ScheduledOperator};
+use mrs_core::vector::WorkVector;
+
+/// An exact packing.
+#[derive(Clone, Debug)]
+pub struct OptimalPacking {
+    /// The optimal clone→site assignment.
+    pub assignment: Assignment,
+    /// Optimal `max_j l(work(s_j))`.
+    pub congestion: f64,
+    /// Optimal response time `max(h, congestion)`.
+    pub makespan: f64,
+    /// Search-tree nodes explored.
+    pub nodes: u64,
+}
+
+struct Search<'a> {
+    ops: &'a [ScheduledOperator],
+    clones: Vec<(usize, usize)>, // (op, clone) in LPT order
+    sites: usize,
+    loads: Vec<WorkVector>,
+    lengths: Vec<f64>,
+    occupied: Vec<Vec<bool>>, // op × site
+    current: Vec<SiteId>,     // per clone (search order)
+    best: Vec<SiteId>,
+    best_congestion: f64,
+    floor: f64, // l(S)/P ∨ max clone length: cannot do better
+    nodes: u64,
+    node_limit: u64,
+}
+
+impl Search<'_> {
+    fn dfs(&mut self, idx: usize, congestion: f64) -> bool {
+        if self.nodes >= self.node_limit {
+            return false; // abort: limit exhausted
+        }
+        self.nodes += 1;
+        if congestion >= self.best_congestion {
+            return true; // prune
+        }
+        if idx == self.clones.len() {
+            self.best_congestion = congestion;
+            self.best.copy_from_slice(&self.current);
+            return true;
+        }
+        let (op, k) = self.clones[idx];
+        let w = &self.ops[op].clones[k].clone();
+        let mut tried_empty = false;
+        for s in 0..self.sites {
+            if self.occupied[op][s] {
+                continue;
+            }
+            let empty = self.lengths[s] == 0.0;
+            if empty {
+                // All empty sites are interchangeable: try only the first.
+                if tried_empty {
+                    continue;
+                }
+                tried_empty = true;
+            }
+            self.loads[s].accumulate(w);
+            let new_len = self.loads[s].length();
+            let old_len = self.lengths[s];
+            self.lengths[s] = new_len;
+            self.occupied[op][s] = true;
+            self.current[idx] = SiteId(s);
+
+            let ok = if new_len.max(congestion) < self.best_congestion {
+                self.dfs(idx + 1, congestion.max(new_len))
+            } else {
+                true // pruned branch
+            };
+
+            self.occupied[op][s] = false;
+            self.lengths[s] = old_len;
+            self.loads[s].remove(w);
+            if !ok {
+                return false;
+            }
+            // Optimality floor reached: nothing better exists.
+            if self.best_congestion <= self.floor * (1.0 + 1e-12) {
+                return true;
+            }
+        }
+        true
+    }
+}
+
+/// Finds the congestion-optimal packing of `ops` (fixed degrees, fixed
+/// clone vectors) on `sys`, or `None` when `node_limit` search nodes were
+/// not enough to prove optimality.
+///
+/// # Errors
+/// Propagates infeasibility (degree > P, malformed rooted homes) from the
+/// list heuristic used to seed the incumbent.
+pub fn optimal_pack<M: ResponseModel>(
+    ops: &[ScheduledOperator],
+    sys: &SystemSpec,
+    model: &M,
+    node_limit: u64,
+) -> Result<Option<OptimalPacking>, ScheduleError> {
+    // Seed the incumbent with the list heuristic.
+    let seed = pack_clones(ops, sys, ListOrder::LongestFirst)?;
+    let seed_schedule = PhaseSchedule {
+        ops: ops.to_vec(),
+        assignment: seed.clone(),
+    };
+    let seed_congestion = seed_schedule.max_congestion(sys);
+
+    // Pre-place rooted clones; collect floating clones in LPT order.
+    let mut loads = vec![WorkVector::zeros(sys.dim()); sys.sites];
+    let mut occupied = vec![vec![false; sys.sites]; ops.len()];
+    let mut clones: Vec<(usize, usize)> = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        match &op.spec.placement {
+            Placement::Rooted(homes) => {
+                for (k, &site) in homes.iter().enumerate() {
+                    loads[site.0].accumulate(&op.clones[k]);
+                    occupied[i][site.0] = true;
+                }
+            }
+            Placement::Floating => {
+                for k in 0..op.degree {
+                    clones.push((i, k));
+                }
+            }
+        }
+    }
+    clones.sort_by(|a, b| {
+        let la = ops[a.0].clones[a.1].length();
+        let lb = ops[b.0].clones[b.1].length();
+        lb.total_cmp(&la).then(a.cmp(b))
+    });
+
+    let lengths: Vec<f64> = loads.iter().map(WorkVector::length).collect();
+    let rooted_congestion = lengths.iter().copied().fold(0.0, f64::max);
+    let total = WorkVector::vector_sum(
+        ops.iter()
+            .map(|o| o.total_vector())
+            .collect::<Vec<_>>()
+            .iter(),
+    )
+    .map_or(0.0, |v| v.length());
+    let max_clone_len = clones
+        .first()
+        .map_or(0.0, |&(i, k)| ops[i].clones[k].length());
+    let floor = (total / sys.sites as f64)
+        .max(max_clone_len)
+        .max(rooted_congestion);
+
+    let n = clones.len();
+    let mut search = Search {
+        ops,
+        clones,
+        sites: sys.sites,
+        loads,
+        lengths,
+        occupied,
+        current: vec![SiteId(0); n],
+        best: vec![SiteId(0); n],
+        best_congestion: seed_congestion * (1.0 + 1e-12) + 1e-15,
+        floor,
+        nodes: 0,
+        node_limit,
+    };
+    let complete = search.dfs(0, rooted_congestion);
+    if !complete {
+        return Ok(None);
+    }
+
+    // Materialize the best assignment (falling back to the seed when the
+    // search never improved on it).
+    let mut assignment = seed;
+    let improved = search.best_congestion < seed_congestion;
+    if improved {
+        for (idx, &(i, k)) in search.clones.iter().enumerate() {
+            assignment.homes[i][k] = search.best[idx];
+        }
+    }
+    let schedule = PhaseSchedule {
+        ops: ops.to_vec(),
+        assignment: assignment.clone(),
+    };
+    debug_assert!(schedule.validate(sys).is_ok());
+    let congestion = schedule.max_congestion(sys);
+    let h = ops.iter().map(|o| o.t_par(model)).fold(0.0, f64::max);
+    Ok(Some(OptimalPacking {
+        assignment,
+        congestion,
+        makespan: h.max(congestion),
+        nodes: search.nodes,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrs_core::comm::CommModel;
+    use mrs_core::model::OverlapModel;
+    use mrs_core::operator::{OperatorId, OperatorKind, OperatorSpec};
+
+    fn sop(id: usize, w: &[f64], degree: usize, sys: &SystemSpec) -> ScheduledOperator {
+        let comm = CommModel::new(1e-9, 0.0).unwrap();
+        ScheduledOperator::even(
+            OperatorSpec::floating(
+                OperatorId(id),
+                OperatorKind::Other,
+                WorkVector::from_slice(w),
+                0.0,
+            ),
+            degree,
+            &comm,
+            &sys.site,
+        )
+    }
+
+    #[test]
+    fn trivial_single_clone() {
+        let sys = SystemSpec::homogeneous(3);
+        let model = OverlapModel::perfect();
+        let ops = vec![sop(0, &[2.0, 0.0, 0.0], 1, &sys)];
+        let r = optimal_pack(&ops, &sys, &model, 10_000).unwrap().unwrap();
+        assert!((r.congestion - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn complementary_vectors_pack_perfectly() {
+        // Two unit vectors on different dimensions: optimal congestion on
+        // one site is 1.0 (vs 2.0 for any scalar-blind stacking on the
+        // same dimension).
+        let sys = SystemSpec::homogeneous(1);
+        let model = OverlapModel::perfect();
+        let ops = vec![
+            sop(0, &[1.0, 0.0, 0.0], 1, &sys),
+            sop(1, &[0.0, 1.0, 0.0], 1, &sys),
+        ];
+        let r = optimal_pack(&ops, &sys, &model, 10_000).unwrap().unwrap();
+        assert!((r.congestion - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn finds_better_than_greedy_on_adversarial_case() {
+        // Classic LPT trap (1-D): sizes {3,3,2,2,2} on 2 bins. LPT gives
+        // 3+2, 3+2 → then 2 lands on either → 7; optimal is 3+3 | 2+2+2 = 6.
+        let sys = SystemSpec::homogeneous(2);
+        let model = OverlapModel::perfect();
+        let sizes = [3.0, 3.0, 2.0, 2.0, 2.0];
+        let ops: Vec<_> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| sop(i, &[s, 0.0, 0.0], 1, &sys))
+            .collect();
+        let r = optimal_pack(&ops, &sys, &model, 1_000_000).unwrap().unwrap();
+        assert!((r.congestion - 6.0).abs() < 1e-6, "got {}", r.congestion);
+    }
+
+    #[test]
+    fn never_worse_than_list_heuristic() {
+        let sys = SystemSpec::homogeneous(3);
+        let model = OverlapModel::new(0.5).unwrap();
+        let ops: Vec<_> = (0..6)
+            .map(|i| sop(i, &[1.0 + (i % 3) as f64, (i % 2) as f64, 0.5], 1, &sys))
+            .collect();
+        let heuristic = pack_clones(&ops, &sys, ListOrder::LongestFirst).unwrap();
+        let hc = PhaseSchedule {
+            ops: ops.clone(),
+            assignment: heuristic,
+        }
+        .max_congestion(&sys);
+        let r = optimal_pack(&ops, &sys, &model, 10_000_000).unwrap().unwrap();
+        assert!(r.congestion <= hc + 1e-9);
+    }
+
+    #[test]
+    fn respects_clone_distinctness() {
+        let sys = SystemSpec::homogeneous(2);
+        let model = OverlapModel::perfect();
+        let ops = vec![sop(0, &[2.0, 0.0, 0.0], 2, &sys)];
+        let r = optimal_pack(&ops, &sys, &model, 10_000).unwrap().unwrap();
+        assert_ne!(r.assignment.homes[0][0], r.assignment.homes[0][1]);
+    }
+
+    #[test]
+    fn rooted_clones_stay_put() {
+        let sys = SystemSpec::homogeneous(3);
+        let model = OverlapModel::perfect();
+        let comm = CommModel::new(1e-9, 0.0).unwrap();
+        let rooted = ScheduledOperator::even(
+            OperatorSpec::rooted(
+                OperatorId(0),
+                OperatorKind::Probe,
+                WorkVector::from_slice(&[5.0, 0.0, 0.0]),
+                0.0,
+                vec![SiteId(2)],
+            ),
+            1,
+            &comm,
+            &sys.site,
+        );
+        let ops = vec![rooted, sop(1, &[1.0, 0.0, 0.0], 1, &sys)];
+        let r = optimal_pack(&ops, &sys, &model, 10_000).unwrap().unwrap();
+        assert_eq!(r.assignment.homes[0], vec![SiteId(2)]);
+        assert_ne!(r.assignment.homes[1][0], SiteId(2));
+    }
+
+    #[test]
+    fn node_limit_returns_none() {
+        let sys = SystemSpec::homogeneous(4);
+        let model = OverlapModel::perfect();
+        let ops: Vec<_> = (0..12)
+            .map(|i| sop(i, &[1.0 + (i as f64) * 0.1, 0.3, 0.2], 1, &sys))
+            .collect();
+        let r = optimal_pack(&ops, &sys, &model, 3).unwrap();
+        assert!(r.is_none(), "3 nodes cannot prove optimality for 12 clones");
+    }
+
+    #[test]
+    fn makespan_includes_h() {
+        // One giant clone fixes h regardless of packing.
+        let sys = SystemSpec::homogeneous(4);
+        let model = OverlapModel::perfect();
+        let ops = vec![
+            sop(0, &[10.0, 0.0, 0.0], 1, &sys),
+            sop(1, &[1.0, 0.0, 0.0], 1, &sys),
+        ];
+        let r = optimal_pack(&ops, &sys, &model, 10_000).unwrap().unwrap();
+        assert!((r.makespan - 10.0).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use mrs_core::comm::CommModel;
+    use mrs_core::model::OverlapModel;
+    use mrs_core::operator::{OperatorId, OperatorKind, OperatorSpec};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// Theorem 5.1(a) verified against the *true* optimum: the list
+        /// heuristic is within (2d+1)× of optimal congestion-or-h.
+        #[test]
+        fn heuristic_within_ratio_of_true_optimum(
+            raw in proptest::collection::vec(
+                (proptest::collection::vec(0.0f64..10.0, 3), 1usize..3),
+                1..7,
+            ),
+            sites in 1usize..5,
+        ) {
+            let sys = SystemSpec::homogeneous(sites);
+            let model = OverlapModel::new(0.5).unwrap();
+            let comm = CommModel::new(1e-9, 0.0).unwrap();
+            let ops: Vec<_> = raw.into_iter().enumerate().map(|(i, (mut w, deg))| {
+                w[0] += 1e-3;
+                ScheduledOperator::even(
+                    OperatorSpec::floating(
+                        OperatorId(i), OperatorKind::Other, WorkVector::new(w), 0.0,
+                    ),
+                    deg.min(sites),
+                    &comm,
+                    &sys.site,
+                )
+            }).collect();
+            let heuristic = pack_clones(&ops, &sys, ListOrder::LongestFirst).unwrap();
+            let hm = PhaseSchedule { ops: ops.clone(), assignment: heuristic }
+                .makespan(&sys, &model);
+            let opt = optimal_pack(&ops, &sys, &model, 5_000_000).unwrap().unwrap();
+            let ratio = 2.0 * sys.dim() as f64 + 1.0;
+            prop_assert!(hm <= ratio * opt.makespan + 1e-9,
+                "heuristic {hm} vs optimal {} exceeds (2d+1)", opt.makespan);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # mrs-opt — exact solvers for small instances
+//!
+//! Branch-and-bound optimal vector packing for the d-dimensional
+//! bin-design problem of Section 5.3. Exponential-time, meant for small
+//! instances: it verifies Theorem 5.1 empirically (the list heuristic's
+//! measured gap to the *true* optimum) and powers the X4 experiment.
+//!
+//! ```
+//! use mrs_opt::prelude::*;
+//! use mrs_core::prelude::*;
+//!
+//! let sys = SystemSpec::homogeneous(2);
+//! let comm = CommModel::new(1e-9, 0.0).unwrap();
+//! let model = OverlapModel::perfect();
+//! let ops: Vec<ScheduledOperator> = (0..4).map(|i| ScheduledOperator::even(
+//!     OperatorSpec::floating(OperatorId(i), OperatorKind::Other,
+//!         WorkVector::from_slice(&[1.0 + i as f64, 0.0, 0.0]), 0.0),
+//!     1, &comm, &sys.site,
+//! )).collect();
+//! let opt = optimal_pack(&ops, &sys, &model, 1_000_000).unwrap().unwrap();
+//! assert!(opt.congestion >= 5.0); // 1+2+3+4 over 2 sites ≥ 5
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bnb;
+
+/// One-stop imports.
+pub mod prelude {
+    pub use crate::bnb::{optimal_pack, OptimalPacking};
+}

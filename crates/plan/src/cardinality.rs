@@ -1,0 +1,90 @@
+//! Join output cardinality models.
+//!
+//! The paper's experiments assume "simple key join operations in which the
+//! size of the result relation is always equal to the size of the largest
+//! of the two join operands" (Section 6.1) — the [`KeyJoinMax`] model.
+//! [`SelectivityJoin`] provides the classic `σ·‖L‖·‖R‖` alternative for
+//! workloads beyond the paper's setup.
+
+/// Estimates the output cardinality of a join from its input
+/// cardinalities.
+pub trait CardinalityModel {
+    /// Output tuples of `outer ⋈ inner`.
+    fn join_output(&self, outer_tuples: f64, inner_tuples: f64) -> f64;
+}
+
+/// The paper's key-join assumption: `‖L ⋈ R‖ = max(‖L‖, ‖R‖)`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KeyJoinMax;
+
+impl CardinalityModel for KeyJoinMax {
+    #[inline]
+    fn join_output(&self, outer_tuples: f64, inner_tuples: f64) -> f64 {
+        outer_tuples.max(inner_tuples)
+    }
+}
+
+/// Independence-assumption join: `‖L ⋈ R‖ = σ·‖L‖·‖R‖`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SelectivityJoin {
+    /// Join selectivity `σ ∈ [0, 1]`.
+    pub selectivity: f64,
+}
+
+impl SelectivityJoin {
+    /// Creates the model.
+    ///
+    /// # Errors
+    /// Returns a message when `σ` is outside `[0, 1]`.
+    pub fn new(selectivity: f64) -> Result<Self, String> {
+        if !(selectivity.is_finite() && (0.0..=1.0).contains(&selectivity)) {
+            return Err(format!("selectivity must be in [0, 1], got {selectivity}"));
+        }
+        Ok(SelectivityJoin { selectivity })
+    }
+}
+
+impl CardinalityModel for SelectivityJoin {
+    #[inline]
+    fn join_output(&self, outer_tuples: f64, inner_tuples: f64) -> f64 {
+        self.selectivity * outer_tuples * inner_tuples
+    }
+}
+
+impl<M: CardinalityModel + ?Sized> CardinalityModel for &M {
+    fn join_output(&self, outer_tuples: f64, inner_tuples: f64) -> f64 {
+        (**self).join_output(outer_tuples, inner_tuples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_join_takes_max() {
+        assert_eq!(KeyJoinMax.join_output(10.0, 25.0), 25.0);
+        assert_eq!(KeyJoinMax.join_output(25.0, 10.0), 25.0);
+        assert_eq!(KeyJoinMax.join_output(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn selectivity_join_multiplies() {
+        let m = SelectivityJoin::new(0.001).unwrap();
+        assert!((m.join_output(1_000.0, 2_000.0) - 2_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn selectivity_bounds_checked() {
+        assert!(SelectivityJoin::new(-0.1).is_err());
+        assert!(SelectivityJoin::new(1.5).is_err());
+        assert!(SelectivityJoin::new(f64::NAN).is_err());
+        assert!(SelectivityJoin::new(1.0).is_ok());
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let m: &dyn CardinalityModel = &KeyJoinMax;
+        assert_eq!(m.join_output(1.0, 2.0), 2.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Graphviz DOT exports of plan, operator, and task trees — handy when
+//! eyeballing generated workloads (Figure 1 of the paper, regenerated).
+
+use crate::decompose::Decomposition;
+use crate::optree::{EdgeKind, OpDetail, OperatorTree};
+use crate::plan::{PlanNode, PlanTree};
+use crate::relation::Catalog;
+use std::fmt::Write as _;
+
+/// Renders an execution plan tree as DOT.
+pub fn plan_dot(plan: &PlanTree, catalog: &Catalog) -> String {
+    let mut out = String::from("digraph plan {\n  rankdir=BT;\n  node [shape=box];\n");
+    for (i, node) in plan.nodes().iter().enumerate() {
+        match node {
+            PlanNode::Scan(r) => {
+                let rel = catalog.get(*r);
+                let _ = writeln!(
+                    out,
+                    "  n{i} [label=\"scan {}\\n{} tuples\"];",
+                    rel.name, rel.tuples
+                );
+            }
+            PlanNode::Join { outer, inner } => {
+                let _ = writeln!(out, "  n{i} [label=\"⋈\"];");
+                let _ = writeln!(out, "  n{} -> n{i} [label=\"outer\"];", outer.0);
+                let _ = writeln!(out, "  n{} -> n{i} [label=\"inner\"];", inner.0);
+            }
+            PlanNode::Unary { kind, input } => {
+                let label = match kind {
+                    crate::plan::UnaryKind::HashAggregate { output_fraction } => {
+                        format!("agg {output_fraction}")
+                    }
+                    crate::plan::UnaryKind::Sort => "sort".to_owned(),
+                };
+                let _ = writeln!(out, "  n{i} [label=\"{label}\"];");
+                let _ = writeln!(out, "  n{} -> n{i};", input.0);
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders an operator tree as DOT; blocking edges are drawn bold, as in
+/// Figure 1(b).
+pub fn optree_dot(tree: &OperatorTree) -> String {
+    let mut out = String::from("digraph optree {\n  rankdir=BT;\n  node [shape=ellipse];\n");
+    for node in tree.nodes() {
+        let label = match &node.detail {
+            OpDetail::Scan { relation, out_tuples } => {
+                format!("scan {relation}\\nout {out_tuples}")
+            }
+            OpDetail::Build { in_tuples, .. } => format!("build\\nin {in_tuples}"),
+            OpDetail::Probe { outer_tuples, out_tuples, .. } => {
+                format!("probe\\nin {outer_tuples} out {out_tuples}")
+            }
+            OpDetail::Aggregate { in_tuples, out_tuples } => {
+                format!("agg\\nin {in_tuples} out {out_tuples}")
+            }
+            OpDetail::Sort { in_tuples } => format!("sort\\nn {in_tuples}"),
+        };
+        let _ = writeln!(out, "  op{} [label=\"{label}\"];", node.id.0);
+        for (src, kind) in &node.inputs {
+            let style = match kind {
+                EdgeKind::Pipeline => "",
+                EdgeKind::Blocking => " [style=bold]",
+            };
+            let _ = writeln!(out, "  op{} -> op{}{style};", src.0, node.id.0);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a decomposed query task tree as DOT (Figure 1(c)).
+pub fn task_dot(decomposition: &Decomposition) -> String {
+    let mut out = String::from("digraph tasks {\n  rankdir=BT;\n  node [shape=box];\n");
+    for (i, node) in decomposition.tasks.nodes().iter().enumerate() {
+        let ops: Vec<String> = node.ops.iter().map(|o| o.to_string()).collect();
+        let _ = writeln!(out, "  t{i} [label=\"T{i}\\n{{{}}}\"];", ops.join(", "));
+        if let Some(parent) = node.parent {
+            let _ = writeln!(out, "  t{i} -> t{} [style=bold];", parent.0);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cardinality::KeyJoinMax;
+    use crate::decompose::decompose;
+
+    fn fixture() -> (PlanTree, Catalog) {
+        let mut c = Catalog::new();
+        let a = c.add_relation("a", 1_000.0);
+        let b = c.add_relation("b", 2_000.0);
+        (PlanTree::left_deep(&[a, b]), c)
+    }
+
+    #[test]
+    fn plan_dot_mentions_relations() {
+        let (p, c) = fixture();
+        let dot = plan_dot(&p, &c);
+        assert!(dot.starts_with("digraph plan"));
+        assert!(dot.contains("scan a"));
+        assert!(dot.contains("scan b"));
+        assert!(dot.contains("outer"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn optree_dot_bolds_blocking_edges() {
+        let (p, c) = fixture();
+        let t = OperatorTree::expand(&p.annotate(&c, &KeyJoinMax));
+        let dot = optree_dot(&t);
+        assert!(dot.contains("style=bold"));
+        assert!(dot.contains("probe"));
+        assert!(dot.contains("build"));
+    }
+
+    #[test]
+    fn task_dot_lists_operators() {
+        let (p, c) = fixture();
+        let t = OperatorTree::expand(&p.annotate(&c, &KeyJoinMax));
+        let d = decompose(&t).unwrap();
+        let dot = task_dot(&d);
+        assert!(dot.contains("T0"));
+        assert!(dot.contains("op0"));
+    }
+}

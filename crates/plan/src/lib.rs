@@ -1,0 +1,49 @@
+//! # mrs-plan — query plan substrate
+//!
+//! Plan-level data structures for the SIGMOD'96 multi-dimensional
+//! scheduling reproduction: base relations and catalogs, bushy execution
+//! plan trees (Figure 1(a)), operator-tree macro-expansion into
+//! scan/build/probe nodes with pipeline and blocking edges (Figure 1(b)),
+//! and query-task decomposition (Figure 1(c)) feeding
+//! [`mrs_core::tree::tree_schedule`].
+//!
+//! ```
+//! use mrs_plan::prelude::*;
+//!
+//! let mut catalog = Catalog::new();
+//! let a = catalog.add_relation("part", 20_000.0);
+//! let b = catalog.add_relation("supplier", 1_000.0);
+//! let c = catalog.add_relation("order", 80_000.0);
+//!
+//! let plan = PlanTree::left_deep(&[a, b, c]);
+//! let annotated = plan.annotate(&catalog, &KeyJoinMax);
+//! let optree = OperatorTree::expand(&annotated);
+//! let decomposition = decompose(&optree).unwrap();
+//!
+//! assert_eq!(optree.joins().len(), 2);
+//! assert_eq!(decomposition.tasks.height(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cardinality;
+pub mod decompose;
+pub mod dot;
+pub mod optimizer;
+pub mod optree;
+pub mod plan;
+pub mod relation;
+
+/// One-stop imports.
+pub mod prelude {
+    pub use crate::cardinality::{CardinalityModel, KeyJoinMax, SelectivityJoin};
+    pub use crate::decompose::{decompose, Decomposition};
+    pub use crate::dot::{optree_dot, plan_dot, task_dot};
+    pub use crate::optimizer::{
+        c_out, optimize_dp, optimize_greedy, OptimizeError, DP_RELATION_LIMIT,
+    };
+    pub use crate::optree::{EdgeKind, OpDetail, OpNode, OperatorTree};
+    pub use crate::plan::{AnnotatedPlan, PlanError, PlanNode, PlanNodeId, PlanTree, UnaryKind};
+    pub use crate::relation::{Catalog, Relation, RelationId};
+}

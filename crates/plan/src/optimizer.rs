@@ -1,0 +1,514 @@
+//! Join-order optimization: the "earlier phase of conventional
+//! centralized query optimization" the paper assumes produced its input
+//! plans (Section 1).
+//!
+//! Given a tree query graph (join predicates over base relations), two
+//! optimizers build a bushy [`PlanTree`]:
+//!
+//! * [`optimize_dp`] — exact Selinger-style dynamic programming over
+//!   connected subgraphs (DPsub), minimizing the cumulative intermediate
+//!   result cardinality (`C_out`). Exponential; limited to graphs of at
+//!   most [`DP_RELATION_LIMIT`] relations.
+//! * [`optimize_greedy`] — greedy minimum-result contraction: repeatedly
+//!   join the two connected components whose join yields the smallest
+//!   result. Near-linear; handles the paper's 50-join queries easily.
+//!
+//! Both orient each join with the smaller input on the inner (build)
+//! side, the standard hash-join heuristic.
+
+use crate::cardinality::CardinalityModel;
+use crate::plan::{PlanNode, PlanNodeId, PlanTree};
+use crate::relation::{Catalog, RelationId};
+use std::collections::HashMap;
+
+/// Maximum relation count accepted by [`optimize_dp`].
+pub const DP_RELATION_LIMIT: usize = 16;
+
+/// Errors raised by the optimizers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OptimizeError {
+    /// The edge list does not connect all the relations it mentions.
+    Disconnected,
+    /// No relations were supplied.
+    Empty,
+    /// [`optimize_dp`] was asked for more relations than it can handle.
+    TooLarge {
+        /// Relations in the query.
+        relations: usize,
+    },
+}
+
+impl std::fmt::Display for OptimizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptimizeError::Disconnected => write!(f, "query graph is not connected"),
+            OptimizeError::Empty => write!(f, "query references no relations"),
+            OptimizeError::TooLarge { relations } => write!(
+                f,
+                "{relations} relations exceed the DP optimizer limit of {DP_RELATION_LIMIT}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OptimizeError {}
+
+/// Distinct relations mentioned by `edges`, in first-appearance order.
+fn relations_of(edges: &[(RelationId, RelationId)]) -> Vec<RelationId> {
+    let mut seen = Vec::new();
+    for (a, b) in edges {
+        if !seen.contains(a) {
+            seen.push(*a);
+        }
+        if !seen.contains(b) {
+            seen.push(*b);
+        }
+    }
+    seen
+}
+
+/// Greedy minimum-result-size contraction over the query graph.
+///
+/// At every step, among all remaining query-graph edges, join the two
+/// components whose estimated join output is smallest (ties: smaller
+/// combined input, then edge order). The larger input becomes the outer
+/// (probe) side.
+///
+/// # Errors
+/// [`OptimizeError::Empty`] for an empty edge list with no relations, and
+/// [`OptimizeError::Disconnected`] when the edges leave several
+/// components.
+pub fn optimize_greedy(
+    catalog: &Catalog,
+    edges: &[(RelationId, RelationId)],
+    model: &impl CardinalityModel,
+) -> Result<PlanTree, OptimizeError> {
+    let rels = relations_of(edges);
+    if rels.is_empty() {
+        return Err(OptimizeError::Empty);
+    }
+    // Component id per relation; each component carries its current plan
+    // node and cardinality.
+    let mut comp_of: HashMap<RelationId, usize> = HashMap::new();
+    let mut nodes: Vec<PlanNode> = Vec::new();
+    let mut comp_node: Vec<PlanNodeId> = Vec::new();
+    let mut comp_card: Vec<f64> = Vec::new();
+    for (i, r) in rels.iter().enumerate() {
+        comp_of.insert(*r, i);
+        nodes.push(PlanNode::Scan(*r));
+        comp_node.push(PlanNodeId(i));
+        comp_card.push(catalog.get(*r).tuples);
+    }
+
+    let mut remaining: Vec<(RelationId, RelationId)> = edges.to_vec();
+    let mut root = comp_node[0];
+    while !remaining.is_empty() {
+        // Pick the cheapest joinable edge.
+        let mut best: Option<(usize, f64, f64)> = None; // (edge idx, out, in-sum)
+        for (e, (a, b)) in remaining.iter().enumerate() {
+            let (ca, cb) = (comp_of[a], comp_of[b]);
+            if ca == cb {
+                continue; // already merged through another predicate
+            }
+            let out = model.join_output(comp_card[ca], comp_card[cb]);
+            let in_sum = comp_card[ca] + comp_card[cb];
+            let better = match best {
+                None => true,
+                Some((_, bo, bi)) => out < bo || (out == bo && in_sum < bi),
+            };
+            if better {
+                best = Some((e, out, in_sum));
+            }
+        }
+        let Some((e, out, _)) = best else {
+            // All remaining edges are internal to one component.
+            remaining.retain(|(a, b)| comp_of[a] != comp_of[b]);
+            if remaining.is_empty() {
+                break;
+            }
+            return Err(OptimizeError::Disconnected);
+        };
+        let (a, b) = remaining.swap_remove(e);
+        let (ca, cb) = (comp_of[&a], comp_of[&b]);
+        // Smaller side builds (inner); larger probes (outer).
+        let (outer_c, inner_c) = if comp_card[ca] >= comp_card[cb] {
+            (ca, cb)
+        } else {
+            (cb, ca)
+        };
+        nodes.push(PlanNode::Join {
+            outer: comp_node[outer_c],
+            inner: comp_node[inner_c],
+        });
+        let join = PlanNodeId(nodes.len() - 1);
+        // Merge component cb into ca (relabel all members of cb).
+        for c in comp_of.values_mut() {
+            if *c == cb {
+                *c = ca;
+            }
+        }
+        comp_node[ca] = join;
+        comp_card[ca] = out;
+        root = join;
+    }
+
+    // Connectivity: all relations must share one component.
+    let first = comp_of[&rels[0]];
+    if rels.iter().any(|r| comp_of[r] != first) {
+        return Err(OptimizeError::Disconnected);
+    }
+    PlanTree::new(nodes, root).map_err(|_| OptimizeError::Disconnected)
+}
+
+/// Exact DP over connected subgraphs minimizing cumulative intermediate
+/// cardinality (`C_out`). Produces an optimal *bushy* plan for tree (or
+/// general) query graphs of at most [`DP_RELATION_LIMIT`] relations.
+///
+/// # Errors
+/// [`OptimizeError::TooLarge`] beyond the limit; [`OptimizeError::Empty`]
+/// / [`OptimizeError::Disconnected`] for malformed inputs.
+pub fn optimize_dp(
+    catalog: &Catalog,
+    edges: &[(RelationId, RelationId)],
+    model: &impl CardinalityModel,
+) -> Result<PlanTree, OptimizeError> {
+    let rels = relations_of(edges);
+    let n = rels.len();
+    if n == 0 {
+        return Err(OptimizeError::Empty);
+    }
+    if n > DP_RELATION_LIMIT {
+        return Err(OptimizeError::TooLarge { relations: n });
+    }
+    let index_of: HashMap<RelationId, usize> = rels
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (*r, i))
+        .collect();
+    // adjacency[i] = bitmask of neighbours.
+    let mut adjacency = vec![0u32; n];
+    for (a, b) in edges {
+        let (ia, ib) = (index_of[a], index_of[b]);
+        adjacency[ia] |= 1 << ib;
+        adjacency[ib] |= 1 << ia;
+    }
+
+    let full: u32 = if n == 32 { u32::MAX } else { (1 << n) - 1 };
+    let connected = |mask: u32| -> bool {
+        // BFS from the lowest set bit.
+        let start = mask.trailing_zeros();
+        let mut seen = 1u32 << start;
+        let mut frontier = seen;
+        while frontier != 0 {
+            let mut next = 0u32;
+            let mut f = frontier;
+            while f != 0 {
+                let i = f.trailing_zeros() as usize;
+                f &= f - 1;
+                next |= adjacency[i] & mask & !seen;
+            }
+            seen |= next;
+            frontier = next;
+        }
+        seen == mask
+    };
+    if !connected(full) {
+        return Err(OptimizeError::Disconnected);
+    }
+
+    // cost[mask] = (cumulative C_out, output cardinality, split) with
+    // split = the outer-side submask (0 for single relations).
+    let mut cost: Vec<Option<(f64, f64, u32)>> = vec![None; (full as usize) + 1];
+    for (i, r) in rels.iter().enumerate() {
+        cost[1usize << i] = Some((0.0, catalog.get(*r).tuples, 0));
+    }
+    for mask in 1..=full {
+        if mask.count_ones() < 2 || !connected(mask) {
+            continue;
+        }
+        // Enumerate proper submasks.
+        let mut sub = (mask - 1) & mask;
+        let mut best: Option<(f64, f64, u32)> = None;
+        while sub != 0 {
+            let other = mask & !sub;
+            // Consider each unordered split once; require both connected
+            // and joined by at least one edge.
+            if sub > other {
+                sub = (sub - 1) & mask;
+                continue;
+            }
+            if let (Some((c1, card1, _)), Some((c2, card2, _))) =
+                (cost[sub as usize], cost[other as usize])
+            {
+                // Edge between the two halves?
+                let mut touches = false;
+                let mut s = sub;
+                while s != 0 {
+                    let i = s.trailing_zeros() as usize;
+                    s &= s - 1;
+                    if adjacency[i] & other != 0 {
+                        touches = true;
+                        break;
+                    }
+                }
+                if touches {
+                    let out = model.join_output(card1, card2);
+                    let total = c1 + c2 + out;
+                    let better = best.is_none_or(|(bc, _, _)| total < bc);
+                    if better {
+                        // Outer = larger side (probe), inner = smaller.
+                        let outer_mask = if card1 >= card2 { sub } else { other };
+                        best = Some((total, out, outer_mask));
+                    }
+                }
+            }
+            sub = (sub - 1) & mask;
+        }
+        cost[mask as usize] = best;
+    }
+
+    // Reconstruct the plan bottom-up.
+    let mut nodes: Vec<PlanNode> = Vec::new();
+    fn build(
+        mask: u32,
+        cost: &[Option<(f64, f64, u32)>],
+        rels: &[RelationId],
+        nodes: &mut Vec<PlanNode>,
+    ) -> PlanNodeId {
+        let (_, _, split) = cost[mask as usize].expect("connected masks are solved");
+        if split == 0 {
+            let i = mask.trailing_zeros() as usize;
+            nodes.push(PlanNode::Scan(rels[i]));
+            return PlanNodeId(nodes.len() - 1);
+        }
+        let outer_mask = split;
+        let inner_mask = mask & !split;
+        let outer = build(outer_mask, cost, rels, nodes);
+        let inner = build(inner_mask, cost, rels, nodes);
+        nodes.push(PlanNode::Join { outer, inner });
+        PlanNodeId(nodes.len() - 1)
+    }
+    let root = build(full, &cost, &rels, &mut nodes);
+    PlanTree::new(nodes, root).map_err(|_| OptimizeError::Disconnected)
+}
+
+/// The optimizer's objective on a finished plan: cumulative intermediate
+/// result cardinality (`C_out` — every join's output counted once).
+pub fn c_out(plan: &PlanTree, catalog: &Catalog, model: &impl CardinalityModel) -> f64 {
+    let annotated = plan.annotate(catalog, model);
+    plan.nodes()
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| matches!(n, PlanNode::Join { .. }))
+        .map(|(i, _)| annotated.out_tuples[i])
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cardinality::{KeyJoinMax, SelectivityJoin};
+
+    fn chain_graph(sizes: &[f64]) -> (Catalog, Vec<(RelationId, RelationId)>) {
+        let mut c = Catalog::new();
+        let ids: Vec<_> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| c.add_relation(format!("r{i}"), s))
+            .collect();
+        let edges = ids.windows(2).map(|w| (w[0], w[1])).collect();
+        (c, edges)
+    }
+
+    #[test]
+    fn greedy_builds_valid_plan() {
+        let (c, edges) = chain_graph(&[1_000.0, 50_000.0, 2_000.0, 80_000.0]);
+        let plan = optimize_greedy(&c, &edges, &KeyJoinMax).unwrap();
+        assert_eq!(plan.join_count(), 3);
+        assert_eq!(plan.scan_count(), 4);
+    }
+
+    #[test]
+    fn dp_builds_valid_plan() {
+        let (c, edges) = chain_graph(&[1_000.0, 50_000.0, 2_000.0, 80_000.0]);
+        let plan = optimize_dp(&c, &edges, &KeyJoinMax).unwrap();
+        assert_eq!(plan.join_count(), 3);
+        assert_eq!(plan.scan_count(), 4);
+    }
+
+    #[test]
+    fn dp_never_worse_than_greedy() {
+        for seed in 0..8u64 {
+            // Pseudo-random star/chain mixes via a tiny LCG.
+            let mut x = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let mut next = || {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((x >> 33) % 99_000 + 1_000) as f64
+            };
+            let sizes: Vec<f64> = (0..7).map(|_| next()).collect();
+            let (c, edges) = chain_graph(&sizes);
+            let m = SelectivityJoin::new(0.001).unwrap();
+            let dp = optimize_dp(&c, &edges, &m).unwrap();
+            let greedy = optimize_greedy(&c, &edges, &m).unwrap();
+            let (cd, cg) = (c_out(&dp, &c, &m), c_out(&greedy, &c, &m));
+            assert!(
+                cd <= cg * (1.0 + 1e-9),
+                "seed {seed}: DP C_out {cd} worse than greedy {cg}"
+            );
+        }
+    }
+
+    #[test]
+    fn dp_finds_known_optimum_on_selective_star() {
+        // Star: fact joins three dimensions; with σ = 1e-6 the optimal
+        // order joins the most selective (smallest) dimensions first.
+        let mut c = Catalog::new();
+        let fact = c.add_relation("fact", 100_000.0);
+        let d1 = c.add_relation("d1", 10.0);
+        let d2 = c.add_relation("d2", 100.0);
+        let d3 = c.add_relation("d3", 1_000.0);
+        let edges = vec![(fact, d1), (fact, d2), (fact, d3)];
+        let m = SelectivityJoin::new(1e-6).unwrap();
+        let plan = optimize_dp(&c, &edges, &m).unwrap();
+        // Expected: ((fact ⋈ d1) ⋈ d2) ⋈ d3 — verify by objective value.
+        let expected = {
+            let j1 = 1e-6 * 100_000.0 * 10.0; // 1
+            let j2 = 1e-6 * j1 * 100.0; // 1e-4
+            let j3 = 1e-6 * j2 * 1_000.0; // 1e-7
+            j1 + j2 + j3
+        };
+        assert!((c_out(&plan, &c, &m) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_handles_fifty_joins() {
+        let sizes: Vec<f64> = (0..51).map(|i| 1_000.0 + (i as f64) * 1_500.0).collect();
+        let (c, edges) = chain_graph(&sizes);
+        let plan = optimize_greedy(&c, &edges, &KeyJoinMax).unwrap();
+        assert_eq!(plan.join_count(), 50);
+    }
+
+    #[test]
+    fn dp_rejects_oversized_graphs() {
+        let sizes: Vec<f64> = vec![1_000.0; DP_RELATION_LIMIT + 2];
+        let (c, edges) = chain_graph(&sizes);
+        assert!(matches!(
+            optimize_dp(&c, &edges, &KeyJoinMax),
+            Err(OptimizeError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn disconnected_graph_rejected() {
+        let mut c = Catalog::new();
+        let a = c.add_relation("a", 1_000.0);
+        let b = c.add_relation("b", 1_000.0);
+        let x = c.add_relation("x", 1_000.0);
+        let y = c.add_relation("y", 1_000.0);
+        let edges = vec![(a, b), (x, y)]; // two islands
+        assert_eq!(
+            optimize_greedy(&c, &edges, &KeyJoinMax),
+            Err(OptimizeError::Disconnected)
+        );
+        assert_eq!(
+            optimize_dp(&c, &edges, &KeyJoinMax),
+            Err(OptimizeError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        let c = Catalog::new();
+        assert_eq!(
+            optimize_greedy(&c, &[], &KeyJoinMax),
+            Err(OptimizeError::Empty)
+        );
+        assert_eq!(optimize_dp(&c, &[], &KeyJoinMax), Err(OptimizeError::Empty));
+    }
+
+    #[test]
+    fn build_side_is_smaller_input() {
+        let mut c = Catalog::new();
+        let big = c.add_relation("big", 90_000.0);
+        let small = c.add_relation("small", 1_000.0);
+        let plan = optimize_greedy(&c, &[(big, small)], &KeyJoinMax).unwrap();
+        if let PlanNode::Join { outer, inner } = plan.node(plan.root()) {
+            assert_eq!(plan.node(*outer), &PlanNode::Scan(big));
+            assert_eq!(plan.node(*inner), &PlanNode::Scan(small));
+        } else {
+            panic!("root must be a join");
+        }
+    }
+
+    #[test]
+    fn works_on_generated_tree_graphs() {
+        // Round-trip with the workload generator's edge lists.
+        let mut c = Catalog::new();
+        let ids: Vec<_> = (0..12)
+            .map(|i| c.add_relation(format!("r{i}"), 1_000.0 * (1 + i % 7) as f64))
+            .collect();
+        // Random-recursive-tree shape.
+        let edges: Vec<_> = (1..12).map(|i| (ids[i / 2], ids[i])).collect();
+        let dp = optimize_dp(&c, &edges, &KeyJoinMax).unwrap();
+        let greedy = optimize_greedy(&c, &edges, &KeyJoinMax).unwrap();
+        assert_eq!(dp.join_count(), 11);
+        assert_eq!(greedy.join_count(), 11);
+        assert!(c_out(&dp, &c, &KeyJoinMax) <= c_out(&greedy, &c, &KeyJoinMax) + 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::cardinality::{KeyJoinMax, SelectivityJoin};
+    use proptest::prelude::*;
+
+    fn arb_tree_graph() -> impl Strategy<Value = (Vec<f64>, Vec<usize>)> {
+        // sizes + random-recursive-tree parent choices (parent[i] < i).
+        (2usize..10).prop_flat_map(|n| {
+            (
+                proptest::collection::vec(1e3f64..1e5, n),
+                proptest::collection::vec(0usize..1_000_000, n - 1),
+            )
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        /// Both optimizers always emit structurally valid plans covering
+        /// every relation exactly once, and DP's objective never exceeds
+        /// greedy's.
+        #[test]
+        fn optimizers_sound_and_ordered(
+            (sizes, parents) in arb_tree_graph(),
+            selective in proptest::bool::ANY,
+        ) {
+            let mut catalog = Catalog::new();
+            let ids: Vec<_> = sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| catalog.add_relation(format!("r{i}"), t))
+                .collect();
+            let edges: Vec<_> = parents
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| (ids[p % (i + 1)], ids[i + 1]))
+                .collect();
+            let run = |m: &dyn CardinalityModel| {
+                let dp = optimize_dp(&catalog, &edges, &m).unwrap();
+                let greedy = optimize_greedy(&catalog, &edges, &m).unwrap();
+                prop_assert_eq!(dp.join_count(), edges.len());
+                prop_assert_eq!(greedy.join_count(), edges.len());
+                prop_assert_eq!(dp.scan_count(), sizes.len());
+                let (cd, cg) = (c_out(&dp, &catalog, &m), c_out(&greedy, &catalog, &m));
+                prop_assert!(cd <= cg * (1.0 + 1e-9), "DP {cd} worse than greedy {cg}");
+                Ok(())
+            };
+            if selective {
+                run(&SelectivityJoin::new(1e-4).unwrap())?;
+            } else {
+                run(&KeyJoinMax)?;
+            }
+        }
+    }
+}

@@ -1,0 +1,414 @@
+//! Operator trees: the "macro-expansion" of an execution plan tree into
+//! physical operator nodes (Figure 1(b)).
+//!
+//! Every hash join expands into a **build** on its inner input and a
+//! **probe** on its outer input; base relations expand into **scans**.
+//! Edges carry the two timing constraints of Section 3.1:
+//!
+//! * *pipelining* (thin edges) — producer and consumer run concurrently,
+//! * *blocking* (thick edges) — the consumer starts only after the
+//!   producer completes. The only blocking edge a hash join introduces is
+//!   build → probe: the hash table must be complete before probing begins.
+
+use crate::plan::{AnnotatedPlan, PlanNode, PlanNodeId, UnaryKind};
+use crate::relation::RelationId;
+use mrs_core::operator::{OperatorId, OperatorKind};
+
+/// The timing constraint an operator-tree edge carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// Producer streams into consumer; both execute concurrently.
+    Pipeline,
+    /// Consumer waits for the producer to complete.
+    Blocking,
+}
+
+/// Role-specific annotations of a physical operator node.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OpDetail {
+    /// Sequential scan of a base relation.
+    Scan {
+        /// The scanned relation.
+        relation: RelationId,
+        /// Tuples produced.
+        out_tuples: f64,
+    },
+    /// Hash-table build over the join's inner input.
+    Build {
+        /// Tuples consumed (the inner input's cardinality).
+        in_tuples: f64,
+        /// The probe this build feeds (filled during expansion).
+        probe: OperatorId,
+    },
+    /// Probe of a hash table with the join's outer input.
+    Probe {
+        /// Tuples arriving on the outer (pipelined) input.
+        outer_tuples: f64,
+        /// Join output tuples.
+        out_tuples: f64,
+        /// The build that produced this probe's hash table.
+        build: OperatorId,
+    },
+    /// Hash aggregation (blocking on its input).
+    Aggregate {
+        /// Tuples consumed.
+        in_tuples: f64,
+        /// Groups produced.
+        out_tuples: f64,
+    },
+    /// In-memory sort (blocking on its input).
+    Sort {
+        /// Tuples consumed (and produced).
+        in_tuples: f64,
+    },
+}
+
+/// A node of the operator tree.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpNode {
+    /// Dense id (also the index into [`OperatorTree::nodes`]).
+    pub id: OperatorId,
+    /// Physical kind.
+    pub kind: OperatorKind,
+    /// Role-specific annotations.
+    pub detail: OpDetail,
+    /// Producer edges feeding this node.
+    pub inputs: Vec<(OperatorId, EdgeKind)>,
+}
+
+/// The operator tree of a plan: physical operators plus pipeline/blocking
+/// edges, with the plan's cardinality annotations attached.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OperatorTree {
+    nodes: Vec<OpNode>,
+    root: OperatorId,
+}
+
+impl OperatorTree {
+    /// Macro-expands an annotated plan into its operator tree.
+    pub fn expand(plan: &AnnotatedPlan) -> Self {
+        let pnodes = plan.plan.nodes();
+        let mut nodes: Vec<OpNode> = Vec::with_capacity(pnodes.len() * 2);
+        // out_op[p] = the operator producing plan node p's output.
+        let mut out_op: Vec<Option<OperatorId>> = vec![None; pnodes.len()];
+
+        // Iterative post-order over the plan tree.
+        let mut stack = vec![plan.plan.root().0];
+        while let Some(&p) = stack.last() {
+            match &pnodes[p] {
+                PlanNode::Scan(r) => {
+                    let id = OperatorId(nodes.len());
+                    nodes.push(OpNode {
+                        id,
+                        kind: OperatorKind::Scan,
+                        detail: OpDetail::Scan {
+                            relation: *r,
+                            out_tuples: plan.tuples(PlanNodeId(p)),
+                        },
+                        inputs: vec![],
+                    });
+                    out_op[p] = Some(id);
+                    stack.pop();
+                }
+                PlanNode::Unary { kind, input } => match out_op[input.0] {
+                    Some(input_op) => {
+                        let id = OperatorId(nodes.len());
+                        let in_tuples = plan.tuples(*input);
+                        let (okind, detail) = match kind {
+                            UnaryKind::HashAggregate { .. } => (
+                                OperatorKind::Aggregate,
+                                OpDetail::Aggregate {
+                                    in_tuples,
+                                    out_tuples: plan.tuples(PlanNodeId(p)),
+                                },
+                            ),
+                            UnaryKind::Sort => {
+                                (OperatorKind::Sort, OpDetail::Sort { in_tuples })
+                            }
+                        };
+                        nodes.push(OpNode {
+                            id,
+                            kind: okind,
+                            detail,
+                            // Blocking: neither an aggregate's groups nor a
+                            // sorted stream can emit before all input lands.
+                            inputs: vec![(input_op, EdgeKind::Blocking)],
+                        });
+                        out_op[p] = Some(id);
+                        stack.pop();
+                    }
+                    None => stack.push(input.0),
+                },
+                PlanNode::Join { outer, inner } => {
+                    match (out_op[outer.0], out_op[inner.0]) {
+                        (Some(outer_op), Some(inner_op)) => {
+                            let build = OperatorId(nodes.len());
+                            let probe = OperatorId(nodes.len() + 1);
+                            nodes.push(OpNode {
+                                id: build,
+                                kind: OperatorKind::Build,
+                                detail: OpDetail::Build {
+                                    in_tuples: plan.tuples(*inner),
+                                    probe,
+                                },
+                                inputs: vec![(inner_op, EdgeKind::Pipeline)],
+                            });
+                            nodes.push(OpNode {
+                                id: probe,
+                                kind: OperatorKind::Probe,
+                                detail: OpDetail::Probe {
+                                    outer_tuples: plan.tuples(*outer),
+                                    out_tuples: plan.tuples(PlanNodeId(p)),
+                                    build,
+                                },
+                                inputs: vec![
+                                    (build, EdgeKind::Blocking),
+                                    (outer_op, EdgeKind::Pipeline),
+                                ],
+                            });
+                            out_op[p] = Some(probe);
+                            stack.pop();
+                        }
+                        (o, i) => {
+                            if o.is_none() {
+                                stack.push(outer.0);
+                            }
+                            if i.is_none() {
+                                stack.push(inner.0);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let root = out_op[plan.plan.root().0].expect("post-order visits the root last");
+        OperatorTree { nodes, root }
+    }
+
+    /// The operator producing the final query output.
+    pub fn root(&self) -> OperatorId {
+        self.root
+    }
+
+    /// All operator nodes, indexable by `OperatorId.0`.
+    pub fn nodes(&self) -> &[OpNode] {
+        &self.nodes
+    }
+
+    /// Looks a node up.
+    pub fn node(&self, id: OperatorId) -> &OpNode {
+        &self.nodes[id.0]
+    }
+
+    /// Number of physical operators.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True for an empty tree (never produced by [`OperatorTree::expand`]).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// All `(build, probe)` pairs, one per join.
+    pub fn joins(&self) -> Vec<(OperatorId, OperatorId)> {
+        self.nodes
+            .iter()
+            .filter_map(|n| match &n.detail {
+                OpDetail::Build { probe, .. } => Some((n.id, *probe)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Iterator over all blocking edges as `(producer, consumer)`.
+    pub fn blocking_edges(&self) -> impl Iterator<Item = (OperatorId, OperatorId)> + '_ {
+        self.nodes.iter().flat_map(|n| {
+            n.inputs
+                .iter()
+                .filter(|(_, k)| *k == EdgeKind::Blocking)
+                .map(move |(src, _)| (*src, n.id))
+        })
+    }
+
+    /// Iterator over all pipeline edges as `(producer, consumer)`.
+    pub fn pipeline_edges(&self) -> impl Iterator<Item = (OperatorId, OperatorId)> + '_ {
+        self.nodes.iter().flat_map(|n| {
+            n.inputs
+                .iter()
+                .filter(|(_, k)| *k == EdgeKind::Pipeline)
+                .map(move |(src, _)| (*src, n.id))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cardinality::KeyJoinMax;
+    use crate::plan::PlanTree;
+    use crate::relation::Catalog;
+
+    fn expand_left_deep(n: usize) -> (OperatorTree, Catalog) {
+        let mut c = Catalog::new();
+        let ids: Vec<_> = (0..n)
+            .map(|i| c.add_relation(format!("r{i}"), 1_000.0 * (i + 1) as f64))
+            .collect();
+        let p = PlanTree::left_deep(&ids);
+        let a = p.annotate(&c, &KeyJoinMax);
+        (OperatorTree::expand(&a), c)
+    }
+
+    #[test]
+    fn single_scan_plan_expands_to_one_node() {
+        let mut c = Catalog::new();
+        let r = c.add_relation("solo", 500.0);
+        let p = PlanTree::scan_only(r);
+        let a = p.annotate(&c, &KeyJoinMax);
+        let t = OperatorTree::expand(&a);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.node(t.root()).kind, OperatorKind::Scan);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn one_join_expands_to_four_operators() {
+        let (t, _) = expand_left_deep(2);
+        // 2 scans + build + probe.
+        assert_eq!(t.len(), 4);
+        let kinds: Vec<_> = t.nodes().iter().map(|n| n.kind).collect();
+        assert_eq!(kinds.iter().filter(|k| **k == OperatorKind::Scan).count(), 2);
+        assert_eq!(kinds.iter().filter(|k| **k == OperatorKind::Build).count(), 1);
+        assert_eq!(kinds.iter().filter(|k| **k == OperatorKind::Probe).count(), 1);
+    }
+
+    #[test]
+    fn join_count_scales_linearly() {
+        let (t, _) = expand_left_deep(5);
+        // J joins → J builds + J probes + (J+1) scans = 3J + 1 operators.
+        assert_eq!(t.len(), 3 * 4 + 1);
+        assert_eq!(t.joins().len(), 4);
+    }
+
+    #[test]
+    fn build_blocks_probe() {
+        let (t, _) = expand_left_deep(2);
+        let blocking: Vec<_> = t.blocking_edges().collect();
+        assert_eq!(blocking.len(), 1);
+        let (src, dst) = blocking[0];
+        assert_eq!(t.node(src).kind, OperatorKind::Build);
+        assert_eq!(t.node(dst).kind, OperatorKind::Probe);
+        // Cross-references agree.
+        match (&t.node(src).detail, &t.node(dst).detail) {
+            (OpDetail::Build { probe, .. }, OpDetail::Probe { build, .. }) => {
+                assert_eq!(*probe, dst);
+                assert_eq!(*build, src);
+            }
+            _ => panic!("wrong details"),
+        }
+    }
+
+    #[test]
+    fn probe_cardinalities_follow_key_join() {
+        let (t, _) = expand_left_deep(3);
+        // r0=1000, r1=2000, r2=3000. First join out = 2000, second = 3000.
+        let probes: Vec<_> = t
+            .nodes()
+            .iter()
+            .filter_map(|n| match &n.detail {
+                OpDetail::Probe { outer_tuples, out_tuples, .. } => {
+                    Some((*outer_tuples, *out_tuples))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(probes.len(), 2);
+        assert!(probes.contains(&(1_000.0, 2_000.0)));
+        assert!(probes.contains(&(2_000.0, 3_000.0)));
+    }
+
+    #[test]
+    fn pipeline_edge_count() {
+        // For a left-deep J-join plan: each join has inner-scan→build and
+        // outer→probe pipelines: 2J pipeline edges.
+        let (t, _) = expand_left_deep(4);
+        assert_eq!(t.pipeline_edges().count(), 6);
+    }
+
+    #[test]
+    fn root_is_top_probe() {
+        let (t, _) = expand_left_deep(3);
+        assert_eq!(t.node(t.root()).kind, OperatorKind::Probe);
+        match &t.node(t.root()).detail {
+            OpDetail::Probe { out_tuples, .. } => assert_eq!(*out_tuples, 3_000.0),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn ids_are_dense() {
+        let (t, _) = expand_left_deep(6);
+        for (i, n) in t.nodes().iter().enumerate() {
+            assert_eq!(n.id, OperatorId(i));
+        }
+    }
+
+    #[test]
+    fn aggregate_expands_blocking() {
+        use crate::plan::UnaryKind;
+        let mut c = Catalog::new();
+        let a = c.add_relation("a", 2_000.0);
+        let b = c.add_relation("b", 4_000.0);
+        let plan = PlanTree::left_deep(&[a, b])
+            .with_unary_root(UnaryKind::HashAggregate { output_fraction: 0.25 });
+        let t = OperatorTree::expand(&plan.annotate(&c, &KeyJoinMax));
+        // 2 scans + build + probe + aggregate.
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.node(t.root()).kind, OperatorKind::Aggregate);
+        match &t.node(t.root()).detail {
+            OpDetail::Aggregate { in_tuples, out_tuples } => {
+                assert_eq!(*in_tuples, 4_000.0);
+                assert_eq!(*out_tuples, 1_000.0);
+            }
+            other => panic!("wrong detail {other:?}"),
+        }
+        // The aggregate's only input edge is blocking (from the probe).
+        assert_eq!(t.node(t.root()).inputs.len(), 1);
+        assert_eq!(t.node(t.root()).inputs[0].1, EdgeKind::Blocking);
+        // Two blocking edges total now: build->probe and probe->agg.
+        assert_eq!(t.blocking_edges().count(), 2);
+    }
+
+    #[test]
+    fn sort_expands_blocking() {
+        use crate::plan::UnaryKind;
+        let mut c = Catalog::new();
+        let a = c.add_relation("a", 1_000.0);
+        let plan = PlanTree::scan_only(a).with_unary_root(UnaryKind::Sort);
+        let t = OperatorTree::expand(&plan.annotate(&c, &KeyJoinMax));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.node(t.root()).kind, OperatorKind::Sort);
+        assert_eq!(t.blocking_edges().count(), 1);
+    }
+
+    #[test]
+    fn bushy_plan_expansion() {
+        use crate::plan::{PlanNode, PlanNodeId};
+        let mut c = Catalog::new();
+        let r: Vec<_> = (0..4).map(|i| c.add_relation(format!("r{i}"), 1_000.0)).collect();
+        let nodes = vec![
+            PlanNode::Scan(r[0]),
+            PlanNode::Scan(r[1]),
+            PlanNode::Scan(r[2]),
+            PlanNode::Scan(r[3]),
+            PlanNode::Join { outer: PlanNodeId(0), inner: PlanNodeId(1) },
+            PlanNode::Join { outer: PlanNodeId(2), inner: PlanNodeId(3) },
+            PlanNode::Join { outer: PlanNodeId(4), inner: PlanNodeId(5) },
+        ];
+        let p = PlanTree::new(nodes, PlanNodeId(6)).unwrap();
+        let t = OperatorTree::expand(&p.annotate(&c, &KeyJoinMax));
+        assert_eq!(t.len(), 10); // 4 scans + 3 builds + 3 probes
+        assert_eq!(t.blocking_edges().count(), 3);
+    }
+}

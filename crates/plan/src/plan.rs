@@ -1,0 +1,510 @@
+//! Bushy execution plan trees.
+//!
+//! An execution plan tree (Figure 1(a)) is a binary tree whose leaves are
+//! base-relation scans and whose internal nodes are (hash) joins. The left
+//! child is the *outer* (probe-side) input, the right child the *inner*
+//! (build-side) input. Arbitrary bushy shapes are allowed — the paper's
+//! central target is precisely the general bushy case that earlier work
+//! avoided.
+
+use crate::cardinality::CardinalityModel;
+use crate::relation::{Catalog, RelationId};
+use std::fmt;
+
+/// Identifier of a node within a [`PlanTree`] arena.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PlanNodeId(pub usize);
+
+impl fmt::Display for PlanNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Unary (single-input) plan operators layered over the join tree.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum UnaryKind {
+    /// Hash aggregation emitting `output_fraction · input` groups
+    /// (blocking: no group is final until all input has arrived).
+    HashAggregate {
+        /// Output cardinality as a fraction of the input, in `(0, 1]`.
+        output_fraction: f64,
+    },
+    /// In-memory sort (blocking; cardinality-preserving).
+    Sort,
+}
+
+/// A node of an execution plan tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlanNode {
+    /// Scan of a base relation.
+    Scan(RelationId),
+    /// Hash join; `outer` feeds the probe, `inner` feeds the build.
+    Join {
+        /// Probe-side input.
+        outer: PlanNodeId,
+        /// Build-side input.
+        inner: PlanNodeId,
+    },
+    /// A unary operator over one input.
+    Unary {
+        /// What the operator does.
+        kind: UnaryKind,
+        /// The producing child.
+        input: PlanNodeId,
+    },
+}
+
+/// An arena-allocated bushy execution plan tree.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanTree {
+    nodes: Vec<PlanNode>,
+    root: PlanNodeId,
+}
+
+/// Errors detected by [`PlanTree::new`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanError {
+    /// A join child id is out of range.
+    DanglingChild(PlanNodeId),
+    /// A node is referenced by two parents or the root is a child.
+    NotATree(PlanNodeId),
+    /// Some node is unreachable from the root.
+    Unreachable(PlanNodeId),
+    /// The root id is out of range.
+    BadRoot(PlanNodeId),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::DanglingChild(n) => write!(f, "join child {n} does not exist"),
+            PlanError::NotATree(n) => write!(f, "node {n} has more than one parent"),
+            PlanError::Unreachable(n) => write!(f, "node {n} is unreachable from the root"),
+            PlanError::BadRoot(n) => write!(f, "root {n} does not exist"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl PlanTree {
+    /// Builds and validates a plan tree over an arena of nodes.
+    pub fn new(nodes: Vec<PlanNode>, root: PlanNodeId) -> Result<Self, PlanError> {
+        if root.0 >= nodes.len() {
+            return Err(PlanError::BadRoot(root));
+        }
+        let mut parents = vec![0usize; nodes.len()];
+        for node in &nodes {
+            let children: Vec<PlanNodeId> = match node {
+                PlanNode::Scan(_) => vec![],
+                PlanNode::Join { outer, inner } => vec![*outer, *inner],
+                PlanNode::Unary { input, .. } => vec![*input],
+            };
+            for child in children {
+                if child.0 >= nodes.len() {
+                    return Err(PlanError::DanglingChild(child));
+                }
+                parents[child.0] += 1;
+            }
+        }
+        for (i, &p) in parents.iter().enumerate() {
+            if p > 1 || (i == root.0 && p != 0) {
+                return Err(PlanError::NotATree(PlanNodeId(i)));
+            }
+        }
+        // Reachability from the root (iterative; bushy 50-join plans are
+        // shallow but left-deep chains are not).
+        let mut seen = vec![false; nodes.len()];
+        let mut stack = vec![root.0];
+        while let Some(n) = stack.pop() {
+            if seen[n] {
+                return Err(PlanError::NotATree(PlanNodeId(n)));
+            }
+            seen[n] = true;
+            match &nodes[n] {
+                PlanNode::Scan(_) => {}
+                PlanNode::Join { outer, inner } => {
+                    stack.push(outer.0);
+                    stack.push(inner.0);
+                }
+                PlanNode::Unary { input, .. } => stack.push(input.0),
+            }
+        }
+        if let Some(i) = seen.iter().position(|s| !s) {
+            return Err(PlanError::Unreachable(PlanNodeId(i)));
+        }
+        Ok(PlanTree { nodes, root })
+    }
+
+    /// A plan consisting of a single base-relation scan.
+    pub fn scan_only(relation: RelationId) -> Self {
+        PlanTree {
+            nodes: vec![PlanNode::Scan(relation)],
+            root: PlanNodeId(0),
+        }
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> PlanNodeId {
+        self.root
+    }
+
+    /// The node arena.
+    pub fn nodes(&self) -> &[PlanNode] {
+        &self.nodes
+    }
+
+    /// Looks a node up.
+    pub fn node(&self, id: PlanNodeId) -> &PlanNode {
+        &self.nodes[id.0]
+    }
+
+    /// Number of joins in the plan.
+    pub fn join_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, PlanNode::Join { .. }))
+            .count()
+    }
+
+    /// Number of base-relation scans.
+    pub fn scan_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, PlanNode::Scan(_)))
+            .count()
+    }
+
+    /// Number of unary operators (aggregates + sorts).
+    pub fn unary_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, PlanNode::Unary { .. }))
+            .count()
+    }
+
+    /// Returns a copy of this plan with a unary operator stacked on the
+    /// root (e.g. a final aggregation or an ORDER BY sort).
+    ///
+    /// # Panics
+    /// Panics when a `HashAggregate` fraction lies outside `(0, 1]`.
+    pub fn with_unary_root(&self, kind: UnaryKind) -> PlanTree {
+        if let UnaryKind::HashAggregate { output_fraction } = kind {
+            assert!(
+                output_fraction > 0.0 && output_fraction <= 1.0,
+                "aggregate output fraction must be in (0, 1], got {output_fraction}"
+            );
+        }
+        let mut nodes = self.nodes.clone();
+        nodes.push(PlanNode::Unary {
+            kind,
+            input: self.root,
+        });
+        let root = PlanNodeId(nodes.len() - 1);
+        PlanTree::new(nodes, root).expect("stacking a unary root preserves tree-ness")
+    }
+
+    /// Tree height (a lone scan has height 0).
+    pub fn height(&self) -> usize {
+        // Iterative post-order with memoized heights.
+        let mut height = vec![usize::MAX; self.nodes.len()];
+        let mut stack = vec![self.root.0];
+        while let Some(&n) = stack.last() {
+            match &self.nodes[n] {
+                PlanNode::Scan(_) => {
+                    height[n] = 0;
+                    stack.pop();
+                }
+                PlanNode::Join { outer, inner } => {
+                    let (ho, hi) = (height[outer.0], height[inner.0]);
+                    if ho != usize::MAX && hi != usize::MAX {
+                        height[n] = 1 + ho.max(hi);
+                        stack.pop();
+                    } else {
+                        if ho == usize::MAX {
+                            stack.push(outer.0);
+                        }
+                        if hi == usize::MAX {
+                            stack.push(inner.0);
+                        }
+                    }
+                }
+                PlanNode::Unary { input, .. } => {
+                    if height[input.0] != usize::MAX {
+                        height[n] = 1 + height[input.0];
+                        stack.pop();
+                    } else {
+                        stack.push(input.0);
+                    }
+                }
+            }
+        }
+        height[self.root.0]
+    }
+
+    /// Annotates every node with its output cardinality using `model`.
+    pub fn annotate(&self, catalog: &Catalog, model: &impl CardinalityModel) -> AnnotatedPlan {
+        let mut out_tuples = vec![f64::NAN; self.nodes.len()];
+        // Post-order, iterative.
+        let mut stack = vec![self.root.0];
+        while let Some(&n) = stack.last() {
+            match &self.nodes[n] {
+                PlanNode::Scan(r) => {
+                    out_tuples[n] = catalog.get(*r).tuples;
+                    stack.pop();
+                }
+                PlanNode::Join { outer, inner } => {
+                    let (o, i) = (out_tuples[outer.0], out_tuples[inner.0]);
+                    if !o.is_nan() && !i.is_nan() {
+                        out_tuples[n] = model.join_output(o, i);
+                        stack.pop();
+                    } else {
+                        if o.is_nan() {
+                            stack.push(outer.0);
+                        }
+                        if i.is_nan() {
+                            stack.push(inner.0);
+                        }
+                    }
+                }
+                PlanNode::Unary { kind, input } => {
+                    let x = out_tuples[input.0];
+                    if !x.is_nan() {
+                        out_tuples[n] = match kind {
+                            UnaryKind::HashAggregate { output_fraction } => x * output_fraction,
+                            UnaryKind::Sort => x,
+                        };
+                        stack.pop();
+                    } else {
+                        stack.push(input.0);
+                    }
+                }
+            }
+        }
+        AnnotatedPlan {
+            plan: self.clone(),
+            out_tuples,
+        }
+    }
+
+    /// Builds a left-deep plan joining `relations` in order (first two
+    /// joined first; each later relation becomes the inner/build side).
+    ///
+    /// # Panics
+    /// Panics when fewer than one relation is supplied.
+    pub fn left_deep(relations: &[RelationId]) -> Self {
+        assert!(!relations.is_empty(), "a plan needs at least one relation");
+        let mut nodes: Vec<PlanNode> = Vec::new();
+        let mut current = {
+            nodes.push(PlanNode::Scan(relations[0]));
+            PlanNodeId(0)
+        };
+        for &r in &relations[1..] {
+            nodes.push(PlanNode::Scan(r));
+            let scan = PlanNodeId(nodes.len() - 1);
+            nodes.push(PlanNode::Join {
+                outer: current,
+                inner: scan,
+            });
+            current = PlanNodeId(nodes.len() - 1);
+        }
+        PlanTree::new(nodes, current).expect("left-deep construction is structurally sound")
+    }
+
+    /// Builds a right-deep plan over `relations` (all builds stack on the
+    /// inner side — the classic pipelined hash-join shape).
+    ///
+    /// # Panics
+    /// Panics when fewer than one relation is supplied.
+    pub fn right_deep(relations: &[RelationId]) -> Self {
+        assert!(!relations.is_empty(), "a plan needs at least one relation");
+        let mut nodes: Vec<PlanNode> = Vec::new();
+        let n = relations.len();
+        let mut current = {
+            nodes.push(PlanNode::Scan(relations[n - 1]));
+            PlanNodeId(0)
+        };
+        for &r in relations[..n - 1].iter().rev() {
+            nodes.push(PlanNode::Scan(r));
+            let scan = PlanNodeId(nodes.len() - 1);
+            nodes.push(PlanNode::Join {
+                outer: scan,
+                inner: current,
+            });
+            current = PlanNodeId(nodes.len() - 1);
+        }
+        PlanTree::new(nodes, current).expect("right-deep construction is structurally sound")
+    }
+}
+
+/// A plan tree with per-node output cardinalities.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AnnotatedPlan {
+    /// The underlying plan.
+    pub plan: PlanTree,
+    /// `out_tuples[n]` = output cardinality of node `n`.
+    pub out_tuples: Vec<f64>,
+}
+
+impl AnnotatedPlan {
+    /// Output cardinality of a node.
+    pub fn tuples(&self, id: PlanNodeId) -> f64 {
+        self.out_tuples[id.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cardinality::KeyJoinMax;
+
+    fn catalog3() -> (Catalog, Vec<RelationId>) {
+        let mut c = Catalog::new();
+        let ids = vec![
+            c.add_relation("a", 1_000.0),
+            c.add_relation("b", 5_000.0),
+            c.add_relation("c", 2_000.0),
+        ];
+        (c, ids)
+    }
+
+    #[test]
+    fn left_deep_shape() {
+        let (_, ids) = catalog3();
+        let p = PlanTree::left_deep(&ids);
+        assert_eq!(p.join_count(), 2);
+        assert_eq!(p.scan_count(), 3);
+        assert_eq!(p.height(), 2);
+    }
+
+    #[test]
+    fn right_deep_shape() {
+        let (_, ids) = catalog3();
+        let p = PlanTree::right_deep(&ids);
+        assert_eq!(p.join_count(), 2);
+        assert_eq!(p.scan_count(), 3);
+        assert_eq!(p.height(), 2);
+        // Root's outer child is a scan in a right-deep plan.
+        if let PlanNode::Join { outer, .. } = p.node(p.root()) {
+            assert!(matches!(p.node(*outer), PlanNode::Scan(_)));
+        } else {
+            panic!("root must be a join");
+        }
+    }
+
+    #[test]
+    fn scan_only_plan() {
+        let p = PlanTree::scan_only(RelationId(0));
+        assert_eq!(p.join_count(), 0);
+        assert_eq!(p.height(), 0);
+    }
+
+    #[test]
+    fn bushy_plan_height() {
+        // ((a ⋈ b) ⋈ (c ⋈ d)) — a balanced bushy tree of height 2.
+        let nodes = vec![
+            PlanNode::Scan(RelationId(0)),
+            PlanNode::Scan(RelationId(1)),
+            PlanNode::Scan(RelationId(2)),
+            PlanNode::Scan(RelationId(3)),
+            PlanNode::Join { outer: PlanNodeId(0), inner: PlanNodeId(1) },
+            PlanNode::Join { outer: PlanNodeId(2), inner: PlanNodeId(3) },
+            PlanNode::Join { outer: PlanNodeId(4), inner: PlanNodeId(5) },
+        ];
+        let p = PlanTree::new(nodes, PlanNodeId(6)).unwrap();
+        assert_eq!(p.height(), 2);
+        assert_eq!(p.join_count(), 3);
+    }
+
+    #[test]
+    fn validation_catches_dangling_child() {
+        let nodes = vec![PlanNode::Join {
+            outer: PlanNodeId(5),
+            inner: PlanNodeId(6),
+        }];
+        assert!(matches!(
+            PlanTree::new(nodes, PlanNodeId(0)),
+            Err(PlanError::DanglingChild(_))
+        ));
+    }
+
+    #[test]
+    fn validation_catches_shared_child() {
+        let nodes = vec![
+            PlanNode::Scan(RelationId(0)),
+            PlanNode::Join { outer: PlanNodeId(0), inner: PlanNodeId(0) },
+        ];
+        assert!(matches!(
+            PlanTree::new(nodes, PlanNodeId(1)),
+            Err(PlanError::NotATree(_))
+        ));
+    }
+
+    #[test]
+    fn validation_catches_unreachable() {
+        let nodes = vec![
+            PlanNode::Scan(RelationId(0)),
+            PlanNode::Scan(RelationId(1)),
+        ];
+        assert!(matches!(
+            PlanTree::new(nodes, PlanNodeId(0)),
+            Err(PlanError::Unreachable(PlanNodeId(1)))
+        ));
+    }
+
+    #[test]
+    fn validation_catches_bad_root() {
+        assert!(matches!(
+            PlanTree::new(vec![], PlanNodeId(0)),
+            Err(PlanError::BadRoot(_))
+        ));
+    }
+
+    #[test]
+    fn annotate_key_join_max() {
+        let (c, ids) = catalog3();
+        let p = PlanTree::left_deep(&ids);
+        let a = p.annotate(&c, &KeyJoinMax);
+        // (a ⋈ b) = max(1000, 5000) = 5000; ((a⋈b) ⋈ c) = max(5000, 2000).
+        assert_eq!(a.tuples(p.root()), 5_000.0);
+    }
+
+    #[test]
+    fn unary_root_stacks_and_annotates() {
+        let (c, ids) = catalog3();
+        let base = PlanTree::left_deep(&ids);
+        let agg = base.with_unary_root(UnaryKind::HashAggregate { output_fraction: 0.1 });
+        assert_eq!(agg.join_count(), 2);
+        assert_eq!(agg.unary_count(), 1);
+        assert_eq!(agg.height(), base.height() + 1);
+        let a = agg.annotate(&c, &KeyJoinMax);
+        // (a⋈b⋈c) = 5000 tuples; aggregate keeps 10%.
+        assert!((a.tuples(agg.root()) - 500.0).abs() < 1e-9);
+        // Sort preserves cardinality.
+        let sorted = base.with_unary_root(UnaryKind::Sort);
+        let s = sorted.annotate(&c, &KeyJoinMax);
+        assert_eq!(s.tuples(sorted.root()), 5_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "output fraction")]
+    fn aggregate_fraction_validated() {
+        let (_, ids) = catalog3();
+        PlanTree::left_deep(&ids)
+            .with_unary_root(UnaryKind::HashAggregate { output_fraction: 1.5 });
+    }
+
+    #[test]
+    fn deep_left_chain_does_not_overflow() {
+        let mut c = Catalog::new();
+        let ids: Vec<_> = (0..500)
+            .map(|i| c.add_relation(format!("r{i}"), 100.0 + i as f64))
+            .collect();
+        let p = PlanTree::left_deep(&ids);
+        assert_eq!(p.join_count(), 499);
+        assert_eq!(p.height(), 499);
+        let a = p.annotate(&c, &KeyJoinMax);
+        assert_eq!(a.tuples(p.root()), 599.0);
+    }
+}

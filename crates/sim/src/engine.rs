@@ -1,0 +1,394 @@
+//! Per-site fluid simulation of preemptable-resource sharing.
+//!
+//! Under the paper's assumptions A2 (no time-sharing overhead) and A3
+//! (uniform resource usage), a clone with work vector `W` and intrinsic
+//! duration `T_seq(W)` demands resource `i` at rate `W[i]/T_seq` while
+//! running at full speed. A site scheduler assigns each resident clone a
+//! *speed* `s ∈ (0, 1]`; running at speed `s` stretches the clone and
+//! scales all its demand rates by `s`. Each of the site's `d` resources
+//! has unit service capacity.
+//!
+//! The engine is event-driven: between clone completions, speeds are
+//! constant; at each completion the policy recomputes speeds. Two policies
+//! are provided:
+//!
+//! * [`SharingPolicy::EqualFinish`] — the site stretches all resident
+//!   clones to the minimal common horizon `h = max(max_c r_c, l(R)/cap)`
+//!   (with `R` the remaining aggregate load). With zero overhead this
+//!   realizes Equation (2) *exactly*, which is how the simulator validates
+//!   the paper's analytic model.
+//! * [`SharingPolicy::FairShare`] — progressive filling: every clone
+//!   starts at full speed and bottlenecked resources proportionally
+//!   throttle their users. A more "operational" discipline that needs no
+//!   global horizon.
+//!
+//! Setting `timeshare_overhead > 0` relaxes assumption A2: with `n` clones
+//! resident, each resource's effective capacity drops to
+//! `1 / (1 + ovh·(n−1))` — the paper's Section 8 remark that disks do not
+//! time-share gracefully.
+
+use mrs_core::vector::WorkVector;
+
+/// How a site's resources are shared among resident clones.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SharingPolicy {
+    /// Stretch all clones to a common minimal finish horizon (realizes
+    /// Equation (2) under A2/A3).
+    EqualFinish,
+    /// Progressive filling with proportional throttling at bottlenecks.
+    FairShare,
+}
+
+/// Simulator configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimConfig {
+    /// The sharing discipline.
+    pub policy: SharingPolicy,
+    /// Per-extra-clone capacity penalty (`0.0` = assumption A2 holds).
+    pub timeshare_overhead: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            policy: SharingPolicy::EqualFinish,
+            timeshare_overhead: 0.0,
+        }
+    }
+}
+
+/// One clone resident at a site.
+#[derive(Clone, Debug)]
+pub struct SimClone {
+    /// Caller-chosen tag reported back in completion events.
+    pub tag: usize,
+    /// The clone's work vector.
+    pub work: WorkVector,
+    /// The clone's intrinsic (full-speed) duration `T_seq(W)`.
+    pub duration: f64,
+}
+
+/// A completion event.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Completion {
+    /// The clone's tag.
+    pub tag: usize,
+    /// Simulated completion time.
+    pub time: f64,
+}
+
+struct Active {
+    tag: usize,
+    /// Demand rates per resource at full speed (`W[i]/duration`).
+    demand: Vec<f64>,
+    /// Remaining intrinsic time.
+    remaining: f64,
+}
+
+fn capacity_factor(overhead: f64, resident: usize) -> f64 {
+    if resident <= 1 {
+        1.0
+    } else {
+        1.0 / (1.0 + overhead * (resident as f64 - 1.0))
+    }
+}
+
+fn speeds(active: &[Active], config: &SimConfig, d: usize) -> Vec<f64> {
+    let cap = capacity_factor(config.timeshare_overhead, active.len());
+    match config.policy {
+        SharingPolicy::EqualFinish => {
+            // Horizon: slowest clone, or the most congested resource under
+            // the reduced capacity.
+            let max_remaining = active.iter().map(|a| a.remaining).fold(0.0, f64::max);
+            let mut load = vec![0.0f64; d];
+            for a in active {
+                for (l, dem) in load.iter_mut().zip(&a.demand) {
+                    *l += a.remaining * dem;
+                }
+            }
+            let congested = load.iter().copied().fold(0.0, f64::max) / cap;
+            let horizon = max_remaining.max(congested);
+            if horizon <= 0.0 {
+                return vec![1.0; active.len()];
+            }
+            active.iter().map(|a| (a.remaining / horizon).min(1.0)).collect()
+        }
+        SharingPolicy::FairShare => {
+            let mut s = vec![1.0f64; active.len()];
+            // Progressive filling: at most d bottlenecks to resolve.
+            for _ in 0..=d {
+                let mut util = vec![0.0f64; d];
+                for (a, &sc) in active.iter().zip(&s) {
+                    for (u, dem) in util.iter_mut().zip(&a.demand) {
+                        *u += sc * dem;
+                    }
+                }
+                let (b, &u_max) = match util
+                    .iter()
+                    .enumerate()
+                    .max_by(|x, y| x.1.total_cmp(y.1))
+                {
+                    Some(x) => x,
+                    None => break,
+                };
+                if u_max <= cap * (1.0 + 1e-12) {
+                    break;
+                }
+                let scale = cap / u_max;
+                for (a, sc) in active.iter().zip(s.iter_mut()) {
+                    if a.demand[b] > 0.0 {
+                        *sc *= scale;
+                    }
+                }
+            }
+            s
+        }
+    }
+}
+
+/// Simulates one site hosting `clones` from time zero until all complete.
+///
+/// Returns completions in time order; the site finish time is the last
+/// completion (or `0.0` for no clones).
+pub fn simulate_site(clones: &[SimClone], config: &SimConfig, d: usize) -> Vec<Completion> {
+    let mut completions: Vec<Completion> = Vec::with_capacity(clones.len());
+    let mut now = 0.0f64;
+    let mut active: Vec<Active> = Vec::with_capacity(clones.len());
+    for c in clones {
+        assert_eq!(c.work.dim(), d, "clone dimensionality must match the site");
+        assert!(
+            c.duration.is_finite() && c.duration >= 0.0,
+            "clone duration must be finite and non-negative"
+        );
+        if c.duration <= 0.0 {
+            completions.push(Completion { tag: c.tag, time: 0.0 });
+            continue;
+        }
+        let demand = (0..d).map(|i| c.work[i] / c.duration).collect();
+        active.push(Active {
+            tag: c.tag,
+            demand,
+            remaining: c.duration,
+        });
+    }
+
+    // Event loop: guaranteed to terminate because at least one clone
+    // completes per iteration.
+    while !active.is_empty() {
+        let s = speeds(&active, config, d);
+        // Time to next completion.
+        let mut dt = f64::INFINITY;
+        for (a, &sc) in active.iter().zip(&s) {
+            if sc > 0.0 {
+                dt = dt.min(a.remaining / sc);
+            }
+        }
+        assert!(
+            dt.is_finite(),
+            "sharing policy starved every clone (all speeds zero)"
+        );
+        now += dt;
+        for (a, &sc) in active.iter_mut().zip(&s) {
+            a.remaining -= sc * dt;
+        }
+        let mut i = 0;
+        let mut finished_this_round = 0;
+        while i < active.len() {
+            if active[i].remaining <= 1e-12 * now.max(1.0) {
+                let a = active.swap_remove(i);
+                completions.push(Completion { tag: a.tag, time: now });
+                finished_this_round += 1;
+            } else {
+                i += 1;
+            }
+        }
+        assert!(finished_this_round > 0, "event loop made no progress");
+    }
+    completions.sort_by(|a, b| a.time.total_cmp(&b.time).then(a.tag.cmp(&b.tag)));
+    completions
+}
+
+/// The site's finish time: the last completion.
+pub fn site_finish(completions: &[Completion]) -> f64 {
+    completions.iter().map(|c| c.time).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clone(tag: usize, w: &[f64], duration: f64) -> SimClone {
+        SimClone {
+            tag,
+            work: WorkVector::from_slice(w),
+            duration,
+        }
+    }
+
+    #[test]
+    fn lone_clone_runs_at_full_speed() {
+        for policy in [SharingPolicy::EqualFinish, SharingPolicy::FairShare] {
+            let cfg = SimConfig { policy, timeshare_overhead: 0.0 };
+            let done = simulate_site(&[clone(0, &[3.0, 1.0], 4.0)], &cfg, 2);
+            assert_eq!(done.len(), 1);
+            assert!((done[0].time - 4.0).abs() < 1e-9, "{policy:?}: {}", done[0].time);
+        }
+    }
+
+    #[test]
+    fn empty_site_finishes_immediately() {
+        let done = simulate_site(&[], &SimConfig::default(), 3);
+        assert!(done.is_empty());
+        assert_eq!(site_finish(&done), 0.0);
+    }
+
+    #[test]
+    fn zero_duration_clone_completes_at_zero() {
+        let done = simulate_site(&[clone(7, &[0.0, 0.0], 0.0)], &SimConfig::default(), 2);
+        assert_eq!(done, vec![Completion { tag: 7, time: 0.0 }]);
+    }
+
+    #[test]
+    fn equal_finish_reproduces_paper_example() {
+        // Section 5.2.2: (22, [10,15]) + (10, [10,5]) → site time 22;
+        // (22, [10,15]) + (10, [5,10]) → 25.
+        let cfg = SimConfig::default();
+        let done = simulate_site(
+            &[clone(0, &[10.0, 15.0], 22.0), clone(1, &[10.0, 5.0], 10.0)],
+            &cfg,
+            2,
+        );
+        assert!((site_finish(&done) - 22.0).abs() < 1e-9);
+
+        let done = simulate_site(
+            &[clone(0, &[10.0, 15.0], 22.0), clone(1, &[5.0, 10.0], 10.0)],
+            &cfg,
+            2,
+        );
+        assert!((site_finish(&done) - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fair_share_never_beats_congestion_bound() {
+        let cfg = SimConfig { policy: SharingPolicy::FairShare, timeshare_overhead: 0.0 };
+        let clones = [
+            clone(0, &[10.0, 15.0], 22.0),
+            clone(1, &[5.0, 10.0], 10.0),
+        ];
+        let finish = site_finish(&simulate_site(&clones, &cfg, 2));
+        // l(sum) = max(15, 25) = 25 and slowest clone is 22.
+        assert!(finish >= 25.0 - 1e-9, "finish {finish}");
+    }
+
+    #[test]
+    fn fair_share_uncongested_clones_run_at_full_speed() {
+        let cfg = SimConfig { policy: SharingPolicy::FairShare, timeshare_overhead: 0.0 };
+        // Combined peak demand ≤ 1 on each resource: no throttling.
+        let clones = [
+            clone(0, &[2.0, 0.0], 10.0), // demands 0.2 on r0
+            clone(1, &[0.0, 3.0], 10.0), // demands 0.3 on r1
+        ];
+        let done = simulate_site(&clones, &cfg, 2);
+        assert!((site_finish(&done) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overhead_slows_sharing_but_not_solo() {
+        let cfg = SimConfig { policy: SharingPolicy::EqualFinish, timeshare_overhead: 0.5 };
+        let solo = site_finish(&simulate_site(&[clone(0, &[8.0, 0.0], 8.0)], &cfg, 2));
+        assert!((solo - 8.0).abs() < 1e-9, "a lone clone pays no overhead");
+        // Two congesting clones pay the penalty: aggregate CPU work 16
+        // at capacity 1/(1+0.5) → at least 24 time units.
+        let both = site_finish(&simulate_site(
+            &[clone(0, &[8.0, 0.0], 8.0), clone(1, &[8.0, 0.0], 8.0)],
+            &cfg,
+            2,
+        ));
+        assert!(both >= 16.0, "overhead must bite: {both}");
+    }
+
+    #[test]
+    fn completions_sorted_by_time() {
+        let cfg = SimConfig { policy: SharingPolicy::FairShare, timeshare_overhead: 0.0 };
+        let clones = [
+            clone(0, &[1.0, 0.0], 10.0),
+            clone(1, &[0.5, 0.0], 2.0),
+            clone(2, &[0.2, 0.0], 1.0),
+        ];
+        let done = simulate_site(&clones, &cfg, 2);
+        for pair in done.windows(2) {
+            assert!(pair[0].time <= pair[1].time);
+        }
+        assert_eq!(done.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality")]
+    fn dimension_mismatch_panics() {
+        simulate_site(&[clone(0, &[1.0], 1.0)], &SimConfig::default(), 2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_clones() -> impl Strategy<Value = Vec<SimClone>> {
+        proptest::collection::vec(
+            (proptest::collection::vec(0.0f64..10.0, 3), 0.0f64..1.0),
+            1..6,
+        )
+        .prop_map(|raw| {
+            raw.into_iter()
+                .enumerate()
+                .map(|(i, (w, slack))| {
+                    let wv = WorkVector::new(w);
+                    // Duration between max (perfect overlap) and sum.
+                    let duration = wv.length() + slack * (wv.total() - wv.length());
+                    SimClone {
+                        tag: i,
+                        work: wv,
+                        duration,
+                    }
+                })
+                .collect()
+        })
+    }
+
+    proptest! {
+        /// Equation (2): under A2/A3 the EqualFinish site finish time is
+        /// exactly max(max_c T_c, l(Σ W_c)).
+        #[test]
+        fn equal_finish_matches_equation_2(clones in arb_clones()) {
+            let cfg = SimConfig::default();
+            let finish = site_finish(&simulate_site(&clones, &cfg, 3));
+            let max_t = clones.iter().map(|c| c.duration).fold(0.0, f64::max);
+            let l = WorkVector::set_length(clones.iter().map(|c| &c.work).collect::<Vec<_>>());
+            let expected = max_t.max(l);
+            prop_assert!((finish - expected).abs() <= 1e-6 * expected.max(1.0),
+                "sim {finish} vs Eq(2) {expected}");
+        }
+
+        /// Any policy respects the two lower bounds of Equation (2).
+        #[test]
+        fn all_policies_respect_lower_bounds(clones in arb_clones()) {
+            for policy in [SharingPolicy::EqualFinish, SharingPolicy::FairShare] {
+                let cfg = SimConfig { policy, timeshare_overhead: 0.0 };
+                let finish = site_finish(&simulate_site(&clones, &cfg, 3));
+                let max_t = clones.iter().map(|c| c.duration).fold(0.0, f64::max);
+                let l = WorkVector::set_length(clones.iter().map(|c| &c.work).collect::<Vec<_>>());
+                prop_assert!(finish + 1e-7 * finish.max(1.0) >= max_t.max(l));
+            }
+        }
+
+        /// Overhead can only hurt.
+        #[test]
+        fn overhead_monotone(clones in arb_clones(), ovh in 0.0f64..2.0) {
+            let base = site_finish(&simulate_site(&clones, &SimConfig::default(), 3));
+            let cfg = SimConfig { policy: SharingPolicy::EqualFinish, timeshare_overhead: ovh };
+            let slowed = site_finish(&simulate_site(&clones, &cfg, 3));
+            prop_assert!(slowed + 1e-9 >= base);
+        }
+    }
+}

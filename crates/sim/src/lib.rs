@@ -1,0 +1,45 @@
+//! # mrs-sim — shared-nothing execution simulator
+//!
+//! A discrete-event *fluid* simulator of multi-resource, preemptable
+//! shared-nothing sites. Under the paper's assumptions A2 (free
+//! time-sharing) and A3 (uniform resource usage), the simulator's
+//! EqualFinish discipline reproduces the analytic site-time formula
+//! (Equation 2) exactly — the property tests in [`engine`] verify this —
+//! giving an independent check of the paper's cost model. Beyond
+//! validation, the simulator supports the paper's Section 8 "future work"
+//! knobs: a FairShare discipline that needs no global horizon, and a
+//! time-sharing overhead parameter relaxing assumption A2.
+//!
+//! ```
+//! use mrs_sim::prelude::*;
+//! use mrs_core::prelude::*;
+//!
+//! let sys = SystemSpec::homogeneous(4);
+//! let comm = CommModel::paper_defaults();
+//! let model = OverlapModel::new(0.5).unwrap();
+//! let ops = vec![OperatorSpec::floating(
+//!     OperatorId(0), OperatorKind::Scan,
+//!     WorkVector::from_slice(&[2.0, 6.0, 0.0]), 1_000_000.0,
+//! )];
+//! let schedule = operator_schedule(ops, 0.7, &sys, &comm, &model).unwrap();
+//!
+//! let sim = simulate_phase(&schedule, &sys, &model, &SimConfig::default());
+//! let analytic = schedule.makespan(&sys, &model);
+//! assert!((sim.makespan - analytic).abs() < 1e-9 * analytic.max(1.0));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod phase;
+pub mod pipeline;
+
+/// One-stop imports.
+pub mod prelude {
+    pub use crate::engine::{
+        simulate_site, site_finish, Completion, SharingPolicy, SimClone, SimConfig,
+    };
+    pub use crate::phase::{simulate_phase, simulate_tree, PhaseSimResult};
+    pub use crate::pipeline::{simulate_phase_pipelined, PipelineSimResult};
+}

@@ -1,0 +1,188 @@
+//! Simulation of whole schedules: each site of a phase runs its resident
+//! clones through the fluid engine; synchronized phases execute back to
+//! back (Section 5.4's execution discipline).
+
+use crate::engine::{simulate_site, site_finish, SimClone, SimConfig};
+use mrs_core::model::ResponseModel;
+use mrs_core::operator::OperatorId;
+use mrs_core::resource::SystemSpec;
+use mrs_core::schedule::PhaseSchedule;
+use mrs_core::tree::TreeScheduleResult;
+
+/// Outcome of simulating one phase.
+#[derive(Clone, Debug)]
+pub struct PhaseSimResult {
+    /// Simulated makespan: the latest site finish time.
+    pub makespan: f64,
+    /// Per-site finish times.
+    pub site_finish: Vec<f64>,
+    /// Completion time of every operator clone `(op, clone, time)`.
+    pub completions: Vec<(OperatorId, usize, f64)>,
+}
+
+/// Simulates one phase: every clone starts at time zero on its assigned
+/// site (pipelined operators run concurrently under assumption A1), sites
+/// evolve independently, and the phase ends when the last site drains.
+pub fn simulate_phase<M: ResponseModel>(
+    schedule: &PhaseSchedule,
+    sys: &SystemSpec,
+    model: &M,
+    config: &SimConfig,
+) -> PhaseSimResult {
+    let d = sys.dim();
+    // Bucket clones per site, tagging each with (op index, clone index).
+    let mut per_site: Vec<Vec<SimClone>> = vec![Vec::new(); sys.sites];
+    let mut tags: Vec<(OperatorId, usize)> = Vec::new();
+    for (i, op) in schedule.ops.iter().enumerate() {
+        for (k, &site) in schedule.assignment.homes[i].iter().enumerate() {
+            let work = op.clones[k].clone();
+            let duration = model.t_seq(&work);
+            let tag = tags.len();
+            tags.push((op.spec.id, k));
+            per_site[site.0].push(SimClone {
+                tag,
+                work,
+                duration,
+            });
+        }
+    }
+
+    let mut site_times = vec![0.0f64; sys.sites];
+    let mut completions = Vec::with_capacity(tags.len());
+    for (s, clones) in per_site.iter().enumerate() {
+        let done = simulate_site(clones, config, d);
+        site_times[s] = site_finish(&done);
+        for c in done {
+            let (op, clone) = tags[c.tag];
+            completions.push((op, clone, c.time));
+        }
+    }
+    PhaseSimResult {
+        makespan: site_times.iter().copied().fold(0.0, f64::max),
+        site_finish: site_times,
+        completions,
+    }
+}
+
+/// Simulates a full TREESCHEDULE result: phases run back to back; the
+/// total simulated response time is the sum of simulated phase makespans.
+pub fn simulate_tree<M: ResponseModel>(
+    result: &TreeScheduleResult,
+    sys: &SystemSpec,
+    model: &M,
+    config: &SimConfig,
+) -> f64 {
+    result
+        .phases
+        .iter()
+        .map(|p| simulate_phase(&p.schedule, sys, model, config).makespan)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SharingPolicy;
+    use mrs_core::comm::CommModel;
+    use mrs_core::list::operator_schedule;
+    use mrs_core::model::OverlapModel;
+    use mrs_core::operator::{OperatorKind, OperatorSpec};
+    use mrs_core::tasks::TaskGraph;
+    use mrs_core::tree::{tree_schedule, TreeProblem};
+    use mrs_core::vector::WorkVector;
+
+    fn ops(n: usize) -> Vec<OperatorSpec> {
+        (0..n)
+            .map(|i| {
+                OperatorSpec::floating(
+                    OperatorId(i),
+                    OperatorKind::Other,
+                    WorkVector::from_slice(&[2.0 + (i % 4) as f64, 1.0 + (i % 3) as f64, 0.0]),
+                    200_000.0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn simulated_phase_matches_analytic_makespan() {
+        let sys = SystemSpec::homogeneous(6);
+        let comm = CommModel::paper_defaults();
+        let model = OverlapModel::new(0.4).unwrap();
+        let schedule = operator_schedule(ops(8), 0.7, &sys, &comm, &model).unwrap();
+        let analytic = schedule.makespan(&sys, &model);
+        let sim = simulate_phase(&schedule, &sys, &model, &SimConfig::default());
+        assert!(
+            (sim.makespan - analytic).abs() <= 1e-9 * analytic.max(1.0),
+            "simulated {} vs analytic {analytic}",
+            sim.makespan
+        );
+    }
+
+    #[test]
+    fn simulated_tree_matches_analytic_response_time() {
+        let sys = SystemSpec::homogeneous(8);
+        let comm = CommModel::paper_defaults();
+        let model = OverlapModel::new(0.5).unwrap();
+        let all = ops(6);
+        let ids: Vec<_> = (0..6).map(OperatorId).collect();
+        let problem = TreeProblem {
+            ops: all,
+            tasks: TaskGraph::single_task(ids),
+            bindings: vec![],
+        };
+        let result = tree_schedule(&problem, 0.7, &sys, &comm, &model).unwrap();
+        let sim = simulate_tree(&result, &sys, &model, &SimConfig::default());
+        assert!(
+            (sim - result.response_time).abs() <= 1e-9 * result.response_time.max(1.0),
+            "sim {sim} vs analytic {}",
+            result.response_time
+        );
+    }
+
+    #[test]
+    fn fair_share_at_least_analytic() {
+        let sys = SystemSpec::homogeneous(4);
+        let comm = CommModel::paper_defaults();
+        let model = OverlapModel::new(0.2).unwrap();
+        let schedule = operator_schedule(ops(10), 0.7, &sys, &comm, &model).unwrap();
+        let analytic = schedule.makespan(&sys, &model);
+        let cfg = SimConfig {
+            policy: SharingPolicy::FairShare,
+            timeshare_overhead: 0.0,
+        };
+        let sim = simulate_phase(&schedule, &sys, &model, &cfg);
+        assert!(sim.makespan + 1e-6 * analytic >= analytic);
+    }
+
+    #[test]
+    fn every_clone_completes_exactly_once() {
+        let sys = SystemSpec::homogeneous(5);
+        let comm = CommModel::paper_defaults();
+        let model = OverlapModel::new(0.5).unwrap();
+        let schedule = operator_schedule(ops(7), 0.7, &sys, &comm, &model).unwrap();
+        let total_clones: usize = schedule.ops.iter().map(|o| o.degree).sum();
+        let sim = simulate_phase(&schedule, &sys, &model, &SimConfig::default());
+        assert_eq!(sim.completions.len(), total_clones);
+        let mut seen: Vec<(usize, usize)> =
+            sim.completions.iter().map(|(op, k, _)| (op.0, *k)).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), total_clones);
+    }
+
+    #[test]
+    fn overhead_increases_simulated_response() {
+        let sys = SystemSpec::homogeneous(3);
+        let comm = CommModel::paper_defaults();
+        let model = OverlapModel::new(0.5).unwrap();
+        let schedule = operator_schedule(ops(9), 0.7, &sys, &comm, &model).unwrap();
+        let clean = simulate_phase(&schedule, &sys, &model, &SimConfig::default()).makespan;
+        let cfg = SimConfig {
+            policy: SharingPolicy::EqualFinish,
+            timeshare_overhead: 0.4,
+        };
+        let slowed = simulate_phase(&schedule, &sys, &model, &cfg).makespan;
+        assert!(slowed >= clean - 1e-9);
+    }
+}

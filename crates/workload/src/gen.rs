@@ -1,0 +1,239 @@
+//! Random query generation, mirroring the paper's experimental setup
+//! (Section 6.1): tree-shaped query graphs with 10–50 joins, a randomly
+//! selected bushy execution plan per graph, and relation cardinalities
+//! drawn from 10³–10⁵ tuples.
+
+use mrs_plan::plan::{PlanNode, PlanNodeId, PlanTree};
+use mrs_plan::relation::{Catalog, RelationId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How relation cardinalities are sampled from `[min_tuples, max_tuples]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SizeDistribution {
+    /// Uniform over the range.
+    Uniform,
+    /// Log-uniform over the range (each decade equally likely) — the
+    /// default, giving a good mix of small and large operands.
+    LogUniform,
+}
+
+/// Configuration of the random query generator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QueryGenConfig {
+    /// Number of joins `J` (the query references `J + 1` relations).
+    pub joins: usize,
+    /// Smallest relation cardinality (Table 2: 10³).
+    pub min_tuples: f64,
+    /// Largest relation cardinality (Table 2: 10⁵).
+    pub max_tuples: f64,
+    /// Sampling distribution for cardinalities.
+    pub distribution: SizeDistribution,
+}
+
+impl QueryGenConfig {
+    /// The paper's settings for a query of `joins` joins.
+    pub fn paper(joins: usize) -> Self {
+        QueryGenConfig {
+            joins,
+            min_tuples: 1e3,
+            max_tuples: 1e5,
+            distribution: SizeDistribution::LogUniform,
+        }
+    }
+}
+
+/// A generated query: its private catalog, the tree query graph's edges,
+/// and a randomly selected bushy execution plan.
+#[derive(Clone, Debug)]
+pub struct GeneratedQuery {
+    /// Relations referenced by the query.
+    pub catalog: Catalog,
+    /// The query graph: a tree over the relations (edge = join predicate).
+    pub graph_edges: Vec<(RelationId, RelationId)>,
+    /// The chosen bushy execution plan.
+    pub plan: PlanTree,
+}
+
+/// Generates a random query: a random recursive tree query graph plus a
+/// random bushy plan over it. Deterministic in `seed`.
+pub fn generate_query(config: &QueryGenConfig, seed: u64) -> GeneratedQuery {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generate_query_with(config, &mut rng)
+}
+
+/// Like [`generate_query`], drawing randomness from the supplied RNG
+/// (useful when generating suites from one seed stream).
+pub fn generate_query_with(config: &QueryGenConfig, rng: &mut StdRng) -> GeneratedQuery {
+    assert!(
+        config.min_tuples > 0.0 && config.max_tuples >= config.min_tuples,
+        "invalid cardinality range"
+    );
+    let relations = config.joins + 1;
+
+    // Catalog with sampled cardinalities.
+    let mut catalog = Catalog::new();
+    let ids: Vec<RelationId> = (0..relations)
+        .map(|i| {
+            let tuples = match config.distribution {
+                SizeDistribution::Uniform => rng.gen_range(config.min_tuples..=config.max_tuples),
+                SizeDistribution::LogUniform => {
+                    let lo = config.min_tuples.ln();
+                    let hi = config.max_tuples.ln();
+                    rng.gen_range(lo..=hi).exp()
+                }
+            };
+            catalog.add_relation(format!("r{i}"), tuples.round())
+        })
+        .collect();
+
+    // Random recursive tree: relation i (i ≥ 1) joins a uniformly random
+    // earlier relation. Every labelled tree shape is reachable.
+    let mut graph_edges = Vec::with_capacity(config.joins);
+    for i in 1..relations {
+        let j = rng.gen_range(0..i);
+        graph_edges.push((ids[j], ids[i]));
+    }
+
+    // Random bushy plan: contract the graph edge by edge in random order;
+    // each contraction joins the two partial results the edge connects,
+    // with a random outer/inner orientation.
+    let mut order: Vec<usize> = (0..graph_edges.len()).collect();
+    // Fisher–Yates.
+    for i in (1..order.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+
+    let mut nodes: Vec<PlanNode> = ids.iter().map(|r| PlanNode::Scan(*r)).collect();
+    // Union-find over relations; each component's representative carries
+    // the plan node currently producing that component's join result.
+    let mut parent: Vec<usize> = (0..relations).collect();
+    let mut comp_node: Vec<PlanNodeId> = (0..relations).map(PlanNodeId).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+
+    let mut root = PlanNodeId(0);
+    for &e in &order {
+        let (a, b) = graph_edges[e];
+        let (ra, rb) = (find(&mut parent, a.0), find(&mut parent, b.0));
+        debug_assert_ne!(ra, rb, "tree edges contract distinct components");
+        let (na, nb) = (comp_node[ra], comp_node[rb]);
+        let (outer, inner) = if rng.gen_bool(0.5) { (na, nb) } else { (nb, na) };
+        nodes.push(PlanNode::Join { outer, inner });
+        let join = PlanNodeId(nodes.len() - 1);
+        parent[ra] = rb;
+        comp_node[rb] = join;
+        root = join;
+    }
+    if config.joins == 0 {
+        root = PlanNodeId(0);
+    }
+
+    let plan = PlanTree::new(nodes, root).expect("contraction always yields a valid tree");
+    GeneratedQuery {
+        catalog,
+        graph_edges,
+        plan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_join_count() {
+        for joins in [0usize, 1, 5, 20] {
+            let q = generate_query(&QueryGenConfig::paper(joins), 42);
+            assert_eq!(q.plan.join_count(), joins);
+            assert_eq!(q.plan.scan_count(), joins + 1);
+            assert_eq!(q.catalog.len(), joins + 1);
+            assert_eq!(q.graph_edges.len(), joins);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = QueryGenConfig::paper(12);
+        let a = generate_query(&cfg, 7);
+        let b = generate_query(&cfg, 7);
+        assert_eq!(a.plan, b.plan);
+        assert_eq!(a.catalog, b.catalog);
+        assert_eq!(a.graph_edges, b.graph_edges);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = QueryGenConfig::paper(12);
+        let a = generate_query(&cfg, 1);
+        let b = generate_query(&cfg, 2);
+        assert!(a.plan != b.plan || a.catalog != b.catalog);
+    }
+
+    #[test]
+    fn cardinalities_within_range() {
+        let cfg = QueryGenConfig::paper(30);
+        let q = generate_query(&cfg, 9);
+        for (_, r) in q.catalog.iter() {
+            let ok = (1e3 - 0.5..=1e5 + 0.5).contains(&r.tuples);
+            assert!(ok, "cardinality {} out of range", r.tuples);
+        }
+    }
+
+    #[test]
+    fn uniform_distribution_supported() {
+        let cfg = QueryGenConfig {
+            distribution: SizeDistribution::Uniform,
+            ..QueryGenConfig::paper(10)
+        };
+        let q = generate_query(&cfg, 3);
+        for (_, r) in q.catalog.iter() {
+            assert!((1e3 - 0.5..=1e5 + 0.5).contains(&r.tuples));
+        }
+    }
+
+    #[test]
+    fn graph_edges_form_a_tree() {
+        let q = generate_query(&QueryGenConfig::paper(25), 11);
+        // J edges over J+1 nodes with all nodes reachable = tree.
+        let n = q.catalog.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(p: &mut [usize], mut x: usize) -> usize {
+            while p[x] != x {
+                p[x] = p[p[x]];
+                x = p[x];
+            }
+            x
+        }
+        for (a, b) in &q.graph_edges {
+            let (ra, rb) = (find(&mut parent, a.0), find(&mut parent, b.0));
+            assert_ne!(ra, rb, "duplicate edge would form a cycle");
+            parent[ra] = rb;
+        }
+        let root = find(&mut parent, 0);
+        for i in 1..n {
+            assert_eq!(find(&mut parent, i), root, "graph must be connected");
+        }
+    }
+
+    #[test]
+    fn plans_vary_in_shape() {
+        // Across seeds we should see both shallow (bushy) and deeper plans.
+        let cfg = QueryGenConfig::paper(15);
+        let heights: Vec<usize> = (0..40)
+            .map(|s| generate_query(&cfg, s).plan.height())
+            .collect();
+        let min = *heights.iter().min().unwrap();
+        let max = *heights.iter().max().unwrap();
+        assert!(max > min, "all 40 random plans identical in height");
+        // A 15-join plan has height between 4 (perfectly balanced) and 15.
+        assert!(min >= 4);
+        assert!(max <= 15);
+    }
+}

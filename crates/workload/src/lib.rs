@@ -1,0 +1,37 @@
+//! # mrs-workload — seeded workload generation
+//!
+//! Random tree query graphs, randomly selected bushy execution plans, and
+//! relation-cardinality sampling matching the paper's experimental setup
+//! (Section 6.1): query sizes of 10–50 joins, twenty queries per size,
+//! relations of 10³–10⁵ tuples. Everything is deterministic in a `u64`
+//! seed so experiments reproduce bit-for-bit.
+//!
+//! ```
+//! use mrs_workload::prelude::*;
+//!
+//! let q = generate_query(&QueryGenConfig::paper(10), 42);
+//! assert_eq!(q.plan.join_count(), 10);
+//!
+//! let suites = paper_workload(42);
+//! assert_eq!(suites.len(), 5); // 10, 20, 30, 40, 50 joins
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod gen;
+pub mod shapes;
+pub mod skew;
+pub mod suite;
+
+/// One-stop imports.
+pub mod prelude {
+    pub use crate::gen::{
+        generate_query, generate_query_with, GeneratedQuery, QueryGenConfig, SizeDistribution,
+    };
+    pub use crate::shapes::{balanced_query, chain_query, star_query};
+    pub use crate::skew::{skew_ratio, zipf_partition, zipf_weights};
+    pub use crate::suite::{
+        paper_workload, suite, Suite, PAPER_QUERIES_PER_SIZE, PAPER_QUERY_SIZES,
+    };
+}

@@ -1,0 +1,196 @@
+//! Structured query-graph shapes — deterministic complements to the
+//! random recursive trees of [`crate::gen`]: chains (linear joins), stars
+//! (fact + dimensions), and balanced binary trees. Useful for stress
+//! tests, worst-case probing, and benchmarks where shape must be
+//! controlled rather than sampled.
+
+use crate::gen::GeneratedQuery;
+use mrs_plan::plan::{PlanNode, PlanNodeId, PlanTree};
+use mrs_plan::relation::{Catalog, RelationId};
+
+/// A chain query: `r0 – r1 – … – rJ` with the given cardinalities; the
+/// plan is left-deep in relation order (each new relation becomes the
+/// build side).
+///
+/// # Panics
+/// Panics with fewer than two relations.
+pub fn chain_query(sizes: &[f64]) -> GeneratedQuery {
+    assert!(sizes.len() >= 2, "a chain needs at least two relations");
+    let mut catalog = Catalog::new();
+    let ids: Vec<RelationId> = sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| catalog.add_relation(format!("c{i}"), t))
+        .collect();
+    let graph_edges = ids.windows(2).map(|w| (w[0], w[1])).collect();
+    let plan = PlanTree::left_deep(&ids);
+    GeneratedQuery {
+        catalog,
+        graph_edges,
+        plan,
+    }
+}
+
+/// A star query: one fact relation joined to each dimension. The plan is
+/// left-deep with the fact as the initial outer and dimensions joined in
+/// the given order (each dimension builds).
+///
+/// # Panics
+/// Panics with no dimensions.
+pub fn star_query(fact_tuples: f64, dimension_tuples: &[f64]) -> GeneratedQuery {
+    assert!(!dimension_tuples.is_empty(), "a star needs dimensions");
+    let mut catalog = Catalog::new();
+    let fact = catalog.add_relation("fact", fact_tuples);
+    let dims: Vec<RelationId> = dimension_tuples
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| catalog.add_relation(format!("d{i}"), t))
+        .collect();
+    let graph_edges: Vec<_> = dims.iter().map(|&d| (fact, d)).collect();
+    let mut order = vec![fact];
+    order.extend(&dims);
+    let plan = PlanTree::left_deep(&order);
+    GeneratedQuery {
+        catalog,
+        graph_edges,
+        plan,
+    }
+}
+
+/// A perfectly balanced bushy query over `2^levels` relations: the query
+/// graph is a chain, but the plan is a balanced binary join tree —
+/// maximal independent (bushy) parallelism, minimal plan height.
+///
+/// # Panics
+/// Panics when `levels == 0` or the sizes slice is not `2^levels` long.
+pub fn balanced_query(levels: u32, sizes: &[f64]) -> GeneratedQuery {
+    let n = 1usize << levels;
+    assert!(levels >= 1, "need at least one join level");
+    assert_eq!(sizes.len(), n, "need exactly 2^levels relation sizes");
+    let mut catalog = Catalog::new();
+    let ids: Vec<RelationId> = sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| catalog.add_relation(format!("b{i}"), t))
+        .collect();
+    let graph_edges: Vec<_> = ids.windows(2).map(|w| (w[0], w[1])).collect();
+
+    let mut nodes: Vec<PlanNode> = ids.iter().map(|&r| PlanNode::Scan(r)).collect();
+    let mut frontier: Vec<PlanNodeId> = (0..n).map(PlanNodeId).collect();
+    while frontier.len() > 1 {
+        let mut next = Vec::with_capacity(frontier.len() / 2);
+        for pair in frontier.chunks(2) {
+            nodes.push(PlanNode::Join {
+                outer: pair[0],
+                inner: pair[1],
+            });
+            next.push(PlanNodeId(nodes.len() - 1));
+        }
+        frontier = next;
+    }
+    let plan = PlanTree::new(nodes, frontier[0]).expect("balanced construction is a tree");
+    GeneratedQuery {
+        catalog,
+        graph_edges,
+        plan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrs_cost::prelude::{problem_from_plan, CostModel, ScanPlacement};
+    use mrs_plan::cardinality::KeyJoinMax;
+
+    #[test]
+    fn chain_shape() {
+        let q = chain_query(&[1e3, 2e3, 3e3, 4e3]);
+        assert_eq!(q.plan.join_count(), 3);
+        assert_eq!(q.graph_edges.len(), 3);
+        assert_eq!(q.plan.height(), 3);
+    }
+
+    #[test]
+    fn star_shape() {
+        let q = star_query(1e5, &[1e3, 2e3, 5e2]);
+        assert_eq!(q.plan.join_count(), 3);
+        assert_eq!(q.catalog.len(), 4);
+        // Every edge touches the fact relation.
+        for (a, _) in &q.graph_edges {
+            assert_eq!(q.catalog.get(*a).name, "fact");
+        }
+    }
+
+    #[test]
+    fn balanced_shape() {
+        let q = balanced_query(3, &[1e3; 8]);
+        assert_eq!(q.plan.join_count(), 7);
+        assert_eq!(q.plan.height(), 3, "balanced tree has log-depth");
+    }
+
+    #[test]
+    fn shapes_assemble_and_schedule() {
+        use mrs_core::model::OverlapModel;
+        use mrs_core::resource::SystemSpec;
+        use mrs_core::tree::tree_schedule;
+        let cost = CostModel::paper_defaults();
+        let sys = SystemSpec::homogeneous(8);
+        let model = OverlapModel::new(0.5).unwrap();
+        let comm = cost.params().comm_model();
+        for q in [
+            chain_query(&[1e3, 1e4, 1e5]),
+            star_query(5e4, &[1e3, 2e3]),
+            balanced_query(2, &[1e4; 4]),
+        ] {
+            let problem = problem_from_plan(
+                &q.plan,
+                &q.catalog,
+                &KeyJoinMax,
+                &cost,
+                &ScanPlacement::Floating,
+            )
+            .unwrap();
+            let r = tree_schedule(&problem, 0.7, &sys, &comm, &model).unwrap();
+            assert!(r.response_time > 0.0);
+        }
+    }
+
+    #[test]
+    fn balanced_has_fewer_phases_than_chain() {
+        let chain = chain_query(&[1e4; 8]);
+        let balanced = balanced_query(3, &[1e4; 8]);
+        let cost = CostModel::paper_defaults();
+        let chain_p = problem_from_plan(
+            &chain.plan,
+            &chain.catalog,
+            &KeyJoinMax,
+            &cost,
+            &ScanPlacement::Floating,
+        )
+        .unwrap();
+        let bal_p = problem_from_plan(
+            &balanced.plan,
+            &balanced.catalog,
+            &KeyJoinMax,
+            &cost,
+            &ScanPlacement::Floating,
+        )
+        .unwrap();
+        // Left-deep chains pipeline all probes into one task (2 shelves);
+        // balanced bushy trees nest build tasks log-deep.
+        assert_eq!(chain_p.tasks.height(), 1);
+        assert_eq!(bal_p.tasks.height(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn chain_needs_two() {
+        chain_query(&[1e3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "2^levels")]
+    fn balanced_size_checked() {
+        balanced_query(2, &[1e3; 5]);
+    }
+}

@@ -1,0 +1,96 @@
+//! Skewed partitioning weights — the execution-skew *extension*
+//! experiment (the paper's EA1 assumes no skew; Section 8 lists skew as
+//! future work).
+//!
+//! Zipf-distributed weights model a declustering where some partitions
+//! receive disproportionately many tuples (e.g. value skew in the
+//! partitioning attribute).
+
+use mrs_core::partition::PartitionStrategy;
+
+/// Zipf weights `w_k ∝ 1 / (k+1)^theta` for `n` partitions.
+///
+/// `theta = 0` degenerates to an even split; larger `theta` concentrates
+/// work in the first partitions.
+///
+/// # Panics
+/// Panics when `n == 0` or `theta` is negative/non-finite.
+pub fn zipf_weights(n: usize, theta: f64) -> Vec<f64> {
+    assert!(n >= 1, "need at least one partition");
+    assert!(
+        theta.is_finite() && theta >= 0.0,
+        "zipf exponent must be non-negative, got {theta}"
+    );
+    (0..n).map(|k| 1.0 / ((k + 1) as f64).powf(theta)).collect()
+}
+
+/// A [`PartitionStrategy`] splitting an operator's divisible work with
+/// Zipf weights.
+pub fn zipf_partition(n: usize, theta: f64) -> PartitionStrategy {
+    if theta == 0.0 {
+        PartitionStrategy::Even
+    } else {
+        PartitionStrategy::Weighted(zipf_weights(n, theta))
+    }
+}
+
+/// The skew ratio of a weight vector: largest weight over the even share
+/// `1/n`. 1.0 means no skew.
+pub fn skew_ratio(weights: &[f64]) -> f64 {
+    assert!(!weights.is_empty());
+    let total: f64 = weights.iter().sum();
+    let max = weights.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    (max / total) * weights.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theta_zero_is_even() {
+        let w = zipf_weights(4, 0.0);
+        assert_eq!(w, vec![1.0; 4]);
+        assert!((skew_ratio(&w) - 1.0).abs() < 1e-12);
+        assert_eq!(zipf_partition(4, 0.0), PartitionStrategy::Even);
+    }
+
+    #[test]
+    fn weights_decrease_with_rank() {
+        let w = zipf_weights(5, 1.0);
+        for pair in w.windows(2) {
+            assert!(pair[0] > pair[1]);
+        }
+        assert!((w[0] - 1.0).abs() < 1e-12);
+        assert!((w[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skew_ratio_grows_with_theta() {
+        let low = skew_ratio(&zipf_weights(8, 0.5));
+        let high = skew_ratio(&zipf_weights(8, 1.5));
+        assert!(high > low);
+        assert!(low > 1.0);
+    }
+
+    #[test]
+    fn partition_strategy_normalizes() {
+        let strategy = zipf_partition(3, 1.0);
+        let fr = strategy.fractions(3);
+        let total: f64 = fr.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(fr[0] > fr[1] && fr[1] > fr[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn zero_partitions_rejected() {
+        zipf_weights(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zipf exponent")]
+    fn negative_theta_rejected() {
+        zipf_weights(3, -1.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Experiment suites: batches of generated queries matching the paper's
+//! methodology ("for each query size, twenty query graphs were randomly
+//! generated and for each graph a bushy execution plan was randomly
+//! selected", Section 6.1).
+
+use crate::gen::{generate_query_with, GeneratedQuery, QueryGenConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The query sizes of the paper's evaluation.
+pub const PAPER_QUERY_SIZES: [usize; 5] = [10, 20, 30, 40, 50];
+
+/// Queries per size in the paper's evaluation.
+pub const PAPER_QUERIES_PER_SIZE: usize = 20;
+
+/// A batch of queries of one size.
+#[derive(Clone, Debug)]
+pub struct Suite {
+    /// Number of joins per query.
+    pub joins: usize,
+    /// The generated queries.
+    pub queries: Vec<GeneratedQuery>,
+}
+
+/// Generates a suite of `count` random queries of `joins` joins each,
+/// deterministically derived from `seed`.
+pub fn suite(joins: usize, count: usize, seed: u64) -> Suite {
+    // One RNG stream per suite: queries within a suite differ, reruns
+    // reproduce exactly.
+    let mut rng = StdRng::seed_from_u64(seed ^ (joins as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let config = QueryGenConfig::paper(joins);
+    let queries = (0..count)
+        .map(|_| generate_query_with(&config, &mut rng))
+        .collect();
+    Suite { joins, queries }
+}
+
+/// The paper's full workload: 20 queries for each of 10–50 joins.
+pub fn paper_workload(seed: u64) -> Vec<Suite> {
+    PAPER_QUERY_SIZES
+        .iter()
+        .map(|&j| suite(j, PAPER_QUERIES_PER_SIZE, seed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_requested_shape() {
+        let s = suite(10, 5, 1);
+        assert_eq!(s.joins, 10);
+        assert_eq!(s.queries.len(), 5);
+        for q in &s.queries {
+            assert_eq!(q.plan.join_count(), 10);
+        }
+    }
+
+    #[test]
+    fn suite_reproducible() {
+        let a = suite(20, 3, 99);
+        let b = suite(20, 3, 99);
+        for (x, y) in a.queries.iter().zip(&b.queries) {
+            assert_eq!(x.plan, y.plan);
+        }
+    }
+
+    #[test]
+    fn queries_within_suite_differ() {
+        let s = suite(20, 4, 5);
+        let distinct = s
+            .queries
+            .iter()
+            .zip(s.queries.iter().skip(1))
+            .filter(|(a, b)| a.plan != b.plan || a.catalog != b.catalog)
+            .count();
+        assert!(distinct > 0, "suite queries should not all coincide");
+    }
+
+    #[test]
+    fn paper_workload_shape() {
+        let w = paper_workload(7);
+        assert_eq!(w.len(), 5);
+        for (suite, expected) in w.iter().zip(PAPER_QUERY_SIZES) {
+            assert_eq!(suite.joins, expected);
+            assert_eq!(suite.queries.len(), PAPER_QUERIES_PER_SIZE);
+        }
+    }
+
+    #[test]
+    fn different_sizes_use_distinct_streams() {
+        let a = suite(10, 1, 42);
+        let b = suite(20, 1, 42);
+        // Same master seed, different sizes → unrelated catalogs.
+        assert_ne!(
+            a.queries[0].catalog.get(mrs_plan::relation::RelationId(0)).tuples,
+            b.queries[0].catalog.get(mrs_plan::relation::RelationId(0)).tuples
+        );
+    }
+}

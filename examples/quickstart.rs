@@ -1,0 +1,87 @@
+//! Quickstart: generate a random bushy join query, derive its
+//! multi-dimensional scheduling problem, and schedule it with
+//! TREESCHEDULE — then compare against the one-dimensional SYNCHRONOUS
+//! baseline.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mdrs::prelude::*;
+
+fn main() {
+    // --- 1. A workload ---------------------------------------------------
+    // A random 12-join tree query over relations of 10^3..10^5 tuples,
+    // exactly like the paper's Section 6 setup. Seeded → reproducible.
+    let query = generate_query(&QueryGenConfig::paper(12), 42);
+    println!(
+        "query: {} joins over {} relations, plan height {}",
+        query.plan.join_count(),
+        query.catalog.len(),
+        query.plan.height()
+    );
+
+    // --- 2. The machine ---------------------------------------------------
+    // 32 shared-nothing sites; each site = {CPU, disk, network interface}.
+    let sys = SystemSpec::homogeneous(32);
+    // Resource overlap ε = 0.5: a clone's response time is halfway between
+    // its max resource demand (perfect overlap) and the sum (no overlap).
+    let model = OverlapModel::new(0.5).unwrap();
+
+    // --- 3. Costs ---------------------------------------------------------
+    // Table 2 parameters: 1 MIPS CPU, 20 ms/page disk, α = 15 ms startup,
+    // β = 0.6 µs/byte network.
+    let cost = CostModel::paper_defaults();
+    let comm = cost.params().comm_model();
+    let problem = problem_from_plan(
+        &query.plan,
+        &query.catalog,
+        &KeyJoinMax,
+        &cost,
+        &ScanPlacement::Floating,
+    )
+    .expect("generated plans always assemble");
+    println!(
+        "problem: {} operators in {} tasks ({} phases)",
+        problem.ops.len(),
+        problem.tasks.len(),
+        problem.tasks.height() + 1
+    );
+
+    // --- 4. Schedule ------------------------------------------------------
+    let f = 0.7; // coarse-grain granularity parameter
+    let result = tree_schedule(&problem, f, &sys, &comm, &model).unwrap();
+    println!("\nTREESCHEDULE (f = {f}):");
+    for phase in &result.phases {
+        println!(
+            "  phase level {:>2}: {:>2} operators, makespan {:>7.2}s",
+            phase.level,
+            phase.schedule.ops.len(),
+            phase.makespan
+        );
+    }
+    println!("  total response time: {:.2}s", result.response_time);
+
+    // --- 5. Compare -------------------------------------------------------
+    let sync = synchronous_schedule(&problem, &sys, &comm, &model).unwrap();
+    println!("\nSYNCHRONOUS (1-D baseline): {:.2}s", sync.response_time);
+    println!(
+        "speedup from multi-dimensional resource sharing: {:.2}x",
+        sync.response_time / result.response_time
+    );
+
+    // --- 6. Sanity: against the OPTBOUND lower bound -----------------------
+    let bound = opt_bound(&problem, f, &sys, &comm, &model);
+    println!(
+        "\nOPTBOUND lower bound: {:.2}s  (TreeSchedule is within {:.2}x)",
+        bound,
+        result.response_time / bound
+    );
+
+    // --- 7. Validate with the execution simulator --------------------------
+    let simulated = simulate_tree(&result, &sys, &model, &SimConfig::default());
+    println!(
+        "simulated response time (fluid engine, A2/A3): {:.2}s (analytic {:.2}s)",
+        simulated, result.response_time
+    );
+}

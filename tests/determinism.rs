@@ -1,0 +1,116 @@
+//! Determinism and reproducibility across the whole pipeline: identical
+//! seeds must produce bit-identical workloads, problems, and schedules —
+//! the property that makes every EXPERIMENTS.md number regenerable.
+
+use mdrs::prelude::*;
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let run = || {
+        let q = generate_query(&QueryGenConfig::paper(18), 12345);
+        let cost = CostModel::paper_defaults();
+        let problem = problem_from_plan(
+            &q.plan,
+            &q.catalog,
+            &KeyJoinMax,
+            &cost,
+            &ScanPlacement::Floating,
+        )
+        .unwrap();
+        let sys = SystemSpec::homogeneous(28);
+        let model = OverlapModel::new(0.4).unwrap();
+        let comm = cost.params().comm_model();
+        let result = tree_schedule(&problem, 0.7, &sys, &comm, &model).unwrap();
+        (
+            result.response_time,
+            result
+                .phases
+                .iter()
+                .map(|p| p.schedule.assignment.clone())
+                .collect::<Vec<_>>(),
+        )
+    };
+    let (t1, a1) = run();
+    let (t2, a2) = run();
+    assert_eq!(t1, t2, "response time must be bit-identical");
+    assert_eq!(a1, a2, "assignments must be identical");
+}
+
+#[test]
+fn suites_are_reproducible_and_seed_sensitive() {
+    let a = suite(15, 4, 1);
+    let b = suite(15, 4, 1);
+    let c = suite(15, 4, 2);
+    for (x, y) in a.queries.iter().zip(&b.queries) {
+        assert_eq!(x.plan, y.plan);
+        assert_eq!(x.graph_edges, y.graph_edges);
+    }
+    let same = a
+        .queries
+        .iter()
+        .zip(&c.queries)
+        .filter(|(x, y)| x.plan == y.plan)
+        .count();
+    assert!(same < a.queries.len(), "different seeds must change plans");
+}
+
+#[test]
+fn baselines_are_deterministic_too() {
+    let cost = CostModel::paper_defaults();
+    let comm = cost.params().comm_model();
+    let model = OverlapModel::new(0.5).unwrap();
+    let q = generate_query(&QueryGenConfig::paper(10), 5);
+    let problem = problem_from_plan(
+        &q.plan,
+        &q.catalog,
+        &KeyJoinMax,
+        &cost,
+        &ScanPlacement::Floating,
+    )
+    .unwrap();
+    let sys = SystemSpec::homogeneous(10);
+    let s1 = synchronous_schedule(&problem, &sys, &comm, &model).unwrap();
+    let s2 = synchronous_schedule(&problem, &sys, &comm, &model).unwrap();
+    assert_eq!(s1.response_time, s2.response_time);
+    let m1 = {
+        // Malleable over the deepest level's independent operators.
+        let ops: Vec<_> = problem
+            .tasks
+            .ops_at_level(problem.tasks.height())
+            .iter()
+            .enumerate()
+            .map(|(i, id)| {
+                let mut op = problem.ops[id.0].clone();
+                op.id = OperatorId(i);
+                op
+            })
+            .collect();
+        malleable_schedule(ops, &sys, &comm, &model).unwrap()
+    };
+    assert!(!m1.degrees.is_empty());
+}
+
+#[test]
+fn experiment_reports_are_reproducible() {
+    let cfg = ExpConfig { seed: 42, fast: true };
+    let a = fig6a(&cfg);
+    let b = fig6a(&cfg);
+    assert_eq!(a.table, b.table, "experiment output must be reproducible");
+    let c = fig6a(&ExpConfig { seed: 43, fast: true });
+    assert_ne!(a.table, c.table, "seed must matter");
+}
+
+#[test]
+fn experiment_registry_runs_everything_fast() {
+    // Smoke-test the full registry in fast mode; every report renders.
+    let cfg = ExpConfig { seed: 9, fast: true };
+    for (id, f) in all_experiments() {
+        let report = f(&cfg);
+        assert_eq!(report.id, id);
+        let text = report.render();
+        assert!(text.contains("=="), "report {id} should render a title");
+        assert!(!report.table.rows.is_empty(), "report {id} has no rows");
+        let csv = report.table.to_csv();
+        assert!(csv.lines().count() >= 2, "report {id} CSV too short");
+    }
+}

@@ -1,0 +1,132 @@
+//! Cross-crate property-based tests: arbitrary generated queries, systems,
+//! and model parameters must always produce valid, bound-respecting,
+//! simulator-consistent schedules.
+
+use mdrs::prelude::*;
+use proptest::prelude::*;
+
+fn assemble(joins: usize, seed: u64) -> (TreeProblem, CostModel) {
+    let q = generate_query(&QueryGenConfig::paper(joins), seed);
+    let cost = CostModel::paper_defaults();
+    let problem = problem_from_plan(
+        &q.plan,
+        &q.catalog,
+        &KeyJoinMax,
+        &cost,
+        &ScanPlacement::Floating,
+    )
+    .unwrap();
+    (problem, cost)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any generated query schedules validly on any machine/model, and
+    /// the two makespan formulations agree phase by phase.
+    #[test]
+    fn tree_schedule_always_valid(
+        joins in 1usize..20,
+        seed in 0u64..1000,
+        sites in 1usize..64,
+        eps in 0.0f64..=1.0,
+        f in 0.1f64..1.2,
+    ) {
+        let (problem, cost) = assemble(joins, seed);
+        let sys = SystemSpec::homogeneous(sites);
+        let model = OverlapModel::new(eps).unwrap();
+        let comm = cost.params().comm_model();
+        let result = tree_schedule(&problem, f, &sys, &comm, &model).unwrap();
+        let mut total = 0.0;
+        for phase in &result.phases {
+            phase.schedule.validate(&sys).unwrap();
+            let a = phase.schedule.makespan(&sys, &model);
+            let b = phase.schedule.makespan_eq3(&sys, &model);
+            prop_assert!((a - b).abs() <= 1e-9 * a.max(1.0));
+            total += phase.makespan;
+        }
+        prop_assert!((total - result.response_time).abs() <= 1e-9 * total.max(1.0));
+    }
+
+    /// OPTBOUND lower-bounds TreeSchedule for any configuration.
+    #[test]
+    fn opt_bound_is_sound(
+        joins in 1usize..15,
+        seed in 0u64..500,
+        sites in 1usize..48,
+        eps in 0.0f64..=1.0,
+    ) {
+        let (problem, cost) = assemble(joins, seed);
+        let sys = SystemSpec::homogeneous(sites);
+        let model = OverlapModel::new(eps).unwrap();
+        let comm = cost.params().comm_model();
+        let f = 0.7;
+        let bound = opt_bound(&problem, f, &sys, &comm, &model);
+        let ts = tree_schedule(&problem, f, &sys, &comm, &model).unwrap().response_time;
+        prop_assert!(bound <= ts + 1e-6 * ts.max(1.0), "bound {bound} > achieved {ts}");
+    }
+
+    /// The simulator agrees with the analytic model for any workload.
+    #[test]
+    fn simulator_always_agrees(
+        joins in 1usize..12,
+        seed in 0u64..300,
+        sites in 1usize..32,
+        eps in 0.0f64..=1.0,
+    ) {
+        let (problem, cost) = assemble(joins, seed);
+        let sys = SystemSpec::homogeneous(sites);
+        let model = OverlapModel::new(eps).unwrap();
+        let comm = cost.params().comm_model();
+        let result = tree_schedule(&problem, 0.7, &sys, &comm, &model).unwrap();
+        let sim = simulate_tree(&result, &sys, &model, &SimConfig::default());
+        prop_assert!((sim - result.response_time).abs()
+            <= 1e-9 * result.response_time.max(1.0));
+    }
+
+    /// SYNCHRONOUS schedules are always valid and every phase respects
+    /// the binding constraints (probe at build's home).
+    #[test]
+    fn synchronous_always_valid(
+        joins in 1usize..15,
+        seed in 0u64..400,
+        sites in 1usize..48,
+        eps in 0.0f64..=1.0,
+    ) {
+        let (problem, cost) = assemble(joins, seed);
+        let sys = SystemSpec::homogeneous(sites);
+        let model = OverlapModel::new(eps).unwrap();
+        let comm = cost.params().comm_model();
+        let result = synchronous_schedule(&problem, &sys, &comm, &model).unwrap();
+        for phase in &result.phases {
+            phase.schedule.validate(&sys).unwrap();
+        }
+        for b in &problem.bindings {
+            prop_assert_eq!(
+                result.homes_of(b.dependent).unwrap(),
+                result.homes_of(b.source).unwrap()
+            );
+        }
+    }
+
+    /// Degrees chosen by TreeSchedule never exceed the machine and the
+    /// phase count matches the task-tree height.
+    #[test]
+    fn structural_invariants(
+        joins in 1usize..18,
+        seed in 0u64..400,
+        sites in 1usize..32,
+    ) {
+        let (problem, cost) = assemble(joins, seed);
+        let sys = SystemSpec::homogeneous(sites);
+        let model = OverlapModel::new(0.5).unwrap();
+        let comm = cost.params().comm_model();
+        let result = tree_schedule(&problem, 0.7, &sys, &comm, &model).unwrap();
+        prop_assert_eq!(result.phases.len(), problem.tasks.height() + 1);
+        for phase in &result.phases {
+            for op in &phase.schedule.ops {
+                prop_assert!((1..=sites).contains(&op.degree));
+            }
+        }
+    }
+}

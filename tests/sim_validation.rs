@@ -1,0 +1,159 @@
+//! Simulator-vs-analytic validation over full query workloads: the fluid
+//! engine under assumptions A2/A3 must reproduce Equations (2)/(3)
+//! exactly, and the relaxed disciplines must never beat the bounds.
+
+use mdrs::prelude::*;
+
+fn scheduled_queries(
+    joins: usize,
+    count: usize,
+    sites: usize,
+    eps: f64,
+) -> Vec<(TreeScheduleResult, SystemSpec, OverlapModel)> {
+    let cost = CostModel::paper_defaults();
+    let comm = cost.params().comm_model();
+    let model = OverlapModel::new(eps).unwrap();
+    let s = suite(joins, count, 77);
+    s.queries
+        .iter()
+        .map(|q| {
+            let problem = problem_from_plan(
+                &q.plan,
+                &q.catalog,
+                &KeyJoinMax,
+                &cost,
+                &ScanPlacement::Floating,
+            )
+            .unwrap();
+            let sys = SystemSpec::homogeneous(sites);
+            let r = tree_schedule(&problem, 0.7, &sys, &comm, &model).unwrap();
+            (r, sys, model)
+        })
+        .collect()
+}
+
+#[test]
+fn equal_finish_reproduces_analytic_model_exactly() {
+    for (result, sys, model) in scheduled_queries(12, 4, 20, 0.5) {
+        let sim = simulate_tree(&result, &sys, &model, &SimConfig::default());
+        let rel = (sim - result.response_time).abs() / result.response_time;
+        assert!(rel < 1e-9, "simulated {sim} vs analytic {}", result.response_time);
+    }
+}
+
+#[test]
+fn equal_finish_matches_across_overlap_settings() {
+    for eps in [0.0, 0.1, 0.5, 0.9, 1.0] {
+        for (result, sys, model) in scheduled_queries(8, 2, 16, eps) {
+            let sim = simulate_tree(&result, &sys, &model, &SimConfig::default());
+            let rel = (sim - result.response_time).abs() / result.response_time.max(1e-12);
+            assert!(rel < 1e-9, "eps={eps}: {sim} vs {}", result.response_time);
+        }
+    }
+}
+
+#[test]
+fn fair_share_never_below_analytic() {
+    let cfg = SimConfig {
+        policy: SharingPolicy::FairShare,
+        timeshare_overhead: 0.0,
+    };
+    for (result, sys, model) in scheduled_queries(10, 3, 12, 0.3) {
+        for phase in &result.phases {
+            let sim = simulate_phase(&phase.schedule, &sys, &model, &cfg);
+            assert!(
+                sim.makespan + 1e-6 * phase.makespan >= phase.makespan,
+                "FairShare {} beat the analytic floor {}",
+                sim.makespan,
+                phase.makespan
+            );
+        }
+    }
+}
+
+#[test]
+fn overhead_strictly_monotone_when_sites_shared() {
+    let (results, sys, model) = {
+        let mut v = scheduled_queries(10, 1, 8, 0.5);
+        let (r, sys, model) = v.pop().unwrap();
+        (r, sys, model)
+    };
+    let mut last = 0.0f64;
+    for ovh in [0.0, 0.2, 0.5, 1.0] {
+        let cfg = SimConfig {
+            policy: SharingPolicy::EqualFinish,
+            timeshare_overhead: ovh,
+        };
+        let total: f64 = results
+            .phases
+            .iter()
+            .map(|p| simulate_phase(&p.schedule, &sys, &model, &cfg).makespan)
+            .sum();
+        assert!(total + 1e-9 >= last, "overhead {ovh} not monotone");
+        last = total;
+    }
+}
+
+#[test]
+fn completion_counts_match_clone_counts() {
+    for (result, sys, model) in scheduled_queries(6, 2, 10, 0.4) {
+        for phase in &result.phases {
+            let clones: usize = phase.schedule.ops.iter().map(|o| o.degree).sum();
+            let sim = simulate_phase(&phase.schedule, &sys, &model, &SimConfig::default());
+            assert_eq!(sim.completions.len(), clones);
+            // Completion times never exceed the phase makespan.
+            for (_, _, t) in &sim.completions {
+                assert!(*t <= sim.makespan + 1e-12);
+            }
+        }
+    }
+}
+
+#[test]
+fn skewed_execution_never_faster_than_planned() {
+    let cost = CostModel::paper_defaults();
+    let comm = cost.params().comm_model();
+    let model = OverlapModel::new(0.5).unwrap();
+    let q = generate_query(&QueryGenConfig::paper(10), 13);
+    let problem = problem_from_plan(
+        &q.plan,
+        &q.catalog,
+        &KeyJoinMax,
+        &cost,
+        &ScanPlacement::Floating,
+    )
+    .unwrap();
+    let sys = SystemSpec::homogeneous(16);
+    let planned = tree_schedule(&problem, 0.7, &sys, &comm, &model).unwrap();
+    // theta = 0 must reproduce the plan exactly; strong skew (theta = 1,
+    // ~3.4x work on the first clone) must hurt. Mild skew can in rare
+    // packings shuffle congestion around, so it is not asserted.
+    for theta in [0.0, 1.0] {
+        let mut realized = 0.0;
+        for phase in &planned.phases {
+            let skewed_ops: Vec<ScheduledOperator> = phase
+                .schedule
+                .ops
+                .iter()
+                .map(|sop| {
+                    ScheduledOperator::with_strategy(
+                        sop.spec.clone(),
+                        sop.degree,
+                        &comm,
+                        &sys.site,
+                        &zipf_partition(sop.degree, theta),
+                    )
+                })
+                .collect();
+            realized += PhaseSchedule {
+                ops: skewed_ops,
+                assignment: phase.schedule.assignment.clone(),
+            }
+            .makespan(&sys, &model);
+        }
+        assert!(
+            realized + 1e-9 >= planned.response_time,
+            "theta={theta}: skew should never speed things up"
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! Empirical verification of the paper's theorems over realistic,
+//! query-derived workloads (complementing the synthetic property tests
+//! inside `mrs-core`).
+
+use mdrs::prelude::*;
+
+/// Theorem 5.1(a): per-phase, the list heuristic is within 2d+1 of the
+/// phase lower bound (which is itself ≤ the optimum for the given
+/// parallelization).
+#[test]
+fn theorem_5_1a_on_query_phases() {
+    let model = OverlapModel::new(0.5).unwrap();
+    let cost = CostModel::paper_defaults();
+    let comm = cost.params().comm_model();
+    for seed in 0..8u64 {
+        let q = generate_query(&QueryGenConfig::paper(15), seed);
+        let problem = problem_from_plan(
+            &q.plan,
+            &q.catalog,
+            &KeyJoinMax,
+            &cost,
+            &ScanPlacement::Floating,
+        )
+        .unwrap();
+        for sites in [5usize, 20, 80] {
+            let sys = SystemSpec::homogeneous(sites);
+            let result = tree_schedule(&problem, 0.7, &sys, &comm, &model).unwrap();
+            let ratio_bound = theorem_5_1_ratio_fixed(sys.dim());
+            for phase in &result.phases {
+                let lb = phase_lower_bound(&phase.schedule.ops, &sys, &model);
+                assert!(
+                    phase.makespan <= ratio_bound * lb + 1e-9,
+                    "seed {seed}, P={sites}, level {}: makespan {} vs (2d+1)*LB {}",
+                    phase.level,
+                    phase.makespan,
+                    ratio_bound * lb
+                );
+            }
+        }
+    }
+}
+
+/// Theorem 5.1 against the *true* optimum on small query-derived phases.
+#[test]
+fn theorem_5_1a_against_branch_and_bound() {
+    let model = OverlapModel::new(0.5).unwrap();
+    let cost = CostModel::paper_defaults();
+    let comm = cost.params().comm_model();
+    let sys = SystemSpec::homogeneous(3);
+    let mut verified = 0usize;
+    for seed in 0..10u64 {
+        let q = generate_query(&QueryGenConfig::paper(4), 500 + seed);
+        let problem = problem_from_plan(
+            &q.plan,
+            &q.catalog,
+            &KeyJoinMax,
+            &cost,
+            &ScanPlacement::Floating,
+        )
+        .unwrap();
+        let result = tree_schedule(&problem, 0.7, &sys, &comm, &model).unwrap();
+        for phase in &result.phases {
+            let clone_count: usize = phase.schedule.ops.iter().map(|o| o.degree).sum();
+            if clone_count > 14 {
+                continue; // keep the exact search fast
+            }
+            if let Some(opt) = optimal_pack(&phase.schedule.ops, &sys, &model, 20_000_000).unwrap()
+            {
+                let heuristic = phase.schedule.makespan(&sys, &model);
+                assert!(
+                    heuristic <= theorem_5_1_ratio_fixed(sys.dim()) * opt.makespan + 1e-9,
+                    "heuristic {heuristic} vs optimal {}",
+                    opt.makespan
+                );
+                assert!(heuristic + 1e-9 >= opt.makespan, "optimum can't be beaten");
+                verified += 1;
+            }
+        }
+    }
+    assert!(verified >= 10, "too few phases verified exactly ({verified})");
+}
+
+/// Theorem 7.1 on diverse operator mixes extracted from generated queries.
+#[test]
+fn theorem_7_1_on_query_operators() {
+    let model = OverlapModel::new(0.4).unwrap();
+    let cost = CostModel::paper_defaults();
+    let comm = cost.params().comm_model();
+    for seed in 0..6u64 {
+        let q = generate_query(&QueryGenConfig::paper(10), 700 + seed);
+        let problem = problem_from_plan(
+            &q.plan,
+            &q.catalog,
+            &KeyJoinMax,
+            &cost,
+            &ScanPlacement::Floating,
+        )
+        .unwrap();
+        // Use the independent operators of the deepest level as a
+        // malleable batch.
+        let level = problem.tasks.height();
+        let ops: Vec<OperatorSpec> = problem
+            .tasks
+            .ops_at_level(level)
+            .iter()
+            .enumerate()
+            .map(|(i, id)| {
+                let mut op = problem.ops[id.0].clone();
+                op.id = OperatorId(i);
+                op
+            })
+            .collect();
+        assert!(!ops.is_empty());
+        for sites in [4usize, 16, 64] {
+            let sys = SystemSpec::homogeneous(sites);
+            let out = malleable_schedule(ops.clone(), &sys, &comm, &model).unwrap();
+            let makespan = out.schedule.makespan(&sys, &model);
+            let bound = (2.0 * sys.dim() as f64 + 1.0) * out.lower_bound;
+            assert!(
+                makespan <= bound + 1e-9,
+                "seed {seed}, P={sites}: {makespan} vs {bound}"
+            );
+        }
+    }
+}
+
+/// Proposition 4.1 consistency on real operators: the chosen degrees are
+/// genuinely coarse-grain and within the A4 speed-down point.
+#[test]
+fn proposition_4_1_on_query_operators() {
+    let model = OverlapModel::new(0.5).unwrap();
+    let cost = CostModel::paper_defaults();
+    let comm = cost.params().comm_model();
+    let q = generate_query(&QueryGenConfig::paper(12), 31);
+    let problem = problem_from_plan(
+        &q.plan,
+        &q.catalog,
+        &KeyJoinMax,
+        &cost,
+        &ScanPlacement::Floating,
+    )
+    .unwrap();
+    let sys = SystemSpec::homogeneous(50);
+    let f = 0.7;
+    for op in &problem.ops {
+        let choice = choose_degree(op, f, sys.sites, &comm, &sys.site, &model);
+        // Granularity: the chosen degree satisfies Definition 4.1 whenever
+        // any degree > 1 does.
+        if choice.degree > 1 {
+            assert!(
+                comm.is_coarse_grain(f, op.processing_area(), op.data_volume, choice.degree),
+                "{}: degree {} violates CG_f",
+                op.id,
+                choice.degree
+            );
+        }
+        // A4: within the allowed range, the chosen degree is a minimizer —
+        // one more site helps only when the CG_f or machine cap is what
+        // stopped us, never past the speed-down point.
+        let cap = choice.coarse_grain_cap.min(sys.sites);
+        if choice.degree < cap {
+            let t_next = t_par(op, choice.degree + 1, &comm, &sys.site, &model);
+            assert!(choice.t_par <= t_next + 1e-9);
+        }
+        // And the choice is never worse than running sequentially.
+        let t_seq = t_par(op, 1, &comm, &sys.site, &model);
+        assert!(choice.t_par <= t_seq + 1e-9);
+    }
+}
+
+/// The analytic worst-case ratios are ordered sensibly.
+#[test]
+fn ratio_functions_consistent() {
+    for d in 1..=6 {
+        assert!(theorem_5_1_ratio_fixed(d) >= 3.0);
+        for f in [0.1, 0.5, 1.0] {
+            assert!(theorem_5_1_ratio_cg(d, f) >= theorem_5_1_ratio_fixed(d));
+        }
+    }
+}
