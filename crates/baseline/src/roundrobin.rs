@@ -42,9 +42,8 @@ pub fn round_robin_tree_schedule<M: ResponseModel>(
                 Placement::Floating => {
                     // Consecutive sites starting at the cursor; distinct
                     // because degree <= P.
-                    assignment.homes[i] = (0..op.degree)
-                        .map(|k| SiteId((cursor + k) % p))
-                        .collect();
+                    assignment.homes[i] =
+                        (0..op.degree).map(|k| SiteId((cursor + k) % p)).collect();
                     cursor = (cursor + op.degree) % p;
                 }
             }

@@ -187,11 +187,7 @@ mod tests {
         let sys = SystemSpec::homogeneous(8);
         let comm = CommModel::paper_defaults();
         let model = OverlapModel::new(0.5).unwrap();
-        let pb = problem(
-            (0..4)
-                .map(|i| op(i, &[3.0, 2.0, 0.0], 250_000.0))
-                .collect(),
-        );
+        let pb = problem((0..4).map(|i| op(i, &[3.0, 2.0, 0.0], 250_000.0)).collect());
         let a = tree_schedule(&pb, 0.7, &sys, &comm, &model).unwrap();
         let b = scalar_tree_schedule(&pb, 0.7, &sys, &comm, &model).unwrap();
         for id in 0..4 {

@@ -175,9 +175,8 @@ pub fn synchronous_schedule<M: ResponseModel>(
 
             for (&t, &alloc) in wave.iter().zip(&allocs) {
                 let ops = &tasks[t];
-                let floating: Vec<usize> = (0..ops.len())
-                    .filter(|&i| ops[i].is_floating())
-                    .collect();
+                let floating: Vec<usize> =
+                    (0..ops.len()).filter(|&i| ops[i].is_floating()).collect();
 
                 // Degrees for the pipeline's floating stages.
                 let degrees: Vec<usize> = if floating.is_empty() {
@@ -221,12 +220,8 @@ pub fn synchronous_schedule<M: ResponseModel>(
                             .cloned()
                             .expect("every floating op received sites"),
                     };
-                    let sop = ScheduledOperator::even(
-                        spec.clone(),
-                        op_homes.len(),
-                        comm,
-                        &sys.site,
-                    );
+                    let sop =
+                        ScheduledOperator::even(spec.clone(), op_homes.len(), comm, &sys.site);
                     scheduled.push(sop);
                     homes.push(op_homes);
                 }
@@ -368,12 +363,25 @@ mod tests {
         // Three independent tasks, each demanding 2 sites (2 floating ops).
         let ops: Vec<_> = (0..6).map(|i| op(i, &[1.0, 1.0, 0.0], 0.0)).collect();
         let tasks = TaskGraph::new(vec![
-            TaskNode { ops: vec![OperatorId(0), OperatorId(1)], parent: None },
-            TaskNode { ops: vec![OperatorId(2), OperatorId(3)], parent: None },
-            TaskNode { ops: vec![OperatorId(4), OperatorId(5)], parent: None },
+            TaskNode {
+                ops: vec![OperatorId(0), OperatorId(1)],
+                parent: None,
+            },
+            TaskNode {
+                ops: vec![OperatorId(2), OperatorId(3)],
+                parent: None,
+            },
+            TaskNode {
+                ops: vec![OperatorId(4), OperatorId(5)],
+                parent: None,
+            },
         ])
         .unwrap();
-        let problem = TreeProblem { ops, tasks, bindings: vec![] };
+        let problem = TreeProblem {
+            ops,
+            tasks,
+            bindings: vec![],
+        };
         let r = synchronous_schedule(&problem, &sys, &comm, &model).unwrap();
         assert_eq!(r.phases.len(), 3, "one wave per task on a 2-site box");
         for ph in &r.phases {
@@ -407,7 +415,10 @@ mod tests {
         let r = synchronous_schedule(&problem, &sys, &comm, &model).unwrap();
         let h0 = r.homes_of(OperatorId(0)).unwrap().len();
         let h1 = r.homes_of(OperatorId(1)).unwrap().len();
-        assert!(h0 > h1, "minimax should favour the heavy stage: {h0} vs {h1}");
+        assert!(
+            h0 > h1,
+            "minimax should favour the heavy stage: {h0} vs {h1}"
+        );
     }
 
     #[test]

@@ -49,11 +49,12 @@ where
         for id in &op_ids {
             let mut spec = problem.ops[id.0].clone();
             if let Some(source) = binding_of.get(id) {
-                let homes = placed.get(source).ok_or_else(|| {
-                    ScheduleError::MalformedTaskGraph {
-                        detail: format!("binding source {source} for {id} not yet scheduled"),
-                    }
-                })?;
+                let homes =
+                    placed
+                        .get(source)
+                        .ok_or_else(|| ScheduleError::MalformedTaskGraph {
+                            detail: format!("binding source {source} for {id} not yet scheduled"),
+                        })?;
                 spec.placement = Placement::Rooted(homes.clone());
             }
             let degree = match &spec.placement {

@@ -1,9 +1,9 @@
-//! One Criterion bench per paper table/figure: measures the cost of
-//! regenerating each experiment (scheduling work dominates; the fast
-//! configuration keeps iterations tractable while sweeping the same
-//! parameter axes as the paper).
+//! One bench per paper table/figure: measures the cost of regenerating
+//! each experiment (scheduling work dominates; the fast configuration
+//! keeps iterations tractable while sweeping the same parameter axes as
+//! the paper).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mrs_bench::harness::Bench;
 use mrs_exp::prelude::*;
 use std::hint::black_box;
 
@@ -14,53 +14,32 @@ fn cfg() -> ExpConfig {
     }
 }
 
-fn bench_table2(c: &mut Criterion) {
-    c.bench_function("table2", |b| {
-        b.iter(|| black_box(table2(&cfg())));
-    });
-}
-
-fn bench_fig5a(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures");
+fn bench_figures(b: &mut Bench) {
+    let mut g = b.group("figures");
     g.sample_size(10);
-    g.bench_function("fig5a_granularity_sweep", |b| {
-        b.iter(|| black_box(fig5a(&cfg())));
+    g.bench_function("table2", || {
+        black_box(table2(&cfg()));
+    });
+    g.bench_function("fig5a_granularity_sweep", || {
+        black_box(fig5a(&cfg()));
+    });
+    g.bench_function("fig5b_overlap_sweep", || {
+        black_box(fig5b(&cfg()));
+    });
+    g.bench_function("fig6a_query_size_sweep", || {
+        black_box(fig6a(&cfg()));
+    });
+    g.bench_function("fig6b_optbound_comparison", || {
+        black_box(fig6b(&cfg()));
     });
     g.finish();
 }
 
-fn bench_fig5b(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(10);
-    g.bench_function("fig5b_overlap_sweep", |b| {
-        b.iter(|| black_box(fig5b(&cfg())));
-    });
-    g.finish();
-}
-
-fn bench_fig6a(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(10);
-    g.bench_function("fig6a_query_size_sweep", |b| {
-        b.iter(|| black_box(fig6a(&cfg())));
-    });
-    g.finish();
-}
-
-fn bench_fig6b(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(10);
-    g.bench_function("fig6b_optbound_comparison", |b| {
-        b.iter(|| black_box(fig6b(&cfg())));
-    });
-    g.finish();
-}
-
-fn bench_single_points(c: &mut Criterion) {
+fn bench_single_points(b: &mut Bench) {
     // The atomic unit behind every figure: scheduling one 40-join query.
     use mrs_baseline::prelude::*;
-    use mrs_cost::prelude::*;
     use mrs_core::prelude::*;
+    use mrs_cost::prelude::*;
     use mrs_workload::prelude::*;
 
     let q = generate_query(&QueryGenConfig::paper(40), 7);
@@ -69,34 +48,29 @@ fn bench_single_points(c: &mut Criterion) {
     let comm = cost.params().comm_model();
     let model = OverlapModel::new(0.3).unwrap();
 
-    let mut g = c.benchmark_group("single_query_40_joins");
+    let mut g = b.group("single_query_40_joins");
     for sites in [20usize, 80, 140] {
         let sys = SystemSpec::homogeneous(sites);
-        g.bench_function(format!("tree_schedule_p{sites}"), |b| {
-            b.iter_batched(
-                || problem.clone(),
-                |p| black_box(tree_schedule(&p, 0.7, &sys, &comm, &model).unwrap()),
-                BatchSize::SmallInput,
-            );
-        });
-        g.bench_function(format!("synchronous_p{sites}"), |b| {
-            b.iter_batched(
-                || problem.clone(),
-                |p| black_box(synchronous_schedule(&p, &sys, &comm, &model).unwrap()),
-                BatchSize::SmallInput,
-            );
-        });
+        g.bench_batched(
+            &format!("tree_schedule_p{sites}"),
+            || problem.clone(),
+            |p| {
+                black_box(tree_schedule(&p, 0.7, &sys, &comm, &model).unwrap());
+            },
+        );
+        g.bench_batched(
+            &format!("synchronous_p{sites}"),
+            || problem.clone(),
+            |p| {
+                black_box(synchronous_schedule(&p, &sys, &comm, &model).unwrap());
+            },
+        );
     }
     g.finish();
 }
 
-criterion_group!(
-    figures,
-    bench_table2,
-    bench_fig5a,
-    bench_fig5b,
-    bench_fig6a,
-    bench_fig6b,
-    bench_single_points
-);
-criterion_main!(figures);
+fn main() {
+    let mut b = Bench::from_args();
+    bench_figures(&mut b);
+    bench_single_points(&mut b);
+}

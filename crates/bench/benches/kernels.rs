@@ -3,38 +3,33 @@
 //! decomposition, the fluid simulator, and the exact branch-and-bound
 //! solver.
 
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use mrs_bench::harness::Bench;
+use mrs_core::prelude::*;
+use mrs_core::rng::DetRng;
 use mrs_cost::prelude::*;
 use mrs_opt::prelude::*;
 use mrs_plan::prelude::*;
 use mrs_sim::prelude::*;
 use mrs_workload::prelude::*;
-use mrs_core::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 
 fn synthetic_ops(count: usize, seed: u64) -> Vec<OperatorSpec> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     (0..count)
         .map(|i| {
             OperatorSpec::floating(
                 OperatorId(i),
                 OperatorKind::Other,
-                WorkVector::from_slice(&[
-                    rng.gen_range(0.5..20.0),
-                    rng.gen_range(0.0..20.0),
-                    0.0,
-                ]),
+                WorkVector::from_slice(&[rng.gen_range(0.5..20.0), rng.gen_range(0.0..20.0), 0.0]),
                 rng.gen_range(0.0..4e6),
             )
         })
         .collect()
 }
 
-fn bench_pack_clones(c: &mut Criterion) {
+fn bench_pack_clones(bench: &mut Bench) {
     let comm = CommModel::paper_defaults();
-    let mut g = c.benchmark_group("pack_clones");
+    let mut g = bench.group("pack_clones");
     for &(m, p) in &[(32usize, 16usize), (128, 64), (512, 140)] {
         let sys = SystemSpec::homogeneous(p);
         let ops: Vec<ScheduledOperator> = synthetic_ops(m, 3)
@@ -42,77 +37,72 @@ fn bench_pack_clones(c: &mut Criterion) {
             .enumerate()
             .map(|(i, o)| ScheduledOperator::even(o, 1 + i % p.min(8), &comm, &sys.site))
             .collect();
-        g.bench_with_input(BenchmarkId::new("lpt", format!("{m}ops_{p}sites")), &ops, |b, ops| {
-            b.iter(|| black_box(pack_clones(ops, &sys, ListOrder::LongestFirst).unwrap()));
+        g.bench_function(&format!("lpt/{m}ops_{p}sites"), || {
+            black_box(pack_clones(&ops, &sys, ListOrder::LongestFirst).unwrap());
         });
     }
     g.finish();
 }
 
-fn bench_choose_degree(c: &mut Criterion) {
+fn bench_choose_degree(bench: &mut Bench) {
     let comm = CommModel::paper_defaults();
     let site = SiteSpec::cpu_disk_net();
     let model = OverlapModel::new(0.5).unwrap();
     let op = synthetic_ops(1, 5).pop().unwrap();
-    let mut g = c.benchmark_group("choose_degree");
+    let mut g = bench.group("choose_degree");
+    g.sample_size(20);
     for p in [20usize, 140] {
-        g.bench_function(format!("p{p}"), |b| {
-            b.iter(|| black_box(choose_degree(&op, 0.7, p, &comm, &site, &model)));
+        g.bench_function(&format!("p{p}"), || {
+            black_box(choose_degree(&op, 0.7, p, &comm, &site, &model));
         });
     }
     g.finish();
 }
 
-fn bench_malleable(c: &mut Criterion) {
+fn bench_malleable(bench: &mut Bench) {
     let comm = CommModel::paper_defaults();
     let model = OverlapModel::new(0.5).unwrap();
-    let mut g = c.benchmark_group("malleable_gf_sweep");
+    let mut g = bench.group("malleable_gf_sweep");
     g.sample_size(20);
     for &(m, p) in &[(16usize, 32usize), (64, 140)] {
         let sys = SystemSpec::homogeneous(p);
         let ops = synthetic_ops(m, 11);
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("{m}ops_{p}sites")),
-            &ops,
-            |b, ops| {
-                b.iter_batched(
-                    || ops.clone(),
-                    |ops| black_box(malleable_schedule(ops, &sys, &comm, &model).unwrap()),
-                    BatchSize::SmallInput,
-                );
+        g.bench_batched(
+            &format!("{m}ops_{p}sites"),
+            || ops.clone(),
+            |ops| {
+                black_box(malleable_schedule(ops, &sys, &comm, &model).unwrap());
             },
         );
     }
     g.finish();
 }
 
-fn bench_plan_pipeline(c: &mut Criterion) {
-    let mut g = c.benchmark_group("plan_pipeline");
+fn bench_plan_pipeline(bench: &mut Bench) {
+    let mut g = bench.group("plan_pipeline");
     for joins in [10usize, 50] {
         let q = generate_query(&QueryGenConfig::paper(joins), 2);
         let cost = CostModel::paper_defaults();
-        g.bench_function(format!("generate_{joins}j"), |b| {
-            b.iter(|| black_box(generate_query(&QueryGenConfig::paper(joins), 2)));
+        g.bench_function(&format!("generate_{joins}j"), || {
+            black_box(generate_query(&QueryGenConfig::paper(joins), 2));
         });
-        g.bench_function(format!("expand_decompose_cost_{joins}j"), |b| {
-            b.iter(|| {
-                black_box(
-                    problem_from_plan(
-                        &q.plan,
-                        &q.catalog,
-                        &KeyJoinMax,
-                        &cost,
-                        &ScanPlacement::Floating,
-                    )
-                    .unwrap(),
+        g.bench_function(&format!("expand_decompose_cost_{joins}j"), || {
+            black_box(
+                problem_from_plan(
+                    &q.plan,
+                    &q.catalog,
+                    &KeyJoinMax,
+                    &cost,
+                    &ScanPlacement::Floating,
                 )
-            });
+                .unwrap(),
+            );
         });
     }
     g.finish();
 }
 
-fn bench_simulator(c: &mut Criterion) {
+fn bench_simulator(bench: &mut Bench) {
     let cost = CostModel::paper_defaults();
     let comm = cost.params().comm_model();
     let model = OverlapModel::new(0.5).unwrap();
@@ -129,21 +119,21 @@ fn bench_simulator(c: &mut Criterion) {
     let result = tree_schedule(&problem, 0.7, &sys, &comm, &model).unwrap();
     let phase = &result.phases[0].schedule;
 
-    let mut g = c.benchmark_group("simulator");
-    g.bench_function("equal_finish_phase", |b| {
-        b.iter(|| black_box(simulate_phase(phase, &sys, &model, &SimConfig::default())));
+    let mut g = bench.group("simulator");
+    g.bench_function("equal_finish_phase", || {
+        black_box(simulate_phase(phase, &sys, &model, &SimConfig::default()));
     });
     let fair = SimConfig {
         policy: SharingPolicy::FairShare,
         timeshare_overhead: 0.1,
     };
-    g.bench_function("fair_share_phase", |b| {
-        b.iter(|| black_box(simulate_phase(phase, &sys, &model, &fair)));
+    g.bench_function("fair_share_phase", || {
+        black_box(simulate_phase(phase, &sys, &model, &fair));
     });
     g.finish();
 }
 
-fn bench_branch_and_bound(c: &mut Criterion) {
+fn bench_branch_and_bound(bench: &mut Bench) {
     let comm = CommModel::paper_defaults();
     let model = OverlapModel::new(0.5).unwrap();
     let sys = SystemSpec::homogeneous(3);
@@ -151,15 +141,15 @@ fn bench_branch_and_bound(c: &mut Criterion) {
         .into_iter()
         .map(|o| ScheduledOperator::even(o, 1, &comm, &sys.site))
         .collect();
-    let mut g = c.benchmark_group("branch_and_bound");
+    let mut g = bench.group("branch_and_bound");
     g.sample_size(20);
-    g.bench_function("8clones_3sites", |b| {
-        b.iter(|| black_box(optimal_pack(&ops, &sys, &model, 10_000_000).unwrap()));
+    g.bench_function("8clones_3sites", || {
+        black_box(optimal_pack(&ops, &sys, &model, 10_000_000).unwrap());
     });
     g.finish();
 }
 
-fn bench_memory_scheduler(c: &mut Criterion) {
+fn bench_memory_scheduler(bench: &mut Bench) {
     use mrs_core::memory::{operator_schedule_with_memory, MemoryDemand, MemorySpec};
     let comm = CommModel::paper_defaults();
     let model = OverlapModel::new(0.5).unwrap();
@@ -168,31 +158,29 @@ fn bench_memory_scheduler(c: &mut Criterion) {
     let demands: Vec<MemoryDemand> = (0..24)
         .map(|i| MemoryDemand::bytes(0.5e6 * (1 + i % 8) as f64))
         .collect();
-    let mut g = c.benchmark_group("memory_scheduler");
-    g.bench_function("24ops_40sites", |b| {
-        b.iter_batched(
-            || ops.clone(),
-            |ops| {
-                black_box(
-                    operator_schedule_with_memory(
-                        ops,
-                        &demands,
-                        MemorySpec::new(4e6).unwrap(),
-                        0.7,
-                        &sys,
-                        &comm,
-                        &model,
-                    )
-                    .unwrap(),
+    let mut g = bench.group("memory_scheduler");
+    g.bench_batched(
+        "24ops_40sites",
+        || ops.clone(),
+        |ops| {
+            black_box(
+                operator_schedule_with_memory(
+                    ops,
+                    &demands,
+                    MemorySpec::new(4e6).unwrap(),
+                    0.7,
+                    &sys,
+                    &comm,
+                    &model,
                 )
-            },
-            BatchSize::SmallInput,
-        );
-    });
+                .unwrap(),
+            );
+        },
+    );
     g.finish();
 }
 
-fn bench_pipelined_simulator(c: &mut Criterion) {
+fn bench_pipelined_simulator(bench: &mut Bench) {
     let cost = CostModel::paper_defaults();
     let comm = cost.params().comm_model();
     let model = OverlapModel::new(0.5).unwrap();
@@ -204,44 +192,41 @@ fn bench_pipelined_simulator(c: &mut Criterion) {
     let problem = problem_from_optree(&optree, &cost, &ScanPlacement::Floating).unwrap();
     let result = tree_schedule(&problem, 0.7, &sys, &comm, &model).unwrap();
     let phase = &result.phases[0].schedule;
-    let mut g = c.benchmark_group("simulator");
-    g.bench_function("tight_pipeline_phase", |b| {
-        b.iter(|| {
-            black_box(simulate_phase_pipelined(
-                phase,
-                &edges,
-                &sys,
-                &model,
-                &SimConfig::default(),
-            ))
-        });
+    let mut g = bench.group("simulator");
+    g.bench_function("tight_pipeline_phase", || {
+        black_box(simulate_phase_pipelined(
+            phase,
+            &edges,
+            &sys,
+            &model,
+            &SimConfig::default(),
+        ));
     });
     g.finish();
 }
 
-fn bench_optimizers(c: &mut Criterion) {
+fn bench_optimizers(bench: &mut Bench) {
     let q = generate_query(&QueryGenConfig::paper(12), 9);
-    let mut g = c.benchmark_group("join_order");
-    g.bench_function("greedy_12_joins", |b| {
-        b.iter(|| black_box(optimize_greedy(&q.catalog, &q.graph_edges, &KeyJoinMax).unwrap()));
-    });
+    let mut g = bench.group("join_order");
     g.sample_size(20);
-    g.bench_function("dp_12_joins", |b| {
-        b.iter(|| black_box(optimize_dp(&q.catalog, &q.graph_edges, &KeyJoinMax).unwrap()));
+    g.bench_function("greedy_12_joins", || {
+        black_box(optimize_greedy(&q.catalog, &q.graph_edges, &KeyJoinMax).unwrap());
+    });
+    g.bench_function("dp_12_joins", || {
+        black_box(optimize_dp(&q.catalog, &q.graph_edges, &KeyJoinMax).unwrap());
     });
     g.finish();
 }
 
-criterion_group!(
-    kernels,
-    bench_pack_clones,
-    bench_choose_degree,
-    bench_malleable,
-    bench_plan_pipeline,
-    bench_simulator,
-    bench_branch_and_bound,
-    bench_memory_scheduler,
-    bench_pipelined_simulator,
-    bench_optimizers
-);
-criterion_main!(kernels);
+fn main() {
+    let mut b = Bench::from_args();
+    bench_pack_clones(&mut b);
+    bench_choose_degree(&mut b);
+    bench_malleable(&mut b);
+    bench_plan_pipeline(&mut b);
+    bench_simulator(&mut b);
+    bench_branch_and_bound(&mut b);
+    bench_memory_scheduler(&mut b);
+    bench_pipelined_simulator(&mut b);
+    bench_optimizers(&mut b);
+}

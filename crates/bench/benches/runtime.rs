@@ -1,0 +1,109 @@
+//! Hot-path micro-benchmarks for the online runtime: site-ledger updates
+//! (one commit+release per dispatched clone) and admission decisions
+//! (policy-driven queue pops), plus a small end-to-end stream run.
+
+use mrs_bench::harness::Bench;
+use mrs_core::prelude::*;
+use mrs_runtime::prelude::*;
+use std::hint::black_box;
+
+fn bench_ledger(b: &mut Bench) {
+    let mut g = b.group("ledger");
+    let sites = 128;
+    let demand = [0.4, 0.25, 0.1];
+
+    g.bench_function("commit_release_cycle_p128", || {
+        let mut ledger = SiteLedger::new(sites, 3);
+        for j in 0..sites {
+            ledger.commit(SiteId(j), &demand);
+        }
+        for j in 0..sites {
+            ledger.release(SiteId(j), &demand);
+        }
+        black_box(ledger.total_resident());
+    });
+
+    let mut loaded = SiteLedger::new(sites, 3);
+    for j in 0..sites {
+        loaded.commit(SiteId(j), &demand);
+    }
+    g.bench_function("avg_load_p128", || {
+        black_box(loaded.avg_load());
+    });
+    g.finish();
+}
+
+fn bench_admission(b: &mut Bench) {
+    let mut g = b.group("admission");
+    let mut rng = DetRng::seed_from_u64(7);
+    let entries: Vec<(usize, f64)> = (0..256)
+        .map(|_| (rng.gen_range(0..8usize), rng.gen_range(1.0..100.0f64)))
+        .collect();
+
+    for policy in [
+        AdmissionPolicy::Fcfs,
+        AdmissionPolicy::SmallestVolumeFirst,
+        AdmissionPolicy::RoundRobinFair,
+    ] {
+        g.bench_batched(
+            &format!("drain_256_{}", policy.label()),
+            || {
+                let mut q = AdmissionQueue::new(policy);
+                for (i, (client, volume)) in entries.iter().enumerate() {
+                    q.push(QueryId(i), *client, *volume);
+                }
+                q
+            },
+            |mut q| {
+                while let Some(id) = q.pop() {
+                    black_box(id);
+                }
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_stream(b: &mut Bench) {
+    use mrs_cost::prelude::*;
+    use mrs_exp::prelude::query_problem;
+    use mrs_workload::prelude::*;
+
+    let cost = CostModel::paper_defaults();
+    let comm = cost.params().comm_model();
+    let model = OverlapModel::new(0.3).unwrap();
+    let queries: Vec<_> = (0..8u64)
+        .map(|s| {
+            let q = generate_query(&QueryGenConfig::paper(8), s);
+            query_problem(&q, &cost)
+        })
+        .collect();
+
+    let mut g = b.group("stream");
+    g.sample_size(10);
+    g.bench_batched(
+        "eight_queries_p16_fcfs",
+        || {
+            let cfg = RuntimeConfig {
+                max_in_flight: 4,
+                ..RuntimeConfig::default()
+            };
+            let mut rt = Runtime::new(SystemSpec::homogeneous(16), comm, model, cfg);
+            for (i, p) in queries.iter().enumerate() {
+                rt.submit_at(i as f64 * 10.0, i % 4, p.clone());
+            }
+            rt
+        },
+        |mut rt| {
+            black_box(rt.run_to_completion().unwrap());
+        },
+    );
+    g.finish();
+}
+
+fn main() {
+    let mut b = Bench::from_args();
+    bench_ledger(&mut b);
+    bench_admission(&mut b);
+    bench_stream(&mut b);
+}

@@ -1,4 +1,4 @@
-//! # mrs-bench — Criterion benchmark crate
+//! # mrs-bench — self-contained micro-benchmarks
 //!
 //! Benches live in `benches/`:
 //! * `figures` — one bench per paper table/figure (fast sweeps), plus the
@@ -6,5 +6,191 @@
 //! * `kernels` — micro-benchmarks of the packing list rule, degree
 //!   selection, malleable GF sweep, plan expansion, simulator, and the
 //!   exact branch-and-bound solver.
+//! * `runtime` — the online runtime's hot path: site-ledger updates and
+//!   admission decisions (the perf baseline for scaling work).
 //!
-//! Run with `cargo bench -p mrs-bench`.
+//! Run with `cargo bench -p mrs-bench` (optionally passing a substring
+//! filter: `cargo bench -p mrs-bench --bench kernels -- pack`).
+//!
+//! The [`harness`] module is a tiny Criterion-style measurement loop kept
+//! in-repo so benchmarks work in network-restricted builds with no
+//! registry dependencies: warmup, auto-sized iteration batches, and
+//! min/median/mean reporting per benchmark id.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod harness {
+    //! A minimal benchmark runner: Criterion-flavoured reporting without
+    //! the dependency.
+
+    use std::time::{Duration, Instant};
+
+    /// Target wall time per measurement sample.
+    const TARGET_SAMPLE: Duration = Duration::from_millis(2);
+    /// Default number of measured samples per benchmark.
+    const DEFAULT_SAMPLES: usize = 30;
+
+    /// Top-level bench context: owns the CLI filter and prints results.
+    pub struct Bench {
+        filter: Option<String>,
+    }
+
+    impl Bench {
+        /// Builds the context from `std::env::args`, treating the first
+        /// free argument as a substring filter on benchmark ids.
+        /// Harness flags Cargo forwards (e.g. `--bench`) are ignored.
+        pub fn from_args() -> Self {
+            let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+            Bench { filter }
+        }
+
+        /// Opens a named benchmark group.
+        pub fn group(&mut self, name: &str) -> Group<'_> {
+            Group {
+                bench: self,
+                name: name.to_owned(),
+                samples: DEFAULT_SAMPLES,
+            }
+        }
+
+        fn matches(&self, id: &str) -> bool {
+            match self.filter.as_deref() {
+                None => true,
+                Some(f) => id.contains(f),
+            }
+        }
+    }
+
+    impl Default for Bench {
+        fn default() -> Self {
+            Bench::from_args()
+        }
+    }
+
+    /// A group of related benchmarks sharing a sample budget.
+    pub struct Group<'a> {
+        bench: &'a mut Bench,
+        name: String,
+        samples: usize,
+    }
+
+    impl Group<'_> {
+        /// Overrides the number of measured samples (for slow routines).
+        pub fn sample_size(&mut self, n: usize) -> &mut Self {
+            self.samples = n.max(5);
+            self
+        }
+
+        /// Measures `routine` under `<group>/<id>`.
+        pub fn bench_function<F: FnMut()>(&mut self, id: &str, mut routine: F) -> &mut Self {
+            let full = format!("{}/{id}", self.name);
+            if !self.bench.matches(&full) {
+                return self;
+            }
+            // Warmup doubles as batch sizing: grow the batch until one
+            // batch takes at least TARGET_SAMPLE (or a cap is reached).
+            let mut batch = 1usize;
+            loop {
+                let start = Instant::now();
+                for _ in 0..batch {
+                    routine();
+                }
+                let took = start.elapsed();
+                if took >= TARGET_SAMPLE || batch >= 1 << 20 {
+                    break;
+                }
+                batch = (batch * 4).min(1 << 20);
+            }
+
+            let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+            for _ in 0..self.samples {
+                let start = Instant::now();
+                for _ in 0..batch {
+                    routine();
+                }
+                per_iter.push(start.elapsed().as_secs_f64() / batch as f64);
+            }
+            report(&full, &mut per_iter, self.samples, batch);
+            self
+        }
+
+        /// Measures `routine(input)` where `input` is rebuilt by `setup`
+        /// outside the timed region (Criterion's `iter_batched`).
+        pub fn bench_batched<T, S: FnMut() -> T, F: FnMut(T)>(
+            &mut self,
+            id: &str,
+            mut setup: S,
+            mut routine: F,
+        ) -> &mut Self {
+            let full = format!("{}/{id}", self.name);
+            if !self.bench.matches(&full) {
+                return self;
+            }
+            for _ in 0..3 {
+                routine(setup());
+            }
+            let mut timed = Vec::with_capacity(self.samples);
+            for _ in 0..self.samples {
+                let input = setup();
+                let start = Instant::now();
+                routine(input);
+                timed.push(start.elapsed().as_secs_f64());
+            }
+            report(&full, &mut timed, self.samples, 1);
+            self
+        }
+
+        /// Ends the group (kept for call-site symmetry with Criterion).
+        pub fn finish(&mut self) {}
+    }
+
+    fn report(id: &str, per_iter: &mut [f64], samples: usize, batch: usize) {
+        per_iter.sort_by(f64::total_cmp);
+        let min = per_iter[0];
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        println!(
+            "{id:<56} min {:>10}  median {:>10}  mean {:>10}   ({samples} samples x {batch} iters)",
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(mean),
+        );
+    }
+
+    fn fmt_time(secs: f64) -> String {
+        if secs < 1e-6 {
+            format!("{:.1}ns", secs * 1e9)
+        } else if secs < 1e-3 {
+            format!("{:.2}us", secs * 1e6)
+        } else if secs < 1.0 {
+            format!("{:.2}ms", secs * 1e3)
+        } else {
+            format!("{secs:.3}s")
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn formats_scale() {
+            assert!(fmt_time(5e-9).ends_with("ns"));
+            assert!(fmt_time(5e-6).ends_with("us"));
+            assert!(fmt_time(5e-3).ends_with("ms"));
+            assert!(fmt_time(5.0).ends_with('s'));
+        }
+
+        #[test]
+        fn filter_matching() {
+            let b = Bench {
+                filter: Some("pack".into()),
+            };
+            assert!(b.matches("kernels/pack_clones"));
+            assert!(!b.matches("kernels/degree"));
+            let all = Bench { filter: None };
+            assert!(all.matches("anything"));
+        }
+    }
+}

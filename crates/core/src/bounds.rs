@@ -187,11 +187,21 @@ mod tests {
         let model = OverlapModel::new(0.5).unwrap();
         let ops = vec![op(0, &[4.0, 0.0, 0.0], 0.0), op(1, &[6.0, 0.0, 0.0], 0.0)];
         let tasks = TaskGraph::new(vec![
-            TaskNode { ops: vec![OperatorId(0)], parent: None },
-            TaskNode { ops: vec![OperatorId(1)], parent: Some(TaskId(0)) },
+            TaskNode {
+                ops: vec![OperatorId(0)],
+                parent: None,
+            },
+            TaskNode {
+                ops: vec![OperatorId(1)],
+                parent: Some(TaskId(0)),
+            },
         ])
         .unwrap();
-        let problem = TreeProblem { ops: ops.clone(), tasks, bindings: vec![] };
+        let problem = TreeProblem {
+            ops: ops.clone(),
+            tasks,
+            bindings: vec![],
+        };
         let bound = opt_bound(&problem, 0.7, &sys, &comm, &model);
         let t0 = min_t_par(&ops[0], sys.sites, &comm, &sys.site, &model);
         let t1 = min_t_par(&ops[1], sys.sites, &comm, &sys.site, &model);
@@ -210,12 +220,25 @@ mod tests {
             op(2, &[2.0, 0.0, 0.0], 0.0),
         ];
         let tasks = TaskGraph::new(vec![
-            TaskNode { ops: vec![OperatorId(0)], parent: None },
-            TaskNode { ops: vec![OperatorId(1)], parent: Some(TaskId(0)) },
-            TaskNode { ops: vec![OperatorId(2)], parent: Some(TaskId(0)) },
+            TaskNode {
+                ops: vec![OperatorId(0)],
+                parent: None,
+            },
+            TaskNode {
+                ops: vec![OperatorId(1)],
+                parent: Some(TaskId(0)),
+            },
+            TaskNode {
+                ops: vec![OperatorId(2)],
+                parent: Some(TaskId(0)),
+            },
         ])
         .unwrap();
-        let problem = TreeProblem { ops: ops.clone(), tasks, bindings: vec![] };
+        let problem = TreeProblem {
+            ops: ops.clone(),
+            tasks,
+            bindings: vec![],
+        };
         let bound = opt_bound(&problem, 0.7, &sys, &comm, &model);
         let t = |i: usize| min_t_par(&ops[i], sys.sites, &comm, &sys.site, &model);
         let expected = t(0) + t(1).max(t(2));
@@ -239,7 +262,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests {
     use super::*;
     use crate::list::operator_schedule;
@@ -250,24 +273,21 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_ops(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<OperatorSpec>> {
-        proptest::collection::vec(
-            (proptest::collection::vec(0.0f64..20.0, 3), 0.0f64..1e6),
-            n,
-        )
-        .prop_map(|raw| {
-            raw.into_iter()
-                .enumerate()
-                .map(|(i, (mut w, d))| {
-                    w[1] += 1e-3;
-                    OperatorSpec::floating(
-                        OperatorId(i),
-                        OperatorKind::Other,
-                        WorkVector::new(w),
-                        d,
-                    )
-                })
-                .collect()
-        })
+        proptest::collection::vec((proptest::collection::vec(0.0f64..20.0, 3), 0.0f64..1e6), n)
+            .prop_map(|raw| {
+                raw.into_iter()
+                    .enumerate()
+                    .map(|(i, (mut w, d))| {
+                        w[1] += 1e-3;
+                        OperatorSpec::floating(
+                            OperatorId(i),
+                            OperatorKind::Other,
+                            WorkVector::new(w),
+                            d,
+                        )
+                    })
+                    .collect()
+            })
     }
 
     proptest! {

@@ -96,7 +96,13 @@ impl CommModel {
 
     /// True iff running the operator on `n` sites is a `CG_f` execution
     /// (Definition 4.1).
-    pub fn is_coarse_grain(&self, f: f64, processing_area: f64, data_volume: f64, n: usize) -> bool {
+    pub fn is_coarse_grain(
+        &self,
+        f: f64,
+        processing_area: f64,
+        data_volume: f64,
+        n: usize,
+    ) -> bool {
         self.comm_area(n, data_volume) <= f * processing_area
     }
 }
@@ -162,7 +168,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;

@@ -72,14 +72,24 @@ impl fmt::Display for ScheduleError {
                 write!(f, "two clones of {op} mapped to the same site {site}")
             }
             ScheduleError::SiteOutOfRange { op, site, sites } => {
-                write!(f, "{op} mapped to {site}, but the system has only {sites} sites")
+                write!(
+                    f,
+                    "{op} mapped to {site}, but the system has only {sites} sites"
+                )
             }
-            ScheduleError::DegreeMismatch { op, expected, actual } => write!(
+            ScheduleError::DegreeMismatch {
+                op,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "{op} has degree {expected} but {actual} clones were assigned"
             ),
             ScheduleError::RootedViolation { op } => {
-                write!(f, "rooted operator {op} was not placed at its required homes")
+                write!(
+                    f,
+                    "rooted operator {op} was not placed at its required homes"
+                )
             }
             ScheduleError::DegreeExceedsSites { op, degree, sites } => write!(
                 f,
@@ -108,7 +118,10 @@ mod tests {
             op: OperatorId(2),
             site: SiteId(5),
         };
-        assert_eq!(e.to_string(), "two clones of op2 mapped to the same site s5");
+        assert_eq!(
+            e.to_string(),
+            "two clones of op2 mapped to the same site s5"
+        );
 
         let e = ScheduleError::DegreeExceedsSites {
             op: OperatorId(0),

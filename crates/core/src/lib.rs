@@ -28,6 +28,7 @@
 //! | [`tree`] | 5.4, Fig 4 | **TreeSchedule** phased scheduling |
 //! | [`malleable`] | 7 | GF candidate sweep, `LB(N)`, Theorem 7.1 |
 //! | [`bounds`] | 5.3, 6.2 | Theorem 5.1 ratios, `OPTBOUND` |
+//! | [`rng`] | — | seeded SplitMix64 generator (no external deps) |
 //! | [`error`] | — | validation errors |
 //!
 //! ## Quick example
@@ -69,6 +70,7 @@ pub mod model;
 pub mod operator;
 pub mod partition;
 pub mod resource;
+pub mod rng;
 pub mod schedule;
 pub mod tasks;
 pub mod tree;
@@ -95,6 +97,7 @@ pub mod prelude {
         choose_degree, clone_vectors, min_t_par, t_par, DegreeChoice, PartitionStrategy,
     };
     pub use crate::resource::{ResourceKind, SiteId, SiteSpec, SystemSpec};
+    pub use crate::rng::DetRng;
     pub use crate::schedule::{Assignment, PhaseSchedule, ScheduledOperator};
     pub use crate::tasks::{HomeBinding, TaskGraph, TaskId, TaskNode};
     pub use crate::tree::{

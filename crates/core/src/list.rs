@@ -341,7 +341,11 @@ mod tests {
         let op = ScheduledOperator::even(floating(0, &[4.0, 0.0, 0.0], 0.0), 3, &c, &sys.site);
         assert!(matches!(
             pack_clones(&[op], &sys, ListOrder::LongestFirst),
-            Err(ScheduleError::DegreeExceedsSites { degree: 3, sites: 2, .. })
+            Err(ScheduleError::DegreeExceedsSites {
+                degree: 3,
+                sites: 2,
+                ..
+            })
         ));
     }
 
@@ -410,13 +414,23 @@ mod tests {
         let c = CommModel::new(1e-12, 0.0).unwrap();
         let ops = vec![
             ScheduledOperator::even(
-                OperatorSpec::floating(OperatorId(0), OperatorKind::Other, WorkVector::from_slice(&[1.0, 0.0]), 0.0),
+                OperatorSpec::floating(
+                    OperatorId(0),
+                    OperatorKind::Other,
+                    WorkVector::from_slice(&[1.0, 0.0]),
+                    0.0,
+                ),
                 1,
                 &c,
                 &sys.site,
             ),
             ScheduledOperator::even(
-                OperatorSpec::floating(OperatorId(1), OperatorKind::Other, WorkVector::from_slice(&[0.0, 1.0]), 0.0),
+                OperatorSpec::floating(
+                    OperatorId(1),
+                    OperatorKind::Other,
+                    WorkVector::from_slice(&[0.0, 1.0]),
+                    0.0,
+                ),
                 1,
                 &c,
                 &sys.site,
@@ -426,10 +440,7 @@ mod tests {
         // Both fit on site 0 (least-filled picks it for the first; the
         // second sees l = 1.0 on site 0 vs 0.0 on site 1, so it goes to
         // site 1 under the list rule — congestion is balanced either way).
-        let s = PhaseSchedule {
-            ops,
-            assignment: a,
-        };
+        let s = PhaseSchedule { ops, assignment: a };
         assert!(s.max_congestion(&sys) <= 1.0 + 1e-9);
     }
 
@@ -501,7 +512,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests {
     use super::*;
     use crate::model::OverlapModel;
@@ -510,10 +521,7 @@ mod proptests {
 
     fn arb_specs() -> impl Strategy<Value = Vec<OperatorSpec>> {
         proptest::collection::vec(
-            (
-                proptest::collection::vec(0.0f64..50.0, 3),
-                0.0f64..1e6,
-            ),
+            (proptest::collection::vec(0.0f64..50.0, 3), 0.0f64..1e6),
             1..12,
         )
         .prop_map(|raw| {

@@ -124,23 +124,34 @@ pub fn malleable_schedule<M: ResponseModel>(
 
     while candidates <= max_candidates {
         // Operator defining h(N): max time, smallest index on ties.
-        let (argmax, _) = times
-            .iter()
-            .enumerate()
-            .fold((0usize, f64::NEG_INFINITY), |(bi, bt), (i, &t)| {
-                if t > bt {
-                    (i, t)
-                } else {
-                    (bi, bt)
-                }
-            });
+        let (argmax, _) =
+            times
+                .iter()
+                .enumerate()
+                .fold((0usize, f64::NEG_INFINITY), |(bi, bt), (i, &t)| {
+                    if t > bt {
+                        (i, t)
+                    } else {
+                        (bi, bt)
+                    }
+                });
         if fixed[argmax].is_some() || degrees[argmax] >= p {
             break; // no more sites can be allotted to the largest operator
         }
         // Bump: the divisible work spreads thinner, the startup grows by α.
-        sum.remove(&total_work_vector(&ops[argmax], degrees[argmax], comm, &sys.site));
+        sum.remove(&total_work_vector(
+            &ops[argmax],
+            degrees[argmax],
+            comm,
+            &sys.site,
+        ));
         degrees[argmax] += 1;
-        sum.accumulate(&total_work_vector(&ops[argmax], degrees[argmax], comm, &sys.site));
+        sum.accumulate(&total_work_vector(
+            &ops[argmax],
+            degrees[argmax],
+            comm,
+            &sys.site,
+        ));
         times[argmax] = t_par(&ops[argmax], degrees[argmax], comm, &sys.site, model);
         candidates += 1;
 
@@ -200,8 +211,8 @@ mod tests {
     #[test]
     fn single_big_operator_gets_parallelized() {
         let (sys, comm, model) = setup(8);
-        let out = malleable_schedule(vec![op(0, &[80.0, 0.0, 0.0], 0.0)], &sys, &comm, &model)
-            .unwrap();
+        let out =
+            malleable_schedule(vec![op(0, &[80.0, 0.0, 0.0], 0.0)], &sys, &comm, &model).unwrap();
         assert!(out.degrees[0] > 1, "big CPU-bound op should spread out");
         out.schedule.validate(&sys).unwrap();
     }
@@ -269,9 +280,7 @@ mod tests {
     #[test]
     fn malleable_never_worse_than_all_sequential() {
         let (sys, comm, model) = setup(8);
-        let ops: Vec<_> = (0..4)
-            .map(|i| op(i, &[6.0, 4.0, 0.0], 200_000.0))
-            .collect();
+        let ops: Vec<_> = (0..4).map(|i| op(i, &[6.0, 4.0, 0.0], 200_000.0)).collect();
         let out = malleable_schedule(ops.clone(), &sys, &comm, &model).unwrap();
         let seq = schedule_with_degrees(
             ops.into_iter().map(|o| (o, 1)).collect(),
@@ -282,13 +291,11 @@ mod tests {
         .unwrap();
         // Not a theorem (the list rule is heuristic), but holds for this
         // balanced workload and guards against gross regressions.
-        assert!(
-            out.schedule.makespan(&sys, &model) <= seq.makespan(&sys, &model) + 1e-9
-        );
+        assert!(out.schedule.makespan(&sys, &model) <= seq.makespan(&sys, &model) + 1e-9);
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests {
     use super::*;
     use crate::model::OverlapModel;

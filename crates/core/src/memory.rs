@@ -339,7 +339,11 @@ mod tests {
             &model,
         )
         .unwrap();
-        assert!(r.degrees[0] >= 8, "degree {} must cover the table", r.degrees[0]);
+        assert!(
+            r.degrees[0] >= 8,
+            "degree {} must cover the table",
+            r.degrees[0]
+        );
     }
 
     #[test]
@@ -441,11 +445,7 @@ mod tests {
         .unwrap();
         r.schedule.validate(&sys).unwrap();
         // Conservation: used + free = capacity per site.
-        let total_used: f64 = r
-            .free_bytes
-            .iter()
-            .map(|f| 2e6 - f)
-            .sum();
+        let total_used: f64 = r.free_bytes.iter().map(|f| 2e6 - f).sum();
         let total_demand: f64 = demands.iter().map(|d| d.total_bytes).sum();
         assert!((total_used - total_demand).abs() < 1.0);
     }
@@ -559,7 +559,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests {
     use super::*;
     use crate::model::OverlapModel;

@@ -46,7 +46,9 @@ impl OverlapModel {
     /// Returns a message if `ε` is outside `[0, 1]` or not finite.
     pub fn new(epsilon: f64) -> Result<Self, String> {
         if !(epsilon.is_finite() && (0.0..=1.0).contains(&epsilon)) {
-            return Err(format!("overlap parameter must be in [0, 1], got {epsilon}"));
+            return Err(format!(
+                "overlap parameter must be in [0, 1], got {epsilon}"
+            ));
         }
         Ok(OverlapModel { epsilon })
     }
@@ -152,7 +154,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;

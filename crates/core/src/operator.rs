@@ -127,7 +127,10 @@ impl OperatorSpec {
         data_volume: f64,
         homes: Vec<SiteId>,
     ) -> Self {
-        assert!(!homes.is_empty(), "a rooted operator needs at least one home site");
+        assert!(
+            !homes.is_empty(),
+            "a rooted operator needs at least one home site"
+        );
         let mut seen = homes.clone();
         seen.sort_unstable();
         seen.dedup();
@@ -174,7 +177,8 @@ mod tests {
 
     #[test]
     fn processing_area_is_component_sum() {
-        let op = OperatorSpec::floating(OperatorId(0), OperatorKind::Scan, wv(&[1.0, 2.0, 0.5]), 0.0);
+        let op =
+            OperatorSpec::floating(OperatorId(0), OperatorKind::Scan, wv(&[1.0, 2.0, 0.5]), 0.0);
         assert_eq!(op.processing_area(), 3.5);
         assert!(op.is_floating());
         assert!(op.rooted_homes().is_none());

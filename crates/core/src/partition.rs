@@ -100,7 +100,12 @@ pub fn clone_vectors(
 /// The total (processing + communication) work vector `W̄_op` of the
 /// operator at degree `n` (Section 5.1): the vector sum of all clone
 /// vectors. Its component sum equals `W_p(op) + W_c(op, n)`.
-pub fn total_work_vector(op: &OperatorSpec, n: usize, comm: &CommModel, site: &SiteSpec) -> WorkVector {
+pub fn total_work_vector(
+    op: &OperatorSpec,
+    n: usize,
+    comm: &CommModel,
+    site: &SiteSpec,
+) -> WorkVector {
     let mut w = op.processing.clone();
     w.add_at(site.net_dim(), comm.transfer_time(op.data_volume));
     let startup = comm.alpha * n as f64;
@@ -124,7 +129,10 @@ pub fn t_par<M: ResponseModel>(
     // all N vectors (this is the hot path of degree selection).
     assert!(n >= 1, "degree of parallelism must be at least 1");
     let mut plain = op.processing.scaled(1.0 / n as f64);
-    plain.add_at(site.net_dim(), comm.transfer_time(op.data_volume) / n as f64);
+    plain.add_at(
+        site.net_dim(),
+        comm.transfer_time(op.data_volume) / n as f64,
+    );
     let mut coordinator = plain.clone();
     let startup = comm.alpha * n as f64;
     coordinator.add_at(site.cpu_dim(), startup / 2.0);
@@ -265,8 +273,12 @@ mod tests {
         assert!(clones[0].total() > clones[1].total());
         // Startup split between CPU and net dims.
         let startup = comm.alpha * n as f64;
-        assert!((clones[0][site.cpu_dim()] - (clones[1][site.cpu_dim()] + startup / 2.0)).abs() < 1e-12);
-        assert!((clones[0][site.net_dim()] - (clones[1][site.net_dim()] + startup / 2.0)).abs() < 1e-12);
+        assert!(
+            (clones[0][site.cpu_dim()] - (clones[1][site.cpu_dim()] + startup / 2.0)).abs() < 1e-12
+        );
+        assert!(
+            (clones[0][site.net_dim()] - (clones[1][site.net_dim()] + startup / 2.0)).abs() < 1e-12
+        );
         // Disk dimension untouched by communication.
         assert!((clones[0][1] - 1.0).abs() < 1e-12);
     }
@@ -337,7 +349,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests {
     use super::*;
     use crate::model::OverlapModel;
@@ -345,20 +357,11 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_op() -> impl Strategy<Value = OperatorSpec> {
-        (
-            proptest::collection::vec(0.0f64..100.0, 3),
-            0.0f64..1e7,
-        )
-            .prop_map(|(mut w, d)| {
-                // Avoid the all-zero degenerate operator.
-                w[0] += 1e-3;
-                OperatorSpec::floating(
-                    OperatorId(0),
-                    OperatorKind::Other,
-                    WorkVector::new(w),
-                    d,
-                )
-            })
+        (proptest::collection::vec(0.0f64..100.0, 3), 0.0f64..1e7).prop_map(|(mut w, d)| {
+            // Avoid the all-zero degenerate operator.
+            w[0] += 1e-3;
+            OperatorSpec::floating(OperatorId(0), OperatorKind::Other, WorkVector::new(w), d)
+        })
     }
 
     proptest! {

@@ -208,7 +208,10 @@ mod tests {
         ])
         .unwrap();
         assert_eq!(s.dim(), 4);
-        assert_eq!(s.dims_of(ResourceKind::Disk).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(
+            s.dims_of(ResourceKind::Disk).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
     }
 
     #[test]

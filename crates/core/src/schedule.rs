@@ -65,7 +65,10 @@ impl ScheduledOperator {
 
     /// `T_par(op, N)` (Equation 1) under `model`: max clone time.
     pub fn t_par<M: ResponseModel>(&self, model: &M) -> f64 {
-        self.clones.iter().map(|w| model.t_seq(w)).fold(0.0, f64::max)
+        self.clones
+            .iter()
+            .map(|w| model.t_seq(w))
+            .fold(0.0, f64::max)
     }
 
     /// The operator's total work vector (sum over clones).
@@ -297,7 +300,11 @@ mod tests {
         s.assignment.homes[0] = vec![SiteId(0)];
         assert!(matches!(
             s.validate(&sys),
-            Err(ScheduleError::DegreeMismatch { expected: 2, actual: 1, .. })
+            Err(ScheduleError::DegreeMismatch {
+                expected: 2,
+                actual: 1,
+                ..
+            })
         ));
     }
 

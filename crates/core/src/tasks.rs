@@ -112,7 +112,9 @@ impl TaskGraph {
             for op in &node.ops {
                 if !seen.insert(*op) {
                     return Err(ScheduleError::MalformedTaskGraph {
-                        detail: format!("operator {op} appears in more than one task (second: T{i})"),
+                        detail: format!(
+                            "operator {op} appears in more than one task (second: T{i})"
+                        ),
                     });
                 }
             }
@@ -217,11 +219,26 @@ mod tests {
     /// Figure 1(c): tasks T1..T4 feed T5.
     fn figure_1_graph() -> TaskGraph {
         TaskGraph::new(vec![
-            TaskNode { ops: ids(&[0]), parent: Some(TaskId(4)) },
-            TaskNode { ops: ids(&[1]), parent: Some(TaskId(4)) },
-            TaskNode { ops: ids(&[2]), parent: Some(TaskId(4)) },
-            TaskNode { ops: ids(&[3]), parent: Some(TaskId(4)) },
-            TaskNode { ops: ids(&[4, 5]), parent: None },
+            TaskNode {
+                ops: ids(&[0]),
+                parent: Some(TaskId(4)),
+            },
+            TaskNode {
+                ops: ids(&[1]),
+                parent: Some(TaskId(4)),
+            },
+            TaskNode {
+                ops: ids(&[2]),
+                parent: Some(TaskId(4)),
+            },
+            TaskNode {
+                ops: ids(&[3]),
+                parent: Some(TaskId(4)),
+            },
+            TaskNode {
+                ops: ids(&[4, 5]),
+                parent: None,
+            },
         ])
         .unwrap()
     }
@@ -233,10 +250,7 @@ mod tests {
         let levels = g.levels();
         assert_eq!(levels.len(), 2);
         assert_eq!(levels[0], vec![TaskId(4)]);
-        assert_eq!(
-            levels[1],
-            vec![TaskId(0), TaskId(1), TaskId(2), TaskId(3)]
-        );
+        assert_eq!(levels[1], vec![TaskId(0), TaskId(1), TaskId(2), TaskId(3)]);
     }
 
     #[test]
@@ -249,9 +263,18 @@ mod tests {
     #[test]
     fn chain_depths() {
         let g = TaskGraph::new(vec![
-            TaskNode { ops: ids(&[0]), parent: None },
-            TaskNode { ops: ids(&[1]), parent: Some(TaskId(0)) },
-            TaskNode { ops: ids(&[2]), parent: Some(TaskId(1)) },
+            TaskNode {
+                ops: ids(&[0]),
+                parent: None,
+            },
+            TaskNode {
+                ops: ids(&[1]),
+                parent: Some(TaskId(0)),
+            },
+            TaskNode {
+                ops: ids(&[2]),
+                parent: Some(TaskId(1)),
+            },
         ])
         .unwrap();
         assert_eq!(g.depth(TaskId(0)), 0);
@@ -263,8 +286,14 @@ mod tests {
     #[test]
     fn forest_allowed() {
         let g = TaskGraph::new(vec![
-            TaskNode { ops: ids(&[0]), parent: None },
-            TaskNode { ops: ids(&[1]), parent: None },
+            TaskNode {
+                ops: ids(&[0]),
+                parent: None,
+            },
+            TaskNode {
+                ops: ids(&[1]),
+                parent: None,
+            },
         ])
         .unwrap();
         assert_eq!(g.height(), 0);
@@ -274,8 +303,14 @@ mod tests {
     #[test]
     fn cycle_detected() {
         let r = TaskGraph::new(vec![
-            TaskNode { ops: ids(&[0]), parent: Some(TaskId(1)) },
-            TaskNode { ops: ids(&[1]), parent: Some(TaskId(0)) },
+            TaskNode {
+                ops: ids(&[0]),
+                parent: Some(TaskId(1)),
+            },
+            TaskNode {
+                ops: ids(&[1]),
+                parent: Some(TaskId(0)),
+            },
         ]);
         assert!(matches!(r, Err(ScheduleError::MalformedTaskGraph { .. })));
     }
@@ -301,8 +336,14 @@ mod tests {
     #[test]
     fn duplicate_operator_detected() {
         let r = TaskGraph::new(vec![
-            TaskNode { ops: ids(&[0, 1]), parent: None },
-            TaskNode { ops: ids(&[1]), parent: Some(TaskId(0)) },
+            TaskNode {
+                ops: ids(&[0, 1]),
+                parent: None,
+            },
+            TaskNode {
+                ops: ids(&[1]),
+                parent: Some(TaskId(0)),
+            },
         ]);
         assert!(matches!(r, Err(ScheduleError::MalformedTaskGraph { .. })));
     }
@@ -318,7 +359,10 @@ mod tests {
     #[test]
     fn deep_chain_no_stack_overflow_concern() {
         // 10k-deep chain exercises the memoized depth computation.
-        let mut nodes = vec![TaskNode { ops: vec![], parent: None }];
+        let mut nodes = vec![TaskNode {
+            ops: vec![],
+            parent: None,
+        }];
         for i in 1..10_000 {
             nodes.push(TaskNode {
                 ops: vec![],

@@ -134,7 +134,14 @@ pub fn tree_schedule<M: ResponseModel>(
     comm: &CommModel,
     model: &M,
 ) -> Result<TreeScheduleResult, ScheduleError> {
-    tree_schedule_with_order(problem, f, sys, comm, model, crate::list::ListOrder::LongestFirst)
+    tree_schedule_with_order(
+        problem,
+        f,
+        sys,
+        comm,
+        model,
+        crate::list::ListOrder::LongestFirst,
+    )
 }
 
 /// Degree of parallelism for a floating operator within a task tree.
@@ -250,13 +257,14 @@ pub fn tree_schedule_full<M: ResponseModel>(
         for id in &op_ids {
             let mut spec = problem.ops[id.0].clone();
             if let Some(source) = binding_of.get(id) {
-                let homes = placed_homes.get(source).ok_or_else(|| {
-                    ScheduleError::MalformedTaskGraph {
-                        detail: format!(
+                let homes =
+                    placed_homes
+                        .get(source)
+                        .ok_or_else(|| ScheduleError::MalformedTaskGraph {
+                            detail: format!(
                             "binding source {source} for {id} was not scheduled in an earlier phase"
                         ),
-                    }
-                })?;
+                        })?;
                 spec.placement = Placement::Rooted(homes.clone());
             }
             let degree = match &spec.placement {
@@ -328,13 +336,14 @@ pub fn malleable_tree_schedule<M: ResponseModel>(
         for id in &op_ids {
             let mut spec = problem.ops[id.0].clone();
             if let Some(source) = binding_of.get(id) {
-                let homes = placed_homes.get(source).ok_or_else(|| {
-                    ScheduleError::MalformedTaskGraph {
-                        detail: format!(
+                let homes =
+                    placed_homes
+                        .get(source)
+                        .ok_or_else(|| ScheduleError::MalformedTaskGraph {
+                            detail: format!(
                             "binding source {source} for {id} was not scheduled in an earlier phase"
                         ),
-                    }
-                })?;
+                        })?;
                 spec.placement = Placement::Rooted(homes.clone());
             }
             let size_spec = match dependent_of.get(id) {
@@ -532,11 +541,21 @@ mod tests {
             op(1, OperatorKind::Scan, &[2.0, 1.0, 0.0], 0.0),
         ];
         let tasks = TaskGraph::new(vec![
-            TaskNode { ops: vec![OperatorId(0)], parent: None },
-            TaskNode { ops: vec![OperatorId(1)], parent: None },
+            TaskNode {
+                ops: vec![OperatorId(0)],
+                parent: None,
+            },
+            TaskNode {
+                ops: vec![OperatorId(1)],
+                parent: None,
+            },
         ])
         .unwrap();
-        let problem = TreeProblem { ops, tasks, bindings: vec![] };
+        let problem = TreeProblem {
+            ops,
+            tasks,
+            bindings: vec![],
+        };
         let r = tree_schedule(&problem, 0.7, &sys, &comm, &model).unwrap();
         assert_eq!(r.phases.len(), 1);
         assert_eq!(r.phases[0].schedule.ops.len(), 2);
@@ -554,9 +573,7 @@ mod tests {
         let serial: f64 = problem
             .ops
             .iter()
-            .map(|o| {
-                crate::partition::t_par(o, 1, &comm, &sys.site, &model)
-            })
+            .map(|o| crate::partition::t_par(o, 1, &comm, &sys.site, &model))
             .sum();
         assert!(
             r.response_time <= serial + 1e-9,
@@ -664,13 +681,29 @@ mod tests {
         let mk = |id: usize, w: f64| op(id, OperatorKind::Other, &[w, 1.0, 0.0], 50_000.0);
         let ops = vec![mk(0, 2.0), mk(1, 3.0), mk(2, 4.0), mk(3, 5.0)];
         let tasks = TaskGraph::new(vec![
-            TaskNode { ops: vec![OperatorId(0)], parent: None },
-            TaskNode { ops: vec![OperatorId(1)], parent: Some(TaskId(0)) },
-            TaskNode { ops: vec![OperatorId(2)], parent: Some(TaskId(1)) },
-            TaskNode { ops: vec![OperatorId(3)], parent: Some(TaskId(0)) },
+            TaskNode {
+                ops: vec![OperatorId(0)],
+                parent: None,
+            },
+            TaskNode {
+                ops: vec![OperatorId(1)],
+                parent: Some(TaskId(0)),
+            },
+            TaskNode {
+                ops: vec![OperatorId(2)],
+                parent: Some(TaskId(1)),
+            },
+            TaskNode {
+                ops: vec![OperatorId(3)],
+                parent: Some(TaskId(0)),
+            },
         ])
         .unwrap();
-        let problem = TreeProblem { ops, tasks, bindings: vec![] };
+        let problem = TreeProblem {
+            ops,
+            tasks,
+            bindings: vec![],
+        };
         let heights = problem.tasks.heights_from_leaves();
         assert_eq!(heights, vec![2, 1, 0, 0]);
         let asap = tree_schedule_full(

@@ -2,13 +2,13 @@
 //! [`TreeProblem`] ready for TREESCHEDULE.
 
 use crate::opcost::{operator_specs, CostError, CostModel, ScanPlacement};
+use mrs_core::error::ScheduleError;
+use mrs_core::tree::TreeProblem;
 use mrs_plan::cardinality::CardinalityModel;
 use mrs_plan::decompose::decompose;
 use mrs_plan::optree::OperatorTree;
 use mrs_plan::plan::PlanTree;
 use mrs_plan::relation::Catalog;
-use mrs_core::error::ScheduleError;
-use mrs_core::tree::TreeProblem;
 
 /// Everything that can go wrong assembling a scheduling problem.
 #[derive(Clone, Debug, PartialEq)]
@@ -77,10 +77,10 @@ pub fn problem_from_plan(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mrs_plan::cardinality::KeyJoinMax;
     use mrs_core::model::OverlapModel;
     use mrs_core::resource::SystemSpec;
     use mrs_core::tree::tree_schedule;
+    use mrs_plan::cardinality::KeyJoinMax;
 
     fn fixture() -> (PlanTree, Catalog) {
         let mut c = Catalog::new();
@@ -132,8 +132,9 @@ mod tests {
     fn aggregated_plan_schedules_in_extra_phase() {
         use mrs_plan::plan::UnaryKind;
         let (plan, catalog) = fixture();
-        let agg_plan =
-            plan.with_unary_root(UnaryKind::HashAggregate { output_fraction: 0.05 });
+        let agg_plan = plan.with_unary_root(UnaryKind::HashAggregate {
+            output_fraction: 0.05,
+        });
         let cost = CostModel::paper_defaults();
         let base = problem_from_plan(
             &plan,
@@ -172,7 +173,10 @@ mod tests {
             &catalog,
             &KeyJoinMax,
             &cost,
-            &ScanPlacement::RoundRobin { degree: 2, sites: 8 },
+            &ScanPlacement::RoundRobin {
+                degree: 2,
+                sites: 8,
+            },
         )
         .unwrap();
         let rooted = problem.ops.iter().filter(|o| !o.is_floating()).count();

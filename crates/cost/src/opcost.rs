@@ -27,10 +27,10 @@
 //! | probe  | outer*probe + out*extract | 0 | outer (receive) + out (send) |
 
 use crate::params::SystemParams;
-use mrs_plan::optree::{OpDetail, OperatorTree};
 use mrs_core::operator::{OperatorId, OperatorKind, OperatorSpec, Placement};
 use mrs_core::resource::{SiteId, SiteSpec};
 use mrs_core::vector::WorkVector;
+use mrs_plan::optree::{OpDetail, OperatorTree};
 
 /// Errors raised when deriving work vectors.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -43,7 +43,10 @@ impl std::fmt::Display for CostError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CostError::NoDiskDimension => {
-                write!(f, "site layout has no disk resource but the plan scans base relations")
+                write!(
+                    f,
+                    "site layout has no disk resource but the plan scans base relations"
+                )
             }
         }
     }
@@ -144,8 +147,10 @@ impl CostModel {
                 let n = in_tuples.max(1.0);
                 w.add_at(
                     self.site.cpu_dim(),
-                    p.instr_time(n * n.log2().max(1.0) * p.cpu.sort_compare
-                        + in_tuples * p.cpu.extract_tuple),
+                    p.instr_time(
+                        n * n.log2().max(1.0) * p.cpu.sort_compare
+                            + in_tuples * p.cpu.extract_tuple,
+                    ),
                 );
             }
         }
@@ -225,7 +230,10 @@ pub fn operator_specs(
         if let (OpDetail::Scan { .. }, ScanPlacement::RoundRobin { degree, sites }) =
             (&node.detail, placement)
         {
-            assert!(*degree >= 1 && degree <= sites, "invalid round-robin placement");
+            assert!(
+                *degree >= 1 && degree <= sites,
+                "invalid round-robin placement"
+            );
             let start = (scan_counter * degree) % sites;
             let homes: Vec<SiteId> = (0..*degree).map(|k| SiteId((start + k) % sites)).collect();
             spec.placement = Placement::Rooted(homes);
@@ -239,10 +247,10 @@ pub fn operator_specs(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mrs_core::resource::ResourceKind;
     use mrs_plan::cardinality::KeyJoinMax;
     use mrs_plan::plan::PlanTree;
     use mrs_plan::relation::Catalog;
-    use mrs_core::resource::ResourceKind;
 
     fn one_join_tree() -> OperatorTree {
         let mut c = Catalog::new();
@@ -342,7 +350,10 @@ mod tests {
         let specs = operator_specs(
             &tree,
             &cost,
-            &ScanPlacement::RoundRobin { degree: 2, sites: 8 },
+            &ScanPlacement::RoundRobin {
+                degree: 2,
+                sites: 8,
+            },
         )
         .unwrap();
         let mut scan_homes = Vec::new();
@@ -367,7 +378,10 @@ mod tests {
         let specs = operator_specs(
             &tree,
             &cost,
-            &ScanPlacement::RoundRobin { degree: 2, sites: 3 },
+            &ScanPlacement::RoundRobin {
+                degree: 2,
+                sites: 3,
+            },
         )
         .unwrap();
         for s in specs.iter().filter(|s| s.kind == OperatorKind::Scan) {

@@ -94,8 +94,7 @@ impl SystemParams {
 
     /// The communication model these parameters induce.
     pub fn comm_model(&self) -> CommModel {
-        CommModel::new(self.startup_alpha, self.net_beta)
-            .expect("paper parameters are valid")
+        CommModel::new(self.startup_alpha, self.net_beta).expect("paper parameters are valid")
     }
 }
 

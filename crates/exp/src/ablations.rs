@@ -6,9 +6,9 @@ use crate::config::ExpConfig;
 use crate::report::Report;
 use crate::runner::{mean_response, Algo};
 use crate::tablefmt::{ratio, secs, Table};
+use mrs_core::resource::SystemSpec;
 use mrs_cost::prelude::CostModel;
 use mrs_workload::suite::suite;
-use mrs_core::resource::SystemSpec;
 
 /// X1: multi-dimensional vector packing vs scalar-load packing vs
 /// round-robin, all with identical phases/degrees/clone vectors.
@@ -30,7 +30,13 @@ pub fn ablation_dims(cfg: &ExpConfig) -> Report {
         let mut row = vec![joins.to_string()];
         for p in systems {
             let sys = SystemSpec::homogeneous(p);
-            row.push(secs(mean_response(&s.queries, &Algo::Tree { f }, &sys, eps, &cost)));
+            row.push(secs(mean_response(
+                &s.queries,
+                &Algo::Tree { f },
+                &sys,
+                eps,
+                &cost,
+            )));
             row.push(secs(mean_response(
                 &s.queries,
                 &Algo::ScalarList { f },
@@ -51,7 +57,10 @@ pub fn ablation_dims(cfg: &ExpConfig) -> Report {
     Report {
         id: "ablation-dims",
         title: "Ablation X1: multi-dimensional vs scalar-load vs round-robin packing".into(),
-        params: format!("epsilon={eps}, f={f}, {} queries per size", cfg.queries_per_size()),
+        params: format!(
+            "epsilon={eps}, f={f}, {} queries per size",
+            cfg.queries_per_size()
+        ),
         table,
         notes: vec![
             "Same phases, degrees, and clone vectors everywhere; only the packing \
@@ -97,7 +106,10 @@ pub fn ablation_order(cfg: &ExpConfig) -> Report {
     Report {
         id: "ablation-order",
         title: "Ablation X2: LPT vs arbitrary list order in OperatorSchedule".into(),
-        params: format!("epsilon={eps}, f={f}, {} queries per size", cfg.queries_per_size()),
+        params: format!(
+            "epsilon={eps}, f={f}, {} queries per size",
+            cfg.queries_per_size()
+        ),
         table,
         notes: vec![
             "Theorem 5.1's proof machinery needs the non-increasing l(w) order; this \
@@ -113,7 +125,10 @@ mod tests {
     use super::*;
 
     fn fast_cfg() -> ExpConfig {
-        ExpConfig { seed: 3, fast: true }
+        ExpConfig {
+            seed: 3,
+            fast: true,
+        }
     }
 
     #[test]

@@ -3,11 +3,13 @@
 //! ```text
 //! mrs-repro [--seed N] [--fast] [--csv DIR] <experiment>... | all | list
 //! mrs-repro schedule [--seed N] [--joins J] [--sites P] [--eps E] [--f F]
+//! mrs-repro serve [--seed N] [--queries N] [--sites P] [--mpl M]
+//!                 [--load X] [--policy fcfs|svf|rr-fair]
 //! ```
 //!
 //! Experiments: table2, fig5a, fig5b, fig6a, fig6b, ablation-dims,
 //! ablation-order, malleable, planopt, pipecheck, memcheck, optgap,
-//! simcheck, skew.
+//! simcheck, skew, throughput.
 
 use mrs_exp::config::ExpConfig;
 use mrs_exp::{all_experiments, experiment_by_id};
@@ -17,22 +19,166 @@ use std::process::ExitCode;
 fn usage() -> &'static str {
     "usage: mrs-repro [--seed N] [--fast] [--csv DIR] <experiment>... | all | list\n\
        or: mrs-repro schedule [--seed N] [--joins J] [--sites P] [--eps E] [--f F]\n\
+       or: mrs-repro serve [--seed N] [--queries N] [--sites P] [--mpl M] [--load X] \
+     [--policy fcfs|svf|rr-fair]\n\
      experiments: table2 fig5a fig5b fig6a fig6b ablation-dims ablation-order \
-     malleable planopt pipecheck memcheck dimcheck shelfcheck optgap simcheck skew"
+     malleable planopt pipecheck memcheck dimcheck shelfcheck optgap simcheck skew throughput"
+}
+
+/// `mrs-repro serve`: run a Poisson stream of generated queries through
+/// the online runtime and print per-query and per-site statistics.
+fn run_serve_demo(args: &[String]) -> ExitCode {
+    use mrs_core::model::OverlapModel;
+    use mrs_core::resource::SystemSpec;
+    use mrs_core::rng::DetRng;
+    use mrs_core::tree::tree_schedule;
+    use mrs_cost::prelude::CostModel;
+    use mrs_exp::prelude::query_problem;
+    use mrs_runtime::prelude::{AdmissionPolicy, Runtime, RuntimeConfig};
+    use mrs_workload::prelude::{generate_query, poisson_arrivals, QueryGenConfig};
+
+    let mut seed = 1996u64;
+    let mut queries = 12usize;
+    let mut sites = 24usize;
+    let mut mpl = 4usize;
+    let mut load = 1.5f64;
+    let mut policy = AdmissionPolicy::Fcfs;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--policy" {
+            policy = match it.next().map(String::as_str) {
+                Some("fcfs") => AdmissionPolicy::Fcfs,
+                Some("svf") => AdmissionPolicy::SmallestVolumeFirst,
+                Some("rr-fair") => AdmissionPolicy::RoundRobinFair,
+                other => {
+                    let got = other.unwrap_or("nothing");
+                    eprintln!("--policy must be fcfs, svf, or rr-fair, got {got:?}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            continue;
+        }
+        let Some(value) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
+            eprintln!("{arg} needs a numeric argument\n{}", usage());
+            return ExitCode::FAILURE;
+        };
+        match arg.as_str() {
+            "--seed" => seed = value as u64,
+            "--queries" => queries = value as usize,
+            "--sites" => sites = value as usize,
+            "--mpl" => mpl = value as usize,
+            "--load" => load = value,
+            other => {
+                eprintln!("unknown serve option {other:?}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if queries == 0 || sites == 0 || mpl == 0 || !(load.is_finite() && load > 0.0) {
+        eprintln!("--queries, --sites, --mpl, and --load must be positive");
+        return ExitCode::FAILURE;
+    }
+
+    let cost = CostModel::paper_defaults();
+    let comm = cost.params().comm_model();
+    let model = OverlapModel::new(0.5).unwrap();
+    let sys = SystemSpec::homogeneous(sites);
+    let f = 0.7;
+
+    let mut rng = DetRng::seed_from_u64(seed);
+    let problems: Vec<_> = (0..queries)
+        .map(|_| {
+            let joins = rng.gen_range(6..=14usize);
+            let q = generate_query(
+                &QueryGenConfig::paper(joins),
+                rng.gen_range(0..1_000_000u64),
+            );
+            query_problem(&q, &cost)
+        })
+        .collect();
+    let mean_standalone: f64 = problems
+        .iter()
+        .map(|p| {
+            tree_schedule(p, f, &sys, &comm, &model)
+                .expect("generated plans always schedule")
+                .response_time
+        })
+        .sum::<f64>()
+        / queries as f64;
+    let rate = load * mpl as f64 / mean_standalone;
+    let arrivals = poisson_arrivals(rate, queries, seed ^ 0xA11C_E5ED);
+
+    let cfg = RuntimeConfig {
+        f,
+        policy,
+        max_in_flight: mpl,
+        ..RuntimeConfig::default()
+    };
+    let mut rt = Runtime::new(sys.clone(), comm, model, cfg);
+    for (i, (p, t)) in problems.into_iter().zip(&arrivals).enumerate() {
+        rt.submit_at(*t, i % 3, p);
+    }
+    let summary = match rt.run_to_completion() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("runtime failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "serving {queries} queries on P={sites} at MPL {mpl}, policy {}, λ={rate:.5}/s \
+         (offered load {load}x, mean standalone {mean_standalone:.1}s)\n",
+        policy.label()
+    );
+    println!(
+        "{:<6} {:>8} {:>10} {:>10} {:>10} {:>9}",
+        "query", "client", "arrival", "wait", "latency", "slowdown"
+    );
+    for q in &summary.queries {
+        println!(
+            "{:<6} {:>8} {:>10.2} {:>10.2} {:>10.2} {:>9.3}",
+            q.id.to_string(),
+            q.client,
+            q.arrival,
+            q.wait().unwrap_or(f64::NAN),
+            q.latency().unwrap_or(f64::NAN),
+            q.slowdown().unwrap_or(f64::NAN),
+        );
+    }
+    let (cpu, net) = (sys.site.cpu_dim(), sys.site.net_dim());
+    let disk = sys.site.disk_dim().expect("paper layout has a disk");
+    println!(
+        "\ncompleted {} / {queries} in {:.1}s — throughput {:.4}/s, mean latency {:.1}s, \
+         p95 {:.1}s, max queue depth {}",
+        summary.completed(),
+        summary.horizon,
+        summary.throughput(),
+        summary.mean_latency(),
+        summary.p95_latency(),
+        summary.max_queue_depth()
+    );
+    println!(
+        "mean site utilization: cpu {:.3}, disk {:.3}, net {:.3}",
+        summary.avg_utilization(cpu),
+        summary.avg_utilization(disk),
+        summary.avg_utilization(net)
+    );
+    ExitCode::SUCCESS
 }
 
 /// `mrs-repro schedule`: generate one query, schedule it with both
 /// algorithms, and print a full schedule report.
 fn run_schedule_demo(args: &[String]) -> ExitCode {
     use mrs_baseline::prelude::synchronous_schedule;
-    use mrs_cost::prelude::{problem_from_plan, CostModel, ScanPlacement};
-    use mrs_exp::render::tree_report;
-    use mrs_plan::prelude::KeyJoinMax;
-    use mrs_workload::prelude::{generate_query, QueryGenConfig};
     use mrs_core::bounds::opt_bound;
     use mrs_core::model::OverlapModel;
     use mrs_core::resource::SystemSpec;
     use mrs_core::tree::tree_schedule;
+    use mrs_cost::prelude::{problem_from_plan, CostModel, ScanPlacement};
+    use mrs_exp::render::tree_report;
+    use mrs_plan::prelude::KeyJoinMax;
+    use mrs_workload::prelude::{generate_query, QueryGenConfig};
 
     let mut seed = 1996u64;
     let mut joins = 12usize;
@@ -103,9 +249,7 @@ fn run_schedule_demo(args: &[String]) -> ExitCode {
     let sys = SystemSpec::homogeneous(sites);
     let comm = cost.params().comm_model();
 
-    println!(
-        "query: {joins} joins (seed {seed}), machine: {sites} sites, eps={eps}, f={f}\n"
-    );
+    println!("query: {joins} joins (seed {seed}), machine: {sites} sites, eps={eps}, f={f}\n");
     let result = tree_schedule(&problem, f, &sys, &comm, &model).expect("valid problem");
     println!("=== TREESCHEDULE ===");
     println!("{}", tree_report(&result, &sys, &model));
@@ -125,6 +269,9 @@ fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.first().map(String::as_str) == Some("schedule") {
         return run_schedule_demo(&raw[1..]);
+    }
+    if raw.first().map(String::as_str) == Some("serve") {
+        return run_serve_demo(&raw[1..]);
     }
 
     let mut cfg = ExpConfig::default();
@@ -196,7 +343,11 @@ fn main() -> ExitCode {
         "# Multi-dimensional Resource Scheduling for Parallel Queries (SIGMOD 1996)\n\
          # seed={} mode={}\n",
         cfg.seed,
-        if cfg.fast { "fast" } else { "full (paper sweeps)" }
+        if cfg.fast {
+            "fast"
+        } else {
+            "full (paper sweeps)"
+        }
     );
     for (id, f) in plan {
         let start = std::time::Instant::now();

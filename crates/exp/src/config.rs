@@ -64,7 +64,10 @@ mod tests {
 
     #[test]
     fn fast_mode_is_smaller() {
-        let cfg = ExpConfig { fast: true, ..Default::default() };
+        let cfg = ExpConfig {
+            fast: true,
+            ..Default::default()
+        };
         assert!(cfg.queries_per_size() < 20);
         assert!(cfg.site_sweep().len() < 14);
     }

@@ -10,13 +10,13 @@
 use crate::config::ExpConfig;
 use crate::report::Report;
 use crate::tablefmt::{ratio, secs, Table};
-use mrs_cost::prelude::{problem_from_plan, CostModel, ScanPlacement, SystemParams};
-use mrs_plan::cardinality::KeyJoinMax;
-use mrs_workload::suite::suite;
 use mrs_core::bounds::theorem_5_1_ratio_fixed;
 use mrs_core::model::OverlapModel;
 use mrs_core::resource::{ResourceKind, SiteSpec, SystemSpec};
 use mrs_core::tree::tree_schedule;
+use mrs_cost::prelude::{problem_from_plan, CostModel, ScanPlacement, SystemParams};
+use mrs_plan::cardinality::KeyJoinMax;
+use mrs_workload::suite::suite;
 
 /// Builds a `[Cpu, Disk×n, Network]` layout.
 fn layout_with_disks(disks: usize) -> SiteSpec {
@@ -47,8 +47,10 @@ pub fn dimcheck(cfg: &ExpConfig) -> Report {
     // disks, where striping has something to fix.
     let mut disk_bound = SystemParams::paper_defaults();
     disk_bound.disk_page_time *= 3.0;
-    for (tag, params) in [("balanced", SystemParams::paper_defaults()), ("disk-bound", disk_bound)]
-    {
+    for (tag, params) in [
+        ("balanced", SystemParams::paper_defaults()),
+        ("disk-bound", disk_bound),
+    ] {
         let mut base: Option<f64> = None;
         for disks in [1usize, 2, 4] {
             let site = layout_with_disks(disks);
@@ -107,7 +109,10 @@ mod tests {
 
     #[test]
     fn more_disks_never_slower() {
-        let cfg = ExpConfig { seed: 6, fast: true };
+        let cfg = ExpConfig {
+            seed: 6,
+            fast: true,
+        };
         let r = dimcheck(&cfg);
         assert_eq!(r.table.rows.len(), 6);
         for chunk in r.table.rows.chunks(3) {
@@ -121,7 +126,10 @@ mod tests {
 
     #[test]
     fn disk_bound_workload_benefits_more() {
-        let cfg = ExpConfig { seed: 6, fast: true };
+        let cfg = ExpConfig {
+            seed: 6,
+            fast: true,
+        };
         let r = dimcheck(&cfg);
         let gain = |rows: &[Vec<String>]| -> f64 {
             let first: f64 = rows[0][3].parse().unwrap();
@@ -139,7 +147,10 @@ mod tests {
 
     #[test]
     fn dimensionality_reported() {
-        let cfg = ExpConfig { seed: 6, fast: true };
+        let cfg = ExpConfig {
+            seed: 6,
+            fast: true,
+        };
         let r = dimcheck(&cfg);
         let ds: Vec<usize> = r.table.rows[0..3]
             .iter()

@@ -12,24 +12,23 @@ use mrs_cost::prelude::CostModel;
 use mrs_opt::prelude::optimal_pack;
 use mrs_sim::prelude::{simulate_phase, SharingPolicy, SimConfig};
 
-use mrs_workload::skew::zipf_partition;
-use mrs_workload::suite::suite;
 use mrs_core::list::operator_schedule;
 use mrs_core::malleable::malleable_schedule;
 use mrs_core::model::OverlapModel;
 use mrs_core::operator::{OperatorId, OperatorKind, OperatorSpec};
 use mrs_core::partition::PartitionStrategy;
 use mrs_core::resource::SystemSpec;
+use mrs_core::rng::DetRng;
 use mrs_core::schedule::{PhaseSchedule, ScheduledOperator};
 use mrs_core::tree::tree_schedule;
 use mrs_core::vector::WorkVector;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mrs_workload::skew::zipf_partition;
+use mrs_workload::suite::suite;
 
 /// Synthetic independent-operator sets (the Section 7 problem has no tree
 /// structure).
 fn independent_ops(count: usize, seed: u64) -> Vec<OperatorSpec> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     (0..count)
         .map(|i| {
             let cpu = rng.gen_range(0.5..20.0);
@@ -280,7 +279,10 @@ pub fn simcheck(cfg: &ExpConfig) -> Report {
     Report {
         id: "simcheck",
         title: "X5: Discrete-event simulator vs analytic model (Equations 2-3)".into(),
-        params: format!("{joins}-join queries x{}, epsilon={eps}, f={f}", s.queries.len()),
+        params: format!(
+            "{joins}-join queries x{}, epsilon={eps}, f={f}",
+            s.queries.len()
+        ),
         table,
         notes: vec![
             "Under assumptions A2/A3 the EqualFinish discipline must reproduce the \
@@ -304,7 +306,11 @@ pub fn skew(cfg: &ExpConfig) -> Report {
     let s = suite(joins, cfg.queries_per_size(), cfg.seed);
 
     let thetas = [0.0, 0.3, 0.6, 1.0];
-    let mut headers = vec!["theta".to_owned(), "planned".to_owned(), "actual".to_owned()];
+    let mut headers = vec![
+        "theta".to_owned(),
+        "planned".to_owned(),
+        "actual".to_owned(),
+    ];
     headers.push("degradation".to_owned());
     let mut table = Table::new(headers);
     for &theta in &thetas {
@@ -348,8 +354,7 @@ pub fn skew(cfg: &ExpConfig) -> Report {
     }
     Report {
         id: "skew",
-        title: "X6: Execution skew (EA1 relaxed): planned vs skew-afflicted response time"
-            .into(),
+        title: "X6: Execution skew (EA1 relaxed): planned vs skew-afflicted response time".into(),
         params: format!(
             "{joins}-join queries x{}, P=40, epsilon={eps}, f={f}, Zipf(theta) splits",
             s.queries.len()
@@ -369,7 +374,10 @@ mod tests {
     use super::*;
 
     fn fast_cfg() -> ExpConfig {
-        ExpConfig { seed: 11, fast: true }
+        ExpConfig {
+            seed: 11,
+            fast: true,
+        }
     }
 
     #[test]
@@ -382,7 +390,10 @@ mod tests {
                 continue;
             }
             let rr: f64 = row[5].parse().unwrap();
-            assert!((1.0 - 1e-9..=7.0).contains(&rr), "malleable/LB out of range: {rr}");
+            assert!(
+                (1.0 - 1e-9..=7.0).contains(&rr),
+                "malleable/LB out of range: {rr}"
+            );
             checked += 1;
         }
         assert!(checked >= 3);
@@ -403,7 +414,10 @@ mod tests {
         let r = simcheck(&fast_cfg());
         for row in &r.table.rows {
             let err: f64 = row[3].parse().unwrap();
-            assert!(err < 1e-6, "simulator must match the analytic model, err={err}");
+            assert!(
+                err < 1e-6,
+                "simulator must match the analytic model, err={err}"
+            );
         }
     }
 
@@ -416,7 +430,10 @@ mod tests {
             .iter()
             .map(|row| row[3].parse().unwrap())
             .collect();
-        assert!((degradations[0] - 1.0).abs() < 1e-6, "theta=0 must be exact");
+        assert!(
+            (degradations[0] - 1.0).abs() < 1e-6,
+            "theta=0 must be exact"
+        );
         assert!(
             degradations.last().unwrap() > &degradations[0],
             "skew should hurt: {degradations:?}"

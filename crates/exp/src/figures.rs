@@ -5,11 +5,11 @@ use crate::config::ExpConfig;
 use crate::report::Report;
 use crate::runner::{mean_response, query_problem, Algo};
 use crate::tablefmt::{ratio, secs, Table};
-use mrs_cost::prelude::{table_2, CostModel};
-use mrs_workload::suite::suite;
 use mrs_core::bounds::opt_bound;
 use mrs_core::model::OverlapModel;
 use mrs_core::resource::SystemSpec;
+use mrs_cost::prelude::{table_2, CostModel};
+use mrs_workload::suite::suite;
 
 /// Table 2: the experiment parameter settings.
 pub fn table2(_cfg: &ExpConfig) -> Report {
@@ -227,13 +227,11 @@ pub fn fig6b(cfg: &ExpConfig) -> Report {
             cfg.queries_per_size()
         ),
         table,
-        notes: vec![
-            format!(
-                "Worst observed TS/OPTBOUND ratio: {worst_ratio:.3} — far below the \
+        notes: vec![format!(
+            "Worst observed TS/OPTBOUND ratio: {worst_ratio:.3} — far below the \
                  per-phase worst-case bound 2d+1 = 7 of Theorem 5.1, matching the paper's \
                  observation that average behaviour is near-optimal."
-            ),
-        ],
+        )],
     }
 }
 

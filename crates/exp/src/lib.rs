@@ -19,8 +19,8 @@
 
 pub mod ablations;
 pub mod config;
-pub mod extensions;
 pub mod dimcheck;
+pub mod extensions;
 pub mod figures;
 pub mod memcheck;
 pub mod pipecheck;
@@ -31,6 +31,7 @@ pub mod runner;
 pub mod shelfcheck;
 pub mod stats;
 pub mod tablefmt;
+pub mod throughput;
 
 use config::ExpConfig;
 use report::Report;
@@ -57,6 +58,7 @@ pub fn all_experiments() -> Vec<(&'static str, Experiment)> {
         ("optgap", extensions::optgap),
         ("simcheck", extensions::simcheck),
         ("skew", extensions::skew),
+        ("throughput", throughput::throughput),
     ]
 }
 
@@ -72,20 +74,19 @@ pub fn experiment_by_id(id: &str) -> Option<Experiment> {
 pub mod prelude {
     pub use crate::ablations::{ablation_dims, ablation_order};
     pub use crate::config::ExpConfig;
+    pub use crate::dimcheck::dimcheck;
     pub use crate::extensions::{malleable, optgap, simcheck, skew};
     pub use crate::figures::{fig5a, fig5b, fig6a, fig6b, table2};
-    pub use crate::dimcheck::dimcheck;
     pub use crate::memcheck::memcheck;
     pub use crate::pipecheck::pipecheck;
     pub use crate::planopt::planopt;
     pub use crate::render::{phase_heatmap, tree_report};
-    pub use crate::stats::{percentile, Summary};
     pub use crate::report::Report;
+    pub use crate::runner::{mean_response, problem_response, query_problem, query_response, Algo};
     pub use crate::shelfcheck::shelfcheck;
-    pub use crate::runner::{
-        mean_response, problem_response, query_problem, query_response, Algo,
-    };
+    pub use crate::stats::{percentile, Summary};
     pub use crate::tablefmt::{ratio, secs, Table};
+    pub use crate::throughput::throughput;
     pub use crate::{all_experiments, experiment_by_id};
 }
 
@@ -100,7 +101,7 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(ids.len(), dedup.len());
-        assert_eq!(ids.len(), 16);
+        assert_eq!(ids.len(), 17);
     }
 
     #[test]

@@ -13,14 +13,14 @@ use crate::report::Report;
 use crate::runner::query_problem;
 use crate::stats::Summary;
 use crate::tablefmt::Table;
-use mrs_cost::prelude::CostModel;
-use mrs_plan::cardinality::KeyJoinMax;
-use mrs_plan::optree::{OpDetail, OperatorTree};
-use mrs_workload::suite::suite;
 use mrs_core::memory::{operator_schedule_with_memory, MemoryDemand, MemorySpec};
 use mrs_core::model::OverlapModel;
 use mrs_core::operator::OperatorId;
 use mrs_core::resource::SystemSpec;
+use mrs_cost::prelude::CostModel;
+use mrs_plan::cardinality::KeyJoinMax;
+use mrs_plan::optree::{OpDetail, OperatorTree};
+use mrs_workload::suite::suite;
 
 /// Runs the memory-pressure experiment.
 pub fn memcheck(cfg: &ExpConfig) -> Report {
@@ -70,9 +70,7 @@ pub fn memcheck(cfg: &ExpConfig) -> Report {
                 specs.push(spec);
                 demands.push(demand);
             }
-            match operator_schedule_with_memory(
-                specs, &demands, memory, f, &sys, &comm, &model,
-            ) {
+            match operator_schedule_with_memory(specs, &demands, memory, f, &sys, &comm, &model) {
                 Ok(r) => {
                     makespans.push(r.schedule.makespan(&sys, &model));
                     for (d, n) in demands.iter().zip(&r.degrees) {
@@ -129,7 +127,10 @@ mod tests {
 
     #[test]
     fn memcheck_reports_monotone_degrees() {
-        let cfg = ExpConfig { seed: 8, fast: true };
+        let cfg = ExpConfig {
+            seed: 8,
+            fast: true,
+        };
         let r = memcheck(&cfg);
         assert_eq!(r.table.rows.len(), 5);
         // Degrees grow (weakly) as memory shrinks, among scheduled rows.

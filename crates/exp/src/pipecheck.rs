@@ -11,15 +11,15 @@ use crate::config::ExpConfig;
 use crate::report::Report;
 
 use crate::tablefmt::{ratio, secs, Table};
+use mrs_core::model::OverlapModel;
+use mrs_core::operator::OperatorId;
+use mrs_core::resource::SystemSpec;
+use mrs_core::tree::tree_schedule;
 use mrs_cost::prelude::{problem_from_optree, CostModel, ScanPlacement};
 use mrs_plan::cardinality::KeyJoinMax;
 use mrs_plan::optree::OperatorTree;
 use mrs_sim::prelude::{simulate_phase, simulate_phase_pipelined, SimConfig};
 use mrs_workload::suite::suite;
-use mrs_core::model::OverlapModel;
-use mrs_core::operator::OperatorId;
-use mrs_core::resource::SystemSpec;
-use mrs_core::tree::tree_schedule;
 
 /// Runs the pipeline-coupling experiment.
 pub fn pipecheck(cfg: &ExpConfig) -> Report {
@@ -45,13 +45,12 @@ pub fn pipecheck(cfg: &ExpConfig) -> Report {
             let annotated = q.plan.annotate(&q.catalog, &KeyJoinMax);
             let optree = OperatorTree::expand(&annotated);
             let edges: Vec<(OperatorId, OperatorId)> = optree.pipeline_edges().collect();
-            let problem =
-                problem_from_optree(&optree, &cost, &ScanPlacement::Floating).unwrap();
+            let problem = problem_from_optree(&optree, &cost, &ScanPlacement::Floating).unwrap();
             let result = tree_schedule(&problem, f, &sys, &comm, &model).unwrap();
             analytic += result.response_time;
             for phase in &result.phases {
-                free += simulate_phase(&phase.schedule, &sys, &model, &SimConfig::default())
-                    .makespan;
+                free +=
+                    simulate_phase(&phase.schedule, &sys, &model, &SimConfig::default()).makespan;
                 tight += simulate_phase_pipelined(
                     &phase.schedule,
                     &edges,
@@ -95,7 +94,10 @@ mod tests {
 
     #[test]
     fn pipecheck_brackets_hold() {
-        let cfg = ExpConfig { seed: 4, fast: true };
+        let cfg = ExpConfig {
+            seed: 4,
+            fast: true,
+        };
         let r = pipecheck(&cfg);
         for row in &r.table.rows {
             let analytic: f64 = row[1].parse().unwrap();

@@ -12,12 +12,12 @@ use crate::report::Report;
 use crate::runner::{problem_response, Algo};
 use crate::stats::Summary;
 use crate::tablefmt::{secs, Table};
+use mrs_core::resource::SystemSpec;
 use mrs_cost::prelude::{problem_from_plan, CostModel, ScanPlacement};
 use mrs_plan::cardinality::KeyJoinMax;
 use mrs_plan::optimizer::{optimize_dp, optimize_greedy, DP_RELATION_LIMIT};
 use mrs_plan::plan::PlanTree;
 use mrs_workload::suite::suite;
-use mrs_core::resource::SystemSpec;
 
 /// Runs the plan-quality experiment.
 pub fn planopt(cfg: &ExpConfig) -> Report {
@@ -99,12 +99,18 @@ mod tests {
 
     #[test]
     fn planopt_runs_and_reports() {
-        let cfg = ExpConfig { seed: 5, fast: true };
+        let cfg = ExpConfig {
+            seed: 5,
+            fast: true,
+        };
         let r = planopt(&cfg);
         assert_eq!(r.table.rows.len(), 1);
         // All three strategies yield positive times; ratio parses.
         let row = &r.table.rows[0];
         let ratio: f64 = row[4].parse().unwrap();
-        assert!(ratio > 0.2 && ratio < 5.0, "implausible random/DP ratio {ratio}");
+        assert!(
+            ratio > 0.2 && ratio < 5.0,
+            "implausible random/DP ratio {ratio}"
+        );
     }
 }

@@ -163,6 +163,9 @@ mod tests {
         let text = phase_heatmap(&s, &sys, &model);
         // 3 single-clone ops on 4 sites: at most 3 site rows + header.
         let rows = text.lines().count();
-        assert!(rows <= 4 + 1, "unused sites must not be rendered: {rows} rows");
+        assert!(
+            rows <= 4 + 1,
+            "unused sites must not be rendered: {rows} rows"
+        );
     }
 }

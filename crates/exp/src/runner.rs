@@ -4,13 +4,15 @@
 use mrs_baseline::prelude::{
     round_robin_tree_schedule, scalar_tree_schedule, synchronous_schedule,
 };
-use mrs_cost::prelude::{problem_from_plan, CostModel, ScanPlacement};
-use mrs_plan::cardinality::KeyJoinMax;
-use mrs_workload::gen::GeneratedQuery;
 use mrs_core::list::ListOrder;
 use mrs_core::model::OverlapModel;
 use mrs_core::resource::SystemSpec;
-use mrs_core::tree::{malleable_tree_schedule, tree_schedule, tree_schedule_with_order, TreeProblem};
+use mrs_core::tree::{
+    malleable_tree_schedule, tree_schedule, tree_schedule_with_order, TreeProblem,
+};
+use mrs_cost::prelude::{problem_from_plan, CostModel, ScanPlacement};
+use mrs_plan::cardinality::KeyJoinMax;
+use mrs_workload::gen::GeneratedQuery;
 
 /// The scheduling algorithm under test.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -91,26 +93,36 @@ pub fn problem_response(
     let model = OverlapModel::new(epsilon).expect("epsilon validated by caller");
     let comm = cost.params().comm_model();
     match algo {
-        Algo::Tree { f } => tree_schedule(problem, *f, sys, &comm, &model)
-            .expect("valid problem")
-            .response_time,
+        Algo::Tree { f } => {
+            tree_schedule(problem, *f, sys, &comm, &model)
+                .expect("valid problem")
+                .response_time
+        }
         Algo::TreeArbitraryOrder { f } => {
             tree_schedule_with_order(problem, *f, sys, &comm, &model, ListOrder::Arbitrary)
                 .expect("valid problem")
                 .response_time
         }
-        Algo::TreeMalleable => malleable_tree_schedule(problem, sys, &comm, &model)
-            .expect("valid problem")
-            .response_time,
-        Algo::Synchronous => synchronous_schedule(problem, sys, &comm, &model)
-            .expect("valid problem")
-            .response_time,
-        Algo::ScalarList { f } => scalar_tree_schedule(problem, *f, sys, &comm, &model)
-            .expect("valid problem")
-            .response_time,
-        Algo::RoundRobin { f } => round_robin_tree_schedule(problem, *f, sys, &comm, &model)
-            .expect("valid problem")
-            .response_time,
+        Algo::TreeMalleable => {
+            malleable_tree_schedule(problem, sys, &comm, &model)
+                .expect("valid problem")
+                .response_time
+        }
+        Algo::Synchronous => {
+            synchronous_schedule(problem, sys, &comm, &model)
+                .expect("valid problem")
+                .response_time
+        }
+        Algo::ScalarList { f } => {
+            scalar_tree_schedule(problem, *f, sys, &comm, &model)
+                .expect("valid problem")
+                .response_time
+        }
+        Algo::RoundRobin { f } => {
+            round_robin_tree_schedule(problem, *f, sys, &comm, &model)
+                .expect("valid problem")
+                .response_time
+        }
     }
 }
 

@@ -10,12 +10,12 @@ use crate::config::ExpConfig;
 use crate::report::Report;
 use crate::runner::query_problem;
 use crate::tablefmt::{ratio, secs, Table};
-use mrs_cost::prelude::CostModel;
-use mrs_workload::suite::suite;
 use mrs_core::list::ListOrder;
 use mrs_core::model::OverlapModel;
 use mrs_core::resource::SystemSpec;
 use mrs_core::tree::{tree_schedule_full, PhasePolicy};
+use mrs_cost::prelude::CostModel;
+use mrs_workload::suite::suite;
 
 /// Runs the shelf-policy experiment.
 pub fn shelfcheck(cfg: &ExpConfig) -> Report {
@@ -96,7 +96,10 @@ mod tests {
 
     #[test]
     fn shelfcheck_ratios_sane() {
-        let cfg = ExpConfig { seed: 12, fast: true };
+        let cfg = ExpConfig {
+            seed: 12,
+            fast: true,
+        };
         let r = shelfcheck(&cfg);
         for row in &r.table.rows {
             let ratio: f64 = row[4].parse().unwrap();

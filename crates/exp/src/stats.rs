@@ -102,7 +102,9 @@ mod tests {
     #[test]
     fn ci_shrinks_with_sample_size() {
         let small = Summary::of(&[1.0, 3.0]);
-        let big_data: Vec<f64> = (0..200).map(|i| if i % 2 == 0 { 1.0 } else { 3.0 }).collect();
+        let big_data: Vec<f64> = (0..200)
+            .map(|i| if i % 2 == 0 { 1.0 } else { 3.0 })
+            .collect();
         let big = Summary::of(&big_data);
         assert!(big.ci95_half_width() < small.ci95_half_width());
     }

@@ -1,0 +1,240 @@
+//! Online-runtime throughput experiment: the three admission policies
+//! serving an identical Poisson stream of mixed-shape queries.
+//!
+//! A fixed machine serves `n` queries — a deterministic mix of bushy
+//! (random), star, and linear (chain) plans — arriving as a Poisson
+//! process whose rate is calibrated to the workload: the mean standalone
+//! response `R̄` is measured first and the arrival rate set to
+//! `λ = load · MPL / R̄`, i.e. an offered load of `load` relative to what
+//! the multiprogramming level could serve if every query took `R̄`.
+//!
+//! The emitted table is long-format (one file drives all plots): per
+//! policy a `summary` row, one `query` row per query (wait, latency,
+//! slowdown), and one `site` row per site (realized per-resource
+//! utilization from the simulator's busy integrals).
+
+use crate::config::ExpConfig;
+use crate::report::Report;
+use crate::runner::query_problem;
+use crate::tablefmt::Table;
+use mrs_core::model::OverlapModel;
+use mrs_core::resource::SystemSpec;
+use mrs_core::rng::DetRng;
+use mrs_core::tree::{tree_schedule, TreeProblem};
+use mrs_cost::prelude::CostModel;
+use mrs_runtime::prelude::{AdmissionPolicy, Runtime, RuntimeConfig};
+use mrs_workload::prelude::{
+    chain_query, generate_query, poisson_arrivals, star_query, QueryGenConfig,
+};
+
+/// One query of the stream: its plan plus the submitting client.
+struct StreamQuery {
+    client: usize,
+    problem: TreeProblem,
+}
+
+/// A deterministic mix of bushy, star, and chain plans cycled over
+/// `clients` submitting streams.
+fn mixed_stream(n: usize, clients: usize, seed: u64, cost: &CostModel) -> Vec<StreamQuery> {
+    let mut rng = DetRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let q = match i % 3 {
+                0 => {
+                    let joins = rng.gen_range(6..=14usize);
+                    generate_query(
+                        &QueryGenConfig::paper(joins),
+                        rng.gen_range(0..1_000_000u64),
+                    )
+                }
+                1 => {
+                    let dims: Vec<f64> = (0..rng.gen_range(4..=8usize))
+                        .map(|_| rng.gen_range(1.0e3..5.0e4))
+                        .collect();
+                    star_query(rng.gen_range(2.0e4..1.0e5), &dims)
+                }
+                _ => {
+                    let sizes: Vec<f64> = (0..rng.gen_range(5..=10usize))
+                        .map(|_| rng.gen_range(1.0e3..1.0e5))
+                        .collect();
+                    chain_query(&sizes)
+                }
+            };
+            StreamQuery {
+                client: i % clients,
+                problem: query_problem(&q, cost),
+            }
+        })
+        .collect()
+}
+
+/// The `throughput` experiment (see the module docs).
+pub fn throughput(cfg: &ExpConfig) -> Report {
+    let (sites, n_queries) = if cfg.fast { (16, 9) } else { (32, 42) };
+    let clients = 3;
+    let mpl = 4;
+    let offered_load = 1.5;
+    let eps = 0.5;
+    let f = 0.7;
+
+    let cost = CostModel::paper_defaults();
+    let comm = cost.params().comm_model();
+    let model = OverlapModel::new(eps).unwrap();
+    let sys = SystemSpec::homogeneous(sites);
+    let stream = mixed_stream(n_queries, clients, cfg.seed, &cost);
+
+    // Calibrate the arrival rate against the workload's standalone mean.
+    let mean_standalone: f64 = stream
+        .iter()
+        .map(|q| {
+            tree_schedule(&q.problem, f, &sys, &comm, &model)
+                .expect("stream plans always schedule")
+                .response_time
+        })
+        .sum::<f64>()
+        / n_queries as f64;
+    let rate = offered_load * mpl as f64 / mean_standalone;
+    let arrivals = poisson_arrivals(rate, n_queries, cfg.seed ^ 0xA11C_E5ED);
+
+    let mut table = Table::new(vec![
+        "policy",
+        "kind",
+        "id",
+        "client",
+        "arrival",
+        "wait",
+        "latency",
+        "slowdown",
+        "cpu_util",
+        "disk_util",
+        "net_util",
+    ]);
+    let mut notes: Vec<String> = Vec::new();
+
+    let (cpu, net) = (sys.site.cpu_dim(), sys.site.net_dim());
+    let disk = sys.site.disk_dim().expect("paper layout has a disk");
+
+    for policy in [
+        AdmissionPolicy::Fcfs,
+        AdmissionPolicy::SmallestVolumeFirst,
+        AdmissionPolicy::RoundRobinFair,
+    ] {
+        let rt_cfg = RuntimeConfig {
+            f,
+            policy,
+            max_in_flight: mpl,
+            ..RuntimeConfig::default()
+        };
+        let mut rt = Runtime::new(sys.clone(), comm, model, rt_cfg);
+        for (q, t) in stream.iter().zip(&arrivals) {
+            rt.submit_at(*t, q.client, q.problem.clone());
+        }
+        let summary = rt
+            .run_to_completion()
+            .expect("stream plans always schedule");
+
+        table.push_row(vec![
+            policy.label().to_owned(),
+            "summary".to_owned(),
+            "all".to_owned(),
+            String::new(),
+            format!("{:.2}", summary.horizon),
+            format!("{:.2}", summary.mean_wait()),
+            format!("{:.2}", summary.mean_latency()),
+            format!("{:.3}", summary.mean_slowdown()),
+            format!("{:.3}", summary.avg_utilization(cpu)),
+            format!("{:.3}", summary.avg_utilization(disk)),
+            format!("{:.3}", summary.avg_utilization(net)),
+        ]);
+        for q in &summary.queries {
+            table.push_row(vec![
+                policy.label().to_owned(),
+                "query".to_owned(),
+                q.id.to_string(),
+                q.client.to_string(),
+                format!("{:.2}", q.arrival),
+                format!("{:.2}", q.wait().unwrap_or(f64::NAN)),
+                format!("{:.2}", q.latency().unwrap_or(f64::NAN)),
+                format!("{:.3}", q.slowdown().unwrap_or(f64::NAN)),
+                String::new(),
+                String::new(),
+                String::new(),
+            ]);
+        }
+        for j in 0..sites {
+            table.push_row(vec![
+                policy.label().to_owned(),
+                "site".to_owned(),
+                format!("s{j}"),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                format!("{:.3}", summary.utilization(j, cpu)),
+                format!("{:.3}", summary.utilization(j, disk)),
+                format!("{:.3}", summary.utilization(j, net)),
+            ]);
+        }
+        notes.push(format!(
+            "{}: {} completed, throughput {:.4}/s, p95 latency {:.1}s, max queue depth {}",
+            policy.label(),
+            summary.completed(),
+            summary.throughput(),
+            summary.p95_latency(),
+            summary.max_queue_depth()
+        ));
+    }
+
+    notes.push(format!(
+        "offered load {offered_load}x at MPL {mpl}: λ = {rate:.5}/s against mean standalone \
+         response {mean_standalone:.1}s"
+    ));
+    notes.push(
+        "summary rows: arrival column holds the run horizon; wait/latency/slowdown are means; \
+         utilization columns are site averages"
+            .to_owned(),
+    );
+
+    Report {
+        id: "throughput",
+        title: "Online runtime: admission policies under a Poisson stream".to_owned(),
+        params: format!(
+            "P={sites} d=3 eps={eps} f={f} MPL={mpl} n={n_queries} clients={clients} \
+             seed={}",
+            cfg.seed
+        ),
+        table,
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_throughput_runs_and_serves_everything() {
+        let cfg = ExpConfig {
+            fast: true,
+            ..Default::default()
+        };
+        let report = throughput(&cfg);
+        // 3 policies x (1 summary + 9 queries + 16 sites).
+        assert_eq!(report.table.rows.len(), 3 * (1 + 9 + 16));
+        for note in &report.notes[..3] {
+            assert!(note.contains("9 completed"), "unexpected note: {note}");
+        }
+    }
+
+    #[test]
+    fn throughput_is_deterministic() {
+        let cfg = ExpConfig {
+            fast: true,
+            ..Default::default()
+        };
+        let a = throughput(&cfg).table.to_csv();
+        let b = throughput(&cfg).table.to_csv();
+        assert_eq!(a, b);
+    }
+}

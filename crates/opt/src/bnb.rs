@@ -274,7 +274,9 @@ mod tests {
             .enumerate()
             .map(|(i, &s)| sop(i, &[s, 0.0, 0.0], 1, &sys))
             .collect();
-        let r = optimal_pack(&ops, &sys, &model, 1_000_000).unwrap().unwrap();
+        let r = optimal_pack(&ops, &sys, &model, 1_000_000)
+            .unwrap()
+            .unwrap();
         assert!((r.congestion - 6.0).abs() < 1e-6, "got {}", r.congestion);
     }
 
@@ -291,7 +293,9 @@ mod tests {
             assignment: heuristic,
         }
         .max_congestion(&sys);
-        let r = optimal_pack(&ops, &sys, &model, 10_000_000).unwrap().unwrap();
+        let r = optimal_pack(&ops, &sys, &model, 10_000_000)
+            .unwrap()
+            .unwrap();
         assert!(r.congestion <= hc + 1e-9);
     }
 
@@ -352,7 +356,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests {
     use super::*;
     use mrs_core::comm::CommModel;

@@ -99,9 +99,7 @@ pub fn decompose(tree: &OperatorTree) -> Result<Decomposition, ScheduleError> {
         let (ts, td) = (task_of_raw[src.0], task_of_raw[dst.0]);
         if ts == td {
             return Err(ScheduleError::MalformedTaskGraph {
-                detail: format!(
-                    "blocking edge {src} -> {dst} lies inside one pipeline component"
-                ),
+                detail: format!("blocking edge {src} -> {dst} lies inside one pipeline component"),
             });
         }
         match parent[ts] {
@@ -254,15 +252,26 @@ mod tests {
         // the top task at depth 1, and the build tasks of the two lower
         // joins sit at depth 2.
         let mut c = Catalog::new();
-        let r: Vec<_> = (0..4).map(|i| c.add_relation(format!("r{i}"), 1_000.0)).collect();
+        let r: Vec<_> = (0..4)
+            .map(|i| c.add_relation(format!("r{i}"), 1_000.0))
+            .collect();
         let nodes = vec![
             PlanNode::Scan(r[0]),
             PlanNode::Scan(r[1]),
             PlanNode::Scan(r[2]),
             PlanNode::Scan(r[3]),
-            PlanNode::Join { outer: PlanNodeId(0), inner: PlanNodeId(1) },
-            PlanNode::Join { outer: PlanNodeId(2), inner: PlanNodeId(3) },
-            PlanNode::Join { outer: PlanNodeId(4), inner: PlanNodeId(5) },
+            PlanNode::Join {
+                outer: PlanNodeId(0),
+                inner: PlanNodeId(1),
+            },
+            PlanNode::Join {
+                outer: PlanNodeId(2),
+                inner: PlanNodeId(3),
+            },
+            PlanNode::Join {
+                outer: PlanNodeId(4),
+                inner: PlanNodeId(5),
+            },
         ];
         let p = PlanTree::new(nodes, PlanNodeId(6)).unwrap();
         let t = OperatorTree::expand(&p.annotate(&c, &KeyJoinMax));
@@ -283,9 +292,7 @@ mod tests {
         assert_eq!(d.task_of.len(), t.len());
         // task_of agrees with the node lists.
         for (op_idx, task) in d.task_of.iter().enumerate() {
-            assert!(d.tasks.nodes()[task.0]
-                .ops
-                .contains(&OperatorId(op_idx)));
+            assert!(d.tasks.nodes()[task.0].ops.contains(&OperatorId(op_idx)));
         }
     }
 

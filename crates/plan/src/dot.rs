@@ -47,14 +47,24 @@ pub fn optree_dot(tree: &OperatorTree) -> String {
     let mut out = String::from("digraph optree {\n  rankdir=BT;\n  node [shape=ellipse];\n");
     for node in tree.nodes() {
         let label = match &node.detail {
-            OpDetail::Scan { relation, out_tuples } => {
+            OpDetail::Scan {
+                relation,
+                out_tuples,
+            } => {
                 format!("scan {relation}\\nout {out_tuples}")
             }
             OpDetail::Build { in_tuples, .. } => format!("build\\nin {in_tuples}"),
-            OpDetail::Probe { outer_tuples, out_tuples, .. } => {
+            OpDetail::Probe {
+                outer_tuples,
+                out_tuples,
+                ..
+            } => {
                 format!("probe\\nin {outer_tuples} out {out_tuples}")
             }
-            OpDetail::Aggregate { in_tuples, out_tuples } => {
+            OpDetail::Aggregate {
+                in_tuples,
+                out_tuples,
+            } => {
                 format!("agg\\nin {in_tuples} out {out_tuples}")
             }
             OpDetail::Sort { in_tuples } => format!("sort\\nn {in_tuples}"),

@@ -180,11 +180,8 @@ pub fn optimize_dp(
     if n > DP_RELATION_LIMIT {
         return Err(OptimizeError::TooLarge { relations: n });
     }
-    let index_of: HashMap<RelationId, usize> = rels
-        .iter()
-        .enumerate()
-        .map(|(i, r)| (*r, i))
-        .collect();
+    let index_of: HashMap<RelationId, usize> =
+        rels.iter().enumerate().map(|(i, r)| (*r, i)).collect();
     // adjacency[i] = bitmask of neighbours.
     let mut adjacency = vec![0u32; n];
     for (a, b) in edges {
@@ -342,7 +339,9 @@ mod tests {
             // Pseudo-random star/chain mixes via a tiny LCG.
             let mut x = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
             let mut next = || {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((x >> 33) % 99_000 + 1_000) as f64
             };
             let sizes: Vec<f64> = (0..7).map(|_| next()).collect();
@@ -457,7 +456,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests {
     use super::*;
     use crate::cardinality::{KeyJoinMax, SelectivityJoin};

@@ -122,9 +122,7 @@ impl OperatorTree {
                                     out_tuples: plan.tuples(PlanNodeId(p)),
                                 },
                             ),
-                            UnaryKind::Sort => {
-                                (OperatorKind::Sort, OpDetail::Sort { in_tuples })
-                            }
+                            UnaryKind::Sort => (OperatorKind::Sort, OpDetail::Sort { in_tuples }),
                         };
                         nodes.push(OpNode {
                             id,
@@ -139,46 +137,44 @@ impl OperatorTree {
                     }
                     None => stack.push(input.0),
                 },
-                PlanNode::Join { outer, inner } => {
-                    match (out_op[outer.0], out_op[inner.0]) {
-                        (Some(outer_op), Some(inner_op)) => {
-                            let build = OperatorId(nodes.len());
-                            let probe = OperatorId(nodes.len() + 1);
-                            nodes.push(OpNode {
-                                id: build,
-                                kind: OperatorKind::Build,
-                                detail: OpDetail::Build {
-                                    in_tuples: plan.tuples(*inner),
-                                    probe,
-                                },
-                                inputs: vec![(inner_op, EdgeKind::Pipeline)],
-                            });
-                            nodes.push(OpNode {
-                                id: probe,
-                                kind: OperatorKind::Probe,
-                                detail: OpDetail::Probe {
-                                    outer_tuples: plan.tuples(*outer),
-                                    out_tuples: plan.tuples(PlanNodeId(p)),
-                                    build,
-                                },
-                                inputs: vec![
-                                    (build, EdgeKind::Blocking),
-                                    (outer_op, EdgeKind::Pipeline),
-                                ],
-                            });
-                            out_op[p] = Some(probe);
-                            stack.pop();
+                PlanNode::Join { outer, inner } => match (out_op[outer.0], out_op[inner.0]) {
+                    (Some(outer_op), Some(inner_op)) => {
+                        let build = OperatorId(nodes.len());
+                        let probe = OperatorId(nodes.len() + 1);
+                        nodes.push(OpNode {
+                            id: build,
+                            kind: OperatorKind::Build,
+                            detail: OpDetail::Build {
+                                in_tuples: plan.tuples(*inner),
+                                probe,
+                            },
+                            inputs: vec![(inner_op, EdgeKind::Pipeline)],
+                        });
+                        nodes.push(OpNode {
+                            id: probe,
+                            kind: OperatorKind::Probe,
+                            detail: OpDetail::Probe {
+                                outer_tuples: plan.tuples(*outer),
+                                out_tuples: plan.tuples(PlanNodeId(p)),
+                                build,
+                            },
+                            inputs: vec![
+                                (build, EdgeKind::Blocking),
+                                (outer_op, EdgeKind::Pipeline),
+                            ],
+                        });
+                        out_op[p] = Some(probe);
+                        stack.pop();
+                    }
+                    (o, i) => {
+                        if o.is_none() {
+                            stack.push(outer.0);
                         }
-                        (o, i) => {
-                            if o.is_none() {
-                                stack.push(outer.0);
-                            }
-                            if i.is_none() {
-                                stack.push(inner.0);
-                            }
+                        if i.is_none() {
+                            stack.push(inner.0);
                         }
                     }
-                }
+                },
             }
         }
 
@@ -278,9 +274,18 @@ mod tests {
         // 2 scans + build + probe.
         assert_eq!(t.len(), 4);
         let kinds: Vec<_> = t.nodes().iter().map(|n| n.kind).collect();
-        assert_eq!(kinds.iter().filter(|k| **k == OperatorKind::Scan).count(), 2);
-        assert_eq!(kinds.iter().filter(|k| **k == OperatorKind::Build).count(), 1);
-        assert_eq!(kinds.iter().filter(|k| **k == OperatorKind::Probe).count(), 1);
+        assert_eq!(
+            kinds.iter().filter(|k| **k == OperatorKind::Scan).count(),
+            2
+        );
+        assert_eq!(
+            kinds.iter().filter(|k| **k == OperatorKind::Build).count(),
+            1
+        );
+        assert_eq!(
+            kinds.iter().filter(|k| **k == OperatorKind::Probe).count(),
+            1
+        );
     }
 
     #[test]
@@ -317,9 +322,11 @@ mod tests {
             .nodes()
             .iter()
             .filter_map(|n| match &n.detail {
-                OpDetail::Probe { outer_tuples, out_tuples, .. } => {
-                    Some((*outer_tuples, *out_tuples))
-                }
+                OpDetail::Probe {
+                    outer_tuples,
+                    out_tuples,
+                    ..
+                } => Some((*outer_tuples, *out_tuples)),
                 _ => None,
             })
             .collect();
@@ -360,14 +367,18 @@ mod tests {
         let mut c = Catalog::new();
         let a = c.add_relation("a", 2_000.0);
         let b = c.add_relation("b", 4_000.0);
-        let plan = PlanTree::left_deep(&[a, b])
-            .with_unary_root(UnaryKind::HashAggregate { output_fraction: 0.25 });
+        let plan = PlanTree::left_deep(&[a, b]).with_unary_root(UnaryKind::HashAggregate {
+            output_fraction: 0.25,
+        });
         let t = OperatorTree::expand(&plan.annotate(&c, &KeyJoinMax));
         // 2 scans + build + probe + aggregate.
         assert_eq!(t.len(), 5);
         assert_eq!(t.node(t.root()).kind, OperatorKind::Aggregate);
         match &t.node(t.root()).detail {
-            OpDetail::Aggregate { in_tuples, out_tuples } => {
+            OpDetail::Aggregate {
+                in_tuples,
+                out_tuples,
+            } => {
                 assert_eq!(*in_tuples, 4_000.0);
                 assert_eq!(*out_tuples, 1_000.0);
             }
@@ -396,15 +407,26 @@ mod tests {
     fn bushy_plan_expansion() {
         use crate::plan::{PlanNode, PlanNodeId};
         let mut c = Catalog::new();
-        let r: Vec<_> = (0..4).map(|i| c.add_relation(format!("r{i}"), 1_000.0)).collect();
+        let r: Vec<_> = (0..4)
+            .map(|i| c.add_relation(format!("r{i}"), 1_000.0))
+            .collect();
         let nodes = vec![
             PlanNode::Scan(r[0]),
             PlanNode::Scan(r[1]),
             PlanNode::Scan(r[2]),
             PlanNode::Scan(r[3]),
-            PlanNode::Join { outer: PlanNodeId(0), inner: PlanNodeId(1) },
-            PlanNode::Join { outer: PlanNodeId(2), inner: PlanNodeId(3) },
-            PlanNode::Join { outer: PlanNodeId(4), inner: PlanNodeId(5) },
+            PlanNode::Join {
+                outer: PlanNodeId(0),
+                inner: PlanNodeId(1),
+            },
+            PlanNode::Join {
+                outer: PlanNodeId(2),
+                inner: PlanNodeId(3),
+            },
+            PlanNode::Join {
+                outer: PlanNodeId(4),
+                inner: PlanNodeId(5),
+            },
         ];
         let p = PlanTree::new(nodes, PlanNodeId(6)).unwrap();
         let t = OperatorTree::expand(&p.annotate(&c, &KeyJoinMax));

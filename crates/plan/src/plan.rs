@@ -408,9 +408,18 @@ mod tests {
             PlanNode::Scan(RelationId(1)),
             PlanNode::Scan(RelationId(2)),
             PlanNode::Scan(RelationId(3)),
-            PlanNode::Join { outer: PlanNodeId(0), inner: PlanNodeId(1) },
-            PlanNode::Join { outer: PlanNodeId(2), inner: PlanNodeId(3) },
-            PlanNode::Join { outer: PlanNodeId(4), inner: PlanNodeId(5) },
+            PlanNode::Join {
+                outer: PlanNodeId(0),
+                inner: PlanNodeId(1),
+            },
+            PlanNode::Join {
+                outer: PlanNodeId(2),
+                inner: PlanNodeId(3),
+            },
+            PlanNode::Join {
+                outer: PlanNodeId(4),
+                inner: PlanNodeId(5),
+            },
         ];
         let p = PlanTree::new(nodes, PlanNodeId(6)).unwrap();
         assert_eq!(p.height(), 2);
@@ -433,7 +442,10 @@ mod tests {
     fn validation_catches_shared_child() {
         let nodes = vec![
             PlanNode::Scan(RelationId(0)),
-            PlanNode::Join { outer: PlanNodeId(0), inner: PlanNodeId(0) },
+            PlanNode::Join {
+                outer: PlanNodeId(0),
+                inner: PlanNodeId(0),
+            },
         ];
         assert!(matches!(
             PlanTree::new(nodes, PlanNodeId(1)),
@@ -443,10 +455,7 @@ mod tests {
 
     #[test]
     fn validation_catches_unreachable() {
-        let nodes = vec![
-            PlanNode::Scan(RelationId(0)),
-            PlanNode::Scan(RelationId(1)),
-        ];
+        let nodes = vec![PlanNode::Scan(RelationId(0)), PlanNode::Scan(RelationId(1))];
         assert!(matches!(
             PlanTree::new(nodes, PlanNodeId(0)),
             Err(PlanError::Unreachable(PlanNodeId(1)))
@@ -474,7 +483,9 @@ mod tests {
     fn unary_root_stacks_and_annotates() {
         let (c, ids) = catalog3();
         let base = PlanTree::left_deep(&ids);
-        let agg = base.with_unary_root(UnaryKind::HashAggregate { output_fraction: 0.1 });
+        let agg = base.with_unary_root(UnaryKind::HashAggregate {
+            output_fraction: 0.1,
+        });
         assert_eq!(agg.join_count(), 2);
         assert_eq!(agg.unary_count(), 1);
         assert_eq!(agg.height(), base.height() + 1);
@@ -491,8 +502,9 @@ mod tests {
     #[should_panic(expected = "output fraction")]
     fn aggregate_fraction_validated() {
         let (_, ids) = catalog3();
-        PlanTree::left_deep(&ids)
-            .with_unary_root(UnaryKind::HashAggregate { output_fraction: 1.5 });
+        PlanTree::left_deep(&ids).with_unary_root(UnaryKind::HashAggregate {
+            output_fraction: 1.5,
+        });
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! The admission queue and its ordering policies.
+//!
+//! Queries wait here between arrival and admission. The queue is fully
+//! deterministic: entries carry a submission sequence number that breaks
+//! every tie, so a given policy always pops the same query regardless of
+//! hash-map iteration order or float noise.
+
+use crate::job::QueryId;
+
+/// How the runtime picks the next query to admit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// First come, first served: strict arrival order.
+    #[default]
+    Fcfs,
+    /// Smallest total work volume first (shortest-job-first analogue for
+    /// multi-dimensional work; ties broken by arrival order).
+    SmallestVolumeFirst,
+    /// Round-robin over submitting clients: cycle through the distinct
+    /// clients with queued work, taking each client's oldest query, so no
+    /// stream starves behind a heavy one.
+    RoundRobinFair,
+}
+
+impl AdmissionPolicy {
+    /// Stable label used in experiment output and CSV rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AdmissionPolicy::Fcfs => "fcfs",
+            AdmissionPolicy::SmallestVolumeFirst => "svf",
+            AdmissionPolicy::RoundRobinFair => "rr-fair",
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Pending {
+    seq: u64,
+    id: QueryId,
+    client: usize,
+    volume: f64,
+}
+
+/// The runtime's wait queue: insertion-ordered entries popped according
+/// to an [`AdmissionPolicy`].
+#[derive(Clone, Debug)]
+pub struct AdmissionQueue {
+    policy: AdmissionPolicy,
+    pending: Vec<Pending>,
+    next_seq: u64,
+    /// Last client served by the round-robin policy.
+    last_client: Option<usize>,
+}
+
+impl AdmissionQueue {
+    /// An empty queue under `policy`.
+    pub fn new(policy: AdmissionPolicy) -> Self {
+        AdmissionQueue {
+            policy,
+            pending: Vec::new(),
+            next_seq: 0,
+            last_client: None,
+        }
+    }
+
+    /// The queue's policy.
+    pub fn policy(&self) -> AdmissionPolicy {
+        self.policy
+    }
+
+    /// Number of queries waiting.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no queries wait.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Enqueues a query. `volume` is its total work (the SVF key).
+    pub fn push(&mut self, id: QueryId, client: usize, volume: f64) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.push(Pending {
+            seq,
+            id,
+            client,
+            volume,
+        });
+    }
+
+    /// Pops the next query under the queue's policy, or `None` if empty.
+    pub fn pop(&mut self) -> Option<QueryId> {
+        let idx = self.choose()?;
+        let entry = self.pending.remove(idx);
+        self.last_client = Some(entry.client);
+        Some(entry.id)
+    }
+
+    fn choose(&self) -> Option<usize> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let idx = match self.policy {
+            AdmissionPolicy::Fcfs => self
+                .pending
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, p)| p.seq)
+                .map(|(i, _)| i)?,
+            AdmissionPolicy::SmallestVolumeFirst => self
+                .pending
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| a.volume.total_cmp(&b.volume).then(a.seq.cmp(&b.seq)))
+                .map(|(i, _)| i)?,
+            AdmissionPolicy::RoundRobinFair => {
+                // The next distinct client strictly after `last_client` in
+                // cyclic client-id order; within that client, oldest first.
+                let target = {
+                    let last = self.last_client;
+                    let after = self
+                        .pending
+                        .iter()
+                        .map(|p| p.client)
+                        .filter(|c| last.is_none_or(|l| *c > l))
+                        .min();
+                    match after {
+                        Some(c) => c,
+                        None => self
+                            .pending
+                            .iter()
+                            .map(|p| p.client)
+                            .min()
+                            .expect("queue is non-empty"),
+                    }
+                };
+                self.pending
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.client == target)
+                    .min_by_key(|(_, p)| p.seq)
+                    .map(|(i, _)| i)?
+            }
+        };
+        Some(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(q: &mut AdmissionQueue) -> Vec<usize> {
+        let mut out = Vec::new();
+        while let Some(QueryId(i)) = q.pop() {
+            out.push(i);
+        }
+        out
+    }
+
+    #[test]
+    fn fcfs_preserves_arrival_order() {
+        let mut q = AdmissionQueue::new(AdmissionPolicy::Fcfs);
+        q.push(QueryId(0), 0, 5.0);
+        q.push(QueryId(1), 1, 1.0);
+        q.push(QueryId(2), 0, 3.0);
+        assert_eq!(ids(&mut q), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn svf_orders_by_volume_with_seq_ties() {
+        let mut q = AdmissionQueue::new(AdmissionPolicy::SmallestVolumeFirst);
+        q.push(QueryId(0), 0, 5.0);
+        q.push(QueryId(1), 0, 1.0);
+        q.push(QueryId(2), 0, 5.0);
+        q.push(QueryId(3), 0, 3.0);
+        assert_eq!(ids(&mut q), vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn round_robin_cycles_clients() {
+        let mut q = AdmissionQueue::new(AdmissionPolicy::RoundRobinFair);
+        // Client 0 floods; client 1 submits one query later.
+        q.push(QueryId(0), 0, 1.0);
+        q.push(QueryId(1), 0, 1.0);
+        q.push(QueryId(2), 0, 1.0);
+        q.push(QueryId(3), 1, 1.0);
+        assert_eq!(q.pop(), Some(QueryId(0)));
+        // Fair: client 1's query jumps the remaining flood.
+        assert_eq!(q.pop(), Some(QueryId(3)));
+        assert_eq!(q.pop(), Some(QueryId(1)));
+        assert_eq!(q.pop(), Some(QueryId(2)));
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(AdmissionPolicy::Fcfs.label(), "fcfs");
+        assert_eq!(AdmissionPolicy::SmallestVolumeFirst.label(), "svf");
+        assert_eq!(AdmissionPolicy::RoundRobinFair.label(), "rr-fair");
+    }
+}

@@ -1,0 +1,181 @@
+//! Aggregated metrics of one runtime run: per-query latency statistics,
+//! per-site realized utilization (from the simulator's busy-time
+//! integrals, not the ledger's committed view), queue-depth trace, and
+//! throughput.
+
+use crate::job::QueryRecord;
+
+/// Everything measured over one [`Runtime`](crate::runtime::Runtime) run.
+#[derive(Clone, Debug)]
+pub struct RunSummary {
+    /// Label of the admission policy that produced this run.
+    pub policy: &'static str,
+    /// Virtual time of the last event (the run's makespan).
+    pub horizon: f64,
+    /// Per-query lifecycle records, indexed by query id.
+    pub queries: Vec<QueryRecord>,
+    /// `site_busy[j][i]` = total busy time of resource `i` at site `j`
+    /// (the simulator's integral of realized demand).
+    pub site_busy: Vec<Vec<f64>>,
+    /// `(time, queue depth)` after each event.
+    pub depth_trace: Vec<(f64, usize)>,
+}
+
+impl RunSummary {
+    pub(crate) fn new(
+        policy: &'static str,
+        horizon: f64,
+        queries: Vec<QueryRecord>,
+        site_busy: Vec<Vec<f64>>,
+        depth_trace: Vec<(f64, usize)>,
+    ) -> Self {
+        RunSummary {
+            policy,
+            horizon,
+            queries,
+            site_busy,
+            depth_trace,
+        }
+    }
+
+    /// Number of queries that finished.
+    pub fn completed(&self) -> usize {
+        self.queries.iter().filter(|q| q.finish.is_some()).count()
+    }
+
+    /// Completed queries per unit virtual time.
+    pub fn throughput(&self) -> f64 {
+        if self.horizon > 0.0 {
+            self.completed() as f64 / self.horizon
+        } else {
+            0.0
+        }
+    }
+
+    /// Realized utilization of resource `i` at site `j`:
+    /// `busy[j][i] / horizon`.
+    pub fn utilization(&self, site: usize, resource: usize) -> f64 {
+        if self.horizon > 0.0 {
+            self.site_busy[site][resource] / self.horizon
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean utilization of resource `i` across all sites.
+    pub fn avg_utilization(&self, resource: usize) -> f64 {
+        if self.site_busy.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = (0..self.site_busy.len())
+            .map(|j| self.utilization(j, resource))
+            .sum();
+        total / self.site_busy.len() as f64
+    }
+
+    /// Mean time spent in the admission queue (admitted queries).
+    pub fn mean_wait(&self) -> f64 {
+        mean(self.queries.iter().filter_map(QueryRecord::wait))
+    }
+
+    /// Mean arrival-to-finish latency (completed queries).
+    pub fn mean_latency(&self) -> f64 {
+        mean(self.queries.iter().filter_map(QueryRecord::latency))
+    }
+
+    /// 95th-percentile arrival-to-finish latency (completed queries).
+    pub fn p95_latency(&self) -> f64 {
+        percentile(self.queries.iter().filter_map(QueryRecord::latency), 0.95)
+    }
+
+    /// Mean slowdown relative to standalone schedules (completed queries
+    /// with a positive standalone response).
+    pub fn mean_slowdown(&self) -> f64 {
+        mean(self.queries.iter().filter_map(QueryRecord::slowdown))
+    }
+
+    /// Deepest the admission queue ever got.
+    pub fn max_queue_depth(&self) -> usize {
+        self.depth_trace.iter().map(|(_, d)| *d).max().unwrap_or(0)
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n > 0 {
+        sum / n as f64
+    } else {
+        0.0
+    }
+}
+
+fn percentile(values: impl Iterator<Item = f64>, p: f64) -> f64 {
+    let mut v: Vec<f64> = values.collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.sort_by(f64::total_cmp);
+    let rank = ((p * v.len() as f64).ceil() as usize).clamp(1, v.len());
+    v[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::QueryId;
+
+    fn record(arrival: f64, start: f64, finish: f64) -> QueryRecord {
+        let mut r = QueryRecord::new(QueryId(0), 0, 1.0, arrival);
+        r.start = Some(start);
+        r.finish = Some(finish);
+        r.standalone_response = finish - start;
+        r
+    }
+
+    fn summary() -> RunSummary {
+        RunSummary::new(
+            "fcfs",
+            10.0,
+            vec![record(0.0, 0.0, 4.0), record(0.0, 2.0, 10.0)],
+            vec![vec![5.0, 2.5, 0.0], vec![10.0, 0.0, 0.0]],
+            vec![(0.0, 2), (4.0, 0)],
+        )
+    }
+
+    #[test]
+    fn aggregates() {
+        let s = summary();
+        assert_eq!(s.completed(), 2);
+        assert!((s.throughput() - 0.2).abs() < 1e-12);
+        assert!((s.utilization(0, 0) - 0.5).abs() < 1e-12);
+        assert!((s.avg_utilization(0) - 0.75).abs() < 1e-12);
+        assert!((s.mean_wait() - 1.0).abs() < 1e-12);
+        assert!((s.mean_latency() - 7.0).abs() < 1e-12);
+        assert!((s.p95_latency() - 10.0).abs() < 1e-12);
+        assert!((s.mean_slowdown() - 1.0).abs() < 1e-12);
+        assert_eq!(s.max_queue_depth(), 2);
+    }
+
+    #[test]
+    fn empty_summary_is_all_zero() {
+        let s = RunSummary::new("fcfs", 0.0, vec![], vec![], vec![]);
+        assert_eq!(s.completed(), 0);
+        assert_eq!(s.throughput(), 0.0);
+        assert_eq!(s.mean_latency(), 0.0);
+        assert_eq!(s.p95_latency(), 0.0);
+        assert_eq!(s.max_queue_depth(), 0);
+    }
+
+    #[test]
+    fn percentile_picks_ceiling_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(v.iter().copied(), 0.5), 2.0);
+        assert_eq!(percentile(v.iter().copied(), 0.95), 4.0);
+        assert_eq!(percentile(v.iter().copied(), 0.25), 1.0);
+    }
+}

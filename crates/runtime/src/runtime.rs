@@ -1,0 +1,474 @@
+//! The event-driven online scheduler.
+//!
+//! [`Runtime`] admits a stream of [`TreeProblem`]s, queues them under an
+//! [`AdmissionPolicy`](crate::admission::AdmissionPolicy), and dispatches
+//! each admitted query's TreeSchedule *phase by phase* onto `P` shared
+//! fluid sites ([`SiteSim`]). Virtual time advances from event to event —
+//! the next arrival or the earliest clone completion anywhere — so
+//! concurrent queries genuinely time-share sites: a site running clones
+//! of two queries stretches both according to the simulator's sharing
+//! discipline, and the runtime observes the stretched completion times.
+//!
+//! Determinism: every queue decision is tie-broken by submission sequence
+//! numbers, completions are processed in `(time, tag)` order, and sites
+//! are advanced in index order. Two runs over the same submissions
+//! produce identical traces.
+
+use crate::admission::AdmissionQueue;
+use crate::job::{work_volume, QueryId, QueryRecord};
+use crate::ledger::SiteLedger;
+use crate::metrics::RunSummary;
+use mrs_core::comm::CommModel;
+use mrs_core::error::ScheduleError;
+use mrs_core::model::ResponseModel;
+use mrs_core::resource::{SiteId, SystemSpec};
+use mrs_core::tree::{tree_schedule, TreeProblem, TreeScheduleResult};
+use mrs_sim::engine::{Completion, SimClone, SimConfig, SiteSim};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Why a runtime run failed.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// A query could not be scheduled at admission time.
+    Schedule {
+        /// The query whose TreeSchedule failed.
+        query: QueryId,
+        /// The underlying scheduling error.
+        source: ScheduleError,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Schedule { query, source } => {
+                write!(f, "scheduling {query} at admission failed: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Runtime configuration knobs.
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Granularity parameter `f` passed to TreeSchedule at admission.
+    pub f: f64,
+    /// Admission-queue ordering.
+    pub policy: crate::admission::AdmissionPolicy,
+    /// Multiprogramming level: max queries executing concurrently.
+    /// Must be at least 1.
+    pub max_in_flight: usize,
+    /// Optional ledger gate: with queries already running, admit another
+    /// only while the mean committed `l_∞` site load stays below this.
+    /// `None` disables the gate (MPL cap alone governs admission). The
+    /// gate never applies to an idle system, so it cannot deadlock.
+    pub load_threshold: Option<f64>,
+    /// Fluid-site sharing discipline and overhead.
+    pub sim: SimConfig,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            f: 0.7,
+            policy: crate::admission::AdmissionPolicy::Fcfs,
+            max_in_flight: 4,
+            load_threshold: None,
+            sim: SimConfig::default(),
+        }
+    }
+}
+
+struct ArrivalEvent {
+    time: f64,
+    id: QueryId,
+    problem: TreeProblem,
+}
+
+struct RunningQuery {
+    schedule: TreeScheduleResult,
+    /// Index of the next phase to dispatch.
+    next_phase: usize,
+    /// Clones of the current phase still executing.
+    outstanding: usize,
+}
+
+struct CloneInfo {
+    query: QueryId,
+    site: SiteId,
+    demand: Vec<f64>,
+}
+
+/// The online multi-query scheduler. See the [module docs](self).
+pub struct Runtime<M: ResponseModel> {
+    sys: SystemSpec,
+    comm: CommModel,
+    model: M,
+    cfg: RuntimeConfig,
+    clock: f64,
+    queue: AdmissionQueue,
+    arrivals: Vec<ArrivalEvent>,
+    pending: HashMap<QueryId, TreeProblem>,
+    sims: Vec<SiteSim>,
+    ledger: SiteLedger,
+    running: HashMap<QueryId, RunningQuery>,
+    clones: HashMap<usize, CloneInfo>,
+    next_tag: usize,
+    records: Vec<QueryRecord>,
+    depth_trace: Vec<(f64, usize)>,
+}
+
+impl<M: ResponseModel> Runtime<M> {
+    /// A fresh runtime over `sys` with the given communication and
+    /// response-time models.
+    ///
+    /// # Panics
+    /// If `cfg.max_in_flight == 0` (nothing could ever run).
+    pub fn new(sys: SystemSpec, comm: CommModel, model: M, cfg: RuntimeConfig) -> Self {
+        assert!(cfg.max_in_flight >= 1, "max_in_flight must be at least 1");
+        let d = sys.dim();
+        let sims = (0..sys.sites).map(|_| SiteSim::new(cfg.sim, d)).collect();
+        let ledger = SiteLedger::new(sys.sites, d);
+        let queue = AdmissionQueue::new(cfg.policy);
+        Runtime {
+            sys,
+            comm,
+            model,
+            cfg,
+            clock: 0.0,
+            queue,
+            arrivals: Vec::new(),
+            pending: HashMap::new(),
+            sims,
+            ledger,
+            running: HashMap::new(),
+            clones: HashMap::new(),
+            next_tag: 0,
+            records: Vec::new(),
+            depth_trace: Vec::new(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> f64 {
+        self.clock
+    }
+
+    /// The site ledger (scheduler-facing committed-demand view).
+    pub fn ledger(&self) -> &SiteLedger {
+        &self.ledger
+    }
+
+    /// Submits `problem` from `client`, arriving at virtual time
+    /// `arrival` (must not precede the current clock). Returns the dense
+    /// query id.
+    pub fn submit_at(&mut self, arrival: f64, client: usize, problem: TreeProblem) -> QueryId {
+        assert!(
+            arrival >= self.clock,
+            "arrival {arrival} precedes current virtual time {}",
+            self.clock
+        );
+        let id = QueryId(self.records.len());
+        let volume = work_volume(&problem);
+        self.records
+            .push(QueryRecord::new(id, client, volume, arrival));
+        self.arrivals.push(ArrivalEvent {
+            time: arrival,
+            id,
+            problem,
+        });
+        id
+    }
+
+    /// Runs the event loop until every submitted query has completed,
+    /// then returns the aggregated [`RunSummary`].
+    ///
+    /// # Errors
+    /// [`RuntimeError::Schedule`] if a query's TreeSchedule fails at
+    /// admission (e.g. a malformed task graph); queries admitted before
+    /// the failure keep their partial progress.
+    pub fn run_to_completion(&mut self) -> Result<RunSummary, RuntimeError> {
+        // Arrivals in (time, id) order; ids are dense so ties (equal
+        // times) resolve in submission order.
+        self.arrivals
+            .sort_by(|a, b| a.time.total_cmp(&b.time).then(a.id.cmp(&b.id)));
+        let mut completions: Vec<Completion> = Vec::new();
+
+        loop {
+            let next_arrival = self.arrivals.first().map(|a| a.time);
+            let next_completion = self
+                .sims
+                .iter()
+                .filter_map(SiteSim::next_completion_time)
+                .fold(None, |acc: Option<f64>, t| {
+                    Some(acc.map_or(t, |a| a.min(t)))
+                });
+            let t = match (next_arrival, next_completion) {
+                (Some(a), Some(c)) => a.min(c),
+                (Some(a), None) => a,
+                (None, Some(c)) => c,
+                (None, None) => break,
+            };
+
+            // 1. Advance every site to t, collecting completions. A site
+            //    completion event strictly before t cannot exist: t is the
+            //    global minimum.
+            completions.clear();
+            for sim in &mut self.sims {
+                sim.advance_to(t, &mut completions);
+            }
+            self.clock = t;
+            completions.sort_by(|a, b| a.time.total_cmp(&b.time).then(a.tag.cmp(&b.tag)));
+
+            // 2. Retire completed clones; queries whose phase drained
+            //    dispatch their next phase (or finish).
+            for done in completions.drain(..) {
+                let info = self
+                    .clones
+                    .remove(&done.tag)
+                    .expect("completion for unknown clone tag");
+                self.ledger.release(info.site, &info.demand);
+                let rq = self
+                    .running
+                    .get_mut(&info.query)
+                    .expect("completion for query not running");
+                rq.outstanding -= 1;
+                if rq.outstanding == 0 {
+                    self.advance_query(info.query);
+                }
+            }
+
+            // 3. Enqueue arrivals due at t.
+            while self.arrivals.first().is_some_and(|a| a.time <= t) {
+                let ev = self.arrivals.remove(0);
+                let rec = &self.records[ev.id.0];
+                self.queue.push(ev.id, rec.client, rec.volume);
+                self.pending.insert(ev.id, ev.problem);
+            }
+
+            // 4. Admit while capacity allows.
+            self.try_admit()?;
+
+            self.depth_trace.push((t, self.queue.len()));
+        }
+
+        Ok(self.summary())
+    }
+
+    /// Dispatches phases of `id` starting at `next_phase` until one has
+    /// executing clones or the query finishes. Phases whose clones all
+    /// have zero duration complete inline at the current clock.
+    fn advance_query(&mut self, id: QueryId) {
+        loop {
+            let rq = self.running.get_mut(&id).expect("query not running");
+            if rq.next_phase == rq.schedule.phases.len() {
+                self.records[id.0].finish = Some(self.clock);
+                self.running.remove(&id);
+                return;
+            }
+            let phase_idx = rq.next_phase;
+            rq.next_phase += 1;
+
+            // Collect the phase's clone placements first (borrow of the
+            // schedule ends before we mutate sims/ledger).
+            let placements: Vec<(SiteId, mrs_core::vector::WorkVector)> = {
+                let phase = &self.running[&id].schedule.phases[phase_idx];
+                phase
+                    .schedule
+                    .ops
+                    .iter()
+                    .zip(&phase.schedule.assignment.homes)
+                    .flat_map(|(op, homes)| {
+                        homes
+                            .iter()
+                            .zip(&op.clones)
+                            .map(|(site, work)| (*site, work.clone()))
+                    })
+                    .collect()
+            };
+
+            let mut outstanding = 0usize;
+            for (site, work) in placements {
+                let duration = self.model.t_seq(&work);
+                let tag = self.next_tag;
+                self.next_tag += 1;
+                let clone = SimClone {
+                    tag,
+                    work: work.clone(),
+                    duration,
+                };
+                if self.sims[site.0].add_clone(&clone).is_some() {
+                    // Zero-duration clone: completed inline, nothing to
+                    // track.
+                    continue;
+                }
+                let demand: Vec<f64> = work.components().iter().map(|w| w / duration).collect();
+                self.ledger.commit(site, &demand);
+                self.clones.insert(
+                    tag,
+                    CloneInfo {
+                        query: id,
+                        site,
+                        demand,
+                    },
+                );
+                outstanding += 1;
+            }
+            if outstanding > 0 {
+                self.running
+                    .get_mut(&id)
+                    .expect("query not running")
+                    .outstanding = outstanding;
+                return;
+            }
+            // All-zero phase: fall through and dispatch the next one at
+            // the same instant.
+        }
+    }
+
+    /// Admits queued queries while the MPL cap (and, for a busy system,
+    /// the optional ledger load gate) allows.
+    fn try_admit(&mut self) -> Result<(), RuntimeError> {
+        while self.running.len() < self.cfg.max_in_flight && !self.queue.is_empty() {
+            if !self.running.is_empty() {
+                if let Some(thr) = self.cfg.load_threshold {
+                    if self.ledger.avg_load() >= thr {
+                        break;
+                    }
+                }
+            }
+            let id = self.queue.pop().expect("queue checked non-empty");
+            let problem = self
+                .pending
+                .remove(&id)
+                .expect("admitted query has no pending problem");
+            let schedule = tree_schedule(&problem, self.cfg.f, &self.sys, &self.comm, &self.model)
+                .map_err(|source| RuntimeError::Schedule { query: id, source })?;
+            let rec = &mut self.records[id.0];
+            rec.start = Some(self.clock);
+            rec.phases = schedule.phases.len();
+            rec.standalone_response = schedule.response_time;
+            self.running.insert(
+                id,
+                RunningQuery {
+                    schedule,
+                    next_phase: 0,
+                    outstanding: 0,
+                },
+            );
+            self.advance_query(id);
+        }
+        Ok(())
+    }
+
+    fn summary(&self) -> RunSummary {
+        let horizon = self.clock;
+        let site_busy: Vec<Vec<f64>> = self.sims.iter().map(|s| s.busy().to_vec()).collect();
+        RunSummary::new(
+            self.cfg.policy.label(),
+            horizon,
+            self.records.clone(),
+            site_busy,
+            self.depth_trace.clone(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::AdmissionPolicy;
+    use mrs_core::operator::{OperatorId, OperatorKind, OperatorSpec};
+    use mrs_core::prelude::OverlapModel;
+    use mrs_core::tasks::TaskGraph;
+    use mrs_core::vector::WorkVector;
+
+    fn one_op_problem(cpu: f64) -> TreeProblem {
+        let op = OperatorSpec::floating(
+            OperatorId(0),
+            OperatorKind::Scan,
+            WorkVector::from_slice(&[cpu, cpu / 2.0, 0.0]),
+            1_000_000.0,
+        );
+        TreeProblem {
+            ops: vec![op],
+            tasks: TaskGraph::single_task(vec![OperatorId(0)]),
+            bindings: vec![],
+        }
+    }
+
+    fn runtime(policy: AdmissionPolicy, mpl: usize) -> Runtime<OverlapModel> {
+        let cfg = RuntimeConfig {
+            policy,
+            max_in_flight: mpl,
+            ..RuntimeConfig::default()
+        };
+        Runtime::new(
+            SystemSpec::homogeneous(4),
+            CommModel::paper_defaults(),
+            OverlapModel::new(0.5).unwrap(),
+            cfg,
+        )
+    }
+
+    #[test]
+    fn empty_run_completes_immediately() {
+        let mut rt = runtime(AdmissionPolicy::Fcfs, 2);
+        let summary = rt.run_to_completion().unwrap();
+        assert_eq!(summary.completed(), 0);
+        assert_eq!(summary.horizon, 0.0);
+    }
+
+    #[test]
+    fn single_query_runs_and_finishes() {
+        let mut rt = runtime(AdmissionPolicy::Fcfs, 2);
+        let id = rt.submit_at(1.0, 0, one_op_problem(10.0));
+        let summary = rt.run_to_completion().unwrap();
+        assert_eq!(summary.completed(), 1);
+        let rec = &summary.queries[id.0];
+        assert_eq!(rec.start, Some(1.0));
+        assert!(rec.finish.unwrap() > 1.0);
+        assert!((rec.service().unwrap() - rec.standalone_response).abs() < 1e-9);
+        // Ledger drained.
+        assert_eq!(rt.ledger().total_resident(), 0);
+    }
+
+    #[test]
+    fn mpl_cap_queues_excess_queries() {
+        let mut rt = runtime(AdmissionPolicy::Fcfs, 1);
+        let a = rt.submit_at(0.0, 0, one_op_problem(10.0));
+        let b = rt.submit_at(0.0, 0, one_op_problem(10.0));
+        let summary = rt.run_to_completion().unwrap();
+        let (ra, rb) = (&summary.queries[a.0], &summary.queries[b.0]);
+        // b waited for a to finish.
+        assert_eq!(rb.start, ra.finish);
+        assert!(rb.wait().unwrap() > 0.0);
+        assert_eq!(summary.max_queue_depth(), 1);
+    }
+
+    #[test]
+    fn late_arrival_respected() {
+        let mut rt = runtime(AdmissionPolicy::Fcfs, 4);
+        let id = rt.submit_at(100.0, 0, one_op_problem(5.0));
+        let summary = rt.run_to_completion().unwrap();
+        assert_eq!(summary.queries[id.0].start, Some(100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "max_in_flight")]
+    fn zero_mpl_rejected() {
+        let cfg = RuntimeConfig {
+            max_in_flight: 0,
+            ..RuntimeConfig::default()
+        };
+        let _ = Runtime::new(
+            SystemSpec::homogeneous(2),
+            CommModel::paper_defaults(),
+            OverlapModel::new(0.5).unwrap(),
+            cfg,
+        );
+    }
+}

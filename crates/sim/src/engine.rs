@@ -77,6 +77,7 @@ pub struct Completion {
     pub time: f64,
 }
 
+#[derive(Clone, Debug)]
 struct Active {
     tag: usize,
     /// Demand rates per resource at full speed (`W[i]/duration`).
@@ -111,7 +112,10 @@ fn speeds(active: &[Active], config: &SimConfig, d: usize) -> Vec<f64> {
             if horizon <= 0.0 {
                 return vec![1.0; active.len()];
             }
-            active.iter().map(|a| (a.remaining / horizon).min(1.0)).collect()
+            active
+                .iter()
+                .map(|a| (a.remaining / horizon).min(1.0))
+                .collect()
         }
         SharingPolicy::FairShare => {
             let mut s = vec![1.0f64; active.len()];
@@ -123,11 +127,7 @@ fn speeds(active: &[Active], config: &SimConfig, d: usize) -> Vec<f64> {
                         *u += sc * dem;
                     }
                 }
-                let (b, &u_max) = match util
-                    .iter()
-                    .enumerate()
-                    .max_by(|x, y| x.1.total_cmp(y.1))
-                {
+                let (b, &u_max) = match util.iter().enumerate().max_by(|x, y| x.1.total_cmp(y.1)) {
                     Some(x) => x,
                     None => break,
                 };
@@ -146,39 +146,113 @@ fn speeds(active: &[Active], config: &SimConfig, d: usize) -> Vec<f64> {
     }
 }
 
-/// Simulates one site hosting `clones` from time zero until all complete.
+/// A stateful, incrementally steppable fluid site: the online runtime's
+/// window into the engine.
 ///
-/// Returns completions in time order; the site finish time is the last
-/// completion (or `0.0` for no clones).
-pub fn simulate_site(clones: &[SimClone], config: &SimConfig, d: usize) -> Vec<Completion> {
-    let mut completions: Vec<Completion> = Vec::with_capacity(clones.len());
-    let mut now = 0.0f64;
-    let mut active: Vec<Active> = Vec::with_capacity(clones.len());
-    for c in clones {
-        assert_eq!(c.work.dim(), d, "clone dimensionality must match the site");
-        assert!(
-            c.duration.is_finite() && c.duration >= 0.0,
-            "clone duration must be finite and non-negative"
-        );
-        if c.duration <= 0.0 {
-            completions.push(Completion { tag: c.tag, time: 0.0 });
-            continue;
+/// Where [`simulate_site`] runs a fixed clone population from time zero
+/// to drain, `SiteSim` exposes the clock: clones may be inserted at any
+/// virtual time ([`SiteSim::add_clone`]), the next completion instant can
+/// be queried ([`SiteSim::next_completion_time`]), and the site can be
+/// advanced to an arbitrary time ([`SiteSim::advance_to`]) — between
+/// events the fluid speeds are constant, so advancing is exact, not
+/// approximate. The site also integrates *actual* per-resource busy time
+/// (`Σ_c s_c·demand_c[r]·dt`), the ground truth behind utilization
+/// metrics.
+#[derive(Debug)]
+pub struct SiteSim {
+    config: SimConfig,
+    d: usize,
+    now: f64,
+    active: Vec<Active>,
+    busy: Vec<f64>,
+}
+
+impl SiteSim {
+    /// An idle site of dimensionality `d` at virtual time zero.
+    pub fn new(config: SimConfig, d: usize) -> Self {
+        SiteSim {
+            config,
+            d,
+            now: 0.0,
+            active: Vec::new(),
+            busy: vec![0.0; d],
         }
-        let demand = (0..d).map(|i| c.work[i] / c.duration).collect();
-        active.push(Active {
-            tag: c.tag,
-            demand,
-            remaining: c.duration,
-        });
     }
 
-    // Event loop: guaranteed to terminate because at least one clone
-    // completes per iteration.
-    while !active.is_empty() {
-        let s = speeds(&active, config, d);
-        // Time to next completion.
+    /// The site's current virtual time.
+    #[inline]
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of clones currently resident.
+    #[inline]
+    pub fn resident(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Integrated busy time per resource since construction.
+    #[inline]
+    pub fn busy(&self) -> &[f64] {
+        &self.busy
+    }
+
+    /// Sum of the resident clones' full-speed demand rates per resource —
+    /// the committed load the site ledger mirrors.
+    pub fn committed_demand(&self) -> Vec<f64> {
+        let mut total = vec![0.0; self.d];
+        for a in &self.active {
+            for (t, dem) in total.iter_mut().zip(&a.demand) {
+                *t += dem;
+            }
+        }
+        total
+    }
+
+    /// Inserts a clone at the current virtual time. A clone with zero
+    /// intrinsic duration completes immediately: its completion (stamped
+    /// `now`) is returned instead of being enqueued.
+    ///
+    /// # Panics
+    /// Panics on dimensionality mismatch or a non-finite/negative
+    /// duration.
+    pub fn add_clone(&mut self, clone: &SimClone) -> Option<Completion> {
+        assert_eq!(
+            clone.work.dim(),
+            self.d,
+            "clone dimensionality must match the site"
+        );
+        assert!(
+            clone.duration.is_finite() && clone.duration >= 0.0,
+            "clone duration must be finite and non-negative"
+        );
+        if clone.duration <= 0.0 {
+            return Some(Completion {
+                tag: clone.tag,
+                time: self.now,
+            });
+        }
+        let demand = (0..self.d)
+            .map(|i| clone.work[i] / clone.duration)
+            .collect();
+        self.active.push(Active {
+            tag: clone.tag,
+            demand,
+            remaining: clone.duration,
+        });
+        None
+    }
+
+    /// The virtual time at which the next resident clone completes under
+    /// the current population, or `None` for an idle site. Constant-speed
+    /// fluid sharing makes this exact until the population next changes.
+    pub fn next_completion_time(&self) -> Option<f64> {
+        if self.active.is_empty() {
+            return None;
+        }
+        let s = speeds(&self.active, &self.config, self.d);
         let mut dt = f64::INFINITY;
-        for (a, &sc) in active.iter().zip(&s) {
+        for (a, &sc) in self.active.iter().zip(&s) {
             if sc > 0.0 {
                 dt = dt.min(a.remaining / sc);
             }
@@ -187,22 +261,90 @@ pub fn simulate_site(clones: &[SimClone], config: &SimConfig, d: usize) -> Vec<C
             dt.is_finite(),
             "sharing policy starved every clone (all speeds zero)"
         );
-        now += dt;
-        for (a, &sc) in active.iter_mut().zip(&s) {
-            a.remaining -= sc * dt;
-        }
-        let mut i = 0;
-        let mut finished_this_round = 0;
-        while i < active.len() {
-            if active[i].remaining <= 1e-12 * now.max(1.0) {
-                let a = active.swap_remove(i);
-                completions.push(Completion { tag: a.tag, time: now });
-                finished_this_round += 1;
-            } else {
-                i += 1;
+        Some(self.now + dt)
+    }
+
+    /// Advances the site to virtual time `t`, appending any completions
+    /// (stamped with their exact event times) to `out`. Advancing past
+    /// several completions recomputes speeds at each, exactly like the
+    /// batch loop.
+    ///
+    /// # Panics
+    /// Panics if `t` precedes the current clock.
+    pub fn advance_to(&mut self, t: f64, out: &mut Vec<Completion>) {
+        assert!(
+            t >= self.now - 1e-12 * self.now.abs().max(1.0),
+            "cannot advance backwards: {t} < {}",
+            self.now
+        );
+        while !self.active.is_empty() && self.now < t {
+            let s = speeds(&self.active, &self.config, self.d);
+            let mut dt = f64::INFINITY;
+            for (a, &sc) in self.active.iter().zip(&s) {
+                if sc > 0.0 {
+                    dt = dt.min(a.remaining / sc);
+                }
+            }
+            assert!(
+                dt.is_finite(),
+                "sharing policy starved every clone (all speeds zero)"
+            );
+            let full_step = dt <= t - self.now;
+            let step = dt.min(t - self.now);
+            self.now += step;
+            for (a, &sc) in self.active.iter_mut().zip(&s) {
+                a.remaining -= sc * step;
+                for (b, dem) in self.busy.iter_mut().zip(&a.demand) {
+                    *b += sc * dem * step;
+                }
+            }
+            // Sweep completions unconditionally: a partial step that lands
+            // within floating-point noise of a completion must still
+            // retire the clone, or callers advancing to a global event
+            // time computed as `now + dt` elsewhere could spin.
+            let mut i = 0;
+            let mut finished_this_round = 0;
+            while i < self.active.len() {
+                if self.active[i].remaining <= 1e-12 * self.now.max(1.0) {
+                    let a = self.active.swap_remove(i);
+                    out.push(Completion {
+                        tag: a.tag,
+                        time: self.now,
+                    });
+                    finished_this_round += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            if full_step {
+                assert!(finished_this_round > 0, "event loop made no progress");
+            } else if finished_this_round == 0 {
+                // Partial advance: nobody finished, clock reached `t`.
+                break;
             }
         }
-        assert!(finished_this_round > 0, "event loop made no progress");
+        if self.active.is_empty() && t > self.now {
+            // Idle gap: the clock still moves.
+            self.now = t;
+        }
+    }
+}
+
+/// Simulates one site hosting `clones` from time zero until all complete.
+///
+/// Returns completions in time order; the site finish time is the last
+/// completion (or `0.0` for no clones). Equivalent to driving a
+/// [`SiteSim`] event by event until drained.
+pub fn simulate_site(clones: &[SimClone], config: &SimConfig, d: usize) -> Vec<Completion> {
+    let mut sim = SiteSim::new(*config, d);
+    let mut completions: Vec<Completion> = Vec::with_capacity(clones.len());
+    for c in clones {
+        if let Some(done) = sim.add_clone(c) {
+            completions.push(done);
+        }
+    }
+    while let Some(t) = sim.next_completion_time() {
+        sim.advance_to(t, &mut completions);
     }
     completions.sort_by(|a, b| a.time.total_cmp(&b.time).then(a.tag.cmp(&b.tag)));
     completions
@@ -228,10 +370,17 @@ mod tests {
     #[test]
     fn lone_clone_runs_at_full_speed() {
         for policy in [SharingPolicy::EqualFinish, SharingPolicy::FairShare] {
-            let cfg = SimConfig { policy, timeshare_overhead: 0.0 };
+            let cfg = SimConfig {
+                policy,
+                timeshare_overhead: 0.0,
+            };
             let done = simulate_site(&[clone(0, &[3.0, 1.0], 4.0)], &cfg, 2);
             assert_eq!(done.len(), 1);
-            assert!((done[0].time - 4.0).abs() < 1e-9, "{policy:?}: {}", done[0].time);
+            assert!(
+                (done[0].time - 4.0).abs() < 1e-9,
+                "{policy:?}: {}",
+                done[0].time
+            );
         }
     }
 
@@ -270,11 +419,11 @@ mod tests {
 
     #[test]
     fn fair_share_never_beats_congestion_bound() {
-        let cfg = SimConfig { policy: SharingPolicy::FairShare, timeshare_overhead: 0.0 };
-        let clones = [
-            clone(0, &[10.0, 15.0], 22.0),
-            clone(1, &[5.0, 10.0], 10.0),
-        ];
+        let cfg = SimConfig {
+            policy: SharingPolicy::FairShare,
+            timeshare_overhead: 0.0,
+        };
+        let clones = [clone(0, &[10.0, 15.0], 22.0), clone(1, &[5.0, 10.0], 10.0)];
         let finish = site_finish(&simulate_site(&clones, &cfg, 2));
         // l(sum) = max(15, 25) = 25 and slowest clone is 22.
         assert!(finish >= 25.0 - 1e-9, "finish {finish}");
@@ -282,7 +431,10 @@ mod tests {
 
     #[test]
     fn fair_share_uncongested_clones_run_at_full_speed() {
-        let cfg = SimConfig { policy: SharingPolicy::FairShare, timeshare_overhead: 0.0 };
+        let cfg = SimConfig {
+            policy: SharingPolicy::FairShare,
+            timeshare_overhead: 0.0,
+        };
         // Combined peak demand ≤ 1 on each resource: no throttling.
         let clones = [
             clone(0, &[2.0, 0.0], 10.0), // demands 0.2 on r0
@@ -294,7 +446,10 @@ mod tests {
 
     #[test]
     fn overhead_slows_sharing_but_not_solo() {
-        let cfg = SimConfig { policy: SharingPolicy::EqualFinish, timeshare_overhead: 0.5 };
+        let cfg = SimConfig {
+            policy: SharingPolicy::EqualFinish,
+            timeshare_overhead: 0.5,
+        };
         let solo = site_finish(&simulate_site(&[clone(0, &[8.0, 0.0], 8.0)], &cfg, 2));
         assert!((solo - 8.0).abs() < 1e-9, "a lone clone pays no overhead");
         // Two congesting clones pay the penalty: aggregate CPU work 16
@@ -309,7 +464,10 @@ mod tests {
 
     #[test]
     fn completions_sorted_by_time() {
-        let cfg = SimConfig { policy: SharingPolicy::FairShare, timeshare_overhead: 0.0 };
+        let cfg = SimConfig {
+            policy: SharingPolicy::FairShare,
+            timeshare_overhead: 0.0,
+        };
         let clones = [
             clone(0, &[1.0, 0.0], 10.0),
             clone(1, &[0.5, 0.0], 2.0),
@@ -327,9 +485,86 @@ mod tests {
     fn dimension_mismatch_panics() {
         simulate_site(&[clone(0, &[1.0], 1.0)], &SimConfig::default(), 2);
     }
+
+    #[test]
+    fn site_sim_advances_clock_through_idle_gaps() {
+        let mut sim = SiteSim::new(SimConfig::default(), 2);
+        let mut out = Vec::new();
+        sim.advance_to(5.0, &mut out);
+        assert_eq!(sim.now(), 5.0);
+        assert!(out.is_empty());
+        assert_eq!(sim.resident(), 0);
+    }
+
+    #[test]
+    fn site_sim_staggered_insertion_stretches_later_clone() {
+        // One CPU-bound clone alone for 5s, then a second identical clone
+        // arrives: from t=5 both share the congested CPU. EqualFinish
+        // stretches to the common horizon: remaining work 5+10 at unit
+        // capacity → both done at t=20.
+        let cfg = SimConfig::default();
+        let mut sim = SiteSim::new(cfg, 2);
+        let mut out = Vec::new();
+        assert!(sim.add_clone(&clone(0, &[10.0, 0.0], 10.0)).is_none());
+        sim.advance_to(5.0, &mut out);
+        assert!(out.is_empty());
+        assert!(sim.add_clone(&clone(1, &[10.0, 0.0], 10.0)).is_none());
+        while let Some(t) = sim.next_completion_time() {
+            sim.advance_to(t, &mut out);
+        }
+        assert_eq!(out.len(), 2);
+        let last = out.iter().map(|c| c.time).fold(0.0, f64::max);
+        assert!((last - 20.0).abs() < 1e-9, "finish {last}");
+    }
+
+    #[test]
+    fn site_sim_busy_integral_matches_work() {
+        // Total integrated busy time per resource equals the work actually
+        // processed, independent of sharing.
+        let cfg = SimConfig::default();
+        let mut sim = SiteSim::new(cfg, 2);
+        let mut out = Vec::new();
+        sim.add_clone(&clone(0, &[10.0, 15.0], 22.0));
+        sim.add_clone(&clone(1, &[10.0, 5.0], 10.0));
+        while let Some(t) = sim.next_completion_time() {
+            sim.advance_to(t, &mut out);
+        }
+        assert!(
+            (sim.busy()[0] - 20.0).abs() < 1e-9,
+            "cpu busy {}",
+            sim.busy()[0]
+        );
+        assert!(
+            (sim.busy()[1] - 20.0).abs() < 1e-9,
+            "r1 busy {}",
+            sim.busy()[1]
+        );
+    }
+
+    #[test]
+    fn site_sim_zero_duration_completes_inline() {
+        let mut sim = SiteSim::new(SimConfig::default(), 2);
+        let mut out = Vec::new();
+        sim.advance_to(3.0, &mut out);
+        let done = sim.add_clone(&clone(9, &[0.0, 0.0], 0.0)).unwrap();
+        assert_eq!(done.tag, 9);
+        assert_eq!(done.time, 3.0);
+    }
+
+    #[test]
+    fn site_sim_committed_demand_tracks_population() {
+        let mut sim = SiteSim::new(SimConfig::default(), 2);
+        sim.add_clone(&clone(0, &[4.0, 2.0], 8.0)); // demand [0.5, 0.25]
+        let d = sim.committed_demand();
+        assert!((d[0] - 0.5).abs() < 1e-12 && (d[1] - 0.25).abs() < 1e-12);
+        let mut out = Vec::new();
+        let t = sim.next_completion_time().unwrap();
+        sim.advance_to(t, &mut out);
+        assert_eq!(sim.committed_demand(), vec![0.0, 0.0]);
+    }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;

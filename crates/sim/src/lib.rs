@@ -38,7 +38,7 @@ pub mod pipeline;
 /// One-stop imports.
 pub mod prelude {
     pub use crate::engine::{
-        simulate_site, site_finish, Completion, SharingPolicy, SimClone, SimConfig,
+        simulate_site, site_finish, Completion, SharingPolicy, SimClone, SimConfig, SiteSim,
     };
     pub use crate::phase::{simulate_phase, simulate_tree, PhaseSimResult};
     pub use crate::pipeline::{simulate_phase_pipelined, PipelineSimResult};

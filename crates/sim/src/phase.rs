@@ -164,8 +164,11 @@ mod tests {
         let total_clones: usize = schedule.ops.iter().map(|o| o.degree).sum();
         let sim = simulate_phase(&schedule, &sys, &model, &SimConfig::default());
         assert_eq!(sim.completions.len(), total_clones);
-        let mut seen: Vec<(usize, usize)> =
-            sim.completions.iter().map(|(op, k, _)| (op.0, *k)).collect();
+        let mut seen: Vec<(usize, usize)> = sim
+            .completions
+            .iter()
+            .map(|(op, k, _)| (op.0, *k))
+            .collect();
         seen.sort_unstable();
         seen.dedup();
         assert_eq!(seen.len(), total_clones);

@@ -43,7 +43,7 @@ pub struct PipelineSimResult {
 }
 
 struct CloneState {
-    op: usize,   // dense index into the phase's op list
+    op: usize, // dense index into the phase's op list
     site: usize,
     demand: Vec<f64>,
     duration: f64,
@@ -98,7 +98,11 @@ pub fn simulate_phase_pipelined<M: ResponseModel>(
             }
         }
     }
-    assert_eq!(topo.len(), m, "pipeline edges within a phase must be acyclic");
+    assert_eq!(
+        topo.len(),
+        m,
+        "pipeline edges within a phase must be acyclic"
+    );
 
     // Clone states.
     let mut clones: Vec<CloneState> = Vec::new();
@@ -176,10 +180,8 @@ pub fn simulate_phase_pipelined<M: ResponseModel>(
                                 *u += speed[ci] * dem;
                             }
                         }
-                        let Some((b, &u_max)) = util
-                            .iter()
-                            .enumerate()
-                            .max_by(|x, y| x.1.total_cmp(y.1))
+                        let Some((b, &u_max)) =
+                            util.iter().enumerate().max_by(|x, y| x.1.total_cmp(y.1))
                         else {
                             break;
                         };
@@ -276,7 +278,12 @@ mod tests {
         producer_w: &[f64],
         consumer_w: &[f64],
         sites: usize,
-    ) -> (PhaseSchedule, SystemSpec, OverlapModel, Vec<(OperatorId, OperatorId)>) {
+    ) -> (
+        PhaseSchedule,
+        SystemSpec,
+        OverlapModel,
+        Vec<(OperatorId, OperatorId)>,
+    ) {
         let sys = SystemSpec::homogeneous(sites);
         let comm = CommModel::new(1e-9, 0.0).unwrap();
         let model = OverlapModel::new(0.5).unwrap();
@@ -295,12 +302,7 @@ mod tests {
             ),
         ];
         let schedule = operator_schedule(ops, 5.0, &sys, &comm, &model).unwrap();
-        (
-            schedule,
-            sys,
-            model,
-            vec![(OperatorId(0), OperatorId(1))],
-        )
+        (schedule, sys, model, vec![(OperatorId(0), OperatorId(1))])
     }
 
     #[test]
@@ -320,8 +322,7 @@ mod tests {
     fn slow_producer_throttles_fast_consumer() {
         // Producer is 4x the consumer's duration; tightly coupled, the
         // consumer must stretch to the producer's finish time.
-        let (schedule, sys, model, edges) =
-            two_op_pipeline(&[8.0, 0.0, 0.0], &[1.0, 0.0, 0.0], 8);
+        let (schedule, sys, model, edges) = two_op_pipeline(&[8.0, 0.0, 0.0], &[1.0, 0.0, 0.0], 8);
         let plain = simulate_phase(&schedule, &sys, &model, &SimConfig::default());
         let piped =
             simulate_phase_pipelined(&schedule, &edges, &sys, &model, &SimConfig::default());
@@ -363,17 +364,10 @@ mod tests {
         let r = tree_schedule(&problem, 0.7, &sys, &comm, &model).unwrap();
         let phase = &r.phases[0];
         // Chain all five ops into one pipeline.
-        let edges: Vec<_> = (0..4)
-            .map(|i| (OperatorId(i), OperatorId(i + 1)))
-            .collect();
+        let edges: Vec<_> = (0..4).map(|i| (OperatorId(i), OperatorId(i + 1))).collect();
         let plain = simulate_phase(&phase.schedule, &sys, &model, &SimConfig::default());
-        let piped = simulate_phase_pipelined(
-            &phase.schedule,
-            &edges,
-            &sys,
-            &model,
-            &SimConfig::default(),
-        );
+        let piped =
+            simulate_phase_pipelined(&phase.schedule, &edges, &sys, &model, &SimConfig::default());
         assert!(piped.makespan + 1e-9 >= plain.makespan);
     }
 
@@ -381,8 +375,7 @@ mod tests {
     fn completed_producer_stops_constraining() {
         // Producer much shorter than consumer: once it drains, the
         // consumer runs at full speed; total ≈ consumer's own time.
-        let (schedule, sys, model, edges) =
-            two_op_pipeline(&[0.5, 0.0, 0.0], &[8.0, 0.0, 0.0], 8);
+        let (schedule, sys, model, edges) = two_op_pipeline(&[0.5, 0.0, 0.0], &[8.0, 0.0, 0.0], 8);
         let plain = simulate_phase(&schedule, &sys, &model, &SimConfig::default());
         let piped =
             simulate_phase_pipelined(&schedule, &edges, &sys, &model, &SimConfig::default());
@@ -403,8 +396,7 @@ mod tests {
 
     #[test]
     fn event_count_is_reported() {
-        let (schedule, sys, model, edges) =
-            two_op_pipeline(&[8.0, 0.0, 0.0], &[1.0, 0.0, 0.0], 4);
+        let (schedule, sys, model, edges) = two_op_pipeline(&[8.0, 0.0, 0.0], &[1.0, 0.0, 0.0], 4);
         let piped =
             simulate_phase_pipelined(&schedule, &edges, &sys, &model, &SimConfig::default());
         assert!(piped.events >= 1);

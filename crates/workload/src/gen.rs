@@ -3,10 +3,9 @@
 //! selected bushy execution plan per graph, and relation cardinalities
 //! drawn from 10³–10⁵ tuples.
 
+use mrs_core::rng::DetRng;
 use mrs_plan::plan::{PlanNode, PlanNodeId, PlanTree};
 use mrs_plan::relation::{Catalog, RelationId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// How relation cardinalities are sampled from `[min_tuples, max_tuples]`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -58,13 +57,13 @@ pub struct GeneratedQuery {
 /// Generates a random query: a random recursive tree query graph plus a
 /// random bushy plan over it. Deterministic in `seed`.
 pub fn generate_query(config: &QueryGenConfig, seed: u64) -> GeneratedQuery {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     generate_query_with(config, &mut rng)
 }
 
 /// Like [`generate_query`], drawing randomness from the supplied RNG
 /// (useful when generating suites from one seed stream).
-pub fn generate_query_with(config: &QueryGenConfig, rng: &mut StdRng) -> GeneratedQuery {
+pub fn generate_query_with(config: &QueryGenConfig, rng: &mut DetRng) -> GeneratedQuery {
     assert!(
         config.min_tuples > 0.0 && config.max_tuples >= config.min_tuples,
         "invalid cardinality range"
@@ -124,7 +123,11 @@ pub fn generate_query_with(config: &QueryGenConfig, rng: &mut StdRng) -> Generat
         let (ra, rb) = (find(&mut parent, a.0), find(&mut parent, b.0));
         debug_assert_ne!(ra, rb, "tree edges contract distinct components");
         let (na, nb) = (comp_node[ra], comp_node[rb]);
-        let (outer, inner) = if rng.gen_bool(0.5) { (na, nb) } else { (nb, na) };
+        let (outer, inner) = if rng.gen_bool(0.5) {
+            (na, nb)
+        } else {
+            (nb, na)
+        };
         nodes.push(PlanNode::Join { outer, inner });
         let join = PlanNodeId(nodes.len() - 1);
         parent[ra] = rb;

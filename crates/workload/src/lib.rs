@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod arrivals;
 pub mod gen;
 pub mod shapes;
 pub mod skew;
@@ -26,6 +27,7 @@ pub mod suite;
 
 /// One-stop imports.
 pub mod prelude {
+    pub use crate::arrivals::{poisson_arrivals, uniform_arrivals, ArrivalProcess};
     pub use crate::gen::{
         generate_query, generate_query_with, GeneratedQuery, QueryGenConfig, SizeDistribution,
     };

@@ -4,8 +4,7 @@
 //! selected", Section 6.1).
 
 use crate::gen::{generate_query_with, GeneratedQuery, QueryGenConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mrs_core::rng::DetRng;
 
 /// The query sizes of the paper's evaluation.
 pub const PAPER_QUERY_SIZES: [usize; 5] = [10, 20, 30, 40, 50];
@@ -27,7 +26,7 @@ pub struct Suite {
 pub fn suite(joins: usize, count: usize, seed: u64) -> Suite {
     // One RNG stream per suite: queries within a suite differ, reruns
     // reproduce exactly.
-    let mut rng = StdRng::seed_from_u64(seed ^ (joins as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut rng = DetRng::seed_from_u64(seed ^ (joins as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let config = QueryGenConfig::paper(joins);
     let queries = (0..count)
         .map(|_| generate_query_with(&config, &mut rng))
@@ -94,8 +93,14 @@ mod tests {
         let b = suite(20, 1, 42);
         // Same master seed, different sizes → unrelated catalogs.
         assert_ne!(
-            a.queries[0].catalog.get(mrs_plan::relation::RelationId(0)).tuples,
-            b.queries[0].catalog.get(mrs_plan::relation::RelationId(0)).tuples
+            a.queries[0]
+                .catalog
+                .get(mrs_plan::relation::RelationId(0))
+                .tuples,
+            b.queries[0]
+                .catalog
+                .get(mrs_plan::relation::RelationId(0))
+                .tuples
         );
     }
 }

@@ -42,18 +42,14 @@ fn main() {
     let comm = CommModel::paper_defaults();
     let model = OverlapModel::new(0.5).unwrap();
 
-    println!("\n{:>12} | {:>9} | {:>24} | min free", "mem/site", "makespan", "build degrees");
+    println!(
+        "\n{:>12} | {:>9} | {:>24} | min free",
+        "mem/site", "makespan", "build degrees"
+    );
     for cap_mb in [16.0f64, 8.0, 4.0, 2.0, 1.0, 0.25] {
         let memory = MemorySpec::new(cap_mb * 1e6).unwrap();
-        match operator_schedule_with_memory(
-            ops.clone(),
-            &demands,
-            memory,
-            0.7,
-            &sys,
-            &comm,
-            &model,
-        ) {
+        match operator_schedule_with_memory(ops.clone(), &demands, memory, 0.7, &sys, &comm, &model)
+        {
             Ok(r) => {
                 let min_free = r.free_bytes.iter().copied().fold(f64::INFINITY, f64::min);
                 println!(
@@ -64,7 +60,11 @@ fn main() {
                     min_free / 1e6,
                 );
             }
-            Err(MemoryError::OperatorTooLarge { op, demand, system_capacity }) => {
+            Err(MemoryError::OperatorTooLarge {
+                op,
+                demand,
+                system_capacity,
+            }) => {
                 println!(
                     "{cap_mb:>9.2} MB | infeasible: {op} needs {:.1} MB, system holds {:.1} MB",
                     demand / 1e6,

@@ -25,21 +25,35 @@ fn main() {
     // ((sales ⋈ stores) ⋈ (items ⋈ promos)) ⋈ dates
     // Outer (probe) side first, inner (build) side second.
     let nodes = vec![
-        PlanNode::Scan(sales),                                         // n0
-        PlanNode::Scan(stores),                                        // n1
-        PlanNode::Scan(items),                                         // n2
-        PlanNode::Scan(promos),                                        // n3
-        PlanNode::Scan(dates),                                         // n4
-        PlanNode::Join { outer: PlanNodeId(0), inner: PlanNodeId(1) }, // n5 = sales⋈stores
-        PlanNode::Join { outer: PlanNodeId(2), inner: PlanNodeId(3) }, // n6 = items⋈promos
-        PlanNode::Join { outer: PlanNodeId(5), inner: PlanNodeId(6) }, // n7
-        PlanNode::Join { outer: PlanNodeId(7), inner: PlanNodeId(4) }, // n8 (root)
+        PlanNode::Scan(sales),  // n0
+        PlanNode::Scan(stores), // n1
+        PlanNode::Scan(items),  // n2
+        PlanNode::Scan(promos), // n3
+        PlanNode::Scan(dates),  // n4
+        PlanNode::Join {
+            outer: PlanNodeId(0),
+            inner: PlanNodeId(1),
+        }, // n5 = sales⋈stores
+        PlanNode::Join {
+            outer: PlanNodeId(2),
+            inner: PlanNodeId(3),
+        }, // n6 = items⋈promos
+        PlanNode::Join {
+            outer: PlanNodeId(5),
+            inner: PlanNodeId(6),
+        }, // n7
+        PlanNode::Join {
+            outer: PlanNodeId(7),
+            inner: PlanNodeId(4),
+        }, // n8 (root)
     ];
     // The report ends in a GROUP BY: stack a hash aggregation keeping 2%
     // of the joined rows (a blocking operator - it adds a final phase).
     let plan = PlanTree::new(nodes, PlanNodeId(8))
         .expect("hand-built plan is a tree")
-        .with_unary_root(UnaryKind::HashAggregate { output_fraction: 0.02 });
+        .with_unary_root(UnaryKind::HashAggregate {
+            output_fraction: 0.02,
+        });
     println!(
         "plan: {} joins + {} aggregate, height {} (bushy)",
         plan.join_count(),
@@ -75,7 +89,10 @@ fn main() {
 
     println!("--- schedule ---");
     for phase in &result.phases {
-        println!("phase (level {}): makespan {:.2}s", phase.level, phase.makespan);
+        println!(
+            "phase (level {}): makespan {:.2}s",
+            phase.level, phase.makespan
+        );
         for (i, sop) in phase.schedule.ops.iter().enumerate() {
             let homes: Vec<String> = phase.schedule.assignment.homes[i]
                 .iter()

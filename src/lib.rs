@@ -19,6 +19,7 @@
 //! | [`sim`] | discrete-event fluid execution simulator |
 //! | [`opt`] | exact branch-and-bound packing |
 //! | [`exp`] | table/figure regeneration harness |
+//! | [`runtime`] | online multi-query runtime: admission, site ledger, event-driven dispatch |
 //!
 //! ## Quickstart
 //!
@@ -51,6 +52,7 @@ pub use mrs_cost as cost;
 pub use mrs_exp as exp;
 pub use mrs_opt as opt;
 pub use mrs_plan as plan;
+pub use mrs_runtime as runtime;
 pub use mrs_sim as sim;
 pub use mrs_workload as workload;
 
@@ -62,6 +64,7 @@ pub mod prelude {
     pub use mrs_exp::prelude::*;
     pub use mrs_opt::prelude::*;
     pub use mrs_plan::prelude::*;
+    pub use mrs_runtime::prelude::*;
     pub use mrs_sim::prelude::*;
     pub use mrs_workload::prelude::*;
 }

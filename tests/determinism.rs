@@ -92,18 +92,27 @@ fn baselines_are_deterministic_too() {
 
 #[test]
 fn experiment_reports_are_reproducible() {
-    let cfg = ExpConfig { seed: 42, fast: true };
+    let cfg = ExpConfig {
+        seed: 42,
+        fast: true,
+    };
     let a = fig6a(&cfg);
     let b = fig6a(&cfg);
     assert_eq!(a.table, b.table, "experiment output must be reproducible");
-    let c = fig6a(&ExpConfig { seed: 43, fast: true });
+    let c = fig6a(&ExpConfig {
+        seed: 43,
+        fast: true,
+    });
     assert_ne!(a.table, c.table, "seed must matter");
 }
 
 #[test]
 fn experiment_registry_runs_everything_fast() {
     // Smoke-test the full registry in fast mode; every report renders.
-    let cfg = ExpConfig { seed: 9, fast: true };
+    let cfg = ExpConfig {
+        seed: 9,
+        fast: true,
+    };
     for (id, f) in all_experiments() {
         let report = f(&cfg);
         assert_eq!(report.id, id);

@@ -138,8 +138,14 @@ fn opt_bound_below_every_algorithm() {
         let sync = synchronous_schedule(&problem, &sys, &comm, &model)
             .unwrap()
             .response_time;
-        assert!(bound <= ts + 1e-9, "seed {seed}: OPTBOUND {bound} > TS {ts}");
-        assert!(bound <= sync + 1e-9, "seed {seed}: OPTBOUND {bound} > SYNC {sync}");
+        assert!(
+            bound <= ts + 1e-9,
+            "seed {seed}: OPTBOUND {bound} > TS {ts}"
+        );
+        assert!(
+            bound <= sync + 1e-9,
+            "seed {seed}: OPTBOUND {bound} > SYNC {sync}"
+        );
     }
 }
 
@@ -153,7 +159,10 @@ fn rooted_scan_placement_round_trips() {
         &q.catalog,
         &KeyJoinMax,
         &cost,
-        &ScanPlacement::RoundRobin { degree: 3, sites: 12 },
+        &ScanPlacement::RoundRobin {
+            degree: 3,
+            sites: 12,
+        },
     )
     .unwrap();
     let model = OverlapModel::new(0.5).unwrap();
@@ -191,8 +200,14 @@ fn scan_only_query_schedules() {
     let r = catalog.add_relation("solo", 50_000.0);
     let plan = PlanTree::scan_only(r);
     let cost = CostModel::paper_defaults();
-    let problem =
-        problem_from_plan(&plan, &catalog, &KeyJoinMax, &cost, &ScanPlacement::Floating).unwrap();
+    let problem = problem_from_plan(
+        &plan,
+        &catalog,
+        &KeyJoinMax,
+        &cost,
+        &ScanPlacement::Floating,
+    )
+    .unwrap();
     let sys = SystemSpec::homogeneous(8);
     let model = OverlapModel::new(0.5).unwrap();
     let comm = cost.params().comm_model();

@@ -45,7 +45,9 @@ fn aggregated_and_sorted_plans_simulate_correctly() {
     let comm = cost.params().comm_model();
     let q = generate_query(&QueryGenConfig::paper(8), 3);
     for kind in [
-        UnaryKind::HashAggregate { output_fraction: 0.1 },
+        UnaryKind::HashAggregate {
+            output_fraction: 0.1,
+        },
         UnaryKind::Sort,
     ] {
         let plan = q.plan.with_unary_root(kind);
@@ -154,7 +156,9 @@ fn structured_shapes_compose_with_everything() {
     let star = star_query(8e4, &[1e3, 3e3, 6e2, 2e3]);
     let optimized = optimize_dp(&star.catalog, &star.graph_edges, &KeyJoinMax)
         .unwrap()
-        .with_unary_root(UnaryKind::HashAggregate { output_fraction: 0.05 });
+        .with_unary_root(UnaryKind::HashAggregate {
+            output_fraction: 0.05,
+        });
     let problem = problem_from_plan(
         &optimized,
         &star.catalog,

@@ -1,6 +1,12 @@
 //! Cross-crate property-based tests: arbitrary generated queries, systems,
 //! and model parameters must always produce valid, bound-respecting,
 //! simulator-consistent schedules.
+//!
+//! Gated behind the no-dep `proptest` feature so the default offline
+//! build needs no registry crates; add `proptest = "1"` to the root
+//! `[dev-dependencies]` and run `cargo test --features proptest` to
+//! execute these.
+#![cfg(feature = "proptest")]
 
 use mdrs::prelude::*;
 use proptest::prelude::*;

@@ -37,7 +37,11 @@ fn equal_finish_reproduces_analytic_model_exactly() {
     for (result, sys, model) in scheduled_queries(12, 4, 20, 0.5) {
         let sim = simulate_tree(&result, &sys, &model, &SimConfig::default());
         let rel = (sim - result.response_time).abs() / result.response_time;
-        assert!(rel < 1e-9, "simulated {sim} vs analytic {}", result.response_time);
+        assert!(
+            rel < 1e-9,
+            "simulated {sim} vs analytic {}",
+            result.response_time
+        );
     }
 }
 

@@ -77,7 +77,10 @@ fn theorem_5_1a_against_branch_and_bound() {
             }
         }
     }
-    assert!(verified >= 10, "too few phases verified exactly ({verified})");
+    assert!(
+        verified >= 10,
+        "too few phases verified exactly ({verified})"
+    );
 }
 
 /// Theorem 7.1 on diverse operator mixes extracted from generated queries.
