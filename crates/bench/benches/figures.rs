@@ -11,6 +11,7 @@ fn cfg() -> ExpConfig {
     ExpConfig {
         seed: 1996,
         fast: true,
+        jobs: 1,
     }
 }
 

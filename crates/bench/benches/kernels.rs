@@ -44,6 +44,26 @@ fn bench_pack_clones(bench: &mut Bench) {
     g.finish();
 }
 
+fn bench_makespan(bench: &mut Bench) {
+    let comm = CommModel::paper_defaults();
+    let model = OverlapModel::new(0.5).unwrap();
+    let mut g = bench.group("makespan");
+    for &(m, p) in &[(32usize, 16usize), (128, 64), (512, 140)] {
+        let sys = SystemSpec::homogeneous(p);
+        let ops: Vec<ScheduledOperator> = synthetic_ops(m, 13)
+            .into_iter()
+            .enumerate()
+            .map(|(i, o)| ScheduledOperator::even(o, 1 + i % p.min(8), &comm, &sys.site))
+            .collect();
+        let assignment = pack_clones(&ops, &sys, ListOrder::LongestFirst).unwrap();
+        let phase = PhaseSchedule { ops, assignment };
+        g.bench_function(&format!("{m}ops_{p}sites"), || {
+            black_box(phase.makespan(&sys, &model));
+        });
+    }
+    g.finish();
+}
+
 fn bench_choose_degree(bench: &mut Bench) {
     let comm = CommModel::paper_defaults();
     let site = SiteSpec::cpu_disk_net();
@@ -221,6 +241,7 @@ fn bench_optimizers(bench: &mut Bench) {
 fn main() {
     let mut b = Bench::from_args();
     bench_pack_clones(&mut b);
+    bench_makespan(&mut b);
     bench_choose_degree(&mut b);
     bench_malleable(&mut b);
     bench_plan_pipeline(&mut b);

@@ -84,10 +84,12 @@ pub mod prelude {
     pub use crate::comm::CommModel;
     pub use crate::error::ScheduleError;
     pub use crate::list::{
-        operator_schedule, operator_schedule_with_order, pack_clones, schedule_with_degrees,
-        ListOrder,
+        operator_schedule, operator_schedule_with_order, pack_clones, pack_clones_in,
+        schedule_with_degrees, schedule_with_degrees_in, ListOrder, PackScratch,
     };
-    pub use crate::malleable::{lb_for_parallelization, malleable_schedule, MalleableOutcome};
+    pub use crate::malleable::{
+        lb_for_parallelization, malleable_schedule, malleable_schedule_in, MalleableOutcome,
+    };
     pub use crate::memory::{
         operator_schedule_with_memory, MemoryDemand, MemoryError, MemorySchedule, MemorySpec,
     };

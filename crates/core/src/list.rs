@@ -60,33 +60,69 @@ impl Ord for HeapKey {
     }
 }
 
-/// Incremental packing state: per-site aggregated load vectors plus a lazy
-/// min-heap on `l(work(s_j))`.
+/// Reusable packing state: per-site aggregated load vectors, a lazy
+/// min-heap on `l(work(s_j))`, and the clone-list/occupancy buffers of
+/// [`pack_clones`].
 ///
 /// The heap may hold stale entries (loads only grow); an entry is
 /// authoritative only if its key equals the site's current length. This
 /// keeps each placement at `O(log P)` amortized plus the cost of skipping
 /// sites already used by the operator, matching Proposition 5.1's
-/// `O(M P (M + log P))` overall bound.
-struct Packer {
+/// `O(M P (M + log P))` overall bound. When stale entries outnumber
+/// `2 × sites` the heap is compacted back to one authoritative entry per
+/// site, so repeated phases cannot grow it unboundedly.
+///
+/// Construct one with [`PackScratch::new`] and thread it through
+/// [`pack_clones_in`] / [`schedule_with_degrees_in`] to reuse every
+/// allocation across phases (as `tree_schedule` and the malleable GF
+/// sweep do); the plain [`pack_clones`] entry point allocates a fresh
+/// scratch per call.
+#[derive(Default)]
+pub struct PackScratch {
     loads: Vec<WorkVector>,
     lengths: Vec<f64>,
     heap: BinaryHeap<Reverse<HeapKey>>,
+    stash: Vec<Reverse<HeapKey>>,
+    occupancy: Vec<Vec<usize>>,
+    list: Vec<(usize, usize, f64)>,
 }
 
-impl Packer {
-    fn new(sys: &SystemSpec) -> Self {
-        let loads = vec![WorkVector::zeros(sys.dim()); sys.sites];
-        let lengths = vec![0.0; sys.sites];
-        let mut heap = BinaryHeap::with_capacity(sys.sites);
+impl PackScratch {
+    /// Creates an empty scratch; buffers grow on first use and are kept
+    /// across calls.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Prepares the scratch for packing `nops` operators onto `sys`,
+    /// clearing state while retaining allocations.
+    fn reset(&mut self, sys: &SystemSpec, nops: usize) {
+        let d = sys.dim();
+        self.loads.truncate(sys.sites);
+        for load in &mut self.loads {
+            if load.dim() == d {
+                load.set_zero();
+            } else {
+                *load = WorkVector::zeros(d);
+            }
+        }
+        while self.loads.len() < sys.sites {
+            self.loads.push(WorkVector::zeros(d));
+        }
+        self.lengths.clear();
+        self.lengths.resize(sys.sites, 0.0);
+        self.heap.clear();
         for site in 0..sys.sites {
-            heap.push(Reverse(HeapKey { load: 0.0, site }));
+            self.heap.push(Reverse(HeapKey { load: 0.0, site }));
         }
-        Packer {
-            loads,
-            lengths,
-            heap,
+        self.stash.clear();
+        for occ in &mut self.occupancy {
+            occ.clear();
         }
+        if self.occupancy.len() < nops {
+            self.occupancy.resize_with(nops, Vec::new);
+        }
+        self.list.clear();
     }
 
     /// Adds `w` to `site`'s load without going through the heap's
@@ -98,6 +134,19 @@ impl Packer {
         self.heap.push(Reverse(HeapKey { load: len, site }));
     }
 
+    /// Rebuilds the heap to exactly one authoritative entry per site.
+    ///
+    /// Safe for determinism: stale entries always carry an *older*
+    /// (smaller-or-equal) load for their site and are skipped by the
+    /// authoritative check before they can be selected, so dropping them
+    /// never changes which site `place_least_filled` picks.
+    fn compact(&mut self) {
+        self.heap.clear();
+        for (site, &load) in self.lengths.iter().enumerate() {
+            self.heap.push(Reverse(HeapKey { load, site }));
+        }
+    }
+
     /// Picks the least-filled site not in `forbidden`, places `w` there,
     /// and returns the site index. `forbidden` is the "no other clone of
     /// this operator" predicate.
@@ -106,7 +155,10 @@ impl Packer {
         w: &WorkVector,
         forbidden: impl Fn(usize) -> bool,
     ) -> Option<usize> {
-        let mut stash: Vec<Reverse<HeapKey>> = Vec::new();
+        if self.heap.len() > 2 * self.loads.len() {
+            self.compact();
+        }
+        self.stash.clear();
         let mut chosen = None;
         while let Some(Reverse(entry)) = self.heap.pop() {
             if entry.load != self.lengths[entry.site] {
@@ -124,19 +176,26 @@ impl Packer {
                 continue;
             }
             if forbidden(entry.site) {
-                stash.push(Reverse(entry));
+                self.stash.push(Reverse(entry));
                 continue;
             }
             chosen = Some(entry.site);
             break;
         }
         // Return the skipped (authoritative) entries.
-        for e in stash {
+        while let Some(e) = self.stash.pop() {
             self.heap.push(e);
         }
         let site = chosen?;
         self.place_at(site, w);
         Some(site)
+    }
+
+    /// Current number of live heap entries (test instrumentation for the
+    /// compaction bound).
+    #[cfg(test)]
+    fn heap_len(&self) -> usize {
+        self.heap.len()
     }
 }
 
@@ -157,10 +216,40 @@ pub fn pack_clones(
     sys: &SystemSpec,
     order: ListOrder,
 ) -> Result<Assignment, ScheduleError> {
+    let mut scratch = PackScratch::new();
+    pack_clones_in(&mut scratch, ops, sys, order)
+}
+
+/// [`pack_clones`] reusing the buffers of `scratch` instead of allocating
+/// fresh ones — the allocation-free path for repeated packing (shelf
+/// phases in `tree_schedule`, candidate schedules in the malleable GF
+/// sweep). Produces exactly the same assignment as [`pack_clones`].
+pub fn pack_clones_in(
+    scratch: &mut PackScratch,
+    ops: &[ScheduledOperator],
+    sys: &SystemSpec,
+    order: ListOrder,
+) -> Result<Assignment, ScheduleError> {
+    scratch.reset(sys, ops.len());
+    // Detach the occupancy/list buffers so the packer half of the scratch
+    // can be borrowed mutably while the closures below read occupancy.
+    let mut occupancy = std::mem::take(&mut scratch.occupancy);
+    let mut list = std::mem::take(&mut scratch.list);
+    let result = pack_clones_impl(scratch, ops, sys, order, &mut occupancy, &mut list);
+    scratch.occupancy = occupancy;
+    scratch.list = list;
+    result
+}
+
+fn pack_clones_impl(
+    scratch: &mut PackScratch,
+    ops: &[ScheduledOperator],
+    sys: &SystemSpec,
+    order: ListOrder,
+    occupancy: &mut [Vec<usize>],
+    list: &mut Vec<(usize, usize, f64)>,
+) -> Result<Assignment, ScheduleError> {
     let mut assignment = Assignment::with_capacity(ops.len());
-    let mut packer = Packer::new(sys);
-    // occupancy[i] = sorted site list used by operator i so far.
-    let mut occupancy: Vec<Vec<usize>> = vec![Vec::new(); ops.len()];
 
     for (i, op) in ops.iter().enumerate() {
         if op.degree > sys.sites {
@@ -186,7 +275,7 @@ pub fn pack_clones(
                         sites: sys.sites,
                     });
                 }
-                packer.place_at(site.0, &op.clones[k]);
+                scratch.place_at(site.0, &op.clones[k]);
                 occupancy[i].push(site.0);
             }
             assignment.homes[i] = homes.clone();
@@ -194,7 +283,6 @@ pub fn pack_clones(
     }
 
     // The floating clone list L of Figure 3.
-    let mut list: Vec<(usize, usize, f64)> = Vec::new();
     for (i, op) in ops.iter().enumerate() {
         if op.spec.placement.is_floating() {
             for (k, w) in op.clones.iter().enumerate() {
@@ -208,9 +296,9 @@ pub fn pack_clones(
         list.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
     }
 
-    for (i, k, _) in list {
+    for &(i, k, _) in list.iter() {
         let occupied = &occupancy[i];
-        let site = packer
+        let site = scratch
             .place_least_filled(&ops[i].clones[k], |s| occupied.binary_search(&s).is_ok())
             .expect("degree <= P guarantees an allowable site exists");
         assignment.homes[i][k] = SiteId(site);
@@ -278,6 +366,19 @@ pub fn schedule_with_degrees(
     comm: &CommModel,
     order: ListOrder,
 ) -> Result<PhaseSchedule, ScheduleError> {
+    let mut scratch = PackScratch::new();
+    schedule_with_degrees_in(&mut scratch, ops, sys, comm, order)
+}
+
+/// [`schedule_with_degrees`] reusing the packing buffers of `scratch`
+/// (see [`PackScratch`]). Produces exactly the same schedule.
+pub fn schedule_with_degrees_in(
+    scratch: &mut PackScratch,
+    ops: Vec<(OperatorSpec, usize)>,
+    sys: &SystemSpec,
+    comm: &CommModel,
+    order: ListOrder,
+) -> Result<PhaseSchedule, ScheduleError> {
     let scheduled = ops
         .into_iter()
         .map(|(spec, n)| {
@@ -288,7 +389,7 @@ pub fn schedule_with_degrees(
             ScheduledOperator::even(spec, n, comm, &sys.site)
         })
         .collect::<Vec<_>>();
-    let assignment = pack_clones(&scheduled, sys, order)?;
+    let assignment = pack_clones_in(scratch, &scheduled, sys, order)?;
     Ok(PhaseSchedule {
         ops: scheduled,
         assignment,
@@ -496,6 +597,61 @@ mod tests {
             .makespan(&sys, &model)
         };
         assert!(ms(lpt) <= ms(arb) + 1e-9);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_pack() {
+        // One scratch reused across differently-shaped workloads must
+        // reproduce the fresh-allocation path bit for bit.
+        let c = comm();
+        let mut scratch = PackScratch::new();
+        for (sites, nops) in [(16usize, 12usize), (4, 9), (24, 30), (16, 12)] {
+            let sys = SystemSpec::homogeneous(sites);
+            let ops: Vec<_> = (0..nops)
+                .map(|i| {
+                    ScheduledOperator::even(
+                        floating(i, &[1.0 + (i % 7) as f64, (i % 3) as f64, 0.5], 32_000.0),
+                        1 + i % sites.min(6),
+                        &c,
+                        &sys.site,
+                    )
+                })
+                .collect();
+            let fresh = pack_clones(&ops, &sys, ListOrder::LongestFirst).unwrap();
+            let reused = pack_clones_in(&mut scratch, &ops, &sys, ListOrder::LongestFirst).unwrap();
+            assert_eq!(fresh, reused, "scratch reuse diverged at P={sites}");
+        }
+    }
+
+    #[test]
+    fn heap_stays_compact_across_phases() {
+        // Without compaction the lazy heap grows by one entry per
+        // placement forever; with it, the live entries stay O(sites) no
+        // matter how many phases reuse the scratch.
+        let sites = 8;
+        let sys = SystemSpec::homogeneous(sites);
+        let c = comm();
+        let mut scratch = PackScratch::new();
+        for phase in 0..50 {
+            let ops: Vec<_> = (0..40)
+                .map(|i| {
+                    ScheduledOperator::even(
+                        floating(i, &[1.0 + ((i + phase) % 5) as f64, 1.0, 0.0], 0.0),
+                        1,
+                        &c,
+                        &sys.site,
+                    )
+                })
+                .collect();
+            pack_clones_in(&mut scratch, &ops, &sys, ListOrder::LongestFirst).unwrap();
+            // Compaction triggers at > 2 * sites before each placement;
+            // one more entry lands after the last placement.
+            assert!(
+                scratch.heap_len() <= 2 * sites + 1,
+                "heap grew to {} entries in phase {phase}",
+                scratch.heap_len()
+            );
+        }
     }
 
     #[test]

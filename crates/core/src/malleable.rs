@@ -21,7 +21,7 @@
 
 use crate::comm::CommModel;
 use crate::error::ScheduleError;
-use crate::list::{schedule_with_degrees, ListOrder};
+use crate::list::{schedule_with_degrees_in, ListOrder, PackScratch};
 use crate::model::ResponseModel;
 use crate::operator::{OperatorSpec, Placement};
 use crate::partition::{t_par, total_work_vector};
@@ -73,6 +73,20 @@ pub struct MalleableOutcome {
 /// # Errors
 /// Propagates packing failures (e.g. malformed rooted placements).
 pub fn malleable_schedule<M: ResponseModel>(
+    ops: Vec<OperatorSpec>,
+    sys: &SystemSpec,
+    comm: &CommModel,
+    model: &M,
+) -> Result<MalleableOutcome, ScheduleError> {
+    let mut scratch = PackScratch::new();
+    malleable_schedule_in(&mut scratch, ops, sys, comm, model)
+}
+
+/// [`malleable_schedule`] reusing the packing buffers of `scratch` (see
+/// [`PackScratch`]) — the allocation-light path for repeated phases, used
+/// by `malleable_tree_schedule`. Produces exactly the same outcome.
+pub fn malleable_schedule_in<M: ResponseModel>(
+    scratch: &mut PackScratch,
     ops: Vec<OperatorSpec>,
     sys: &SystemSpec,
     comm: &CommModel,
@@ -162,7 +176,8 @@ pub fn malleable_schedule<M: ResponseModel>(
         }
     }
 
-    let schedule = schedule_with_degrees(
+    let schedule = schedule_with_degrees_in(
+        scratch,
         ops.into_iter().zip(best_degrees.iter().copied()).collect(),
         sys,
         comm,
@@ -179,6 +194,7 @@ pub fn malleable_schedule<M: ResponseModel>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::list::schedule_with_degrees;
     use crate::model::OverlapModel;
     use crate::operator::{OperatorId, OperatorKind};
     use crate::resource::SiteId;

@@ -243,6 +243,9 @@ pub fn tree_schedule_full<M: ResponseModel>(
         PhasePolicy::Asap => (0..=max_shelf).collect(),
     };
 
+    // One packing scratch reused by every phase (allocation-free after
+    // the first shelf).
+    let mut scratch = crate::list::PackScratch::new();
     for level in shelf_order {
         let mut op_ids: Vec<OperatorId> = Vec::new();
         for (t, node) in problem.tasks.nodes().iter().enumerate() {
@@ -276,7 +279,8 @@ pub fn tree_schedule_full<M: ResponseModel>(
             };
             specs.push((spec, degree));
         }
-        let schedule = crate::list::schedule_with_degrees(specs, sys, comm, order)?;
+        let schedule =
+            crate::list::schedule_with_degrees_in(&mut scratch, specs, sys, comm, order)?;
         for (i, sop) in schedule.ops.iter().enumerate() {
             placed_homes.insert(sop.spec.id, schedule.assignment.homes[i].clone());
         }
@@ -325,6 +329,9 @@ pub fn malleable_tree_schedule<M: ResponseModel>(
     let mut response_time = 0.0;
 
     let height = problem.tasks.height();
+    // One packing scratch shared by the GF sweep's candidate packing and
+    // the final per-phase packing, reused across phases.
+    let mut scratch = crate::list::PackScratch::new();
     for level in (0..=height).rev() {
         let op_ids = problem.tasks.ops_at_level(level);
         if op_ids.is_empty() {
@@ -363,12 +370,14 @@ pub fn malleable_tree_schedule<M: ResponseModel>(
             specs.push(spec);
             sizing.push(size_spec);
         }
-        let outcome = crate::malleable::malleable_schedule(sizing, sys, comm, model)?;
+        let outcome =
+            crate::malleable::malleable_schedule_in(&mut scratch, sizing, sys, comm, model)?;
         let with_degrees: Vec<(OperatorSpec, usize)> = specs
             .into_iter()
             .zip(outcome.degrees.iter().copied())
             .collect();
-        let schedule = crate::list::schedule_with_degrees(
+        let schedule = crate::list::schedule_with_degrees_in(
+            &mut scratch,
             with_degrees,
             sys,
             comm,

@@ -14,14 +14,52 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Sub};
 
+/// Dimensionalities up to this bound are stored inline (no heap
+/// allocation). The paper's experiments use `d = 3` (CPU, disk, net);
+/// one spare slot covers the 4-dimensional memory extension without
+/// spilling.
+const INLINE_DIM: usize = 4;
+
+/// Storage for the components: a fixed inline array for the common small
+/// dimensionalities, a heap vector for the rest. The representation is
+/// canonical — constructors pick `Inline` exactly when `d <= INLINE_DIM`
+/// — so equality can compare component slices without normalization.
+///
+/// Invariant: the unused lanes `data[len..]` of an `Inline` vector are
+/// always `0.0`. Combined with the non-negativity of components, this
+/// lets the hot kernels (`length`, `total`, `accumulate`, `remove`,
+/// `max_with`) operate on all `INLINE_DIM` lanes unconditionally — a
+/// fixed-width, branch-free loop the compiler can unroll and vectorize —
+/// because zero lanes are absorbing for `+`, `max`, and `*`.
+#[derive(Clone)]
+enum Repr {
+    /// `d <= INLINE_DIM`: components live in `data[..len]`; `data[len..]`
+    /// stays all-zero (see the invariant above).
+    Inline { len: u8, data: [f64; INLINE_DIM] },
+    /// `d > INLINE_DIM`: heap-allocated spill.
+    Spill(Vec<f64>),
+}
+
 /// A non-negative `d`-dimensional work vector (seconds of busy time per
 /// resource).
 ///
 /// The dimensionality is fixed at construction; all arithmetic panics on a
 /// dimensionality mismatch (a programming error, not a data error).
-#[derive(Clone, PartialEq)]
+///
+/// Vectors of dimensionality `≤ 4` are stored inline — creating, cloning,
+/// and accumulating them never touches the allocator, which keeps the
+/// scheduling kernels (`pack_clones`, makespan evaluation, the malleable
+/// GF sweep, the fluid simulator) allocation-free on the paper's
+/// 3-resource workloads.
+#[derive(Clone)]
 pub struct WorkVector {
-    components: Vec<f64>,
+    repr: Repr,
+}
+
+impl PartialEq for WorkVector {
+    fn eq(&self, other: &Self) -> bool {
+        self.components() == other.components()
+    }
 }
 
 impl WorkVector {
@@ -32,7 +70,14 @@ impl WorkVector {
     pub fn zeros(d: usize) -> Self {
         assert!(d > 0, "work vectors must have at least one dimension");
         WorkVector {
-            components: vec![0.0; d],
+            repr: if d <= INLINE_DIM {
+                Repr::Inline {
+                    len: d as u8,
+                    data: [0.0; INLINE_DIM],
+                }
+            } else {
+                Repr::Spill(vec![0.0; d])
+            },
         }
     }
 
@@ -42,6 +87,15 @@ impl WorkVector {
     /// Panics if `components` is empty or any component is negative, NaN,
     /// or infinite.
     pub fn new(components: Vec<f64>) -> Self {
+        Self::from_slice(&components)
+    }
+
+    /// Creates a vector from a slice.
+    ///
+    /// # Panics
+    /// Panics if `components` is empty or any component is negative, NaN,
+    /// or infinite.
+    pub fn from_slice(components: &[f64]) -> Self {
         assert!(
             !components.is_empty(),
             "work vectors must have at least one dimension"
@@ -52,12 +106,18 @@ impl WorkVector {
                 "work vector component {i} must be finite and non-negative, got {c}"
             );
         }
-        WorkVector { components }
-    }
-
-    /// Creates a vector from a slice.
-    pub fn from_slice(components: &[f64]) -> Self {
-        Self::new(components.to_vec())
+        WorkVector {
+            repr: if components.len() <= INLINE_DIM {
+                let mut data = [0.0; INLINE_DIM];
+                data[..components.len()].copy_from_slice(components);
+                Repr::Inline {
+                    len: components.len() as u8,
+                    data,
+                }
+            } else {
+                Repr::Spill(components.to_vec())
+            },
+        }
     }
 
     /// Creates a vector with `value` placed at `dim` and zeros elsewhere.
@@ -70,39 +130,90 @@ impl WorkVector {
     /// Dimensionality `d` of the vector.
     #[inline]
     pub fn dim(&self) -> usize {
-        self.components.len()
+        match &self.repr {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Spill(v) => v.len(),
+        }
     }
 
     /// The components as a slice.
     #[inline]
     pub fn components(&self) -> &[f64] {
-        &self.components
+        match &self.repr {
+            Repr::Inline { len, data } => &data[..*len as usize],
+            Repr::Spill(v) => v,
+        }
+    }
+
+    /// The components as a mutable slice (dimensionality is fixed).
+    #[inline]
+    fn components_mut(&mut self) -> &mut [f64] {
+        match &mut self.repr {
+            Repr::Inline { len, data } => &mut data[..*len as usize],
+            Repr::Spill(v) => v,
+        }
+    }
+
+    /// Resets every component to zero in place, keeping the allocation
+    /// (used by scratch buffers that are reused across scheduling phases).
+    #[inline]
+    pub fn set_zero(&mut self) {
+        match &mut self.repr {
+            // All lanes: unused ones are zero already.
+            Repr::Inline { data, .. } => *data = [0.0; INLINE_DIM],
+            Repr::Spill(v) => v.fill(0.0),
+        }
+    }
+
+    /// True iff the components are stored inline (no heap allocation).
+    #[cfg(test)]
+    fn is_inline(&self) -> bool {
+        matches!(self.repr, Repr::Inline { .. })
+    }
+
+    /// True iff the unused inline lanes are all zero (the invariant the
+    /// fixed-width kernel fast paths rely on); vacuously true for spills.
+    #[cfg(test)]
+    fn inline_padding_is_zero(&self) -> bool {
+        match &self.repr {
+            Repr::Inline { len, data } => data[*len as usize..].iter().all(|&c| c == 0.0),
+            Repr::Spill(_) => true,
+        }
     }
 
     /// `l(W)`: the maximum component (Section 5.1).
     #[inline]
     pub fn length(&self) -> f64 {
-        self.components.iter().copied().fold(0.0, f64::max)
+        match &self.repr {
+            // All lanes: unused ones are 0 and components are ≥ 0, so they
+            // never win the max; the fixed width keeps the loop branch-free.
+            Repr::Inline { data, .. } => data.iter().copied().fold(0.0, f64::max),
+            Repr::Spill(v) => v.iter().copied().fold(0.0, f64::max),
+        }
     }
 
     /// The total work `Σ_i W[i]` — the *processing area* when the vector
     /// holds pure processing costs (Section 4.2).
     #[inline]
     pub fn total(&self) -> f64 {
-        self.components.iter().sum()
+        match &self.repr {
+            // All lanes: zeros don't contribute to the sum.
+            Repr::Inline { data, .. } => data.iter().sum(),
+            Repr::Spill(v) => v.iter().sum(),
+        }
     }
 
     /// True iff every component is zero.
     pub fn is_zero(&self) -> bool {
-        self.components.iter().all(|&c| c == 0.0)
+        self.components().iter().all(|&c| c == 0.0)
     }
 
     /// Componentwise `≤` (the `≤_d` relation of Section 7, footnote 5).
     pub fn le_componentwise(&self, other: &WorkVector) -> bool {
         self.assert_same_dim(other);
-        self.components
+        self.components()
             .iter()
-            .zip(&other.components)
+            .zip(other.components())
             .all(|(a, b)| a <= b)
     }
 
@@ -115,9 +226,21 @@ impl WorkVector {
             factor.is_finite() && factor >= 0.0,
             "scale factor must be finite and non-negative, got {factor}"
         );
-        WorkVector {
-            components: self.components.iter().map(|c| c * factor).collect(),
+        let mut out = self.clone();
+        match &mut out.repr {
+            // All lanes: 0 · factor = 0 keeps the unused-lane invariant.
+            Repr::Inline { data, .. } => {
+                for c in data {
+                    *c *= factor;
+                }
+            }
+            Repr::Spill(v) => {
+                for c in v {
+                    *c *= factor;
+                }
+            }
         }
+        out
     }
 
     /// Adds `value` to component `dim` in place.
@@ -126,37 +249,64 @@ impl WorkVector {
             value.is_finite() && value >= 0.0,
             "added work must be finite and non-negative, got {value}"
         );
-        self.components[dim] += value;
+        self.components_mut()[dim] += value;
     }
 
     /// Adds `other` into `self` (used to accumulate site loads).
+    #[inline]
     pub fn accumulate(&mut self, other: &WorkVector) {
         self.assert_same_dim(other);
-        for (a, b) in self.components.iter_mut().zip(&other.components) {
+        if let (Repr::Inline { data, .. }, Repr::Inline { data: o, .. }) =
+            (&mut self.repr, &other.repr)
+        {
+            // All lanes: 0 + 0 = 0 keeps the unused-lane invariant.
+            for i in 0..INLINE_DIM {
+                data[i] += o[i];
+            }
+            return;
+        }
+        for (a, b) in self.components_mut().iter_mut().zip(other.components()) {
             *a += *b;
         }
     }
 
     /// Removes `other` from `self`, clamping tiny negative residue from
     /// floating-point cancellation to zero.
+    #[inline]
     pub fn remove(&mut self, other: &WorkVector) {
         self.assert_same_dim(other);
-        for (a, b) in self.components.iter_mut().zip(&other.components) {
+        if let (Repr::Inline { data, .. }, Repr::Inline { data: o, .. }) =
+            (&mut self.repr, &other.repr)
+        {
+            // All lanes: (0 - 0).max(0) = 0 keeps the unused-lane invariant.
+            for i in 0..INLINE_DIM {
+                data[i] = (data[i] - o[i]).max(0.0);
+            }
+            return;
+        }
+        for (a, b) in self.components_mut().iter_mut().zip(other.components()) {
             *a = (*a - *b).max(0.0);
         }
     }
 
     /// Componentwise maximum of two vectors.
+    #[inline]
     pub fn max_with(&self, other: &WorkVector) -> WorkVector {
         self.assert_same_dim(other);
-        WorkVector {
-            components: self
-                .components
-                .iter()
-                .zip(&other.components)
-                .map(|(a, b)| a.max(*b))
-                .collect(),
+        let mut out = self.clone();
+        if let (Repr::Inline { data, .. }, Repr::Inline { data: o, .. }) =
+            (&mut out.repr, &other.repr)
+        {
+            // All lanes: max(0, 0) = 0 keeps the unused-lane invariant.
+            for i in 0..INLINE_DIM {
+                data[i] = data[i].max(o[i]);
+            }
+            return out;
         }
+        for (a, b) in out.components_mut().iter_mut().zip(other.components()) {
+            *a = a.max(*b);
+        }
+        out
     }
 
     /// Sum of a set of vectors; `l(S)` is `vector_sum(S).length()`.
@@ -200,9 +350,9 @@ impl WorkVector {
     pub fn approx_eq(&self, other: &WorkVector, eps: f64) -> bool {
         self.dim() == other.dim()
             && self
-                .components
+                .components()
                 .iter()
-                .zip(&other.components)
+                .zip(other.components())
                 .all(|(a, b)| (a - b).abs() <= eps)
     }
 }
@@ -210,7 +360,7 @@ impl WorkVector {
 impl fmt::Debug for WorkVector {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "W[")?;
-        for (i, c) in self.components.iter().enumerate() {
+        for (i, c) in self.components().iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -224,14 +374,14 @@ impl Index<usize> for WorkVector {
     type Output = f64;
     #[inline]
     fn index(&self, i: usize) -> &f64 {
-        &self.components[i]
+        &self.components()[i]
     }
 }
 
 impl IndexMut<usize> for WorkVector {
     #[inline]
     fn index_mut(&mut self, i: usize) -> &mut f64 {
-        &mut self.components[i]
+        &mut self.components_mut()[i]
     }
 }
 
@@ -370,5 +520,107 @@ mod tests {
         assert_eq!((&b - &a).components(), &[2.0, 2.0]);
         assert_eq!((&a * 2.0).components(), &[2.0, 4.0]);
         assert_eq!(a.max_with(&b).components(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn representation_is_inline_iff_small() {
+        for d in 1..=8usize {
+            assert_eq!(WorkVector::zeros(d).is_inline(), d <= INLINE_DIM);
+            assert_eq!(
+                WorkVector::from_slice(&vec![1.0; d]).is_inline(),
+                d <= INLINE_DIM
+            );
+        }
+    }
+
+    #[test]
+    fn set_zero_keeps_dim_and_clears() {
+        for d in [2usize, 6] {
+            let mut v = WorkVector::from_slice(&vec![3.5; d]);
+            v.set_zero();
+            assert_eq!(v.dim(), d);
+            assert!(v.is_zero());
+        }
+    }
+
+    #[test]
+    fn unused_inline_lanes_stay_zero_through_mutation() {
+        for d in 1..=INLINE_DIM {
+            let mut v = WorkVector::from_slice(&vec![2.0; d]);
+            let w = WorkVector::from_slice(&vec![5.0; d]);
+            v.accumulate(&w);
+            assert!(v.inline_padding_is_zero(), "accumulate at d={d}");
+            v.remove(&w);
+            assert!(v.inline_padding_is_zero(), "remove at d={d}");
+            assert!(v.scaled(3.0).inline_padding_is_zero(), "scaled at d={d}");
+            assert!(v.max_with(&w).inline_padding_is_zero(), "max_with at d={d}");
+            v[d - 1] = 7.0;
+            assert!(v.inline_padding_is_zero(), "index_mut at d={d}");
+            v.set_zero();
+            assert!(v.inline_padding_is_zero(), "set_zero at d={d}");
+        }
+    }
+
+    /// Naive `Vec<f64>` reference implementation of the kernel operations,
+    /// used to check that inline and spilled representations agree.
+    fn reference_ops(xs: &[f64], ys: &[f64]) -> (f64, Vec<f64>, Vec<f64>) {
+        let length = xs.iter().copied().fold(0.0, f64::max);
+        let acc: Vec<f64> = xs.iter().zip(ys).map(|(a, b)| a + b).collect();
+        // vector_sum of [x, y, x] — exercises clone + repeated accumulate.
+        let sum: Vec<f64> = xs.iter().zip(ys).map(|(a, b)| (a + b) + a).collect();
+        (length, acc, sum)
+    }
+
+    #[test]
+    fn inline_and_spill_agree_with_reference_across_dims() {
+        let mut rng = crate::rng::DetRng::seed_from_u64(0xBEEF);
+        for d in 1..=8usize {
+            for _ in 0..16 {
+                let xs: Vec<f64> = (0..d).map(|_| rng.gen_range(0.0..50.0)).collect();
+                let ys: Vec<f64> = (0..d).map(|_| rng.gen_range(0.0..50.0)).collect();
+                let (ref_len, ref_acc, ref_sum) = reference_ops(&xs, &ys);
+
+                let x = WorkVector::from_slice(&xs);
+                let y = WorkVector::from_slice(&ys);
+                assert_eq!(x.is_inline(), d <= INLINE_DIM);
+
+                assert_eq!(x.length(), ref_len, "length mismatch at d={d}");
+                let mut acc = x.clone();
+                acc.accumulate(&y);
+                assert_eq!(acc.components(), &ref_acc[..], "accumulate at d={d}");
+                let sum = WorkVector::vector_sum([&x, &y, &x]).unwrap();
+                assert_eq!(sum.components(), &ref_sum[..], "vector_sum at d={d}");
+            }
+        }
+    }
+
+    #[cfg(feature = "proptest")]
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Inline (d ≤ 4) and spilled (d > 4) vectors must agree with a
+            /// plain-Vec reference on the hot kernel operations.
+            #[test]
+            fn repr_agrees_with_reference(
+                pair in (1usize..=8).prop_flat_map(|d| (
+                    proptest::collection::vec(0.0f64..1e6, d),
+                    proptest::collection::vec(0.0f64..1e6, d),
+                ))
+            ) {
+                let (xs, ys) = pair;
+                let (ref_len, ref_acc, ref_sum) = reference_ops(&xs, &ys);
+                let x = WorkVector::from_slice(&xs);
+                let y = WorkVector::from_slice(&ys);
+                prop_assert_eq!(x.is_inline(), xs.len() <= INLINE_DIM);
+                prop_assert_eq!(x.length(), ref_len);
+                let mut acc = x.clone();
+                acc.accumulate(&y);
+                prop_assert_eq!(acc.components(), &ref_acc[..]);
+                let sum = WorkVector::vector_sum([&x, &y, &x]).unwrap();
+                prop_assert_eq!(sum.components(), &ref_sum[..]);
+            }
+        }
     }
 }

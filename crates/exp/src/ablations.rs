@@ -4,7 +4,7 @@
 
 use crate::config::ExpConfig;
 use crate::report::Report;
-use crate::runner::{mean_response, Algo};
+use crate::runner::{mean_response, par_map, Algo};
 use crate::tablefmt::{ratio, secs, Table};
 use mrs_core::resource::SystemSpec;
 use mrs_cost::prelude::CostModel;
@@ -25,32 +25,30 @@ pub fn ablation_dims(cfg: &ExpConfig) -> Report {
         headers.push(format!("RR P={p}"));
     }
     let mut table = Table::new(headers);
-    for joins in cfg.query_sizes() {
-        let s = suite(joins, cfg.queries_per_size(), cfg.seed);
+    let sizes = cfg.query_sizes();
+    let suites = par_map(cfg.effective_jobs(), &sizes, |&joins| {
+        suite(joins, cfg.queries_per_size(), cfg.seed)
+    });
+    let cells: Vec<(usize, usize)> = (0..suites.len())
+        .flat_map(|si| systems.iter().map(move |&p| (si, p)))
+        .collect();
+    let triples = par_map(cfg.effective_jobs(), &cells, |&(si, p)| {
+        let sys = SystemSpec::homogeneous(p);
+        let qs = &suites[si].queries;
+        (
+            mean_response(qs, &Algo::Tree { f }, &sys, eps, &cost),
+            mean_response(qs, &Algo::ScalarList { f }, &sys, eps, &cost),
+            mean_response(qs, &Algo::RoundRobin { f }, &sys, eps, &cost),
+        )
+    });
+    let mut triples = triples.iter();
+    for &joins in &sizes {
         let mut row = vec![joins.to_string()];
-        for p in systems {
-            let sys = SystemSpec::homogeneous(p);
-            row.push(secs(mean_response(
-                &s.queries,
-                &Algo::Tree { f },
-                &sys,
-                eps,
-                &cost,
-            )));
-            row.push(secs(mean_response(
-                &s.queries,
-                &Algo::ScalarList { f },
-                &sys,
-                eps,
-                &cost,
-            )));
-            row.push(secs(mean_response(
-                &s.queries,
-                &Algo::RoundRobin { f },
-                &sys,
-                eps,
-                &cost,
-            )));
+        for _ in systems {
+            let &(ts, scalar, rr) = triples.next().expect("one result per cell");
+            row.push(secs(ts));
+            row.push(secs(scalar));
+            row.push(secs(rr));
         }
         table.push_row(row);
     }
@@ -84,19 +82,26 @@ pub fn ablation_order(cfg: &ExpConfig) -> Report {
         headers.push(format!("unord/LPT P={p}"));
     }
     let mut table = Table::new(headers);
-    for joins in cfg.query_sizes() {
-        let s = suite(joins, cfg.queries_per_size(), cfg.seed);
+    let sizes = cfg.query_sizes();
+    let suites = par_map(cfg.effective_jobs(), &sizes, |&joins| {
+        suite(joins, cfg.queries_per_size(), cfg.seed)
+    });
+    let cells: Vec<(usize, usize)> = (0..suites.len())
+        .flat_map(|si| systems.iter().map(move |&p| (si, p)))
+        .collect();
+    let pairs = par_map(cfg.effective_jobs(), &cells, |&(si, p)| {
+        let sys = SystemSpec::homogeneous(p);
+        let qs = &suites[si].queries;
+        (
+            mean_response(qs, &Algo::Tree { f }, &sys, eps, &cost),
+            mean_response(qs, &Algo::TreeArbitraryOrder { f }, &sys, eps, &cost),
+        )
+    });
+    let mut pairs = pairs.iter();
+    for &joins in &sizes {
         let mut row = vec![joins.to_string()];
-        for p in systems {
-            let sys = SystemSpec::homogeneous(p);
-            let lpt = mean_response(&s.queries, &Algo::Tree { f }, &sys, eps, &cost);
-            let unord = mean_response(
-                &s.queries,
-                &Algo::TreeArbitraryOrder { f },
-                &sys,
-                eps,
-                &cost,
-            );
+        for _ in systems {
+            let &(lpt, unord) = pairs.next().expect("one result per cell");
             row.push(secs(lpt));
             row.push(secs(unord));
             row.push(ratio(unord / lpt));
@@ -128,6 +133,7 @@ mod tests {
         ExpConfig {
             seed: 3,
             fast: true,
+            jobs: 1,
         }
     }
 

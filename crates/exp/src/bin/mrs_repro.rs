@@ -1,7 +1,7 @@
 //! `mrs-repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! mrs-repro [--seed N] [--fast] [--csv DIR] <experiment>... | all | list
+//! mrs-repro [--seed N] [--fast] [--jobs N] [--csv DIR] <experiment>... | all | list
 //! mrs-repro schedule [--seed N] [--joins J] [--sites P] [--eps E] [--f F]
 //! mrs-repro serve [--seed N] [--queries N] [--sites P] [--mpl M]
 //!                 [--load X] [--policy fcfs|svf|rr-fair]
@@ -17,7 +17,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
-    "usage: mrs-repro [--seed N] [--fast] [--csv DIR] <experiment>... | all | list\n\
+    "usage: mrs-repro [--seed N] [--fast] [--jobs N] [--csv DIR] <experiment>... | all | list\n\
        or: mrs-repro schedule [--seed N] [--joins J] [--sites P] [--eps E] [--f F]\n\
        or: mrs-repro serve [--seed N] [--queries N] [--sites P] [--mpl M] [--load X] \
      [--policy fcfs|svf|rr-fair]\n\
@@ -289,6 +289,13 @@ fn main() -> ExitCode {
                 }
             },
             "--fast" => cfg.fast = true,
+            "--jobs" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(jobs) => cfg.jobs = jobs,
+                None => {
+                    eprintln!("--jobs needs an integer argument (0 = auto)\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
             "--csv" => match args.next() {
                 Some(dir) => csv_dir = Some(PathBuf::from(dir)),
                 None => {

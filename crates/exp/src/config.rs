@@ -8,6 +8,11 @@ pub struct ExpConfig {
     /// Fast mode: smaller suites and sparser sweeps (used by tests and
     /// benches; the full mode reproduces the paper's sweep densities).
     pub fast: bool,
+    /// Worker threads for the figure sweeps: `0` means "use
+    /// [`std::thread::available_parallelism`]", `1` runs serially, `N`
+    /// fans the independent sweep cells over `N` threads. Results are
+    /// byte-identical regardless of the value (see `runner::par_map`).
+    pub jobs: usize,
 }
 
 impl Default for ExpConfig {
@@ -15,11 +20,21 @@ impl Default for ExpConfig {
         ExpConfig {
             seed: 19_960_604, // SIGMOD'96 in Montreal
             fast: false,
+            jobs: 0,
         }
     }
 }
 
 impl ExpConfig {
+    /// The resolved worker count: `jobs`, or the machine's available
+    /// parallelism when `jobs == 0` (falling back to 1 if unknown).
+    pub fn effective_jobs(&self) -> usize {
+        match self.jobs {
+            0 => std::thread::available_parallelism().map_or(1, usize::from),
+            n => n,
+        }
+    }
+
     /// Queries per suite: the paper's 20, or 5 in fast mode.
     pub fn queries_per_size(&self) -> usize {
         if self.fast {
@@ -70,5 +85,16 @@ mod tests {
         };
         assert!(cfg.queries_per_size() < 20);
         assert!(cfg.site_sweep().len() < 14);
+    }
+
+    #[test]
+    fn effective_jobs_resolves_auto() {
+        let auto = ExpConfig::default();
+        assert!(auto.effective_jobs() >= 1);
+        let fixed = ExpConfig {
+            jobs: 3,
+            ..Default::default()
+        };
+        assert_eq!(fixed.effective_jobs(), 3);
     }
 }

@@ -112,6 +112,7 @@ mod tests {
         let cfg = ExpConfig {
             seed: 6,
             fast: true,
+            jobs: 1,
         };
         let r = dimcheck(&cfg);
         assert_eq!(r.table.rows.len(), 6);
@@ -129,6 +130,7 @@ mod tests {
         let cfg = ExpConfig {
             seed: 6,
             fast: true,
+            jobs: 1,
         };
         let r = dimcheck(&cfg);
         let gain = |rows: &[Vec<String>]| -> f64 {
@@ -150,6 +152,7 @@ mod tests {
         let cfg = ExpConfig {
             seed: 6,
             fast: true,
+            jobs: 1,
         };
         let r = dimcheck(&cfg);
         let ds: Vec<usize> = r.table.rows[0..3]

@@ -6,7 +6,7 @@
 
 use crate::config::ExpConfig;
 use crate::report::Report;
-use crate::runner::query_problem;
+use crate::runner::{par_map, query_problem};
 use crate::tablefmt::{ratio, secs, Table};
 use mrs_cost::prelude::CostModel;
 use mrs_opt::prelude::optimal_pack;
@@ -62,20 +62,39 @@ pub fn malleable(cfg: &ExpConfig) -> Report {
         "LB(N)".to_owned(),
         "malleable/LB".to_owned(),
     ]);
-    for sites in [10usize, 40, 80] {
+    let site_counts = [10usize, 40, 80];
+    // (sites, trial) cells fan out; the per-site fold below accumulates
+    // trials in the same order as the serial loop did.
+    let cells: Vec<(usize, usize)> = site_counts
+        .iter()
+        .flat_map(|&sites| (0..trials).map(move |t| (sites, t)))
+        .collect();
+    let samples = par_map(cfg.effective_jobs(), &cells, |&(sites, t)| {
         let sys = SystemSpec::homogeneous(sites);
+        let ops = independent_ops(op_count, cfg.seed.wrapping_add(t as u64));
+        let cg3 = operator_schedule(ops.clone(), 0.3, &sys, &comm, &model)
+            .unwrap()
+            .makespan(&sys, &model);
+        let cg7 = operator_schedule(ops.clone(), 0.7, &sys, &comm, &model)
+            .unwrap()
+            .makespan(&sys, &model);
+        let out = malleable_schedule(ops, &sys, &comm, &model).unwrap();
+        (
+            cg3,
+            cg7,
+            out.schedule.makespan(&sys, &model),
+            out.lower_bound,
+        )
+    });
+    let mut samples = samples.iter();
+    for sites in site_counts {
         let (mut cg3, mut cg7, mut mal, mut lb) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
-        for t in 0..trials {
-            let ops = independent_ops(op_count, cfg.seed.wrapping_add(t as u64));
-            cg3 += operator_schedule(ops.clone(), 0.3, &sys, &comm, &model)
-                .unwrap()
-                .makespan(&sys, &model);
-            cg7 += operator_schedule(ops.clone(), 0.7, &sys, &comm, &model)
-                .unwrap()
-                .makespan(&sys, &model);
-            let out = malleable_schedule(ops, &sys, &comm, &model).unwrap();
-            mal += out.schedule.makespan(&sys, &model);
-            lb += out.lower_bound;
+        for _ in 0..trials {
+            let &(c3, c7, m, l) = samples.next().expect("one sample per cell");
+            cg3 += c3;
+            cg7 += c7;
+            mal += m;
+            lb += l;
         }
         let n = trials as f64;
         table.push_row(vec![
@@ -96,22 +115,27 @@ pub fn malleable(cfg: &ExpConfig) -> Report {
         format!("TS f=0.7 ({joins}j)"),
         format!("TS-malleable ({joins}j)"),
     ]);
-    for sites in [20usize, 80] {
+    let query_sites = [20usize, 80];
+    let query_pairs = par_map(cfg.effective_jobs(), &query_sites, |&sites| {
         let sys = SystemSpec::homogeneous(sites);
-        let cg = crate::runner::mean_response(
-            &s2.queries,
-            &crate::runner::Algo::Tree { f: 0.7 },
-            &sys,
-            eps,
-            &cost,
-        );
-        let mal = crate::runner::mean_response(
-            &s2.queries,
-            &crate::runner::Algo::TreeMalleable,
-            &sys,
-            eps,
-            &cost,
-        );
+        (
+            crate::runner::mean_response(
+                &s2.queries,
+                &crate::runner::Algo::Tree { f: 0.7 },
+                &sys,
+                eps,
+                &cost,
+            ),
+            crate::runner::mean_response(
+                &s2.queries,
+                &crate::runner::Algo::TreeMalleable,
+                &sys,
+                eps,
+                &cost,
+            ),
+        )
+    });
+    for (&sites, &(cg, mal)) in query_sites.iter().zip(&query_pairs) {
         query_table.push_row(vec![sites.to_string(), secs(cg), secs(mal)]);
     }
     for row in query_table.rows {
@@ -159,32 +183,42 @@ pub fn optgap(cfg: &ExpConfig) -> Report {
         "bound 2d+1".to_owned(),
         "solved".to_owned(),
     ]);
-    for (ops_n, sites) in [(5usize, 3usize), (7, 4), (9, 3)] {
+    let configs = [(5usize, 3usize), (7, 4), (9, 3)];
+    let cells: Vec<(usize, usize, usize)> = configs
+        .iter()
+        .flat_map(|&(ops_n, sites)| (0..trials).map(move |t| (ops_n, sites, t)))
+        .collect();
+    let ratios = par_map(cfg.effective_jobs(), &cells, |&(ops_n, sites, t)| {
         let sys = SystemSpec::homogeneous(sites);
         let model = OverlapModel::new(0.5).unwrap();
+        let ops = independent_ops(ops_n, cfg.seed.wrapping_add(1000 + t as u64));
+        // Theorem 5.1(a) fixes the parallelization: small explicit
+        // degrees keep the exact search tractable.
+        let with_degrees: Vec<_> = ops
+            .into_iter()
+            .enumerate()
+            .map(|(i, o)| {
+                let n = (1 + i % 2).min(sites);
+                (o, n)
+            })
+            .collect();
+        let schedule = mrs_core::list::schedule_with_degrees(
+            with_degrees,
+            &sys,
+            &comm,
+            mrs_core::list::ListOrder::LongestFirst,
+        )
+        .unwrap();
+        let heuristic = schedule.makespan(&sys, &model);
+        optimal_pack(&schedule.ops, &sys, &model, 50_000_000)
+            .unwrap()
+            .map(|opt| heuristic / opt.makespan)
+    });
+    let mut ratios = ratios.iter();
+    for (ops_n, sites) in configs {
         let (mut sum, mut max, mut solved) = (0.0f64, 0.0f64, 0usize);
-        for t in 0..trials {
-            let ops = independent_ops(ops_n, cfg.seed.wrapping_add(1000 + t as u64));
-            // Theorem 5.1(a) fixes the parallelization: small explicit
-            // degrees keep the exact search tractable.
-            let with_degrees: Vec<_> = ops
-                .into_iter()
-                .enumerate()
-                .map(|(i, o)| {
-                    let n = (1 + i % 2).min(sites);
-                    (o, n)
-                })
-                .collect();
-            let schedule = mrs_core::list::schedule_with_degrees(
-                with_degrees,
-                &sys,
-                &comm,
-                mrs_core::list::ListOrder::LongestFirst,
-            )
-            .unwrap();
-            let heuristic = schedule.makespan(&sys, &model);
-            if let Some(opt) = optimal_pack(&schedule.ops, &sys, &model, 50_000_000).unwrap() {
-                let r = heuristic / opt.makespan;
+        for _ in 0..trials {
+            if let &Some(r) = ratios.next().expect("one result per cell") {
                 sum += r;
                 max = max.max(r);
                 solved += 1;
@@ -231,40 +265,55 @@ pub fn simcheck(cfg: &ExpConfig) -> Report {
         "sim FairShare".to_owned(),
         "sim overhead 0.3".to_owned(),
     ]);
-    for sites in [20usize, 80] {
+    let site_counts = [20usize, 80];
+    let cells: Vec<(usize, usize)> = site_counts
+        .iter()
+        .flat_map(|&sites| (0..s.queries.len()).map(move |qi| (sites, qi)))
+        .collect();
+    let samples = par_map(cfg.effective_jobs(), &cells, |&(sites, qi)| {
         let sys = SystemSpec::homogeneous(sites);
+        let q = &s.queries[qi];
+        let problem = query_problem(q, &cost);
+        let result = tree_schedule(&problem, f, &sys, &comm, &model).unwrap();
+        let mut eq_total = 0.0;
+        let mut max_err = 0.0f64;
+        for phase in &result.phases {
+            let sim = simulate_phase(&phase.schedule, &sys, &model, &SimConfig::default());
+            eq_total += sim.makespan;
+            let err = (sim.makespan - phase.makespan).abs() / phase.makespan.max(1e-12);
+            max_err = max_err.max(err);
+        }
+        let fair_cfg = SimConfig {
+            policy: SharingPolicy::FairShare,
+            timeshare_overhead: 0.0,
+        };
+        let ovh_cfg = SimConfig {
+            policy: SharingPolicy::EqualFinish,
+            timeshare_overhead: 0.3,
+        };
+        let fair = result
+            .phases
+            .iter()
+            .map(|p| simulate_phase(&p.schedule, &sys, &model, &fair_cfg).makespan)
+            .sum::<f64>();
+        let ovh = result
+            .phases
+            .iter()
+            .map(|p| simulate_phase(&p.schedule, &sys, &model, &ovh_cfg).makespan)
+            .sum::<f64>();
+        (result.response_time, eq_total, max_err, fair, ovh)
+    });
+    let mut samples = samples.iter();
+    for sites in site_counts {
         let (mut analytic, mut equal, mut fair, mut ovh) = (0.0f64, 0.0, 0.0, 0.0);
         let mut max_err = 0.0f64;
-        for q in &s.queries {
-            let problem = query_problem(q, &cost);
-            let result = tree_schedule(&problem, f, &sys, &comm, &model).unwrap();
-            analytic += result.response_time;
-            let mut eq_total = 0.0;
-            for phase in &result.phases {
-                let sim = simulate_phase(&phase.schedule, &sys, &model, &SimConfig::default());
-                eq_total += sim.makespan;
-                let err = (sim.makespan - phase.makespan).abs() / phase.makespan.max(1e-12);
-                max_err = max_err.max(err);
-            }
-            equal += eq_total;
-            let fair_cfg = SimConfig {
-                policy: SharingPolicy::FairShare,
-                timeshare_overhead: 0.0,
-            };
-            let ovh_cfg = SimConfig {
-                policy: SharingPolicy::EqualFinish,
-                timeshare_overhead: 0.3,
-            };
-            fair += result
-                .phases
-                .iter()
-                .map(|p| simulate_phase(&p.schedule, &sys, &model, &fair_cfg).makespan)
-                .sum::<f64>();
-            ovh += result
-                .phases
-                .iter()
-                .map(|p| simulate_phase(&p.schedule, &sys, &model, &ovh_cfg).makespan)
-                .sum::<f64>();
+        for _ in 0..s.queries.len() {
+            let &(a, e, m, fr, o) = samples.next().expect("one sample per cell");
+            analytic += a;
+            equal += e;
+            max_err = max_err.max(m);
+            fair += fr;
+            ovh += o;
         }
         let n = s.queries.len() as f64;
         table.push_row(vec![
@@ -313,36 +362,47 @@ pub fn skew(cfg: &ExpConfig) -> Report {
     ];
     headers.push("degradation".to_owned());
     let mut table = Table::new(headers);
+    let cells: Vec<(f64, usize)> = thetas
+        .iter()
+        .flat_map(|&theta| (0..s.queries.len()).map(move |qi| (theta, qi)))
+        .collect();
+    let samples = par_map(cfg.effective_jobs(), &cells, |&(theta, qi)| {
+        let problem = query_problem(&s.queries[qi], &cost);
+        let result = tree_schedule(&problem, f, &sys, &comm, &model).unwrap();
+        // Re-cost every phase with skewed partitioning, keeping the
+        // planner's placement decisions.
+        let mut actual = 0.0f64;
+        for phase in &result.phases {
+            let skewed_ops: Vec<ScheduledOperator> = phase
+                .schedule
+                .ops
+                .iter()
+                .map(|sop| {
+                    let strategy: PartitionStrategy = zipf_partition(sop.degree, theta);
+                    ScheduledOperator::with_strategy(
+                        sop.spec.clone(),
+                        sop.degree,
+                        &comm,
+                        &sys.site,
+                        &strategy,
+                    )
+                })
+                .collect();
+            let skewed = PhaseSchedule {
+                ops: skewed_ops,
+                assignment: phase.schedule.assignment.clone(),
+            };
+            actual += skewed.makespan(&sys, &model);
+        }
+        (result.response_time, actual)
+    });
+    let mut samples = samples.iter();
     for &theta in &thetas {
         let (mut planned, mut actual) = (0.0f64, 0.0f64);
-        for q in &s.queries {
-            let problem = query_problem(q, &cost);
-            let result = tree_schedule(&problem, f, &sys, &comm, &model).unwrap();
-            planned += result.response_time;
-            // Re-cost every phase with skewed partitioning, keeping the
-            // planner's placement decisions.
-            for phase in &result.phases {
-                let skewed_ops: Vec<ScheduledOperator> = phase
-                    .schedule
-                    .ops
-                    .iter()
-                    .map(|sop| {
-                        let strategy: PartitionStrategy = zipf_partition(sop.degree, theta);
-                        ScheduledOperator::with_strategy(
-                            sop.spec.clone(),
-                            sop.degree,
-                            &comm,
-                            &sys.site,
-                            &strategy,
-                        )
-                    })
-                    .collect();
-                let skewed = PhaseSchedule {
-                    ops: skewed_ops,
-                    assignment: phase.schedule.assignment.clone(),
-                };
-                actual += skewed.makespan(&sys, &model);
-            }
+        for _ in 0..s.queries.len() {
+            let &(p, a) = samples.next().expect("one sample per cell");
+            planned += p;
+            actual += a;
         }
         let n = s.queries.len() as f64;
         table.push_row(vec![
@@ -377,7 +437,16 @@ mod tests {
         ExpConfig {
             seed: 11,
             fast: true,
+            jobs: 1,
         }
+    }
+
+    #[test]
+    fn extensions_identical_across_job_counts() {
+        let serial = fast_cfg();
+        let parallel = ExpConfig { jobs: 4, ..serial };
+        assert_eq!(skew(&serial).render(), skew(&parallel).render());
+        assert_eq!(malleable(&serial).render(), malleable(&parallel).render());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use crate::config::ExpConfig;
 use crate::report::Report;
-use crate::runner::{mean_response, query_problem, Algo};
+use crate::runner::{mean_response, par_map, query_problem, Algo};
 use crate::tablefmt::{ratio, secs, Table};
 use mrs_core::bounds::opt_bound;
 use mrs_core::model::OverlapModel;
@@ -56,11 +56,28 @@ pub fn fig5a(cfg: &ExpConfig) -> Report {
     let mut headers = vec!["sites".to_owned()];
     headers.extend(algos.iter().map(Algo::label));
     let mut table = Table::new(headers);
-    for sites in cfg.site_sweep() {
-        let sys = SystemSpec::homogeneous(sites);
+    // Independent (sites, algo) cells fan out over the worker pool; the
+    // serial-order merge below keeps the rendered table byte-identical to
+    // a serial run.
+    let sweep = cfg.site_sweep();
+    let cells: Vec<(usize, &Algo)> = sweep
+        .iter()
+        .flat_map(|&sites| algos.iter().map(move |a| (sites, a)))
+        .collect();
+    let times = par_map(cfg.effective_jobs(), &cells, |&(sites, algo)| {
+        mean_response(
+            &s.queries,
+            algo,
+            &SystemSpec::homogeneous(sites),
+            eps,
+            &cost,
+        )
+    });
+    let mut times = times.iter();
+    for sites in sweep {
         let mut row = vec![sites.to_string()];
-        for algo in &algos {
-            row.push(secs(mean_response(&s.queries, algo, &sys, eps, &cost)));
+        for _ in &algos {
+            row.push(secs(*times.next().expect("one result per cell")));
         }
         table.push_row(row);
     }
@@ -105,10 +122,18 @@ pub fn fig5b(cfg: &ExpConfig) -> Report {
     } else {
         vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7]
     };
+    let cells: Vec<(f64, &Algo)> = eps_values
+        .iter()
+        .flat_map(|&eps| algos.iter().map(move |a| (eps, a)))
+        .collect();
+    let times = par_map(cfg.effective_jobs(), &cells, |&(eps, algo)| {
+        mean_response(&s.queries, algo, &sys, eps, &cost)
+    });
+    let mut times = times.iter();
     for eps in eps_values {
         let mut row = vec![format!("{eps:.1}")];
-        for algo in &algos {
-            row.push(secs(mean_response(&s.queries, algo, &sys, eps, &cost)));
+        for _ in &algos {
+            row.push(secs(*times.next().expect("one result per cell")));
         }
         table.push_row(row);
     }
@@ -147,13 +172,25 @@ pub fn fig6a(cfg: &ExpConfig) -> Report {
         headers.push(format!("SYNC/TS P={p}"));
     }
     let mut table = Table::new(headers);
-    for joins in sizes {
-        let s = suite(joins, cfg.queries_per_size(), cfg.seed);
+    let suites = par_map(cfg.effective_jobs(), &sizes, |&joins| {
+        suite(joins, cfg.queries_per_size(), cfg.seed)
+    });
+    let cells: Vec<(usize, usize)> = (0..suites.len())
+        .flat_map(|si| systems.iter().map(move |&p| (si, p)))
+        .collect();
+    let pairs = par_map(cfg.effective_jobs(), &cells, |&(si, p)| {
+        let sys = SystemSpec::homogeneous(p);
+        let qs = &suites[si].queries;
+        (
+            mean_response(qs, &Algo::Tree { f }, &sys, eps, &cost),
+            mean_response(qs, &Algo::Synchronous, &sys, eps, &cost),
+        )
+    });
+    let mut pairs = pairs.iter();
+    for &joins in &sizes {
         let mut row = vec![joins.to_string()];
-        for p in systems {
-            let sys = SystemSpec::homogeneous(p);
-            let ts = mean_response(&s.queries, &Algo::Tree { f }, &sys, eps, &cost);
-            let sync = mean_response(&s.queries, &Algo::Synchronous, &sys, eps, &cost);
+        for _ in systems {
+            let &(ts, sync) = pairs.next().expect("one result per cell");
             row.push(secs(ts));
             row.push(secs(sync));
             row.push(ratio(sync / ts));
@@ -195,22 +232,32 @@ pub fn fig6b(cfg: &ExpConfig) -> Report {
         headers.push(format!("TS/OPT J={j}"));
     }
     let mut table = Table::new(headers);
-    let suites: Vec<_> = join_sizes
+    let suites = par_map(cfg.effective_jobs(), &join_sizes, |&j| {
+        suite(j, cfg.queries_per_size(), cfg.seed)
+    });
+    let sweep = cfg.site_sweep();
+    let cells: Vec<(usize, usize)> = sweep
         .iter()
-        .map(|&j| suite(j, cfg.queries_per_size(), cfg.seed))
+        .flat_map(|&sites| (0..suites.len()).map(move |si| (sites, si)))
         .collect();
-    let mut worst_ratio = 1.0f64;
-    for sites in cfg.site_sweep() {
+    let pairs = par_map(cfg.effective_jobs(), &cells, |&(sites, si)| {
         let sys = SystemSpec::homogeneous(sites);
+        let s = &suites[si];
+        let ts = mean_response(&s.queries, &Algo::Tree { f }, &sys, eps, &cost);
+        let bound: f64 = s
+            .queries
+            .iter()
+            .map(|q| opt_bound(&query_problem(q, &cost), f, &sys, &comm, &model))
+            .sum::<f64>()
+            / s.queries.len() as f64;
+        (ts, bound)
+    });
+    let mut worst_ratio = 1.0f64;
+    let mut pairs = pairs.iter();
+    for sites in sweep {
         let mut row = vec![sites.to_string()];
-        for s in &suites {
-            let ts = mean_response(&s.queries, &Algo::Tree { f }, &sys, eps, &cost);
-            let bound: f64 = s
-                .queries
-                .iter()
-                .map(|q| opt_bound(&query_problem(q, &cost), f, &sys, &comm, &model))
-                .sum::<f64>()
-                / s.queries.len() as f64;
+        for _ in &suites {
+            let &(ts, bound) = pairs.next().expect("one result per cell");
             row.push(secs(ts));
             row.push(secs(bound));
             let r = ts / bound;
@@ -243,7 +290,16 @@ mod tests {
         ExpConfig {
             seed: 7,
             fast: true,
+            jobs: 1,
         }
+    }
+
+    #[test]
+    fn figures_identical_across_job_counts() {
+        let serial = fast_cfg();
+        let parallel = ExpConfig { jobs: 4, ..serial };
+        assert_eq!(fig5a(&serial).render(), fig5a(&parallel).render());
+        assert_eq!(fig6b(&serial).render(), fig6b(&parallel).render());
     }
 
     #[test]

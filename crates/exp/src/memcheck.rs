@@ -130,6 +130,7 @@ mod tests {
         let cfg = ExpConfig {
             seed: 8,
             fast: true,
+            jobs: 1,
         };
         let r = memcheck(&cfg);
         assert_eq!(r.table.rows.len(), 5);

@@ -97,6 +97,7 @@ mod tests {
         let cfg = ExpConfig {
             seed: 4,
             fast: true,
+            jobs: 1,
         };
         let r = pipecheck(&cfg);
         for row in &r.table.rows {

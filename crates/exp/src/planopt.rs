@@ -102,6 +102,7 @@ mod tests {
         let cfg = ExpConfig {
             seed: 5,
             fast: true,
+            jobs: 1,
         };
         let r = planopt(&cfg);
         assert_eq!(r.table.rows.len(), 1);

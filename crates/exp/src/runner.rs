@@ -126,6 +126,46 @@ pub fn problem_response(
     }
 }
 
+/// Deterministic parallel map: applies `f` to every item of `items` on up
+/// to `jobs` worker threads and returns the results **in input order**.
+///
+/// This is the engine of the `--jobs` experiment driver. Determinism
+/// argument: each item is an independent sweep cell whose computation is
+/// internally serial (same summation order as a serial run), workers pull
+/// cells from a shared atomic counter, and each result lands in the slot
+/// of its input index — so the output vector, and therefore every CSV
+/// rendered from it, is byte-identical for any `jobs` value.
+///
+/// `jobs <= 1` (or fewer than two items) short-circuits to a plain serial
+/// map with no thread overhead.
+pub fn par_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send + Sync,
+    F: Fn(&T) -> R + Sync,
+{
+    if jobs <= 1 || items.len() < 2 {
+        return items.iter().map(f).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::OnceLock<R>> = (0..items.len())
+        .map(|_| std::sync::OnceLock::new())
+        .collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(items.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let _ = slots[i].set(f(item));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every slot filled by a worker"))
+        .collect()
+}
+
 /// Mean response time over a batch of queries.
 pub fn mean_response(
     queries: &[GeneratedQuery],
@@ -189,5 +229,35 @@ mod tests {
     fn labels_are_stable() {
         assert_eq!(Algo::Tree { f: 0.7 }.label(), "TS f=0.7");
         assert_eq!(Algo::Synchronous.label(), "SYNC");
+    }
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<usize> = (0..57).collect();
+        let expect: Vec<usize> = items.iter().map(|&x| x * x).collect();
+        for jobs in [1, 2, 4, 16] {
+            assert_eq!(par_map(jobs, &items, |&x| x * x), expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_tiny_inputs() {
+        assert_eq!(par_map(4, &[] as &[u8], |&x| x), Vec::<u8>::new());
+        assert_eq!(par_map(4, &[7u8], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_map_matches_serial_on_real_workload() {
+        let qs = queries(3, 6);
+        let sys = SystemSpec::homogeneous(12);
+        let cost = CostModel::paper_defaults();
+        let cells: Vec<Algo> = vec![
+            Algo::Tree { f: 0.7 },
+            Algo::Synchronous,
+            Algo::ScalarList { f: 0.7 },
+        ];
+        let serial = par_map(1, &cells, |a| mean_response(&qs, a, &sys, 0.5, &cost));
+        let parallel = par_map(4, &cells, |a| mean_response(&qs, a, &sys, 0.5, &cost));
+        assert_eq!(serial, parallel, "bit-identical across jobs");
     }
 }

@@ -99,6 +99,7 @@ mod tests {
         let cfg = ExpConfig {
             seed: 12,
             fast: true,
+            jobs: 1,
         };
         let r = shelfcheck(&cfg);
         for row in &r.table.rows {

@@ -95,6 +95,7 @@ fn experiment_reports_are_reproducible() {
     let cfg = ExpConfig {
         seed: 42,
         fast: true,
+        jobs: 1,
     };
     let a = fig6a(&cfg);
     let b = fig6a(&cfg);
@@ -102,6 +103,7 @@ fn experiment_reports_are_reproducible() {
     let c = fig6a(&ExpConfig {
         seed: 43,
         fast: true,
+        jobs: 1,
     });
     assert_ne!(a.table, c.table, "seed must matter");
 }
@@ -112,6 +114,7 @@ fn experiment_registry_runs_everything_fast() {
     let cfg = ExpConfig {
         seed: 9,
         fast: true,
+        jobs: 1,
     };
     for (id, f) in all_experiments() {
         let report = f(&cfg);

@@ -1,0 +1,62 @@
+//! The parallel experiment driver must be invisible in the output: any
+//! `--jobs` value produces byte-identical reports and CSV files, because
+//! cells are merged in serial order after the fan-out (see
+//! `mrs_exp::runner::par_map`).
+
+use mdrs::prelude::*;
+use std::fs;
+use std::path::PathBuf;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("mdrs-parallel-driver-{}-{tag}", std::process::id()));
+    if dir.exists() {
+        fs::remove_dir_all(&dir).expect("stale scratch dir removed");
+    }
+    fs::create_dir_all(&dir).expect("scratch dir created");
+    dir
+}
+
+#[test]
+fn fig5a_csv_is_byte_identical_across_job_counts() {
+    let serial = ExpConfig {
+        seed: 1996,
+        fast: true,
+        jobs: 1,
+    };
+    let parallel = ExpConfig { jobs: 4, ..serial };
+
+    let a = fig5a(&serial);
+    let b = fig5a(&parallel);
+    assert_eq!(a.render(), b.render(), "rendered reports must match");
+
+    let dir_a = scratch_dir("serial");
+    let dir_b = scratch_dir("jobs4");
+    let path_a = a.write_csv(&dir_a).expect("serial CSV written");
+    let path_b = b.write_csv(&dir_b).expect("parallel CSV written");
+    let bytes_a = fs::read(&path_a).expect("serial CSV read");
+    let bytes_b = fs::read(&path_b).expect("parallel CSV read");
+    assert_eq!(
+        bytes_a, bytes_b,
+        "CSV bytes must be identical for --jobs 1 vs --jobs 4"
+    );
+    fs::remove_dir_all(&dir_a).ok();
+    fs::remove_dir_all(&dir_b).ok();
+}
+
+#[test]
+fn every_experiment_is_jobs_invariant() {
+    // The registry sweep in fast mode: each experiment's table must not
+    // depend on the worker count (including jobs > cell count).
+    let serial = ExpConfig {
+        seed: 7,
+        fast: true,
+        jobs: 1,
+    };
+    let parallel = ExpConfig { jobs: 3, ..serial };
+    for (id, f) in all_experiments() {
+        let a = f(&serial);
+        let b = f(&parallel);
+        assert_eq!(a.table, b.table, "experiment {id} changed under --jobs 3");
+    }
+}
