@@ -1,7 +1,7 @@
 //! Micro-benchmarks of the scheduling kernels: the vector-packing list
 //! rule, degree selection, the malleable GF sweep, plan expansion and
-//! decomposition, the fluid simulator, and the exact branch-and-bound
-//! solver.
+//! decomposition, the fluid simulator, the crash-recovery re-pack, and
+//! the exact branch-and-bound solver.
 
 use mrs_bench::harness::Bench;
 use mrs_core::prelude::*;
@@ -225,6 +225,35 @@ fn bench_pipelined_simulator(bench: &mut Bench) {
     g.finish();
 }
 
+fn bench_recovery(bench: &mut Bench) {
+    use mrs_runtime::recovery::{rebuild_inflated, replan_lost};
+    let comm = CommModel::paper_defaults();
+    let site = SiteSpec::cpu_disk_net();
+    let mut rng = DetRng::seed_from_u64(17);
+    let mut g = bench.group("recovery");
+    for &(lost_n, alive_n) in &[(8usize, 12usize), (64, 48)] {
+        let lost: Vec<WorkVector> = (0..lost_n)
+            .map(|_| {
+                WorkVector::from_slice(&[
+                    rng.gen_range(0.5..20.0),
+                    rng.gen_range(0.0..20.0),
+                    rng.gen_range(0.0..10.0),
+                ])
+            })
+            .collect();
+        // A non-contiguous survivor set, as a real crash would leave.
+        let alive: Vec<SiteId> = (0..alive_n).map(|i| SiteId(2 * i)).collect();
+        g.bench_function(&format!("replan/{lost_n}lost_{alive_n}alive"), || {
+            black_box(replan_lost(&lost, &alive, &site, &comm, 0.1).unwrap());
+        });
+    }
+    let w = WorkVector::from_slice(&[10.0, 4.0, 6.0]);
+    g.bench_function("rebuild_inflate", || {
+        black_box(rebuild_inflated(&w, &site, 0.1));
+    });
+    g.finish();
+}
+
 fn bench_optimizers(bench: &mut Bench) {
     let q = generate_query(&QueryGenConfig::paper(12), 9);
     let mut g = bench.group("join_order");
@@ -249,5 +278,6 @@ fn main() {
     bench_branch_and_bound(&mut b);
     bench_memory_scheduler(&mut b);
     bench_pipelined_simulator(&mut b);
+    bench_recovery(&mut b);
     bench_optimizers(&mut b);
 }

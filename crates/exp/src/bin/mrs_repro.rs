@@ -5,11 +5,17 @@
 //! mrs-repro schedule [--seed N] [--joins J] [--sites P] [--eps E] [--f F]
 //! mrs-repro serve [--seed N] [--queries N] [--sites P] [--mpl M]
 //!                 [--load X] [--policy fcfs|svf|rr-fair]
+//!                 [--mtbf T] [--deadline D]
 //! ```
 //!
 //! Experiments: table2, fig5a, fig5b, fig6a, fig6b, ablation-dims,
 //! ablation-order, malleable, planopt, pipecheck, memcheck, optgap,
-//! simcheck, skew, throughput.
+//! simcheck, skew, throughput, faults.
+//!
+//! `serve --mtbf T` injects a seeded site crash/recover schedule with
+//! mean time between failures `T` virtual seconds per site (MTTR is
+//! `T/4`); `--deadline D` aborts queries not finished within `D` seconds
+//! of arrival.
 
 use mrs_exp::config::ExpConfig;
 use mrs_exp::{all_experiments, experiment_by_id};
@@ -20,9 +26,10 @@ fn usage() -> &'static str {
     "usage: mrs-repro [--seed N] [--fast] [--jobs N] [--csv DIR] <experiment>... | all | list\n\
        or: mrs-repro schedule [--seed N] [--joins J] [--sites P] [--eps E] [--f F]\n\
        or: mrs-repro serve [--seed N] [--queries N] [--sites P] [--mpl M] [--load X] \
-     [--policy fcfs|svf|rr-fair]\n\
+     [--policy fcfs|svf|rr-fair] [--mtbf T] [--deadline D]\n\
      experiments: table2 fig5a fig5b fig6a fig6b ablation-dims ablation-order \
-     malleable planopt pipecheck memcheck dimcheck shelfcheck optgap simcheck skew throughput"
+     malleable planopt pipecheck memcheck dimcheck shelfcheck optgap simcheck skew throughput \
+     faults"
 }
 
 /// `mrs-repro serve`: run a Poisson stream of generated queries through
@@ -34,7 +41,8 @@ fn run_serve_demo(args: &[String]) -> ExitCode {
     use mrs_core::tree::tree_schedule;
     use mrs_cost::prelude::CostModel;
     use mrs_exp::prelude::query_problem;
-    use mrs_runtime::prelude::{AdmissionPolicy, Runtime, RuntimeConfig};
+    use mrs_runtime::prelude::{AdmissionPolicy, RecoveryConfig, Runtime, RuntimeConfig};
+    use mrs_sim::fault::FaultPlan;
     use mrs_workload::prelude::{generate_query, poisson_arrivals, QueryGenConfig};
 
     let mut seed = 1996u64;
@@ -42,6 +50,8 @@ fn run_serve_demo(args: &[String]) -> ExitCode {
     let mut sites = 24usize;
     let mut mpl = 4usize;
     let mut load = 1.5f64;
+    let mut mtbf = 0.0f64;
+    let mut deadline = 0.0f64;
     let mut policy = AdmissionPolicy::Fcfs;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -68,6 +78,8 @@ fn run_serve_demo(args: &[String]) -> ExitCode {
             "--sites" => sites = value as usize,
             "--mpl" => mpl = value as usize,
             "--load" => load = value,
+            "--mtbf" => mtbf = value,
+            "--deadline" => deadline = value,
             other => {
                 eprintln!("unknown serve option {other:?}\n{}", usage());
                 return ExitCode::FAILURE;
@@ -108,10 +120,25 @@ fn run_serve_demo(args: &[String]) -> ExitCode {
     let rate = load * mpl as f64 / mean_standalone;
     let arrivals = poisson_arrivals(rate, queries, seed ^ 0xA11C_E5ED);
 
+    // Let the failure schedule outlast even a heavily stretched run.
+    let plan_horizon = arrivals.last().copied().unwrap_or(0.0) + 50.0 * mean_standalone;
+    let faults = if mtbf > 0.0 {
+        FaultPlan::seeded(sites, plan_horizon, mtbf, mtbf / 4.0, seed ^ 0x0FA7_0FA7)
+    } else {
+        FaultPlan::none()
+    };
     let cfg = RuntimeConfig {
         f,
         policy,
         max_in_flight: mpl,
+        faults,
+        deadline: (deadline > 0.0).then_some(deadline),
+        recovery: RecoveryConfig {
+            backoff_base: 0.1 * mean_standalone,
+            backoff_cap: 2.0 * mean_standalone,
+            degrade_threshold: 0.25,
+            ..RecoveryConfig::default()
+        },
         ..RuntimeConfig::default()
     };
     let mut rt = Runtime::new(sys.clone(), comm, model, cfg);
@@ -158,6 +185,16 @@ fn run_serve_demo(args: &[String]) -> ExitCode {
         summary.p95_latency(),
         summary.max_queue_depth()
     );
+    if summary.aborted() > 0 || summary.shed() > 0 || summary.sites_failed() > 0 {
+        println!(
+            "faults: {} site failures, {} clones lost, {} re-packs — {} aborted, {} shed",
+            summary.sites_failed(),
+            summary.clones_lost(),
+            summary.repacks(),
+            summary.aborted(),
+            summary.shed()
+        );
+    }
     println!(
         "mean site utilization: cpu {:.3}, disk {:.3}, net {:.3}",
         summary.avg_utilization(cpu),

@@ -61,6 +61,17 @@ impl ExpConfig {
             vec![10, 20, 30, 40, 50]
         }
     }
+
+    /// The fault-tolerance MTBF sweep (X13), as multiples of the
+    /// workload's mean standalone response `R̄`. `0.0` is the fault-free
+    /// baseline; smaller multiples mean more frequent crashes.
+    pub fn mtbf_multipliers(&self) -> Vec<f64> {
+        if self.fast {
+            vec![0.0, 4.0, 1.0]
+        } else {
+            vec![0.0, 8.0, 4.0, 2.0, 1.0]
+        }
+    }
 }
 
 #[cfg(test)]

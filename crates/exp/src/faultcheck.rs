@@ -1,0 +1,284 @@
+//! X13 — fault tolerance: throughput and tail latency under site
+//! failures, and what recovery costs.
+//!
+//! The same Poisson stream as the `throughput` experiment is served
+//! while sites crash and recover on a seeded MTBF/MTTR renewal schedule
+//! ([`FaultPlan::seeded`]). The MTBF is swept as a multiple of the
+//! workload's mean standalone response `R̄` (from `8·R̄`, rare failures,
+//! down to `1·R̄`, a crash roughly every query); `0.0` is the fault-free
+//! baseline the recovery overhead is measured against. Both the FCFS and
+//! smallest-volume-first admission policies face the *same* failure
+//! schedule per MTBF cell, so the policy comparison is apples to apples.
+//!
+//! Each run has the full recovery stack on: lost work re-packed onto
+//! survivors with a rebuild surcharge, capped exponential retries, a
+//! per-query deadline, and degraded-mode shedding. Every query therefore
+//! terminates as completed, aborted, or shed — the row's `completed +
+//! aborted + shed` always equals `n`.
+//!
+//! The `overhead` column is the run's horizon relative to the same
+//! policy's fault-free horizon: how much longer the machine was busy
+//! because work was lost, rebuilt, and re-packed.
+
+use crate::config::ExpConfig;
+use crate::report::Report;
+use crate::runner::par_map;
+use crate::tablefmt::Table;
+use crate::throughput::mixed_stream;
+use mrs_core::model::OverlapModel;
+use mrs_core::resource::SystemSpec;
+use mrs_core::tree::tree_schedule;
+use mrs_cost::prelude::CostModel;
+use mrs_runtime::prelude::{AdmissionPolicy, RecoveryConfig, Runtime, RuntimeConfig};
+use mrs_sim::fault::FaultPlan;
+use mrs_workload::prelude::poisson_arrivals;
+
+/// One sweep cell's measurements (kept numeric so the overhead
+/// post-pass can divide horizons before formatting).
+struct Cell {
+    policy: &'static str,
+    mtbf_mult: f64,
+    horizon: f64,
+    completed: usize,
+    aborted: usize,
+    shed: usize,
+    throughput: f64,
+    mean_latency: f64,
+    p95_latency: f64,
+    sites_failed: usize,
+    clones_lost: usize,
+    repacks: usize,
+}
+
+/// The `faults` experiment (see the module docs).
+pub fn faults(cfg: &ExpConfig) -> Report {
+    let (sites, n_queries) = if cfg.fast { (16, 9) } else { (32, 42) };
+    let clients = 3;
+    let mpl = 4;
+    let offered_load = 1.5;
+    let eps = 0.5;
+    let f = 0.7;
+    let mttr_mult = 0.3;
+    // Generous: the fault-free baseline must complete everything, so
+    // aborts in faulty cells are attributable to the faults.
+    let deadline_mult = 60.0;
+
+    let cost = CostModel::paper_defaults();
+    let comm = cost.params().comm_model();
+    let model = OverlapModel::new(eps).unwrap();
+    let sys = SystemSpec::homogeneous(sites);
+    let stream = mixed_stream(n_queries, clients, cfg.seed, &cost);
+
+    // Same arrival calibration as `throughput`, so the two experiments'
+    // fault-free rows describe the same run.
+    let mean_standalone: f64 = stream
+        .iter()
+        .map(|q| {
+            tree_schedule(&q.problem, f, &sys, &comm, &model)
+                .expect("stream plans always schedule")
+                .response_time
+        })
+        .sum::<f64>()
+        / n_queries as f64;
+    let rate = offered_load * mpl as f64 / mean_standalone;
+    let arrivals = poisson_arrivals(rate, n_queries, cfg.seed ^ 0xA11C_E5ED);
+    // Generous plan horizon: the renewal schedule must outlast the run
+    // even when recovery stretches it.
+    let plan_horizon = 60.0 * mean_standalone;
+
+    let policies = [AdmissionPolicy::Fcfs, AdmissionPolicy::SmallestVolumeFirst];
+    let mults = cfg.mtbf_multipliers();
+    let cells: Vec<(AdmissionPolicy, f64)> = policies
+        .iter()
+        .flat_map(|p| mults.iter().map(move |m| (*p, *m)))
+        .collect();
+
+    let results: Vec<Cell> = par_map(cfg.effective_jobs(), &cells, |(policy, mult)| {
+        let plan = if *mult > 0.0 {
+            // The plan seed does not depend on the policy: both policies
+            // face the identical failure schedule per MTBF cell.
+            FaultPlan::seeded(
+                sites,
+                plan_horizon,
+                mult * mean_standalone,
+                mttr_mult * mean_standalone,
+                cfg.seed ^ 0x0FA7_0FA7,
+            )
+        } else {
+            FaultPlan::none()
+        };
+        let rt_cfg = RuntimeConfig {
+            f,
+            policy: *policy,
+            max_in_flight: mpl,
+            faults: plan,
+            deadline: Some(deadline_mult * mean_standalone),
+            recovery: RecoveryConfig {
+                rebuild_factor: 0.1,
+                max_retries: 4,
+                backoff_base: 0.1 * mean_standalone,
+                backoff_cap: 2.0 * mean_standalone,
+                degrade_threshold: 0.25,
+            },
+            ..RuntimeConfig::default()
+        };
+        let mut rt = Runtime::new(sys.clone(), comm, model, rt_cfg);
+        for (q, t) in stream.iter().zip(&arrivals) {
+            rt.submit_at(*t, q.client, q.problem.clone());
+        }
+        let summary = rt
+            .run_to_completion()
+            .expect("stream plans always schedule");
+        Cell {
+            policy: policy.label(),
+            mtbf_mult: *mult,
+            horizon: summary.horizon,
+            completed: summary.completed(),
+            aborted: summary.aborted(),
+            shed: summary.shed(),
+            throughput: summary.throughput(),
+            mean_latency: summary.mean_latency(),
+            p95_latency: summary.p95_latency(),
+            sites_failed: summary.sites_failed(),
+            clones_lost: summary.clones_lost(),
+            repacks: summary.repacks(),
+        }
+    });
+
+    let mut table = Table::new(vec![
+        "policy",
+        "mtbf",
+        "completed",
+        "aborted",
+        "shed",
+        "throughput",
+        "mean_latency",
+        "p95_latency",
+        "sites_failed",
+        "clones_lost",
+        "repacks",
+        "overhead",
+    ]);
+    let mut notes: Vec<String> = Vec::new();
+
+    for cell in &results {
+        // Recovery overhead vs the same policy's fault-free horizon.
+        let baseline = results
+            .iter()
+            .find(|c| c.policy == cell.policy && c.mtbf_mult == 0.0)
+            .expect("sweep always contains the fault-free baseline");
+        let overhead = if baseline.horizon > 0.0 {
+            cell.horizon / baseline.horizon
+        } else {
+            f64::NAN
+        };
+        table.push_row(vec![
+            cell.policy.to_owned(),
+            if cell.mtbf_mult > 0.0 {
+                format!("{:.1}", cell.mtbf_mult * mean_standalone)
+            } else {
+                "inf".to_owned()
+            },
+            cell.completed.to_string(),
+            cell.aborted.to_string(),
+            cell.shed.to_string(),
+            format!("{:.5}", cell.throughput),
+            format!("{:.2}", cell.mean_latency),
+            format!("{:.2}", cell.p95_latency),
+            cell.sites_failed.to_string(),
+            cell.clones_lost.to_string(),
+            cell.repacks.to_string(),
+            format!("{:.3}", overhead),
+        ]);
+        assert_eq!(
+            cell.completed + cell.aborted + cell.shed,
+            n_queries,
+            "every query must reach a terminal outcome"
+        );
+    }
+
+    notes.push(format!(
+        "MTBF swept as multiples {:?} of the mean standalone response R̄ = {mean_standalone:.1}s \
+         (mult 0 = fault-free baseline); MTTR = {mttr_mult}·R̄, deadline = {deadline_mult}·R̄",
+        mults
+    ));
+    notes.push(
+        "recovery: rebuild surcharge 10%, 4 retries with exponential backoff, shedding below \
+         25% alive sites; overhead = horizon / same-policy fault-free horizon"
+            .to_owned(),
+    );
+    if let Some(worst) = results
+        .iter()
+        .filter(|c| c.mtbf_mult > 0.0)
+        .max_by(|a, b| a.p95_latency.total_cmp(&b.p95_latency))
+    {
+        notes.push(format!(
+            "worst tail: {} at MTBF {:.1}·R̄ — p95 {:.1}s, {} aborted, {} shed, {} re-packs",
+            worst.policy,
+            worst.mtbf_mult,
+            worst.p95_latency,
+            worst.aborted,
+            worst.shed,
+            worst.repacks
+        ));
+    }
+
+    Report {
+        id: "faults",
+        title: "Fault tolerance: throughput and tails vs MTBF, with recovery overhead".to_owned(),
+        params: format!(
+            "P={sites} d=3 eps={eps} f={f} MPL={mpl} n={n_queries} clients={clients} seed={}",
+            cfg.seed
+        ),
+        table,
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_cfg() -> ExpConfig {
+        ExpConfig {
+            fast: true,
+            jobs: 1,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn fast_faults_covers_the_sweep_and_conserves_queries() {
+        let report = faults(&fast_cfg());
+        // 2 policies x 3 MTBF multipliers.
+        assert_eq!(report.table.rows.len(), 6);
+        for row in &report.table.rows {
+            let completed: usize = row[2].parse().unwrap();
+            let aborted: usize = row[3].parse().unwrap();
+            let shed: usize = row[4].parse().unwrap();
+            assert_eq!(completed + aborted + shed, 9, "outcome conservation");
+        }
+        // Baseline rows are failure-free and overhead-1.
+        for row in report.table.rows.iter().filter(|r| r[1] == "inf") {
+            assert_eq!(row[8], "0", "baseline must see no site failures");
+            assert_eq!(row[11], "1.000", "baseline overhead is unity");
+        }
+        // Faulty rows actually exercised the fault path.
+        assert!(
+            report
+                .table
+                .rows
+                .iter()
+                .filter(|r| r[1] != "inf")
+                .any(|r| r[8].parse::<usize>().unwrap() > 0),
+            "no faulty cell saw a site failure"
+        );
+    }
+
+    #[test]
+    fn faults_is_deterministic() {
+        let a = faults(&fast_cfg()).table.to_csv();
+        let b = faults(&fast_cfg()).table.to_csv();
+        assert_eq!(a, b);
+    }
+}

@@ -21,6 +21,7 @@ pub mod ablations;
 pub mod config;
 pub mod dimcheck;
 pub mod extensions;
+pub mod faultcheck;
 pub mod figures;
 pub mod memcheck;
 pub mod pipecheck;
@@ -59,6 +60,7 @@ pub fn all_experiments() -> Vec<(&'static str, Experiment)> {
         ("simcheck", extensions::simcheck),
         ("skew", extensions::skew),
         ("throughput", throughput::throughput),
+        ("faults", faultcheck::faults),
     ]
 }
 
@@ -76,6 +78,7 @@ pub mod prelude {
     pub use crate::config::ExpConfig;
     pub use crate::dimcheck::dimcheck;
     pub use crate::extensions::{malleable, optgap, simcheck, skew};
+    pub use crate::faultcheck::faults;
     pub use crate::figures::{fig5a, fig5b, fig6a, fig6b, table2};
     pub use crate::memcheck::memcheck;
     pub use crate::pipecheck::pipecheck;
@@ -101,7 +104,7 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(ids.len(), dedup.len());
-        assert_eq!(ids.len(), 17);
+        assert_eq!(ids.len(), 18);
     }
 
     #[test]

@@ -27,15 +27,21 @@ use mrs_workload::prelude::{
     chain_query, generate_query, poisson_arrivals, star_query, QueryGenConfig,
 };
 
-/// One query of the stream: its plan plus the submitting client.
-struct StreamQuery {
-    client: usize,
-    problem: TreeProblem,
+/// One query of the stream: its plan plus the submitting client. Shared
+/// with the fault-tolerance experiment so both drive identical streams.
+pub(crate) struct StreamQuery {
+    pub(crate) client: usize,
+    pub(crate) problem: TreeProblem,
 }
 
 /// A deterministic mix of bushy, star, and chain plans cycled over
 /// `clients` submitting streams.
-fn mixed_stream(n: usize, clients: usize, seed: u64, cost: &CostModel) -> Vec<StreamQuery> {
+pub(crate) fn mixed_stream(
+    n: usize,
+    clients: usize,
+    seed: u64,
+    cost: &CostModel,
+) -> Vec<StreamQuery> {
     let mut rng = DetRng::seed_from_u64(seed);
     (0..n)
         .map(|i| {

@@ -90,6 +90,19 @@ impl AdmissionQueue {
         });
     }
 
+    /// Removes a specific queued query (e.g. a deadline abort while still
+    /// waiting). Returns whether it was present. Does not perturb the
+    /// round-robin cursor.
+    pub fn remove(&mut self, id: QueryId) -> bool {
+        match self.pending.iter().position(|p| p.id == id) {
+            Some(idx) => {
+                self.pending.remove(idx);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Pops the next query under the queue's policy, or `None` if empty.
     pub fn pop(&mut self) -> Option<QueryId> {
         let idx = self.choose()?;
@@ -192,6 +205,16 @@ mod tests {
         assert_eq!(q.pop(), Some(QueryId(3)));
         assert_eq!(q.pop(), Some(QueryId(1)));
         assert_eq!(q.pop(), Some(QueryId(2)));
+    }
+
+    #[test]
+    fn remove_takes_out_a_queued_query() {
+        let mut q = AdmissionQueue::new(AdmissionPolicy::Fcfs);
+        q.push(QueryId(0), 0, 1.0);
+        q.push(QueryId(1), 0, 1.0);
+        assert!(q.remove(QueryId(0)));
+        assert!(!q.remove(QueryId(0)), "already gone");
+        assert_eq!(ids(&mut q), vec![1]);
     }
 
     #[test]

@@ -22,6 +22,24 @@ pub fn work_volume(problem: &TreeProblem) -> f64 {
     problem.ops.iter().map(|op| op.processing.total()).sum()
 }
 
+/// How a query's lifecycle ended. Every submitted query terminates in
+/// exactly one of these states — the runtime's "no silent drop"
+/// invariant (checked by the chaos tests and example).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryOutcome {
+    /// All phases ran to completion.
+    Completed,
+    /// The runtime gave up on the query (deadline expiry or exhausted
+    /// recovery retries).
+    Aborted {
+        /// Human-readable cause, surfaced via
+        /// [`RuntimeError::Aborted`](crate::runtime::RuntimeError).
+        reason: String,
+    },
+    /// Load-shedding refused the query at arrival (degraded mode).
+    Shed,
+}
+
 /// Lifecycle record of one query, filled in as the event loop runs.
 #[derive(Clone, Debug)]
 pub struct QueryRecord {
@@ -43,6 +61,8 @@ pub struct QueryRecord {
     /// The schedule's analytic standalone response time (sum of phase
     /// makespans) — the denominator of [`QueryRecord::slowdown`].
     pub standalone_response: f64,
+    /// Terminal state; `None` only while the run is still in progress.
+    pub outcome: Option<QueryOutcome>,
 }
 
 impl QueryRecord {
@@ -56,6 +76,7 @@ impl QueryRecord {
             finish: None,
             phases: 0,
             standalone_response: 0.0,
+            outcome: None,
         }
     }
 
@@ -99,9 +120,11 @@ mod tests {
         let mut r = QueryRecord::new(QueryId(3), 1, 42.0, 10.0);
         assert_eq!(r.wait(), None);
         assert_eq!(r.latency(), None);
+        assert_eq!(r.outcome, None);
         r.start = Some(12.0);
         r.finish = Some(20.0);
         r.standalone_response = 4.0;
+        r.outcome = Some(QueryOutcome::Completed);
         assert_eq!(r.wait(), Some(2.0));
         assert_eq!(r.latency(), Some(10.0));
         assert_eq!(r.service(), Some(8.0));

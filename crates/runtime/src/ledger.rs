@@ -13,12 +13,18 @@
 use mrs_core::resource::SiteId;
 
 /// Per-site committed full-speed demand, one `d`-vector per site.
+///
+/// The ledger also tracks the *alive-site set*: a crashed site is
+/// released ([`SiteLedger::release_site`]), dropping its committed
+/// demand and removing it from the capacity the admission gate averages
+/// over, and restored ([`SiteLedger::restore_site`]) when it recovers.
 #[derive(Clone, Debug)]
 pub struct SiteLedger {
     dim: usize,
     committed: Vec<Vec<f64>>,
     resident: Vec<usize>,
     peak: Vec<f64>,
+    alive: Vec<bool>,
 }
 
 impl SiteLedger {
@@ -29,6 +35,7 @@ impl SiteLedger {
             committed: vec![vec![0.0; dim]; sites],
             resident: vec![0; sites],
             peak: vec![0.0; sites],
+            alive: vec![true; sites],
         }
     }
 
@@ -90,11 +97,47 @@ impl SiteLedger {
         self.committed[site.0].iter().copied().fold(0.0, f64::max)
     }
 
-    /// Mean [`SiteLedger::load`] over all sites — the admission gate's
-    /// signal.
+    /// Takes `site` out of service: its committed demand and residency
+    /// are zeroed (the clones are gone) and it no longer counts toward
+    /// [`SiteLedger::avg_load`]'s denominator.
+    pub fn release_site(&mut self, site: SiteId) {
+        self.alive[site.0] = false;
+        for slot in &mut self.committed[site.0] {
+            *slot = 0.0;
+        }
+        self.resident[site.0] = 0;
+    }
+
+    /// Returns a released site to service (empty and idle).
+    pub fn restore_site(&mut self, site: SiteId) {
+        self.alive[site.0] = true;
+    }
+
+    /// Whether `site` is currently in service.
+    pub fn is_alive(&self, site: SiteId) -> bool {
+        self.alive[site.0]
+    }
+
+    /// Number of sites currently in service.
+    pub fn alive_sites(&self) -> usize {
+        self.alive.iter().filter(|a| **a).count()
+    }
+
+    /// Mean [`SiteLedger::load`] over the *alive* sites — the admission
+    /// gate's signal. Dividing by the total site count would let dead
+    /// (zero-load) sites dilute the average and wave queries into a
+    /// shrunken machine; with every site dead the mean is `+∞`, which
+    /// closes the gate entirely.
     pub fn avg_load(&self) -> f64 {
-        let total: f64 = (0..self.sites()).map(|s| self.load(SiteId(s))).sum();
-        total / self.sites() as f64
+        let alive = self.alive_sites();
+        if alive == 0 {
+            return f64::INFINITY;
+        }
+        let total: f64 = (0..self.sites())
+            .filter(|s| self.alive[*s])
+            .map(|s| self.load(SiteId(s)))
+            .sum();
+        total / alive as f64
     }
 
     /// Highest `l_∞` committed demand `site` ever reached.
@@ -150,5 +193,34 @@ mod tests {
     fn dimension_mismatch_panics() {
         let mut l = SiteLedger::new(1, 3);
         l.commit(SiteId(0), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn release_site_drops_capacity_and_load() {
+        let mut l = SiteLedger::new(4, 2);
+        l.commit(SiteId(0), &[0.8, 0.0]);
+        l.commit(SiteId(1), &[0.4, 0.0]);
+        assert_eq!(l.alive_sites(), 4);
+        assert!((l.avg_load() - 0.3).abs() < 1e-12);
+        l.release_site(SiteId(0));
+        assert!(!l.is_alive(SiteId(0)));
+        assert_eq!(l.alive_sites(), 3);
+        assert_eq!(l.resident(SiteId(0)), 0);
+        assert_eq!(l.load(SiteId(0)), 0.0);
+        // Mean over the three alive sites, not four.
+        assert!((l.avg_load() - 0.4 / 3.0).abs() < 1e-12, "{}", l.avg_load());
+        l.restore_site(SiteId(0));
+        assert!(l.is_alive(SiteId(0)));
+        assert_eq!(l.alive_sites(), 4);
+        assert!((l.avg_load() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn avg_load_with_no_alive_sites_closes_the_gate() {
+        let mut l = SiteLedger::new(2, 2);
+        l.release_site(SiteId(0));
+        l.release_site(SiteId(1));
+        assert_eq!(l.alive_sites(), 0);
+        assert_eq!(l.avg_load(), f64::INFINITY);
     }
 }

@@ -7,9 +7,10 @@
 //! |---|---|
 //! | [`job`] | query identity, work volume, lifecycle records |
 //! | [`admission`] | the wait queue and its policies (FCFS, smallest-volume-first, round-robin fair) |
-//! | [`ledger`] | per-site residual-capacity bookkeeping (committed demand vectors) |
+//! | [`ledger`] | per-site residual-capacity bookkeeping (committed demand vectors, alive-site set) |
 //! | [`runtime`] | the deterministic event-driven dispatcher |
-//! | [`metrics`] | per-query latency, per-site utilization, throughput |
+//! | [`recovery`] | failure-aware rescheduling: re-packing lost work onto survivors |
+//! | [`metrics`] | per-query latency, per-site utilization, throughput, fault trace |
 //!
 //! Each admitted query is scheduled with the paper's TreeSchedule and its
 //! synchronized phases are dispatched *incrementally* onto shared fluid
@@ -51,13 +52,15 @@ pub mod admission;
 pub mod job;
 pub mod ledger;
 pub mod metrics;
+pub mod recovery;
 pub mod runtime;
 
 /// One-stop imports.
 pub mod prelude {
     pub use crate::admission::{AdmissionPolicy, AdmissionQueue};
-    pub use crate::job::{work_volume, QueryId, QueryRecord};
+    pub use crate::job::{work_volume, QueryId, QueryOutcome, QueryRecord};
     pub use crate::ledger::SiteLedger;
-    pub use crate::metrics::RunSummary;
+    pub use crate::metrics::{FaultRecord, FaultRecordKind, RunSummary};
+    pub use crate::recovery::RecoveryConfig;
     pub use crate::runtime::{Runtime, RuntimeConfig, RuntimeError};
 }

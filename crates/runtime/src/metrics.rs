@@ -1,9 +1,72 @@
 //! Aggregated metrics of one runtime run: per-query latency statistics,
 //! per-site realized utilization (from the simulator's busy-time
-//! integrals, not the ledger's committed view), queue-depth trace, and
-//! throughput.
+//! integrals, not the ledger's committed view), queue-depth trace,
+//! throughput, and — under fault injection — the structured fault trace
+//! (site crashes, lost clones, re-packs, retries, aborts, sheds).
 
-use crate::job::QueryRecord;
+use crate::job::{QueryId, QueryOutcome, QueryRecord};
+use crate::runtime::RuntimeError;
+
+/// One entry of the run's fault/recovery event trace. Records derive
+/// `PartialEq` so determinism tests can compare whole traces.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultRecord {
+    /// Virtual time of the event.
+    pub time: f64,
+    /// What happened.
+    pub kind: FaultRecordKind,
+}
+
+/// The kinds of fault/recovery events a run can log.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultRecordKind {
+    /// A site crashed, evicting `clones_lost` resident clones.
+    SiteDown {
+        /// The crashed site index.
+        site: usize,
+        /// Clones evicted by the crash.
+        clones_lost: usize,
+    },
+    /// A crashed site came back, empty.
+    SiteUp {
+        /// The recovered site index.
+        site: usize,
+    },
+    /// One clone of `query` was lost to a crash (or displaced from a
+    /// dead site at dispatch).
+    CloneLost {
+        /// The owning query.
+        query: QueryId,
+    },
+    /// Lost work of `query` was re-packed onto `clones` new clones on
+    /// the surviving sites.
+    Repacked {
+        /// The recovered query.
+        query: QueryId,
+        /// Number of replacement clones dispatched.
+        clones: usize,
+    },
+    /// Recovery could not place `query`'s lost work; a retry is
+    /// scheduled.
+    RetryScheduled {
+        /// The waiting query.
+        query: QueryId,
+        /// Which retry attempt this will be (1-based).
+        attempt: u32,
+        /// Virtual time the retry fires.
+        at: f64,
+    },
+    /// `query` was aborted (deadline or retries exhausted).
+    Aborted {
+        /// The aborted query.
+        query: QueryId,
+    },
+    /// `query` was shed at arrival (degraded mode).
+    Shed {
+        /// The shed query.
+        query: QueryId,
+    },
+}
 
 /// Everything measured over one [`Runtime`](crate::runtime::Runtime) run.
 #[derive(Clone, Debug)]
@@ -19,6 +82,8 @@ pub struct RunSummary {
     pub site_busy: Vec<Vec<f64>>,
     /// `(time, queue depth)` after each event.
     pub depth_trace: Vec<(f64, usize)>,
+    /// Time-ordered fault/recovery trace (empty for a fault-free run).
+    pub faults: Vec<FaultRecord>,
 }
 
 impl RunSummary {
@@ -28,6 +93,7 @@ impl RunSummary {
         queries: Vec<QueryRecord>,
         site_busy: Vec<Vec<f64>>,
         depth_trace: Vec<(f64, usize)>,
+        faults: Vec<FaultRecord>,
     ) -> Self {
         RunSummary {
             policy,
@@ -35,12 +101,70 @@ impl RunSummary {
             queries,
             site_busy,
             depth_trace,
+            faults,
         }
     }
 
     /// Number of queries that finished.
     pub fn completed(&self) -> usize {
         self.queries.iter().filter(|q| q.finish.is_some()).count()
+    }
+
+    /// Number of queries aborted (deadline or exhausted recovery).
+    pub fn aborted(&self) -> usize {
+        self.queries
+            .iter()
+            .filter(|q| matches!(q.outcome, Some(QueryOutcome::Aborted { .. })))
+            .count()
+    }
+
+    /// Number of queries shed at arrival (degraded mode).
+    pub fn shed(&self) -> usize {
+        self.queries
+            .iter()
+            .filter(|q| q.outcome == Some(QueryOutcome::Shed))
+            .count()
+    }
+
+    /// The per-query failures of this run as typed errors:
+    /// [`RuntimeError::Aborted`] / [`RuntimeError::Shed`], in query-id
+    /// order. Empty when every query completed.
+    pub fn failures(&self) -> Vec<RuntimeError> {
+        self.queries
+            .iter()
+            .filter_map(|q| match &q.outcome {
+                Some(QueryOutcome::Aborted { reason }) => Some(RuntimeError::Aborted {
+                    query: q.id,
+                    reason: reason.clone(),
+                }),
+                Some(QueryOutcome::Shed) => Some(RuntimeError::Shed { query: q.id }),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Number of site-crash events observed.
+    pub fn sites_failed(&self) -> usize {
+        self.faults
+            .iter()
+            .filter(|f| matches!(f.kind, FaultRecordKind::SiteDown { .. }))
+            .count()
+    }
+
+    /// Total clones lost to crashes and dead-site displacement.
+    pub fn clones_lost(&self) -> usize {
+        self.faults
+            .iter()
+            .filter(|f| matches!(f.kind, FaultRecordKind::CloneLost { .. }))
+            .count()
+    }
+
+    /// Number of successful lost-work re-packs.
+    pub fn repacks(&self) -> usize {
+        self.faults
+            .iter()
+            .filter(|f| matches!(f.kind, FaultRecordKind::Repacked { .. }))
+            .count()
     }
 
     /// Completed queries per unit virtual time.
@@ -134,6 +258,7 @@ mod tests {
         r.start = Some(start);
         r.finish = Some(finish);
         r.standalone_response = finish - start;
+        r.outcome = Some(QueryOutcome::Completed);
         r
     }
 
@@ -144,6 +269,7 @@ mod tests {
             vec![record(0.0, 0.0, 4.0), record(0.0, 2.0, 10.0)],
             vec![vec![5.0, 2.5, 0.0], vec![10.0, 0.0, 0.0]],
             vec![(0.0, 2), (4.0, 0)],
+            Vec::new(),
         )
     }
 
@@ -151,6 +277,9 @@ mod tests {
     fn aggregates() {
         let s = summary();
         assert_eq!(s.completed(), 2);
+        assert_eq!(s.aborted(), 0);
+        assert_eq!(s.shed(), 0);
+        assert!(s.failures().is_empty());
         assert!((s.throughput() - 0.2).abs() < 1e-12);
         assert!((s.utilization(0, 0) - 0.5).abs() < 1e-12);
         assert!((s.avg_utilization(0) - 0.75).abs() < 1e-12);
@@ -163,12 +292,69 @@ mod tests {
 
     #[test]
     fn empty_summary_is_all_zero() {
-        let s = RunSummary::new("fcfs", 0.0, vec![], vec![], vec![]);
+        let s = RunSummary::new("fcfs", 0.0, vec![], vec![], vec![], vec![]);
         assert_eq!(s.completed(), 0);
         assert_eq!(s.throughput(), 0.0);
         assert_eq!(s.mean_latency(), 0.0);
         assert_eq!(s.p95_latency(), 0.0);
         assert_eq!(s.max_queue_depth(), 0);
+        assert_eq!(s.sites_failed(), 0);
+        assert_eq!(s.clones_lost(), 0);
+        assert_eq!(s.repacks(), 0);
+    }
+
+    #[test]
+    fn outcome_counters_and_failures() {
+        let mut aborted = QueryRecord::new(QueryId(1), 0, 1.0, 0.0);
+        aborted.outcome = Some(QueryOutcome::Aborted {
+            reason: "deadline".to_owned(),
+        });
+        let mut shed = QueryRecord::new(QueryId(2), 0, 1.0, 0.0);
+        shed.outcome = Some(QueryOutcome::Shed);
+        let s = RunSummary::new(
+            "fcfs",
+            5.0,
+            vec![record(0.0, 0.0, 2.0), aborted, shed],
+            vec![],
+            vec![],
+            vec![
+                FaultRecord {
+                    time: 1.0,
+                    kind: FaultRecordKind::SiteDown {
+                        site: 0,
+                        clones_lost: 2,
+                    },
+                },
+                FaultRecord {
+                    time: 1.0,
+                    kind: FaultRecordKind::CloneLost { query: QueryId(1) },
+                },
+                FaultRecord {
+                    time: 1.5,
+                    kind: FaultRecordKind::Repacked {
+                        query: QueryId(1),
+                        clones: 3,
+                    },
+                },
+                FaultRecord {
+                    time: 2.0,
+                    kind: FaultRecordKind::SiteUp { site: 0 },
+                },
+            ],
+        );
+        assert_eq!(s.completed(), 1);
+        assert_eq!(s.aborted(), 1);
+        assert_eq!(s.shed(), 1);
+        assert_eq!(s.sites_failed(), 1);
+        assert_eq!(s.clones_lost(), 1);
+        assert_eq!(s.repacks(), 1);
+        let failures = s.failures();
+        assert_eq!(failures.len(), 2);
+        assert!(
+            matches!(&failures[0], RuntimeError::Aborted { query, reason }
+                if *query == QueryId(1) && reason == "deadline")
+        );
+        assert!(matches!(&failures[1], RuntimeError::Shed { query } if *query == QueryId(2)));
     }
 
     #[test]

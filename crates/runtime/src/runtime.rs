@@ -4,31 +4,49 @@
 //! [`AdmissionPolicy`](crate::admission::AdmissionPolicy), and dispatches
 //! each admitted query's TreeSchedule *phase by phase* onto `P` shared
 //! fluid sites ([`SiteSim`]). Virtual time advances from event to event —
-//! the next arrival or the earliest clone completion anywhere — so
+//! the next arrival, the earliest clone completion anywhere, the next
+//! scheduled fault, the next recovery retry, or the next deadline — so
 //! concurrent queries genuinely time-share sites: a site running clones
 //! of two queries stretches both according to the simulator's sharing
 //! discipline, and the runtime observes the stretched completion times.
 //!
+//! Under a [`FaultPlan`] the runtime is *fault-tolerant*: a site crash
+//! evicts the resident clones, whose unfinished work vectors are
+//! re-packed with the paper's `operator_schedule` onto the surviving
+//! sites (see [`crate::recovery`]); when nothing is packable the work
+//! parks on a capped exponential-backoff retry, and exhaustion (or a
+//! per-query deadline) aborts the query with [`RuntimeError::Aborted`].
+//! Every submitted query terminates in exactly one
+//! [`QueryOutcome`] — completed, aborted, or shed — never silently lost.
+//!
 //! Determinism: every queue decision is tie-broken by submission sequence
-//! numbers, completions are processed in `(time, tag)` order, and sites
-//! are advanced in index order. Two runs over the same submissions
+//! numbers, completions are processed in `(time, tag)` order, fault
+//! events in plan order, retries in `(time, query)` order, and sites are
+//! advanced in index order. Two runs over the same submissions and plan
 //! produce identical traces.
 
 use crate::admission::AdmissionQueue;
-use crate::job::{work_volume, QueryId, QueryRecord};
+use crate::job::{work_volume, QueryId, QueryOutcome, QueryRecord};
 use crate::ledger::SiteLedger;
-use crate::metrics::RunSummary;
+use crate::metrics::{FaultRecord, FaultRecordKind, RunSummary};
+use crate::recovery::{backoff_delay, replan_lost, RecoveryConfig};
 use mrs_core::comm::CommModel;
 use mrs_core::error::ScheduleError;
 use mrs_core::model::ResponseModel;
 use mrs_core::resource::{SiteId, SystemSpec};
 use mrs_core::tree::{tree_schedule, TreeProblem, TreeScheduleResult};
+use mrs_core::vector::WorkVector;
 use mrs_sim::engine::{Completion, SimClone, SimConfig, SiteSim};
+use mrs_sim::fault::{FaultKind, FaultPlan, FaultTimeline};
 use std::collections::HashMap;
 use std::fmt;
 
-/// Why a runtime run failed.
-#[derive(Debug)]
+/// Why a runtime run (or one of its queries) failed.
+///
+/// Marked `#[non_exhaustive]`: the fault model will keep growing failure
+/// modes, so downstream matches must carry a wildcard arm.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
 pub enum RuntimeError {
     /// A query could not be scheduled at admission time.
     Schedule {
@@ -37,6 +55,20 @@ pub enum RuntimeError {
         /// The underlying scheduling error.
         source: ScheduleError,
     },
+    /// The runtime gave up on a query: its deadline expired or its
+    /// recovery retries were exhausted.
+    Aborted {
+        /// The aborted query.
+        query: QueryId,
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// Load-shedding refused a query at arrival because too few sites
+    /// were alive (graceful degradation).
+    Shed {
+        /// The shed query.
+        query: QueryId,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -44,6 +76,12 @@ impl fmt::Display for RuntimeError {
         match self {
             RuntimeError::Schedule { query, source } => {
                 write!(f, "scheduling {query} at admission failed: {source}")
+            }
+            RuntimeError::Aborted { query, reason } => {
+                write!(f, "{query} aborted: {reason}")
+            }
+            RuntimeError::Shed { query } => {
+                write!(f, "{query} shed at arrival: degraded mode")
             }
         }
     }
@@ -65,9 +103,18 @@ pub struct RuntimeConfig {
     /// only while the mean committed `l_∞` site load stays below this.
     /// `None` disables the gate (MPL cap alone governs admission). The
     /// gate never applies to an idle system, so it cannot deadlock.
+    /// The mean is taken over *alive* sites, so crashes tighten it.
     pub load_threshold: Option<f64>,
     /// Fluid-site sharing discipline and overhead.
     pub sim: SimConfig,
+    /// Deterministic site crash/recover schedule and straggler factors.
+    /// The empty plan (the default) is bit-exact fault-free execution.
+    pub faults: FaultPlan,
+    /// Per-query deadline: a query not finished within this many virtual
+    /// seconds of its arrival is aborted. `None` (default) disables.
+    pub deadline: Option<f64>,
+    /// Recovery-loop knobs (rebuild surcharge, retry backoff, shedding).
+    pub recovery: RecoveryConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -78,6 +125,9 @@ impl Default for RuntimeConfig {
             max_in_flight: 4,
             load_threshold: None,
             sim: SimConfig::default(),
+            faults: FaultPlan::none(),
+            deadline: None,
+            recovery: RecoveryConfig::default(),
         }
     }
 }
@@ -94,12 +144,29 @@ struct RunningQuery {
     next_phase: usize,
     /// Clones of the current phase still executing.
     outstanding: usize,
+    /// Lost-work batches of the current phase waiting on a retry event.
+    /// The phase cannot complete while any work is parked.
+    parked: usize,
 }
 
 struct CloneInfo {
     query: QueryId,
     site: SiteId,
     demand: Vec<f64>,
+    /// The clone's work vector (to scale by the unfinished fraction on
+    /// loss).
+    work: WorkVector,
+    /// Intrinsic full-speed duration (the fraction's denominator).
+    duration: f64,
+}
+
+/// A parked batch of lost work awaiting a recovery retry.
+struct RetryEvent {
+    time: f64,
+    query: QueryId,
+    /// 0-based attempt counter carried into the next `handle_lost`.
+    attempt: u32,
+    works: Vec<WorkVector>,
 }
 
 /// The online multi-query scheduler. See the [module docs](self).
@@ -119,20 +186,33 @@ pub struct Runtime<M: ResponseModel> {
     next_tag: usize,
     records: Vec<QueryRecord>,
     depth_trace: Vec<(f64, usize)>,
+    faults: FaultTimeline,
+    retries: Vec<RetryEvent>,
+    fault_trace: Vec<FaultRecord>,
 }
 
 impl<M: ResponseModel> Runtime<M> {
     /// A fresh runtime over `sys` with the given communication and
-    /// response-time models.
+    /// response-time models. Straggler factors from `cfg.faults` are
+    /// applied to the site simulators up front.
     ///
     /// # Panics
-    /// If `cfg.max_in_flight == 0` (nothing could ever run).
+    /// If `cfg.max_in_flight == 0` (nothing could ever run), or the fault
+    /// plan names a site outside `sys`.
     pub fn new(sys: SystemSpec, comm: CommModel, model: M, cfg: RuntimeConfig) -> Self {
         assert!(cfg.max_in_flight >= 1, "max_in_flight must be at least 1");
         let d = sys.dim();
-        let sims = (0..sys.sites).map(|_| SiteSim::new(cfg.sim, d)).collect();
+        let mut sims: Vec<SiteSim> = (0..sys.sites).map(|_| SiteSim::new(cfg.sim, d)).collect();
+        for (site, factor) in cfg.faults.slowdowns() {
+            assert!(*site < sys.sites, "straggler site {site} out of range");
+            sims[*site].set_rate(*factor);
+        }
+        for ev in cfg.faults.events() {
+            assert!(ev.site < sys.sites, "fault site {} out of range", ev.site);
+        }
         let ledger = SiteLedger::new(sys.sites, d);
         let queue = AdmissionQueue::new(cfg.policy);
+        let faults = FaultTimeline::new(&cfg.faults);
         Runtime {
             sys,
             comm,
@@ -149,6 +229,9 @@ impl<M: ResponseModel> Runtime<M> {
             next_tag: 0,
             records: Vec::new(),
             depth_trace: Vec::new(),
+            faults,
+            retries: Vec::new(),
+            fault_trace: Vec::new(),
         }
     }
 
@@ -183,8 +266,11 @@ impl<M: ResponseModel> Runtime<M> {
         id
     }
 
-    /// Runs the event loop until every submitted query has completed,
-    /// then returns the aggregated [`RunSummary`].
+    /// Runs the event loop until every submitted query has reached a
+    /// terminal [`QueryOutcome`], then returns the aggregated
+    /// [`RunSummary`]. Per-query failures (aborts, sheds) do *not* fail
+    /// the run — they are recorded on the summary and retrievable as
+    /// typed errors via [`RunSummary::failures`].
     ///
     /// # Errors
     /// [`RuntimeError::Schedule`] if a query's TreeSchedule fails at
@@ -198,6 +284,10 @@ impl<M: ResponseModel> Runtime<M> {
         let mut completions: Vec<Completion> = Vec::new();
 
         loop {
+            let work_left = !self.arrivals.is_empty()
+                || !self.queue.is_empty()
+                || !self.running.is_empty()
+                || !self.retries.is_empty();
             let next_arrival = self.arrivals.first().map(|a| a.time);
             let next_completion = self
                 .sims
@@ -206,11 +296,45 @@ impl<M: ResponseModel> Runtime<M> {
                 .fold(None, |acc: Option<f64>, t| {
                     Some(acc.map_or(t, |a| a.min(t)))
                 });
-            let t = match (next_arrival, next_completion) {
-                (Some(a), Some(c)) => a.min(c),
-                (Some(a), None) => a,
-                (None, Some(c)) => c,
-                (None, None) => break,
+            // Fault events only matter while there is work they could
+            // affect; once the last query terminates, the remaining
+            // schedule is irrelevant and must not stretch the horizon.
+            let next_fault = if work_left {
+                self.faults.peek_time()
+            } else {
+                None
+            };
+            let next_retry = self
+                .retries
+                .iter()
+                .map(|r| r.time)
+                .fold(None, |acc: Option<f64>, t| {
+                    Some(acc.map_or(t, |a| a.min(t)))
+                });
+            let next_deadline = self.cfg.deadline.and_then(|d| {
+                self.records
+                    .iter()
+                    .filter(|r| r.outcome.is_none())
+                    .map(|r| r.arrival + d)
+                    .fold(None, |acc: Option<f64>, t| {
+                        Some(acc.map_or(t, |a| a.min(t)))
+                    })
+            });
+            let t = [
+                next_arrival,
+                next_completion,
+                next_fault,
+                next_retry,
+                next_deadline,
+            ]
+            .into_iter()
+            .flatten()
+            .fold(None, |acc: Option<f64>, t| {
+                Some(acc.map_or(t, |a| a.min(t)))
+            });
+            let t = match t {
+                Some(t) => t,
+                None => break,
             };
 
             // 1. Advance every site to t, collecting completions. A site
@@ -224,7 +348,9 @@ impl<M: ResponseModel> Runtime<M> {
             completions.sort_by(|a, b| a.time.total_cmp(&b.time).then(a.tag.cmp(&b.tag)));
 
             // 2. Retire completed clones; queries whose phase drained
-            //    dispatch their next phase (or finish).
+            //    (and has no parked lost work) dispatch their next phase
+            //    or finish. Completions beat same-instant faults and
+            //    deadlines: work that was done *is* done.
             for done in completions.drain(..) {
                 let info = self
                     .clones
@@ -236,20 +362,52 @@ impl<M: ResponseModel> Runtime<M> {
                     .get_mut(&info.query)
                     .expect("completion for query not running");
                 rq.outstanding -= 1;
-                if rq.outstanding == 0 {
+                if rq.outstanding == 0 && rq.parked == 0 {
                     self.advance_query(info.query);
                 }
             }
 
-            // 3. Enqueue arrivals due at t.
+            // 3. Apply fault events due at t, in plan order.
+            while let Some(ev) = self.faults.pop_due(t) {
+                self.apply_fault(ev.site, ev.kind);
+            }
+
+            // 4. Fire recovery retries due at t, in (time, query) order.
+            self.fire_due_retries(t);
+
+            // 5. Enqueue arrivals due at t — or shed them when too few
+            //    sites are alive (graceful degradation).
             while self.arrivals.first().is_some_and(|a| a.time <= t) {
                 let ev = self.arrivals.remove(0);
+                let alive_frac = self.ledger.alive_sites() as f64 / self.sys.sites as f64;
+                if alive_frac < self.cfg.recovery.degrade_threshold {
+                    self.records[ev.id.0].outcome = Some(QueryOutcome::Shed);
+                    self.fault_trace.push(FaultRecord {
+                        time: t,
+                        kind: FaultRecordKind::Shed { query: ev.id },
+                    });
+                    continue;
+                }
                 let rec = &self.records[ev.id.0];
                 self.queue.push(ev.id, rec.client, rec.volume);
                 self.pending.insert(ev.id, ev.problem);
             }
 
-            // 4. Admit while capacity allows.
+            // 6. Expire deadlines: queued or running queries whose
+            //    arrival + deadline has passed are aborted.
+            if let Some(d) = self.cfg.deadline {
+                let expired: Vec<QueryId> = self
+                    .records
+                    .iter()
+                    .filter(|r| r.outcome.is_none() && r.arrival + d <= t)
+                    .map(|r| r.id)
+                    .collect();
+                for id in expired {
+                    self.abort_query(id, "deadline expired");
+                }
+            }
+
+            // 7. Admit while capacity allows.
             self.try_admit()?;
 
             self.depth_trace.push((t, self.queue.len()));
@@ -258,14 +416,253 @@ impl<M: ResponseModel> Runtime<M> {
         Ok(self.summary())
     }
 
+    /// Applies one fault event to the site simulators, ledger, and any
+    /// affected queries.
+    fn apply_fault(&mut self, site: usize, kind: FaultKind) {
+        match kind {
+            FaultKind::Crash => {
+                if self.sims[site].is_down() {
+                    return;
+                }
+                let lost = self.sims[site].fail();
+                self.ledger.release_site(SiteId(site));
+                self.fault_trace.push(FaultRecord {
+                    time: self.clock,
+                    kind: FaultRecordKind::SiteDown {
+                        site,
+                        clones_lost: lost.len(),
+                    },
+                });
+                // Scale each lost clone's work vector by its unfinished
+                // fraction and group by owning query (residency order →
+                // deterministic).
+                let mut by_query: Vec<(QueryId, Vec<WorkVector>)> = Vec::new();
+                for lc in lost {
+                    let info = self
+                        .clones
+                        .remove(&lc.tag)
+                        .expect("lost clone was not tracked");
+                    let frac = lc.remaining / info.duration;
+                    let rem = info.work.scaled(frac);
+                    self.fault_trace.push(FaultRecord {
+                        time: self.clock,
+                        kind: FaultRecordKind::CloneLost { query: info.query },
+                    });
+                    match by_query.iter_mut().find(|(q, _)| *q == info.query) {
+                        Some((_, works)) => works.push(rem),
+                        None => by_query.push((info.query, vec![rem])),
+                    }
+                }
+                for (query, works) in by_query {
+                    let rq = self
+                        .running
+                        .get_mut(&query)
+                        .expect("lost clones belong to a running query");
+                    rq.outstanding -= works.len();
+                    self.handle_lost(query, works, 0);
+                    self.maybe_advance(query);
+                }
+            }
+            FaultKind::Recover => {
+                if !self.sims[site].is_down() {
+                    return;
+                }
+                self.sims[site].restore();
+                self.ledger.restore_site(SiteId(site));
+                self.fault_trace.push(FaultRecord {
+                    time: self.clock,
+                    kind: FaultRecordKind::SiteUp { site },
+                });
+            }
+        }
+    }
+
+    /// Pops and runs every retry due at or before `t`, in `(time, query)`
+    /// order.
+    fn fire_due_retries(&mut self, t: f64) {
+        if self.retries.is_empty() {
+            return;
+        }
+        let mut due: Vec<RetryEvent> = Vec::new();
+        let mut i = 0;
+        while i < self.retries.len() {
+            if self.retries[i].time <= t {
+                due.push(self.retries.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        due.sort_by(|a, b| a.time.total_cmp(&b.time).then(a.query.cmp(&b.query)));
+        for ev in due {
+            // The query may have been aborted since parking; abort_query
+            // purges its retries, so reaching here means it still runs.
+            let rq = self
+                .running
+                .get_mut(&ev.query)
+                .expect("retry for query not running");
+            rq.parked -= 1;
+            self.handle_lost(ev.query, ev.works, ev.attempt);
+            self.maybe_advance(ev.query);
+        }
+    }
+
+    /// Recovery entry point: re-packs `works` (lost work vectors of
+    /// `query`) onto the surviving sites, or parks them on a backoff
+    /// retry, or — past the retry cap — aborts the query.
+    fn handle_lost(&mut self, query: QueryId, works: Vec<WorkVector>, attempt: u32) {
+        let alive: Vec<SiteId> = (0..self.sys.sites)
+            .map(SiteId)
+            .filter(|s| self.ledger.is_alive(*s))
+            .collect();
+        let replanned = if alive.is_empty() {
+            None
+        } else {
+            replan_lost(
+                &works,
+                &alive,
+                &self.sys.site,
+                &self.comm,
+                self.cfg.recovery.rebuild_factor,
+            )
+            .ok()
+        };
+        match replanned {
+            Some(placements) => {
+                let dispatched = self.dispatch_placements(query, &placements);
+                self.running
+                    .get_mut(&query)
+                    .expect("re-pack for query not running")
+                    .outstanding += dispatched;
+                self.fault_trace.push(FaultRecord {
+                    time: self.clock,
+                    kind: FaultRecordKind::Repacked {
+                        query,
+                        clones: placements.len(),
+                    },
+                });
+            }
+            None => {
+                if attempt >= self.cfg.recovery.max_retries {
+                    self.abort_query(query, "recovery retries exhausted");
+                } else {
+                    let at = self.clock + backoff_delay(&self.cfg.recovery, attempt);
+                    self.retries.push(RetryEvent {
+                        time: at,
+                        query,
+                        attempt: attempt + 1,
+                        works,
+                    });
+                    self.running
+                        .get_mut(&query)
+                        .expect("parked query not running")
+                        .parked += 1;
+                    self.fault_trace.push(FaultRecord {
+                        time: self.clock,
+                        kind: FaultRecordKind::RetryScheduled {
+                            query,
+                            attempt: attempt + 1,
+                            at,
+                        },
+                    });
+                }
+            }
+        }
+    }
+
+    /// Aborts `query` wherever it currently lives (queued or running):
+    /// evicts its executing clones, purges its retries, and records the
+    /// terminal outcome.
+    fn abort_query(&mut self, id: QueryId, reason: &str) {
+        // Evict executing clones in sorted-tag order so the simulators'
+        // float state evolves identically run to run.
+        let mut tags: Vec<usize> = self
+            .clones
+            .iter()
+            .filter(|(_, c)| c.query == id)
+            .map(|(tag, _)| *tag)
+            .collect();
+        tags.sort_unstable();
+        for tag in tags {
+            let info = self.clones.remove(&tag).expect("tag collected above");
+            let _ = self.sims[info.site.0].remove_clone(tag);
+            self.ledger.release(info.site, &info.demand);
+        }
+        self.retries.retain(|r| r.query != id);
+        self.running.remove(&id);
+        self.queue.remove(id);
+        self.pending.remove(&id);
+        self.records[id.0].outcome = Some(QueryOutcome::Aborted {
+            reason: reason.to_owned(),
+        });
+        self.fault_trace.push(FaultRecord {
+            time: self.clock,
+            kind: FaultRecordKind::Aborted { query: id },
+        });
+    }
+
+    /// Advances `id` if its current phase has fully drained (no executing
+    /// clones and no parked lost work). No-op for terminated queries.
+    fn maybe_advance(&mut self, id: QueryId) {
+        if let Some(rq) = self.running.get(&id) {
+            if rq.outstanding == 0 && rq.parked == 0 {
+                self.advance_query(id);
+            }
+        }
+    }
+
+    /// Inserts clones at the given placements, committing their demand to
+    /// the ledger; returns how many are actually executing (zero-duration
+    /// clones complete inline).
+    fn dispatch_placements(&mut self, id: QueryId, placements: &[(SiteId, WorkVector)]) -> usize {
+        let mut dispatched = 0usize;
+        for (site, work) in placements {
+            let duration = self.model.t_seq(work);
+            let tag = self.next_tag;
+            self.next_tag += 1;
+            let clone = SimClone {
+                tag,
+                work: work.clone(),
+                duration,
+            };
+            if self.sims[site.0].add_clone(&clone).is_some() {
+                // Zero-duration clone: completed inline, nothing to
+                // track.
+                continue;
+            }
+            let demand: Vec<f64> = work.components().iter().map(|w| w / duration).collect();
+            self.ledger.commit(*site, &demand);
+            self.clones.insert(
+                tag,
+                CloneInfo {
+                    query: id,
+                    site: *site,
+                    demand,
+                    work: work.clone(),
+                    duration,
+                },
+            );
+            dispatched += 1;
+        }
+        dispatched
+    }
+
     /// Dispatches phases of `id` starting at `next_phase` until one has
-    /// executing clones or the query finishes. Phases whose clones all
-    /// have zero duration complete inline at the current clock.
+    /// executing (or parked) clones or the query finishes. Phases whose
+    /// clones all have zero duration complete inline at the current
+    /// clock. Placements pinned to a crashed site are *displaced*: their
+    /// work is migrated through the recovery path (rebuild surcharge
+    /// included) instead of being dispatched onto the dead site.
     fn advance_query(&mut self, id: QueryId) {
         loop {
-            let rq = self.running.get_mut(&id).expect("query not running");
+            let rq = match self.running.get_mut(&id) {
+                Some(rq) => rq,
+                // Aborted while displaced work was being recovered.
+                None => return,
+            };
             if rq.next_phase == rq.schedule.phases.len() {
-                self.records[id.0].finish = Some(self.clock);
+                let rec = &mut self.records[id.0];
+                rec.finish = Some(self.clock);
+                rec.outcome = Some(QueryOutcome::Completed);
                 self.running.remove(&id);
                 return;
             }
@@ -274,7 +671,7 @@ impl<M: ResponseModel> Runtime<M> {
 
             // Collect the phase's clone placements first (borrow of the
             // schedule ends before we mutate sims/ledger).
-            let placements: Vec<(SiteId, mrs_core::vector::WorkVector)> = {
+            let placements: Vec<(SiteId, WorkVector)> = {
                 let phase = &self.running[&id].schedule.phases[phase_idx];
                 phase
                     .schedule
@@ -290,38 +687,38 @@ impl<M: ResponseModel> Runtime<M> {
                     .collect()
             };
 
-            let mut outstanding = 0usize;
+            // Partition into live placements and work displaced from
+            // crashed sites (data-placement constraints migrate through
+            // the recovery re-pack).
+            let mut live: Vec<(SiteId, WorkVector)> = Vec::new();
+            let mut displaced: Vec<WorkVector> = Vec::new();
             for (site, work) in placements {
-                let duration = self.model.t_seq(&work);
-                let tag = self.next_tag;
-                self.next_tag += 1;
-                let clone = SimClone {
-                    tag,
-                    work: work.clone(),
-                    duration,
-                };
-                if self.sims[site.0].add_clone(&clone).is_some() {
-                    // Zero-duration clone: completed inline, nothing to
-                    // track.
-                    continue;
+                if self.ledger.is_alive(site) {
+                    live.push((site, work));
+                } else {
+                    displaced.push(work);
                 }
-                let demand: Vec<f64> = work.components().iter().map(|w| w / duration).collect();
-                self.ledger.commit(site, &demand);
-                self.clones.insert(
-                    tag,
-                    CloneInfo {
-                        query: id,
-                        site,
-                        demand,
-                    },
-                );
-                outstanding += 1;
             }
-            if outstanding > 0 {
-                self.running
-                    .get_mut(&id)
-                    .expect("query not running")
-                    .outstanding = outstanding;
+
+            let dispatched = self.dispatch_placements(id, &live);
+            self.running
+                .get_mut(&id)
+                .expect("query not running")
+                .outstanding += dispatched;
+            if !displaced.is_empty() {
+                for _ in &displaced {
+                    self.fault_trace.push(FaultRecord {
+                        time: self.clock,
+                        kind: FaultRecordKind::CloneLost { query: id },
+                    });
+                }
+                self.handle_lost(id, displaced, 0);
+            }
+            let rq = match self.running.get(&id) {
+                Some(rq) => rq,
+                None => return,
+            };
+            if rq.outstanding > 0 || rq.parked > 0 {
                 return;
             }
             // All-zero phase: fall through and dispatch the next one at
@@ -357,6 +754,7 @@ impl<M: ResponseModel> Runtime<M> {
                     schedule,
                     next_phase: 0,
                     outstanding: 0,
+                    parked: 0,
                 },
             );
             self.advance_query(id);
@@ -373,6 +771,7 @@ impl<M: ResponseModel> Runtime<M> {
             self.records.clone(),
             site_busy,
             self.depth_trace.clone(),
+            self.fault_trace.clone(),
         )
     }
 }
@@ -384,7 +783,7 @@ mod tests {
     use mrs_core::operator::{OperatorId, OperatorKind, OperatorSpec};
     use mrs_core::prelude::OverlapModel;
     use mrs_core::tasks::TaskGraph;
-    use mrs_core::vector::WorkVector;
+    use mrs_sim::fault::FaultEvent;
 
     fn one_op_problem(cpu: f64) -> TreeProblem {
         let op = OperatorSpec::floating(
@@ -401,17 +800,36 @@ mod tests {
     }
 
     fn runtime(policy: AdmissionPolicy, mpl: usize) -> Runtime<OverlapModel> {
-        let cfg = RuntimeConfig {
+        runtime_with(RuntimeConfig {
             policy,
             max_in_flight: mpl,
             ..RuntimeConfig::default()
-        };
+        })
+    }
+
+    fn runtime_with(cfg: RuntimeConfig) -> Runtime<OverlapModel> {
         Runtime::new(
             SystemSpec::homogeneous(4),
             CommModel::paper_defaults(),
             OverlapModel::new(0.5).unwrap(),
             cfg,
         )
+    }
+
+    fn crash(time: f64, site: usize) -> FaultEvent {
+        FaultEvent {
+            time,
+            site,
+            kind: FaultKind::Crash,
+        }
+    }
+
+    fn recover(time: f64, site: usize) -> FaultEvent {
+        FaultEvent {
+            time,
+            site,
+            kind: FaultKind::Recover,
+        }
     }
 
     #[test]
@@ -432,6 +850,7 @@ mod tests {
         assert_eq!(rec.start, Some(1.0));
         assert!(rec.finish.unwrap() > 1.0);
         assert!((rec.service().unwrap() - rec.standalone_response).abs() < 1e-9);
+        assert_eq!(rec.outcome, Some(QueryOutcome::Completed));
         // Ledger drained.
         assert_eq!(rt.ledger().total_resident(), 0);
     }
@@ -470,5 +889,213 @@ mod tests {
             OverlapModel::new(0.5).unwrap(),
             cfg,
         );
+    }
+
+    #[test]
+    fn runtime_error_display_is_stable() {
+        let abort = RuntimeError::Aborted {
+            query: QueryId(3),
+            reason: "deadline expired".to_owned(),
+        };
+        assert_eq!(format!("{abort}"), "q3 aborted: deadline expired");
+        let shed = RuntimeError::Shed { query: QueryId(7) };
+        assert_eq!(format!("{shed}"), "q7 shed at arrival: degraded mode");
+        // Clone + PartialEq let tests compare whole failure lists.
+        assert_eq!(abort.clone(), abort);
+        assert_ne!(abort, shed);
+    }
+
+    #[test]
+    fn crash_mid_phase_repacks_onto_survivors() {
+        let cfg = RuntimeConfig {
+            faults: FaultPlan::scripted(vec![crash(1.0, 0)]),
+            ..RuntimeConfig::default()
+        };
+        let mut rt = runtime_with(cfg);
+        // Big enough to still be running at t=1 and spread over sites.
+        let id = rt.submit_at(0.0, 0, one_op_problem(40.0));
+        let summary = rt.run_to_completion().unwrap();
+        assert_eq!(summary.queries[id.0].outcome, Some(QueryOutcome::Completed));
+        assert_eq!(summary.sites_failed(), 1);
+        // The lost work made the run strictly longer than fault-free.
+        let mut baseline = runtime(AdmissionPolicy::Fcfs, 4);
+        baseline.submit_at(0.0, 0, one_op_problem(40.0));
+        let base = baseline.run_to_completion().unwrap();
+        if summary.clones_lost() > 0 {
+            assert!(summary.repacks() > 0, "lost clones must be re-packed");
+            assert!(summary.horizon > base.horizon);
+        }
+        assert_eq!(rt.ledger().total_resident(), 0);
+    }
+
+    #[test]
+    fn total_outage_parks_work_until_recovery() {
+        let cfg = RuntimeConfig {
+            faults: FaultPlan::scripted(vec![
+                crash(1.0, 0),
+                crash(1.0, 1),
+                crash(1.0, 2),
+                crash(1.0, 3),
+                recover(2.0, 0),
+                recover(2.0, 1),
+                recover(2.0, 2),
+                recover(2.0, 3),
+            ]),
+            recovery: RecoveryConfig {
+                backoff_base: 2.0,
+                ..RecoveryConfig::default()
+            },
+            ..RuntimeConfig::default()
+        };
+        let mut rt = runtime_with(cfg);
+        let id = rt.submit_at(0.0, 0, one_op_problem(40.0));
+        let summary = rt.run_to_completion().unwrap();
+        let rec = &summary.queries[id.0];
+        assert_eq!(rec.outcome, Some(QueryOutcome::Completed));
+        // All four sites died at t=1 with the query in flight: the work
+        // parked (retry at 1 + 2.0 = 3.0, after recovery at 2.0) and then
+        // re-packed; the finish lands after the retry fired.
+        assert_eq!(summary.sites_failed(), 4);
+        assert!(summary.clones_lost() > 0);
+        assert!(summary.repacks() > 0);
+        assert!(rec.finish.unwrap() > 3.0);
+        assert_eq!(rt.ledger().total_resident(), 0);
+    }
+
+    #[test]
+    fn exhausted_retries_abort_the_query() {
+        // Sites never come back and retries cap out fast.
+        let cfg = RuntimeConfig {
+            faults: FaultPlan::scripted(vec![
+                crash(1.0, 0),
+                crash(1.0, 1),
+                crash(1.0, 2),
+                crash(1.0, 3),
+            ]),
+            recovery: RecoveryConfig {
+                max_retries: 2,
+                backoff_base: 0.5,
+                backoff_cap: 1.0,
+                ..RecoveryConfig::default()
+            },
+            ..RuntimeConfig::default()
+        };
+        let mut rt = runtime_with(cfg);
+        let id = rt.submit_at(0.0, 0, one_op_problem(40.0));
+        let summary = rt.run_to_completion().unwrap();
+        match &summary.queries[id.0].outcome {
+            Some(QueryOutcome::Aborted { reason }) => {
+                assert!(reason.contains("retries exhausted"), "{reason}");
+            }
+            other => panic!("expected abort, got {other:?}"),
+        }
+        assert_eq!(summary.aborted(), 1);
+        let failures = summary.failures();
+        assert_eq!(failures.len(), 1);
+        assert!(matches!(&failures[0], RuntimeError::Aborted { query, .. } if *query == id));
+        assert_eq!(rt.ledger().total_resident(), 0);
+    }
+
+    #[test]
+    fn deadline_aborts_a_slow_query() {
+        let cfg = RuntimeConfig {
+            deadline: Some(0.5),
+            ..RuntimeConfig::default()
+        };
+        let mut rt = runtime_with(cfg);
+        let id = rt.submit_at(0.0, 0, one_op_problem(40.0));
+        let summary = rt.run_to_completion().unwrap();
+        match &summary.queries[id.0].outcome {
+            Some(QueryOutcome::Aborted { reason }) => {
+                assert!(reason.contains("deadline"), "{reason}");
+            }
+            other => panic!("expected deadline abort, got {other:?}"),
+        }
+        // The run ends at the deadline, not at the query's natural end.
+        assert!((summary.horizon - 0.5).abs() < 1e-12);
+        assert_eq!(rt.ledger().total_resident(), 0);
+    }
+
+    #[test]
+    fn degraded_mode_sheds_arrivals() {
+        // Three of four sites die before the query arrives; with a 0.9
+        // threshold the survivor fraction 0.25 sheds the arrival.
+        let cfg = RuntimeConfig {
+            faults: FaultPlan::scripted(vec![crash(0.5, 0), crash(0.5, 1), crash(0.5, 2)]),
+            recovery: RecoveryConfig {
+                degrade_threshold: 0.9,
+                ..RecoveryConfig::default()
+            },
+            ..RuntimeConfig::default()
+        };
+        let mut rt = runtime_with(cfg);
+        let id = rt.submit_at(1.0, 0, one_op_problem(10.0));
+        let summary = rt.run_to_completion().unwrap();
+        assert_eq!(summary.queries[id.0].outcome, Some(QueryOutcome::Shed));
+        assert_eq!(summary.completed(), 0);
+        assert_eq!(summary.shed(), 1);
+        assert!(matches!(&summary.failures()[0], RuntimeError::Shed { query } if *query == id));
+    }
+
+    #[test]
+    fn straggler_site_stretches_service() {
+        let fast = {
+            let mut rt = Runtime::new(
+                SystemSpec::homogeneous(1),
+                CommModel::paper_defaults(),
+                OverlapModel::new(0.5).unwrap(),
+                RuntimeConfig::default(),
+            );
+            rt.submit_at(0.0, 0, one_op_problem(10.0));
+            rt.run_to_completion().unwrap()
+        };
+        let slow = {
+            let cfg = RuntimeConfig {
+                faults: FaultPlan::none().with_slowdown(0, 0.5),
+                ..RuntimeConfig::default()
+            };
+            let mut rt = Runtime::new(
+                SystemSpec::homogeneous(1),
+                CommModel::paper_defaults(),
+                OverlapModel::new(0.5).unwrap(),
+                cfg,
+            );
+            rt.submit_at(0.0, 0, one_op_problem(10.0));
+            rt.run_to_completion().unwrap()
+        };
+        let f = fast.queries[0].service().unwrap();
+        let s = slow.queries[0].service().unwrap();
+        assert!(
+            (s - 2.0 * f).abs() < 1e-9,
+            "half-speed site must double service: fast {f}, slow {s}"
+        );
+    }
+
+    #[test]
+    fn every_query_reaches_a_terminal_outcome() {
+        let cfg = RuntimeConfig {
+            faults: FaultPlan::seeded(4, 200.0, 8.0, 2.0, 42),
+            deadline: Some(200.0),
+            recovery: RecoveryConfig {
+                max_retries: 3,
+                degrade_threshold: 0.3,
+                ..RecoveryConfig::default()
+            },
+            ..RuntimeConfig::default()
+        };
+        let mut rt = runtime_with(cfg);
+        for q in 0..8 {
+            rt.submit_at(q as f64 * 2.0, q % 3, one_op_problem(6.0 + q as f64));
+        }
+        let summary = rt.run_to_completion().unwrap();
+        for rec in &summary.queries {
+            assert!(rec.outcome.is_some(), "{} has no terminal outcome", rec.id);
+        }
+        assert_eq!(
+            summary.completed() + summary.aborted() + summary.shed(),
+            summary.queries.len(),
+            "outcomes must partition the query set"
+        );
+        assert_eq!(rt.ledger().total_resident(), 0);
     }
 }

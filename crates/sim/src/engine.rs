@@ -86,6 +86,18 @@ struct Active {
     remaining: f64,
 }
 
+/// A clone evicted from a failed site, carrying the state the recovery
+/// layer needs to re-pack its unfinished work elsewhere.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LostClone {
+    /// The clone's caller-chosen tag.
+    pub tag: usize,
+    /// Remaining intrinsic (full-speed) time at the instant of loss.
+    /// `remaining / duration` is the unfinished fraction of the clone's
+    /// work vector.
+    pub remaining: f64,
+}
+
 fn capacity_factor(overhead: f64, resident: usize) -> f64 {
     if resident <= 1 {
         1.0
@@ -165,6 +177,12 @@ pub struct SiteSim {
     now: f64,
     active: Vec<Active>,
     busy: Vec<f64>,
+    /// Speed multiplier in `(0, 1]`: a straggler site stretches every
+    /// resident clone by `1/rate`. At `1.0` the arithmetic is bit-exact
+    /// with a rate-free build (`x * 1.0 == x` in IEEE 754).
+    rate: f64,
+    /// A crashed site holds no clones and accepts none until restored.
+    down: bool,
 }
 
 impl SiteSim {
@@ -176,6 +194,8 @@ impl SiteSim {
             now: 0.0,
             active: Vec::new(),
             busy: vec![0.0; d],
+            rate: 1.0,
+            down: false,
         }
     }
 
@@ -197,6 +217,66 @@ impl SiteSim {
         &self.busy
     }
 
+    /// The site's speed multiplier (see [`SiteSim::set_rate`]).
+    #[inline]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Marks the site a straggler: every resident clone's realized speed
+    /// is scaled by `rate`, stretching all work by `1/rate`. The default
+    /// `1.0` is an exact no-op.
+    ///
+    /// # Panics
+    /// Panics unless `rate` is finite and in `(0, 1]`.
+    pub fn set_rate(&mut self, rate: f64) {
+        assert!(
+            rate.is_finite() && rate > 0.0 && rate <= 1.0,
+            "site rate must lie in (0, 1], got {rate}"
+        );
+        self.rate = rate;
+    }
+
+    /// Whether the site is currently crashed.
+    #[inline]
+    pub fn is_down(&self) -> bool {
+        self.down
+    }
+
+    /// Crashes the site at the current virtual time: every resident clone
+    /// is evicted and returned (in residency order) with its remaining
+    /// intrinsic time, and the site refuses new clones until
+    /// [`SiteSim::restore`]. Busy-time integrals stop accumulating — lost
+    /// partial work was still real work, so the integral up to now stays.
+    pub fn fail(&mut self) -> Vec<LostClone> {
+        self.down = true;
+        self.active
+            .drain(..)
+            .map(|a| LostClone {
+                tag: a.tag,
+                remaining: a.remaining,
+            })
+            .collect()
+    }
+
+    /// Brings a crashed site back, empty and idle, at the current clock.
+    pub fn restore(&mut self) {
+        self.down = false;
+    }
+
+    /// Evicts the clone tagged `tag` (e.g. a deadline abort), returning
+    /// its remaining intrinsic time, or `None` if no such clone is
+    /// resident. Remaining clones keep their progress; speeds recompute
+    /// at the next event as usual.
+    pub fn remove_clone(&mut self, tag: usize) -> Option<LostClone> {
+        let idx = self.active.iter().position(|a| a.tag == tag)?;
+        let a = self.active.remove(idx);
+        Some(LostClone {
+            tag: a.tag,
+            remaining: a.remaining,
+        })
+    }
+
     /// Sum of the resident clones' full-speed demand rates per resource —
     /// the committed load the site ledger mirrors.
     pub fn committed_demand(&self) -> Vec<f64> {
@@ -214,9 +294,10 @@ impl SiteSim {
     /// `now`) is returned instead of being enqueued.
     ///
     /// # Panics
-    /// Panics on dimensionality mismatch or a non-finite/negative
-    /// duration.
+    /// Panics on dimensionality mismatch, a non-finite/negative duration,
+    /// or a crashed site.
     pub fn add_clone(&mut self, clone: &SimClone) -> Option<Completion> {
+        assert!(!self.down, "cannot place a clone on a crashed site");
         assert_eq!(
             clone.work.dim(),
             self.d,
@@ -253,8 +334,9 @@ impl SiteSim {
         let s = speeds(&self.active, &self.config, self.d);
         let mut dt = f64::INFINITY;
         for (a, &sc) in self.active.iter().zip(&s) {
-            if sc > 0.0 {
-                dt = dt.min(a.remaining / sc);
+            let eff = sc * self.rate;
+            if eff > 0.0 {
+                dt = dt.min(a.remaining / eff);
             }
         }
         assert!(
@@ -281,8 +363,9 @@ impl SiteSim {
             let s = speeds(&self.active, &self.config, self.d);
             let mut dt = f64::INFINITY;
             for (a, &sc) in self.active.iter().zip(&s) {
-                if sc > 0.0 {
-                    dt = dt.min(a.remaining / sc);
+                let eff = sc * self.rate;
+                if eff > 0.0 {
+                    dt = dt.min(a.remaining / eff);
                 }
             }
             assert!(
@@ -293,9 +376,10 @@ impl SiteSim {
             let step = dt.min(t - self.now);
             self.now += step;
             for (a, &sc) in self.active.iter_mut().zip(&s) {
-                a.remaining -= sc * step;
+                let eff = sc * self.rate;
+                a.remaining -= eff * step;
                 for (b, dem) in self.busy.iter_mut().zip(&a.demand) {
-                    *b += sc * dem * step;
+                    *b += eff * dem * step;
                 }
             }
             // Sweep completions unconditionally: a partial step that lands
@@ -549,6 +633,96 @@ mod tests {
         let done = sim.add_clone(&clone(9, &[0.0, 0.0], 0.0)).unwrap();
         assert_eq!(done.tag, 9);
         assert_eq!(done.time, 3.0);
+    }
+
+    #[test]
+    fn straggler_rate_stretches_completions_exactly() {
+        let mut sim = SiteSim::new(SimConfig::default(), 2);
+        sim.set_rate(0.5);
+        assert_eq!(sim.rate(), 0.5);
+        sim.add_clone(&clone(0, &[4.0, 0.0], 4.0));
+        let t = sim.next_completion_time().unwrap();
+        assert!((t - 8.0).abs() < 1e-9, "half-rate doubles duration: {t}");
+        let mut out = Vec::new();
+        sim.advance_to(t, &mut out);
+        assert_eq!(out.len(), 1);
+        // Busy integral records realized (rate-scaled) demand: the work
+        // processed is unchanged, only spread over twice the time.
+        assert!((sim.busy()[0] - 4.0).abs() < 1e-9, "busy {}", sim.busy()[0]);
+    }
+
+    #[test]
+    fn full_rate_is_bit_exact_with_default() {
+        let drive = |set: bool| {
+            let mut sim = SiteSim::new(SimConfig::default(), 2);
+            if set {
+                sim.set_rate(1.0);
+            }
+            sim.add_clone(&clone(0, &[10.0, 15.0], 22.0));
+            sim.add_clone(&clone(1, &[10.0, 5.0], 10.0));
+            let mut out = Vec::new();
+            while let Some(t) = sim.next_completion_time() {
+                sim.advance_to(t, &mut out);
+            }
+            (
+                out.iter().map(|c| c.time.to_bits()).collect::<Vec<_>>(),
+                sim.busy().iter().map(|b| b.to_bits()).collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(drive(false), drive(true));
+    }
+
+    #[test]
+    fn fail_evicts_partial_clones_and_restore_reopens() {
+        let mut sim = SiteSim::new(SimConfig::default(), 2);
+        let mut out = Vec::new();
+        sim.add_clone(&clone(0, &[8.0, 0.0], 8.0));
+        sim.add_clone(&clone(1, &[2.0, 0.0], 2.0));
+        sim.advance_to(1.0, &mut out);
+        assert!(out.is_empty());
+        let lost = sim.fail();
+        assert!(sim.is_down());
+        assert_eq!(sim.resident(), 0);
+        assert_eq!(sim.next_completion_time(), None);
+        assert_eq!(lost.len(), 2);
+        assert_eq!(lost[0].tag, 0);
+        assert_eq!(lost[1].tag, 1);
+        // EqualFinish shares: total demand 1.25 on CPU → horizon 10 from
+        // t=0, so after 1s clone 0 ran at 8/10 and clone 1 at 2/10.
+        assert!((lost[0].remaining - 7.2).abs() < 1e-9, "{:?}", lost[0]);
+        assert!((lost[1].remaining - 1.8).abs() < 1e-9, "{:?}", lost[1]);
+        // The clock still advances through the outage; busy stays frozen.
+        let busy = sim.busy()[0];
+        sim.advance_to(5.0, &mut out);
+        assert_eq!(sim.now(), 5.0);
+        assert_eq!(sim.busy()[0], busy);
+        sim.restore();
+        assert!(!sim.is_down());
+        assert!(sim.add_clone(&clone(2, &[1.0, 0.0], 1.0)).is_none());
+        assert_eq!(sim.resident(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "crashed site")]
+    fn down_site_refuses_clones() {
+        let mut sim = SiteSim::new(SimConfig::default(), 2);
+        sim.fail();
+        sim.add_clone(&clone(0, &[1.0, 0.0], 1.0));
+    }
+
+    #[test]
+    fn remove_clone_evicts_by_tag() {
+        let mut sim = SiteSim::new(SimConfig::default(), 2);
+        sim.add_clone(&clone(3, &[4.0, 0.0], 4.0));
+        sim.add_clone(&clone(9, &[4.0, 0.0], 4.0));
+        assert_eq!(sim.remove_clone(7), None);
+        let lost = sim.remove_clone(3).expect("tag 3 resident");
+        assert_eq!(lost.tag, 3);
+        assert!((lost.remaining - 4.0).abs() < 1e-12);
+        assert_eq!(sim.resident(), 1);
+        // The survivor now runs alone at full speed.
+        let t = sim.next_completion_time().unwrap();
+        assert!((t - 4.0).abs() < 1e-9, "survivor finish {t}");
     }
 
     #[test]

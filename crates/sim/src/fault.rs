@@ -1,0 +1,337 @@
+//! Deterministic fault plans: site crash/recover schedules and per-site
+//! slowdown (straggler) factors.
+//!
+//! A [`FaultPlan`] is a *pre-drawn*, fully deterministic schedule of
+//! failures: a sorted list of [`FaultEvent`]s (which site crashes or
+//! recovers at which virtual time) plus a sparse map of per-site speed
+//! factors. The plan is data, not behavior — the online runtime walks it
+//! with a [`FaultTimeline`] cursor as virtual time advances and applies
+//! each event to the matching [`SiteSim`](crate::engine::SiteSim). Because
+//! the plan is drawn up-front from a seed (alternating exponential
+//! up/down times, the classic MTBF/MTTR renewal model), two runs over the
+//! same seed observe byte-identical failure histories — the property the
+//! determinism test suite pins down.
+
+use mrs_core::rng::DetRng;
+
+/// What happens to a site at a fault event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// The site crashes: resident clones are lost, no new clones may be
+    /// placed until it recovers.
+    Crash,
+    /// The site comes back, empty and idle.
+    Recover,
+}
+
+/// One scheduled fault: `site` crashes or recovers at virtual `time`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultEvent {
+    /// Virtual time of the event.
+    pub time: f64,
+    /// The affected site index.
+    pub site: usize,
+    /// Crash or recover.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of site failures and stragglers.
+///
+/// The empty (default) plan is the exact fault-free system: no events,
+/// every site at rate `1.0` — the runtime's arithmetic is bit-identical
+/// to a build without the fault layer.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+    slowdowns: Vec<(usize, f64)>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no failures, no stragglers.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan from an explicit event script. Events are sorted by
+    /// `(time, site, kind)`; equal-time ties therefore resolve
+    /// deterministically.
+    ///
+    /// # Panics
+    /// Panics if any event time is non-finite or negative.
+    pub fn scripted(mut events: Vec<FaultEvent>) -> Self {
+        for ev in &events {
+            assert!(
+                ev.time.is_finite() && ev.time >= 0.0,
+                "fault event time must be finite and non-negative, got {}",
+                ev.time
+            );
+        }
+        events.sort_by(|a, b| {
+            a.time
+                .total_cmp(&b.time)
+                .then(a.site.cmp(&b.site))
+                .then(a.kind.cmp(&b.kind))
+        });
+        FaultPlan {
+            events,
+            slowdowns: Vec::new(),
+        }
+    }
+
+    /// Marks `site` as a straggler running at `factor` of full speed.
+    ///
+    /// # Panics
+    /// Panics unless `factor` is finite and in `(0, 1]`.
+    pub fn with_slowdown(mut self, site: usize, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0 && factor <= 1.0,
+            "slowdown factor must lie in (0, 1], got {factor}"
+        );
+        self.slowdowns.retain(|(s, _)| *s != site);
+        self.slowdowns.push((site, factor));
+        self.slowdowns.sort_by_key(|(s, _)| *s);
+        self
+    }
+
+    /// Draws a crash/recover renewal schedule for `sites` sites over
+    /// `[0, horizon]`: each site alternates an `Exp(1/mtbf)` up-time with
+    /// an `Exp(1/mttr)` down-time, independently seeded per site so the
+    /// schedule of site `j` does not depend on how many sites exist
+    /// before it.
+    ///
+    /// A non-positive or non-finite `mtbf` yields the empty plan (the
+    /// "no failures" sentinel used by experiment sweeps).
+    ///
+    /// # Panics
+    /// Panics if `mttr` is non-positive/non-finite while `mtbf` is
+    /// positive, or if `horizon` is negative/non-finite.
+    pub fn seeded(sites: usize, horizon: f64, mtbf: f64, mttr: f64, seed: u64) -> Self {
+        assert!(
+            horizon.is_finite() && horizon >= 0.0,
+            "fault horizon must be finite and non-negative, got {horizon}"
+        );
+        if !(mtbf.is_finite() && mtbf > 0.0) {
+            return FaultPlan::none();
+        }
+        assert!(
+            mttr.is_finite() && mttr > 0.0,
+            "mttr must be finite and positive, got {mttr}"
+        );
+        let mut events = Vec::new();
+        for site in 0..sites {
+            let mut rng =
+                DetRng::seed_from_u64(seed ^ (site as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut t = 0.0f64;
+            loop {
+                t += rng.gen_exp(1.0 / mtbf);
+                if t > horizon {
+                    break;
+                }
+                events.push(FaultEvent {
+                    time: t,
+                    site,
+                    kind: FaultKind::Crash,
+                });
+                t += rng.gen_exp(1.0 / mttr);
+                if t > horizon {
+                    break;
+                }
+                events.push(FaultEvent {
+                    time: t,
+                    site,
+                    kind: FaultKind::Recover,
+                });
+            }
+        }
+        FaultPlan::scripted(events)
+    }
+
+    /// True for the fault-free plan (no events, no stragglers).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.slowdowns.is_empty()
+    }
+
+    /// The sorted event schedule.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// The straggler map as `(site, factor)` pairs, sorted by site.
+    pub fn slowdowns(&self) -> &[(usize, f64)] {
+        &self.slowdowns
+    }
+
+    /// The speed factor of `site` (`1.0` unless marked a straggler).
+    pub fn slowdown(&self, site: usize) -> f64 {
+        self.slowdowns
+            .iter()
+            .find(|(s, _)| *s == site)
+            .map_or(1.0, |(_, f)| *f)
+    }
+}
+
+/// A consuming cursor over a [`FaultPlan`]'s events in time order.
+#[derive(Clone, Debug)]
+pub struct FaultTimeline {
+    events: Vec<FaultEvent>,
+    next: usize,
+}
+
+impl FaultTimeline {
+    /// A cursor at the start of `plan`'s schedule.
+    pub fn new(plan: &FaultPlan) -> Self {
+        FaultTimeline {
+            events: plan.events().to_vec(),
+            next: 0,
+        }
+    }
+
+    /// Time of the next unconsumed event, if any.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.events.get(self.next).map(|e| e.time)
+    }
+
+    /// Consumes and returns the next event if it is due at or before `t`.
+    pub fn pop_due(&mut self, t: f64) -> Option<FaultEvent> {
+        let ev = *self.events.get(self.next)?;
+        if ev.time <= t {
+            self.next += 1;
+            Some(ev)
+        } else {
+            None
+        }
+    }
+
+    /// Number of events not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_empty() {
+        let p = FaultPlan::none();
+        assert!(p.is_empty());
+        assert_eq!(p.events(), &[]);
+        assert_eq!(p.slowdown(3), 1.0);
+        let mut tl = FaultTimeline::new(&p);
+        assert_eq!(tl.peek_time(), None);
+        assert_eq!(tl.pop_due(1e18), None);
+    }
+
+    #[test]
+    fn scripted_sorts_events() {
+        let p = FaultPlan::scripted(vec![
+            FaultEvent {
+                time: 5.0,
+                site: 1,
+                kind: FaultKind::Recover,
+            },
+            FaultEvent {
+                time: 2.0,
+                site: 0,
+                kind: FaultKind::Crash,
+            },
+            FaultEvent {
+                time: 5.0,
+                site: 0,
+                kind: FaultKind::Crash,
+            },
+        ]);
+        let times: Vec<(f64, usize)> = p.events().iter().map(|e| (e.time, e.site)).collect();
+        assert_eq!(times, vec![(2.0, 0), (5.0, 0), (5.0, 1)]);
+    }
+
+    #[test]
+    fn seeded_is_deterministic_and_alternates_per_site() {
+        let a = FaultPlan::seeded(6, 500.0, 40.0, 10.0, 77);
+        let b = FaultPlan::seeded(6, 500.0, 40.0, 10.0, 77);
+        assert_eq!(a, b, "same seed must reproduce the schedule exactly");
+        assert!(!a.is_empty(), "a 500s horizon at MTBF 40 should fail");
+        for site in 0..6 {
+            let mut expect = FaultKind::Crash;
+            for ev in a.events().iter().filter(|e| e.site == site) {
+                assert_eq!(ev.kind, expect, "site {site} must alternate crash/recover");
+                expect = if expect == FaultKind::Crash {
+                    FaultKind::Recover
+                } else {
+                    FaultKind::Crash
+                };
+                assert!(ev.time <= 500.0);
+            }
+        }
+        let c = FaultPlan::seeded(6, 500.0, 40.0, 10.0, 78);
+        assert_ne!(a, c, "a different seed must change the schedule");
+    }
+
+    #[test]
+    fn seeded_sites_are_independent_of_site_count() {
+        // Adding sites must not perturb the schedules of existing ones.
+        let small = FaultPlan::seeded(2, 300.0, 30.0, 8.0, 9);
+        let large = FaultPlan::seeded(5, 300.0, 30.0, 8.0, 9);
+        let filt = |p: &FaultPlan| {
+            p.events()
+                .iter()
+                .filter(|e| e.site < 2)
+                .copied()
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(filt(&small), filt(&large));
+    }
+
+    #[test]
+    fn non_positive_mtbf_means_no_faults() {
+        assert!(FaultPlan::seeded(4, 100.0, 0.0, 5.0, 1).is_empty());
+        assert!(FaultPlan::seeded(4, 100.0, f64::INFINITY, 5.0, 1).is_empty());
+    }
+
+    #[test]
+    fn slowdown_lookup() {
+        let p = FaultPlan::none()
+            .with_slowdown(2, 0.5)
+            .with_slowdown(0, 0.8);
+        assert_eq!(p.slowdown(0), 0.8);
+        assert_eq!(p.slowdown(1), 1.0);
+        assert_eq!(p.slowdown(2), 0.5);
+        assert_eq!(p.slowdowns(), &[(0, 0.8), (2, 0.5)]);
+        // Re-marking a site replaces its factor.
+        let p = p.with_slowdown(2, 0.9);
+        assert_eq!(p.slowdown(2), 0.9);
+    }
+
+    #[test]
+    fn timeline_pops_in_order() {
+        let p = FaultPlan::seeded(3, 200.0, 25.0, 5.0, 3);
+        let mut tl = FaultTimeline::new(&p);
+        let total = tl.remaining();
+        assert_eq!(total, p.events().len());
+        let mut seen = Vec::new();
+        while let Some(t) = tl.peek_time() {
+            assert_eq!(tl.pop_due(t - 1e-9), None, "not due yet");
+            let ev = tl.pop_due(t).expect("due event pops");
+            seen.push(ev.time);
+        }
+        assert_eq!(seen.len(), total);
+        assert!(seen.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "slowdown factor")]
+    fn zero_slowdown_rejected() {
+        let _ = FaultPlan::none().with_slowdown(0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_event_time_rejected() {
+        let _ = FaultPlan::scripted(vec![FaultEvent {
+            time: -1.0,
+            site: 0,
+            kind: FaultKind::Crash,
+        }]);
+    }
+}

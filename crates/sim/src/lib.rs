@@ -32,14 +32,17 @@
 #![forbid(unsafe_code)]
 
 pub mod engine;
+pub mod fault;
 pub mod phase;
 pub mod pipeline;
 
 /// One-stop imports.
 pub mod prelude {
     pub use crate::engine::{
-        simulate_site, site_finish, Completion, SharingPolicy, SimClone, SimConfig, SiteSim,
+        simulate_site, site_finish, Completion, LostClone, SharingPolicy, SimClone, SimConfig,
+        SiteSim,
     };
+    pub use crate::fault::{FaultEvent, FaultKind, FaultPlan, FaultTimeline};
     pub use crate::phase::{simulate_phase, simulate_tree, PhaseSimResult};
     pub use crate::pipeline::{simulate_phase_pipelined, PipelineSimResult};
 }

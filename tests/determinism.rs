@@ -109,6 +109,23 @@ fn experiment_reports_are_reproducible() {
 }
 
 #[test]
+fn faults_experiment_is_reproducible_and_jobs_invariant() {
+    // Same seed + same FaultPlan ⇒ byte-identical CSV, and the worker
+    // count must not leak into the numbers: the sweep cells are pure
+    // functions merged in input order.
+    let cfg = |jobs| ExpConfig {
+        seed: 7,
+        fast: true,
+        jobs,
+    };
+    let serial = faults(&cfg(1)).table.to_csv();
+    let again = faults(&cfg(1)).table.to_csv();
+    assert_eq!(serial, again, "faults must be run-to-run reproducible");
+    let parallel = faults(&cfg(4)).table.to_csv();
+    assert_eq!(serial, parallel, "--jobs must not change faults output");
+}
+
+#[test]
 fn experiment_registry_runs_everything_fast() {
     // Smoke-test the full registry in fast mode; every report renders.
     let cfg = ExpConfig {

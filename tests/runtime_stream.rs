@@ -78,6 +78,72 @@ fn two_query_fcfs_is_deterministic() {
     assert!(q0.slowdown().unwrap() > 1.0 || q1.slowdown().unwrap() > 1.0);
 }
 
+/// Same seed + same FaultPlan ⇒ bit-identical runs: the recovery loop
+/// (crash eviction, re-packing, retries, deadlines) preserves the event
+/// loop's determinism. Every admitted query must also reach exactly one
+/// terminal outcome.
+#[test]
+fn faulted_stream_is_deterministic_and_terminal() {
+    let cost = CostModel::paper_defaults();
+    let comm = cost.params().comm_model();
+    let sys = SystemSpec::homogeneous(12);
+    let model = OverlapModel::new(0.5).unwrap();
+
+    let run = || {
+        let cfg = RuntimeConfig {
+            policy: AdmissionPolicy::Fcfs,
+            max_in_flight: 3,
+            faults: FaultPlan::seeded(12, 4000.0, 120.0, 30.0, 0xFA17),
+            deadline: Some(2500.0),
+            recovery: RecoveryConfig {
+                backoff_base: 5.0,
+                backoff_cap: 80.0,
+                degrade_threshold: 0.25,
+                ..RecoveryConfig::default()
+            },
+            ..RuntimeConfig::default()
+        };
+        let mut rt = Runtime::new(sys.clone(), comm, model, cfg);
+        for (i, (joins, seed)) in [(8usize, 31u64), (12, 32), (10, 33), (14, 34), (6, 35)]
+            .into_iter()
+            .enumerate()
+        {
+            rt.submit_at(10.0 * i as f64, i % 2, problem(joins, seed, &cost));
+        }
+        rt.run_to_completion().unwrap()
+    };
+
+    let a = run();
+    let b = run();
+    assert!(
+        a.sites_failed() > 0,
+        "the fault plan must actually crash something"
+    );
+    for (qa, qb) in a.queries.iter().zip(&b.queries) {
+        assert_eq!(qa.outcome, qb.outcome, "{}: outcome differs", qa.id);
+        assert_eq!(
+            qa.finish.map(f64::to_bits),
+            qb.finish.map(f64::to_bits),
+            "{}: finish differs",
+            qa.id
+        );
+        assert!(
+            matches!(
+                qa.outcome,
+                Some(QueryOutcome::Completed)
+                    | Some(QueryOutcome::Aborted { .. })
+                    | Some(QueryOutcome::Shed)
+            ),
+            "{}: non-terminal outcome {:?}",
+            qa.id,
+            qa.outcome
+        );
+    }
+    assert_eq!(a.faults, b.faults, "fault traces must be identical");
+    assert_eq!(a.depth_trace, b.depth_trace);
+    assert_eq!(a.site_busy, b.site_busy);
+}
+
 /// The admission policies actually change the service order under
 /// backlog: with the machine busy and a fat query queued ahead of a thin
 /// one, SVF serves the thin one first while FCFS preserves arrival order.
