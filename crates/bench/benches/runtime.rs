@@ -101,9 +101,93 @@ fn bench_stream(b: &mut Bench) {
     g.finish();
 }
 
+fn bench_serve_stream(b: &mut Bench) {
+    use mrs_core::tree::tree_schedule;
+    use mrs_cost::prelude::*;
+    use mrs_exp::prelude::query_problem;
+    use mrs_sim::fault::FaultPlan;
+    use mrs_workload::prelude::*;
+
+    let cost = CostModel::paper_defaults();
+    let comm = cost.params().comm_model();
+    let model = OverlapModel::new(0.5).unwrap();
+    let f = 0.7;
+    // A templated workload: six distinct plans cycled over the stream, the
+    // regime where a plan-signature cache pays off.
+    let templates: Vec<_> = (0..6u64)
+        .map(|s| {
+            let q = generate_query(&QueryGenConfig::paper(8 + (s as usize % 5)), 7 * s + 1);
+            query_problem(&q, &cost)
+        })
+        .collect();
+    let queries = 42usize;
+    let mpl = 4usize;
+    let load = 1.5f64;
+
+    let mut g = b.group("serve_stream");
+    g.sample_size(5);
+    for sites in [64usize, 140] {
+        let sys = SystemSpec::homogeneous(sites);
+        let mean_standalone: f64 = templates
+            .iter()
+            .map(|p| {
+                tree_schedule(p, f, &sys, &comm, &model)
+                    .expect("template plans always schedule")
+                    .response_time
+            })
+            .sum::<f64>()
+            / templates.len() as f64;
+        let rate = load * mpl as f64 / mean_standalone;
+        let arrivals = poisson_arrivals(rate, queries, 0xA11C_E5ED ^ sites as u64);
+        let plan_horizon = arrivals.last().copied().unwrap_or(0.0) + 50.0 * mean_standalone;
+
+        for faulty in [false, true] {
+            let faults = if faulty {
+                FaultPlan::seeded(
+                    sites,
+                    plan_horizon,
+                    3.0 * mean_standalone,
+                    0.75 * mean_standalone,
+                    0x0FA7_0FA7 ^ sites as u64,
+                )
+            } else {
+                FaultPlan::none()
+            };
+            let id = format!("p{sites}{}", if faulty { "_faults" } else { "" });
+            g.bench_batched(
+                &id,
+                || {
+                    let cfg = RuntimeConfig {
+                        f,
+                        max_in_flight: mpl,
+                        faults: faults.clone(),
+                        recovery: RecoveryConfig {
+                            backoff_base: 0.1 * mean_standalone,
+                            backoff_cap: 2.0 * mean_standalone,
+                            degrade_threshold: 0.25,
+                            ..RecoveryConfig::default()
+                        },
+                        ..RuntimeConfig::default()
+                    };
+                    let mut rt = Runtime::new(sys.clone(), comm, model, cfg);
+                    for (i, t) in arrivals.iter().enumerate() {
+                        rt.submit_at(*t, i % 3, templates[i % templates.len()].clone());
+                    }
+                    rt
+                },
+                |mut rt| {
+                    black_box(rt.run_to_completion().unwrap());
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
 fn main() {
     let mut b = Bench::from_args();
     bench_ledger(&mut b);
     bench_admission(&mut b);
     bench_stream(&mut b);
+    bench_serve_stream(&mut b);
 }

@@ -5,7 +5,7 @@
 //! mrs-repro schedule [--seed N] [--joins J] [--sites P] [--eps E] [--f F]
 //! mrs-repro serve [--seed N] [--queries N] [--sites P] [--mpl M]
 //!                 [--load X] [--policy fcfs|svf|rr-fair]
-//!                 [--mtbf T] [--deadline D]
+//!                 [--mtbf T] [--deadline D] [--templates K]
 //! ```
 //!
 //! Experiments: table2, fig5a, fig5b, fig6a, fig6b, ablation-dims,
@@ -15,7 +15,9 @@
 //! `serve --mtbf T` injects a seeded site crash/recover schedule with
 //! mean time between failures `T` virtual seconds per site (MTTR is
 //! `T/4`); `--deadline D` aborts queries not finished within `D` seconds
-//! of arrival.
+//! of arrival. `--templates K` draws the stream from `K` recurring query
+//! templates instead of all-distinct plans, exercising the plan-signature
+//! schedule cache (the printed cache line shows the amortization).
 
 use mrs_exp::config::ExpConfig;
 use mrs_exp::{all_experiments, experiment_by_id};
@@ -26,7 +28,7 @@ fn usage() -> &'static str {
     "usage: mrs-repro [--seed N] [--fast] [--jobs N] [--csv DIR] <experiment>... | all | list\n\
        or: mrs-repro schedule [--seed N] [--joins J] [--sites P] [--eps E] [--f F]\n\
        or: mrs-repro serve [--seed N] [--queries N] [--sites P] [--mpl M] [--load X] \
-     [--policy fcfs|svf|rr-fair] [--mtbf T] [--deadline D]\n\
+     [--policy fcfs|svf|rr-fair] [--mtbf T] [--deadline D] [--templates K]\n\
      experiments: table2 fig5a fig5b fig6a fig6b ablation-dims ablation-order \
      malleable planopt pipecheck memcheck dimcheck shelfcheck optgap simcheck skew throughput \
      faults"
@@ -52,6 +54,7 @@ fn run_serve_demo(args: &[String]) -> ExitCode {
     let mut load = 1.5f64;
     let mut mtbf = 0.0f64;
     let mut deadline = 0.0f64;
+    let mut templates = 0usize;
     let mut policy = AdmissionPolicy::Fcfs;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -80,6 +83,7 @@ fn run_serve_demo(args: &[String]) -> ExitCode {
             "--load" => load = value,
             "--mtbf" => mtbf = value,
             "--deadline" => deadline = value,
+            "--templates" => templates = value as usize,
             other => {
                 eprintln!("unknown serve option {other:?}\n{}", usage());
                 return ExitCode::FAILURE;
@@ -98,7 +102,14 @@ fn run_serve_demo(args: &[String]) -> ExitCode {
     let f = 0.7;
 
     let mut rng = DetRng::seed_from_u64(seed);
-    let problems: Vec<_> = (0..queries)
+    // With --templates K, draw K plans and cycle them across the stream
+    // (a recurring-template workload); otherwise every query is distinct.
+    let distinct = if templates > 0 {
+        templates.min(queries)
+    } else {
+        queries
+    };
+    let base: Vec<_> = (0..distinct)
         .map(|_| {
             let joins = rng.gen_range(6..=14usize);
             let q = generate_query(
@@ -108,6 +119,7 @@ fn run_serve_demo(args: &[String]) -> ExitCode {
             query_problem(&q, &cost)
         })
         .collect();
+    let problems: Vec<_> = (0..queries).map(|i| base[i % distinct].clone()).collect();
     let mean_standalone: f64 = problems
         .iter()
         .map(|p| {
@@ -200,6 +212,13 @@ fn run_serve_demo(args: &[String]) -> ExitCode {
         summary.avg_utilization(cpu),
         summary.avg_utilization(disk),
         summary.avg_utilization(net)
+    );
+    println!(
+        "schedule cache: {} plans computed, {} hits ({:.0}% hit rate), {} epoch bumps",
+        summary.plans_computed(),
+        summary.cache.hits,
+        100.0 * summary.cache_hit_rate(),
+        summary.cache.epoch_bumps
     );
     ExitCode::SUCCESS
 }

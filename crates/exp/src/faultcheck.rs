@@ -18,7 +18,12 @@
 //!
 //! The `overhead` column is the run's horizon relative to the same
 //! policy's fault-free horizon: how much longer the machine was busy
-//! because work was lost, rebuilt, and re-packed.
+//! because work was lost, rebuilt, and re-packed. The `plans` and
+//! `cache_hits` columns expose the scheduling cost itself: admission
+//! TreeSchedules computed fresh vs. served from the plan-signature
+//! cache (this stream's plans are all distinct, so hits stay 0 and
+//! `plans` counts admissions — a templated stream amortizes them; see
+//! the `serve` mode and the `serve_stream` bench group).
 
 use crate::config::ExpConfig;
 use crate::report::Report;
@@ -48,6 +53,8 @@ struct Cell {
     sites_failed: usize,
     clones_lost: usize,
     repacks: usize,
+    plans: u64,
+    cache_hits: u64,
 }
 
 /// The `faults` experiment (see the module docs).
@@ -142,6 +149,8 @@ pub fn faults(cfg: &ExpConfig) -> Report {
             sites_failed: summary.sites_failed(),
             clones_lost: summary.clones_lost(),
             repacks: summary.repacks(),
+            plans: summary.plans_computed(),
+            cache_hits: summary.cache.hits,
         }
     });
 
@@ -158,6 +167,8 @@ pub fn faults(cfg: &ExpConfig) -> Report {
         "clones_lost",
         "repacks",
         "overhead",
+        "plans",
+        "cache_hits",
     ]);
     let mut notes: Vec<String> = Vec::new();
 
@@ -189,6 +200,8 @@ pub fn faults(cfg: &ExpConfig) -> Report {
             cell.clones_lost.to_string(),
             cell.repacks.to_string(),
             format!("{:.3}", overhead),
+            cell.plans.to_string(),
+            cell.cache_hits.to_string(),
         ]);
         assert_eq!(
             cell.completed + cell.aborted + cell.shed,
@@ -262,6 +275,12 @@ mod tests {
         for row in report.table.rows.iter().filter(|r| r[1] == "inf") {
             assert_eq!(row[8], "0", "baseline must see no site failures");
             assert_eq!(row[11], "1.000", "baseline overhead is unity");
+        }
+        // Every admission planned (all-distinct stream: no cache hits).
+        for row in &report.table.rows {
+            let plans: u64 = row[12].parse().unwrap();
+            assert!(plans > 0, "a served stream computes plans");
+            assert_eq!(row[13], "0", "distinct plans cannot hit the cache");
         }
         // Faulty rows actually exercised the fault path.
         assert!(

@@ -183,12 +183,15 @@ pub fn throughput(cfg: &ExpConfig) -> Report {
             ]);
         }
         notes.push(format!(
-            "{}: {} completed, throughput {:.4}/s, p95 latency {:.1}s, max queue depth {}",
+            "{}: {} completed, throughput {:.4}/s, p95 latency {:.1}s, max queue depth {}, \
+             {} plans computed ({:.0}% cache hits)",
             policy.label(),
             summary.completed(),
             summary.throughput(),
             summary.p95_latency(),
-            summary.max_queue_depth()
+            summary.max_queue_depth(),
+            summary.plans_computed(),
+            100.0 * summary.cache_hit_rate(),
         ));
     }
 

@@ -1,0 +1,324 @@
+//! Plan-signature schedule cache: memoizes `tree_schedule` across a
+//! templated query stream.
+//!
+//! Online serving workloads are dominated by *query templates* — the same
+//! plan shape arriving over and over with identical cost vectors. The
+//! TreeSchedule at admission is a pure function of
+//! `(problem, f, system, comm, model)`; with the system, communication,
+//! and response models fixed for a runtime's lifetime, the admission
+//! schedule is fully determined by `(problem, f)`. The cache canonicalizes
+//! that pair into a [`PlanSignature`] and memoizes the resulting
+//! [`TreeScheduleResult`] behind an [`Arc`], so a template's second
+//! arrival skips planning entirely.
+//!
+//! Two properties are non-negotiable:
+//!
+//! * **Exactness.** The signature quantizes every float at full 64-bit
+//!   precision — the exact IEEE bit patterns, via `to_bits` — and encodes
+//!   the complete plan shape (operator table, placement constraints, task
+//!   graph, bindings). Signature equality therefore implies the fresh
+//!   computation would be *bit-identical*, never merely similar: a lossy
+//!   signature could collide two nearby problems and serve one of them a
+//!   wrong schedule. The shadow-compute test (`verify` in
+//!   [`RuntimeConfig`](crate::runtime::RuntimeConfig)) enforces this by
+//!   re-planning on hits and comparing [`schedule_digest`]s.
+//! * **Epoch invalidation.** `tree_schedule` plans against the full site
+//!   set; the runtime's recovery layer reacts to crashes by re-packing
+//!   *around* dead sites at dispatch. A cached schedule computed before a
+//!   failure is still the correct *admission* schedule, but to keep the
+//!   cache semantics conservative — never serve a plan whose environment
+//!   has shifted — any site failure or restore bumps the epoch
+//!   ([`ScheduleCache::bump_epoch`]), which clears the cache wholesale.
+//!   Rate changes would bump it too, but straggler rates are fixed at
+//!   construction in the current runtime.
+
+use mrs_core::operator::Placement;
+use mrs_core::tree::{TreeProblem, TreeScheduleResult};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Counters describing how a run's admissions hit the schedule cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Admissions served from the cache (no `tree_schedule` call).
+    pub hits: u64,
+    /// Admissions that computed a fresh plan (includes every admission
+    /// when the cache is disabled) — the run's re-plan count.
+    pub misses: u64,
+    /// Epoch bumps: cache-clearing environment changes (site crash or
+    /// restore).
+    pub epoch_bumps: u64,
+}
+
+impl CacheStats {
+    /// Fraction of admissions served from the cache (`0.0` when no
+    /// admission happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total > 0 {
+            self.hits as f64 / total as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The canonical, hashable form of `(TreeProblem, f)`. Two problems share
+/// a signature iff a fresh `tree_schedule` over them (same system/models)
+/// performs bit-identical arithmetic.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PlanSignature(Vec<u64>);
+
+impl PlanSignature {
+    /// Canonicalizes `problem` and the granularity `f` into a signature.
+    ///
+    /// Encoding: every float contributes its exact `to_bits` pattern;
+    /// every enum a discriminant word; every list its length followed by
+    /// its elements. The encoding is injective over valid problems, so
+    /// collisions are impossible rather than improbable.
+    pub fn of(problem: &TreeProblem, f: f64) -> Self {
+        let mut w = Vec::with_capacity(8 + problem.ops.len() * 8);
+        w.push(f.to_bits());
+        w.push(problem.ops.len() as u64);
+        for op in &problem.ops {
+            w.push(op.id.0 as u64);
+            w.push(op.kind as u64);
+            w.push(op.processing.dim() as u64);
+            for i in 0..op.processing.dim() {
+                w.push(op.processing[i].to_bits());
+            }
+            w.push(op.data_volume.to_bits());
+            match &op.placement {
+                Placement::Floating => w.push(0),
+                Placement::Rooted(homes) => {
+                    w.push(1);
+                    w.push(homes.len() as u64);
+                    w.extend(homes.iter().map(|s| s.0 as u64));
+                }
+            }
+        }
+        w.push(problem.tasks.len() as u64);
+        for node in problem.tasks.nodes() {
+            w.push(node.ops.len() as u64);
+            w.extend(node.ops.iter().map(|o| o.0 as u64));
+            w.push(node.parent.map_or(u64::MAX, |p| p.0 as u64));
+        }
+        w.push(problem.bindings.len() as u64);
+        for b in &problem.bindings {
+            w.push(b.dependent.0 as u64);
+            w.push(b.source.0 as u64);
+        }
+        PlanSignature(w)
+    }
+}
+
+/// An epoch-guarded memo table from [`PlanSignature`] to the schedule.
+#[derive(Debug, Default)]
+pub struct ScheduleCache {
+    entries: HashMap<PlanSignature, Arc<TreeScheduleResult>>,
+    epoch: u64,
+    stats: CacheStats,
+}
+
+impl ScheduleCache {
+    /// An empty cache at epoch 0.
+    pub fn new() -> Self {
+        ScheduleCache::default()
+    }
+
+    /// The current epoch (bumped on every environment change).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Hit/miss/bump counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of memoized schedules.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up `sig`, counting a hit or miss.
+    pub fn get(&mut self, sig: &PlanSignature) -> Option<Arc<TreeScheduleResult>> {
+        match self.entries.get(sig) {
+            Some(hit) => {
+                self.stats.hits += 1;
+                Some(Arc::clone(hit))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records a freshly computed schedule under `sig`.
+    pub fn insert(&mut self, sig: PlanSignature, schedule: Arc<TreeScheduleResult>) {
+        self.entries.insert(sig, schedule);
+    }
+
+    /// Counts a plan computed while the cache is disabled, so the re-plan
+    /// metric stays meaningful either way.
+    pub fn count_uncached_plan(&mut self) {
+        self.stats.misses += 1;
+    }
+
+    /// Environment changed (site crash/restore/rate change): advance the
+    /// epoch and drop every entry, so no schedule planned under the old
+    /// environment is ever served again.
+    pub fn bump_epoch(&mut self) {
+        self.epoch += 1;
+        self.stats.epoch_bumps += 1;
+        self.entries.clear();
+    }
+}
+
+/// A canonical bit-level digest of a schedule, used by the shadow-compute
+/// verification to prove a cache hit byte-identical to a fresh plan. Walks
+/// every numeric field: phase levels and makespans, operator degrees,
+/// per-clone work-vector components, clone homes, and the total response
+/// time — all floats as exact bit patterns.
+pub fn schedule_digest(schedule: &TreeScheduleResult) -> Vec<u64> {
+    let mut w = Vec::new();
+    w.push(schedule.response_time.to_bits());
+    w.push(schedule.phases.len() as u64);
+    for phase in &schedule.phases {
+        w.push(phase.level as u64);
+        w.push(phase.makespan.to_bits());
+        w.push(phase.schedule.ops.len() as u64);
+        for (op, homes) in phase
+            .schedule
+            .ops
+            .iter()
+            .zip(&phase.schedule.assignment.homes)
+        {
+            w.push(op.spec.id.0 as u64);
+            w.push(op.degree as u64);
+            for clone in &op.clones {
+                for i in 0..clone.dim() {
+                    w.push(clone[i].to_bits());
+                }
+            }
+            w.extend(homes.iter().map(|s| s.0 as u64));
+        }
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrs_core::operator::{OperatorId, OperatorKind, OperatorSpec};
+    use mrs_core::resource::SiteId;
+    use mrs_core::tasks::{HomeBinding, TaskGraph};
+    use mrs_core::vector::WorkVector;
+
+    fn problem(cpu: f64) -> TreeProblem {
+        TreeProblem {
+            ops: vec![OperatorSpec::floating(
+                OperatorId(0),
+                OperatorKind::Scan,
+                WorkVector::from_slice(&[cpu, 1.0, 0.0]),
+                64.0,
+            )],
+            tasks: TaskGraph::single_task(vec![OperatorId(0)]),
+            bindings: vec![],
+        }
+    }
+
+    #[test]
+    fn identical_problems_share_a_signature() {
+        assert_eq!(
+            PlanSignature::of(&problem(3.0), 0.7),
+            PlanSignature::of(&problem(3.0), 0.7)
+        );
+    }
+
+    #[test]
+    fn any_input_perturbation_changes_the_signature() {
+        let base = PlanSignature::of(&problem(3.0), 0.7);
+        // Work vector off by one ulp.
+        assert_ne!(
+            base,
+            PlanSignature::of(&problem(f64::from_bits(3.0f64.to_bits() + 1)), 0.7)
+        );
+        // Different granularity.
+        assert_ne!(base, PlanSignature::of(&problem(3.0), 0.71));
+        // Different kind.
+        let mut p = problem(3.0);
+        p.ops[0].kind = OperatorKind::Sort;
+        assert_ne!(base, PlanSignature::of(&p, 0.7));
+        // Rooted placement.
+        let mut p = problem(3.0);
+        p.ops[0].placement = Placement::Rooted(vec![SiteId(1)]);
+        assert_ne!(base, PlanSignature::of(&p, 0.7));
+        // Extra binding.
+        let mut p = problem(3.0);
+        p.bindings.push(HomeBinding {
+            dependent: OperatorId(0),
+            source: OperatorId(0),
+        });
+        assert_ne!(base, PlanSignature::of(&p, 0.7));
+    }
+
+    #[test]
+    fn cache_counts_hits_misses_and_bumps() {
+        let mut cache = ScheduleCache::new();
+        let sig = PlanSignature::of(&problem(2.0), 0.7);
+        assert!(cache.get(&sig).is_none());
+        let sched = Arc::new(TreeScheduleResult {
+            phases: vec![],
+            response_time: 1.5,
+        });
+        cache.insert(sig.clone(), Arc::clone(&sched));
+        assert_eq!(cache.len(), 1);
+        let hit = cache.get(&sig).expect("second lookup hits");
+        assert!(Arc::ptr_eq(&hit, &sched));
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                epoch_bumps: 0
+            }
+        );
+        cache.bump_epoch();
+        assert!(cache.is_empty());
+        assert_eq!(cache.epoch(), 1);
+        assert!(cache.get(&sig).is_none(), "bump clears entries");
+        assert_eq!(cache.stats().epoch_bumps, 1);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn hit_rate_is_well_defined() {
+        let stats = CacheStats::default();
+        assert_eq!(stats.hit_rate(), 0.0);
+        let stats = CacheStats {
+            hits: 3,
+            misses: 1,
+            epoch_bumps: 0,
+        };
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn digest_reflects_every_schedule_field() {
+        let a = TreeScheduleResult {
+            phases: vec![],
+            response_time: 2.0,
+        };
+        let mut b = a.clone();
+        assert_eq!(schedule_digest(&a), schedule_digest(&b));
+        b.response_time = f64::from_bits(2.0f64.to_bits() + 1);
+        assert_ne!(schedule_digest(&a), schedule_digest(&b));
+    }
+}

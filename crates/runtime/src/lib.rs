@@ -9,8 +9,9 @@
 //! | [`admission`] | the wait queue and its policies (FCFS, smallest-volume-first, round-robin fair) |
 //! | [`ledger`] | per-site residual-capacity bookkeeping (committed demand vectors, alive-site set) |
 //! | [`runtime`] | the deterministic event-driven dispatcher |
+//! | [`cache`] | the plan-signature schedule cache (template memoization, epoch invalidation) |
 //! | [`recovery`] | failure-aware rescheduling: re-packing lost work onto survivors |
-//! | [`metrics`] | per-query latency, per-site utilization, throughput, fault trace |
+//! | [`metrics`] | per-query latency, per-site utilization, throughput, fault trace, cache stats |
 //!
 //! Each admitted query is scheduled with the paper's TreeSchedule and its
 //! synchronized phases are dispatched *incrementally* onto shared fluid
@@ -49,6 +50,7 @@
 #![forbid(unsafe_code)]
 
 pub mod admission;
+pub mod cache;
 pub mod job;
 pub mod ledger;
 pub mod metrics;
@@ -58,6 +60,7 @@ pub mod runtime;
 /// One-stop imports.
 pub mod prelude {
     pub use crate::admission::{AdmissionPolicy, AdmissionQueue};
+    pub use crate::cache::{schedule_digest, CacheStats, PlanSignature, ScheduleCache};
     pub use crate::job::{work_volume, QueryId, QueryOutcome, QueryRecord};
     pub use crate::ledger::SiteLedger;
     pub use crate::metrics::{FaultRecord, FaultRecordKind, RunSummary};

@@ -4,6 +4,7 @@
 //! throughput, and — under fault injection — the structured fault trace
 //! (site crashes, lost clones, re-packs, retries, aborts, sheds).
 
+use crate::cache::CacheStats;
 use crate::job::{QueryId, QueryOutcome, QueryRecord};
 use crate::runtime::RuntimeError;
 
@@ -84,6 +85,9 @@ pub struct RunSummary {
     pub depth_trace: Vec<(f64, usize)>,
     /// Time-ordered fault/recovery trace (empty for a fault-free run).
     pub faults: Vec<FaultRecord>,
+    /// Schedule-cache counters: admission hits, fresh plans computed
+    /// (re-plan count), and epoch bumps. All-zero with no admissions.
+    pub cache: CacheStats,
 }
 
 impl RunSummary {
@@ -102,7 +106,19 @@ impl RunSummary {
             site_busy,
             depth_trace,
             faults,
+            cache: CacheStats::default(),
         }
+    }
+
+    /// Fraction of admissions whose schedule came from the cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.cache.hit_rate()
+    }
+
+    /// Number of fresh `tree_schedule` computations (admissions not
+    /// served from the cache).
+    pub fn plans_computed(&self) -> u64 {
+        self.cache.misses
     }
 
     /// Number of queries that finished.
@@ -301,6 +317,20 @@ mod tests {
         assert_eq!(s.sites_failed(), 0);
         assert_eq!(s.clones_lost(), 0);
         assert_eq!(s.repacks(), 0);
+        assert_eq!(s.cache_hit_rate(), 0.0);
+        assert_eq!(s.plans_computed(), 0);
+    }
+
+    #[test]
+    fn cache_stats_surface_through_summary() {
+        let mut s = summary();
+        s.cache = CacheStats {
+            hits: 6,
+            misses: 2,
+            epoch_bumps: 1,
+        };
+        assert!((s.cache_hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(s.plans_computed(), 2);
     }
 
     #[test]

@@ -24,8 +24,17 @@
 //! events in plan order, retries in `(time, query)` order, and sites are
 //! advanced in index order. Two runs over the same submissions and plan
 //! produce identical traces.
+//!
+//! The serving hot path is indexed and memoized: the per-event linear
+//! scan over all sites is replaced by a lazy
+//! [`EventCalendar`](mrs_sim::calendar::EventCalendar) (sites advance
+//! only at their own events, or on demand when the runtime next touches
+//! them — see [`Runtime::touch_site`]), and admission TreeSchedules are
+//! memoized by plan signature in a [`ScheduleCache`](crate::cache) whose
+//! epoch bumps on any site failure or restore.
 
 use crate::admission::AdmissionQueue;
+use crate::cache::{schedule_digest, PlanSignature, ScheduleCache};
 use crate::job::{work_volume, QueryId, QueryOutcome, QueryRecord};
 use crate::ledger::SiteLedger;
 use crate::metrics::{FaultRecord, FaultRecordKind, RunSummary};
@@ -36,10 +45,12 @@ use mrs_core::model::ResponseModel;
 use mrs_core::resource::{SiteId, SystemSpec};
 use mrs_core::tree::{tree_schedule, TreeProblem, TreeScheduleResult};
 use mrs_core::vector::WorkVector;
+use mrs_sim::calendar::EventCalendar;
 use mrs_sim::engine::{Completion, SimClone, SimConfig, SiteSim};
 use mrs_sim::fault::{FaultKind, FaultPlan, FaultTimeline};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Why a runtime run (or one of its queries) failed.
 ///
@@ -115,6 +126,14 @@ pub struct RuntimeConfig {
     pub deadline: Option<f64>,
     /// Recovery-loop knobs (rebuild surcharge, retry backoff, shedding).
     pub recovery: RecoveryConfig,
+    /// Memoize admission TreeSchedules by plan signature (see
+    /// [`crate::cache`]). Bit-exact: toggling this changes planning cost,
+    /// never any output. Default `true`.
+    pub schedule_cache: bool,
+    /// Shadow-compute every cache hit and panic if the served schedule is
+    /// not bit-identical to a fresh plan — the cache's correctness
+    /// harness. Default `false` (it defeats the cache's purpose).
+    pub verify_cache: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -128,6 +147,8 @@ impl Default for RuntimeConfig {
             faults: FaultPlan::none(),
             deadline: None,
             recovery: RecoveryConfig::default(),
+            schedule_cache: true,
+            verify_cache: false,
         }
     }
 }
@@ -135,11 +156,14 @@ impl Default for RuntimeConfig {
 struct ArrivalEvent {
     time: f64,
     id: QueryId,
-    problem: TreeProblem,
+    /// Taken (exactly once) when the arrival fires.
+    problem: Option<TreeProblem>,
 }
 
 struct RunningQuery {
-    schedule: TreeScheduleResult,
+    /// Shared with the schedule cache: templated streams reuse one
+    /// allocation across every arrival of the template.
+    schedule: Arc<TreeScheduleResult>,
     /// Index of the next phase to dispatch.
     next_phase: usize,
     /// Clones of the current phase still executing.
@@ -189,6 +213,17 @@ pub struct Runtime<M: ResponseModel> {
     faults: FaultTimeline,
     retries: Vec<RetryEvent>,
     fault_trace: Vec<FaultRecord>,
+    /// Lazy per-site completion calendar (replaces the per-event linear
+    /// scan over all sites).
+    calendar: EventCalendar,
+    /// Plan-signature memo table for admission TreeSchedules.
+    schedule_cache: ScheduleCache,
+    /// Scratch for epsilon-completions swept while catching a lazily
+    /// advanced site up to the clock (see [`Runtime::touch_site`]).
+    touch_buf: Vec<Completion>,
+    /// Cursor into the sorted `arrivals` list (avoids O(n) front
+    /// removals).
+    arrivals_next: usize,
 }
 
 impl<M: ResponseModel> Runtime<M> {
@@ -213,6 +248,7 @@ impl<M: ResponseModel> Runtime<M> {
         let ledger = SiteLedger::new(sys.sites, d);
         let queue = AdmissionQueue::new(cfg.policy);
         let faults = FaultTimeline::new(&cfg.faults);
+        let calendar = EventCalendar::new(sys.sites);
         Runtime {
             sys,
             comm,
@@ -232,6 +268,10 @@ impl<M: ResponseModel> Runtime<M> {
             faults,
             retries: Vec::new(),
             fault_trace: Vec::new(),
+            calendar,
+            schedule_cache: ScheduleCache::new(),
+            touch_buf: Vec::new(),
+            arrivals_next: 0,
         }
     }
 
@@ -261,9 +301,14 @@ impl<M: ResponseModel> Runtime<M> {
         self.arrivals.push(ArrivalEvent {
             time: arrival,
             id,
-            problem,
+            problem: Some(problem),
         });
         id
+    }
+
+    /// Schedule-cache counters so far (hits, fresh plans, epoch bumps).
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        self.schedule_cache.stats()
     }
 
     /// Runs the event loop until every submitted query has reached a
@@ -281,21 +326,16 @@ impl<M: ResponseModel> Runtime<M> {
         // times) resolve in submission order.
         self.arrivals
             .sort_by(|a, b| a.time.total_cmp(&b.time).then(a.id.cmp(&b.id)));
+        self.arrivals_next = 0;
         let mut completions: Vec<Completion> = Vec::new();
 
         loop {
-            let work_left = !self.arrivals.is_empty()
+            let work_left = self.arrivals_next < self.arrivals.len()
                 || !self.queue.is_empty()
                 || !self.running.is_empty()
                 || !self.retries.is_empty();
-            let next_arrival = self.arrivals.first().map(|a| a.time);
-            let next_completion = self
-                .sims
-                .iter()
-                .filter_map(SiteSim::next_completion_time)
-                .fold(None, |acc: Option<f64>, t| {
-                    Some(acc.map_or(t, |a| a.min(t)))
-                });
+            let next_arrival = self.arrivals.get(self.arrivals_next).map(|a| a.time);
+            let next_completion = self.calendar.next_time(&mut self.sims);
             // Fault events only matter while there is work they could
             // affect; once the last query terminates, the remaining
             // schedule is irrelevant and must not stretch the horizon.
@@ -337,14 +377,14 @@ impl<M: ResponseModel> Runtime<M> {
                 None => break,
             };
 
-            // 1. Advance every site to t, collecting completions. A site
-            //    completion event strictly before t cannot exist: t is the
-            //    global minimum.
-            completions.clear();
-            for sim in &mut self.sims {
-                sim.advance_to(t, &mut completions);
-            }
+            // 1. Advance only the sites with a completion due at t (the
+            //    calendar knows which); every other site stays lazily
+            //    behind and catches up when next touched. A completion
+            //    strictly before t cannot exist: t is the global minimum.
             self.clock = t;
+            completions.clear();
+            self.calendar
+                .advance_due(t, &mut self.sims, &mut completions);
             completions.sort_by(|a, b| a.time.total_cmp(&b.time).then(a.tag.cmp(&b.tag)));
 
             // 2. Retire completed clones; queries whose phase drained
@@ -352,19 +392,7 @@ impl<M: ResponseModel> Runtime<M> {
             //    or finish. Completions beat same-instant faults and
             //    deadlines: work that was done *is* done.
             for done in completions.drain(..) {
-                let info = self
-                    .clones
-                    .remove(&done.tag)
-                    .expect("completion for unknown clone tag");
-                self.ledger.release(info.site, &info.demand);
-                let rq = self
-                    .running
-                    .get_mut(&info.query)
-                    .expect("completion for query not running");
-                rq.outstanding -= 1;
-                if rq.outstanding == 0 && rq.parked == 0 {
-                    self.advance_query(info.query);
-                }
+                self.retire(done);
             }
 
             // 3. Apply fault events due at t, in plan order.
@@ -377,20 +405,32 @@ impl<M: ResponseModel> Runtime<M> {
 
             // 5. Enqueue arrivals due at t — or shed them when too few
             //    sites are alive (graceful degradation).
-            while self.arrivals.first().is_some_and(|a| a.time <= t) {
-                let ev = self.arrivals.remove(0);
+            while self
+                .arrivals
+                .get(self.arrivals_next)
+                .is_some_and(|a| a.time <= t)
+            {
+                let idx = self.arrivals_next;
+                self.arrivals_next += 1;
+                let (id, problem) = {
+                    let ev = &mut self.arrivals[idx];
+                    (
+                        ev.id,
+                        ev.problem.take().expect("arrival consumed exactly once"),
+                    )
+                };
                 let alive_frac = self.ledger.alive_sites() as f64 / self.sys.sites as f64;
                 if alive_frac < self.cfg.recovery.degrade_threshold {
-                    self.records[ev.id.0].outcome = Some(QueryOutcome::Shed);
+                    self.records[id.0].outcome = Some(QueryOutcome::Shed);
                     self.fault_trace.push(FaultRecord {
                         time: t,
-                        kind: FaultRecordKind::Shed { query: ev.id },
+                        kind: FaultRecordKind::Shed { query: id },
                     });
                     continue;
                 }
-                let rec = &self.records[ev.id.0];
-                self.queue.push(ev.id, rec.client, rec.volume);
-                self.pending.insert(ev.id, ev.problem);
+                let rec = &self.records[id.0];
+                self.queue.push(id, rec.client, rec.volume);
+                self.pending.insert(id, problem);
             }
 
             // 6. Expire deadlines: queued or running queries whose
@@ -416,15 +456,59 @@ impl<M: ResponseModel> Runtime<M> {
         Ok(self.summary())
     }
 
+    /// Retires one completed clone: releases its ledger commitment and,
+    /// if its query's phase has fully drained, advances the query.
+    fn retire(&mut self, done: Completion) {
+        let info = self
+            .clones
+            .remove(&done.tag)
+            .expect("completion for unknown clone tag");
+        self.ledger.release(info.site, &info.demand);
+        let rq = self
+            .running
+            .get_mut(&info.query)
+            .expect("completion for query not running");
+        rq.outstanding -= 1;
+        if rq.outstanding == 0 && rq.parked == 0 {
+            self.advance_query(info.query);
+        }
+    }
+
+    /// Catches a lazily advanced site up to the current clock before the
+    /// runtime mutates it (dispatch, crash, eviction). The calendar keeps
+    /// sites frozen between their own events, so any interaction with a
+    /// site *must* route through here first — otherwise the mutation
+    /// would apply at a stale local time. Advancing can surface clones
+    /// whose residual work rounds to zero at the clock; those retire
+    /// through the normal completion path (in `(time, tag)` order) so
+    /// their queries observe them as finished, not evicted.
+    fn touch_site(&mut self, site: usize) {
+        if self.sims[site].now() < self.clock {
+            let mut buf = std::mem::take(&mut self.touch_buf);
+            self.sims[site].advance_to(self.clock, &mut buf);
+            self.calendar.invalidate(site);
+            buf.sort_by(|a, b| a.time.total_cmp(&b.time).then(a.tag.cmp(&b.tag)));
+            for done in buf.drain(..) {
+                self.retire(done);
+            }
+            self.touch_buf = buf;
+        }
+    }
+
     /// Applies one fault event to the site simulators, ledger, and any
-    /// affected queries.
+    /// affected queries. Any environment change (crash or restore) bumps
+    /// the schedule-cache epoch: no plan computed against the old site
+    /// population is served again.
     fn apply_fault(&mut self, site: usize, kind: FaultKind) {
         match kind {
             FaultKind::Crash => {
                 if self.sims[site].is_down() {
                     return;
                 }
+                self.touch_site(site);
                 let lost = self.sims[site].fail();
+                self.calendar.invalidate(site);
+                self.schedule_cache.bump_epoch();
                 self.ledger.release_site(SiteId(site));
                 self.fault_trace.push(FaultRecord {
                     time: self.clock,
@@ -467,7 +551,12 @@ impl<M: ResponseModel> Runtime<M> {
                 if !self.sims[site].is_down() {
                     return;
                 }
+                // A down site is idle (no completions to sweep), so the
+                // restore needs no catch-up; the site's clock fast-forwards
+                // at its next touch.
                 self.sims[site].restore();
+                self.calendar.invalidate(site);
+                self.schedule_cache.bump_epoch();
                 self.ledger.restore_site(SiteId(site));
                 self.fault_trace.push(FaultRecord {
                     time: self.clock,
@@ -528,11 +617,22 @@ impl<M: ResponseModel> Runtime<M> {
         };
         match replanned {
             Some(placements) => {
-                let dispatched = self.dispatch_placements(query, &placements);
+                // Hold the phase barrier while dispatching: catching a
+                // target site up to the clock can retire this query's
+                // last outstanding clone, and without the guard that
+                // would advance the phase before the re-packed work is
+                // counted.
                 self.running
                     .get_mut(&query)
                     .expect("re-pack for query not running")
-                    .outstanding += dispatched;
+                    .parked += 1;
+                let dispatched = self.dispatch_placements(query, &placements);
+                let rq = self
+                    .running
+                    .get_mut(&query)
+                    .expect("re-pack for query not running");
+                rq.parked -= 1;
+                rq.outstanding += dispatched;
                 self.fault_trace.push(FaultRecord {
                     time: self.clock,
                     kind: FaultRecordKind::Repacked {
@@ -573,8 +673,29 @@ impl<M: ResponseModel> Runtime<M> {
     /// evicts its executing clones, purges its retries, and records the
     /// terminal outcome.
     fn abort_query(&mut self, id: QueryId, reason: &str) {
-        // Evict executing clones in sorted-tag order so the simulators'
-        // float state evolves identically run to run.
+        if self.records[id.0].outcome.is_some() {
+            return;
+        }
+        // First catch the hosting sites up to the clock (in index order,
+        // for determinism). Catch-up can complete *this* query — its last
+        // clones may finish within float noise of the abort instant — and
+        // a completion beats a same-instant abort.
+        let mut sites: Vec<usize> = self
+            .clones
+            .values()
+            .filter(|c| c.query == id)
+            .map(|c| c.site.0)
+            .collect();
+        sites.sort_unstable();
+        sites.dedup();
+        for site in sites {
+            self.touch_site(site);
+        }
+        if self.records[id.0].outcome.is_some() {
+            return;
+        }
+        // Evict the surviving clones in sorted-tag order so the
+        // simulators' float state evolves identically run to run.
         let mut tags: Vec<usize> = self
             .clones
             .iter()
@@ -585,6 +706,7 @@ impl<M: ResponseModel> Runtime<M> {
         for tag in tags {
             let info = self.clones.remove(&tag).expect("tag collected above");
             let _ = self.sims[info.site.0].remove_clone(tag);
+            self.calendar.invalidate(info.site.0);
             self.ledger.release(info.site, &info.demand);
         }
         self.retries.retain(|r| r.query != id);
@@ -616,6 +738,9 @@ impl<M: ResponseModel> Runtime<M> {
     fn dispatch_placements(&mut self, id: QueryId, placements: &[(SiteId, WorkVector)]) -> usize {
         let mut dispatched = 0usize;
         for (site, work) in placements {
+            // Lazy calendar discipline: the site must be at the current
+            // clock before a clone lands on it.
+            self.touch_site(site.0);
             let duration = self.model.t_seq(work);
             let tag = self.next_tag;
             self.next_tag += 1;
@@ -629,6 +754,7 @@ impl<M: ResponseModel> Runtime<M> {
                 // track.
                 continue;
             }
+            self.calendar.invalidate(site.0);
             let demand: Vec<f64> = work.components().iter().map(|w| w / duration).collect();
             self.ledger.commit(*site, &demand);
             self.clones.insert(
@@ -742,8 +868,7 @@ impl<M: ResponseModel> Runtime<M> {
                 .pending
                 .remove(&id)
                 .expect("admitted query has no pending problem");
-            let schedule = tree_schedule(&problem, self.cfg.f, &self.sys, &self.comm, &self.model)
-                .map_err(|source| RuntimeError::Schedule { query: id, source })?;
+            let schedule = self.plan(id, &problem)?;
             let rec = &mut self.records[id.0];
             rec.start = Some(self.clock);
             rec.phases = schedule.phases.len();
@@ -762,17 +887,60 @@ impl<M: ResponseModel> Runtime<M> {
         Ok(())
     }
 
+    /// Produces the admission TreeSchedule for `problem` — from the
+    /// plan-signature cache when enabled, computing (and memoizing) a
+    /// fresh plan otherwise. With `verify_cache` set, every hit is
+    /// shadow-computed and compared bit-for-bit.
+    fn plan(
+        &mut self,
+        id: QueryId,
+        problem: &TreeProblem,
+    ) -> Result<Arc<TreeScheduleResult>, RuntimeError> {
+        if !self.cfg.schedule_cache {
+            self.schedule_cache.count_uncached_plan();
+            let fresh = tree_schedule(problem, self.cfg.f, &self.sys, &self.comm, &self.model)
+                .map_err(|source| RuntimeError::Schedule { query: id, source })?;
+            return Ok(Arc::new(fresh));
+        }
+        let sig = PlanSignature::of(problem, self.cfg.f);
+        match self.schedule_cache.get(&sig) {
+            Some(hit) => {
+                if self.cfg.verify_cache {
+                    let fresh =
+                        tree_schedule(problem, self.cfg.f, &self.sys, &self.comm, &self.model)
+                            .map_err(|source| RuntimeError::Schedule { query: id, source })?;
+                    assert_eq!(
+                        schedule_digest(&hit),
+                        schedule_digest(&fresh),
+                        "schedule cache served a non-identical plan for {id}"
+                    );
+                }
+                Ok(hit)
+            }
+            None => {
+                let fresh = Arc::new(
+                    tree_schedule(problem, self.cfg.f, &self.sys, &self.comm, &self.model)
+                        .map_err(|source| RuntimeError::Schedule { query: id, source })?,
+                );
+                self.schedule_cache.insert(sig, Arc::clone(&fresh));
+                Ok(fresh)
+            }
+        }
+    }
+
     fn summary(&self) -> RunSummary {
         let horizon = self.clock;
         let site_busy: Vec<Vec<f64>> = self.sims.iter().map(|s| s.busy().to_vec()).collect();
-        RunSummary::new(
+        let mut s = RunSummary::new(
             self.cfg.policy.label(),
             horizon,
             self.records.clone(),
             site_busy,
             self.depth_trace.clone(),
             self.fault_trace.clone(),
-        )
+        );
+        s.cache = self.schedule_cache.stats();
+        s
     }
 }
 
@@ -1069,6 +1237,92 @@ mod tests {
             (s - 2.0 * f).abs() < 1e-9,
             "half-speed site must double service: fast {f}, slow {s}"
         );
+    }
+
+    #[test]
+    fn templated_stream_hits_the_schedule_cache() {
+        let mut rt = runtime(AdmissionPolicy::Fcfs, 2);
+        for q in 0..6 {
+            rt.submit_at(q as f64 * 5.0, 0, one_op_problem(10.0));
+        }
+        let summary = rt.run_to_completion().unwrap();
+        assert_eq!(summary.completed(), 6);
+        // One template: the first admission plans, the other five hit.
+        assert_eq!(summary.cache.misses, 1);
+        assert_eq!(summary.cache.hits, 5);
+        assert_eq!(summary.plans_computed(), 1);
+        assert!((summary.cache_hit_rate() - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_hits_are_bit_identical_to_fresh_plans() {
+        // verify_cache shadow-computes every hit and panics on any
+        // digest mismatch, so a clean run *is* the assertion.
+        let cfg = RuntimeConfig {
+            verify_cache: true,
+            ..RuntimeConfig::default()
+        };
+        let mut rt = runtime_with(cfg);
+        for q in 0..5 {
+            rt.submit_at(q as f64 * 3.0, 0, one_op_problem(8.0));
+        }
+        let summary = rt.run_to_completion().unwrap();
+        assert_eq!(summary.completed(), 5);
+        assert!(summary.cache.hits >= 1, "shadow check needs hits to check");
+    }
+
+    #[test]
+    fn caching_never_changes_the_trajectory() {
+        let run = |cache: bool| {
+            let cfg = RuntimeConfig {
+                schedule_cache: cache,
+                faults: FaultPlan::seeded(4, 400.0, 20.0, 5.0, 7),
+                ..RuntimeConfig::default()
+            };
+            let mut rt = runtime_with(cfg);
+            for q in 0..10 {
+                rt.submit_at(q as f64 * 4.0, q % 3, one_op_problem(6.0 + (q % 4) as f64));
+            }
+            rt.run_to_completion().unwrap()
+        };
+        let on = run(true);
+        let off = run(false);
+        assert_eq!(on.horizon.to_bits(), off.horizon.to_bits());
+        for (a, b) in on.queries.iter().zip(&off.queries) {
+            assert_eq!(a.outcome, b.outcome);
+            assert_eq!(
+                a.finish.map(f64::to_bits),
+                b.finish.map(f64::to_bits),
+                "{} finish drifted with caching",
+                a.id
+            );
+        }
+        // Only the planning counters differ.
+        assert_eq!(off.cache.hits, 0);
+        assert_eq!(off.plans_computed(), on.cache.hits + on.cache.misses);
+    }
+
+    #[test]
+    fn crash_bumps_the_cache_epoch_and_forces_replanning() {
+        // Same template before and after a crash: the epoch bump must
+        // discard the memoized plan, so the post-crash admission
+        // re-plans (a miss) rather than hitting.
+        let cfg = RuntimeConfig {
+            max_in_flight: 1,
+            faults: FaultPlan::scripted(vec![crash(1.0, 3)]),
+            ..RuntimeConfig::default()
+        };
+        let mut rt = runtime_with(cfg);
+        rt.submit_at(0.0, 0, one_op_problem(10.0));
+        rt.submit_at(0.5, 0, one_op_problem(10.0));
+        let summary = rt.run_to_completion().unwrap();
+        assert_eq!(summary.sites_failed(), 1);
+        assert_eq!(summary.cache.epoch_bumps, 1);
+        // Both admissions planned fresh: the second query was queued
+        // behind MPL=1 and only admitted after the crash cleared the
+        // cache.
+        assert_eq!(summary.cache.misses, 2);
+        assert_eq!(summary.cache.hits, 0);
     }
 
     #[test]

@@ -106,40 +106,54 @@ fn capacity_factor(overhead: f64, resident: usize) -> f64 {
     }
 }
 
-fn speeds(active: &[Active], config: &SimConfig, d: usize) -> Vec<f64> {
+/// Solves the sharing policy into caller-owned buffers: `out` receives one
+/// speed per active clone, `scratch` is the `d`-sized accumulator the
+/// solver reuses (load for EqualFinish, utilization for FairShare). The
+/// arithmetic — accumulation order included — is bit-identical to the
+/// original allocating solver, so cached results equal recomputed ones.
+fn speeds_into(
+    active: &[Active],
+    config: &SimConfig,
+    d: usize,
+    out: &mut Vec<f64>,
+    scratch: &mut Vec<f64>,
+) {
     let cap = capacity_factor(config.timeshare_overhead, active.len());
+    out.clear();
+    scratch.clear();
+    scratch.resize(d, 0.0);
     match config.policy {
         SharingPolicy::EqualFinish => {
             // Horizon: slowest clone, or the most congested resource under
             // the reduced capacity.
             let max_remaining = active.iter().map(|a| a.remaining).fold(0.0, f64::max);
-            let mut load = vec![0.0f64; d];
             for a in active {
-                for (l, dem) in load.iter_mut().zip(&a.demand) {
+                for (l, dem) in scratch.iter_mut().zip(&a.demand) {
                     *l += a.remaining * dem;
                 }
             }
-            let congested = load.iter().copied().fold(0.0, f64::max) / cap;
+            let congested = scratch.iter().copied().fold(0.0, f64::max) / cap;
             let horizon = max_remaining.max(congested);
             if horizon <= 0.0 {
-                return vec![1.0; active.len()];
+                out.resize(active.len(), 1.0);
+                return;
             }
-            active
-                .iter()
-                .map(|a| (a.remaining / horizon).min(1.0))
-                .collect()
+            out.extend(active.iter().map(|a| (a.remaining / horizon).min(1.0)));
         }
         SharingPolicy::FairShare => {
-            let mut s = vec![1.0f64; active.len()];
+            out.resize(active.len(), 1.0);
             // Progressive filling: at most d bottlenecks to resolve.
             for _ in 0..=d {
-                let mut util = vec![0.0f64; d];
-                for (a, &sc) in active.iter().zip(&s) {
-                    for (u, dem) in util.iter_mut().zip(&a.demand) {
+                for u in scratch.iter_mut() {
+                    *u = 0.0;
+                }
+                for (a, &sc) in active.iter().zip(out.iter()) {
+                    for (u, dem) in scratch.iter_mut().zip(&a.demand) {
                         *u += sc * dem;
                     }
                 }
-                let (b, &u_max) = match util.iter().enumerate().max_by(|x, y| x.1.total_cmp(y.1)) {
+                let (b, &u_max) = match scratch.iter().enumerate().max_by(|x, y| x.1.total_cmp(y.1))
+                {
                     Some(x) => x,
                     None => break,
                 };
@@ -147,13 +161,12 @@ fn speeds(active: &[Active], config: &SimConfig, d: usize) -> Vec<f64> {
                     break;
                 }
                 let scale = cap / u_max;
-                for (a, sc) in active.iter().zip(s.iter_mut()) {
+                for (a, sc) in active.iter().zip(out.iter_mut()) {
                     if a.demand[b] > 0.0 {
                         *sc *= scale;
                     }
                 }
             }
-            s
         }
     }
 }
@@ -183,6 +196,14 @@ pub struct SiteSim {
     rate: f64,
     /// A crashed site holds no clones and accepts none until restored.
     down: bool,
+    /// Cached solved speed vector for the current population state,
+    /// valid while `speeds_valid`. Any mutation of the inputs the solver
+    /// reads (the active set, a clone's `remaining`) clears the flag;
+    /// repeated queries between events reuse the buffer allocation-free.
+    speeds_buf: Vec<f64>,
+    /// `d`-sized accumulator the speed solver reuses.
+    scratch: Vec<f64>,
+    speeds_valid: bool,
 }
 
 impl SiteSim {
@@ -196,6 +217,26 @@ impl SiteSim {
             busy: vec![0.0; d],
             rate: 1.0,
             down: false,
+            speeds_buf: Vec::new(),
+            scratch: Vec::new(),
+            speeds_valid: false,
+        }
+    }
+
+    /// Re-solves the sharing policy into `speeds_buf` unless the cached
+    /// solution is still valid. A cache hit is trivially bit-exact: the
+    /// flag only survives while every solver input is untouched, so a
+    /// recomputation would read identical state.
+    fn ensure_speeds(&mut self) {
+        if !self.speeds_valid {
+            speeds_into(
+                &self.active,
+                &self.config,
+                self.d,
+                &mut self.speeds_buf,
+                &mut self.scratch,
+            );
+            self.speeds_valid = true;
         }
     }
 
@@ -250,6 +291,7 @@ impl SiteSim {
     /// partial work was still real work, so the integral up to now stays.
     pub fn fail(&mut self) -> Vec<LostClone> {
         self.down = true;
+        self.speeds_valid = false;
         self.active
             .drain(..)
             .map(|a| LostClone {
@@ -271,6 +313,7 @@ impl SiteSim {
     pub fn remove_clone(&mut self, tag: usize) -> Option<LostClone> {
         let idx = self.active.iter().position(|a| a.tag == tag)?;
         let a = self.active.remove(idx);
+        self.speeds_valid = false;
         Some(LostClone {
             tag: a.tag,
             remaining: a.remaining,
@@ -280,13 +323,21 @@ impl SiteSim {
     /// Sum of the resident clones' full-speed demand rates per resource —
     /// the committed load the site ledger mirrors.
     pub fn committed_demand(&self) -> Vec<f64> {
-        let mut total = vec![0.0; self.d];
+        let mut total = Vec::new();
+        self.committed_demand_into(&mut total);
+        total
+    }
+
+    /// Allocation-free variant of [`SiteSim::committed_demand`]: clears
+    /// `out`, resizes it to `d`, and accumulates into it.
+    pub fn committed_demand_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(self.d, 0.0);
         for a in &self.active {
-            for (t, dem) in total.iter_mut().zip(&a.demand) {
+            for (t, dem) in out.iter_mut().zip(&a.demand) {
                 *t += dem;
             }
         }
-        total
     }
 
     /// Inserts a clone at the current virtual time. A clone with zero
@@ -321,19 +372,22 @@ impl SiteSim {
             demand,
             remaining: clone.duration,
         });
+        self.speeds_valid = false;
         None
     }
 
     /// The virtual time at which the next resident clone completes under
     /// the current population, or `None` for an idle site. Constant-speed
     /// fluid sharing makes this exact until the population next changes.
-    pub fn next_completion_time(&self) -> Option<f64> {
+    /// Takes `&mut self` to reuse the cached speed solution; the visible
+    /// state is unchanged.
+    pub fn next_completion_time(&mut self) -> Option<f64> {
         if self.active.is_empty() {
             return None;
         }
-        let s = speeds(&self.active, &self.config, self.d);
+        self.ensure_speeds();
         let mut dt = f64::INFINITY;
-        for (a, &sc) in self.active.iter().zip(&s) {
+        for (a, &sc) in self.active.iter().zip(&self.speeds_buf) {
             let eff = sc * self.rate;
             if eff > 0.0 {
                 dt = dt.min(a.remaining / eff);
@@ -360,9 +414,9 @@ impl SiteSim {
             self.now
         );
         while !self.active.is_empty() && self.now < t {
-            let s = speeds(&self.active, &self.config, self.d);
+            self.ensure_speeds();
             let mut dt = f64::INFINITY;
-            for (a, &sc) in self.active.iter().zip(&s) {
+            for (a, &sc) in self.active.iter().zip(&self.speeds_buf) {
                 let eff = sc * self.rate;
                 if eff > 0.0 {
                     dt = dt.min(a.remaining / eff);
@@ -375,13 +429,15 @@ impl SiteSim {
             let full_step = dt <= t - self.now;
             let step = dt.min(t - self.now);
             self.now += step;
-            for (a, &sc) in self.active.iter_mut().zip(&s) {
+            for (a, &sc) in self.active.iter_mut().zip(&self.speeds_buf) {
                 let eff = sc * self.rate;
                 a.remaining -= eff * step;
                 for (b, dem) in self.busy.iter_mut().zip(&a.demand) {
                     *b += eff * dem * step;
                 }
             }
+            // The decrement above stales the cached speed solution.
+            self.speeds_valid = false;
             // Sweep completions unconditionally: a partial step that lands
             // within floating-point noise of a completion must still
             // retire the clone, or callers advancing to a global event

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod calendar;
 pub mod engine;
 pub mod fault;
 pub mod phase;
@@ -38,6 +39,7 @@ pub mod pipeline;
 
 /// One-stop imports.
 pub mod prelude {
+    pub use crate::calendar::EventCalendar;
     pub use crate::engine::{
         simulate_site, site_finish, Completion, LostClone, SharingPolicy, SimClone, SimConfig,
         SiteSim,
