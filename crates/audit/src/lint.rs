@@ -1,0 +1,431 @@
+//! `mrs-lint`: a line-level scanner enforcing the project's determinism
+//! and hygiene rules that clippy cannot express.
+//!
+//! Rules (see DESIGN.md "Correctness architecture" for the policy):
+//!
+//! * `wall-clock` — no `SystemTime`/`Instant` in library or binary
+//!   code: experiment results must be functions of their seeds, never of
+//!   the host clock. (The bench harness measures wall time by design —
+//!   it carries an allowlist entry.)
+//! * `hash-map` — no `std::collections::HashMap` import in result-path
+//!   code without an allowlist entry documenting why its iteration
+//!   order never reaches an output (HashMap iteration order is
+//!   nondeterministic across runs in general; this workspace's
+//!   `HashMap`s are grouped-by-key scratch whose outputs are re-sorted,
+//!   and each use site must say so).
+//! * `unwrap` — no `.unwrap()` / `panic!` in library crates outside
+//!   tests; fallible paths return `Result`, infallible ones use
+//!   `expect` with a proof-of-invariant message (the repo convention).
+//! * `float-eq` — no `==`/`!=` against float literals outside approved
+//!   digest modules; determinism comparisons go through `to_bits` or
+//!   explicit tolerances.
+//! * `header` — every crate root (`lib.rs`) carries
+//!   `#![forbid(unsafe_code)]` and `#![warn(missing_docs)]`.
+//!
+//! The scanner is deliberately token-free and line-based: it trades
+//! precision for zero dependencies and total predictability. Whole
+//! `tests/`, `benches/`, and `examples/` trees are exempt, scanning
+//! stops at a file's trailing `#[cfg(test)]` module (the repo keeps test
+//! modules at the end of each file), and individual lines can carry an
+//! inline `lint:allow(rule)` waiver. Everything else goes through the
+//! committed allowlist file with a reason per entry.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+// The scanner's own pattern literals are assembled with `concat!` so
+// this file does not flag itself.
+const WALL_CLOCK_WORDS: [&str; 2] = [concat!("Sys", "temTime"), concat!("Ins", "tant")];
+const HASH_MAP_IMPORT: &str = concat!("collections::", "HashMap");
+const UNWRAP_CALL: &str = concat!(".unw", "rap()");
+const PANIC_CALL: &str = concat!("pan", "ic!(");
+const INLINE_WAIVER: &str = concat!("lint:", "allow(");
+const FORBID_UNSAFE: &str = concat!("#![forbid(unsafe", "_code)]");
+const WARN_MISSING_DOCS: &str = concat!("#![warn(missing", "_docs)]");
+
+/// One lint hit: rule, location, and the offending line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LintFinding {
+    /// The rule that fired (`wall-clock`, `hash-map`, `unwrap`,
+    /// `float-eq`, `header`).
+    pub rule: &'static str,
+    /// Path relative to the scanned root, with `/` separators.
+    pub path: String,
+    /// 1-based line number (0 for file-level rules like `header`).
+    pub line: usize,
+    /// The offending line, trimmed (empty for file-level rules).
+    pub text: String,
+    /// Whether a committed allowlist entry waives this finding.
+    pub waived: bool,
+}
+
+impl fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mark = if self.waived { " (waived)" } else { "" };
+        write!(
+            f,
+            "{}:{}: [{}]{} {}",
+            self.path, self.line, self.rule, mark, self.text
+        )
+    }
+}
+
+/// The committed waiver table: `(rule, path-prefix, reason)` rows parsed
+/// from `lint-allow.txt`. A finding is waived when a row's rule matches
+/// and its path prefix matches the finding's path.
+#[derive(Clone, Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<(String, String, String)>,
+}
+
+impl Allowlist {
+    /// Parses the allowlist format: one entry per line,
+    /// `rule path-prefix reason...`; `#` starts a comment.
+    pub fn parse(text: &str) -> Self {
+        let mut entries = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, char::is_whitespace);
+            let rule = parts.next().unwrap_or_default().to_owned();
+            let prefix = parts.next().unwrap_or_default().to_owned();
+            let reason = parts.next().unwrap_or_default().trim().to_owned();
+            if !rule.is_empty() && !prefix.is_empty() {
+                entries.push((rule, prefix, reason));
+            }
+        }
+        Allowlist { entries }
+    }
+
+    /// Loads and parses the allowlist at `path`; a missing file is an
+    /// empty allowlist.
+    pub fn load(path: &Path) -> Self {
+        match fs::read_to_string(path) {
+            Ok(text) => Allowlist::parse(&text),
+            Err(_) => Allowlist::default(),
+        }
+    }
+
+    /// Whether `(rule, path)` is waived by some entry.
+    pub fn waives(&self, rule: &str, path: &str) -> bool {
+        self.entries
+            .iter()
+            .any(|(r, prefix, _)| r == rule && path.starts_with(prefix.as_str()))
+    }
+
+    /// The parsed entries (for reporting unused waivers).
+    pub fn entries(&self) -> &[(String, String, String)] {
+        &self.entries
+    }
+}
+
+/// How a file participates in the scan.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum FileClass {
+    /// Library code: all rules.
+    Lib,
+    /// Binary (`src/bin/`, `main.rs`): determinism rules only —
+    /// `unwrap`/`panic!` are acceptable in CLI argument handling.
+    Bin,
+    /// `tests/`, `benches/`, `examples/`: exempt.
+    Exempt,
+}
+
+fn classify(rel: &str) -> FileClass {
+    let components: Vec<&str> = rel.split('/').collect();
+    if components
+        .iter()
+        .any(|c| *c == "tests" || *c == "benches" || *c == "examples")
+    {
+        return FileClass::Exempt;
+    }
+    if components.contains(&"bin") || components.last() == Some(&"main.rs") {
+        return FileClass::Bin;
+    }
+    FileClass::Lib
+}
+
+fn contains_word(line: &str, word: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(word) {
+        let i = start + pos;
+        let j = i + word.len();
+        let before_ok = i == 0 || (!bytes[i - 1].is_ascii_alphanumeric() && bytes[i - 1] != b'_');
+        let after_ok = j >= bytes.len() || (!bytes[j].is_ascii_alphanumeric() && bytes[j] != b'_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = j;
+    }
+    false
+}
+
+/// True when `line` compares against a float literal with `==`/`!=`.
+fn has_float_eq(line: &str) -> bool {
+    let bytes = line.as_bytes();
+    for i in 0..bytes.len().saturating_sub(1) {
+        if (bytes[i] == b'=' || bytes[i] == b'!') && bytes[i + 1] == b'=' {
+            // Skip `<=`, `>=`, `==>` arrows and triple-equals noise.
+            if i > 0 && matches!(bytes[i - 1], b'<' | b'>' | b'=' | b'!') {
+                continue;
+            }
+            if i + 2 < bytes.len() && bytes[i + 2] == b'=' {
+                continue;
+            }
+            if float_literal_adjacent(line, i, i + 2) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn float_literal_adjacent(line: &str, op_start: usize, op_end: usize) -> bool {
+    let bytes = line.as_bytes();
+    // Token after the operator.
+    let mut j = op_end;
+    while j < bytes.len() && bytes[j] == b' ' {
+        j += 1;
+    }
+    let mut k = j;
+    while k < bytes.len()
+        && (bytes[k].is_ascii_alphanumeric() || bytes[k] == b'.' || bytes[k] == b'_')
+    {
+        k += 1;
+    }
+    if is_float_literal(&line[j..k]) {
+        return true;
+    }
+    // Token before the operator.
+    let mut i = op_start;
+    while i > 0 && bytes[i - 1] == b' ' {
+        i -= 1;
+    }
+    let mut h = i;
+    while h > 0
+        && (bytes[h - 1].is_ascii_alphanumeric() || bytes[h - 1] == b'.' || bytes[h - 1] == b'_')
+    {
+        h -= 1;
+    }
+    is_float_literal(&line[h..i])
+}
+
+fn is_float_literal(token: &str) -> bool {
+    let token = token.trim_end_matches("f64").trim_end_matches("f32");
+    token.contains('.')
+        && !token.is_empty()
+        && token.chars().next().is_some_and(|c| c.is_ascii_digit())
+        && token.parse::<f64>().is_ok()
+}
+
+/// Scans one file's text. `rel` is the root-relative path used in
+/// findings and for classification.
+pub fn lint_file(rel: &str, text: &str, allow: &Allowlist) -> Vec<LintFinding> {
+    let class = classify(rel);
+    if class == FileClass::Exempt {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let is_crate_root = rel.ends_with("src/lib.rs");
+    if is_crate_root {
+        for (needle, what) in [
+            (FORBID_UNSAFE, "forbid(unsafe_code)"),
+            (WARN_MISSING_DOCS, "warn(missing_docs)"),
+        ] {
+            if !text.contains(needle) {
+                out.push(LintFinding {
+                    rule: "header",
+                    path: rel.to_owned(),
+                    line: 0,
+                    text: format!("crate root missing #![{what}] header"),
+                    waived: allow.waives("header", rel),
+                });
+            }
+        }
+    }
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        // Repo convention: test modules close each file, so the first
+        // test-cfg attribute ends the scannable region.
+        if line.starts_with("#[cfg(test)]") || line.starts_with("#[cfg(all(test") {
+            break;
+        }
+        if line.starts_with("//") {
+            continue;
+        }
+        if line.contains(INLINE_WAIVER) {
+            continue;
+        }
+        let mut push = |rule: &'static str| {
+            out.push(LintFinding {
+                rule,
+                path: rel.to_owned(),
+                line: idx + 1,
+                text: line.to_owned(),
+                waived: allow.waives(rule, rel),
+            });
+        };
+        if WALL_CLOCK_WORDS.iter().any(|w| contains_word(line, w)) {
+            push("wall-clock");
+        }
+        if line.contains(HASH_MAP_IMPORT) {
+            push("hash-map");
+        }
+        if class == FileClass::Lib && (line.contains(UNWRAP_CALL) || line.contains(PANIC_CALL)) {
+            push("unwrap");
+        }
+        if has_float_eq(line) {
+            push("float-eq");
+        }
+    }
+    out
+}
+
+/// Recursively collects every `.rs` file under `root` (skipping
+/// `target`, hidden directories, and anything that is not a regular
+/// file), in sorted order for deterministic output.
+pub fn workspace_sources(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries = match fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(_) => continue,
+        };
+        let mut children: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        children.sort();
+        for child in children {
+            let name = child
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if child.is_dir() {
+                if name == "target" || name.starts_with('.') {
+                    continue;
+                }
+                stack.push(child);
+            } else if name.ends_with(".rs") {
+                out.push(child);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Lints every workspace source under `root` against `allow`. Findings
+/// come back in sorted (path, line) order.
+pub fn lint_workspace(root: &Path, allow: &Allowlist) -> Vec<LintFinding> {
+    let mut out = Vec::new();
+    for path in workspace_sources(root) {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(_) => continue,
+        };
+        out.extend(lint_file(&rel, &text, allow));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_flags_instant_but_not_substrings() {
+        let text = "use std::time::Instant;\nlet x = instantiate();\n";
+        let v = lint_file("crates/x/src/a.rs", text, &Allowlist::default());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "wall-clock");
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn unwrap_rule_is_lib_only_and_stops_at_tests() {
+        let lib = "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod t { fn g() { y.unwrap(); } }\n";
+        let v = lint_file("crates/x/src/a.rs", lib, &Allowlist::default());
+        assert_eq!(v.len(), 1, "{v:?}");
+        let bin = lint_file("crates/x/src/bin/tool.rs", lib, &Allowlist::default());
+        assert!(bin.is_empty(), "binaries may unwrap: {bin:?}");
+        let test = lint_file("crates/x/tests/a.rs", lib, &Allowlist::default());
+        assert!(test.is_empty(), "tests are exempt");
+    }
+
+    #[test]
+    fn hash_map_import_is_flagged() {
+        let text = "use std::collections::HashMap;\n";
+        let v = lint_file("crates/x/src/a.rs", text, &Allowlist::default());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "hash-map");
+    }
+
+    #[test]
+    fn float_eq_flags_literal_comparisons_only() {
+        let allow = Allowlist::default();
+        let flag = |s: &str| !lint_file("crates/x/src/a.rs", s, &allow).is_empty();
+        assert!(flag("if x == 0.0 {\n"));
+        assert!(flag("if 1.5f64 != y {\n"));
+        assert!(!flag("if x == y {\n"), "no literal involved");
+        assert!(!flag("if x <= 0.0 {\n"), "ordering comparisons are fine");
+        assert!(!flag("assert_eq!(a, b);\n"));
+    }
+
+    #[test]
+    fn header_rule_checks_crate_roots() {
+        let v = lint_file("crates/x/src/lib.rs", "//! docs\n", &Allowlist::default());
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|f| f.rule == "header"));
+        let ok = format!("{FORBID_UNSAFE}\n{WARN_MISSING_DOCS}\n");
+        assert!(lint_file("crates/x/src/lib.rs", &ok, &Allowlist::default()).is_empty());
+    }
+
+    #[test]
+    fn allowlist_waives_by_rule_and_prefix() {
+        let allow =
+            Allowlist::parse("# comment\nwall-clock crates/bench/src/ benches measure wall time\n");
+        assert!(allow.waives("wall-clock", "crates/bench/src/harness.rs"));
+        assert!(!allow.waives("wall-clock", "crates/core/src/lib.rs"));
+        assert!(!allow.waives("unwrap", "crates/bench/src/harness.rs"));
+        assert_eq!(allow.entries().len(), 1);
+    }
+
+    #[test]
+    fn inline_waiver_suppresses_a_line() {
+        let text = format!("use std::time::Instant; // {}wall-clock)\n", INLINE_WAIVER);
+        let v = lint_file("crates/x/src/a.rs", &text, &Allowlist::default());
+        assert!(v.is_empty(), "{v:?}");
+    }
+}
+
+#[cfg(all(test, feature = "proptest"))]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The scanner and the allowlist parser accept arbitrary text
+        /// without panicking (multi-byte input included).
+        #[test]
+        fn scanner_never_panics(text in "\\PC{0,400}") {
+            let _ = lint_file("crates/x/src/a.rs", &text, &Allowlist::default());
+            let _ = Allowlist::parse(&text);
+        }
+
+        /// Findings are a pure function of the input.
+        #[test]
+        fn scanner_is_deterministic(text in "\\PC{0,400}") {
+            let a = lint_file("crates/x/src/lib.rs", &text, &Allowlist::default());
+            let b = lint_file("crates/x/src/lib.rs", &text, &Allowlist::default());
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! End-to-end audit of one runtime run from its [`RunSummary`].
+//!
+//! Everything here is recomputed from recorded evidence — the structured
+//! audit trace (see `mrs_runtime::trace`), the per-site busy-time
+//! integrals, and the peak-utilization watermarks — so the checks hold
+//! whether or not the runtime's own `debug_assert!` hooks were compiled
+//! in (release-mode experiment runs included).
+
+use crate::violation::Violation;
+use mrs_runtime::metrics::RunSummary;
+use mrs_runtime::trace::{audit_cache_hit_fresh, audit_repack_conserves, AuditEvent};
+use std::collections::HashMap;
+
+/// Tolerance for comparing busy-time integrals against the horizon:
+/// the integrator takes many small steps, so allow proportional
+/// accumulation noise.
+const BUSY_REL_TOL: f64 = 1e-6;
+
+/// Slack on the peak-utilization feasibility check: the FairShare
+/// progressive-filling solver admits shares up to a hair above capacity
+/// by design, and the per-step normalization divides two rounded floats.
+const UTIL_TOL: f64 = 1e-9;
+
+/// Audits one finished run: terminal outcomes, busy-time sanity, fluid
+/// feasibility, trace ordering, per-query phase monotonicity, recovery
+/// conservation, and cache-epoch coherence.
+pub fn audit_run(summary: &RunSummary) -> Vec<Violation> {
+    let mut out = Vec::new();
+
+    // Every submitted query must reach a terminal outcome.
+    for q in &summary.queries {
+        if q.outcome.is_none() {
+            out.push(Violation::OutcomeMissing { query: q.id });
+        }
+    }
+
+    // No site can integrate more busy time on one resource than the
+    // horizon: realized demand never exceeds unit capacity.
+    for (site, busy) in summary.site_busy.iter().enumerate() {
+        for (resource, &b) in busy.iter().enumerate() {
+            if b > summary.horizon * (1.0 + BUSY_REL_TOL) + 1e-12 {
+                out.push(Violation::BusyExceedsHorizon {
+                    site,
+                    resource,
+                    busy: b,
+                    horizon: summary.horizon,
+                });
+            }
+        }
+    }
+
+    // Fluid-sharing feasibility: no resource's instantaneous share ever
+    // exceeded its effective capacity.
+    for (site, peaks) in summary.site_peak_util.iter().enumerate() {
+        for (resource, &p) in peaks.iter().enumerate() {
+            if p > 1.0 + UTIL_TOL {
+                out.push(Violation::UtilizationInfeasible {
+                    site,
+                    resource,
+                    peak: p,
+                });
+            }
+        }
+    }
+
+    // Trace-level checks: time monotonicity, per-query phase order,
+    // epoch progression, conservation, cache coherence.
+    let mut last_time = f64::NEG_INFINITY;
+    let mut last_phase: HashMap<usize, usize> = HashMap::new();
+    let mut last_epoch: Option<u64> = None;
+    for (index, ev) in summary.trace.iter().enumerate() {
+        let t = ev.time();
+        if t < last_time {
+            out.push(Violation::TraceDisordered {
+                index,
+                prev_time: last_time,
+                time: t,
+            });
+        }
+        last_time = t;
+        match ev {
+            AuditEvent::PhaseDispatched { query, phase, .. } => {
+                if let Some(&prev) = last_phase.get(&query.0) {
+                    if *phase <= prev {
+                        out.push(Violation::PhaseRegression {
+                            query: *query,
+                            prev,
+                            next: *phase,
+                        });
+                    }
+                }
+                last_phase.insert(query.0, *phase);
+            }
+            AuditEvent::Repacked {
+                query,
+                expected_total,
+                placed_total,
+                ..
+            } => {
+                if !audit_repack_conserves(*expected_total, *placed_total) {
+                    out.push(Violation::ConservationBroken {
+                        query: *query,
+                        expected: *expected_total,
+                        placed: *placed_total,
+                    });
+                }
+            }
+            AuditEvent::CacheHit {
+                query,
+                insert_epoch,
+                hit_epoch,
+                ..
+            } => {
+                if !audit_cache_hit_fresh(*insert_epoch, *hit_epoch) {
+                    out.push(Violation::StaleCacheHit {
+                        query: *query,
+                        insert_epoch: *insert_epoch,
+                        hit_epoch: *hit_epoch,
+                    });
+                }
+            }
+            AuditEvent::EpochBump { epoch, .. } => {
+                if let Some(prev) = last_epoch {
+                    if *epoch <= prev {
+                        out.push(Violation::EpochRegression { prev, next: *epoch });
+                    }
+                }
+                last_epoch = Some(*epoch);
+            }
+            AuditEvent::CacheInsert { .. } => {}
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrs_runtime::job::QueryId;
+
+    #[test]
+    fn corrupted_trace_events_are_caught() {
+        let mut s = RunSummary {
+            policy: "fcfs",
+            horizon: 10.0,
+            queries: vec![],
+            site_busy: vec![vec![1.0, 2.0, 0.0]],
+            depth_trace: vec![],
+            faults: vec![],
+            cache: Default::default(),
+            trace: vec![
+                AuditEvent::PhaseDispatched {
+                    time: 1.0,
+                    query: QueryId(0),
+                    phase: 0,
+                },
+                AuditEvent::PhaseDispatched {
+                    time: 2.0,
+                    query: QueryId(0),
+                    phase: 1,
+                },
+            ],
+            site_peak_util: vec![vec![0.9, 1.0, 0.3]],
+        };
+        assert!(audit_run(&s).is_empty(), "clean synthetic run");
+
+        s.trace.push(AuditEvent::PhaseDispatched {
+            time: 3.0,
+            query: QueryId(0),
+            phase: 1,
+        });
+        let v = audit_run(&s);
+        assert!(v.iter().any(|x| x.kind() == "phase-regression"), "{v:?}");
+
+        s.trace.pop();
+        s.site_peak_util[0][1] = 1.5;
+        let v = audit_run(&s);
+        assert!(v.iter().any(|x| x.kind() == "utilization"), "{v:?}");
+
+        s.site_peak_util[0][1] = 1.0;
+        s.site_busy[0][0] = 11.0;
+        let v = audit_run(&s);
+        assert!(
+            v.iter().any(|x| x.kind() == "busy-exceeds-horizon"),
+            "{v:?}"
+        );
+    }
+}

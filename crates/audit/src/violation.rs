@@ -1,0 +1,369 @@
+//! Machine-readable audit diagnostics.
+//!
+//! Every check in this crate reports failures as typed [`Violation`]
+//! values rather than panicking: the auditor's job is to *collect*
+//! everything wrong with a schedule, tree result, or run trace so a test
+//! (or the `mrs-repro audit` experiment) can assert emptiness, count by
+//! kind, or render a table.
+
+use mrs_core::operator::OperatorId;
+use mrs_core::resource::SiteId;
+use mrs_runtime::job::QueryId;
+use std::fmt;
+
+/// One invariant breach found by an audit pass.
+///
+/// Variants mirror the invariant catalog in DESIGN.md ("Correctness
+/// architecture"): Definition 5.1's structural constraints, the `CG_f`
+/// degree cap, Section 5.5's placement propagation, phase-barrier
+/// ordering, the Theorem 5.1 makespan certificate, fluid-sharing
+/// feasibility, work conservation through recovery, and cache-epoch
+/// coherence.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Violation {
+    /// The input was structurally malformed before any invariant could
+    /// be evaluated (e.g. a non-dense operator table, an assignment
+    /// covering the wrong number of operators).
+    ShapeMismatch {
+        /// Human-readable description of the malformation.
+        detail: String,
+    },
+    /// An operator was scheduled with degree 0 (every operator must run
+    /// at least one clone).
+    DegreeZero {
+        /// The offending operator.
+        op: OperatorId,
+    },
+    /// An operator's assigned homes (or clone vectors) disagree with its
+    /// declared degree.
+    DegreeMismatch {
+        /// The offending operator.
+        op: OperatorId,
+        /// The declared degree `N_i`.
+        expected: usize,
+        /// Homes (or clones) actually present.
+        actual: usize,
+    },
+    /// Two clones of one operator share a site (Definition 5.1,
+    /// constraint A).
+    CloneCollision {
+        /// The offending operator.
+        op: OperatorId,
+        /// The doubly-used site.
+        site: SiteId,
+    },
+    /// A clone was assigned to a site outside `0..P`.
+    SiteOutOfRange {
+        /// The offending operator.
+        op: OperatorId,
+        /// The out-of-range site.
+        site: SiteId,
+        /// The system's site count `P`.
+        sites: usize,
+    },
+    /// A rooted operator does not sit exactly at its required homes
+    /// (Definition 5.1, constraint B).
+    RootedOffHome {
+        /// The offending operator.
+        op: OperatorId,
+    },
+    /// A floating operator exceeds its coarse-grain degree cap
+    /// `min(N_max(op, f), P)` (Section 5.1; binding sources are sized by
+    /// the combined build+probe operator per DESIGN.md).
+    CoarseGrainCapExceeded {
+        /// The offending operator.
+        op: OperatorId,
+        /// The scheduled degree.
+        degree: usize,
+        /// The cap the degree had to respect.
+        cap: usize,
+    },
+    /// A binding dependent (probe) is not co-located with its source
+    /// (build): the homes differ (Section 5.5).
+    CoLocationBroken {
+        /// The dependent operator (probe).
+        dependent: OperatorId,
+        /// The source operator (build) whose homes it must inherit.
+        source: OperatorId,
+    },
+    /// An operator appears in more than one phase (shelves must be
+    /// disjoint).
+    ShelfOverlap {
+        /// The doubly-scheduled operator.
+        op: OperatorId,
+    },
+    /// An operator of the problem never appears in any phase.
+    OpMissing {
+        /// The unscheduled operator.
+        op: OperatorId,
+    },
+    /// A binding's source is not scheduled in a strictly earlier phase
+    /// than its dependent (phase-barrier ordering).
+    PhaseOrderBroken {
+        /// The dependent operator.
+        dependent: OperatorId,
+        /// The source operator.
+        source: OperatorId,
+    },
+    /// A phase's recorded makespan disagrees with Equation (2)/(3)
+    /// recomputed from its schedule.
+    MakespanMismatch {
+        /// Index of the phase in the result.
+        phase: usize,
+        /// The recorded makespan.
+        recorded: f64,
+        /// The recomputed makespan.
+        recomputed: f64,
+    },
+    /// The result's total response time disagrees with the sum of its
+    /// phase makespans.
+    ResponseMismatch {
+        /// The recorded response time.
+        recorded: f64,
+        /// The recomputed sum of phase makespans.
+        recomputed: f64,
+    },
+    /// A phase's makespan exceeds the Theorem 5.1 certificate
+    /// `(2d+1) · LB` against the lower bound
+    /// `max(total volume / P, max T_par)`.
+    CertificateExceeded {
+        /// Index of the phase in the result.
+        phase: usize,
+        /// The phase's makespan.
+        makespan: f64,
+        /// The certificate bound it had to stay under.
+        bound: f64,
+    },
+    /// A site's peak normalized utilization of one resource exceeded its
+    /// effective capacity — the fluid-sharing solution was infeasible.
+    UtilizationInfeasible {
+        /// The offending site.
+        site: usize,
+        /// The over-committed resource dimension.
+        resource: usize,
+        /// The observed peak (must stay ≤ 1).
+        peak: f64,
+    },
+    /// A site's integrated busy time on one resource exceeds the run's
+    /// horizon — more work was "performed" than time passed.
+    BusyExceedsHorizon {
+        /// The offending site.
+        site: usize,
+        /// The over-integrated resource dimension.
+        resource: usize,
+        /// The busy-time integral.
+        busy: f64,
+        /// The run horizon.
+        horizon: f64,
+    },
+    /// A recovery re-pack did not conserve work: the placed total
+    /// differs from the lost work plus rebuild surcharge plus per-clone
+    /// startup.
+    ConservationBroken {
+        /// The recovering query.
+        query: QueryId,
+        /// Expected re-packed total (lost + surcharge + startup).
+        expected: f64,
+        /// Total actually placed.
+        placed: f64,
+    },
+    /// A cache hit served a plan inserted under an older epoch — a
+    /// schedule computed against a site population that has since
+    /// crashed or recovered.
+    StaleCacheHit {
+        /// The query served the stale plan.
+        query: QueryId,
+        /// Epoch the entry was inserted under.
+        insert_epoch: u64,
+        /// Epoch current at hit time.
+        hit_epoch: u64,
+    },
+    /// A query's phases were dispatched out of order.
+    PhaseRegression {
+        /// The offending query.
+        query: QueryId,
+        /// The previously dispatched phase index.
+        prev: usize,
+        /// The (not later) phase index dispatched next.
+        next: usize,
+    },
+    /// The cache epoch moved backwards (or stalled) across two
+    /// `EpochBump` events.
+    EpochRegression {
+        /// The previously recorded epoch.
+        prev: u64,
+        /// The (not larger) epoch recorded next.
+        next: u64,
+    },
+    /// A query reached the end of the run without a terminal outcome.
+    OutcomeMissing {
+        /// The unterminated query.
+        query: QueryId,
+    },
+    /// The audit trace's timestamps are not monotone non-decreasing.
+    TraceDisordered {
+        /// Index of the out-of-order event.
+        index: usize,
+        /// Timestamp of the preceding event.
+        prev_time: f64,
+        /// The earlier timestamp that follows it.
+        time: f64,
+    },
+}
+
+impl Violation {
+    /// Stable kebab-case label of the violation kind (for tables and
+    /// artifacts).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Violation::ShapeMismatch { .. } => "shape-mismatch",
+            Violation::DegreeZero { .. } => "degree-zero",
+            Violation::DegreeMismatch { .. } => "degree-mismatch",
+            Violation::CloneCollision { .. } => "clone-collision",
+            Violation::SiteOutOfRange { .. } => "site-out-of-range",
+            Violation::RootedOffHome { .. } => "rooted-off-home",
+            Violation::CoarseGrainCapExceeded { .. } => "coarse-grain-cap",
+            Violation::CoLocationBroken { .. } => "co-location",
+            Violation::ShelfOverlap { .. } => "shelf-overlap",
+            Violation::OpMissing { .. } => "op-missing",
+            Violation::PhaseOrderBroken { .. } => "phase-order",
+            Violation::MakespanMismatch { .. } => "makespan-mismatch",
+            Violation::ResponseMismatch { .. } => "response-mismatch",
+            Violation::CertificateExceeded { .. } => "certificate",
+            Violation::UtilizationInfeasible { .. } => "utilization",
+            Violation::BusyExceedsHorizon { .. } => "busy-exceeds-horizon",
+            Violation::ConservationBroken { .. } => "conservation",
+            Violation::StaleCacheHit { .. } => "stale-cache-hit",
+            Violation::PhaseRegression { .. } => "phase-regression",
+            Violation::EpochRegression { .. } => "epoch-regression",
+            Violation::OutcomeMissing { .. } => "outcome-missing",
+            Violation::TraceDisordered { .. } => "trace-disordered",
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, fm: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::ShapeMismatch { detail } => write!(fm, "shape mismatch: {detail}"),
+            Violation::DegreeZero { op } => write!(fm, "{op} scheduled with degree 0"),
+            Violation::DegreeMismatch {
+                op,
+                expected,
+                actual,
+            } => write!(fm, "{op} declares degree {expected} but has {actual} homes"),
+            Violation::CloneCollision { op, site } => {
+                write!(fm, "two clones of {op} share site {}", site.0)
+            }
+            Violation::SiteOutOfRange { op, site, sites } => {
+                write!(fm, "{op} assigned to site {} outside 0..{sites}", site.0)
+            }
+            Violation::RootedOffHome { op } => {
+                write!(fm, "rooted {op} not at its required homes")
+            }
+            Violation::CoarseGrainCapExceeded { op, degree, cap } => {
+                write!(fm, "{op} at degree {degree} exceeds CG_f cap {cap}")
+            }
+            Violation::CoLocationBroken { dependent, source } => {
+                write!(fm, "{dependent} not co-located with its source {source}")
+            }
+            Violation::ShelfOverlap { op } => write!(fm, "{op} appears in more than one phase"),
+            Violation::OpMissing { op } => write!(fm, "{op} never scheduled in any phase"),
+            Violation::PhaseOrderBroken { dependent, source } => {
+                write!(fm, "source {source} does not precede dependent {dependent}")
+            }
+            Violation::MakespanMismatch {
+                phase,
+                recorded,
+                recomputed,
+            } => write!(
+                fm,
+                "phase {phase} records makespan {recorded}, recomputes to {recomputed}"
+            ),
+            Violation::ResponseMismatch {
+                recorded,
+                recomputed,
+            } => write!(
+                fm,
+                "response time {recorded} differs from phase sum {recomputed}"
+            ),
+            Violation::CertificateExceeded {
+                phase,
+                makespan,
+                bound,
+            } => write!(
+                fm,
+                "phase {phase} makespan {makespan} exceeds certificate {bound}"
+            ),
+            Violation::UtilizationInfeasible {
+                site,
+                resource,
+                peak,
+            } => write!(
+                fm,
+                "site {site} resource {resource} peaked at utilization {peak} > 1"
+            ),
+            Violation::BusyExceedsHorizon {
+                site,
+                resource,
+                busy,
+                horizon,
+            } => write!(
+                fm,
+                "site {site} resource {resource} busy {busy} exceeds horizon {horizon}"
+            ),
+            Violation::ConservationBroken {
+                query,
+                expected,
+                placed,
+            } => write!(
+                fm,
+                "re-pack for {query} placed {placed}, expected {expected}"
+            ),
+            Violation::StaleCacheHit {
+                query,
+                insert_epoch,
+                hit_epoch,
+            } => write!(
+                fm,
+                "{query} served a plan from epoch {insert_epoch} at epoch {hit_epoch}"
+            ),
+            Violation::PhaseRegression { query, prev, next } => {
+                write!(fm, "{query} dispatched phase {next} after phase {prev}")
+            }
+            Violation::EpochRegression { prev, next } => {
+                write!(fm, "cache epoch went from {prev} to {next}")
+            }
+            Violation::OutcomeMissing { query } => {
+                write!(fm, "{query} has no terminal outcome")
+            }
+            Violation::TraceDisordered {
+                index,
+                prev_time,
+                time,
+            } => write!(
+                fm,
+                "trace event {index} at t={time} precedes its predecessor at t={prev_time}"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable_and_displayable() {
+        let v = Violation::DegreeZero { op: OperatorId(3) };
+        assert_eq!(v.kind(), "degree-zero");
+        assert!(v.to_string().contains("degree 0"));
+        let v = Violation::ConservationBroken {
+            query: QueryId(1),
+            expected: 2.0,
+            placed: 1.0,
+        };
+        assert_eq!(v.kind(), "conservation");
+        assert!(v.to_string().contains("re-pack"));
+    }
+}

@@ -390,10 +390,16 @@ pub fn schedule_with_degrees_in(
         })
         .collect::<Vec<_>>();
     let assignment = pack_clones_in(scratch, &scheduled, sys, order)?;
-    Ok(PhaseSchedule {
+    let schedule = PhaseSchedule {
         ops: scheduled,
         assignment,
-    })
+    };
+    debug_assert!(
+        schedule.validate(sys).is_ok(),
+        "packer emitted an invalid schedule: {:?}",
+        schedule.validate(sys)
+    );
+    Ok(schedule)
 }
 
 #[cfg(test)]

@@ -285,6 +285,11 @@ pub fn tree_schedule_full<M: ResponseModel>(
             placed_homes.insert(sop.spec.id, schedule.assignment.homes[i].clone());
         }
         let makespan = schedule.makespan(sys, model);
+        debug_assert!(
+            schedule.validate(sys).is_ok(),
+            "phase {level} left the pack path invalid: {:?}",
+            schedule.validate(sys)
+        );
         response_time += makespan;
         phases.push(PhaseResult {
             level,
@@ -387,6 +392,11 @@ pub fn malleable_tree_schedule<M: ResponseModel>(
             placed_homes.insert(sop.spec.id, schedule.assignment.homes[i].clone());
         }
         let makespan = schedule.makespan(sys, model);
+        debug_assert!(
+            schedule.validate(sys).is_ok(),
+            "malleable phase {level} left the pack path invalid: {:?}",
+            schedule.validate(sys)
+        );
         response_time += makespan;
         phases.push(PhaseResult {
             level,

@@ -1,0 +1,451 @@
+//! The `audit` experiment: every experiment family re-run in fast shape
+//! under the paper-invariant auditor (`mrs-audit`).
+//!
+//! Each row re-creates the schedules (or runtime runs) of one family of
+//! experiments — the same generators, cost model, and algorithms, at the
+//! fast-mode sweep density — and pushes every artifact through
+//! [`audit_tree`] / [`audit_run`]. The `violations` column must be zero
+//! everywhere: a non-zero count means a scheduler path emitted something
+//! that breaks Definition 5.1, the `CG_f` cap, placement propagation,
+//! the Theorem 5.1 certificate, fluid feasibility, work conservation
+//! through recovery, or cache-epoch coherence.
+//!
+//! Family → experiment-id coverage:
+//!
+//! * `paper-tree` — `table2`, `fig5a`, `fig5b`, `fig6a`, `fig6b`,
+//!   `simcheck`, `skew` (all drive plain TREESCHEDULE over the paper
+//!   workload; full certificate + `CG_f` audit).
+//! * `arbitrary-order` — `ablation-order` (the Theorem 5.1 argument is
+//!   order-independent, so the certificate must hold here too).
+//! * `shelves-asap` — `shelfcheck` (the ASAP phase policy).
+//! * `malleable` — `malleable`, `planopt`, `optgap` (per-phase GF degree
+//!   sweep; certificate on, no `CG_f` cap).
+//! * `eps-sweep` — `pipecheck`, `memcheck`, `dimcheck`,
+//!   `ablation-dims` (the overlap-model extremes `ε ∈ {0, 0.5, 1}`).
+//! * `baselines` — the SYNC / scalar-list / round-robin comparators in
+//!   `table2`/`fig5a`/ablations (structural audit only: they do not
+//!   pack least-loaded, so Theorem 5.1 makes no promise for them).
+//! * `runtime-clean` — `throughput` (fault-free served stream under
+//!   both admission policies, trace + feasibility audit).
+//! * `runtime-faults` — `faults` (the X13 crash/recovery sweep; work
+//!   conservation and cache-epoch coherence audited from the trace).
+//! * `runtime-cache` — the templated `serve` stream (every plan
+//!   submitted twice: cache hits must be epoch-coherent).
+
+use crate::config::ExpConfig;
+use crate::report::Report;
+use crate::runner::query_problem;
+use crate::tablefmt::Table;
+use crate::throughput::mixed_stream;
+use mrs_audit::prelude::{audit_run, audit_schedule, audit_tree, AuditOptions, Violation};
+use mrs_baseline::prelude::{
+    round_robin_tree_schedule, scalar_tree_schedule, synchronous_schedule,
+};
+use mrs_core::list::ListOrder;
+use mrs_core::model::OverlapModel;
+use mrs_core::resource::SystemSpec;
+use mrs_core::tree::{
+    malleable_tree_schedule, tree_schedule, tree_schedule_full, PhasePolicy, TreeProblem,
+};
+use mrs_cost::prelude::CostModel;
+use mrs_runtime::prelude::{AdmissionPolicy, RecoveryConfig, Runtime, RuntimeConfig};
+use mrs_sim::fault::FaultPlan;
+use mrs_workload::prelude::{generate_query, poisson_arrivals, QueryGenConfig};
+
+/// One family's audit outcome.
+struct FamilyResult {
+    family: &'static str,
+    covers: &'static str,
+    cells: usize,
+    violations: Vec<Violation>,
+}
+
+/// The paper workload at the experiment sweep densities.
+fn paper_problems(cfg: &ExpConfig, cost: &CostModel) -> Vec<TreeProblem> {
+    let mut out = Vec::new();
+    for &joins in &cfg.query_sizes() {
+        for q in 0..cfg.queries_per_size() {
+            let query = generate_query(
+                &QueryGenConfig::paper(joins),
+                cfg.seed ^ (joins as u64) << 8 ^ q as u64,
+            );
+            out.push(query_problem(&query, cost));
+        }
+    }
+    out
+}
+
+/// The `audit` experiment (see the module docs).
+pub fn audit(cfg: &ExpConfig) -> Report {
+    let f = 0.7;
+    let eps = 0.5;
+    let cost = CostModel::paper_defaults();
+    let comm = cost.params().comm_model();
+    let model = OverlapModel::new(eps).expect("paper epsilon is valid");
+    let problems = paper_problems(cfg, &cost);
+    let sweep = cfg.site_sweep();
+
+    let mut families: Vec<FamilyResult> = Vec::new();
+
+    // paper-tree: plain TREESCHEDULE over every (P, query) cell.
+    {
+        let mut violations = Vec::new();
+        let mut cells = 0;
+        for &sites in &sweep {
+            let sys = SystemSpec::homogeneous(sites);
+            for problem in &problems {
+                let r = tree_schedule(problem, f, &sys, &comm, &model)
+                    .expect("paper workload always schedules");
+                violations.extend(audit_tree(
+                    problem,
+                    &r,
+                    &sys,
+                    &comm,
+                    &model,
+                    &AuditOptions::coarse_grain(f),
+                ));
+                cells += 1;
+            }
+        }
+        families.push(FamilyResult {
+            family: "paper-tree",
+            covers: "table2 fig5a fig5b fig6a fig6b simcheck skew",
+            cells,
+            violations,
+        });
+    }
+
+    // arbitrary-order: the X2 ablation still owes the certificate.
+    {
+        let sys = SystemSpec::homogeneous(sweep[sweep.len() / 2]);
+        let mut violations = Vec::new();
+        for problem in &problems {
+            let r = tree_schedule_full(
+                problem,
+                f,
+                &sys,
+                &comm,
+                &model,
+                ListOrder::Arbitrary,
+                PhasePolicy::Alap,
+            )
+            .expect("paper workload always schedules");
+            violations.extend(audit_tree(
+                problem,
+                &r,
+                &sys,
+                &comm,
+                &model,
+                &AuditOptions::coarse_grain(f),
+            ));
+        }
+        families.push(FamilyResult {
+            family: "arbitrary-order",
+            covers: "ablation-order",
+            cells: problems.len(),
+            violations,
+        });
+    }
+
+    // shelves-asap: the ASAP phase policy of shelfcheck.
+    {
+        let sys = SystemSpec::homogeneous(sweep[0]);
+        let mut violations = Vec::new();
+        for problem in &problems {
+            let r = tree_schedule_full(
+                problem,
+                f,
+                &sys,
+                &comm,
+                &model,
+                ListOrder::LongestFirst,
+                PhasePolicy::Asap,
+            )
+            .expect("paper workload always schedules");
+            violations.extend(audit_tree(
+                problem,
+                &r,
+                &sys,
+                &comm,
+                &model,
+                &AuditOptions::coarse_grain(f),
+            ));
+        }
+        families.push(FamilyResult {
+            family: "shelves-asap",
+            covers: "shelfcheck",
+            cells: problems.len(),
+            violations,
+        });
+    }
+
+    // malleable: the Section 7 GF degree sweep (no CG_f cap by design).
+    {
+        let sys = SystemSpec::homogeneous(sweep[0]);
+        let mut violations = Vec::new();
+        for problem in &problems {
+            let r = malleable_tree_schedule(problem, &sys, &comm, &model)
+                .expect("paper workload always schedules");
+            violations.extend(audit_tree(
+                problem,
+                &r,
+                &sys,
+                &comm,
+                &model,
+                &AuditOptions::malleable(),
+            ));
+        }
+        families.push(FamilyResult {
+            family: "malleable",
+            covers: "malleable planopt optgap",
+            cells: problems.len(),
+            violations,
+        });
+    }
+
+    // eps-sweep: the overlap-model extremes.
+    {
+        let sys = SystemSpec::homogeneous(sweep[0]);
+        let mut violations = Vec::new();
+        let mut cells = 0;
+        for &e in &[0.0, 0.5, 1.0] {
+            let m = OverlapModel::new(e).expect("sweep epsilons are valid");
+            for problem in &problems {
+                let r = tree_schedule(problem, f, &sys, &comm, &m)
+                    .expect("paper workload always schedules");
+                violations.extend(audit_tree(
+                    problem,
+                    &r,
+                    &sys,
+                    &comm,
+                    &m,
+                    &AuditOptions::coarse_grain(f),
+                ));
+                cells += 1;
+            }
+        }
+        families.push(FamilyResult {
+            family: "eps-sweep",
+            covers: "pipecheck memcheck dimcheck ablation-dims",
+            cells,
+            violations,
+        });
+    }
+
+    // baselines: structural audit only (no least-loaded packing).
+    {
+        let sys = SystemSpec::homogeneous(sweep[0]);
+        let mut violations = Vec::new();
+        let mut cells = 0;
+        for problem in &problems {
+            for r in [
+                scalar_tree_schedule(problem, f, &sys, &comm, &model),
+                round_robin_tree_schedule(problem, f, &sys, &comm, &model),
+            ] {
+                let r = r.expect("paper workload always schedules");
+                violations.extend(audit_tree(
+                    problem,
+                    &r,
+                    &sys,
+                    &comm,
+                    &model,
+                    &AuditOptions::structural(),
+                ));
+                cells += 1;
+            }
+            // SYNC executes waves of its own result type: audit each
+            // wave's packed schedule structurally.
+            let sync = synchronous_schedule(problem, &sys, &comm, &model)
+                .expect("paper workload always schedules");
+            for (idx, wave) in sync.phases.iter().enumerate() {
+                violations.extend(audit_schedule(&wave.schedule, &sys, &model, false, idx));
+            }
+            cells += 1;
+        }
+        families.push(FamilyResult {
+            family: "baselines",
+            covers: "table2 fig5a ablation-dims (comparators)",
+            cells,
+            violations,
+        });
+    }
+
+    // Runtime families share the throughput experiment's served stream.
+    let (sites, n_queries) = if cfg.fast { (16, 9) } else { (32, 42) };
+    let sys = SystemSpec::homogeneous(sites);
+    let stream = mixed_stream(n_queries, 3, cfg.seed, &cost);
+    let mean_standalone: f64 = stream
+        .iter()
+        .map(|q| {
+            tree_schedule(&q.problem, f, &sys, &comm, &model)
+                .expect("stream plans always schedule")
+                .response_time
+        })
+        .sum::<f64>()
+        / n_queries as f64;
+    let rate = 1.5 * 4.0 / mean_standalone;
+    let arrivals = poisson_arrivals(rate, n_queries, cfg.seed ^ 0xA11C_E5ED);
+    let recovery = RecoveryConfig {
+        rebuild_factor: 0.1,
+        max_retries: 4,
+        backoff_base: 0.1 * mean_standalone,
+        backoff_cap: 2.0 * mean_standalone,
+        degrade_threshold: 0.25,
+    };
+    let policies = [AdmissionPolicy::Fcfs, AdmissionPolicy::SmallestVolumeFirst];
+
+    // runtime-clean: fault-free served stream under both policies.
+    {
+        let mut violations = Vec::new();
+        for policy in policies {
+            let rt_cfg = RuntimeConfig {
+                f,
+                policy,
+                max_in_flight: 4,
+                recovery: recovery.clone(),
+                ..RuntimeConfig::default()
+            };
+            let mut rt = Runtime::new(sys.clone(), comm, model, rt_cfg);
+            for (q, t) in stream.iter().zip(&arrivals) {
+                rt.submit_at(*t, q.client, q.problem.clone());
+            }
+            let summary = rt
+                .run_to_completion()
+                .expect("stream plans always schedule");
+            violations.extend(audit_run(&summary));
+        }
+        families.push(FamilyResult {
+            family: "runtime-clean",
+            covers: "throughput",
+            cells: policies.len(),
+            violations,
+        });
+    }
+
+    // runtime-faults: the X13 crash/recovery sweep.
+    {
+        let mut violations = Vec::new();
+        let mut cells = 0;
+        for policy in policies {
+            for mult in [4.0, 1.0] {
+                let rt_cfg = RuntimeConfig {
+                    f,
+                    policy,
+                    max_in_flight: 4,
+                    faults: FaultPlan::seeded(
+                        sites,
+                        60.0 * mean_standalone,
+                        mult * mean_standalone,
+                        0.3 * mean_standalone,
+                        cfg.seed ^ 0x0FA7_0FA7,
+                    ),
+                    deadline: Some(60.0 * mean_standalone),
+                    recovery: recovery.clone(),
+                    ..RuntimeConfig::default()
+                };
+                let mut rt = Runtime::new(sys.clone(), comm, model, rt_cfg);
+                for (q, t) in stream.iter().zip(&arrivals) {
+                    rt.submit_at(*t, q.client, q.problem.clone());
+                }
+                let summary = rt
+                    .run_to_completion()
+                    .expect("stream plans always schedule");
+                violations.extend(audit_run(&summary));
+                cells += 1;
+            }
+        }
+        families.push(FamilyResult {
+            family: "runtime-faults",
+            covers: "faults",
+            cells,
+            violations,
+        });
+    }
+
+    // runtime-cache: every plan submitted twice — hits must be
+    // epoch-coherent, and a templated stream must actually hit.
+    {
+        let mut violations = Vec::new();
+        let rt_cfg = RuntimeConfig {
+            f,
+            policy: AdmissionPolicy::Fcfs,
+            max_in_flight: 4,
+            recovery: recovery.clone(),
+            ..RuntimeConfig::default()
+        };
+        let mut rt = Runtime::new(sys.clone(), comm, model, rt_cfg);
+        for (q, t) in stream.iter().zip(&arrivals) {
+            rt.submit_at(*t, q.client, q.problem.clone());
+            rt.submit_at(*t, q.client + 3, q.problem.clone());
+        }
+        let summary = rt
+            .run_to_completion()
+            .expect("stream plans always schedule");
+        if summary.cache.hits == 0 {
+            violations.push(Violation::ShapeMismatch {
+                detail: "templated stream produced no cache hits".to_owned(),
+            });
+        }
+        violations.extend(audit_run(&summary));
+        families.push(FamilyResult {
+            family: "runtime-cache",
+            covers: "throughput (serve mode)",
+            cells: 1,
+            violations,
+        });
+    }
+
+    let mut table = Table::new(vec!["family", "covers", "cells", "violations"]);
+    let mut notes = Vec::new();
+    let mut total = 0;
+    for fam in &families {
+        table.push_row(vec![
+            fam.family.to_owned(),
+            fam.covers.to_owned(),
+            fam.cells.to_string(),
+            fam.violations.len().to_string(),
+        ]);
+        total += fam.violations.len();
+        for v in fam.violations.iter().take(5) {
+            notes.push(format!("{}: [{}] {v}", fam.family, v.kind()));
+        }
+    }
+    notes.push(if total == 0 {
+        "all families audit clean: Definition 5.1, CG_f cap, co-location, shelf order, \
+         Theorem 5.1 certificates, fluid feasibility, conservation, cache coherence"
+            .to_owned()
+    } else {
+        format!("{total} violations — the scheduler broke a paper invariant (see rows above)")
+    });
+
+    Report {
+        id: "audit",
+        title: "Paper-invariant audit of every experiment family".to_owned(),
+        params: format!(
+            "f={f} eps={eps} sweeps={}x{} queries, runtime P={sites} n={n_queries} seed={}",
+            sweep.len(),
+            problems.len(),
+            cfg.seed
+        ),
+        table,
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_audit_is_clean_everywhere() {
+        let report = audit(&ExpConfig {
+            fast: true,
+            jobs: 1,
+            ..Default::default()
+        });
+        assert_eq!(report.table.rows.len(), 9, "nine families");
+        for row in &report.table.rows {
+            assert_eq!(row[3], "0", "family {} must audit clean", row[0]);
+        }
+    }
+}

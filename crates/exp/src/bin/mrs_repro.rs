@@ -31,7 +31,7 @@ fn usage() -> &'static str {
      [--policy fcfs|svf|rr-fair] [--mtbf T] [--deadline D] [--templates K]\n\
      experiments: table2 fig5a fig5b fig6a fig6b ablation-dims ablation-order \
      malleable planopt pipecheck memcheck dimcheck shelfcheck optgap simcheck skew throughput \
-     faults"
+     faults audit"
 }
 
 /// `mrs-repro serve`: run a Poisson stream of generated queries through

@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ablations;
+pub mod auditcheck;
 pub mod config;
 pub mod dimcheck;
 pub mod extensions;
@@ -61,6 +62,7 @@ pub fn all_experiments() -> Vec<(&'static str, Experiment)> {
         ("skew", extensions::skew),
         ("throughput", throughput::throughput),
         ("faults", faultcheck::faults),
+        ("audit", auditcheck::audit),
     ]
 }
 
@@ -75,6 +77,7 @@ pub fn experiment_by_id(id: &str) -> Option<Experiment> {
 /// One-stop imports.
 pub mod prelude {
     pub use crate::ablations::{ablation_dims, ablation_order};
+    pub use crate::auditcheck::audit;
     pub use crate::config::ExpConfig;
     pub use crate::dimcheck::dimcheck;
     pub use crate::extensions::{malleable, optgap, simcheck, skew};
@@ -104,7 +107,7 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(ids.len(), dedup.len());
-        assert_eq!(ids.len(), 18);
+        assert_eq!(ids.len(), 19);
     }
 
     #[test]

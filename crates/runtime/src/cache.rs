@@ -115,7 +115,11 @@ impl PlanSignature {
 /// An epoch-guarded memo table from [`PlanSignature`] to the schedule.
 #[derive(Debug, Default)]
 pub struct ScheduleCache {
-    entries: HashMap<PlanSignature, Arc<TreeScheduleResult>>,
+    /// Each entry remembers the epoch it was inserted under. Bumping
+    /// clears the table, so a hit's insert epoch always equals the
+    /// current epoch — the pair is surfaced anyway as an audit tripwire
+    /// (a future partial-invalidation scheme must keep it true).
+    entries: HashMap<PlanSignature, (Arc<TreeScheduleResult>, u64)>,
     epoch: u64,
     stats: CacheStats,
 }
@@ -146,12 +150,14 @@ impl ScheduleCache {
         self.entries.is_empty()
     }
 
-    /// Looks up `sig`, counting a hit or miss.
-    pub fn get(&mut self, sig: &PlanSignature) -> Option<Arc<TreeScheduleResult>> {
+    /// Looks up `sig`, counting a hit or miss. A hit returns the
+    /// schedule together with the epoch it was inserted under (for the
+    /// cache-coherence audit; see the `entries` field).
+    pub fn get(&mut self, sig: &PlanSignature) -> Option<(Arc<TreeScheduleResult>, u64)> {
         match self.entries.get(sig) {
-            Some(hit) => {
+            Some((hit, inserted)) => {
                 self.stats.hits += 1;
-                Some(Arc::clone(hit))
+                Some((Arc::clone(hit), *inserted))
             }
             None => {
                 self.stats.misses += 1;
@@ -160,9 +166,10 @@ impl ScheduleCache {
         }
     }
 
-    /// Records a freshly computed schedule under `sig`.
+    /// Records a freshly computed schedule under `sig`, stamped with the
+    /// current epoch.
     pub fn insert(&mut self, sig: PlanSignature, schedule: Arc<TreeScheduleResult>) {
-        self.entries.insert(sig, schedule);
+        self.entries.insert(sig, (schedule, self.epoch));
     }
 
     /// Counts a plan computed while the cache is disabled, so the re-plan
@@ -280,8 +287,9 @@ mod tests {
         });
         cache.insert(sig.clone(), Arc::clone(&sched));
         assert_eq!(cache.len(), 1);
-        let hit = cache.get(&sig).expect("second lookup hits");
+        let (hit, inserted) = cache.get(&sig).expect("second lookup hits");
         assert!(Arc::ptr_eq(&hit, &sched));
+        assert_eq!(inserted, cache.epoch(), "hit is epoch-coherent");
         assert_eq!(
             cache.stats(),
             CacheStats {

@@ -56,6 +56,7 @@ pub mod ledger;
 pub mod metrics;
 pub mod recovery;
 pub mod runtime;
+pub mod trace;
 
 /// One-stop imports.
 pub mod prelude {
@@ -66,4 +67,7 @@ pub mod prelude {
     pub use crate::metrics::{FaultRecord, FaultRecordKind, RunSummary};
     pub use crate::recovery::RecoveryConfig;
     pub use crate::runtime::{Runtime, RuntimeConfig, RuntimeError};
+    pub use crate::trace::{
+        audit_cache_hit_fresh, audit_placements_valid, audit_repack_conserves, AuditEvent,
+    };
 }

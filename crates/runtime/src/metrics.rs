@@ -7,6 +7,7 @@
 use crate::cache::CacheStats;
 use crate::job::{QueryId, QueryOutcome, QueryRecord};
 use crate::runtime::RuntimeError;
+use crate::trace::AuditEvent;
 
 /// One entry of the run's fault/recovery event trace. Records derive
 /// `PartialEq` so determinism tests can compare whole traces.
@@ -88,6 +89,14 @@ pub struct RunSummary {
     /// Schedule-cache counters: admission hits, fresh plans computed
     /// (re-plan count), and epoch bumps. All-zero with no admissions.
     pub cache: CacheStats,
+    /// Structured audit trace (see [`crate::trace`]): phase dispatches,
+    /// re-pack conservation quantities, cache epochs. Checked end-to-end
+    /// by `mrs-audit`'s `audit_run`.
+    pub trace: Vec<AuditEvent>,
+    /// `site_peak_util[j][i]` = peak normalized utilization of resource
+    /// `i` at site `j` over the run (realized demand over effective
+    /// capacity; feasible fluid sharing keeps this ≤ 1).
+    pub site_peak_util: Vec<Vec<f64>>,
 }
 
 impl RunSummary {
@@ -107,6 +116,8 @@ impl RunSummary {
             depth_trace,
             faults,
             cache: CacheStats::default(),
+            trace: Vec::new(),
+            site_peak_util: Vec::new(),
         }
     }
 

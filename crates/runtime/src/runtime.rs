@@ -38,7 +38,10 @@ use crate::cache::{schedule_digest, PlanSignature, ScheduleCache};
 use crate::job::{work_volume, QueryId, QueryOutcome, QueryRecord};
 use crate::ledger::SiteLedger;
 use crate::metrics::{FaultRecord, FaultRecordKind, RunSummary};
-use crate::recovery::{backoff_delay, replan_lost, RecoveryConfig};
+use crate::recovery::{backoff_delay, rebuild_inflated, replan_lost, RecoveryConfig};
+use crate::trace::{
+    audit_cache_hit_fresh, audit_placements_valid, audit_repack_conserves, AuditEvent,
+};
 use mrs_core::comm::CommModel;
 use mrs_core::error::ScheduleError;
 use mrs_core::model::ResponseModel;
@@ -224,6 +227,10 @@ pub struct Runtime<M: ResponseModel> {
     /// Cursor into the sorted `arrivals` list (avoids O(n) front
     /// removals).
     arrivals_next: usize,
+    /// Structured audit trace (see [`crate::trace`]): appended at phase
+    /// dispatch, recovery re-pack, cache hit/insert, and epoch bumps;
+    /// surfaced on the [`RunSummary`] for `mrs-audit`.
+    audit_trace: Vec<AuditEvent>,
 }
 
 impl<M: ResponseModel> Runtime<M> {
@@ -272,6 +279,7 @@ impl<M: ResponseModel> Runtime<M> {
             schedule_cache: ScheduleCache::new(),
             touch_buf: Vec::new(),
             arrivals_next: 0,
+            audit_trace: Vec::new(),
         }
     }
 
@@ -509,6 +517,10 @@ impl<M: ResponseModel> Runtime<M> {
                 let lost = self.sims[site].fail();
                 self.calendar.invalidate(site);
                 self.schedule_cache.bump_epoch();
+                self.audit_trace.push(AuditEvent::EpochBump {
+                    time: self.clock,
+                    epoch: self.schedule_cache.epoch(),
+                });
                 self.ledger.release_site(SiteId(site));
                 self.fault_trace.push(FaultRecord {
                     time: self.clock,
@@ -557,6 +569,10 @@ impl<M: ResponseModel> Runtime<M> {
                 self.sims[site].restore();
                 self.calendar.invalidate(site);
                 self.schedule_cache.bump_epoch();
+                self.audit_trace.push(AuditEvent::EpochBump {
+                    time: self.clock,
+                    epoch: self.schedule_cache.epoch(),
+                });
                 self.ledger.restore_site(SiteId(site));
                 self.fault_trace.push(FaultRecord {
                     time: self.clock,
@@ -617,6 +633,32 @@ impl<M: ResponseModel> Runtime<M> {
         };
         match replanned {
             Some(placements) => {
+                // Work conservation through recovery (Repacked audit
+                // event): the re-pack must place exactly the lost work,
+                // inflated by the rebuild surcharge, plus one EA1
+                // startup cost α per degree-1 replacement clone.
+                let lost_total: f64 = works.iter().map(WorkVector::total).sum();
+                let expected_total: f64 = works
+                    .iter()
+                    .map(|w| {
+                        rebuild_inflated(w, &self.sys.site, self.cfg.recovery.rebuild_factor)
+                            .total()
+                            + self.comm.alpha
+                    })
+                    .sum();
+                let placed_total: f64 = placements.iter().map(|(_, w)| w.total()).sum();
+                debug_assert!(
+                    audit_repack_conserves(expected_total, placed_total),
+                    "recovery re-pack leaked work for {query}: expected {expected_total}, \
+                     placed {placed_total}"
+                );
+                self.audit_trace.push(AuditEvent::Repacked {
+                    time: self.clock,
+                    query,
+                    lost_total,
+                    expected_total,
+                    placed_total,
+                });
                 // Hold the phase barrier while dispatching: catching a
                 // target site up to the clock can retire this query's
                 // last outstanding clone, and without the guard that
@@ -736,6 +778,10 @@ impl<M: ResponseModel> Runtime<M> {
     /// the ledger; returns how many are actually executing (zero-duration
     /// clones complete inline).
     fn dispatch_placements(&mut self, id: QueryId, placements: &[(SiteId, WorkVector)]) -> usize {
+        debug_assert!(
+            audit_placements_valid(placements, self.sys.sites, self.sys.dim()),
+            "dispatch for {id} carries an out-of-range site or malformed work vector"
+        );
         let mut dispatched = 0usize;
         for (site, work) in placements {
             // Lazy calendar discipline: the site must be at the current
@@ -794,6 +840,11 @@ impl<M: ResponseModel> Runtime<M> {
             }
             let phase_idx = rq.next_phase;
             rq.next_phase += 1;
+            self.audit_trace.push(AuditEvent::PhaseDispatched {
+                time: self.clock,
+                query: id,
+                phase: phase_idx,
+            });
 
             // Collect the phase's clone placements first (borrow of the
             // schedule ends before we mutate sims/ledger).
@@ -904,7 +955,18 @@ impl<M: ResponseModel> Runtime<M> {
         }
         let sig = PlanSignature::of(problem, self.cfg.f);
         match self.schedule_cache.get(&sig) {
-            Some(hit) => {
+            Some((hit, insert_epoch)) => {
+                let hit_epoch = self.schedule_cache.epoch();
+                debug_assert!(
+                    audit_cache_hit_fresh(insert_epoch, hit_epoch),
+                    "cache served {id} a plan from epoch {insert_epoch} at epoch {hit_epoch}"
+                );
+                self.audit_trace.push(AuditEvent::CacheHit {
+                    time: self.clock,
+                    query: id,
+                    insert_epoch,
+                    hit_epoch,
+                });
                 if self.cfg.verify_cache {
                     let fresh =
                         tree_schedule(problem, self.cfg.f, &self.sys, &self.comm, &self.model)
@@ -923,6 +985,11 @@ impl<M: ResponseModel> Runtime<M> {
                         .map_err(|source| RuntimeError::Schedule { query: id, source })?,
                 );
                 self.schedule_cache.insert(sig, Arc::clone(&fresh));
+                self.audit_trace.push(AuditEvent::CacheInsert {
+                    time: self.clock,
+                    query: id,
+                    epoch: self.schedule_cache.epoch(),
+                });
                 Ok(fresh)
             }
         }
@@ -940,6 +1007,8 @@ impl<M: ResponseModel> Runtime<M> {
             self.fault_trace.clone(),
         );
         s.cache = self.schedule_cache.stats();
+        s.trace = self.audit_trace.clone();
+        s.site_peak_util = self.sims.iter().map(|s| s.peak_util().to_vec()).collect();
         s
     }
 }

@@ -1,0 +1,176 @@
+//! Structured audit trace: cheap always-on events the runtime records at
+//! its invariant-bearing sites (phase dispatch, recovery re-pack, cache
+//! hit/insert, epoch bump), plus the tiny predicates the runtime's
+//! `debug_assert!` hooks evaluate inline.
+//!
+//! The trace exists so that `mrs-audit` (which depends on this crate, not
+//! the other way round — no dependency cycle) can *re-check* conservation
+//! and coherence after the fact from a [`crate::metrics::RunSummary`]
+//! alone: the events carry the aggregate quantities (lost work, expected
+//! re-packed work including the EA1 startup surcharge, epochs) that the
+//! coarser [`crate::metrics::FaultRecord`] stream does not.
+//!
+//! Events are plain values recorded in simulation-event order; the
+//! sequence is deterministic for a fixed seed and identical across
+//! `--jobs` values (it lives entirely inside one runtime's event loop).
+
+use crate::job::QueryId;
+use mrs_core::resource::SiteId;
+use mrs_core::vector::WorkVector;
+
+/// One entry of the runtime's audit trace. All times are virtual.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AuditEvent {
+    /// A phase of `query` was dispatched (its clone placements were
+    /// handed to the site simulators). `phase` is the 0-based phase
+    /// index; per query the recorded indices must be strictly
+    /// increasing.
+    PhaseDispatched {
+        /// Virtual dispatch time.
+        time: f64,
+        /// The owning query.
+        query: QueryId,
+        /// 0-based phase index within the query's TreeSchedule.
+        phase: usize,
+    },
+    /// Lost work of `query` was successfully re-packed onto survivors.
+    ///
+    /// Conservation invariant: `placed_total` must equal
+    /// `expected_total`, which is the lost work inflated by the rebuild
+    /// surcharge plus one EA1 startup cost `α` per degree-1 replacement
+    /// clone (see [`crate::recovery::replan_lost`]).
+    Repacked {
+        /// Virtual re-pack time.
+        time: f64,
+        /// The recovering query.
+        query: QueryId,
+        /// Total lost work (already scaled by the unfinished fraction).
+        lost_total: f64,
+        /// Lost work + rebuild surcharge + per-clone startup `α`.
+        expected_total: f64,
+        /// Total work actually placed onto alive sites.
+        placed_total: f64,
+    },
+    /// A fresh admission plan was memoized under the current epoch.
+    CacheInsert {
+        /// Virtual insert time.
+        time: f64,
+        /// The query whose plan was computed.
+        query: QueryId,
+        /// Cache epoch at insert time.
+        epoch: u64,
+    },
+    /// An admission plan was served from the schedule cache.
+    ///
+    /// Coherence invariant: `insert_epoch == hit_epoch` — no plan
+    /// computed against an older site population (before a crash or
+    /// restore bumped the epoch) may be served.
+    CacheHit {
+        /// Virtual hit time.
+        time: f64,
+        /// The query served from the cache.
+        query: QueryId,
+        /// Epoch the entry was inserted under.
+        insert_epoch: u64,
+        /// Epoch current at hit time.
+        hit_epoch: u64,
+    },
+    /// The cache epoch advanced (a site crashed or recovered).
+    EpochBump {
+        /// Virtual time of the environment change.
+        time: f64,
+        /// The new epoch.
+        epoch: u64,
+    },
+}
+
+impl AuditEvent {
+    /// The event's virtual timestamp.
+    pub fn time(&self) -> f64 {
+        match self {
+            AuditEvent::PhaseDispatched { time, .. }
+            | AuditEvent::Repacked { time, .. }
+            | AuditEvent::CacheInsert { time, .. }
+            | AuditEvent::CacheHit { time, .. }
+            | AuditEvent::EpochBump { time, .. } => *time,
+        }
+    }
+}
+
+/// Relative tolerance for work-conservation comparisons. Re-pack sums
+/// the same float quantities in a different order than the expectation
+/// (packer order vs. lost-clone order), so bit equality is too strict;
+/// anything beyond accumulated rounding noise is a real leak.
+pub const CONSERVATION_REL_TOL: f64 = 1e-9;
+
+/// True when the re-packed work equals the expected (surcharged) lost
+/// work within [`CONSERVATION_REL_TOL`].
+pub fn audit_repack_conserves(expected_total: f64, placed_total: f64) -> bool {
+    let scale = expected_total.abs().max(placed_total.abs()).max(1.0);
+    (expected_total - placed_total).abs() <= CONSERVATION_REL_TOL * scale
+}
+
+/// True when a cache hit is epoch-coherent: the entry was inserted under
+/// the epoch current at hit time.
+pub fn audit_cache_hit_fresh(insert_epoch: u64, hit_epoch: u64) -> bool {
+    insert_epoch == hit_epoch
+}
+
+/// True when every placement names an in-range site and a non-negative
+/// work vector of the system's dimensionality — the structural
+/// precondition [`crate::runtime::Runtime`] asserts before handing
+/// clones to the site simulators.
+pub fn audit_placements_valid(placements: &[(SiteId, WorkVector)], sites: usize, d: usize) -> bool {
+    placements.iter().all(|(site, work)| {
+        site.0 < sites
+            && work.dim() == d
+            && work.components().iter().all(|c| c.is_finite() && *c >= 0.0)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conservation_tolerates_rounding_noise_only() {
+        assert!(audit_repack_conserves(100.0, 100.0 + 1e-8));
+        assert!(!audit_repack_conserves(100.0, 100.1));
+        assert!(audit_repack_conserves(0.0, 0.0));
+    }
+
+    #[test]
+    fn cache_freshness_is_epoch_equality() {
+        assert!(audit_cache_hit_fresh(3, 3));
+        assert!(!audit_cache_hit_fresh(2, 3));
+    }
+
+    #[test]
+    fn placement_validity_checks_site_range_and_shape() {
+        let good = vec![(SiteId(0), WorkVector::from_slice(&[1.0, 0.0, 0.0]))];
+        assert!(audit_placements_valid(&good, 2, 3));
+        assert!(!audit_placements_valid(&good, 0, 3), "site out of range");
+        assert!(!audit_placements_valid(&good, 2, 2), "dimension mismatch");
+        // Constructors reject negative components, so corrupt one by
+        // mutation — the unchecked path this predicate guards against.
+        let mut corrupt = WorkVector::zeros(3);
+        corrupt[0] = -1.0;
+        let bad = vec![(SiteId(0), corrupt)];
+        assert!(!audit_placements_valid(&bad, 2, 3), "negative work");
+    }
+
+    #[test]
+    fn event_time_accessor_covers_all_variants() {
+        let ev = AuditEvent::EpochBump {
+            time: 2.5,
+            epoch: 1,
+        };
+        assert_eq!(ev.time(), 2.5);
+        let ev = AuditEvent::PhaseDispatched {
+            time: 1.0,
+            query: QueryId(0),
+            phase: 0,
+        };
+        assert_eq!(ev.time(), 1.0);
+    }
+}

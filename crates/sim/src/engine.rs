@@ -204,6 +204,11 @@ pub struct SiteSim {
     /// `d`-sized accumulator the speed solver reuses.
     scratch: Vec<f64>,
     speeds_valid: bool,
+    /// Peak normalized utilization per resource observed over the site's
+    /// lifetime: `max_t Σ_c s_c·demand_c[i] / cap(n_t)`. A feasible
+    /// sharing solution keeps every component ≤ 1 (up to float noise) —
+    /// the quantity `mrs-audit` checks end-to-end.
+    peak_util: Vec<f64>,
 }
 
 impl SiteSim {
@@ -220,6 +225,7 @@ impl SiteSim {
             speeds_buf: Vec::new(),
             scratch: Vec::new(),
             speeds_valid: false,
+            peak_util: vec![0.0; d],
         }
     }
 
@@ -256,6 +262,15 @@ impl SiteSim {
     #[inline]
     pub fn busy(&self) -> &[f64] {
         &self.busy
+    }
+
+    /// Peak normalized utilization per resource so far: the largest
+    /// instantaneous share of the (overhead-reduced) capacity any
+    /// resource ever reached. Fluid-sharing feasibility keeps every
+    /// component ≤ 1 up to float noise.
+    #[inline]
+    pub fn peak_util(&self) -> &[f64] {
+        &self.peak_util
     }
 
     /// The site's speed multiplier (see [`SiteSim::set_rate`]).
@@ -426,6 +441,24 @@ impl SiteSim {
                 dt.is_finite(),
                 "sharing policy starved every clone (all speeds zero)"
             );
+            // Record the interval's normalized utilization before the
+            // state mutates (the shares are constant across the step).
+            // `scratch` is free here: the solver only uses it inside
+            // `ensure_speeds`, which clears it on entry.
+            let cap = capacity_factor(self.config.timeshare_overhead, self.active.len());
+            self.scratch.clear();
+            self.scratch.resize(self.d, 0.0);
+            for (a, &sc) in self.active.iter().zip(&self.speeds_buf) {
+                for (u, dem) in self.scratch.iter_mut().zip(&a.demand) {
+                    *u += sc * dem;
+                }
+            }
+            for (p, &u) in self.peak_util.iter_mut().zip(&self.scratch) {
+                let norm = u / cap;
+                if norm > *p {
+                    *p = norm;
+                }
+            }
             let full_step = dt <= t - self.now;
             let step = dt.min(t - self.now);
             self.now += step;

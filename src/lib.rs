@@ -20,6 +20,7 @@
 //! | [`opt`] | exact branch-and-bound packing |
 //! | [`exp`] | table/figure regeneration harness |
 //! | [`runtime`] | online multi-query runtime: admission, site ledger, event-driven dispatch |
+//! | [`audit`] | paper-invariant auditor, run-trace checker, `mrs-lint` source gate |
 //!
 //! ## Quickstart
 //!
@@ -46,6 +47,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use mrs_audit as audit;
 pub use mrs_baseline as baseline;
 pub use mrs_core as core;
 pub use mrs_cost as cost;
@@ -58,6 +60,7 @@ pub use mrs_workload as workload;
 
 /// Everything a typical user needs, flattened.
 pub mod prelude {
+    pub use mrs_audit::prelude::*;
     pub use mrs_baseline::prelude::*;
     pub use mrs_core::prelude::*;
     pub use mrs_cost::prelude::*;

@@ -1,0 +1,119 @@
+//! Fault-plan integration audit (satellite of the `mrs-audit` PR):
+//! X13-style served streams — both admission policies, a swept MTBF,
+//! crashes, recoveries, re-packs — must produce runs that `audit_run`
+//! certifies clean, with byte-identical audit traces for any `--jobs`
+//! fan-out of the sweep cells.
+
+use mdrs::prelude::*;
+use mrs_exp::runner::par_map;
+use mrs_runtime::metrics::RunSummary;
+use mrs_sim::fault::FaultPlan;
+
+const SITES: usize = 12;
+const N_QUERIES: usize = 6;
+const SEED: u64 = 0xA0D1_7001;
+
+fn stream() -> Vec<mrs_core::tree::TreeProblem> {
+    let cost = CostModel::paper_defaults();
+    (0..N_QUERIES)
+        .map(|i| {
+            let q = generate_query(&QueryGenConfig::paper(10), SEED ^ i as u64);
+            query_problem(&q, &cost)
+        })
+        .collect()
+}
+
+/// Runs one sweep cell: a Poisson stream under `policy` with crashes at
+/// the given MTBF multiple of the mean standalone response (`0.0` =
+/// fault-free).
+fn run_cell(policy: AdmissionPolicy, mtbf_mult: f64) -> RunSummary {
+    let cost = CostModel::paper_defaults();
+    let comm = cost.params().comm_model();
+    let model = OverlapModel::new(0.5).expect("valid epsilon");
+    let sys = SystemSpec::homogeneous(SITES);
+    let problems = stream();
+
+    let mean_standalone: f64 = problems
+        .iter()
+        .map(|p| {
+            tree_schedule(p, 0.7, &sys, &comm, &model)
+                .expect("stream plans always schedule")
+                .response_time
+        })
+        .sum::<f64>()
+        / N_QUERIES as f64;
+    let arrivals = poisson_arrivals(2.0 / mean_standalone, N_QUERIES, SEED ^ 0xBEEF);
+    let faults = if mtbf_mult > 0.0 {
+        FaultPlan::seeded(
+            SITES,
+            60.0 * mean_standalone,
+            mtbf_mult * mean_standalone,
+            0.3 * mean_standalone,
+            SEED ^ 0x0FA7,
+        )
+    } else {
+        FaultPlan::none()
+    };
+    let cfg = RuntimeConfig {
+        f: 0.7,
+        policy,
+        max_in_flight: 3,
+        faults,
+        deadline: Some(60.0 * mean_standalone),
+        recovery: RecoveryConfig {
+            rebuild_factor: 0.1,
+            max_retries: 4,
+            backoff_base: 0.1 * mean_standalone,
+            backoff_cap: 2.0 * mean_standalone,
+            degrade_threshold: 0.25,
+        },
+        ..RuntimeConfig::default()
+    };
+    let mut rt = Runtime::new(sys, comm, model, cfg);
+    for (i, (p, t)) in problems.iter().zip(&arrivals).enumerate() {
+        rt.submit_at(*t, i % 3, p.clone());
+    }
+    rt.run_to_completion()
+        .expect("stream plans always schedule")
+}
+
+fn cells() -> Vec<(AdmissionPolicy, f64)> {
+    let policies = [AdmissionPolicy::Fcfs, AdmissionPolicy::SmallestVolumeFirst];
+    let mults = [0.0, 2.0, 1.0];
+    policies
+        .iter()
+        .flat_map(|p| mults.iter().map(move |m| (*p, *m)))
+        .collect()
+}
+
+#[test]
+fn faulted_runs_audit_clean_for_both_policies() {
+    let summaries = par_map(1, &cells(), |(policy, mult)| run_cell(*policy, *mult));
+    let mut saw_repack = false;
+    for (summary, (policy, mult)) in summaries.iter().zip(&cells()) {
+        let v = audit_run(summary);
+        assert!(
+            v.is_empty(),
+            "{policy:?} at MTBF {mult}xR must audit clean: {v:?}"
+        );
+        saw_repack |= summary.repacks() > 0;
+    }
+    assert!(
+        saw_repack,
+        "the sweep must actually exercise recovery re-packing"
+    );
+}
+
+#[test]
+fn audit_traces_are_identical_across_jobs() {
+    let serial = par_map(1, &cells(), |(policy, mult)| run_cell(*policy, *mult));
+    let fanned = par_map(4, &cells(), |(policy, mult)| run_cell(*policy, *mult));
+    for ((a, b), (policy, mult)) in serial.iter().zip(&fanned).zip(&cells()) {
+        assert_eq!(
+            a.trace, b.trace,
+            "{policy:?} at MTBF {mult}xR: trace must not depend on --jobs"
+        );
+        assert_eq!(a.horizon.to_bits(), b.horizon.to_bits());
+        assert_eq!(a.site_peak_util, b.site_peak_util);
+    }
+}
