@@ -12,9 +12,12 @@
 //!   `(2d+1)·LB` makespan certificate on any [`PhaseSchedule`] or
 //!   TREESCHEDULE result; [`run::audit_run`] replays a runtime
 //!   [`RunSummary`]'s structured trace to verify fluid-sharing
-//!   feasibility, work conservation through fault recovery, and
-//!   cache-epoch coherence. All checks collect machine-readable
-//!   [`violation::Violation`]s rather than panicking.
+//!   feasibility (peak *and* time-averaged), work conservation through
+//!   fault recovery, and cache-epoch coherence;
+//!   [`shard::audit_shard_segments`] checks the sharded fabric's
+//!   per-shard trace segments (range partitioning, event ownership,
+//!   clone conservation across the canonical merge). All checks collect
+//!   machine-readable [`violation::Violation`]s rather than panicking.
 //! * **Static lint** — [`lint`] (and the `mrs-lint` binary) scans the
 //!   workspace's sources for determinism and hygiene hazards the
 //!   compiler cannot see: wall-clock reads, `HashMap` imports in result
@@ -28,6 +31,7 @@
 pub mod invariant;
 pub mod lint;
 pub mod run;
+pub mod shard;
 pub mod violation;
 
 /// Convenience re-exports of the whole audit surface.
@@ -35,9 +39,11 @@ pub mod prelude {
     pub use crate::invariant::{audit_schedule, audit_tree, AuditOptions, AUDIT_REL_TOL};
     pub use crate::lint::{lint_file, lint_workspace, workspace_sources, Allowlist, LintFinding};
     pub use crate::run::audit_run;
+    pub use crate::shard::audit_shard_segments;
     pub use crate::violation::Violation;
 }
 
 pub use invariant::{audit_schedule, audit_tree, AuditOptions};
 pub use run::audit_run;
+pub use shard::audit_shard_segments;
 pub use violation::Violation;

@@ -63,6 +63,52 @@ pub fn audit_run(summary: &RunSummary) -> Vec<Violation> {
         }
     }
 
+    // Average over-commitment: the exact utilization *integral* divided
+    // by the horizon bounds each site's sustained load. This catches a
+    // simulator that briefly dips under the peak tolerance but
+    // over-commits on average.
+    if summary.horizon > 0.0 {
+        for (site, integrals) in summary.site_util_integral.iter().enumerate() {
+            for (resource, &integral) in integrals.iter().enumerate() {
+                let avg = integral / summary.horizon;
+                if avg > 1.0 + BUSY_REL_TOL {
+                    out.push(Violation::AvgUtilizationInfeasible {
+                        site,
+                        resource,
+                        avg,
+                    });
+                }
+            }
+        }
+    }
+
+    // Series/integral cross-check: when the per-step series was
+    // recorded, its piecewise-constant integral must reproduce the
+    // simulator's always-on integral (the series is the evidence the
+    // integral claims to summarize).
+    for (site, series) in summary.site_util_series.iter().enumerate() {
+        if series.is_empty() {
+            continue;
+        }
+        let dim = summary
+            .site_util_integral
+            .get(site)
+            .map_or(0, |integrals| integrals.len());
+        for resource in 0..dim {
+            let series_total: f64 = series.iter().map(|s| s.len * s.util[resource]).sum();
+            let integral = summary.site_util_integral[site][resource];
+            let scale = series_total.abs().max(integral.abs()).max(1.0);
+            if (series_total - integral).abs() > BUSY_REL_TOL * scale {
+                out.push(Violation::UtilSeriesMismatch {
+                    site,
+                    resource,
+                    series_total,
+                    integral,
+                });
+            }
+        }
+    }
+
     // Trace-level checks: time monotonicity, per-query phase order,
     // epoch progression, conservation, cache coherence.
     let mut last_time = f64::NEG_INFINITY;
@@ -162,6 +208,8 @@ mod tests {
                 },
             ],
             site_peak_util: vec![vec![0.9, 1.0, 0.3]],
+            site_util_integral: vec![vec![1.0, 2.0, 0.0]],
+            site_util_series: vec![vec![]],
         };
         assert!(audit_run(&s).is_empty(), "clean synthetic run");
 
@@ -185,5 +233,25 @@ mod tests {
             v.iter().any(|x| x.kind() == "busy-exceeds-horizon"),
             "{v:?}"
         );
+        s.site_busy[0][0] = 1.0;
+
+        // Average over-commitment: integral 12 over horizon 10 = 1.2.
+        s.site_util_integral[0][0] = 12.0;
+        let v = audit_run(&s);
+        assert!(v.iter().any(|x| x.kind() == "avg-utilization"), "{v:?}");
+        s.site_util_integral[0][0] = 1.0;
+
+        // Series that does not integrate to the recorded integral.
+        s.site_util_series[0] = vec![mrs_sim::engine::UtilSample {
+            start: 0.0,
+            len: 10.0,
+            util: vec![0.5, 0.2, 0.0],
+        }];
+        let v = audit_run(&s);
+        assert!(v.iter().any(|x| x.kind() == "util-series"), "{v:?}");
+
+        // A series that matches exactly is clean again.
+        s.site_util_integral = vec![vec![5.0, 2.0, 0.0]];
+        assert!(audit_run(&s).is_empty(), "consistent series passes");
     }
 }

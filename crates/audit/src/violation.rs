@@ -209,6 +209,59 @@ pub enum Violation {
         /// The earlier timestamp that follows it.
         time: f64,
     },
+    /// A site's *average* normalized utilization of one resource over
+    /// the run (the exact utilization integral divided by the horizon)
+    /// exceeded unit capacity — sustained over-commitment even though
+    /// the instantaneous peak check may have passed on tolerance.
+    AvgUtilizationInfeasible {
+        /// The offending site.
+        site: usize,
+        /// The over-committed resource dimension.
+        resource: usize,
+        /// The time-averaged utilization (must stay ≤ 1).
+        avg: f64,
+    },
+    /// A site's recorded per-step utilization series does not integrate
+    /// to its always-on utilization integral — the series and the
+    /// integral disagree about what the site did.
+    UtilSeriesMismatch {
+        /// The offending site.
+        site: usize,
+        /// The disagreeing resource dimension.
+        resource: usize,
+        /// `Σ len · util` over the recorded series.
+        series_total: f64,
+        /// The exact integral the simulator accumulated.
+        integral: f64,
+    },
+    /// The shard segments' site ranges do not partition `0..P`
+    /// contiguously in shard order.
+    ShardRangeBroken {
+        /// The offending shard.
+        shard: usize,
+        /// The range the segment claims.
+        claimed: (usize, usize),
+        /// Where the previous segment ended (what `claimed.0` must be).
+        expected_start: usize,
+    },
+    /// A shard recorded an event for a site outside its claimed range.
+    ShardSiteOutOfRange {
+        /// The offending shard.
+        shard: usize,
+        /// The out-of-range site.
+        site: usize,
+        /// The shard's claimed site range.
+        range: (usize, usize),
+    },
+    /// A clone's event lifecycle across the merged shard trace is
+    /// inconsistent: re-dispatched tag, a terminal event with no (or
+    /// before its) dispatch, or more than one terminal event.
+    ShardConservationBroken {
+        /// The offending clone tag.
+        tag: usize,
+        /// Human-readable description of the lifecycle breach.
+        detail: String,
+    },
 }
 
 impl Violation {
@@ -238,6 +291,11 @@ impl Violation {
             Violation::EpochRegression { .. } => "epoch-regression",
             Violation::OutcomeMissing { .. } => "outcome-missing",
             Violation::TraceDisordered { .. } => "trace-disordered",
+            Violation::AvgUtilizationInfeasible { .. } => "avg-utilization",
+            Violation::UtilSeriesMismatch { .. } => "util-series",
+            Violation::ShardRangeBroken { .. } => "shard-range",
+            Violation::ShardSiteOutOfRange { .. } => "shard-site",
+            Violation::ShardConservationBroken { .. } => "shard-conservation",
         }
     }
 }
@@ -345,6 +403,41 @@ impl fmt::Display for Violation {
                 fm,
                 "trace event {index} at t={time} precedes its predecessor at t={prev_time}"
             ),
+            Violation::AvgUtilizationInfeasible {
+                site,
+                resource,
+                avg,
+            } => write!(
+                fm,
+                "site {site} resource {resource} averaged utilization {avg} > 1 over the run"
+            ),
+            Violation::UtilSeriesMismatch {
+                site,
+                resource,
+                series_total,
+                integral,
+            } => write!(
+                fm,
+                "site {site} resource {resource} series integrates to {series_total}, \
+                 simulator integral is {integral}"
+            ),
+            Violation::ShardRangeBroken {
+                shard,
+                claimed,
+                expected_start,
+            } => write!(
+                fm,
+                "shard {shard} claims sites [{}, {}) but must start at {expected_start}",
+                claimed.0, claimed.1
+            ),
+            Violation::ShardSiteOutOfRange { shard, site, range } => write!(
+                fm,
+                "shard {shard} recorded an event for site {site} outside [{}, {})",
+                range.0, range.1
+            ),
+            Violation::ShardConservationBroken { tag, detail } => {
+                write!(fm, "clone tag {tag}: {detail}")
+            }
         }
     }
 }

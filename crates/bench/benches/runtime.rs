@@ -180,6 +180,41 @@ fn bench_serve_stream(b: &mut Bench) {
                 },
             );
         }
+
+        // Shard-count sweep (clean plan only): the sharded fabric must
+        // produce the identical run, so this measures pure execution
+        // cost — barrier overhead on few cores, parallel speedup on
+        // many. On a single-core host expect s1 to win; record the
+        // numbers honestly either way.
+        if sites == 140 {
+            for n_shards in [1usize, 2, 4, 8] {
+                g.bench_batched(
+                    &format!("p{sites}_s{n_shards}"),
+                    || {
+                        let cfg = RuntimeConfig {
+                            f,
+                            max_in_flight: mpl,
+                            shards: n_shards,
+                            recovery: RecoveryConfig {
+                                backoff_base: 0.1 * mean_standalone,
+                                backoff_cap: 2.0 * mean_standalone,
+                                degrade_threshold: 0.25,
+                                ..RecoveryConfig::default()
+                            },
+                            ..RuntimeConfig::default()
+                        };
+                        let mut rt = Runtime::new(sys.clone(), comm, model, cfg);
+                        for (i, t) in arrivals.iter().enumerate() {
+                            rt.submit_at(*t, i % 3, templates[i % templates.len()].clone());
+                        }
+                        rt
+                    },
+                    |mut rt| {
+                        black_box(rt.run_to_completion().unwrap());
+                    },
+                );
+            }
+        }
     }
     g.finish();
 }

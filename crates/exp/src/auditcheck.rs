@@ -31,13 +31,19 @@
 //!   conservation and cache-epoch coherence audited from the trace).
 //! * `runtime-cache` — the templated `serve` stream (every plan
 //!   submitted twice: cache hits must be epoch-coherent).
+//! * `runtime-shards` — the X14 sharded-fabric runs (clean and faulty,
+//!   even and uneven shard splits): per-shard trace segments must tile
+//!   the site range, own every recorded event, and conserve every clone
+//!   through the canonical merge.
 
 use crate::config::ExpConfig;
 use crate::report::Report;
 use crate::runner::query_problem;
 use crate::tablefmt::Table;
 use crate::throughput::mixed_stream;
-use mrs_audit::prelude::{audit_run, audit_schedule, audit_tree, AuditOptions, Violation};
+use mrs_audit::prelude::{
+    audit_run, audit_schedule, audit_shard_segments, audit_tree, AuditOptions, Violation,
+};
 use mrs_baseline::prelude::{
     round_robin_tree_schedule, scalar_tree_schedule, synchronous_schedule,
 };
@@ -395,6 +401,55 @@ pub fn audit(cfg: &ExpConfig) -> Report {
         });
     }
 
+    // runtime-shards: the sharded fabric's trace segments. Shard count 3
+    // forces an uneven site split, so the range-partition check sees
+    // remainder-bearing ranges too.
+    {
+        let mut violations = Vec::new();
+        let mut cells = 0;
+        for n_shards in [1usize, 3] {
+            for faulty in [false, true] {
+                let rt_cfg = RuntimeConfig {
+                    f,
+                    policy: AdmissionPolicy::Fcfs,
+                    max_in_flight: 4,
+                    faults: if faulty {
+                        FaultPlan::seeded(
+                            sites,
+                            60.0 * mean_standalone,
+                            4.0 * mean_standalone,
+                            0.3 * mean_standalone,
+                            cfg.seed ^ 0x0FA7_0FA7,
+                        )
+                    } else {
+                        FaultPlan::none()
+                    },
+                    deadline: faulty.then_some(60.0 * mean_standalone),
+                    recovery: recovery.clone(),
+                    shards: n_shards,
+                    util_series: true,
+                    ..RuntimeConfig::default()
+                };
+                let mut rt = Runtime::new(sys.clone(), comm, model, rt_cfg);
+                for (q, t) in stream.iter().zip(&arrivals) {
+                    rt.submit_at(*t, q.client, q.problem.clone());
+                }
+                let summary = rt
+                    .run_to_completion()
+                    .expect("stream plans always schedule");
+                violations.extend(audit_run(&summary));
+                violations.extend(audit_shard_segments(&rt.shard_segments(), sites));
+                cells += 1;
+            }
+        }
+        families.push(FamilyResult {
+            family: "runtime-shards",
+            covers: "shards",
+            cells,
+            violations,
+        });
+    }
+
     let mut table = Table::new(vec!["family", "covers", "cells", "violations"]);
     let mut notes = Vec::new();
     let mut total = 0;
@@ -412,7 +467,8 @@ pub fn audit(cfg: &ExpConfig) -> Report {
     }
     notes.push(if total == 0 {
         "all families audit clean: Definition 5.1, CG_f cap, co-location, shelf order, \
-         Theorem 5.1 certificates, fluid feasibility, conservation, cache coherence"
+         Theorem 5.1 certificates, fluid feasibility, conservation, cache coherence, \
+         shard trace merges"
             .to_owned()
     } else {
         format!("{total} violations — the scheduler broke a paper invariant (see rows above)")
@@ -443,7 +499,7 @@ mod tests {
             jobs: 1,
             ..Default::default()
         });
-        assert_eq!(report.table.rows.len(), 9, "nine families");
+        assert_eq!(report.table.rows.len(), 10, "ten families");
         for row in &report.table.rows {
             assert_eq!(row[3], "0", "family {} must audit clean", row[0]);
         }

@@ -5,12 +5,12 @@
 //! mrs-repro schedule [--seed N] [--joins J] [--sites P] [--eps E] [--f F]
 //! mrs-repro serve [--seed N] [--queries N] [--sites P] [--mpl M]
 //!                 [--load X] [--policy fcfs|svf|rr-fair]
-//!                 [--mtbf T] [--deadline D] [--templates K]
+//!                 [--mtbf T] [--deadline D] [--templates K] [--shards S]
 //! ```
 //!
 //! Experiments: table2, fig5a, fig5b, fig6a, fig6b, ablation-dims,
 //! ablation-order, malleable, planopt, pipecheck, memcheck, optgap,
-//! simcheck, skew, throughput, faults.
+//! simcheck, skew, throughput, faults, shards.
 //!
 //! `serve --mtbf T` injects a seeded site crash/recover schedule with
 //! mean time between failures `T` virtual seconds per site (MTTR is
@@ -18,6 +18,10 @@
 //! of arrival. `--templates K` draws the stream from `K` recurring query
 //! templates instead of all-distinct plans, exercising the plan-signature
 //! schedule cache (the printed cache line shows the amortization).
+//! `--shards S` partitions the sites over `S` parallel shard executors;
+//! the output is byte-identical for every `S` (that is the sharded
+//! fabric's contract — see the `shards` experiment), so the report
+//! deliberately never echoes the shard count.
 
 use mrs_exp::config::ExpConfig;
 use mrs_exp::{all_experiments, experiment_by_id};
@@ -28,10 +32,10 @@ fn usage() -> &'static str {
     "usage: mrs-repro [--seed N] [--fast] [--jobs N] [--csv DIR] <experiment>... | all | list\n\
        or: mrs-repro schedule [--seed N] [--joins J] [--sites P] [--eps E] [--f F]\n\
        or: mrs-repro serve [--seed N] [--queries N] [--sites P] [--mpl M] [--load X] \
-     [--policy fcfs|svf|rr-fair] [--mtbf T] [--deadline D] [--templates K]\n\
+     [--policy fcfs|svf|rr-fair] [--mtbf T] [--deadline D] [--templates K] [--shards S]\n\
      experiments: table2 fig5a fig5b fig6a fig6b ablation-dims ablation-order \
      malleable planopt pipecheck memcheck dimcheck shelfcheck optgap simcheck skew throughput \
-     faults audit"
+     faults shards audit"
 }
 
 /// `mrs-repro serve`: run a Poisson stream of generated queries through
@@ -55,6 +59,7 @@ fn run_serve_demo(args: &[String]) -> ExitCode {
     let mut mtbf = 0.0f64;
     let mut deadline = 0.0f64;
     let mut templates = 0usize;
+    let mut shards = 1usize;
     let mut policy = AdmissionPolicy::Fcfs;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -84,6 +89,7 @@ fn run_serve_demo(args: &[String]) -> ExitCode {
             "--mtbf" => mtbf = value,
             "--deadline" => deadline = value,
             "--templates" => templates = value as usize,
+            "--shards" => shards = value as usize,
             other => {
                 eprintln!("unknown serve option {other:?}\n{}", usage());
                 return ExitCode::FAILURE;
@@ -92,6 +98,10 @@ fn run_serve_demo(args: &[String]) -> ExitCode {
     }
     if queries == 0 || sites == 0 || mpl == 0 || !(load.is_finite() && load > 0.0) {
         eprintln!("--queries, --sites, --mpl, and --load must be positive");
+        return ExitCode::FAILURE;
+    }
+    if shards == 0 {
+        eprintln!("--shards must be positive (1 = the single-threaded loop)");
         return ExitCode::FAILURE;
     }
 
@@ -145,6 +155,7 @@ fn run_serve_demo(args: &[String]) -> ExitCode {
         max_in_flight: mpl,
         faults,
         deadline: (deadline > 0.0).then_some(deadline),
+        shards,
         recovery: RecoveryConfig {
             backoff_base: 0.1 * mean_standalone,
             backoff_cap: 2.0 * mean_standalone,

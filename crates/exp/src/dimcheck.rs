@@ -33,7 +33,7 @@ pub fn dimcheck(cfg: &ExpConfig) -> Report {
     let joins = if cfg.fast { 10 } else { 30 };
     let sites = 40usize;
     let s = suite(joins, cfg.queries_per_size(), cfg.seed);
-    let model = OverlapModel::new(eps).unwrap();
+    let model = OverlapModel::new(eps).expect("paper epsilon is valid");
 
     let mut table = Table::new(vec![
         "workload".to_owned(),
@@ -67,9 +67,9 @@ pub fn dimcheck(cfg: &ExpConfig) -> Report {
                     &cost,
                     &ScanPlacement::Floating,
                 )
-                .unwrap();
+                .expect("generated plans always assemble");
                 total += tree_schedule(&problem, f, &sys, &comm, &model)
-                    .unwrap()
+                    .expect("paper workload always schedules")
                     .response_time;
             }
             let mean = total / s.queries.len() as f64;

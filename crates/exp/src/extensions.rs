@@ -50,7 +50,7 @@ pub fn malleable(cfg: &ExpConfig) -> Report {
     let eps = 0.5;
     let cost = CostModel::paper_defaults();
     let comm = cost.params().comm_model();
-    let model = OverlapModel::new(eps).unwrap();
+    let model = OverlapModel::new(eps).expect("paper epsilon is valid");
     let trials = if cfg.fast { 5 } else { 20 };
     let op_count = if cfg.fast { 10 } else { 30 };
 
@@ -73,12 +73,13 @@ pub fn malleable(cfg: &ExpConfig) -> Report {
         let sys = SystemSpec::homogeneous(sites);
         let ops = independent_ops(op_count, cfg.seed.wrapping_add(t as u64));
         let cg3 = operator_schedule(ops.clone(), 0.3, &sys, &comm, &model)
-            .unwrap()
+            .expect("independent ops always schedule")
             .makespan(&sys, &model);
         let cg7 = operator_schedule(ops.clone(), 0.7, &sys, &comm, &model)
-            .unwrap()
+            .expect("independent ops always schedule")
             .makespan(&sys, &model);
-        let out = malleable_schedule(ops, &sys, &comm, &model).unwrap();
+        let out =
+            malleable_schedule(ops, &sys, &comm, &model).expect("independent ops always schedule");
         (
             cg3,
             cg7,
@@ -190,7 +191,7 @@ pub fn optgap(cfg: &ExpConfig) -> Report {
         .collect();
     let ratios = par_map(cfg.effective_jobs(), &cells, |&(ops_n, sites, t)| {
         let sys = SystemSpec::homogeneous(sites);
-        let model = OverlapModel::new(0.5).unwrap();
+        let model = OverlapModel::new(0.5).expect("paper epsilon is valid");
         let ops = independent_ops(ops_n, cfg.seed.wrapping_add(1000 + t as u64));
         // Theorem 5.1(a) fixes the parallelization: small explicit
         // degrees keep the exact search tractable.
@@ -208,10 +209,10 @@ pub fn optgap(cfg: &ExpConfig) -> Report {
             &comm,
             mrs_core::list::ListOrder::LongestFirst,
         )
-        .unwrap();
+        .expect("explicit degrees fit the machine");
         let heuristic = schedule.makespan(&sys, &model);
         optimal_pack(&schedule.ops, &sys, &model, 50_000_000)
-            .unwrap()
+            .expect("packing instance is well-formed")
             .map(|opt| heuristic / opt.makespan)
     });
     let mut ratios = ratios.iter();
@@ -253,7 +254,7 @@ pub fn simcheck(cfg: &ExpConfig) -> Report {
     let f = 0.7;
     let cost = CostModel::paper_defaults();
     let comm = cost.params().comm_model();
-    let model = OverlapModel::new(eps).unwrap();
+    let model = OverlapModel::new(eps).expect("paper epsilon is valid");
     let joins = if cfg.fast { 10 } else { 30 };
     let s = suite(joins, cfg.queries_per_size(), cfg.seed);
 
@@ -274,7 +275,8 @@ pub fn simcheck(cfg: &ExpConfig) -> Report {
         let sys = SystemSpec::homogeneous(sites);
         let q = &s.queries[qi];
         let problem = query_problem(q, &cost);
-        let result = tree_schedule(&problem, f, &sys, &comm, &model).unwrap();
+        let result = tree_schedule(&problem, f, &sys, &comm, &model)
+            .expect("paper workload always schedules");
         let mut eq_total = 0.0;
         let mut max_err = 0.0f64;
         for phase in &result.phases {
@@ -349,7 +351,7 @@ pub fn skew(cfg: &ExpConfig) -> Report {
     let f = 0.7;
     let cost = CostModel::paper_defaults();
     let comm = cost.params().comm_model();
-    let model = OverlapModel::new(eps).unwrap();
+    let model = OverlapModel::new(eps).expect("paper epsilon is valid");
     let joins = if cfg.fast { 10 } else { 30 };
     let sys = SystemSpec::homogeneous(40);
     let s = suite(joins, cfg.queries_per_size(), cfg.seed);
@@ -368,7 +370,8 @@ pub fn skew(cfg: &ExpConfig) -> Report {
         .collect();
     let samples = par_map(cfg.effective_jobs(), &cells, |&(theta, qi)| {
         let problem = query_problem(&s.queries[qi], &cost);
-        let result = tree_schedule(&problem, f, &sys, &comm, &model).unwrap();
+        let result = tree_schedule(&problem, f, &sys, &comm, &model)
+            .expect("paper workload always schedules");
         // Re-cost every phase with skewed partitioning, keeping the
         // planner's placement decisions.
         let mut actual = 0.0f64;

@@ -72,7 +72,7 @@ pub fn faults(cfg: &ExpConfig) -> Report {
 
     let cost = CostModel::paper_defaults();
     let comm = cost.params().comm_model();
-    let model = OverlapModel::new(eps).unwrap();
+    let model = OverlapModel::new(eps).expect("paper epsilon is valid");
     let sys = SystemSpec::homogeneous(sites);
     let stream = mixed_stream(n_queries, clients, cfg.seed, &cost);
 

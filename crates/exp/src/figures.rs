@@ -221,7 +221,7 @@ pub fn fig6b(cfg: &ExpConfig) -> Report {
     let eps = 0.5;
     let f = 0.7;
     let cost = CostModel::paper_defaults();
-    let model = OverlapModel::new(eps).unwrap();
+    let model = OverlapModel::new(eps).expect("paper epsilon is valid");
     let comm = cost.params().comm_model();
     let join_sizes = if cfg.fast { vec![10] } else { vec![20, 40] };
 

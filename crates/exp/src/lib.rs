@@ -30,6 +30,7 @@ pub mod planopt;
 pub mod render;
 pub mod report;
 pub mod runner;
+pub mod shards;
 pub mod shelfcheck;
 pub mod stats;
 pub mod tablefmt;
@@ -62,6 +63,7 @@ pub fn all_experiments() -> Vec<(&'static str, Experiment)> {
         ("skew", extensions::skew),
         ("throughput", throughput::throughput),
         ("faults", faultcheck::faults),
+        ("shards", shards::shards),
         ("audit", auditcheck::audit),
     ]
 }
@@ -89,6 +91,7 @@ pub mod prelude {
     pub use crate::render::{phase_heatmap, tree_report};
     pub use crate::report::Report;
     pub use crate::runner::{mean_response, problem_response, query_problem, query_response, Algo};
+    pub use crate::shards::shards;
     pub use crate::shelfcheck::shelfcheck;
     pub use crate::stats::{percentile, Summary};
     pub use crate::tablefmt::{ratio, secs, Table};
@@ -107,7 +110,7 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(ids.len(), dedup.len());
-        assert_eq!(ids.len(), 19);
+        assert_eq!(ids.len(), 20);
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub fn memcheck(cfg: &ExpConfig) -> Report {
     let f = 0.7;
     let cost = CostModel::paper_defaults();
     let comm = cost.params().comm_model();
-    let model = OverlapModel::new(eps).unwrap();
+    let model = OverlapModel::new(eps).expect("paper epsilon is valid");
     let joins = if cfg.fast { 10 } else { 30 };
     let sites = 40usize;
     let sys = SystemSpec::homogeneous(sites);
@@ -45,7 +45,7 @@ pub fn memcheck(cfg: &ExpConfig) -> Report {
         "scheduled".to_owned(),
     ]);
     for cap_mb in capacities_mb {
-        let memory = MemorySpec::new(cap_mb * 1e6).unwrap();
+        let memory = MemorySpec::new(cap_mb * 1e6).expect("swept capacities are positive");
         let mut makespans = Vec::new();
         let mut degrees = Vec::new();
         let mut failures = 0usize;

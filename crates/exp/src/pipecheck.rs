@@ -27,7 +27,7 @@ pub fn pipecheck(cfg: &ExpConfig) -> Report {
     let f = 0.7;
     let cost = CostModel::paper_defaults();
     let comm = cost.params().comm_model();
-    let model = OverlapModel::new(eps).unwrap();
+    let model = OverlapModel::new(eps).expect("paper epsilon is valid");
     let joins = if cfg.fast { 10 } else { 30 };
     let s = suite(joins, cfg.queries_per_size(), cfg.seed);
 
@@ -45,8 +45,10 @@ pub fn pipecheck(cfg: &ExpConfig) -> Report {
             let annotated = q.plan.annotate(&q.catalog, &KeyJoinMax);
             let optree = OperatorTree::expand(&annotated);
             let edges: Vec<(OperatorId, OperatorId)> = optree.pipeline_edges().collect();
-            let problem = problem_from_optree(&optree, &cost, &ScanPlacement::Floating).unwrap();
-            let result = tree_schedule(&problem, f, &sys, &comm, &model).unwrap();
+            let problem = problem_from_optree(&optree, &cost, &ScanPlacement::Floating)
+                .expect("generated plans always assemble");
+            let result = tree_schedule(&problem, f, &sys, &comm, &model)
+                .expect("paper workload always schedules");
             analytic += result.response_time;
             for phase in &result.phases {
                 free +=

@@ -23,7 +23,7 @@ pub fn shelfcheck(cfg: &ExpConfig) -> Report {
     let f = 0.7;
     let cost = CostModel::paper_defaults();
     let comm = cost.params().comm_model();
-    let model = OverlapModel::new(eps).unwrap();
+    let model = OverlapModel::new(eps).expect("paper epsilon is valid");
 
     let mut table = Table::new(vec![
         "joins".to_owned(),
@@ -48,7 +48,7 @@ pub fn shelfcheck(cfg: &ExpConfig) -> Report {
                     ListOrder::LongestFirst,
                     PhasePolicy::Alap,
                 )
-                .unwrap()
+                .expect("paper workload always schedules")
                 .response_time;
                 asap += tree_schedule_full(
                     &problem,
@@ -59,7 +59,7 @@ pub fn shelfcheck(cfg: &ExpConfig) -> Report {
                     ListOrder::LongestFirst,
                     PhasePolicy::Asap,
                 )
-                .unwrap()
+                .expect("paper workload always schedules")
                 .response_time;
             }
             let n = s.queries.len() as f64;

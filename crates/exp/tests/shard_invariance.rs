@@ -1,0 +1,159 @@
+//! End-to-end shard-invariance of the serving runtime: `--shards N`
+//! must reproduce the single-threaded loop bit-for-bit for every `N`,
+//! under clean plans and under seeded crash/recovery plans, and every
+//! run's trace evidence must audit clean.
+//!
+//! Identity is asserted three ways per run pair:
+//!
+//! * equal [`RunSummary`] FNV digests (the digest folds in every field,
+//!   including the audit trace and the utilization series),
+//! * equal `Debug` renderings of the whole summary (floats print their
+//!   shortest round-trip form, so equal strings mean equal bits),
+//! * equal canonical merged shard traces ([`merge_segments`]).
+//!
+//! [`RunSummary`]: mrs_runtime::metrics::RunSummary
+//! [`merge_segments`]: mrs_shardexec::segment::merge_segments
+
+use mrs_audit::prelude::{audit_run, audit_shard_segments};
+use mrs_core::model::OverlapModel;
+use mrs_core::resource::SystemSpec;
+use mrs_core::tree::{tree_schedule, TreeProblem};
+use mrs_cost::prelude::CostModel;
+use mrs_exp::prelude::query_problem;
+use mrs_runtime::metrics::RunSummary;
+use mrs_runtime::prelude::{AdmissionPolicy, RecoveryConfig, Runtime, RuntimeConfig};
+use mrs_shardexec::segment::{merge_segments, ShardEvent};
+use mrs_sim::fault::FaultPlan;
+use mrs_workload::prelude::{generate_query, poisson_arrivals, QueryGenConfig};
+
+/// A small deterministic stream: 10 mixed-size queries over 13 sites
+/// (prime, so every shard count tested produces uneven site ranges).
+const SITES: usize = 13;
+const QUERIES: usize = 10;
+const SEED: u64 = 0x0051_ADE5;
+
+fn stream() -> Vec<TreeProblem> {
+    let cost = CostModel::paper_defaults();
+    (0..QUERIES)
+        .map(|i| {
+            let joins = 6 + (i % 5);
+            let q = generate_query(&QueryGenConfig::paper(joins), SEED ^ (i as u64) << 4);
+            query_problem(&q, &cost)
+        })
+        .collect()
+}
+
+/// Runs the stream at `shards`, returning the summary and the canonical
+/// merged shard trace.
+fn run(shards: usize, faulty: bool) -> (RunSummary, Vec<ShardEvent>) {
+    let cost = CostModel::paper_defaults();
+    let comm = cost.params().comm_model();
+    let model = OverlapModel::new(0.5).expect("paper epsilon is valid");
+    let sys = SystemSpec::homogeneous(SITES);
+    let f = 0.7;
+    let problems = stream();
+    let mean_standalone: f64 = problems
+        .iter()
+        .map(|p| {
+            tree_schedule(p, f, &sys, &comm, &model)
+                .expect("generated plans always schedule")
+                .response_time
+        })
+        .sum::<f64>()
+        / QUERIES as f64;
+    let arrivals = poisson_arrivals(4.0 * 1.5 / mean_standalone, QUERIES, SEED ^ 0xA11C_E5ED);
+    let cfg = RuntimeConfig {
+        f,
+        policy: AdmissionPolicy::Fcfs,
+        max_in_flight: 4,
+        faults: if faulty {
+            FaultPlan::seeded(
+                SITES,
+                60.0 * mean_standalone,
+                4.0 * mean_standalone,
+                0.3 * mean_standalone,
+                SEED ^ 0x0FA7_0FA7,
+            )
+        } else {
+            FaultPlan::none()
+        },
+        deadline: faulty.then_some(60.0 * mean_standalone),
+        recovery: RecoveryConfig {
+            rebuild_factor: 0.1,
+            max_retries: 4,
+            backoff_base: 0.1 * mean_standalone,
+            backoff_cap: 2.0 * mean_standalone,
+            degrade_threshold: 0.25,
+        },
+        shards,
+        util_series: true,
+        ..RuntimeConfig::default()
+    };
+    let mut rt = Runtime::new(sys, comm, model, cfg);
+    for (i, (p, t)) in problems.into_iter().zip(&arrivals).enumerate() {
+        rt.submit_at(*t, i % 3, p);
+    }
+    let summary = rt
+        .run_to_completion()
+        .expect("generated plans always schedule");
+    let segments = rt.shard_segments();
+    let violations = audit_shard_segments(&segments, SITES);
+    assert!(
+        violations.is_empty(),
+        "shards={shards} faulty={faulty}: {violations:?}"
+    );
+    let violations = audit_run(&summary);
+    assert!(
+        violations.is_empty(),
+        "shards={shards} faulty={faulty}: {violations:?}"
+    );
+    (summary, merge_segments(&segments))
+}
+
+fn assert_shard_invariant(faulty: bool) {
+    let (base_summary, base_trace) = run(1, faulty);
+    assert!(base_summary.completed() > 0, "stream must make progress");
+    assert!(
+        !base_trace.is_empty(),
+        "single-shard runs must record the site-level trace too"
+    );
+    let base_digest = base_summary.digest();
+    let base_debug = format!("{base_summary:?}");
+    for shards in [2usize, 4, 8] {
+        let (summary, trace) = run(shards, faulty);
+        assert_eq!(
+            summary.digest(),
+            base_digest,
+            "digest diverged at shards={shards} faulty={faulty}"
+        );
+        assert_eq!(
+            format!("{summary:?}"),
+            base_debug,
+            "summary fields diverged at shards={shards} faulty={faulty}"
+        );
+        assert_eq!(
+            trace, base_trace,
+            "canonical merged trace diverged at shards={shards} faulty={faulty}"
+        );
+    }
+}
+
+#[test]
+fn clean_runs_are_byte_identical_across_shard_counts() {
+    assert_shard_invariant(false);
+}
+
+#[test]
+fn faulty_runs_are_byte_identical_across_shard_counts() {
+    assert_shard_invariant(true);
+}
+
+#[test]
+fn oversharding_clamps_to_one_site_per_shard() {
+    let (base_summary, base_trace) = run(1, false);
+    // More shards than sites: the plan clamps to SITES single-site
+    // shards and the run is still bit-identical.
+    let (summary, trace) = run(64, false);
+    assert_eq!(summary.digest(), base_summary.digest());
+    assert_eq!(trace, base_trace);
+}

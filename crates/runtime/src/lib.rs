@@ -7,8 +7,8 @@
 //! |---|---|
 //! | [`job`] | query identity, work volume, lifecycle records |
 //! | [`admission`] | the wait queue and its policies (FCFS, smallest-volume-first, round-robin fair) |
-//! | [`ledger`] | per-site residual-capacity bookkeeping (committed demand vectors, alive-site set) |
-//! | [`runtime`] | the deterministic event-driven dispatcher |
+//! | [`ledger`] | per-site residual-capacity bookkeeping (re-exported from `mrs-shardexec`, which slices it per shard) |
+//! | [`runtime`] | the deterministic event-driven dispatcher (single-threaded or sharded via `mrs-shardexec`) |
 //! | [`cache`] | the plan-signature schedule cache (template memoization, epoch invalidation) |
 //! | [`recovery`] | failure-aware rescheduling: re-packing lost work onto survivors |
 //! | [`metrics`] | per-query latency, per-site utilization, throughput, fault trace, cache stats |
@@ -52,7 +52,7 @@
 pub mod admission;
 pub mod cache;
 pub mod job;
-pub mod ledger;
+pub use mrs_shardexec::ledger;
 pub mod metrics;
 pub mod recovery;
 pub mod runtime;

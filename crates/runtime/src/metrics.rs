@@ -8,6 +8,7 @@ use crate::cache::CacheStats;
 use crate::job::{QueryId, QueryOutcome, QueryRecord};
 use crate::runtime::RuntimeError;
 use crate::trace::AuditEvent;
+use mrs_sim::engine::UtilSample;
 
 /// One entry of the run's fault/recovery event trace. Records derive
 /// `PartialEq` so determinism tests can compare whole traces.
@@ -97,6 +98,18 @@ pub struct RunSummary {
     /// `i` at site `j` over the run (realized demand over effective
     /// capacity; feasible fluid sharing keeps this ≤ 1).
     pub site_peak_util: Vec<Vec<f64>>,
+    /// `site_util_integral[j][i]` = exact integral over virtual time of
+    /// the normalized utilization of resource `i` at site `j`, so
+    /// `site_util_integral[j][i] / horizon` is the site's *average*
+    /// utilization. Always recorded; lets `mrs-audit` bound average (not
+    /// just peak) over-commitment.
+    pub site_util_integral: Vec<Vec<f64>>,
+    /// Per-site per-step utilization time series (piecewise-constant
+    /// intervals), recorded only when
+    /// [`RuntimeConfig::util_series`](crate::runtime::RuntimeConfig) is
+    /// set; empty inner vectors otherwise. The integral of site `j`'s
+    /// series equals `site_util_integral[j]` exactly.
+    pub site_util_series: Vec<Vec<UtilSample>>,
 }
 
 impl RunSummary {
@@ -118,6 +131,19 @@ impl RunSummary {
             cache: CacheStats::default(),
             trace: Vec::new(),
             site_peak_util: Vec::new(),
+            site_util_integral: Vec::new(),
+            site_util_series: Vec::new(),
+        }
+    }
+
+    /// Average (time-mean) normalized utilization of resource `i` at
+    /// site `j`: the exact utilization integral over the horizon. Zero
+    /// for a zero-length run.
+    pub fn avg_site_utilization(&self, site: usize, resource: usize) -> f64 {
+        if self.horizon > 0.0 {
+            self.site_util_integral[site][resource] / self.horizon
+        } else {
+            0.0
         }
     }
 
@@ -248,6 +274,205 @@ impl RunSummary {
     /// Deepest the admission queue ever got.
     pub fn max_queue_depth(&self) -> usize {
         self.depth_trace.iter().map(|(_, d)| *d).max().unwrap_or(0)
+    }
+
+    /// FNV-1a digest over *every* field of the summary (floats by their
+    /// exact bit patterns). Two summaries digest equal iff the runs were
+    /// byte-identical — this is what the shard-invariance harness
+    /// compares across `--shards` values.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.str(self.policy);
+        h.f64(self.horizon);
+        h.usize(self.queries.len());
+        for q in &self.queries {
+            h.usize(q.id.0);
+            h.usize(q.client);
+            h.f64(q.volume);
+            h.f64(q.arrival);
+            h.opt_f64(q.start);
+            h.opt_f64(q.finish);
+            h.usize(q.phases);
+            h.f64(q.standalone_response);
+            match &q.outcome {
+                None => h.u8(0),
+                Some(QueryOutcome::Completed) => h.u8(1),
+                Some(QueryOutcome::Aborted { reason }) => {
+                    h.u8(2);
+                    h.str(reason);
+                }
+                Some(QueryOutcome::Shed) => h.u8(3),
+            }
+        }
+        h.mat(&self.site_busy);
+        h.usize(self.depth_trace.len());
+        for (t, d) in &self.depth_trace {
+            h.f64(*t);
+            h.usize(*d);
+        }
+        h.usize(self.faults.len());
+        for f in &self.faults {
+            h.f64(f.time);
+            match &f.kind {
+                FaultRecordKind::SiteDown { site, clones_lost } => {
+                    h.u8(0);
+                    h.usize(*site);
+                    h.usize(*clones_lost);
+                }
+                FaultRecordKind::SiteUp { site } => {
+                    h.u8(1);
+                    h.usize(*site);
+                }
+                FaultRecordKind::CloneLost { query } => {
+                    h.u8(2);
+                    h.usize(query.0);
+                }
+                FaultRecordKind::Repacked { query, clones } => {
+                    h.u8(3);
+                    h.usize(query.0);
+                    h.usize(*clones);
+                }
+                FaultRecordKind::RetryScheduled { query, attempt, at } => {
+                    h.u8(4);
+                    h.usize(query.0);
+                    h.u64(u64::from(*attempt));
+                    h.f64(*at);
+                }
+                FaultRecordKind::Aborted { query } => {
+                    h.u8(5);
+                    h.usize(query.0);
+                }
+                FaultRecordKind::Shed { query } => {
+                    h.u8(6);
+                    h.usize(query.0);
+                }
+            }
+        }
+        h.u64(self.cache.hits);
+        h.u64(self.cache.misses);
+        h.u64(self.cache.epoch_bumps);
+        h.usize(self.trace.len());
+        for ev in &self.trace {
+            match ev {
+                AuditEvent::PhaseDispatched { time, query, phase } => {
+                    h.u8(0);
+                    h.f64(*time);
+                    h.usize(query.0);
+                    h.usize(*phase);
+                }
+                AuditEvent::Repacked {
+                    time,
+                    query,
+                    lost_total,
+                    expected_total,
+                    placed_total,
+                } => {
+                    h.u8(1);
+                    h.f64(*time);
+                    h.usize(query.0);
+                    h.f64(*lost_total);
+                    h.f64(*expected_total);
+                    h.f64(*placed_total);
+                }
+                AuditEvent::CacheInsert { time, query, epoch } => {
+                    h.u8(2);
+                    h.f64(*time);
+                    h.usize(query.0);
+                    h.u64(*epoch);
+                }
+                AuditEvent::CacheHit {
+                    time,
+                    query,
+                    insert_epoch,
+                    hit_epoch,
+                } => {
+                    h.u8(3);
+                    h.f64(*time);
+                    h.usize(query.0);
+                    h.u64(*insert_epoch);
+                    h.u64(*hit_epoch);
+                }
+                AuditEvent::EpochBump { time, epoch } => {
+                    h.u8(4);
+                    h.f64(*time);
+                    h.u64(*epoch);
+                }
+            }
+        }
+        h.mat(&self.site_peak_util);
+        h.mat(&self.site_util_integral);
+        h.usize(self.site_util_series.len());
+        for series in &self.site_util_series {
+            h.usize(series.len());
+            for s in series {
+                h.f64(s.start);
+                h.f64(s.len);
+                for u in &s.util {
+                    h.f64(*u);
+                }
+            }
+        }
+        h.finish()
+    }
+}
+
+/// Minimal FNV-1a accumulator for [`RunSummary::digest`]. Not a general
+/// hasher: field framing (length prefixes, enum discriminants) is the
+/// caller's job.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn u8(&mut self, b: u8) {
+        self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.u8(b);
+        }
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            None => self.u8(0),
+            Some(v) => {
+                self.u8(1);
+                self.f64(v);
+            }
+        }
+    }
+
+    fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        for b in s.bytes() {
+            self.u8(b);
+        }
+    }
+
+    fn mat(&mut self, m: &[Vec<f64>]) {
+        self.usize(m.len());
+        for row in m {
+            self.usize(row.len());
+            for v in row {
+                self.f64(*v);
+            }
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 
@@ -396,6 +621,41 @@ mod tests {
                 if *query == QueryId(1) && reason == "deadline")
         );
         assert!(matches!(&failures[1], RuntimeError::Shed { query } if *query == QueryId(2)));
+    }
+
+    #[test]
+    fn digest_is_stable_and_field_sensitive() {
+        let a = summary();
+        assert_eq!(a.digest(), summary().digest(), "same data, same digest");
+        let mut horizon = summary();
+        horizon.horizon += 1.0;
+        assert_ne!(a.digest(), horizon.digest());
+        let mut cache = summary();
+        cache.cache.hits = 1;
+        assert_ne!(a.digest(), cache.digest());
+        let mut util = summary();
+        util.site_util_integral = vec![vec![1.0]];
+        assert_ne!(a.digest(), util.digest());
+        let mut series = summary();
+        series.site_util_series = vec![vec![UtilSample {
+            start: 0.0,
+            len: 1.0,
+            util: vec![0.5],
+        }]];
+        assert_ne!(a.digest(), series.digest());
+        let mut outcome = summary();
+        outcome.queries[0].outcome = Some(QueryOutcome::Shed);
+        assert_ne!(a.digest(), outcome.digest());
+    }
+
+    #[test]
+    fn avg_site_utilization_reads_the_integral() {
+        let mut s = summary();
+        s.site_util_integral = vec![vec![5.0, 2.5, 0.0], vec![10.0, 0.0, 0.0]];
+        assert!((s.avg_site_utilization(0, 0) - 0.5).abs() < 1e-12);
+        assert!((s.avg_site_utilization(1, 0) - 1.0).abs() < 1e-12);
+        s.horizon = 0.0;
+        assert_eq!(s.avg_site_utilization(0, 0), 0.0);
     }
 
     #[test]

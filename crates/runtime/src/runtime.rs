@@ -32,11 +32,18 @@
 //! them — see [`Runtime::touch_site`]), and admission TreeSchedules are
 //! memoized by plan signature in a [`ScheduleCache`](crate::cache) whose
 //! epoch bumps on any site failure or restore.
+//!
+//! The site layer itself lives behind an `mrs-shardexec`
+//! [`Fabric`]: with [`RuntimeConfig::shards`] `== 1` (the default) it is
+//! an inline whole-machine shard — today's single-threaded loop — and
+//! with `N ≥ 2` the site-local epoch phases run on `N` pinned worker
+//! threads while every cross-shard effect stays serial on this event
+//! loop, so the [`RunSummary`] is byte-identical for any shard count
+//! (see the `mrs-shardexec` crate docs for the argument).
 
 use crate::admission::AdmissionQueue;
 use crate::cache::{schedule_digest, PlanSignature, ScheduleCache};
 use crate::job::{work_volume, QueryId, QueryOutcome, QueryRecord};
-use crate::ledger::SiteLedger;
 use crate::metrics::{FaultRecord, FaultRecordKind, RunSummary};
 use crate::recovery::{backoff_delay, rebuild_inflated, replan_lost, RecoveryConfig};
 use crate::trace::{
@@ -48,7 +55,8 @@ use mrs_core::model::ResponseModel;
 use mrs_core::resource::{SiteId, SystemSpec};
 use mrs_core::tree::{tree_schedule, TreeProblem, TreeScheduleResult};
 use mrs_core::vector::WorkVector;
-use mrs_sim::calendar::EventCalendar;
+use mrs_shardexec::fabric::Fabric;
+use mrs_shardexec::segment::ShardSegment;
 use mrs_sim::engine::{Completion, SimClone, SimConfig, SiteSim};
 use mrs_sim::fault::{FaultKind, FaultPlan, FaultTimeline};
 use std::collections::HashMap;
@@ -137,6 +145,16 @@ pub struct RuntimeConfig {
     /// not bit-identical to a fresh plan — the cache's correctness
     /// harness. Default `false` (it defeats the cache's purpose).
     pub verify_cache: bool,
+    /// Shard executors for the site layer: `1` (the default) runs the
+    /// single-threaded loop inline; `N ≥ 2` partitions the sites over
+    /// `N` pinned worker threads. Bit-exact: the [`RunSummary`] is
+    /// byte-identical for any value (clamped to the site count).
+    pub shards: usize,
+    /// Record each site's full per-step utilization time series on the
+    /// summary ([`RunSummary::site_util_series`]). Bit-exact but
+    /// memory-proportional to the event count; the exact utilization
+    /// *integral* is always recorded regardless. Default `false`.
+    pub util_series: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -152,6 +170,8 @@ impl Default for RuntimeConfig {
             recovery: RecoveryConfig::default(),
             schedule_cache: true,
             verify_cache: false,
+            shards: 1,
+            util_series: false,
         }
     }
 }
@@ -206,8 +226,9 @@ pub struct Runtime<M: ResponseModel> {
     queue: AdmissionQueue,
     arrivals: Vec<ArrivalEvent>,
     pending: HashMap<QueryId, TreeProblem>,
-    sims: Vec<SiteSim>,
-    ledger: SiteLedger,
+    /// The site layer: simulators, calendar, ledger, and audit segments,
+    /// single-threaded or sharded (see the [module docs](self)).
+    fabric: Fabric,
     running: HashMap<QueryId, RunningQuery>,
     clones: HashMap<usize, CloneInfo>,
     next_tag: usize,
@@ -216,9 +237,6 @@ pub struct Runtime<M: ResponseModel> {
     faults: FaultTimeline,
     retries: Vec<RetryEvent>,
     fault_trace: Vec<FaultRecord>,
-    /// Lazy per-site completion calendar (replaces the per-event linear
-    /// scan over all sites).
-    calendar: EventCalendar,
     /// Plan-signature memo table for admission TreeSchedules.
     schedule_cache: ScheduleCache,
     /// Scratch for epsilon-completions swept while catching a lazily
@@ -252,10 +270,12 @@ impl<M: ResponseModel> Runtime<M> {
         for ev in cfg.faults.events() {
             assert!(ev.site < sys.sites, "fault site {} out of range", ev.site);
         }
-        let ledger = SiteLedger::new(sys.sites, d);
+        let mut fabric = Fabric::new(sims, d, cfg.shards);
+        if cfg.util_series {
+            fabric.enable_util_series();
+        }
         let queue = AdmissionQueue::new(cfg.policy);
         let faults = FaultTimeline::new(&cfg.faults);
-        let calendar = EventCalendar::new(sys.sites);
         Runtime {
             sys,
             comm,
@@ -265,8 +285,7 @@ impl<M: ResponseModel> Runtime<M> {
             queue,
             arrivals: Vec::new(),
             pending: HashMap::new(),
-            sims,
-            ledger,
+            fabric,
             running: HashMap::new(),
             clones: HashMap::new(),
             next_tag: 0,
@@ -275,7 +294,6 @@ impl<M: ResponseModel> Runtime<M> {
             faults,
             retries: Vec::new(),
             fault_trace: Vec::new(),
-            calendar,
             schedule_cache: ScheduleCache::new(),
             touch_buf: Vec::new(),
             arrivals_next: 0,
@@ -288,9 +306,25 @@ impl<M: ResponseModel> Runtime<M> {
         self.clock
     }
 
-    /// The site ledger (scheduler-facing committed-demand view).
-    pub fn ledger(&self) -> &SiteLedger {
-        &self.ledger
+    /// Total clones currently committed across all sites (the ledger's
+    /// scheduler-facing view; zero once a run fully drains).
+    pub fn total_resident(&mut self) -> usize {
+        self.fabric.total_resident()
+    }
+
+    /// Number of shard executors actually running (after clamping to the
+    /// site count).
+    pub fn shards(&self) -> usize {
+        self.fabric.shards()
+    }
+
+    /// The per-shard audit-trace segments recorded so far, in shard
+    /// order. `mrs-audit`'s trace-merge checker re-sorts them into the
+    /// canonical global trace and verifies partitioning + clone
+    /// conservation; the canonical trace is byte-identical for any shard
+    /// count.
+    pub fn shard_segments(&mut self) -> Vec<ShardSegment> {
+        self.fabric.segments()
     }
 
     /// Submits `problem` from `client`, arriving at virtual time
@@ -343,7 +377,7 @@ impl<M: ResponseModel> Runtime<M> {
                 || !self.running.is_empty()
                 || !self.retries.is_empty();
             let next_arrival = self.arrivals.get(self.arrivals_next).map(|a| a.time);
-            let next_completion = self.calendar.next_time(&mut self.sims);
+            let next_completion = self.fabric.next_time();
             // Fault events only matter while there is work they could
             // affect; once the last query terminates, the remaining
             // schedule is irrelevant and must not stretch the horizon.
@@ -391,8 +425,7 @@ impl<M: ResponseModel> Runtime<M> {
             //    strictly before t cannot exist: t is the global minimum.
             self.clock = t;
             completions.clear();
-            self.calendar
-                .advance_due(t, &mut self.sims, &mut completions);
+            self.fabric.advance_due(t, &mut completions);
             completions.sort_by(|a, b| a.time.total_cmp(&b.time).then(a.tag.cmp(&b.tag)));
 
             // 2. Retire completed clones; queries whose phase drained
@@ -427,7 +460,7 @@ impl<M: ResponseModel> Runtime<M> {
                         ev.problem.take().expect("arrival consumed exactly once"),
                     )
                 };
-                let alive_frac = self.ledger.alive_sites() as f64 / self.sys.sites as f64;
+                let alive_frac = self.fabric.alive_sites() as f64 / self.sys.sites as f64;
                 if alive_frac < self.cfg.recovery.degrade_threshold {
                     self.records[id.0].outcome = Some(QueryOutcome::Shed);
                     self.fault_trace.push(FaultRecord {
@@ -471,7 +504,7 @@ impl<M: ResponseModel> Runtime<M> {
             .clones
             .remove(&done.tag)
             .expect("completion for unknown clone tag");
-        self.ledger.release(info.site, &info.demand);
+        self.fabric.release(info.site.0, &info.demand);
         let rq = self
             .running
             .get_mut(&info.query)
@@ -491,16 +524,15 @@ impl<M: ResponseModel> Runtime<M> {
     /// through the normal completion path (in `(time, tag)` order) so
     /// their queries observe them as finished, not evicted.
     fn touch_site(&mut self, site: usize) {
-        if self.sims[site].now() < self.clock {
-            let mut buf = std::mem::take(&mut self.touch_buf);
-            self.sims[site].advance_to(self.clock, &mut buf);
-            self.calendar.invalidate(site);
+        let mut buf = std::mem::take(&mut self.touch_buf);
+        self.fabric.catch_up(site, self.clock, &mut buf);
+        if !buf.is_empty() {
             buf.sort_by(|a, b| a.time.total_cmp(&b.time).then(a.tag.cmp(&b.tag)));
             for done in buf.drain(..) {
                 self.retire(done);
             }
-            self.touch_buf = buf;
         }
+        self.touch_buf = buf;
     }
 
     /// Applies one fault event to the site simulators, ledger, and any
@@ -510,18 +542,18 @@ impl<M: ResponseModel> Runtime<M> {
     fn apply_fault(&mut self, site: usize, kind: FaultKind) {
         match kind {
             FaultKind::Crash => {
-                if self.sims[site].is_down() {
+                if self.fabric.is_down(site) {
                     return;
                 }
                 self.touch_site(site);
-                let lost = self.sims[site].fail();
-                self.calendar.invalidate(site);
+                // Evicts the residents, invalidates the calendar entry,
+                // and releases the site from its ledger slice.
+                let lost = self.fabric.fail_site(site);
                 self.schedule_cache.bump_epoch();
                 self.audit_trace.push(AuditEvent::EpochBump {
                     time: self.clock,
                     epoch: self.schedule_cache.epoch(),
                 });
-                self.ledger.release_site(SiteId(site));
                 self.fault_trace.push(FaultRecord {
                     time: self.clock,
                     kind: FaultRecordKind::SiteDown {
@@ -560,20 +592,18 @@ impl<M: ResponseModel> Runtime<M> {
                 }
             }
             FaultKind::Recover => {
-                if !self.sims[site].is_down() {
+                if !self.fabric.is_down(site) {
                     return;
                 }
                 // A down site is idle (no completions to sweep), so the
                 // restore needs no catch-up; the site's clock fast-forwards
                 // at its next touch.
-                self.sims[site].restore();
-                self.calendar.invalidate(site);
+                self.fabric.restore_site(site);
                 self.schedule_cache.bump_epoch();
                 self.audit_trace.push(AuditEvent::EpochBump {
                     time: self.clock,
                     epoch: self.schedule_cache.epoch(),
                 });
-                self.ledger.restore_site(SiteId(site));
                 self.fault_trace.push(FaultRecord {
                     time: self.clock,
                     kind: FaultRecordKind::SiteUp { site },
@@ -615,10 +645,7 @@ impl<M: ResponseModel> Runtime<M> {
     /// `query`) onto the surviving sites, or parks them on a backoff
     /// retry, or — past the retry cap — aborts the query.
     fn handle_lost(&mut self, query: QueryId, works: Vec<WorkVector>, attempt: u32) {
-        let alive: Vec<SiteId> = (0..self.sys.sites)
-            .map(SiteId)
-            .filter(|s| self.ledger.is_alive(*s))
-            .collect();
+        let alive: Vec<SiteId> = self.fabric.alive_list();
         let replanned = if alive.is_empty() {
             None
         } else {
@@ -747,9 +774,8 @@ impl<M: ResponseModel> Runtime<M> {
         tags.sort_unstable();
         for tag in tags {
             let info = self.clones.remove(&tag).expect("tag collected above");
-            let _ = self.sims[info.site.0].remove_clone(tag);
-            self.calendar.invalidate(info.site.0);
-            self.ledger.release(info.site, &info.demand);
+            let _ = self.fabric.remove_clone(info.site.0, tag);
+            self.fabric.release(info.site.0, &info.demand);
         }
         self.retries.retain(|r| r.query != id);
         self.running.remove(&id);
@@ -795,14 +821,13 @@ impl<M: ResponseModel> Runtime<M> {
                 work: work.clone(),
                 duration,
             };
-            if self.sims[site.0].add_clone(&clone).is_some() {
+            if self.fabric.add_clone(site.0, &clone).is_some() {
                 // Zero-duration clone: completed inline, nothing to
                 // track.
                 continue;
             }
-            self.calendar.invalidate(site.0);
             let demand: Vec<f64> = work.components().iter().map(|w| w / duration).collect();
-            self.ledger.commit(*site, &demand);
+            self.fabric.commit(site.0, &demand);
             self.clones.insert(
                 tag,
                 CloneInfo {
@@ -870,7 +895,7 @@ impl<M: ResponseModel> Runtime<M> {
             let mut live: Vec<(SiteId, WorkVector)> = Vec::new();
             let mut displaced: Vec<WorkVector> = Vec::new();
             for (site, work) in placements {
-                if self.ledger.is_alive(site) {
+                if self.fabric.is_alive(site.0) {
                     live.push((site, work));
                 } else {
                     displaced.push(work);
@@ -909,7 +934,7 @@ impl<M: ResponseModel> Runtime<M> {
         while self.running.len() < self.cfg.max_in_flight && !self.queue.is_empty() {
             if !self.running.is_empty() {
                 if let Some(thr) = self.cfg.load_threshold {
-                    if self.ledger.avg_load() >= thr {
+                    if self.fabric.avg_load() >= thr {
                         break;
                     }
                 }
@@ -995,20 +1020,23 @@ impl<M: ResponseModel> Runtime<M> {
         }
     }
 
-    fn summary(&self) -> RunSummary {
+    fn summary(&mut self) -> RunSummary {
         let horizon = self.clock;
-        let site_busy: Vec<Vec<f64>> = self.sims.iter().map(|s| s.busy().to_vec()).collect();
         let mut s = RunSummary::new(
             self.cfg.policy.label(),
             horizon,
             self.records.clone(),
-            site_busy,
+            self.fabric.busy(),
             self.depth_trace.clone(),
             self.fault_trace.clone(),
         );
         s.cache = self.schedule_cache.stats();
         s.trace = self.audit_trace.clone();
-        s.site_peak_util = self.sims.iter().map(|s| s.peak_util().to_vec()).collect();
+        s.site_peak_util = self.fabric.peak_util();
+        s.site_util_integral = self.fabric.util_integral();
+        if self.cfg.util_series {
+            s.site_util_series = self.fabric.util_series();
+        }
         s
     }
 }
@@ -1089,7 +1117,7 @@ mod tests {
         assert!((rec.service().unwrap() - rec.standalone_response).abs() < 1e-9);
         assert_eq!(rec.outcome, Some(QueryOutcome::Completed));
         // Ledger drained.
-        assert_eq!(rt.ledger().total_resident(), 0);
+        assert_eq!(rt.total_resident(), 0);
     }
 
     #[test]
@@ -1162,7 +1190,7 @@ mod tests {
             assert!(summary.repacks() > 0, "lost clones must be re-packed");
             assert!(summary.horizon > base.horizon);
         }
-        assert_eq!(rt.ledger().total_resident(), 0);
+        assert_eq!(rt.total_resident(), 0);
     }
 
     #[test]
@@ -1196,7 +1224,7 @@ mod tests {
         assert!(summary.clones_lost() > 0);
         assert!(summary.repacks() > 0);
         assert!(rec.finish.unwrap() > 3.0);
-        assert_eq!(rt.ledger().total_resident(), 0);
+        assert_eq!(rt.total_resident(), 0);
     }
 
     #[test]
@@ -1230,7 +1258,7 @@ mod tests {
         let failures = summary.failures();
         assert_eq!(failures.len(), 1);
         assert!(matches!(&failures[0], RuntimeError::Aborted { query, .. } if *query == id));
-        assert_eq!(rt.ledger().total_resident(), 0);
+        assert_eq!(rt.total_resident(), 0);
     }
 
     #[test]
@@ -1250,7 +1278,7 @@ mod tests {
         }
         // The run ends at the deadline, not at the query's natural end.
         assert!((summary.horizon - 0.5).abs() < 1e-12);
-        assert_eq!(rt.ledger().total_resident(), 0);
+        assert_eq!(rt.total_resident(), 0);
     }
 
     #[test]
@@ -1419,6 +1447,6 @@ mod tests {
             summary.queries.len(),
             "outcomes must partition the query set"
         );
-        assert_eq!(rt.ledger().total_resident(), 0);
+        assert_eq!(rt.total_resident(), 0);
     }
 }

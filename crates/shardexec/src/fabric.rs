@@ -1,0 +1,366 @@
+//! The execution fabric: the runtime's single entry point to the site
+//! layer, single-threaded or sharded.
+//!
+//! [`Fabric::new`] with one shard (the default) builds an inline
+//! [`ShardState`] over the whole machine and every call goes straight
+//! through — that path *is* the previous single-threaded loop, so
+//! `--shards 1` reproduces it bit-for-bit by construction. With more
+//! shards, the site-local epoch phases ([`Fabric::next_time`],
+//! [`Fabric::advance_due`]) are broadcast to the pinned
+//! [`ShardPool`] and the results folded in shard order, which the
+//! [crate docs](crate) argue is exact; everything else is routed to the
+//! owning shard's cell serially, in coordinator order.
+
+use crate::plan::ShardPlan;
+use crate::pool::{Command, ShardPool};
+use crate::segment::ShardSegment;
+use crate::state::ShardState;
+use mrs_core::resource::SiteId;
+use mrs_sim::engine::{Completion, LostClone, SimClone, SiteSim, UtilSample};
+
+/// The site layer behind the runtime: one whole-machine shard, or a
+/// plan plus a pinned pool. See the [module docs](self).
+#[derive(Debug)]
+pub enum Fabric {
+    /// One shard, executed inline on the coordinator thread (boxed so
+    /// the enum stays pointer-sized either way).
+    Single(Box<ShardState>),
+    /// `N ≥ 2` shards on a pinned worker pool.
+    Sharded {
+        /// The deterministic site partition.
+        plan: ShardPlan,
+        /// The workers owning the shard states.
+        pool: ShardPool,
+    },
+}
+
+impl Fabric {
+    /// Builds the fabric over `sims` (global site-index order) with the
+    /// requested shard count (clamped by [`ShardPlan::new`]).
+    pub fn new(sims: Vec<SiteSim>, dim: usize, shards: usize) -> Self {
+        let plan = ShardPlan::new(sims.len(), shards);
+        if plan.shards() == 1 {
+            return Fabric::Single(Box::new(ShardState::new(0, 0, sims, dim)));
+        }
+        let mut states = Vec::with_capacity(plan.shards());
+        let mut rest = sims;
+        for s in (0..plan.shards()).rev() {
+            let range = plan.range(s);
+            let tail = rest.split_off(range.start);
+            states.push(ShardState::new(s, range.start, tail, dim));
+        }
+        states.reverse();
+        Fabric::Sharded {
+            plan,
+            pool: ShardPool::new(states),
+        }
+    }
+
+    /// Number of shards actually running.
+    pub fn shards(&self) -> usize {
+        match self {
+            Fabric::Single(_) => 1,
+            Fabric::Sharded { pool, .. } => pool.shards(),
+        }
+    }
+
+    /// Total number of sites.
+    pub fn sites(&self) -> usize {
+        match self {
+            Fabric::Single(st) => st.sites(),
+            Fabric::Sharded { plan, .. } => plan.sites(),
+        }
+    }
+
+    /// Runs `f` against the shard owning `site`.
+    pub fn with_site<R>(&mut self, site: usize, f: impl FnOnce(&mut ShardState) -> R) -> R {
+        match self {
+            Fabric::Single(st) => f(st),
+            Fabric::Sharded { plan, pool } => pool.with_cell(plan.shard_of(site), f),
+        }
+    }
+
+    fn fold<A>(&mut self, mut acc: A, mut f: impl FnMut(&mut A, &mut ShardState)) -> A {
+        match self {
+            Fabric::Single(st) => f(&mut acc, st),
+            Fabric::Sharded { pool, .. } => {
+                for s in 0..pool.shards() {
+                    pool.with_cell(s, |st| f(&mut acc, st));
+                }
+            }
+        }
+        acc
+    }
+
+    /// Epoch phase 1: the earliest pending completion across all sites —
+    /// the per-shard minima folded in shard order, which equals the
+    /// global minimum exactly (same multiset of `f64`, `min` is exact).
+    pub fn next_time(&mut self) -> Option<f64> {
+        match self {
+            Fabric::Single(st) => {
+                st.compute_next();
+                st.next
+            }
+            Fabric::Sharded { pool, .. } => {
+                pool.run(Command::NextTime);
+                let mut min = None;
+                for s in 0..pool.shards() {
+                    let next = pool.with_cell(s, |st| st.next);
+                    min = match (min, next) {
+                        (Some(a), Some(b)) => Some(f64::min(a, b)),
+                        (a, b) => a.or(b),
+                    };
+                }
+                min
+            }
+        }
+    }
+
+    /// Epoch phase 2: advances every due site to `t`, appending the
+    /// surfaced completions to `out`. Per-shard buffers are concatenated
+    /// in shard order, reproducing the serial loop's global site-index
+    /// order because the shard ranges are contiguous.
+    pub fn advance_due(&mut self, t: f64, out: &mut Vec<Completion>) {
+        match self {
+            Fabric::Single(st) => {
+                st.advance_due(t);
+                out.extend_from_slice(&st.buf);
+            }
+            Fabric::Sharded { pool, .. } => {
+                pool.run(Command::AdvanceDue(t));
+                for s in 0..pool.shards() {
+                    pool.with_cell(s, |st| out.extend_from_slice(&st.buf));
+                }
+            }
+        }
+    }
+
+    /// Catches `site` up to `clock` (see [`ShardState::catch_up`]).
+    pub fn catch_up(&mut self, site: usize, clock: f64, out: &mut Vec<Completion>) {
+        self.with_site(site, |st| st.catch_up(site, clock, out));
+    }
+
+    /// Inserts a clone on `site` (see [`ShardState::add_clone`]).
+    pub fn add_clone(&mut self, site: usize, clone: &SimClone) -> Option<Completion> {
+        self.with_site(site, |st| st.add_clone(site, clone))
+    }
+
+    /// Crashes `site` (see [`ShardState::fail_site`]).
+    pub fn fail_site(&mut self, site: usize) -> Vec<LostClone> {
+        self.with_site(site, |st| st.fail_site(site))
+    }
+
+    /// Restores a crashed `site`.
+    pub fn restore_site(&mut self, site: usize) {
+        self.with_site(site, |st| st.restore_site(site));
+    }
+
+    /// Evicts the clone tagged `tag` from `site`.
+    pub fn remove_clone(&mut self, site: usize, tag: usize) -> Option<LostClone> {
+        self.with_site(site, |st| st.remove_clone(site, tag))
+    }
+
+    /// Whether `site` is currently crashed.
+    pub fn is_down(&mut self, site: usize) -> bool {
+        self.with_site(site, |st| st.is_down(site))
+    }
+
+    /// The current virtual clock of `site`.
+    pub fn now(&mut self, site: usize) -> f64 {
+        self.with_site(site, |st| st.now(site))
+    }
+
+    /// Sets the straggler rate of `site`.
+    pub fn set_rate(&mut self, site: usize, rate: f64) {
+        self.with_site(site, |st| st.set_rate(site, rate));
+    }
+
+    /// Commits a clone's demand at `site` in the owning ledger slice.
+    pub fn commit(&mut self, site: usize, demand: &[f64]) {
+        self.with_site(site, |st| st.commit(site, demand));
+    }
+
+    /// Releases a completed clone's demand at `site`.
+    pub fn release(&mut self, site: usize, demand: &[f64]) {
+        self.with_site(site, |st| st.release(site, demand));
+    }
+
+    /// Whether `site` is in service.
+    pub fn is_alive(&mut self, site: usize) -> bool {
+        self.with_site(site, |st| st.is_alive(site))
+    }
+
+    /// The `l_∞` committed demand of `site`.
+    pub fn load(&mut self, site: usize) -> f64 {
+        self.with_site(site, |st| st.load(site))
+    }
+
+    /// Residual capacity of `site` per resource.
+    pub fn residual(&mut self, site: usize) -> Vec<f64> {
+        self.with_site(site, |st| st.residual(site))
+    }
+
+    /// Clones currently committed at `site`.
+    pub fn resident(&mut self, site: usize) -> usize {
+        self.with_site(site, |st| st.resident(site))
+    }
+
+    /// Highest `l_∞` demand `site` ever reached.
+    pub fn peak_load(&mut self, site: usize) -> f64 {
+        self.with_site(site, |st| st.peak_load(site))
+    }
+
+    /// Mean committed load over the alive sites — the shard ledgers'
+    /// order-preserving folds chained in shard order, bit-identical to a
+    /// whole-machine [`crate::ledger::SiteLedger::avg_load`].
+    pub fn avg_load(&mut self) -> f64 {
+        let (acc, alive) = self.fold((0.0f64, 0usize), |(acc, alive), st| {
+            st.fold_load(acc, alive);
+        });
+        if alive == 0 {
+            return f64::INFINITY;
+        }
+        acc / alive as f64
+    }
+
+    /// Number of sites currently in service.
+    pub fn alive_sites(&mut self) -> usize {
+        self.fold(0usize, |n, st| *n += st.alive_sites())
+    }
+
+    /// The alive sites in global index order.
+    pub fn alive_list(&mut self) -> Vec<SiteId> {
+        self.fold(Vec::new(), |out, st| st.push_alive(out))
+    }
+
+    /// Total clones committed across all sites.
+    pub fn total_resident(&mut self) -> usize {
+        self.fold(0usize, |n, st| *n += st.total_resident())
+    }
+
+    /// Every site's busy-time vector, in global site order.
+    pub fn busy(&mut self) -> Vec<Vec<f64>> {
+        self.fold(Vec::new(), |out, st| st.push_busy(out))
+    }
+
+    /// Every site's peak-utilization vector, in global site order.
+    pub fn peak_util(&mut self) -> Vec<Vec<f64>> {
+        self.fold(Vec::new(), |out, st| st.push_peak_util(out))
+    }
+
+    /// Every site's exact utilization integral, in global site order.
+    pub fn util_integral(&mut self) -> Vec<Vec<f64>> {
+        self.fold(Vec::new(), |out, st| st.push_util_integral(out))
+    }
+
+    /// Every site's recorded utilization series, in global site order
+    /// (empty unless [`Fabric::enable_util_series`] was called).
+    pub fn util_series(&mut self) -> Vec<Vec<UtilSample>> {
+        self.fold(Vec::new(), |out, st| st.push_util_series(out))
+    }
+
+    /// Enables per-step utilization recording on every site.
+    pub fn enable_util_series(&mut self) {
+        self.fold((), |(), st| st.enable_util_series());
+    }
+
+    /// The per-shard audit-trace segments, in shard order.
+    pub fn segments(&mut self) -> Vec<ShardSegment> {
+        self.fold(Vec::new(), |out, st| out.push(st.segment().clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::merge_segments;
+    use mrs_core::vector::WorkVector;
+    use mrs_sim::engine::SimConfig;
+
+    fn sims(n: usize) -> Vec<SiteSim> {
+        (0..n)
+            .map(|_| SiteSim::new(SimConfig::default(), 2))
+            .collect()
+    }
+
+    fn clone(tag: usize, w: &[f64], duration: f64) -> SimClone {
+        SimClone {
+            tag,
+            work: WorkVector::from_slice(w),
+            duration,
+        }
+    }
+
+    /// Drives the same workload through a 1-shard and an N-shard fabric
+    /// and asserts every observable is bit-identical.
+    fn assert_fabrics_agree(shards: usize) {
+        let mut single = Fabric::new(sims(7), 2, 1);
+        let mut multi = Fabric::new(sims(7), 2, shards);
+        assert_eq!(multi.shards(), shards.clamp(1, 7));
+        let work = [
+            (0usize, 0usize, [3.0, 1.0], 3.0),
+            (3, 1, [2.0, 2.0], 2.0),
+            (3, 2, [1.0, 0.5], 1.0),
+            (6, 3, [5.0, 0.0], 5.0),
+            (1, 4, [0.7, 0.7], 0.7),
+        ];
+        for f in [&mut single, &mut multi] {
+            for (site, tag, w, dur) in work {
+                assert!(f.add_clone(site, &clone(tag, &w, dur)).is_none());
+                let demand: Vec<f64> = w.iter().map(|x| x / dur).collect();
+                f.commit(site, &demand);
+            }
+        }
+        loop {
+            let (ta, tb) = (single.next_time(), multi.next_time());
+            assert_eq!(ta.map(f64::to_bits), tb.map(f64::to_bits));
+            let Some(t) = ta else { break };
+            let (mut ca, mut cb) = (Vec::new(), Vec::new());
+            single.advance_due(t, &mut ca);
+            multi.advance_due(t, &mut cb);
+            assert_eq!(ca, cb, "same completions in the same order");
+        }
+        assert_eq!(single.avg_load().to_bits(), multi.avg_load().to_bits());
+        assert_eq!(single.total_resident(), multi.total_resident());
+        assert_eq!(single.busy(), multi.busy());
+        assert_eq!(single.peak_util(), multi.peak_util());
+        assert_eq!(single.util_integral(), multi.util_integral());
+        assert_eq!(
+            merge_segments(&single.segments()),
+            merge_segments(&multi.segments()),
+            "canonical traces must match"
+        );
+    }
+
+    #[test]
+    fn two_shards_match_single() {
+        assert_fabrics_agree(2);
+    }
+
+    #[test]
+    fn four_shards_match_single() {
+        assert_fabrics_agree(4);
+    }
+
+    #[test]
+    fn oversharded_clamps_and_matches() {
+        assert_fabrics_agree(16);
+    }
+
+    #[test]
+    fn faults_and_aggregates_route_to_owning_shards() {
+        let mut f = Fabric::new(sims(6), 2, 3);
+        f.add_clone(4, &clone(0, &[2.0, 0.0], 2.0));
+        f.commit(4, &[1.0, 0.0]);
+        let lost = f.fail_site(4);
+        assert_eq!(lost.len(), 1);
+        assert!(f.is_down(4));
+        assert_eq!(f.alive_sites(), 5);
+        let alive: Vec<usize> = f.alive_list().iter().map(|s| s.0).collect();
+        assert_eq!(alive, vec![0, 1, 2, 3, 5]);
+        f.restore_site(4);
+        assert_eq!(f.alive_sites(), 6);
+        assert_eq!(f.avg_load(), 0.0);
+        assert_eq!(f.next_time(), None, "crash evicted the only clone");
+    }
+}

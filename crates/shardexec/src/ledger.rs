@@ -9,6 +9,14 @@
 //! how the admission gate sees that congestion *before* committing more
 //! work, while the simulator's busy-time integrals remain the ground
 //! truth for realized utilization.
+//!
+//! The ledger lives in `mrs-shardexec` (re-exported as
+//! `mrs_runtime::ledger`) because the sharded fabric slices it: each
+//! [`ShardState`](crate::state::ShardState) owns a ledger over its own
+//! site range, and the coordinator reproduces the global aggregates with
+//! the order-preserving fold APIs ([`SiteLedger::fold_load`],
+//! [`SiteLedger::push_alive`]) so the float arithmetic is bit-identical
+//! to a single whole-machine ledger.
 
 use mrs_core::resource::SiteId;
 
@@ -140,6 +148,33 @@ impl SiteLedger {
         total / alive as f64
     }
 
+    /// The shard-local step of a cross-shard [`SiteLedger::avg_load`]:
+    /// accumulates the loads of this ledger's alive sites onto `acc` in
+    /// site-index order and counts them into `alive`. Chaining the fold
+    /// across range-partitioned shard ledgers (in shard order) performs
+    /// the identical sequence of float additions as one whole-machine
+    /// ledger, so `acc / alive` is bit-identical to its `avg_load`.
+    pub fn fold_load(&self, acc: &mut f64, alive: &mut usize) {
+        for s in 0..self.sites() {
+            if self.alive[s] {
+                *acc += self.load(SiteId(s));
+                *alive += 1;
+            }
+        }
+    }
+
+    /// Appends this ledger's alive sites to `out` as *global* site ids,
+    /// offsetting each local index by `base` (the shard's first site) —
+    /// the shard-local step of collecting the global alive-site list in
+    /// index order.
+    pub fn push_alive(&self, base: usize, out: &mut Vec<SiteId>) {
+        for s in 0..self.sites() {
+            if self.alive[s] {
+                out.push(SiteId(base + s));
+            }
+        }
+    }
+
     /// Highest `l_∞` committed demand `site` ever reached.
     pub fn peak_load(&self, site: SiteId) -> f64 {
         self.peak[site.0]
@@ -222,5 +257,42 @@ mod tests {
         l.release_site(SiteId(1));
         assert_eq!(l.alive_sites(), 0);
         assert_eq!(l.avg_load(), f64::INFINITY);
+    }
+
+    #[test]
+    fn sliced_fold_reproduces_global_avg_load_bitwise() {
+        // One 5-site ledger vs. a 3+2 split: identical commits, identical
+        // fold order, bit-identical mean.
+        let loads = [0.3, 0.7, 0.1, 0.9, 0.2];
+        let mut whole = SiteLedger::new(5, 1);
+        for (s, l) in loads.iter().enumerate() {
+            whole.commit(SiteId(s), &[*l]);
+        }
+        whole.release_site(SiteId(3));
+        let mut lo = SiteLedger::new(3, 1);
+        let mut hi = SiteLedger::new(2, 1);
+        for (s, l) in loads.iter().enumerate() {
+            if s < 3 {
+                lo.commit(SiteId(s), &[*l]);
+            } else {
+                hi.commit(SiteId(s - 3), &[*l]);
+            }
+        }
+        hi.release_site(SiteId(0));
+        let mut acc = 0.0;
+        let mut alive = 0;
+        lo.fold_load(&mut acc, &mut alive);
+        hi.fold_load(&mut acc, &mut alive);
+        assert_eq!(alive, whole.alive_sites());
+        assert_eq!(
+            (acc / alive as f64).to_bits(),
+            whole.avg_load().to_bits(),
+            "sliced fold must be bit-identical"
+        );
+        // Alive lists line up as global ids too.
+        let mut alive_list = Vec::new();
+        lo.push_alive(0, &mut alive_list);
+        hi.push_alive(3, &mut alive_list);
+        assert_eq!(alive_list, vec![SiteId(0), SiteId(1), SiteId(2), SiteId(4)]);
     }
 }

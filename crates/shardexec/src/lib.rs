@@ -1,0 +1,67 @@
+//! # mrs-shardexec — the sharded multi-core serving fabric
+//!
+//! The runtime's event loop interleaves two kinds of step:
+//!
+//! * **site-local** steps — computing each site's next completion time
+//!   and advancing the sites whose completions are due — which touch one
+//!   site at a time and never read another site's state;
+//! * **epoch-global** steps — retiring completions, applying faults,
+//!   firing retries, admitting queries — which read and write cross-site
+//!   state (the admission queue, the clone table, the schedule cache).
+//!
+//! This crate parallelizes exactly the site-local steps. A [`ShardPlan`]
+//! partitions the `P` site indices into `N` contiguous, balanced ranges
+//! (a pure function of `(P, N)`, so it is stable for a given seed and
+//! config). Each shard owns its slice of the site simulators, its own
+//! lazy [`EventCalendar`](mrs_sim::calendar::EventCalendar), its own
+//! [`SiteLedger`] slice, and its own audit-trace [`ShardSegment`]. A
+//! pinned worker pool (one persistent thread per shard) advances the
+//! shards independently between *epoch boundaries* — the global event
+//! times the coordinator picks — and every cross-shard effect (a query's
+//! clones spanning shards, a crash/restore re-pack, a cache-epoch bump)
+//! is applied by the coordinator serially, in the same canonical order
+//! the single-threaded loop uses.
+//!
+//! ## Why the merge is byte-identical
+//!
+//! Determinism does not come from synchronization tricks; it comes from
+//! the fluid engine's independence property: between population changes,
+//! a site's trajectory is a pure function of its own state. The epoch
+//! protocol only ever asks shards two questions, both site-local:
+//!
+//! 1. *next completion time* — the coordinator folds the per-shard
+//!    minima in shard order, which equals the global minimum exactly
+//!    (same multiset of `f64` values, `min` is associative on them);
+//! 2. *advance your due sites to `t`* — each shard advances its due
+//!    sites in local index order, and concatenating the per-shard
+//!    completion buffers in shard order reproduces the serial loop's
+//!    global site-index order because the ranges are contiguous.
+//!
+//! Every float operation therefore happens on the same operands in the
+//! same order as the single-threaded loop, and [`Fabric::new`] with one
+//! shard short-circuits to an inline [`ShardState`] that *is* the
+//! single-threaded loop.
+//!
+//! The per-shard [`ShardSegment`] traces are the observable evidence:
+//! `mrs-audit`'s merge checker verifies that the segments partition the
+//! site range, conserve every dispatched clone, and re-sort to one
+//! canonical global trace that is identical for any shard count.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fabric;
+pub mod ledger;
+pub mod plan;
+pub mod pool;
+pub mod segment;
+pub mod state;
+
+/// One-stop imports.
+pub mod prelude {
+    pub use crate::fabric::Fabric;
+    pub use crate::ledger::SiteLedger;
+    pub use crate::plan::ShardPlan;
+    pub use crate::segment::{merge_segments, ShardEvent, ShardEventKind, ShardSegment};
+    pub use crate::state::ShardState;
+}

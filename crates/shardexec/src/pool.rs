@@ -1,0 +1,249 @@
+//! The pinned worker pool: one persistent thread per shard, driven by a
+//! generation-counted broadcast gate.
+//!
+//! The coordinator broadcasts one [`Command`] per epoch phase; every
+//! worker executes it against its own [`ShardState`] cell and the
+//! coordinator blocks until all have finished. Between broadcasts the
+//! coordinator is the only party touching the cells (per-site routing
+//! through [`ShardPool::with_cell`] locks the owning cell uncontended),
+//! so the pool adds *no* ordering freedom: all cross-shard effects stay
+//! serial on the coordinator, which is what keeps runs byte-identical
+//! for any shard count.
+
+use crate::state::ShardState;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A site-local epoch phase, broadcast to every worker.
+#[derive(Clone, Copy, Debug)]
+pub enum Command {
+    /// Compute the shard's earliest pending completion into
+    /// [`ShardState::next`](crate::state::ShardState).
+    NextTime,
+    /// Advance every due site to the epoch time, collecting completions
+    /// into the shard's buffer.
+    AdvanceDue(f64),
+}
+
+/// Broadcast state guarded by the gate mutex.
+#[derive(Debug)]
+struct GateState {
+    /// Bumped once per broadcast; workers run a command exactly once by
+    /// comparing against the last generation they served.
+    generation: u64,
+    /// The command of the current generation.
+    cmd: Command,
+    /// Workers still executing the current generation.
+    pending: usize,
+    /// Set once on drop; workers exit their loop.
+    shutdown: bool,
+}
+
+/// The broadcast gate: command condvar wakes workers, done condvar wakes
+/// the coordinator.
+#[derive(Debug)]
+struct Gate {
+    state: Mutex<GateState>,
+    cmd: Condvar,
+    done: Condvar,
+}
+
+/// State shared between the coordinator and the workers.
+#[derive(Debug)]
+struct Shared {
+    gate: Gate,
+    /// One cell per shard; worker `i` only ever locks `cells[i]`.
+    cells: Vec<Mutex<ShardState>>,
+}
+
+/// One persistent worker thread per shard (named `mrs-shard-{i}`),
+/// joined on drop.
+#[derive(Debug)]
+pub struct ShardPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+fn worker(shared: &Shared, shard: usize) {
+    let mut seen = 0u64;
+    loop {
+        let cmd = {
+            let guard = shared
+                .gate
+                .state
+                .lock()
+                .expect("gate mutex poisoned: a worker panicked");
+            let guard = shared
+                .gate
+                .cmd
+                .wait_while(guard, |g| !g.shutdown && g.generation == seen)
+                .expect("gate mutex poisoned: a worker panicked");
+            if guard.shutdown {
+                return;
+            }
+            seen = guard.generation;
+            guard.cmd
+        };
+        {
+            let mut cell = shared.cells[shard]
+                .lock()
+                .expect("shard cell poisoned: a worker panicked");
+            match cmd {
+                Command::NextTime => cell.compute_next(),
+                Command::AdvanceDue(t) => cell.advance_due(t),
+            }
+        }
+        let mut guard = shared
+            .gate
+            .state
+            .lock()
+            .expect("gate mutex poisoned: a worker panicked");
+        guard.pending -= 1;
+        if guard.pending == 0 {
+            shared.gate.done.notify_one();
+        }
+    }
+}
+
+impl ShardPool {
+    /// Spawns one pinned worker per shard state.
+    pub fn new(states: Vec<ShardState>) -> Self {
+        let n = states.len();
+        let shared = Arc::new(Shared {
+            gate: Gate {
+                state: Mutex::new(GateState {
+                    generation: 0,
+                    cmd: Command::NextTime,
+                    pending: 0,
+                    shutdown: false,
+                }),
+                cmd: Condvar::new(),
+                done: Condvar::new(),
+            },
+            cells: states.into_iter().map(Mutex::new).collect(),
+        });
+        let workers = (0..n)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("mrs-shard-{i}"))
+                    .spawn(move || worker(&shared, i))
+                    .expect("spawning a shard worker thread failed")
+            })
+            .collect();
+        ShardPool { shared, workers }
+    }
+
+    /// Number of shards (= workers).
+    pub fn shards(&self) -> usize {
+        self.shared.cells.len()
+    }
+
+    /// Broadcasts `cmd` to every worker and blocks until all finish.
+    pub fn run(&self, cmd: Command) {
+        let guard = {
+            let mut guard = self
+                .shared
+                .gate
+                .state
+                .lock()
+                .expect("gate mutex poisoned: a worker panicked");
+            guard.cmd = cmd;
+            guard.pending = self.shards();
+            guard.generation += 1;
+            self.shared.gate.cmd.notify_all();
+            guard
+        };
+        let _done = self
+            .shared
+            .gate
+            .done
+            .wait_while(guard, |g| g.pending > 0)
+            .expect("gate mutex poisoned: a worker panicked");
+    }
+
+    /// Runs `f` against one shard's state. Only call between broadcasts
+    /// (no command in flight): the cell lock is then uncontended, and
+    /// per-site effects stay in coordinator order.
+    pub fn with_cell<R>(&self, shard: usize, f: impl FnOnce(&mut ShardState) -> R) -> R {
+        let mut cell = self.shared.cells[shard]
+            .lock()
+            .expect("shard cell poisoned: a worker panicked");
+        f(&mut cell)
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        {
+            let mut guard = match self.shared.gate.state.lock() {
+                Ok(g) => g,
+                // A worker panicked; joining below will surface it.
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            guard.shutdown = true;
+            guard.generation += 1;
+            self.shared.gate.cmd.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            // Propagate worker panics instead of swallowing them.
+            if let Err(panic) = handle.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrs_core::vector::WorkVector;
+    use mrs_sim::engine::{SimClone, SimConfig, SiteSim};
+
+    fn pool(shards: usize, sites_per: usize) -> ShardPool {
+        let states = (0..shards)
+            .map(|s| {
+                let sims = (0..sites_per)
+                    .map(|_| SiteSim::new(SimConfig::default(), 1))
+                    .collect();
+                ShardState::new(s, s * sites_per, sims, 1)
+            })
+            .collect();
+        ShardPool::new(states)
+    }
+
+    #[test]
+    fn broadcast_runs_every_shard_exactly_once() {
+        let pool = pool(4, 2);
+        for (i, tag) in [(0usize, 10usize), (3, 11)] {
+            pool.with_cell(i, |st| {
+                let site = st.base();
+                st.add_clone(
+                    site,
+                    &SimClone {
+                        tag,
+                        work: WorkVector::from_slice(&[2.0]),
+                        duration: 2.0,
+                    },
+                );
+            });
+        }
+        pool.run(Command::NextTime);
+        let nexts: Vec<Option<f64>> = (0..4).map(|s| pool.with_cell(s, |st| st.next)).collect();
+        assert_eq!(nexts, vec![Some(2.0), None, None, Some(2.0)]);
+        pool.run(Command::AdvanceDue(2.0));
+        let done: Vec<usize> = (0..4)
+            .map(|s| pool.with_cell(s, |st| st.buf.len()))
+            .collect();
+        assert_eq!(done, vec![1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn repeated_broadcasts_do_not_deadlock() {
+        let pool = pool(3, 1);
+        for _ in 0..100 {
+            pool.run(Command::NextTime);
+        }
+        assert_eq!(pool.shards(), 3);
+    }
+}

@@ -1,0 +1,392 @@
+//! The per-shard executor state: one shard's site simulators, lazy
+//! event calendar, ledger slice, and audit-trace segment.
+//!
+//! A [`ShardState`] owns everything needed to answer the two site-local
+//! questions of the epoch protocol (next completion time; advance due
+//! sites) without reading any other shard's state, plus the per-site
+//! mutation entry points the coordinator routes to the owning shard
+//! between barriers. All public methods take *global* site indices; the
+//! state translates to its local slice.
+
+use crate::ledger::SiteLedger;
+use crate::segment::{ShardEvent, ShardEventKind, ShardSegment};
+use mrs_core::resource::SiteId;
+use mrs_sim::calendar::EventCalendar;
+use mrs_sim::engine::{Completion, LostClone, SimClone, SiteSim, UtilSample};
+
+/// One shard's slice of the machine. See the [module docs](self).
+#[derive(Debug)]
+pub struct ShardState {
+    /// Global index of this shard's first site.
+    base: usize,
+    /// Site simulators, indexed locally (`global - base`).
+    sims: Vec<SiteSim>,
+    /// Lazy completion calendar over the local sims.
+    calendar: EventCalendar,
+    /// Committed-demand ledger over the local sites.
+    ledger: SiteLedger,
+    /// This shard's audit-trace segment.
+    segment: ShardSegment,
+    /// Completions surfaced by the latest advance command, in local
+    /// site-index order (each site's completions in its own emission
+    /// order) — exactly the serial loop's pre-sort order for this range.
+    pub(crate) buf: Vec<Completion>,
+    /// Earliest pending completion computed by the latest next-time
+    /// command.
+    pub(crate) next: Option<f64>,
+}
+
+impl ShardState {
+    /// A shard executor for sites `base..base + sims.len()` with
+    /// resource dimensionality `dim`, recording into segment `shard`.
+    pub fn new(shard: usize, base: usize, sims: Vec<SiteSim>, dim: usize) -> Self {
+        let n = sims.len();
+        ShardState {
+            base,
+            calendar: EventCalendar::new(n),
+            ledger: SiteLedger::new(n, dim),
+            segment: ShardSegment {
+                shard,
+                sites: (base, base + n),
+                events: Vec::new(),
+            },
+            sims,
+            buf: Vec::new(),
+            next: None,
+        }
+    }
+
+    /// Number of sites this shard owns.
+    pub fn sites(&self) -> usize {
+        self.sims.len()
+    }
+
+    /// Global index of this shard's first site.
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    fn local(&self, site: usize) -> usize {
+        debug_assert!(
+            site >= self.base && site < self.base + self.sims.len(),
+            "site {site} not owned by shard over [{}, {})",
+            self.base,
+            self.base + self.sims.len()
+        );
+        site - self.base
+    }
+
+    fn record(&mut self, time: f64, site: usize, tag: usize, kind: ShardEventKind) {
+        self.segment.events.push(ShardEvent {
+            time,
+            site,
+            tag,
+            kind,
+        });
+    }
+
+    /// Site-local epoch step 1: computes the earliest pending completion
+    /// across this shard's sites into [`ShardState::next`].
+    pub fn compute_next(&mut self) {
+        self.next = self.calendar.next_time(&mut self.sims);
+    }
+
+    /// Site-local epoch step 2: advances every due site to `t`,
+    /// collecting completions into [`ShardState::buf`] (local site-index
+    /// order) and recording them in the segment.
+    pub fn advance_due(&mut self, t: f64) {
+        self.buf.clear();
+        let base = self.base;
+        let seg = &mut self.segment;
+        self.calendar
+            .advance_due_observed(t, &mut self.sims, &mut self.buf, |site, done| {
+                for c in done {
+                    seg.events.push(ShardEvent {
+                        time: c.time,
+                        site: base + site,
+                        tag: c.tag,
+                        kind: ShardEventKind::Completed,
+                    });
+                }
+            });
+        self.next = None;
+    }
+
+    /// Catches a lazily advanced site up to `clock`, appending any
+    /// surfaced completions to `out` (and the segment). No-op for a site
+    /// already at (or past) the clock.
+    pub fn catch_up(&mut self, site: usize, clock: f64, out: &mut Vec<Completion>) {
+        let l = self.local(site);
+        if self.sims[l].now() < clock {
+            let start = out.len();
+            self.sims[l].advance_to(clock, out);
+            self.calendar.invalidate(l);
+            for &Completion { time, tag, .. } in &out[start..] {
+                self.record(time, site, tag, ShardEventKind::Completed);
+            }
+        }
+    }
+
+    /// Inserts a clone on `site` at the site's current clock, recording
+    /// the dispatch. A zero-duration clone completes inline: its
+    /// completion is returned (and recorded) instead of being tracked.
+    pub fn add_clone(&mut self, site: usize, clone: &SimClone) -> Option<Completion> {
+        let l = self.local(site);
+        match self.sims[l].add_clone(clone) {
+            Some(done) => {
+                self.record(done.time, site, clone.tag, ShardEventKind::Dispatched);
+                self.record(done.time, site, clone.tag, ShardEventKind::Completed);
+                Some(done)
+            }
+            None => {
+                self.calendar.invalidate(l);
+                let now = self.sims[l].now();
+                self.record(now, site, clone.tag, ShardEventKind::Dispatched);
+                None
+            }
+        }
+    }
+
+    /// Crashes `site`: evicts and returns its resident clones (recorded
+    /// as lost) and releases the site from the ledger slice. The caller
+    /// must have caught the site up to the clock first.
+    pub fn fail_site(&mut self, site: usize) -> Vec<LostClone> {
+        let l = self.local(site);
+        let lost = self.sims[l].fail();
+        self.calendar.invalidate(l);
+        let now = self.sims[l].now();
+        for lc in &lost {
+            self.record(now, site, lc.tag, ShardEventKind::Lost);
+        }
+        self.ledger.release_site(SiteId(l));
+        lost
+    }
+
+    /// Restores a crashed `site` (empty and idle) in both the simulator
+    /// and the ledger slice.
+    pub fn restore_site(&mut self, site: usize) {
+        let l = self.local(site);
+        self.sims[l].restore();
+        self.calendar.invalidate(l);
+        self.ledger.restore_site(SiteId(l));
+    }
+
+    /// Evicts the clone tagged `tag` from `site` (recorded as evicted if
+    /// resident). The calendar entry is invalidated either way,
+    /// mirroring the serial loop.
+    pub fn remove_clone(&mut self, site: usize, tag: usize) -> Option<LostClone> {
+        let l = self.local(site);
+        let removed = self.sims[l].remove_clone(tag);
+        self.calendar.invalidate(l);
+        if removed.is_some() {
+            let now = self.sims[l].now();
+            self.record(now, site, tag, ShardEventKind::Evicted);
+        }
+        removed
+    }
+
+    /// Whether `site` is currently crashed.
+    pub fn is_down(&self, site: usize) -> bool {
+        self.sims[self.local(site)].is_down()
+    }
+
+    /// Sets the straggler rate of `site` (see
+    /// [`SiteSim::set_rate`]).
+    pub fn set_rate(&mut self, site: usize, rate: f64) {
+        let l = self.local(site);
+        self.sims[l].set_rate(rate);
+    }
+
+    /// Enables per-step utilization series recording on every site.
+    pub fn enable_util_series(&mut self) {
+        for sim in &mut self.sims {
+            sim.enable_util_series();
+        }
+    }
+
+    /// Ledger slice: commits a clone's demand at `site`.
+    pub fn commit(&mut self, site: usize, demand: &[f64]) {
+        let l = self.local(site);
+        self.ledger.commit(SiteId(l), demand);
+    }
+
+    /// Ledger slice: releases a completed clone's demand at `site`.
+    pub fn release(&mut self, site: usize, demand: &[f64]) {
+        let l = self.local(site);
+        self.ledger.release(SiteId(l), demand);
+    }
+
+    /// Whether `site` is in service.
+    pub fn is_alive(&self, site: usize) -> bool {
+        self.ledger.is_alive(SiteId(self.local(site)))
+    }
+
+    /// The site's current virtual clock.
+    pub fn now(&self, site: usize) -> f64 {
+        self.sims[self.local(site)].now()
+    }
+
+    /// Ledger slice: the `l_∞` committed demand of `site`.
+    pub fn load(&self, site: usize) -> f64 {
+        self.ledger.load(SiteId(self.local(site)))
+    }
+
+    /// Ledger slice: residual capacity of `site` per resource.
+    pub fn residual(&self, site: usize) -> Vec<f64> {
+        self.ledger.residual(SiteId(self.local(site)))
+    }
+
+    /// Ledger slice: clones currently committed at `site`.
+    pub fn resident(&self, site: usize) -> usize {
+        self.ledger.resident(SiteId(self.local(site)))
+    }
+
+    /// Ledger slice: highest `l_∞` demand `site` ever reached.
+    pub fn peak_load(&self, site: usize) -> f64 {
+        self.ledger.peak_load(SiteId(self.local(site)))
+    }
+
+    /// Order-preserving fold of this shard's alive-site loads (see
+    /// [`SiteLedger::fold_load`]).
+    pub fn fold_load(&self, acc: &mut f64, alive: &mut usize) {
+        self.ledger.fold_load(acc, alive);
+    }
+
+    /// Appends this shard's alive sites to `out` as global ids.
+    pub fn push_alive(&self, out: &mut Vec<SiteId>) {
+        self.ledger.push_alive(self.base, out);
+    }
+
+    /// Number of alive sites in this shard.
+    pub fn alive_sites(&self) -> usize {
+        self.ledger.alive_sites()
+    }
+
+    /// Total clones committed across this shard's sites.
+    pub fn total_resident(&self) -> usize {
+        self.ledger.total_resident()
+    }
+
+    /// Appends each local site's busy-time vector to `out`, in site
+    /// order.
+    pub fn push_busy(&self, out: &mut Vec<Vec<f64>>) {
+        out.extend(self.sims.iter().map(|s| s.busy().to_vec()));
+    }
+
+    /// Appends each local site's peak-utilization vector to `out`.
+    pub fn push_peak_util(&self, out: &mut Vec<Vec<f64>>) {
+        out.extend(self.sims.iter().map(|s| s.peak_util().to_vec()));
+    }
+
+    /// Appends each local site's utilization integral to `out`.
+    pub fn push_util_integral(&self, out: &mut Vec<Vec<f64>>) {
+        out.extend(self.sims.iter().map(|s| s.util_integral().to_vec()));
+    }
+
+    /// Appends each local site's recorded utilization series to `out`
+    /// (empty vectors when recording was never enabled).
+    pub fn push_util_series(&self, out: &mut Vec<Vec<UtilSample>>) {
+        out.extend(self.sims.iter().map(|s| {
+            s.util_series()
+                .map(<[UtilSample]>::to_vec)
+                .unwrap_or_default()
+        }));
+    }
+
+    /// This shard's audit-trace segment.
+    pub fn segment(&self) -> &ShardSegment {
+        &self.segment
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrs_core::vector::WorkVector;
+    use mrs_sim::engine::SimConfig;
+
+    fn state(shard: usize, base: usize, n: usize) -> ShardState {
+        let sims = (0..n)
+            .map(|_| SiteSim::new(SimConfig::default(), 2))
+            .collect();
+        ShardState::new(shard, base, sims, 2)
+    }
+
+    fn clone(tag: usize, w: &[f64], duration: f64) -> SimClone {
+        SimClone {
+            tag,
+            work: WorkVector::from_slice(w),
+            duration,
+        }
+    }
+
+    #[test]
+    fn lifecycle_events_are_recorded_with_global_sites() {
+        use ShardEventKind::*;
+        let mut st = state(1, 4, 3); // owns global sites 4..7
+        assert!(st.add_clone(5, &clone(0, &[2.0, 0.0], 2.0)).is_none());
+        st.compute_next();
+        let t = st.next.expect("one clone pending");
+        st.advance_due(t);
+        assert_eq!(st.buf.len(), 1);
+        let kinds: Vec<(usize, ShardEventKind)> = st
+            .segment()
+            .events
+            .iter()
+            .map(|e| (e.site, e.kind))
+            .collect();
+        assert_eq!(kinds, vec![(5, Dispatched), (5, Completed)]);
+    }
+
+    #[test]
+    fn zero_duration_clone_records_dispatch_and_completion() {
+        use ShardEventKind::*;
+        let mut st = state(0, 0, 1);
+        let done = st.add_clone(0, &clone(9, &[0.0, 0.0], 0.0));
+        assert!(done.is_some());
+        let kinds: Vec<ShardEventKind> = st.segment().events.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec![Dispatched, Completed]);
+    }
+
+    #[test]
+    fn fail_and_evict_record_terminal_events() {
+        use ShardEventKind::*;
+        let mut st = state(0, 2, 2);
+        st.add_clone(2, &clone(0, &[4.0, 0.0], 4.0));
+        st.add_clone(3, &clone(1, &[4.0, 0.0], 4.0));
+        let lost = st.fail_site(2);
+        assert_eq!(lost.len(), 1);
+        assert!(st.is_down(2));
+        assert!(!st.is_alive(2));
+        let evicted = st.remove_clone(3, 1);
+        assert!(evicted.is_some());
+        assert_eq!(st.remove_clone(3, 1), None, "already gone");
+        let kinds: Vec<(usize, ShardEventKind)> = st
+            .segment()
+            .events
+            .iter()
+            .map(|e| (e.site, e.kind))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![(2, Dispatched), (3, Dispatched), (2, Lost), (3, Evicted)]
+        );
+        st.restore_site(2);
+        assert!(!st.is_down(2));
+        assert!(st.is_alive(2));
+    }
+
+    #[test]
+    fn catch_up_skips_current_sites_and_records_completions() {
+        let mut st = state(0, 0, 2);
+        st.add_clone(0, &clone(0, &[1.0, 0.0], 1.0));
+        let mut out = Vec::new();
+        st.catch_up(0, 3.0, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].time, 1.0);
+        // Already at the clock: no-op.
+        let before = st.segment().events.len();
+        st.catch_up(0, 3.0, &mut out);
+        assert_eq!(st.segment().events.len(), before);
+    }
+}

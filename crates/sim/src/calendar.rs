@@ -135,6 +135,23 @@ impl EventCalendar {
     /// appending their completions to `out` and invalidating them. Sites
     /// with entries beyond `t` — and idle sites — are left untouched.
     pub fn advance_due(&mut self, t: f64, sims: &mut [SiteSim], out: &mut Vec<Completion>) {
+        self.advance_due_observed(t, sims, out, |_, _| {});
+    }
+
+    /// [`EventCalendar::advance_due`] with an observer: after each due
+    /// site advances, `observe(site, slice)` is invoked with that site's
+    /// newly appended completions. The observed arithmetic is identical
+    /// to the plain variant (which delegates here with a no-op closure);
+    /// the hook exists so a per-shard executor can attribute completions
+    /// to their site for its audit-trace segment without re-deriving the
+    /// due set.
+    pub fn advance_due_observed(
+        &mut self,
+        t: f64,
+        sims: &mut [SiteSim],
+        out: &mut Vec<Completion>,
+        mut observe: impl FnMut(usize, &[Completion]),
+    ) {
         self.refresh(sims);
         let mut due = std::mem::take(&mut self.due_buf);
         due.clear();
@@ -153,8 +170,10 @@ impl EventCalendar {
         due.sort_unstable();
         due.dedup();
         for &site in &due {
+            let start = out.len();
             sims[site].advance_to(t, out);
             self.invalidate(site);
+            observe(site, &out[start..]);
         }
         self.due_buf = due;
     }
@@ -264,6 +283,41 @@ mod tests {
         tags.sort_unstable();
         assert_eq!(tags, vec![0, 1]);
         assert_eq!(cal.next_time(&mut sims), None);
+    }
+
+    #[test]
+    fn observed_advance_matches_plain_and_attributes_sites() {
+        let drive = |observed: bool| {
+            let mut sims = sims(3);
+            let mut cal = EventCalendar::new(3);
+            sims[0].add_clone(&clone(0, &[2.0, 0.0], 2.0));
+            sims[2].add_clone(&clone(1, &[2.0, 0.0], 2.0));
+            cal.invalidate(0);
+            cal.invalidate(2);
+            let t = cal.next_time(&mut sims).unwrap();
+            let mut out = Vec::new();
+            let mut seen: Vec<(usize, usize)> = Vec::new();
+            if observed {
+                cal.advance_due_observed(t, &mut sims, &mut out, |site, done| {
+                    seen.push((site, done.len()));
+                });
+            } else {
+                cal.advance_due(t, &mut sims, &mut out);
+            }
+            (
+                out.iter()
+                    .map(|c| (c.tag, c.time.to_bits()))
+                    .collect::<Vec<_>>(),
+                seen,
+            )
+        };
+        let (plain, no_obs) = drive(false);
+        let (obs, sites) = drive(true);
+        assert_eq!(plain, obs, "observer must not perturb the arithmetic");
+        assert!(no_obs.is_empty());
+        // Each due site reported once, in site-index order, with its own
+        // completions.
+        assert_eq!(sites, vec![(0, 1), (2, 1)]);
     }
 
     #[test]

@@ -77,6 +77,22 @@ pub struct Completion {
     pub time: f64,
 }
 
+/// One interval of a site's piecewise-constant utilization trajectory:
+/// for `len` virtual seconds starting at `start`, resource `i` ran at
+/// normalized utilization `util[i]` (realized demand over effective
+/// capacity). Recorded only when the per-step series is enabled
+/// ([`SiteSim::enable_util_series`]); the always-on
+/// [`SiteSim::util_integral`] is the exact integral of this series.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UtilSample {
+    /// Interval start (the site's clock before the step).
+    pub start: f64,
+    /// Interval length (zero-length steps are not recorded).
+    pub len: f64,
+    /// Normalized utilization per resource, constant across the interval.
+    pub util: Vec<f64>,
+}
+
 #[derive(Clone, Debug)]
 struct Active {
     tag: usize,
@@ -209,6 +225,16 @@ pub struct SiteSim {
     /// sharing solution keeps every component ≤ 1 (up to float noise) —
     /// the quantity `mrs-audit` checks end-to-end.
     peak_util: Vec<f64>,
+    /// Exact integral of normalized utilization per resource:
+    /// `∫ u_i(t)/cap(n_t) dt` over the site's lifetime. Because the
+    /// trajectory is piecewise constant between events, accumulating
+    /// `(u/cap)·step` per step is the integral, not an approximation;
+    /// dividing by the horizon bounds *average* over-commitment the same
+    /// way `peak_util` bounds the instantaneous kind.
+    util_integral: Vec<f64>,
+    /// Optional per-step utilization series (see
+    /// [`SiteSim::enable_util_series`]); `None` records nothing.
+    util_series: Option<Vec<UtilSample>>,
 }
 
 impl SiteSim {
@@ -226,6 +252,8 @@ impl SiteSim {
             scratch: Vec::new(),
             speeds_valid: false,
             peak_util: vec![0.0; d],
+            util_integral: vec![0.0; d],
+            util_series: None,
         }
     }
 
@@ -271,6 +299,33 @@ impl SiteSim {
     #[inline]
     pub fn peak_util(&self) -> &[f64] {
         &self.peak_util
+    }
+
+    /// Exact integral of normalized utilization per resource since
+    /// construction (see the field docs). Dividing by the run horizon
+    /// yields the site's time-average utilization, which feasible fluid
+    /// sharing keeps ≤ 1 — the average-over-commitment bound `mrs-audit`
+    /// checks alongside the peak.
+    #[inline]
+    pub fn util_integral(&self) -> &[f64] {
+        &self.util_integral
+    }
+
+    /// Starts recording the per-step utilization series (one
+    /// [`UtilSample`] per constant-speed interval). Off by default: the
+    /// series costs memory proportional to the event count, while the
+    /// always-on [`SiteSim::util_integral`] is `d` floats. Enabling it
+    /// changes no simulation arithmetic.
+    pub fn enable_util_series(&mut self) {
+        if self.util_series.is_none() {
+            self.util_series = Some(Vec::new());
+        }
+    }
+
+    /// The recorded per-step utilization series, or `None` when
+    /// [`SiteSim::enable_util_series`] was never called.
+    pub fn util_series(&self) -> Option<&[UtilSample]> {
+        self.util_series.as_deref()
     }
 
     /// The site's speed multiplier (see [`SiteSim::set_rate`]).
@@ -461,6 +516,22 @@ impl SiteSim {
             }
             let full_step = dt <= t - self.now;
             let step = dt.min(t - self.now);
+            // `scratch` still holds the interval's raw utilization `u`;
+            // the trajectory is constant across the step, so this is the
+            // exact integral contribution, and the optional series entry
+            // is the interval itself.
+            for (acc, &u) in self.util_integral.iter_mut().zip(&self.scratch) {
+                *acc += (u / cap) * step;
+            }
+            if let Some(series) = &mut self.util_series {
+                if step > 0.0 {
+                    series.push(UtilSample {
+                        start: self.now,
+                        len: step,
+                        util: self.scratch.iter().map(|u| u / cap).collect(),
+                    });
+                }
+            }
             self.now += step;
             for (a, &sc) in self.active.iter_mut().zip(&self.speeds_buf) {
                 let eff = sc * self.rate;
@@ -712,6 +783,71 @@ mod tests {
             "r1 busy {}",
             sim.busy()[1]
         );
+    }
+
+    #[test]
+    fn util_integral_is_exact_series_integral() {
+        // A lone CPU clone: utilization 1.0 on r0 for its 8s lifetime,
+        // so the integral is exactly 8 and the series has one interval.
+        let mut sim = SiteSim::new(SimConfig::default(), 2);
+        sim.enable_util_series();
+        sim.add_clone(&clone(0, &[8.0, 0.0], 8.0));
+        let mut out = Vec::new();
+        let t = sim.next_completion_time().unwrap();
+        sim.advance_to(t, &mut out);
+        assert!((sim.util_integral()[0] - 8.0).abs() < 1e-9);
+        assert_eq!(sim.util_integral()[1], 0.0);
+        let series = sim.util_series().expect("series enabled above");
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].start, 0.0);
+        // The integral equals Σ len·util over the recorded series, bit
+        // for bit — the cross-check mrs-audit applies when the series is
+        // exported.
+        let from_series: f64 = series.iter().map(|s| s.len * s.util[0]).sum();
+        assert_eq!(from_series.to_bits(), sim.util_integral()[0].to_bits());
+    }
+
+    #[test]
+    fn util_series_recording_changes_no_arithmetic() {
+        let drive = |record: bool| {
+            let mut sim = SiteSim::new(SimConfig::default(), 2);
+            if record {
+                sim.enable_util_series();
+            }
+            sim.add_clone(&clone(0, &[10.0, 15.0], 22.0));
+            sim.add_clone(&clone(1, &[10.0, 5.0], 10.0));
+            let mut out = Vec::new();
+            while let Some(t) = sim.next_completion_time() {
+                sim.advance_to(t, &mut out);
+            }
+            (
+                out.iter().map(|c| c.time.to_bits()).collect::<Vec<_>>(),
+                sim.busy().iter().map(|b| b.to_bits()).collect::<Vec<_>>(),
+                sim.util_integral()
+                    .iter()
+                    .map(|u| u.to_bits())
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(drive(false), drive(true));
+    }
+
+    #[test]
+    fn average_utilization_never_exceeds_one() {
+        // Oversubscribe the site: the fluid sharing time-shares, so both
+        // the peak and the time-average normalized utilization stay ≤ 1.
+        let mut sim = SiteSim::new(SimConfig::default(), 2);
+        sim.add_clone(&clone(0, &[8.0, 0.0], 8.0));
+        sim.add_clone(&clone(1, &[8.0, 0.0], 8.0));
+        let mut out = Vec::new();
+        while let Some(t) = sim.next_completion_time() {
+            sim.advance_to(t, &mut out);
+        }
+        let horizon = sim.now();
+        assert!(horizon > 0.0);
+        let avg = sim.util_integral()[0] / horizon;
+        assert!(avg <= 1.0 + 1e-9, "average utilization {avg}");
+        assert!(avg > 0.9, "oversubscribed site should be near-saturated");
     }
 
     #[test]
