@@ -8,7 +8,7 @@
 
 use crate::violation::Violation;
 use mrs_runtime::metrics::RunSummary;
-use mrs_runtime::trace::{audit_cache_hit_fresh, audit_repack_conserves, AuditEvent};
+use mrs_runtime::trace::{audit_cache_hit_coherent, audit_repack_conserves, AuditEvent};
 use std::collections::HashMap;
 
 /// Tolerance for comparing busy-time integrals against the horizon:
@@ -110,10 +110,16 @@ pub fn audit_run(summary: &RunSummary) -> Vec<Violation> {
     }
 
     // Trace-level checks: time monotonicity, per-query phase order,
-    // epoch progression, conservation, cache coherence.
+    // epoch progression, conservation, cache coherence. The cache check
+    // replays the environment from the EpochBump stream itself — the
+    // current global epoch and each site's last-change epoch — so a
+    // CacheHit's claimed epochs and footprint are validated against
+    // recorded history, not taken at face value.
     let mut last_time = f64::NEG_INFINITY;
     let mut last_phase: HashMap<usize, usize> = HashMap::new();
     let mut last_epoch: Option<u64> = None;
+    let mut current_epoch: u64 = 0;
+    let mut site_bump: HashMap<usize, u64> = HashMap::new();
     for (index, ev) in summary.trace.iter().enumerate() {
         let t = ev.time();
         if t < last_time {
@@ -155,9 +161,17 @@ pub fn audit_run(summary: &RunSummary) -> Vec<Violation> {
                 query,
                 insert_epoch,
                 hit_epoch,
+                touched,
                 ..
             } => {
-                if !audit_cache_hit_fresh(*insert_epoch, *hit_epoch) {
+                let coherent = audit_cache_hit_coherent(
+                    *insert_epoch,
+                    *hit_epoch,
+                    current_epoch,
+                    touched,
+                    |s| site_bump.get(&s).copied().unwrap_or(0),
+                );
+                if !coherent {
                     out.push(Violation::StaleCacheHit {
                         query: *query,
                         insert_epoch: *insert_epoch,
@@ -165,13 +179,15 @@ pub fn audit_run(summary: &RunSummary) -> Vec<Violation> {
                     });
                 }
             }
-            AuditEvent::EpochBump { epoch, .. } => {
+            AuditEvent::EpochBump { epoch, site, .. } => {
                 if let Some(prev) = last_epoch {
                     if *epoch <= prev {
                         out.push(Violation::EpochRegression { prev, next: *epoch });
                     }
                 }
                 last_epoch = Some(*epoch);
+                current_epoch = *epoch;
+                site_bump.insert(*site, *epoch);
             }
             AuditEvent::CacheInsert { .. } => {}
         }

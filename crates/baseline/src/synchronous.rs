@@ -31,7 +31,7 @@ use mrs_core::model::ResponseModel;
 use mrs_core::operator::{OperatorId, OperatorSpec, Placement};
 use mrs_core::resource::{SiteId, SystemSpec};
 use mrs_core::schedule::{Assignment, PhaseSchedule, ScheduledOperator};
-use mrs_core::tree::TreeProblem;
+use mrs_core::tree::{PhaseResult, TreeProblem, TreeScheduleResult};
 use std::collections::HashMap;
 
 /// One executed wave of one phase.
@@ -67,6 +67,30 @@ impl BaselineResult {
             }
         }
         None
+    }
+
+    /// The result viewed as a [`TreeScheduleResult`], so the invariant
+    /// auditor's *tree-level* checks (per-phase structure, makespan and
+    /// response-time recomputation, binding co-location) apply to
+    /// SYNCHRONOUS exactly as they do to the multi-dimensional
+    /// schedulers. Lossless for auditing purposes: each executed wave
+    /// becomes one phase at its task-tree level, makespans are the ones
+    /// the baseline recorded (themselves `schedule.makespan(sys, model)`
+    /// under the shared response model), and `response_time` is their
+    /// sum — the baseline's own accounting identity.
+    pub fn to_tree_result(&self) -> TreeScheduleResult {
+        TreeScheduleResult {
+            phases: self
+                .phases
+                .iter()
+                .map(|p| PhaseResult {
+                    level: p.level,
+                    schedule: p.schedule.clone(),
+                    makespan: p.makespan,
+                })
+                .collect(),
+            response_time: self.response_time,
+        }
     }
 }
 
@@ -435,6 +459,44 @@ mod tests {
         };
         let r = synchronous_schedule(&problem, &sys, &comm, &model).unwrap();
         assert_eq!(r.phases.len(), 1);
+    }
+
+    #[test]
+    fn tree_view_preserves_every_wave_and_the_response_identity() {
+        let (sys, comm, model) = setup(2);
+        // Three serialized waves (see serialization_when_tasks_exceed_sites)
+        // must each survive the conversion as their own phase.
+        let ops: Vec<_> = (0..6).map(|i| op(i, &[1.0, 1.0, 0.0], 0.0)).collect();
+        let tasks = TaskGraph::new(vec![
+            TaskNode {
+                ops: vec![OperatorId(0), OperatorId(1)],
+                parent: None,
+            },
+            TaskNode {
+                ops: vec![OperatorId(2), OperatorId(3)],
+                parent: None,
+            },
+            TaskNode {
+                ops: vec![OperatorId(4), OperatorId(5)],
+                parent: None,
+            },
+        ])
+        .unwrap();
+        let problem = TreeProblem {
+            ops,
+            tasks,
+            bindings: vec![],
+        };
+        let r = synchronous_schedule(&problem, &sys, &comm, &model).unwrap();
+        let tree = r.to_tree_result();
+        assert_eq!(tree.phases.len(), r.phases.len());
+        let summed: f64 = tree.phases.iter().map(|p| p.makespan).sum();
+        assert_eq!(summed.to_bits(), tree.response_time.to_bits());
+        for (wave, phase) in r.phases.iter().zip(&tree.phases) {
+            assert_eq!(wave.level, phase.level);
+            assert_eq!(wave.makespan.to_bits(), phase.makespan.to_bits());
+            assert_eq!(wave.schedule.assignment, phase.schedule.assignment);
+        }
     }
 
     #[test]

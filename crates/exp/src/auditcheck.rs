@@ -41,9 +41,7 @@ use crate::report::Report;
 use crate::runner::query_problem;
 use crate::tablefmt::Table;
 use crate::throughput::mixed_stream;
-use mrs_audit::prelude::{
-    audit_run, audit_schedule, audit_shard_segments, audit_tree, AuditOptions, Violation,
-};
+use mrs_audit::prelude::{audit_run, audit_shard_segments, audit_tree, AuditOptions, Violation};
 use mrs_baseline::prelude::{
     round_robin_tree_schedule, scalar_tree_schedule, synchronous_schedule,
 };
@@ -259,13 +257,20 @@ pub fn audit(cfg: &ExpConfig) -> Report {
                 ));
                 cells += 1;
             }
-            // SYNC executes waves of its own result type: audit each
-            // wave's packed schedule structurally.
+            // SYNC: audit the whole result at tree level through its
+            // TreeScheduleResult view — per-wave structure plus the
+            // makespan/response recomputation and binding co-location
+            // checks the per-wave audit_schedule pass could not see.
             let sync = synchronous_schedule(problem, &sys, &comm, &model)
                 .expect("paper workload always schedules");
-            for (idx, wave) in sync.phases.iter().enumerate() {
-                violations.extend(audit_schedule(&wave.schedule, &sys, &model, false, idx));
-            }
+            violations.extend(audit_tree(
+                problem,
+                &sync.to_tree_result(),
+                &sys,
+                &comm,
+                &model,
+                &AuditOptions::structural(),
+            ));
             cells += 1;
         }
         families.push(FamilyResult {

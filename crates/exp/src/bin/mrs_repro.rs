@@ -6,6 +6,7 @@
 //! mrs-repro serve [--seed N] [--queries N] [--sites P] [--mpl M]
 //!                 [--load X] [--policy fcfs|svf|rr-fair]
 //!                 [--mtbf T] [--deadline D] [--templates K] [--shards S]
+//!                 [--no-batch]
 //! ```
 //!
 //! Experiments: table2, fig5a, fig5b, fig6a, fig6b, ablation-dims,
@@ -21,7 +22,10 @@
 //! `--shards S` partitions the sites over `S` parallel shard executors;
 //! the output is byte-identical for every `S` (that is the sharded
 //! fabric's contract — see the `shards` experiment), so the report
-//! deliberately never echoes the shard count.
+//! deliberately never echoes the shard count. `--no-batch` disables
+//! batched epoch barriers and runs the reference two-broadcast protocol
+//! instead — same bytes, more coordination; it exists for measurement
+//! and cross-checking.
 
 use mrs_exp::config::ExpConfig;
 use mrs_exp::{all_experiments, experiment_by_id};
@@ -32,7 +36,8 @@ fn usage() -> &'static str {
     "usage: mrs-repro [--seed N] [--fast] [--jobs N] [--csv DIR] <experiment>... | all | list\n\
        or: mrs-repro schedule [--seed N] [--joins J] [--sites P] [--eps E] [--f F]\n\
        or: mrs-repro serve [--seed N] [--queries N] [--sites P] [--mpl M] [--load X] \
-     [--policy fcfs|svf|rr-fair] [--mtbf T] [--deadline D] [--templates K] [--shards S]\n\
+     [--policy fcfs|svf|rr-fair] [--mtbf T] [--deadline D] [--templates K] [--shards S] \
+     [--no-batch]\n\
      experiments: table2 fig5a fig5b fig6a fig6b ablation-dims ablation-order \
      malleable planopt pipecheck memcheck dimcheck shelfcheck optgap simcheck skew throughput \
      faults shards audit"
@@ -60,9 +65,18 @@ fn run_serve_demo(args: &[String]) -> ExitCode {
     let mut deadline = 0.0f64;
     let mut templates = 0usize;
     let mut shards = 1usize;
+    let mut batching = true;
     let mut policy = AdmissionPolicy::Fcfs;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
+        if arg == "--no-batch" {
+            // Fall back to the reference two-broadcast epoch protocol
+            // (one NextTime and one AdvanceDue round per epoch); the
+            // trajectory is bit-identical either way, so this exists to
+            // measure and to cross-check the batched fast path.
+            batching = false;
+            continue;
+        }
         if arg == "--policy" {
             policy = match it.next().map(String::as_str) {
                 Some("fcfs") => AdmissionPolicy::Fcfs,
@@ -156,6 +170,7 @@ fn run_serve_demo(args: &[String]) -> ExitCode {
         faults,
         deadline: (deadline > 0.0).then_some(deadline),
         shards,
+        epoch_batching: batching,
         recovery: RecoveryConfig {
             backoff_base: 0.1 * mean_standalone,
             backoff_cap: 2.0 * mean_standalone,

@@ -22,14 +22,22 @@
 //!   wrong schedule. The shadow-compute test (`verify` in
 //!   [`RuntimeConfig`](crate::runtime::RuntimeConfig)) enforces this by
 //!   re-planning on hits and comparing [`schedule_digest`]s.
-//! * **Epoch invalidation.** `tree_schedule` plans against the full site
-//!   set; the runtime's recovery layer reacts to crashes by re-packing
-//!   *around* dead sites at dispatch. A cached schedule computed before a
-//!   failure is still the correct *admission* schedule, but to keep the
-//!   cache semantics conservative — never serve a plan whose environment
-//!   has shifted — any site failure or restore bumps the epoch
-//!   ([`ScheduleCache::bump_epoch`]), which clears the cache wholesale.
-//!   Rate changes would bump it too, but straggler rates are fixed at
+//! * **Footprint invalidation.** `tree_schedule` plans against the full
+//!   site set; the runtime's recovery layer reacts to crashes by
+//!   re-packing *around* dead sites at dispatch. A cached schedule is
+//!   still the correct *admission* schedule after any fault, but the
+//!   cache semantics stay conservative: never serve a plan whose own
+//!   environment has shifted. Each entry records its *site footprint* —
+//!   the sorted, deduplicated set of homes its clones land on — and each
+//!   site remembers the epoch of its last availability change
+//!   ([`ScheduleCache::bump_epoch`] takes the changed site). A lookup
+//!   re-validates the entry against its footprint: if any touched site
+//!   changed after the entry was inserted, the entry is evicted
+//!   (counted in [`CacheStats::stale_evictions`]) and the lookup counts
+//!   as a miss. Faults on sites a plan never touches leave it servable —
+//!   the previous scheme cleared the whole table on every bump, which on
+//!   fault-heavy streams threw away every unrelated template. Rate
+//!   changes would bump epochs too, but straggler rates are fixed at
 //!   construction in the current runtime.
 
 use mrs_core::operator::Placement;
@@ -45,9 +53,12 @@ pub struct CacheStats {
     /// Admissions that computed a fresh plan (includes every admission
     /// when the cache is disabled) — the run's re-plan count.
     pub misses: u64,
-    /// Epoch bumps: cache-clearing environment changes (site crash or
+    /// Epoch bumps: per-site environment changes (site crash or
     /// restore).
     pub epoch_bumps: u64,
+    /// Entries evicted at lookup because a site in their footprint
+    /// changed after insertion.
+    pub stale_evictions: u64,
 }
 
 impl CacheStats {
@@ -112,27 +123,48 @@ impl PlanSignature {
     }
 }
 
-/// An epoch-guarded memo table from [`PlanSignature`] to the schedule.
+/// One memoized schedule with its coherence metadata.
+#[derive(Debug)]
+struct CacheEntry {
+    /// The memoized schedule.
+    schedule: Arc<TreeScheduleResult>,
+    /// Global epoch at insertion time.
+    insert_epoch: u64,
+    /// Sorted, deduplicated site footprint (see [`schedule_footprint`]).
+    touched: Vec<usize>,
+}
+
+/// An epoch-guarded memo table from [`PlanSignature`] to the schedule,
+/// with per-site invalidation. See the [module docs](self).
 #[derive(Debug, Default)]
 pub struct ScheduleCache {
-    /// Each entry remembers the epoch it was inserted under. Bumping
-    /// clears the table, so a hit's insert epoch always equals the
-    /// current epoch — the pair is surfaced anyway as an audit tripwire
-    /// (a future partial-invalidation scheme must keep it true).
-    entries: HashMap<PlanSignature, (Arc<TreeScheduleResult>, u64)>,
+    entries: HashMap<PlanSignature, CacheEntry>,
+    /// Global epoch: incremented on every environment change.
     epoch: u64,
+    /// Per site, the global epoch of its last availability change (`0` =
+    /// never changed).
+    site_epoch: Vec<u64>,
     stats: CacheStats,
 }
 
 impl ScheduleCache {
-    /// An empty cache at epoch 0.
-    pub fn new() -> Self {
-        ScheduleCache::default()
+    /// An empty cache at epoch 0 over `sites` sites.
+    pub fn new(sites: usize) -> Self {
+        ScheduleCache {
+            site_epoch: vec![0; sites],
+            ..ScheduleCache::default()
+        }
     }
 
-    /// The current epoch (bumped on every environment change).
+    /// The current global epoch (bumped on every environment change).
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// The epoch of `site`'s last availability change (`0` if it never
+    /// changed).
+    pub fn site_epoch(&self, site: usize) -> u64 {
+        self.site_epoch.get(site).copied().unwrap_or(0)
     }
 
     /// Hit/miss/bump counters so far.
@@ -150,26 +182,54 @@ impl ScheduleCache {
         self.entries.is_empty()
     }
 
-    /// Looks up `sig`, counting a hit or miss. A hit returns the
-    /// schedule together with the epoch it was inserted under (for the
-    /// cache-coherence audit; see the `entries` field).
-    pub fn get(&mut self, sig: &PlanSignature) -> Option<(Arc<TreeScheduleResult>, u64)> {
-        match self.entries.get(sig) {
-            Some((hit, inserted)) => {
+    /// Looks up `sig`, counting a hit or miss. An entry whose footprint
+    /// shifted (some touched site bumped after insertion) is evicted and
+    /// counted as both a miss and a stale eviction. A valid hit returns
+    /// the schedule, the epoch it was inserted under, and its footprint
+    /// (both surfaced to the cache-coherence audit).
+    pub fn get(
+        &mut self,
+        sig: &PlanSignature,
+    ) -> Option<(Arc<TreeScheduleResult>, u64, Vec<usize>)> {
+        if let Some(entry) = self.entries.get(sig) {
+            let fresh = entry
+                .touched
+                .iter()
+                .all(|&s| self.site_epoch(s) <= entry.insert_epoch);
+            if fresh {
                 self.stats.hits += 1;
-                Some((Arc::clone(hit), *inserted))
+                return Some((
+                    Arc::clone(&entry.schedule),
+                    entry.insert_epoch,
+                    entry.touched.clone(),
+                ));
             }
-            None => {
-                self.stats.misses += 1;
-                None
-            }
+            self.entries.remove(sig);
+            self.stats.stale_evictions += 1;
         }
+        self.stats.misses += 1;
+        None
     }
 
     /// Records a freshly computed schedule under `sig`, stamped with the
-    /// current epoch.
-    pub fn insert(&mut self, sig: PlanSignature, schedule: Arc<TreeScheduleResult>) {
-        self.entries.insert(sig, (schedule, self.epoch));
+    /// current epoch and its site footprint (sorted and deduplicated
+    /// here, so callers can pass raw home lists).
+    pub fn insert(
+        &mut self,
+        sig: PlanSignature,
+        schedule: Arc<TreeScheduleResult>,
+        mut touched: Vec<usize>,
+    ) {
+        touched.sort_unstable();
+        touched.dedup();
+        self.entries.insert(
+            sig,
+            CacheEntry {
+                schedule,
+                insert_epoch: self.epoch,
+                touched,
+            },
+        );
     }
 
     /// Counts a plan computed while the cache is disabled, so the re-plan
@@ -178,14 +238,31 @@ impl ScheduleCache {
         self.stats.misses += 1;
     }
 
-    /// Environment changed (site crash/restore/rate change): advance the
-    /// epoch and drop every entry, so no schedule planned under the old
-    /// environment is ever served again.
-    pub fn bump_epoch(&mut self) {
+    /// `site`'s availability changed (crash or restore): advance the
+    /// global epoch and stamp the site. Entries are *not* cleared here;
+    /// each is re-validated against its own footprint at lookup, so
+    /// plans that never touch `site` stay servable.
+    pub fn bump_epoch(&mut self, site: usize) {
         self.epoch += 1;
         self.stats.epoch_bumps += 1;
-        self.entries.clear();
+        if let Some(e) = self.site_epoch.get_mut(site) {
+            *e = self.epoch;
+        }
     }
+}
+
+/// The sorted, deduplicated set of sites a schedule's clones land on —
+/// the footprint a cache entry is validated against.
+pub fn schedule_footprint(schedule: &TreeScheduleResult) -> Vec<usize> {
+    let mut touched: Vec<usize> = schedule
+        .phases
+        .iter()
+        .flat_map(|p| p.schedule.assignment.homes.iter())
+        .flat_map(|homes| homes.iter().map(|s| s.0))
+        .collect();
+    touched.sort_unstable();
+    touched.dedup();
+    touched
 }
 
 /// A canonical bit-level digest of a schedule, used by the shadow-compute
@@ -241,6 +318,13 @@ mod tests {
         }
     }
 
+    fn sched() -> Arc<TreeScheduleResult> {
+        Arc::new(TreeScheduleResult {
+            phases: vec![],
+            response_time: 1.5,
+        })
+    }
+
     #[test]
     fn identical_problems_share_a_signature() {
         assert_eq!(
@@ -278,32 +362,55 @@ mod tests {
 
     #[test]
     fn cache_counts_hits_misses_and_bumps() {
-        let mut cache = ScheduleCache::new();
+        let mut cache = ScheduleCache::new(4);
         let sig = PlanSignature::of(&problem(2.0), 0.7);
         assert!(cache.get(&sig).is_none());
-        let sched = Arc::new(TreeScheduleResult {
-            phases: vec![],
-            response_time: 1.5,
-        });
-        cache.insert(sig.clone(), Arc::clone(&sched));
+        let sched = sched();
+        cache.insert(sig.clone(), Arc::clone(&sched), vec![2, 0, 2]);
         assert_eq!(cache.len(), 1);
-        let (hit, inserted) = cache.get(&sig).expect("second lookup hits");
+        let (hit, inserted, touched) = cache.get(&sig).expect("second lookup hits");
         assert!(Arc::ptr_eq(&hit, &sched));
         assert_eq!(inserted, cache.epoch(), "hit is epoch-coherent");
+        assert_eq!(touched, vec![0, 2], "footprint sorted and deduplicated");
         assert_eq!(
             cache.stats(),
             CacheStats {
                 hits: 1,
                 misses: 1,
-                epoch_bumps: 0
+                epoch_bumps: 0,
+                stale_evictions: 0
             }
         );
-        cache.bump_epoch();
-        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn bump_on_a_touched_site_evicts_at_lookup() {
+        let mut cache = ScheduleCache::new(4);
+        let sig = PlanSignature::of(&problem(2.0), 0.7);
+        cache.get(&sig);
+        cache.insert(sig.clone(), sched(), vec![0, 2]);
+        cache.bump_epoch(2);
         assert_eq!(cache.epoch(), 1);
-        assert!(cache.get(&sig).is_none(), "bump clears entries");
-        assert_eq!(cache.stats().epoch_bumps, 1);
-        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.site_epoch(2), 1);
+        assert!(cache.get(&sig).is_none(), "footprint site changed");
+        assert_eq!(cache.len(), 0, "stale entry evicted");
+        let stats = cache.stats();
+        assert_eq!(stats.epoch_bumps, 1);
+        assert_eq!(stats.stale_evictions, 1);
+        assert_eq!(stats.misses, 2);
+    }
+
+    #[test]
+    fn bump_on_an_untouched_site_keeps_the_entry_servable() {
+        let mut cache = ScheduleCache::new(4);
+        let sig = PlanSignature::of(&problem(2.0), 0.7);
+        cache.get(&sig);
+        cache.insert(sig.clone(), sched(), vec![0, 2]);
+        cache.bump_epoch(3);
+        let (_, inserted, _) = cache.get(&sig).expect("footprint untouched by the bump");
+        assert_eq!(inserted, 0, "entry still carries its insert epoch");
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().stale_evictions, 0);
     }
 
     #[test]
@@ -314,6 +421,7 @@ mod tests {
             hits: 3,
             misses: 1,
             epoch_bumps: 0,
+            stale_evictions: 0,
         };
         assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
     }

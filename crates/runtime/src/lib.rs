@@ -68,6 +68,6 @@ pub mod prelude {
     pub use crate::recovery::RecoveryConfig;
     pub use crate::runtime::{Runtime, RuntimeConfig, RuntimeError};
     pub use crate::trace::{
-        audit_cache_hit_fresh, audit_placements_valid, audit_repack_conserves, AuditEvent,
+        audit_cache_hit_coherent, audit_placements_valid, audit_repack_conserves, AuditEvent,
     };
 }

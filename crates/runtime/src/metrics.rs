@@ -385,17 +385,23 @@ impl RunSummary {
                     query,
                     insert_epoch,
                     hit_epoch,
+                    touched,
                 } => {
                     h.u8(3);
                     h.f64(*time);
                     h.usize(query.0);
                     h.u64(*insert_epoch);
                     h.u64(*hit_epoch);
+                    h.usize(touched.len());
+                    for &s in touched {
+                        h.usize(s);
+                    }
                 }
-                AuditEvent::EpochBump { time, epoch } => {
+                AuditEvent::EpochBump { time, epoch, site } => {
                     h.u8(4);
                     h.f64(*time);
                     h.u64(*epoch);
+                    h.usize(*site);
                 }
             }
         }
@@ -564,6 +570,7 @@ mod tests {
             hits: 6,
             misses: 2,
             epoch_bumps: 1,
+            stale_evictions: 0,
         };
         assert!((s.cache_hit_rate() - 0.75).abs() < 1e-12);
         assert_eq!(s.plans_computed(), 2);

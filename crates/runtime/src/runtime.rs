@@ -30,8 +30,12 @@
 //! [`EventCalendar`](mrs_sim::calendar::EventCalendar) (sites advance
 //! only at their own events, or on demand when the runtime next touches
 //! them — see [`Runtime::touch_site`]), and admission TreeSchedules are
-//! memoized by plan signature in a [`ScheduleCache`](crate::cache) whose
-//! epoch bumps on any site failure or restore.
+//! memoized by plan signature in a [`ScheduleCache`](crate::cache) with
+//! per-site epoch invalidation: a failure or restore stales exactly the
+//! cached plans whose footprint includes the changed site. Retries stay
+//! sorted by `(time, query)` and pending deadlines are tracked by a
+//! cursor over the time-sorted arrivals, so picking the next event costs
+//! O(1) instead of a fold per epoch.
 //!
 //! The site layer itself lives behind an `mrs-shardexec`
 //! [`Fabric`]: with [`RuntimeConfig::shards`] `== 1` (the default) it is
@@ -42,12 +46,12 @@
 //! (see the `mrs-shardexec` crate docs for the argument).
 
 use crate::admission::AdmissionQueue;
-use crate::cache::{schedule_digest, PlanSignature, ScheduleCache};
+use crate::cache::{schedule_digest, schedule_footprint, PlanSignature, ScheduleCache};
 use crate::job::{work_volume, QueryId, QueryOutcome, QueryRecord};
 use crate::metrics::{FaultRecord, FaultRecordKind, RunSummary};
 use crate::recovery::{backoff_delay, rebuild_inflated, replan_lost, RecoveryConfig};
 use crate::trace::{
-    audit_cache_hit_fresh, audit_placements_valid, audit_repack_conserves, AuditEvent,
+    audit_cache_hit_coherent, audit_placements_valid, audit_repack_conserves, AuditEvent,
 };
 use mrs_core::comm::CommModel;
 use mrs_core::error::ScheduleError;
@@ -56,6 +60,7 @@ use mrs_core::resource::{SiteId, SystemSpec};
 use mrs_core::tree::{tree_schedule, TreeProblem, TreeScheduleResult};
 use mrs_core::vector::WorkVector;
 use mrs_shardexec::fabric::Fabric;
+use mrs_shardexec::merge::{completions_sorted, sort_completions};
 use mrs_shardexec::segment::ShardSegment;
 use mrs_sim::engine::{Completion, SimClone, SimConfig, SiteSim};
 use mrs_sim::fault::{FaultKind, FaultPlan, FaultTimeline};
@@ -150,6 +155,13 @@ pub struct RuntimeConfig {
     /// `N` pinned worker threads. Bit-exact: the [`RunSummary`] is
     /// byte-identical for any value (clamped to the site count).
     pub shards: usize,
+    /// Batched epoch barriers (default `true`): the fabric caches
+    /// per-shard next-event times, skips shards with nothing due, runs
+    /// single-shard epochs inline, and fuses the next-time refresh into
+    /// the advance round. `false` restores the reference protocol (one
+    /// NextTime plus one AdvanceDue broadcast per epoch). Bit-exact:
+    /// toggling changes coordination cost, never any output.
+    pub epoch_batching: bool,
     /// Record each site's full per-step utilization time series on the
     /// summary ([`RunSummary::site_util_series`]). Bit-exact but
     /// memory-proportional to the event count; the exact utilization
@@ -171,6 +183,7 @@ impl Default for RuntimeConfig {
             schedule_cache: true,
             verify_cache: false,
             shards: 1,
+            epoch_batching: true,
             util_series: false,
         }
     }
@@ -235,6 +248,9 @@ pub struct Runtime<M: ResponseModel> {
     records: Vec<QueryRecord>,
     depth_trace: Vec<(f64, usize)>,
     faults: FaultTimeline,
+    /// Parked retries, kept sorted by `(time, query)` (insertion is an
+    /// upper-bound binary search), so the hot loop reads the next retry
+    /// time from the front instead of folding over all of them.
     retries: Vec<RetryEvent>,
     fault_trace: Vec<FaultRecord>,
     /// Plan-signature memo table for admission TreeSchedules.
@@ -245,6 +261,12 @@ pub struct Runtime<M: ResponseModel> {
     /// Cursor into the sorted `arrivals` list (avoids O(n) front
     /// removals).
     arrivals_next: usize,
+    /// Cursor into the sorted `arrivals` list pointing at the earliest
+    /// query not yet terminal. With a uniform deadline offset, the
+    /// earliest pending deadline is this query's `arrival + d`, so the
+    /// hot loop skips the per-epoch fold over every record. Terminality
+    /// is monotone, so the cursor only advances.
+    deadline_cursor: usize,
     /// Structured audit trace (see [`crate::trace`]): appended at phase
     /// dispatch, recovery re-pack, cache hit/insert, and epoch bumps;
     /// surfaced on the [`RunSummary`] for `mrs-audit`.
@@ -271,11 +293,13 @@ impl<M: ResponseModel> Runtime<M> {
             assert!(ev.site < sys.sites, "fault site {} out of range", ev.site);
         }
         let mut fabric = Fabric::new(sims, d, cfg.shards);
+        fabric.set_batching(cfg.epoch_batching);
         if cfg.util_series {
             fabric.enable_util_series();
         }
         let queue = AdmissionQueue::new(cfg.policy);
         let faults = FaultTimeline::new(&cfg.faults);
+        let schedule_cache = ScheduleCache::new(sys.sites);
         Runtime {
             sys,
             comm,
@@ -294,9 +318,10 @@ impl<M: ResponseModel> Runtime<M> {
             faults,
             retries: Vec::new(),
             fault_trace: Vec::new(),
-            schedule_cache: ScheduleCache::new(),
+            schedule_cache,
             touch_buf: Vec::new(),
             arrivals_next: 0,
+            deadline_cursor: 0,
             audit_trace: Vec::new(),
         }
     }
@@ -386,21 +411,21 @@ impl<M: ResponseModel> Runtime<M> {
             } else {
                 None
             };
-            let next_retry = self
-                .retries
-                .iter()
-                .map(|r| r.time)
-                .fold(None, |acc: Option<f64>, t| {
-                    Some(acc.map_or(t, |a| a.min(t)))
-                });
+            // Retries are kept sorted by (time, query): the earliest is
+            // at the front.
+            let next_retry = self.retries.first().map(|r| r.time);
+            // Arrivals are sorted by (time, id) and terminality is
+            // monotone, so the earliest pending deadline belongs to the
+            // first non-terminal query in arrival order.
             let next_deadline = self.cfg.deadline.and_then(|d| {
-                self.records
-                    .iter()
-                    .filter(|r| r.outcome.is_none())
-                    .map(|r| r.arrival + d)
-                    .fold(None, |acc: Option<f64>, t| {
-                        Some(acc.map_or(t, |a| a.min(t)))
-                    })
+                while self
+                    .arrivals
+                    .get(self.deadline_cursor)
+                    .is_some_and(|a| self.records[a.id.0].outcome.is_some())
+                {
+                    self.deadline_cursor += 1;
+                }
+                self.arrivals.get(self.deadline_cursor).map(|a| a.time + d)
             });
             let t = [
                 next_arrival,
@@ -426,7 +451,12 @@ impl<M: ResponseModel> Runtime<M> {
             self.clock = t;
             completions.clear();
             self.fabric.advance_due(t, &mut completions);
-            completions.sort_by(|a, b| a.time.total_cmp(&b.time).then(a.tag.cmp(&b.tag)));
+            // The fabric's merge of pre-sorted shard buffers already
+            // yields (time, tag) retirement order.
+            debug_assert!(
+                completions_sorted(&completions),
+                "fabric surfaced completions out of (time, tag) order"
+            );
 
             // 2. Retire completed clones; queries whose phase drained
             //    (and has no parked lost work) dispatch their next phase
@@ -475,14 +505,18 @@ impl<M: ResponseModel> Runtime<M> {
             }
 
             // 6. Expire deadlines: queued or running queries whose
-            //    arrival + deadline has passed are aborted.
+            //    arrival + deadline has passed are aborted, in query-id
+            //    order. Arrivals are time-sorted, so the candidates are
+            //    a prefix starting at the deadline cursor — no scan over
+            //    every record.
             if let Some(d) = self.cfg.deadline {
-                let expired: Vec<QueryId> = self
-                    .records
+                let mut expired: Vec<QueryId> = self.arrivals[self.deadline_cursor..]
                     .iter()
-                    .filter(|r| r.outcome.is_none() && r.arrival + d <= t)
-                    .map(|r| r.id)
+                    .take_while(|a| a.time + d <= t)
+                    .filter(|a| self.records[a.id.0].outcome.is_none())
+                    .map(|a| a.id)
                     .collect();
+                expired.sort_unstable();
                 for id in expired {
                     self.abort_query(id, "deadline expired");
                 }
@@ -527,7 +561,10 @@ impl<M: ResponseModel> Runtime<M> {
         let mut buf = std::mem::take(&mut self.touch_buf);
         self.fabric.catch_up(site, self.clock, &mut buf);
         if !buf.is_empty() {
-            buf.sort_by(|a, b| a.time.total_cmp(&b.time).then(a.tag.cmp(&b.tag)));
+            // Kept even with per-shard pre-sorting: a same-instant
+            // cascade inside one catch-up emits in the engine's
+            // active-array order, not tag order.
+            sort_completions(&mut buf);
             for done in buf.drain(..) {
                 self.retire(done);
             }
@@ -537,8 +574,9 @@ impl<M: ResponseModel> Runtime<M> {
 
     /// Applies one fault event to the site simulators, ledger, and any
     /// affected queries. Any environment change (crash or restore) bumps
-    /// the schedule-cache epoch: no plan computed against the old site
-    /// population is served again.
+    /// the changed site's schedule-cache epoch: no plan whose footprint
+    /// includes the site is served from before the change (plans that
+    /// never touch it stay servable — see [`crate::cache`]).
     fn apply_fault(&mut self, site: usize, kind: FaultKind) {
         match kind {
             FaultKind::Crash => {
@@ -549,10 +587,11 @@ impl<M: ResponseModel> Runtime<M> {
                 // Evicts the residents, invalidates the calendar entry,
                 // and releases the site from its ledger slice.
                 let lost = self.fabric.fail_site(site);
-                self.schedule_cache.bump_epoch();
+                self.schedule_cache.bump_epoch(site);
                 self.audit_trace.push(AuditEvent::EpochBump {
                     time: self.clock,
                     epoch: self.schedule_cache.epoch(),
+                    site,
                 });
                 self.fault_trace.push(FaultRecord {
                     time: self.clock,
@@ -599,10 +638,11 @@ impl<M: ResponseModel> Runtime<M> {
                 // restore needs no catch-up; the site's clock fast-forwards
                 // at its next touch.
                 self.fabric.restore_site(site);
-                self.schedule_cache.bump_epoch();
+                self.schedule_cache.bump_epoch(site);
                 self.audit_trace.push(AuditEvent::EpochBump {
                     time: self.clock,
                     epoch: self.schedule_cache.epoch(),
+                    site,
                 });
                 self.fault_trace.push(FaultRecord {
                     time: self.clock,
@@ -613,21 +653,14 @@ impl<M: ResponseModel> Runtime<M> {
     }
 
     /// Pops and runs every retry due at or before `t`, in `(time, query)`
-    /// order.
+    /// order — the list's standing sort order, so the due set is a
+    /// front prefix.
     fn fire_due_retries(&mut self, t: f64) {
-        if self.retries.is_empty() {
+        if self.retries.first().is_none_or(|r| r.time > t) {
             return;
         }
-        let mut due: Vec<RetryEvent> = Vec::new();
-        let mut i = 0;
-        while i < self.retries.len() {
-            if self.retries[i].time <= t {
-                due.push(self.retries.remove(i));
-            } else {
-                i += 1;
-            }
-        }
-        due.sort_by(|a, b| a.time.total_cmp(&b.time).then(a.query.cmp(&b.query)));
+        let split = self.retries.partition_point(|r| r.time <= t);
+        let due: Vec<RetryEvent> = self.retries.drain(..split).collect();
         for ev in due {
             // The query may have been aborted since parking; abort_query
             // purges its retries, so reaching here means it still runs.
@@ -715,12 +748,22 @@ impl<M: ResponseModel> Runtime<M> {
                     self.abort_query(query, "recovery retries exhausted");
                 } else {
                     let at = self.clock + backoff_delay(&self.cfg.recovery, attempt);
-                    self.retries.push(RetryEvent {
-                        time: at,
-                        query,
-                        attempt: attempt + 1,
-                        works,
+                    // Upper-bound insertion keeps the list sorted by
+                    // (time, query) with equal keys in insertion order —
+                    // the same order the old stable sort produced.
+                    let pos = self.retries.partition_point(|r| {
+                        r.time.total_cmp(&at).then(r.query.cmp(&query))
+                            != std::cmp::Ordering::Greater
                     });
+                    self.retries.insert(
+                        pos,
+                        RetryEvent {
+                            time: at,
+                            query,
+                            attempt: attempt + 1,
+                            works,
+                        },
+                    );
                     self.running
                         .get_mut(&query)
                         .expect("parked query not running")
@@ -821,13 +864,14 @@ impl<M: ResponseModel> Runtime<M> {
                 work: work.clone(),
                 duration,
             };
-            if self.fabric.add_clone(site.0, &clone).is_some() {
+            let demand: Vec<f64> = work.components().iter().map(|w| w / duration).collect();
+            // One fused cell round-trip: insert + ledger commit (the
+            // commit is skipped inside when the clone completes inline).
+            if self.fabric.place_clone(site.0, &clone, &demand).is_some() {
                 // Zero-duration clone: completed inline, nothing to
                 // track.
                 continue;
             }
-            let demand: Vec<f64> = work.components().iter().map(|w| w / duration).collect();
-            self.fabric.commit(site.0, &demand);
             self.clones.insert(
                 tag,
                 CloneInfo {
@@ -980,17 +1024,21 @@ impl<M: ResponseModel> Runtime<M> {
         }
         let sig = PlanSignature::of(problem, self.cfg.f);
         match self.schedule_cache.get(&sig) {
-            Some((hit, insert_epoch)) => {
+            Some((hit, insert_epoch, touched)) => {
                 let hit_epoch = self.schedule_cache.epoch();
                 debug_assert!(
-                    audit_cache_hit_fresh(insert_epoch, hit_epoch),
-                    "cache served {id} a plan from epoch {insert_epoch} at epoch {hit_epoch}"
+                    audit_cache_hit_coherent(insert_epoch, hit_epoch, hit_epoch, &touched, |s| {
+                        self.schedule_cache.site_epoch(s)
+                    }),
+                    "cache served {id} a plan from epoch {insert_epoch} at epoch {hit_epoch} \
+                     despite a footprint change"
                 );
                 self.audit_trace.push(AuditEvent::CacheHit {
                     time: self.clock,
                     query: id,
                     insert_epoch,
                     hit_epoch,
+                    touched,
                 });
                 if self.cfg.verify_cache {
                     let fresh =
@@ -1009,7 +1057,8 @@ impl<M: ResponseModel> Runtime<M> {
                     tree_schedule(problem, self.cfg.f, &self.sys, &self.comm, &self.model)
                         .map_err(|source| RuntimeError::Schedule { query: id, source })?,
                 );
-                self.schedule_cache.insert(sig, Arc::clone(&fresh));
+                self.schedule_cache
+                    .insert(sig, Arc::clone(&fresh), schedule_footprint(&fresh));
                 self.audit_trace.push(AuditEvent::CacheInsert {
                     time: self.clock,
                     query: id,
@@ -1282,6 +1331,76 @@ mod tests {
     }
 
     #[test]
+    fn same_instant_completion_crash_and_deadline_share_one_barrier() {
+        // Queries rooted on disjoint sites: co-resident clones under
+        // demand-proportional sharing drain together, so contention
+        // would collapse the two finish times onto one instant.
+        use mrs_core::operator::Placement;
+        let rooted = |cpu: f64, site: usize| {
+            let mut p = one_op_problem(cpu);
+            p.ops[0].placement = Placement::Rooted(vec![SiteId(site)]);
+            p
+        };
+
+        // Stage 1: run both queries cleanly and capture the short
+        // query's exact finish float.
+        let mut probe = runtime(AdmissionPolicy::Fcfs, 2);
+        let short = probe.submit_at(0.0, 0, rooted(10.0, 0));
+        let long = probe.submit_at(0.0, 0, rooted(40.0, 1));
+        let clean = probe.run_to_completion().unwrap();
+        let t = clean.queries[short.0].finish.unwrap();
+        assert!(clean.queries[long.0].finish.unwrap() > t);
+
+        // Stage 2: a scripted crash on the long query's site and the
+        // long query's deadline both land on that exact instant, so a
+        // single coalesced barrier round carries a completion, a
+        // fault, and a deadline expiry at once. The PR4 ordering must
+        // survive batching: the completion retires first, then the
+        // crash and the deadline kill the survivor — at every shard
+        // count, with batched barriers on and off.
+        let run = |shards: usize, batching: bool| {
+            let cfg = RuntimeConfig {
+                faults: FaultPlan::scripted(vec![crash(t, 1)]),
+                deadline: Some(t),
+                shards,
+                epoch_batching: batching,
+                ..RuntimeConfig::default()
+            };
+            let mut rt = runtime_with(cfg);
+            rt.submit_at(0.0, 0, rooted(10.0, 0));
+            rt.submit_at(0.0, 0, rooted(40.0, 1));
+            rt.run_to_completion().unwrap()
+        };
+        let base = run(1, true);
+        assert_eq!(
+            base.queries[short.0].finish,
+            Some(t),
+            "the same-instant crash must not disturb the completion"
+        );
+        assert_eq!(base.queries[short.0].outcome, Some(QueryOutcome::Completed));
+        match &base.queries[long.0].outcome {
+            Some(QueryOutcome::Aborted { reason }) => {
+                assert!(reason.contains("deadline"), "{reason}");
+            }
+            other => panic!("expected deadline abort, got {other:?}"),
+        }
+        assert_eq!(base.sites_failed(), 1);
+        // All three events share one barrier instant: the run ends there.
+        assert_eq!(base.horizon.to_bits(), t.to_bits());
+        let base_digest = base.digest();
+        for batching in [true, false] {
+            for shards in [1usize, 2, 4] {
+                let summary = run(shards, batching);
+                assert_eq!(
+                    summary.digest(),
+                    base_digest,
+                    "diverged at shards={shards} batching={batching}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn degraded_mode_sheds_arrivals() {
         // Three of four sites die before the query arrives; with a 0.9
         // threshold the survivor fraction 0.25 sheds the arrival.
@@ -1401,9 +1520,10 @@ mod tests {
 
     #[test]
     fn crash_bumps_the_cache_epoch_and_forces_replanning() {
-        // Same template before and after a crash: the epoch bump must
-        // discard the memoized plan, so the post-crash admission
-        // re-plans (a miss) rather than hitting.
+        // Same template before and after a crash of a site in the
+        // plan's footprint: the bump must stale the memoized plan, so
+        // the post-crash admission re-plans (a miss plus a stale
+        // eviction) rather than hitting.
         let cfg = RuntimeConfig {
             max_in_flight: 1,
             faults: FaultPlan::scripted(vec![crash(1.0, 3)]),
@@ -1416,10 +1536,40 @@ mod tests {
         assert_eq!(summary.sites_failed(), 1);
         assert_eq!(summary.cache.epoch_bumps, 1);
         // Both admissions planned fresh: the second query was queued
-        // behind MPL=1 and only admitted after the crash cleared the
-        // cache.
+        // behind MPL=1 and only admitted after the crash staled the
+        // entry (the floating plan spreads over every site, so site 3
+        // is in its footprint).
         assert_eq!(summary.cache.misses, 2);
         assert_eq!(summary.cache.hits, 0);
+        assert_eq!(summary.cache.stale_evictions, 1);
+    }
+
+    #[test]
+    fn crash_outside_the_footprint_keeps_the_cached_plan() {
+        // A plan rooted on site 0 never touches site 3: the crash still
+        // bumps the epoch, but partial invalidation keeps the entry
+        // servable and the second admission hits.
+        use mrs_core::operator::Placement;
+        let rooted = |cpu: f64| {
+            let mut p = one_op_problem(cpu);
+            p.ops[0].placement = Placement::Rooted(vec![SiteId(0)]);
+            p
+        };
+        let cfg = RuntimeConfig {
+            max_in_flight: 1,
+            faults: FaultPlan::scripted(vec![crash(1.0, 3)]),
+            verify_cache: true,
+            ..RuntimeConfig::default()
+        };
+        let mut rt = runtime_with(cfg);
+        rt.submit_at(0.0, 0, rooted(10.0));
+        rt.submit_at(0.5, 0, rooted(10.0));
+        let summary = rt.run_to_completion().unwrap();
+        assert_eq!(summary.sites_failed(), 1);
+        assert_eq!(summary.cache.epoch_bumps, 1, "the crash still bumps");
+        assert_eq!(summary.cache.misses, 1, "only the first admission plans");
+        assert_eq!(summary.cache.hits, 1, "untouched footprint stays servable");
+        assert_eq!(summary.cache.stale_evictions, 0);
     }
 
     #[test]

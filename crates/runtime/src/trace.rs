@@ -62,9 +62,13 @@ pub enum AuditEvent {
     },
     /// An admission plan was served from the schedule cache.
     ///
-    /// Coherence invariant: `insert_epoch == hit_epoch` — no plan
-    /// computed against an older site population (before a crash or
-    /// restore bumped the epoch) may be served.
+    /// Coherence invariant (see [`audit_cache_hit_coherent`]): the entry
+    /// must have been inserted no later than the hit (`insert_epoch <=
+    /// hit_epoch`), `hit_epoch` must be the epoch actually current at
+    /// hit time (replayable from the [`AuditEvent::EpochBump`] stream),
+    /// and no site in the entry's footprint may have changed after
+    /// insertion — a plan is only served while its own environment is
+    /// unshifted.
     CacheHit {
         /// Virtual hit time.
         time: f64,
@@ -74,6 +78,8 @@ pub enum AuditEvent {
         insert_epoch: u64,
         /// Epoch current at hit time.
         hit_epoch: u64,
+        /// The entry's site footprint (sorted, deduplicated homes).
+        touched: Vec<usize>,
     },
     /// The cache epoch advanced (a site crashed or recovered).
     EpochBump {
@@ -81,6 +87,8 @@ pub enum AuditEvent {
         time: f64,
         /// The new epoch.
         epoch: u64,
+        /// The site whose availability changed.
+        site: usize,
     },
 }
 
@@ -110,10 +118,24 @@ pub fn audit_repack_conserves(expected_total: f64, placed_total: f64) -> bool {
     (expected_total - placed_total).abs() <= CONSERVATION_REL_TOL * scale
 }
 
-/// True when a cache hit is epoch-coherent: the entry was inserted under
-/// the epoch current at hit time.
-pub fn audit_cache_hit_fresh(insert_epoch: u64, hit_epoch: u64) -> bool {
-    insert_epoch == hit_epoch
+/// True when a cache hit is coherent under footprint invalidation:
+///
+/// * the entry predates the hit (`insert_epoch <= hit_epoch`);
+/// * `hit_epoch` equals `current_epoch`, the epoch the auditor replayed
+///   from the `EpochBump` stream up to the hit;
+/// * no site in the entry's footprint changed after insertion —
+///   `site_last_bump(s)` is the replayed epoch of site `s`'s last
+///   availability change (0 if it never changed).
+pub fn audit_cache_hit_coherent(
+    insert_epoch: u64,
+    hit_epoch: u64,
+    current_epoch: u64,
+    touched: &[usize],
+    site_last_bump: impl Fn(usize) -> u64,
+) -> bool {
+    insert_epoch <= hit_epoch
+        && hit_epoch == current_epoch
+        && touched.iter().all(|&s| site_last_bump(s) <= insert_epoch)
 }
 
 /// True when every placement names an in-range site and a non-negative
@@ -140,9 +162,18 @@ mod tests {
     }
 
     #[test]
-    fn cache_freshness_is_epoch_equality() {
-        assert!(audit_cache_hit_fresh(3, 3));
-        assert!(!audit_cache_hit_fresh(2, 3));
+    fn cache_coherence_checks_epochs_and_footprint() {
+        let bumps = |s: usize| if s == 2 { 3u64 } else { 0 };
+        // Inserted at 1, hit at 3 (current 3), footprint untouched.
+        assert!(audit_cache_hit_coherent(1, 3, 3, &[0, 1], bumps));
+        // Footprint site 2 changed at epoch 3, after insertion at 1.
+        assert!(!audit_cache_hit_coherent(1, 3, 3, &[0, 2], bumps));
+        // Same footprint, but inserted after the site's last change.
+        assert!(audit_cache_hit_coherent(3, 3, 3, &[0, 2], bumps));
+        // Hit epoch not the replayed current epoch: tampered trace.
+        assert!(!audit_cache_hit_coherent(1, 2, 3, &[], bumps));
+        // Entry from the future: tampered trace.
+        assert!(!audit_cache_hit_coherent(4, 3, 3, &[], bumps));
     }
 
     #[test]
@@ -164,6 +195,7 @@ mod tests {
         let ev = AuditEvent::EpochBump {
             time: 2.5,
             epoch: 1,
+            site: 0,
         };
         assert_eq!(ev.time(), 2.5);
         let ev = AuditEvent::PhaseDispatched {

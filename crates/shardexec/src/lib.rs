@@ -33,14 +33,29 @@
 //!    minima in shard order, which equals the global minimum exactly
 //!    (same multiset of `f64` values, `min` is associative on them);
 //! 2. *advance your due sites to `t`* — each shard advances its due
-//!    sites in local index order, and concatenating the per-shard
-//!    completion buffers in shard order reproduces the serial loop's
-//!    global site-index order because the ranges are contiguous.
+//!    sites in local index order and sorts its completion buffer into
+//!    the runtime's canonical `(time, tag)` retirement order; the
+//!    coordinator k-way merges the pre-sorted buffers ([`merge`]),
+//!    which reproduces the serial loop's globally sorted sequence
+//!    because the key is total (tags are unique per dispatch).
 //!
 //! Every float operation therefore happens on the same operands in the
 //! same order as the single-threaded loop, and [`Fabric::new`] with one
 //! shard short-circuits to an inline [`ShardState`] that *is* the
 //! single-threaded loop.
+//!
+//! ## Amortized coordination
+//!
+//! The [`Fabric`] keeps a per-shard cache of next-event times, dirtied
+//! only when the coordinator mutates a site in that shard, so the
+//! next-time question usually costs zero broadcasts — each advance
+//! barrier refreshes the answer as it runs (the fused min-fold). An
+//! advance whose due set is a single shard bypasses the barrier
+//! entirely and runs inline through the (uncontended) cell lock, so on
+//! a quiet machine a sharded epoch costs about what a single-threaded
+//! epoch does. The barrier itself ([`pool`]) is a sense-reversing
+//! spin-then-park gate on atomics — no condvar, no mutex on the
+//! broadcast path.
 //!
 //! The per-shard [`ShardSegment`] traces are the observable evidence:
 //! `mrs-audit`'s merge checker verifies that the segments partition the
@@ -52,6 +67,7 @@
 
 pub mod fabric;
 pub mod ledger;
+pub mod merge;
 pub mod plan;
 pub mod pool;
 pub mod segment;
@@ -61,6 +77,7 @@ pub mod state;
 pub mod prelude {
     pub use crate::fabric::Fabric;
     pub use crate::ledger::SiteLedger;
+    pub use crate::merge::{merge_sorted_completions, sort_completions};
     pub use crate::plan::ShardPlan;
     pub use crate::segment::{merge_segments, ShardEvent, ShardEventKind, ShardSegment};
     pub use crate::state::ShardState;

@@ -1,7 +1,7 @@
 //! The pinned worker pool: one persistent thread per shard, driven by a
-//! generation-counted broadcast gate.
+//! sense-reversing spin-then-park barrier on atomics.
 //!
-//! The coordinator broadcasts one [`Command`] per epoch phase; every
+//! The coordinator broadcasts one [`Command`] per barrier round; every
 //! worker executes it against its own [`ShardState`] cell and the
 //! coordinator blocks until all have finished. Between broadcasts the
 //! coordinator is the only party touching the cells (per-site routing
@@ -9,49 +9,79 @@
 //! so the pool adds *no* ordering freedom: all cross-shard effects stay
 //! serial on the coordinator, which is what keeps runs byte-identical
 //! for any shard count.
+//!
+//! # The gate
+//!
+//! The previous gate was a pair of condvars behind one mutex: every
+//! broadcast paid a kernel wake on the command side and another on the
+//! done side, and on a single-core host each wake is a full scheduling
+//! quantum. The current gate is three atomics:
+//!
+//! * `generation` is the sense: the coordinator publishes the command
+//!   payload (`cmd_kind`, `cmd_time`) with relaxed stores, then bumps
+//!   the generation with a `SeqCst` store. Workers run a command exactly
+//!   once by comparing against the last generation they served.
+//! * `pending` counts workers still executing the current generation;
+//!   the last finisher wakes the coordinator.
+//! * Parking is cooperative: a waiter spins briefly (only when the host
+//!   has spare cores — on a single core spinning merely burns the
+//!   timeslice the other side needs) and then parks its thread. The
+//!   flag-flag protocol makes the park race-free under `SeqCst`: the
+//!   waiter stores its parked flag, re-checks the condition, and parks;
+//!   the waker updates the condition, then swaps the flag and unparks on
+//!   a hit. Whichever store loses the total order, the waiter either
+//!   re-checks successfully or holds an unpark token that makes the
+//!   imminent `park()` return immediately. Spurious `park` returns are
+//!   absorbed by the outer re-check loop.
 
 use crate::state::ShardState;
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{JoinHandle, Thread};
 
-/// A site-local epoch phase, broadcast to every worker.
-#[derive(Clone, Copy, Debug)]
+/// A site-local barrier command, broadcast to every worker.
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Command {
     /// Compute the shard's earliest pending completion into
     /// [`ShardState::next`](crate::state::ShardState).
     NextTime,
     /// Advance every due site to the epoch time, collecting completions
-    /// into the shard's buffer.
+    /// into the shard's buffer and refreshing the shard's next-event
+    /// time in the same round (the fused min-fold).
     AdvanceDue(f64),
 }
 
-/// Broadcast state guarded by the gate mutex.
-#[derive(Debug)]
-struct GateState {
-    /// Bumped once per broadcast; workers run a command exactly once by
-    /// comparing against the last generation they served.
-    generation: u64,
-    /// The command of the current generation.
-    cmd: Command,
-    /// Workers still executing the current generation.
-    pending: usize,
-    /// Set once on drop; workers exit their loop.
-    shutdown: bool,
-}
+/// `cmd_kind` encodings published before the generation bump.
+const CMD_NEXT_TIME: u32 = 0;
+const CMD_ADVANCE_DUE: u32 = 1;
+const CMD_SHUTDOWN: u32 = 2;
 
-/// The broadcast gate: command condvar wakes workers, done condvar wakes
-/// the coordinator.
-#[derive(Debug)]
-struct Gate {
-    state: Mutex<GateState>,
-    cmd: Condvar,
-    done: Condvar,
-}
+/// How many spin iterations a waiter burns before parking. Zero on a
+/// host without spare cores.
+const SPIN_BUDGET: u32 = 4096;
 
 /// State shared between the coordinator and the workers.
 #[derive(Debug)]
 struct Shared {
-    gate: Gate,
+    /// Bumped once per broadcast (the barrier's sense).
+    generation: AtomicU64,
+    /// Command payload for the current generation.
+    cmd_kind: AtomicU32,
+    /// `f64` bit pattern of the epoch time (for `AdvanceDue`).
+    cmd_time: AtomicU64,
+    /// Workers still executing the current generation.
+    pending: AtomicUsize,
+    /// Per-worker parked flags (1 while the worker is parked or about to
+    /// park on the command side).
+    parked: Vec<AtomicU32>,
+    /// Coordinator-side parked flag for the done side.
+    coord_parked: AtomicU32,
+    /// The coordinator's thread handle, re-published at each broadcast
+    /// (uncontended lock: workers only take it to wake a parked
+    /// coordinator, which cannot overlap the coordinator re-storing it).
+    coordinator: Mutex<Option<Thread>>,
+    /// Spin budget for both sides; 0 when the host has no spare cores.
+    spin: u32,
     /// One cell per shard; worker `i` only ever locks `cells[i]`.
     cells: Vec<Mutex<ShardState>>,
 }
@@ -61,28 +91,45 @@ struct Shared {
 #[derive(Debug)]
 pub struct ShardPool {
     shared: Arc<Shared>,
+    /// Unpark handles, one per worker (same order as `cells`).
+    threads: Vec<Thread>,
     workers: Vec<JoinHandle<()>>,
+    /// Whether a broadcast can actually overlap work: false on a
+    /// single-core host, where every round is pure context-switch cost.
+    parallel: bool,
+}
+
+/// Waits until the generation moves past `seen`, spinning at most
+/// `spin` iterations before parking. Returns the new generation.
+fn wait_for_generation(shared: &Shared, shard: usize, seen: u64) -> u64 {
+    let mut spins = 0u32;
+    loop {
+        let g = shared.generation.load(Ordering::SeqCst);
+        if g != seen {
+            return g;
+        }
+        if spins < shared.spin {
+            spins += 1;
+            std::hint::spin_loop();
+            continue;
+        }
+        // Park protocol: flag, re-check, park. See the module docs.
+        shared.parked[shard].store(1, Ordering::SeqCst);
+        if shared.generation.load(Ordering::SeqCst) == seen {
+            std::thread::park();
+        }
+        shared.parked[shard].store(0, Ordering::SeqCst);
+    }
 }
 
 fn worker(shared: &Shared, shard: usize) {
     let mut seen = 0u64;
     loop {
-        let cmd = {
-            let guard = shared
-                .gate
-                .state
-                .lock()
-                .expect("gate mutex poisoned: a worker panicked");
-            let guard = shared
-                .gate
-                .cmd
-                .wait_while(guard, |g| !g.shutdown && g.generation == seen)
-                .expect("gate mutex poisoned: a worker panicked");
-            if guard.shutdown {
-                return;
-            }
-            seen = guard.generation;
-            guard.cmd
+        seen = wait_for_generation(shared, shard, seen);
+        let cmd = match shared.cmd_kind.load(Ordering::SeqCst) {
+            CMD_SHUTDOWN => return,
+            CMD_NEXT_TIME => Command::NextTime,
+            _ => Command::AdvanceDue(f64::from_bits(shared.cmd_time.load(Ordering::SeqCst))),
         };
         {
             let mut cell = shared.cells[shard]
@@ -93,14 +140,17 @@ fn worker(shared: &Shared, shard: usize) {
                 Command::AdvanceDue(t) => cell.advance_due(t),
             }
         }
-        let mut guard = shared
-            .gate
-            .state
-            .lock()
-            .expect("gate mutex poisoned: a worker panicked");
-        guard.pending -= 1;
-        if guard.pending == 0 {
-            shared.gate.done.notify_one();
+        if shared.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last finisher: wake the coordinator if it parked.
+            if shared.coord_parked.swap(0, Ordering::SeqCst) == 1 {
+                let guard = shared
+                    .coordinator
+                    .lock()
+                    .expect("coordinator handle poisoned");
+                if let Some(t) = guard.as_ref() {
+                    t.unpark();
+                }
+            }
         }
     }
 }
@@ -109,20 +159,22 @@ impl ShardPool {
     /// Spawns one pinned worker per shard state.
     pub fn new(states: Vec<ShardState>) -> Self {
         let n = states.len();
+        // Spinning only pays when the machine can actually run the other
+        // side concurrently; on a saturated (or single-core) host it
+        // steals the exact timeslice the workers need.
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         let shared = Arc::new(Shared {
-            gate: Gate {
-                state: Mutex::new(GateState {
-                    generation: 0,
-                    cmd: Command::NextTime,
-                    pending: 0,
-                    shutdown: false,
-                }),
-                cmd: Condvar::new(),
-                done: Condvar::new(),
-            },
+            generation: AtomicU64::new(0),
+            cmd_kind: AtomicU32::new(CMD_NEXT_TIME),
+            cmd_time: AtomicU64::new(0),
+            pending: AtomicUsize::new(0),
+            parked: (0..n).map(|_| AtomicU32::new(0)).collect(),
+            coord_parked: AtomicU32::new(0),
+            coordinator: Mutex::new(None),
+            spin: if cores > n { SPIN_BUDGET } else { 0 },
             cells: states.into_iter().map(Mutex::new).collect(),
         });
-        let workers = (0..n)
+        let workers: Vec<JoinHandle<()>> = (0..n)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
@@ -131,7 +183,13 @@ impl ShardPool {
                     .expect("spawning a shard worker thread failed")
             })
             .collect();
-        ShardPool { shared, workers }
+        let threads = workers.iter().map(|h| h.thread().clone()).collect();
+        ShardPool {
+            shared,
+            threads,
+            workers,
+            parallel: cores > 1,
+        }
     }
 
     /// Number of shards (= workers).
@@ -139,27 +197,64 @@ impl ShardPool {
         self.shared.cells.len()
     }
 
-    /// Broadcasts `cmd` to every worker and blocks until all finish.
-    pub fn run(&self, cmd: Command) {
-        let guard = {
+    /// Whether broadcasting to the workers can overlap their work at
+    /// all. On a single-core host it cannot — the threads time-slice
+    /// one CPU — so callers holding work that is equally correct inline
+    /// (shard order is coordinator order either way) should run it
+    /// inline instead of paying N park/unpark pairs for nothing. Purely
+    /// an execution hint: it never changes results, only which thread
+    /// computes them.
+    pub fn parallel(&self) -> bool {
+        self.parallel
+    }
+
+    /// Publishes `cmd` and bumps the generation, waking parked workers.
+    fn broadcast(&self, cmd: Command) {
+        {
             let mut guard = self
                 .shared
-                .gate
-                .state
+                .coordinator
                 .lock()
-                .expect("gate mutex poisoned: a worker panicked");
-            guard.cmd = cmd;
-            guard.pending = self.shards();
-            guard.generation += 1;
-            self.shared.gate.cmd.notify_all();
-            guard
-        };
-        let _done = self
-            .shared
-            .gate
-            .done
-            .wait_while(guard, |g| g.pending > 0)
-            .expect("gate mutex poisoned: a worker panicked");
+                .expect("coordinator handle poisoned");
+            *guard = Some(std::thread::current());
+        }
+        match cmd {
+            Command::NextTime => self.shared.cmd_kind.store(CMD_NEXT_TIME, Ordering::Relaxed),
+            Command::AdvanceDue(t) => {
+                self.shared.cmd_time.store(t.to_bits(), Ordering::Relaxed);
+                self.shared
+                    .cmd_kind
+                    .store(CMD_ADVANCE_DUE, Ordering::Relaxed);
+            }
+        }
+        self.shared.pending.store(self.shards(), Ordering::SeqCst);
+        self.shared.generation.fetch_add(1, Ordering::SeqCst);
+        for (i, flag) in self.shared.parked.iter().enumerate() {
+            if flag.load(Ordering::SeqCst) == 1 {
+                self.threads[i].unpark();
+            }
+        }
+    }
+
+    /// Broadcasts `cmd` to every worker and blocks until all finish.
+    pub fn run(&self, cmd: Command) {
+        self.broadcast(cmd);
+        let mut spins = 0u32;
+        loop {
+            if self.shared.pending.load(Ordering::SeqCst) == 0 {
+                return;
+            }
+            if spins < self.shared.spin {
+                spins += 1;
+                std::hint::spin_loop();
+                continue;
+            }
+            self.shared.coord_parked.store(1, Ordering::SeqCst);
+            if self.shared.pending.load(Ordering::SeqCst) != 0 {
+                std::thread::park();
+            }
+            self.shared.coord_parked.store(0, Ordering::SeqCst);
+        }
     }
 
     /// Runs `f` against one shard's state. Only call between broadcasts
@@ -175,15 +270,10 @@ impl ShardPool {
 
 impl Drop for ShardPool {
     fn drop(&mut self) {
-        {
-            let mut guard = match self.shared.gate.state.lock() {
-                Ok(g) => g,
-                // A worker panicked; joining below will surface it.
-                Err(poisoned) => poisoned.into_inner(),
-            };
-            guard.shutdown = true;
-            guard.generation += 1;
-            self.shared.gate.cmd.notify_all();
+        self.shared.cmd_kind.store(CMD_SHUTDOWN, Ordering::SeqCst);
+        self.shared.generation.fetch_add(1, Ordering::SeqCst);
+        for t in &self.threads {
+            t.unpark();
         }
         for handle in self.workers.drain(..) {
             // Propagate worker panics instead of swallowing them.
@@ -245,5 +335,49 @@ mod tests {
             pool.run(Command::NextTime);
         }
         assert_eq!(pool.shards(), 3);
+    }
+
+    #[test]
+    fn advance_due_fuses_the_next_time_refresh() {
+        // One broadcast must both drain the due sites and leave each
+        // shard's `next` refreshed — no separate NextTime round needed.
+        let pool = pool(2, 2);
+        pool.with_cell(0, |st| {
+            st.add_clone(
+                0,
+                &SimClone {
+                    tag: 0,
+                    work: WorkVector::from_slice(&[1.0]),
+                    duration: 1.0,
+                },
+            );
+            st.add_clone(
+                1,
+                &SimClone {
+                    tag: 1,
+                    work: WorkVector::from_slice(&[3.0]),
+                    duration: 3.0,
+                },
+            );
+        });
+        pool.run(Command::AdvanceDue(1.5));
+        let (buf_len, next) = pool.with_cell(0, |st| (st.buf.len(), st.next));
+        assert_eq!(buf_len, 1, "only the due clone completes");
+        // Remaining work of the second clone at its own pace.
+        assert!(next.is_some(), "fused refresh must leave next populated");
+        assert_eq!(pool.with_cell(1, |st| st.next), None);
+    }
+
+    #[test]
+    fn many_rounds_with_mixed_commands_stay_consistent() {
+        let pool = pool(5, 2);
+        for round in 0..200 {
+            if round % 2 == 0 {
+                pool.run(Command::NextTime);
+            } else {
+                pool.run(Command::AdvanceDue(round as f64));
+            }
+        }
+        assert_eq!(pool.shards(), 5);
     }
 }

@@ -74,24 +74,48 @@ pub struct ShardSegment {
     pub events: Vec<ShardEvent>,
 }
 
-/// The canonical global trace: all shard events re-sorted by
-/// `(time, tag, kind rank, site)`. Tags are unique per dispatch and a
-/// tag meets each kind at most once, so the order is total — two runs
-/// whose merged traces are equal recorded the same physical events,
-/// whatever the shard count.
+/// The canonical event comparator: `(time, tag, kind rank, site)` with a
+/// total order on time. Tags are unique per dispatch and a tag meets
+/// each kind at most once, so the order is total.
+pub fn event_order(a: &ShardEvent, b: &ShardEvent) -> std::cmp::Ordering {
+    a.time
+        .total_cmp(&b.time)
+        .then(a.tag.cmp(&b.tag))
+        .then(a.kind.rank().cmp(&b.kind.rank()))
+        .then(a.site.cmp(&b.site))
+}
+
+/// The canonical global trace: all shard events re-sorted into
+/// [`event_order`] — two runs whose merged traces are equal recorded the
+/// same physical events, whatever the shard count. Each segment is
+/// sorted independently (segments only guarantee per-site monotone
+/// times), then the pre-sorted runs are k-way merged; because the key is
+/// total this equals the old concatenate-and-sort exactly, while the
+/// cross-segment work drops to a linear merge.
 pub fn merge_segments(segments: &[ShardSegment]) -> Vec<ShardEvent> {
-    let mut all: Vec<ShardEvent> = segments
-        .iter()
-        .flat_map(|s| s.events.iter().copied())
-        .collect();
-    all.sort_by(|a, b| {
-        a.time
-            .total_cmp(&b.time)
-            .then(a.tag.cmp(&b.tag))
-            .then(a.kind.rank().cmp(&b.kind.rank()))
-            .then(a.site.cmp(&b.site))
-    });
-    all
+    let mut runs: Vec<Vec<ShardEvent>> = segments.iter().map(|s| s.events.clone()).collect();
+    for run in &mut runs {
+        run.sort_by(event_order);
+    }
+    let total: usize = runs.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut heads = vec![0usize; runs.len()];
+    for _ in 0..total {
+        let mut best: Option<usize> = None;
+        for (r, run) in runs.iter().enumerate() {
+            let Some(e) = run.get(heads[r]) else { continue };
+            best = match best {
+                Some(b) if event_order(&runs[b][heads[b]], e) != std::cmp::Ordering::Greater => {
+                    Some(b)
+                }
+                _ => Some(r),
+            };
+        }
+        let Some(b) = best else { break };
+        out.push(runs[b][heads[b]]);
+        heads[b] += 1;
+    }
+    out
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@
 //! state translates to its local slice.
 
 use crate::ledger::SiteLedger;
+use crate::merge::sort_completions;
 use crate::segment::{ShardEvent, ShardEventKind, ShardSegment};
 use mrs_core::resource::SiteId;
 use mrs_sim::calendar::EventCalendar;
@@ -27,12 +28,12 @@ pub struct ShardState {
     ledger: SiteLedger,
     /// This shard's audit-trace segment.
     segment: ShardSegment,
-    /// Completions surfaced by the latest advance command, in local
-    /// site-index order (each site's completions in its own emission
-    /// order) — exactly the serial loop's pre-sort order for this range.
+    /// Completions surfaced by the latest advance command, sorted by
+    /// `(time, tag)` — the runtime's canonical retirement order, so the
+    /// coordinator k-way merges shard buffers instead of re-sorting.
     pub(crate) buf: Vec<Completion>,
-    /// Earliest pending completion computed by the latest next-time
-    /// command.
+    /// Earliest pending completion, refreshed by [`ShardState::compute_next`]
+    /// and — fused — at the end of every [`ShardState::advance_due`].
     pub(crate) next: Option<f64>,
 }
 
@@ -92,8 +93,11 @@ impl ShardState {
     }
 
     /// Site-local epoch step 2: advances every due site to `t`,
-    /// collecting completions into [`ShardState::buf`] (local site-index
-    /// order) and recording them in the segment.
+    /// collecting completions into [`ShardState::buf`] — sorted by
+    /// `(time, tag)`, the runtime's retirement order — and recording
+    /// them in the segment. Ends by refreshing [`ShardState::next`]
+    /// (the fused min-fold: the calendar was just refreshed, so the
+    /// separate NextTime round the old protocol paid is free here).
     pub fn advance_due(&mut self, t: f64) {
         self.buf.clear();
         let base = self.base;
@@ -109,13 +113,16 @@ impl ShardState {
                     });
                 }
             });
-        self.next = None;
+        sort_completions(&mut self.buf);
+        self.next = self.calendar.next_time(&mut self.sims);
     }
 
     /// Catches a lazily advanced site up to `clock`, appending any
-    /// surfaced completions to `out` (and the segment). No-op for a site
-    /// already at (or past) the clock.
-    pub fn catch_up(&mut self, site: usize, clock: f64, out: &mut Vec<Completion>) {
+    /// surfaced completions to `out` (and the segment). Returns whether
+    /// the site actually advanced (false for a site already at or past
+    /// the clock), so the caller knows to refresh any cached next-event
+    /// time.
+    pub fn catch_up(&mut self, site: usize, clock: f64, out: &mut Vec<Completion>) -> bool {
         let l = self.local(site);
         if self.sims[l].now() < clock {
             let start = out.len();
@@ -124,7 +131,9 @@ impl ShardState {
             for &Completion { time, tag, .. } in &out[start..] {
                 self.record(time, site, tag, ShardEventKind::Completed);
             }
+            return true;
         }
+        false
     }
 
     /// Inserts a clone on `site` at the site's current clock, recording
