@@ -291,6 +291,37 @@ pub fn audit_tree<M: ResponseModel>(
     out
 }
 
+/// Checks a governed TREESCHEDULE result against the overload
+/// controller's degree cap: every floating operator (binding dependents
+/// included — they inherit the capped source's homes) must run at degree
+/// `≤ cap`. Rooted operators are exempt: their pinned homes are a data-
+/// placement constraint, not a parallelism choice. Pair with
+/// [`audit_tree`] to also prove the governed plan still satisfies the
+/// paper's own `CG_f` caps (the governor only ever *lowers* degrees).
+pub fn audit_governed_degrees(
+    problem: &TreeProblem,
+    result: &TreeScheduleResult,
+    cap: usize,
+) -> Vec<Violation> {
+    let cap = cap.max(1);
+    let mut out = Vec::new();
+    for op in &problem.ops {
+        if !matches!(op.placement, Placement::Floating) {
+            continue;
+        }
+        if let Some(degree) = result.degree_of(op.id) {
+            if degree > cap {
+                out.push(Violation::GovernedDegreeExceeded {
+                    op: op.id,
+                    degree,
+                    cap,
+                });
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -374,6 +405,45 @@ mod tests {
             &AuditOptions::coarse_grain(0.7),
         );
         assert!(v.iter().any(|x| x.kind() == "response-mismatch"), "{v:?}");
+    }
+
+    #[test]
+    fn governed_plans_respect_the_cap_and_the_paper_caps() {
+        use mrs_core::tree::tree_schedule_capped;
+        let problem = join_problem();
+        let sys = SystemSpec::homogeneous(8);
+        let comm = CommModel::paper_defaults();
+        let model = OverlapModel::new(0.5).unwrap();
+        for cap in [1usize, 2, 4] {
+            let r = tree_schedule_capped(&problem, 0.7, &sys, &comm, &model, Some(cap)).unwrap();
+            let v = audit_governed_degrees(&problem, &r, cap);
+            assert!(v.is_empty(), "cap {cap}: governed plan violates it: {v:?}");
+            // The governor only lowers degrees, so the paper's own CG_f
+            // caps (and every structural invariant) must still hold.
+            let v = audit_tree(
+                &problem,
+                &r,
+                &sys,
+                &comm,
+                &model,
+                &AuditOptions::coarse_grain(0.7),
+            );
+            assert!(
+                v.is_empty(),
+                "cap {cap}: governed plan breaks paper caps: {v:?}"
+            );
+        }
+        // An ungoverned plan spreads the outer scan wide: checking it
+        // against cap 1 must fire, proving the check has teeth.
+        let wide = tree_schedule(&problem, 0.7, &sys, &comm, &model).unwrap();
+        assert!(wide.phases.iter().any(|p| p
+            .schedule
+            .assignment
+            .homes
+            .iter()
+            .any(|h| h.len() > 1)));
+        let v = audit_governed_degrees(&problem, &wide, 1);
+        assert!(v.iter().any(|x| x.kind() == "governed-degree"), "{v:?}");
     }
 }
 

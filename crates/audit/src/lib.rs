@@ -36,14 +36,16 @@ pub mod violation;
 
 /// Convenience re-exports of the whole audit surface.
 pub mod prelude {
-    pub use crate::invariant::{audit_schedule, audit_tree, AuditOptions, AUDIT_REL_TOL};
+    pub use crate::invariant::{
+        audit_governed_degrees, audit_schedule, audit_tree, AuditOptions, AUDIT_REL_TOL,
+    };
     pub use crate::lint::{lint_file, lint_workspace, workspace_sources, Allowlist, LintFinding};
-    pub use crate::run::audit_run;
+    pub use crate::run::{audit_controller, audit_run};
     pub use crate::shard::audit_shard_segments;
     pub use crate::violation::Violation;
 }
 
-pub use invariant::{audit_schedule, audit_tree, AuditOptions};
-pub use run::audit_run;
+pub use invariant::{audit_governed_degrees, audit_schedule, audit_tree, AuditOptions};
+pub use run::{audit_controller, audit_run};
 pub use shard::audit_shard_segments;
 pub use violation::Violation;

@@ -7,8 +7,11 @@
 //! in (release-mode experiment runs included).
 
 use crate::violation::Violation;
+use mrs_runtime::control::ControllerConfig;
 use mrs_runtime::metrics::RunSummary;
-use mrs_runtime::trace::{audit_cache_hit_coherent, audit_repack_conserves, AuditEvent};
+use mrs_runtime::trace::{
+    audit_cache_hit_coherent, audit_control_transition, audit_repack_conserves, AuditEvent,
+};
 use std::collections::HashMap;
 
 /// Tolerance for comparing busy-time integrals against the horizon:
@@ -120,6 +123,10 @@ pub fn audit_run(summary: &RunSummary) -> Vec<Violation> {
     let mut last_epoch: Option<u64> = None;
     let mut current_epoch: u64 = 0;
     let mut site_bump: HashMap<usize, u64> = HashMap::new();
+    // Controller replay state: every run starts at level 0 with the
+    // gate released; each recorded decision must be one valid step.
+    let mut ctl_level: u32 = 0;
+    let mut ctl_gate = false;
     for (index, ev) in summary.trace.iter().enumerate() {
         let t = ev.time();
         if t < last_time {
@@ -189,6 +196,23 @@ pub fn audit_run(summary: &RunSummary) -> Vec<Violation> {
                 current_epoch = *epoch;
                 site_bump.insert(*site, *epoch);
             }
+            AuditEvent::ControlDecision {
+                action,
+                level,
+                gate,
+                ..
+            } => {
+                if !audit_control_transition(ctl_level, ctl_gate, *action, *level, *gate) {
+                    out.push(Violation::ControlTransitionInvalid {
+                        index,
+                        action: action.label(),
+                        prev_level: ctl_level,
+                        level: *level,
+                    });
+                }
+                ctl_level = *level;
+                ctl_gate = *gate;
+            }
             AuditEvent::CacheInsert { .. } => {}
         }
     }
@@ -196,9 +220,62 @@ pub fn audit_run(summary: &RunSummary) -> Vec<Violation> {
     out
 }
 
+/// Config-aware controller-coherence audit: replays the run's
+/// [`AuditEvent::ControlDecision`] stream against the thresholds it ran
+/// under. Three invariants:
+///
+/// * decisions never appear while the controller was disabled;
+/// * each decision is a structurally valid single step from the
+///   replayed `(level, gate)` state
+///   ([`audit_control_transition`] — monotone hysteresis);
+/// * each decision's recorded pressure snapshot justifies its action
+///   under `cfg`'s thresholds ([`ControllerConfig::justifies`]).
+///
+/// The structural half also runs config-free inside [`audit_run`]; this
+/// entry point adds the threshold check for runs whose config is known
+/// (the X15 saturation sweep and the `runtime-controller` audit family).
+pub fn audit_controller(summary: &RunSummary, cfg: &ControllerConfig) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut level: u32 = 0;
+    let mut gate = false;
+    for (index, ev) in summary.trace.iter().enumerate() {
+        if let AuditEvent::ControlDecision {
+            action,
+            level: rec_level,
+            gate: rec_gate,
+            sample,
+            ..
+        } = ev
+        {
+            if !cfg.enabled {
+                out.push(Violation::ControlWhileDisabled { index });
+                continue;
+            }
+            if !audit_control_transition(level, gate, *action, *rec_level, *rec_gate) {
+                out.push(Violation::ControlTransitionInvalid {
+                    index,
+                    action: action.label(),
+                    prev_level: level,
+                    level: *rec_level,
+                });
+            }
+            if !cfg.justifies(*action, sample, level) {
+                out.push(Violation::ControlUnjustified {
+                    index,
+                    action: action.label(),
+                });
+            }
+            level = *rec_level;
+            gate = *rec_gate;
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mrs_runtime::control::{ControlAction, PressureSample};
     use mrs_runtime::job::QueryId;
 
     #[test]
@@ -269,5 +346,120 @@ mod tests {
         // A series that matches exactly is clean again.
         s.site_util_integral = vec![vec![5.0, 2.0, 0.0]];
         assert!(audit_run(&s).is_empty(), "consistent series passes");
+    }
+
+    fn decision(
+        time: f64,
+        action: ControlAction,
+        level: u32,
+        gate: bool,
+        queue: usize,
+        load: f64,
+    ) -> AuditEvent {
+        AuditEvent::ControlDecision {
+            time,
+            action,
+            level,
+            gate,
+            sample: PressureSample {
+                time,
+                queue_depth: queue,
+                retries: 0,
+                alive: 4,
+                avg_load: load,
+            },
+        }
+    }
+
+    fn summary_with_trace(trace: Vec<AuditEvent>) -> RunSummary {
+        RunSummary {
+            policy: "fcfs",
+            horizon: 10.0,
+            queries: vec![],
+            site_busy: vec![],
+            depth_trace: vec![],
+            faults: vec![],
+            cache: Default::default(),
+            trace,
+            site_peak_util: vec![],
+            site_util_integral: vec![],
+            site_util_series: vec![],
+        }
+    }
+
+    #[test]
+    fn controller_decisions_replay_cleanly() {
+        let cfg = ControllerConfig::adaptive();
+        // engage at 0.9, raise on backlog 7, lower once drained, release
+        // at 0.5 — a legal trajectory under the default thresholds.
+        let s = summary_with_trace(vec![
+            decision(1.0, ControlAction::EngageGate, 0, true, 2, 0.9),
+            decision(2.0, ControlAction::RaiseLevel, 1, true, 7, 0.8),
+            decision(3.0, ControlAction::LowerLevel, 0, true, 1, 0.5),
+            decision(3.0, ControlAction::ReleaseGate, 0, false, 1, 0.5),
+        ]);
+        assert!(audit_run(&s).is_empty(), "structural replay clean");
+        assert!(audit_controller(&s, &cfg).is_empty(), "justified replay");
+    }
+
+    #[test]
+    fn tampered_controller_traces_are_caught() {
+        let cfg = ControllerConfig::adaptive();
+
+        // Level jump: 0 -> 2 in one decision.
+        let s = summary_with_trace(vec![decision(
+            1.0,
+            ControlAction::RaiseLevel,
+            2,
+            false,
+            9,
+            0.7,
+        )]);
+        assert!(audit_run(&s)
+            .iter()
+            .any(|v| v.kind() == "control-transition"));
+        assert!(audit_controller(&s, &cfg)
+            .iter()
+            .any(|v| v.kind() == "control-transition"));
+
+        // Structurally fine but unjustified: gate engaged below
+        // load_high.
+        let s = summary_with_trace(vec![decision(
+            1.0,
+            ControlAction::EngageGate,
+            0,
+            true,
+            0,
+            0.3,
+        )]);
+        assert!(audit_run(&s).is_empty(), "structure alone cannot see it");
+        assert!(audit_controller(&s, &cfg)
+            .iter()
+            .any(|v| v.kind() == "control-unjustified"));
+
+        // Raise recorded past max_level is unjustified even as a single
+        // step.
+        let s = summary_with_trace(vec![
+            decision(1.0, ControlAction::RaiseLevel, 1, false, 9, 0.7),
+            decision(2.0, ControlAction::RaiseLevel, 2, false, 9, 0.7),
+            decision(3.0, ControlAction::RaiseLevel, 3, false, 9, 0.7),
+            decision(4.0, ControlAction::RaiseLevel, 4, false, 9, 0.7),
+        ]);
+        let v = audit_controller(&s, &cfg);
+        assert!(v.iter().any(|x| x.kind() == "control-unjustified"), "{v:?}");
+
+        // Any decision at all under a disabled config.
+        let off = ControllerConfig::default();
+        let s = summary_with_trace(vec![decision(
+            1.0,
+            ControlAction::EngageGate,
+            0,
+            true,
+            0,
+            0.9,
+        )]);
+        assert!(audit_controller(&s, &off)
+            .iter()
+            .any(|v| v.kind() == "control-disabled"));
     }
 }

@@ -262,6 +262,44 @@ pub enum Violation {
         /// Human-readable description of the lifecycle breach.
         detail: String,
     },
+    /// A controller decision is not a structurally valid single step
+    /// from the state replayed out of the preceding decisions (level
+    /// jump, gate flip on a level action, re-engaging an engaged gate).
+    ControlTransitionInvalid {
+        /// Index of the decision event in the trace.
+        index: usize,
+        /// The action's stable label.
+        action: &'static str,
+        /// Replayed governor level before the decision.
+        prev_level: u32,
+        /// Recorded governor level after the decision.
+        level: u32,
+    },
+    /// A controller decision's recorded signal snapshot does not justify
+    /// its action under the run's configured thresholds.
+    ControlUnjustified {
+        /// Index of the decision event in the trace.
+        index: usize,
+        /// The action's stable label.
+        action: &'static str,
+    },
+    /// A controller decision appears in the trace of a run whose
+    /// controller was disabled — decisions must never be recorded while
+    /// the master switch is off.
+    ControlWhileDisabled {
+        /// Index of the decision event in the trace.
+        index: usize,
+    },
+    /// A floating operator's scheduled degree exceeds the overload
+    /// governor's degree cap in force at planning time.
+    GovernedDegreeExceeded {
+        /// The offending operator.
+        op: OperatorId,
+        /// The scheduled degree.
+        degree: usize,
+        /// The governed cap it had to respect.
+        cap: usize,
+    },
 }
 
 impl Violation {
@@ -296,6 +334,10 @@ impl Violation {
             Violation::ShardRangeBroken { .. } => "shard-range",
             Violation::ShardSiteOutOfRange { .. } => "shard-site",
             Violation::ShardConservationBroken { .. } => "shard-conservation",
+            Violation::ControlTransitionInvalid { .. } => "control-transition",
+            Violation::ControlUnjustified { .. } => "control-unjustified",
+            Violation::ControlWhileDisabled { .. } => "control-disabled",
+            Violation::GovernedDegreeExceeded { .. } => "governed-degree",
         }
     }
 }
@@ -437,6 +479,28 @@ impl fmt::Display for Violation {
             ),
             Violation::ShardConservationBroken { tag, detail } => {
                 write!(fm, "clone tag {tag}: {detail}")
+            }
+            Violation::ControlTransitionInvalid {
+                index,
+                action,
+                prev_level,
+                level,
+            } => write!(
+                fm,
+                "controller decision {index} ({action}) is not one step from level \
+                 {prev_level} (recorded level {level})"
+            ),
+            Violation::ControlUnjustified { index, action } => write!(
+                fm,
+                "controller decision {index} ({action}) is not justified by its recorded \
+                 pressure snapshot"
+            ),
+            Violation::ControlWhileDisabled { index } => write!(
+                fm,
+                "controller decision {index} recorded while the controller was disabled"
+            ),
+            Violation::GovernedDegreeExceeded { op, degree, cap } => {
+                write!(fm, "{op} at degree {degree} exceeds the governed cap {cap}")
             }
         }
     }

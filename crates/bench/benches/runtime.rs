@@ -231,10 +231,81 @@ fn bench_serve_stream(b: &mut Bench) {
     g.finish();
 }
 
+fn bench_control(b: &mut Bench) {
+    use mrs_core::tree::tree_schedule;
+    use mrs_cost::prelude::*;
+    use mrs_exp::prelude::query_problem;
+    use mrs_workload::prelude::*;
+
+    let cost = CostModel::paper_defaults();
+    let comm = cost.params().comm_model();
+    let model = OverlapModel::new(0.5).unwrap();
+    let f = 0.7;
+    let templates: Vec<_> = (0..6u64)
+        .map(|s| {
+            let q = generate_query(&QueryGenConfig::paper(8 + (s as usize % 5)), 7 * s + 1);
+            query_problem(&q, &cost)
+        })
+        .collect();
+    let queries = 42usize;
+    let mpl = 4usize;
+    let sites = 64usize;
+    let sys = SystemSpec::homogeneous(sites);
+    let mean_standalone: f64 = templates
+        .iter()
+        .map(|p| {
+            tree_schedule(p, f, &sys, &comm, &model)
+                .expect("template plans always schedule")
+                .response_time
+        })
+        .sum::<f64>()
+        / templates.len() as f64;
+    // Well past the knee: the adaptive run actually makes decisions, so
+    // the on/off delta prices the controller machinery under fire, not
+    // just the disabled-path guard.
+    let rate = 4.0 * mpl as f64 / mean_standalone;
+    let arrivals = poisson_arrivals(rate, queries, 0xA11C_E5ED ^ sites as u64);
+
+    let mut g = b.group("control");
+    g.sample_size(5);
+    for (id, ctl) in [
+        ("off_p64", ControllerConfig::default()),
+        ("adaptive_p64", ControllerConfig::adaptive()),
+    ] {
+        g.bench_batched(
+            id,
+            || {
+                let cfg = RuntimeConfig {
+                    f,
+                    max_in_flight: mpl,
+                    controller: ctl.clone(),
+                    recovery: RecoveryConfig {
+                        backoff_base: 0.1 * mean_standalone,
+                        backoff_cap: 2.0 * mean_standalone,
+                        degrade_threshold: 0.25,
+                        ..RecoveryConfig::default()
+                    },
+                    ..RuntimeConfig::default()
+                };
+                let mut rt = Runtime::new(sys.clone(), comm, model, cfg);
+                for (i, t) in arrivals.iter().enumerate() {
+                    rt.submit_at(*t, i % 3, templates[i % templates.len()].clone());
+                }
+                rt
+            },
+            |mut rt| {
+                black_box(rt.run_to_completion().unwrap());
+            },
+        );
+    }
+    g.finish();
+}
+
 fn main() {
     let mut b = Bench::from_args();
     bench_ledger(&mut b);
     bench_admission(&mut b);
     bench_stream(&mut b);
     bench_serve_stream(&mut b);
+    bench_control(&mut b);
 }

@@ -103,8 +103,9 @@ pub mod prelude {
     pub use crate::schedule::{Assignment, PhaseSchedule, ScheduledOperator};
     pub use crate::tasks::{HomeBinding, TaskGraph, TaskId, TaskNode};
     pub use crate::tree::{
-        coupled_degree, malleable_tree_schedule, tree_schedule, tree_schedule_full,
-        tree_schedule_with_order, PhasePolicy, PhaseResult, TreeProblem, TreeScheduleResult,
+        coupled_degree, malleable_tree_schedule, tree_schedule, tree_schedule_capped,
+        tree_schedule_full, tree_schedule_governed, tree_schedule_with_order, PhasePolicy,
+        PhaseResult, TreeProblem, TreeScheduleResult,
     };
     pub use crate::vector::WorkVector;
 }

@@ -204,8 +204,41 @@ pub fn tree_schedule_with_order<M: ResponseModel>(
     tree_schedule_full(problem, f, sys, comm, model, order, PhasePolicy::Alap)
 }
 
-/// The most general TREESCHEDULE entry point: explicit list order *and*
-/// shelf policy (ablation X11).
+/// [`tree_schedule_full`] with the default order and policy plus an
+/// optional governed clone-degree cap.
+///
+/// `cap` bounds the degree chosen for every *floating* operator:
+/// `degree = min(coupled_degree, cap)` (clamped to at least 1). The cap
+/// only ever lowers degrees, so the paper's coarse-grain speed-down
+/// constraint stays satisfied; rooted operators keep their pinned homes
+/// untouched (data placement is a correctness constraint, not a
+/// parallelism choice). `None` reproduces [`tree_schedule`] bit for bit.
+///
+/// This is the seam the runtime's overload controller actuates: each
+/// governor level shrinks the cap, trading intra-query parallelism (and
+/// its per-clone EA1 startup overhead) for inter-query capacity.
+pub fn tree_schedule_capped<M: ResponseModel>(
+    problem: &TreeProblem,
+    f: f64,
+    sys: &SystemSpec,
+    comm: &CommModel,
+    model: &M,
+    cap: Option<usize>,
+) -> Result<TreeScheduleResult, ScheduleError> {
+    tree_schedule_governed(
+        problem,
+        f,
+        sys,
+        comm,
+        model,
+        crate::list::ListOrder::LongestFirst,
+        PhasePolicy::Alap,
+        cap,
+    )
+}
+
+/// The most general *ungoverned* TREESCHEDULE entry point: explicit list
+/// order *and* shelf policy (ablation X11).
 pub fn tree_schedule_full<M: ResponseModel>(
     problem: &TreeProblem,
     f: f64,
@@ -214,6 +247,22 @@ pub fn tree_schedule_full<M: ResponseModel>(
     model: &M,
     order: crate::list::ListOrder,
     policy: PhasePolicy,
+) -> Result<TreeScheduleResult, ScheduleError> {
+    tree_schedule_governed(problem, f, sys, comm, model, order, policy, None)
+}
+
+/// The fully general TREESCHEDULE: explicit list order, shelf policy,
+/// and governed degree cap (see [`tree_schedule_capped`]).
+#[allow(clippy::too_many_arguments)]
+pub fn tree_schedule_governed<M: ResponseModel>(
+    problem: &TreeProblem,
+    f: f64,
+    sys: &SystemSpec,
+    comm: &CommModel,
+    model: &M,
+    order: crate::list::ListOrder,
+    policy: PhasePolicy,
+    cap: Option<usize>,
 ) -> Result<TreeScheduleResult, ScheduleError> {
     problem.validate()?;
     // binding lookups: dependent -> source and source -> dependent.
@@ -274,7 +323,13 @@ pub fn tree_schedule_full<M: ResponseModel>(
                 Placement::Rooted(homes) => homes.len(),
                 Placement::Floating => {
                     let dependent = dependent_of.get(id).map(|dep| &problem.ops[dep.0]);
-                    coupled_degree(&spec, dependent, f, sys, comm, model)
+                    let chosen = coupled_degree(&spec, dependent, f, sys, comm, model);
+                    // The governed cap only ever lowers degrees (CG_f
+                    // stays satisfied); rooted placements are exempt.
+                    match cap {
+                        Some(c) => chosen.min(c.max(1)),
+                        None => chosen,
+                    }
                 }
             };
             specs.push((spec, degree));
@@ -750,5 +805,53 @@ mod tests {
         let r = tree_schedule(&problem, 0.7, &sys, &comm, &model).unwrap();
         assert!(r.homes_of(OperatorId(99)).is_none());
         assert!(r.degree_of(OperatorId(99)).is_none());
+    }
+
+    #[test]
+    fn uncapped_governed_schedule_is_bit_identical() {
+        let (sys, comm, model) = setup();
+        let problem = one_join_problem();
+        let base = tree_schedule(&problem, 0.7, &sys, &comm, &model).unwrap();
+        let governed = tree_schedule_capped(&problem, 0.7, &sys, &comm, &model, None).unwrap();
+        assert_eq!(
+            base.response_time.to_bits(),
+            governed.response_time.to_bits()
+        );
+        assert_eq!(base.phases.len(), governed.phases.len());
+        for (a, b) in base.phases.iter().zip(&governed.phases) {
+            assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+            assert_eq!(a.schedule.assignment.homes, b.schedule.assignment.homes);
+        }
+        // A cap at the full site count also changes nothing (degrees
+        // never exceed P to begin with).
+        let wide =
+            tree_schedule_capped(&problem, 0.7, &sys, &comm, &model, Some(sys.sites)).unwrap();
+        assert_eq!(base.response_time.to_bits(), wide.response_time.to_bits());
+    }
+
+    #[test]
+    fn governed_cap_bounds_floating_degrees_only() {
+        let (sys, comm, model) = setup();
+        let problem = one_join_problem();
+        let base = tree_schedule(&problem, 0.7, &sys, &comm, &model).unwrap();
+        // The outer scan parallelizes wide at f=0.7 over 8 sites; cap it
+        // to 2 and every floating operator must obey.
+        let capped = tree_schedule_capped(&problem, 0.7, &sys, &comm, &model, Some(2)).unwrap();
+        for id in 0..4 {
+            let d = capped.degree_of(OperatorId(id)).unwrap();
+            assert!(d <= 2, "op {id} got degree {d} past the cap");
+            assert!(d <= base.degree_of(OperatorId(id)).unwrap());
+        }
+        // The probe is rooted at the build's homes, so its degree equals
+        // the (capped) build degree — the binding survives governing.
+        assert_eq!(
+            capped.homes_of(OperatorId(3)),
+            capped.homes_of(OperatorId(1))
+        );
+        // A degenerate cap of 0 clamps to 1, never to an empty plan.
+        let serial = tree_schedule_capped(&problem, 0.7, &sys, &comm, &model, Some(0)).unwrap();
+        for id in 0..4 {
+            assert_eq!(serial.degree_of(OperatorId(id)), Some(1));
+        }
     }
 }

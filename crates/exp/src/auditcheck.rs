@@ -35,13 +35,22 @@
 //!   even and uneven shard splits): per-shard trace segments must tile
 //!   the site range, own every recorded event, and conserve every clone
 //!   through the canonical merge.
+//! * `runtime-controller` — the X15 overload runs (ramp and burst
+//!   arrival processes, shards 1 and 4) with the feedback controller
+//!   on: every recorded control decision must replay (one hysteresis
+//!   step, justified by its own pressure snapshot), and governed plans
+//!   must respect both the controller's cap and the paper's `CG_f`
+//!   caps.
 
 use crate::config::ExpConfig;
 use crate::report::Report;
 use crate::runner::query_problem;
 use crate::tablefmt::Table;
 use crate::throughput::mixed_stream;
-use mrs_audit::prelude::{audit_run, audit_shard_segments, audit_tree, AuditOptions, Violation};
+use mrs_audit::prelude::{
+    audit_controller, audit_governed_degrees, audit_run, audit_shard_segments, audit_tree,
+    AuditOptions, Violation,
+};
 use mrs_baseline::prelude::{
     round_robin_tree_schedule, scalar_tree_schedule, synchronous_schedule,
 };
@@ -49,12 +58,17 @@ use mrs_core::list::ListOrder;
 use mrs_core::model::OverlapModel;
 use mrs_core::resource::SystemSpec;
 use mrs_core::tree::{
-    malleable_tree_schedule, tree_schedule, tree_schedule_full, PhasePolicy, TreeProblem,
+    malleable_tree_schedule, tree_schedule, tree_schedule_capped, tree_schedule_full, PhasePolicy,
+    TreeProblem,
 };
 use mrs_cost::prelude::CostModel;
-use mrs_runtime::prelude::{AdmissionPolicy, RecoveryConfig, Runtime, RuntimeConfig};
+use mrs_runtime::prelude::{
+    AdmissionPolicy, AuditEvent, ControllerConfig, RecoveryConfig, Runtime, RuntimeConfig,
+};
 use mrs_sim::fault::FaultPlan;
-use mrs_workload::prelude::{generate_query, poisson_arrivals, QueryGenConfig};
+use mrs_workload::prelude::{
+    burst_arrivals, generate_query, poisson_arrivals, ramp_arrivals, QueryGenConfig,
+};
 
 /// One family's audit outcome.
 struct FamilyResult {
@@ -455,6 +469,91 @@ pub fn audit(cfg: &ExpConfig) -> Report {
         });
     }
 
+    // runtime-controller: the X15 overload runs. Ramp and burst arrival
+    // processes push the stream well past the knee so the controller
+    // actually moves; every decision it records must then replay against
+    // the config, and capped offline plans must satisfy both the
+    // governed cap and the paper caps.
+    {
+        let mut violations = Vec::new();
+        let mut cells = 0;
+        let ctl = ControllerConfig::adaptive();
+        let peak = 4.0 * 4.0 / mean_standalone;
+        let arrival_sets = [
+            ramp_arrivals(
+                0.25 * peak,
+                peak,
+                8.0 * mean_standalone,
+                n_queries,
+                cfg.seed ^ 0xA11C_E5ED,
+            ),
+            burst_arrivals(
+                0.1 * peak,
+                peak,
+                4.0 * mean_standalone,
+                0.25,
+                n_queries,
+                cfg.seed ^ 0xA11C_E5ED,
+            ),
+        ];
+        for arrivals in &arrival_sets {
+            for n_shards in [1usize, 4] {
+                let rt_cfg = RuntimeConfig {
+                    f,
+                    policy: AdmissionPolicy::Fcfs,
+                    max_in_flight: 4,
+                    recovery: recovery.clone(),
+                    controller: ctl.clone(),
+                    shards: n_shards,
+                    ..RuntimeConfig::default()
+                };
+                let mut rt = Runtime::new(sys.clone(), comm, model, rt_cfg);
+                for (q, t) in stream.iter().zip(arrivals) {
+                    rt.submit_at(*t, q.client, q.problem.clone());
+                }
+                let summary = rt
+                    .run_to_completion()
+                    .expect("stream plans always schedule");
+                if !summary
+                    .trace
+                    .iter()
+                    .any(|ev| matches!(ev, AuditEvent::ControlDecision { .. }))
+                {
+                    violations.push(Violation::ShapeMismatch {
+                        detail: "overload stream never engaged the controller".to_owned(),
+                    });
+                }
+                violations.extend(audit_run(&summary));
+                violations.extend(audit_controller(&summary, &ctl));
+                cells += 1;
+            }
+        }
+        // Governed offline plans: the controller's cap composes with the
+        // paper caps instead of replacing them.
+        for cap in [2usize, 4] {
+            for q in &stream {
+                let r = tree_schedule_capped(&q.problem, f, &sys, &comm, &model, Some(cap))
+                    .expect("stream plans always schedule");
+                violations.extend(audit_governed_degrees(&q.problem, &r, cap));
+                violations.extend(audit_tree(
+                    &q.problem,
+                    &r,
+                    &sys,
+                    &comm,
+                    &model,
+                    &AuditOptions::coarse_grain(f),
+                ));
+                cells += 1;
+            }
+        }
+        families.push(FamilyResult {
+            family: "runtime-controller",
+            covers: "saturation",
+            cells,
+            violations,
+        });
+    }
+
     let mut table = Table::new(vec!["family", "covers", "cells", "violations"]);
     let mut notes = Vec::new();
     let mut total = 0;
@@ -504,7 +603,7 @@ mod tests {
             jobs: 1,
             ..Default::default()
         });
-        assert_eq!(report.table.rows.len(), 10, "ten families");
+        assert_eq!(report.table.rows.len(), 11, "eleven families");
         for row in &report.table.rows {
             assert_eq!(row[3], "0", "family {} must audit clean", row[0]);
         }

@@ -6,12 +6,12 @@
 //! mrs-repro serve [--seed N] [--queries N] [--sites P] [--mpl M]
 //!                 [--load X] [--policy fcfs|svf|rr-fair]
 //!                 [--mtbf T] [--deadline D] [--templates K] [--shards S]
-//!                 [--no-batch]
+//!                 [--no-batch] [--adaptive]
 //! ```
 //!
 //! Experiments: table2, fig5a, fig5b, fig6a, fig6b, ablation-dims,
 //! ablation-order, malleable, planopt, pipecheck, memcheck, optgap,
-//! simcheck, skew, throughput, faults, shards.
+//! simcheck, skew, throughput, faults, saturation, shards.
 //!
 //! `serve --mtbf T` injects a seeded site crash/recover schedule with
 //! mean time between failures `T` virtual seconds per site (MTTR is
@@ -25,7 +25,14 @@
 //! deliberately never echoes the shard count. `--no-batch` disables
 //! batched epoch barriers and runs the reference two-broadcast protocol
 //! instead — same bytes, more coordination; it exists for measurement
-//! and cross-checking.
+//! and cross-checking. `--adaptive` turns on the feedback overload
+//! controller ([`ControllerConfig::adaptive`]): a backpressure gate
+//! defers admissions while the fabric is saturated and a parallelism
+//! governor caps clone degrees under backlog; off (the default) the
+//! controller is never consulted and the output is byte-identical to a
+//! build without it.
+//!
+//! [`ControllerConfig::adaptive`]: mrs_runtime::prelude::ControllerConfig::adaptive
 
 use mrs_exp::config::ExpConfig;
 use mrs_exp::{all_experiments, experiment_by_id};
@@ -37,10 +44,10 @@ fn usage() -> &'static str {
        or: mrs-repro schedule [--seed N] [--joins J] [--sites P] [--eps E] [--f F]\n\
        or: mrs-repro serve [--seed N] [--queries N] [--sites P] [--mpl M] [--load X] \
      [--policy fcfs|svf|rr-fair] [--mtbf T] [--deadline D] [--templates K] [--shards S] \
-     [--no-batch]\n\
+     [--no-batch] [--adaptive]\n\
      experiments: table2 fig5a fig5b fig6a fig6b ablation-dims ablation-order \
      malleable planopt pipecheck memcheck dimcheck shelfcheck optgap simcheck skew throughput \
-     faults shards audit"
+     faults saturation shards audit"
 }
 
 /// `mrs-repro serve`: run a Poisson stream of generated queries through
@@ -52,7 +59,9 @@ fn run_serve_demo(args: &[String]) -> ExitCode {
     use mrs_core::tree::tree_schedule;
     use mrs_cost::prelude::CostModel;
     use mrs_exp::prelude::query_problem;
-    use mrs_runtime::prelude::{AdmissionPolicy, RecoveryConfig, Runtime, RuntimeConfig};
+    use mrs_runtime::prelude::{
+        AdmissionPolicy, AuditEvent, ControllerConfig, RecoveryConfig, Runtime, RuntimeConfig,
+    };
     use mrs_sim::fault::FaultPlan;
     use mrs_workload::prelude::{generate_query, poisson_arrivals, QueryGenConfig};
 
@@ -66,9 +75,14 @@ fn run_serve_demo(args: &[String]) -> ExitCode {
     let mut templates = 0usize;
     let mut shards = 1usize;
     let mut batching = true;
+    let mut adaptive = false;
     let mut policy = AdmissionPolicy::Fcfs;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
+        if arg == "--adaptive" {
+            adaptive = true;
+            continue;
+        }
         if arg == "--no-batch" {
             // Fall back to the reference two-broadcast epoch protocol
             // (one NextTime and one AdvanceDue round per epoch); the
@@ -171,6 +185,11 @@ fn run_serve_demo(args: &[String]) -> ExitCode {
         deadline: (deadline > 0.0).then_some(deadline),
         shards,
         epoch_batching: batching,
+        controller: if adaptive {
+            ControllerConfig::adaptive()
+        } else {
+            ControllerConfig::default()
+        },
         recovery: RecoveryConfig {
             backoff_base: 0.1 * mean_standalone,
             backoff_cap: 2.0 * mean_standalone,
@@ -246,6 +265,24 @@ fn run_serve_demo(args: &[String]) -> ExitCode {
         100.0 * summary.cache_hit_rate(),
         summary.cache.epoch_bumps
     );
+    // Only printed under --adaptive: the default output must stay
+    // byte-identical to a controller-less build.
+    if adaptive {
+        let mut counts = [0usize; 4];
+        for ev in &summary.trace {
+            if let AuditEvent::ControlDecision { action, .. } = ev {
+                counts[action.discriminant() as usize] += 1;
+            }
+        }
+        println!(
+            "overload control: {} decisions — {} raise, {} lower, {} engage, {} release",
+            counts.iter().sum::<usize>(),
+            counts[0],
+            counts[1],
+            counts[2],
+            counts[3]
+        );
+    }
     ExitCode::SUCCESS
 }
 

@@ -30,6 +30,7 @@ pub mod planopt;
 pub mod render;
 pub mod report;
 pub mod runner;
+pub mod saturation;
 pub mod shards;
 pub mod shelfcheck;
 pub mod stats;
@@ -63,6 +64,7 @@ pub fn all_experiments() -> Vec<(&'static str, Experiment)> {
         ("skew", extensions::skew),
         ("throughput", throughput::throughput),
         ("faults", faultcheck::faults),
+        ("saturation", saturation::saturation),
         ("shards", shards::shards),
         ("audit", auditcheck::audit),
     ]
@@ -91,6 +93,7 @@ pub mod prelude {
     pub use crate::render::{phase_heatmap, tree_report};
     pub use crate::report::Report;
     pub use crate::runner::{mean_response, problem_response, query_problem, query_response, Algo};
+    pub use crate::saturation::saturation;
     pub use crate::shards::shards;
     pub use crate::shelfcheck::shelfcheck;
     pub use crate::stats::{percentile, Summary};
@@ -110,7 +113,7 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(ids.len(), dedup.len());
-        assert_eq!(ids.len(), 20);
+        assert_eq!(ids.len(), 21);
     }
 
     #[test]

@@ -81,15 +81,30 @@ impl CacheStats {
 pub struct PlanSignature(Vec<u64>);
 
 impl PlanSignature {
-    /// Canonicalizes `problem` and the granularity `f` into a signature.
+    /// Canonicalizes `problem` and the granularity `f` into a signature
+    /// with no governed degree cap ([`PlanSignature::of_capped`] with
+    /// `None`).
+    pub fn of(problem: &TreeProblem, f: f64) -> Self {
+        PlanSignature::of_capped(problem, f, None)
+    }
+
+    /// Canonicalizes `(problem, f, cap)` into a signature, where `cap` is
+    /// the overload controller's governed clone-degree cap (see
+    /// [`tree_schedule_capped`](mrs_core::tree::tree_schedule_capped)).
+    /// The cap is part of the plan's identity: a template planned
+    /// degraded and the same template planned at full parallelism get
+    /// distinct signatures and coexist in the cache.
     ///
     /// Encoding: every float contributes its exact `to_bits` pattern;
     /// every enum a discriminant word; every list its length followed by
-    /// its elements. The encoding is injective over valid problems, so
-    /// collisions are impossible rather than improbable.
-    pub fn of(problem: &TreeProblem, f: f64) -> Self {
+    /// its elements; the cap one word (`0` = uncapped, else `cap + 1` —
+    /// injective because caps are finite). The encoding is injective
+    /// over valid problems, so collisions are impossible rather than
+    /// improbable.
+    pub fn of_capped(problem: &TreeProblem, f: f64, cap: Option<usize>) -> Self {
         let mut w = Vec::with_capacity(8 + problem.ops.len() * 8);
         w.push(f.to_bits());
+        w.push(cap.map_or(0, |c| c as u64 + 1));
         w.push(problem.ops.len() as u64);
         for op in &problem.ops {
             w.push(op.id.0 as u64);
@@ -358,6 +373,26 @@ mod tests {
             source: OperatorId(0),
         });
         assert_ne!(base, PlanSignature::of(&p, 0.7));
+    }
+
+    #[test]
+    fn governed_cap_is_part_of_the_signature() {
+        let p = problem(3.0);
+        // Uncapped via either entry point: identical.
+        assert_eq!(
+            PlanSignature::of(&p, 0.7),
+            PlanSignature::of_capped(&p, 0.7, None)
+        );
+        // Distinct caps, distinct signatures — degraded and full plans
+        // coexist in the cache.
+        let uncapped = PlanSignature::of_capped(&p, 0.7, None);
+        let cap2 = PlanSignature::of_capped(&p, 0.7, Some(2));
+        let cap4 = PlanSignature::of_capped(&p, 0.7, Some(4));
+        assert_ne!(uncapped, cap2);
+        assert_ne!(cap2, cap4);
+        // cap = 0 must not collide with uncapped (the +1 offset).
+        assert_ne!(uncapped, PlanSignature::of_capped(&p, 0.7, Some(0)));
+        assert_eq!(cap2, PlanSignature::of_capped(&p, 0.7, Some(2)));
     }
 
     #[test]

@@ -22,6 +22,55 @@ pub fn work_volume(problem: &TreeProblem) -> f64 {
     problem.ops.iter().map(|op| op.processing.total()).sum()
 }
 
+/// Which admission gate refused a shed query. A shed event is no longer
+/// indistinguishable from its cause: the reason travels on the outcome,
+/// the fault trace, and the typed [`RuntimeError::Shed`] error.
+///
+/// [`RuntimeError::Shed`]: crate::runtime::RuntimeError
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The alive-site fraction fell below the degrade threshold
+    /// ([`RecoveryConfig::degrade_threshold`]) — the PR 3 graceful
+    /// degradation gate.
+    ///
+    /// [`RecoveryConfig::degrade_threshold`]: crate::recovery::RecoveryConfig
+    AliveCount,
+    /// The overload controller's last resort: mean alive-site load sat
+    /// at or above its panic threshold at arrival
+    /// ([`ControllerConfig::shed_load`]).
+    ///
+    /// [`ControllerConfig::shed_load`]: crate::control::ControllerConfig
+    MeanLoad,
+    /// The overload controller's last resort: the deferred admission
+    /// queue outgrew its hard bound
+    /// ([`ControllerConfig::shed_queue`]).
+    ///
+    /// [`ControllerConfig::shed_queue`]: crate::control::ControllerConfig
+    ControllerLastResort,
+}
+
+impl ShedReason {
+    /// Stable label used in traces, CSVs, and error messages.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ShedReason::AliveCount => "alive-count",
+            ShedReason::MeanLoad => "mean-load",
+            ShedReason::ControllerLastResort => "controller-last-resort",
+        }
+    }
+
+    /// Stable digest discriminant (see [`RunSummary::digest`]).
+    ///
+    /// [`RunSummary::digest`]: crate::metrics::RunSummary::digest
+    pub fn discriminant(&self) -> u8 {
+        match self {
+            ShedReason::AliveCount => 0,
+            ShedReason::MeanLoad => 1,
+            ShedReason::ControllerLastResort => 2,
+        }
+    }
+}
+
 /// How a query's lifecycle ended. Every submitted query terminates in
 /// exactly one of these states — the runtime's "no silent drop"
 /// invariant (checked by the chaos tests and example).
@@ -36,8 +85,11 @@ pub enum QueryOutcome {
         /// [`RuntimeError::Aborted`](crate::runtime::RuntimeError).
         reason: String,
     },
-    /// Load-shedding refused the query at arrival (degraded mode).
-    Shed,
+    /// Load-shedding refused the query at arrival.
+    Shed {
+        /// Which gate fired (see [`ShedReason`]).
+        reason: ShedReason,
+    },
 }
 
 /// Lifecycle record of one query, filled in as the event loop runs.

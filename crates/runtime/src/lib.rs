@@ -11,7 +11,8 @@
 //! | [`runtime`] | the deterministic event-driven dispatcher (single-threaded or sharded via `mrs-shardexec`) |
 //! | [`cache`] | the plan-signature schedule cache (template memoization, epoch invalidation) |
 //! | [`recovery`] | failure-aware rescheduling: re-packing lost work onto survivors |
-//! | [`metrics`] | per-query latency, per-site utilization, throughput, fault trace, cache stats |
+//! | [`control`] | adaptive overload control: the parallelism governor and backpressure admission gate |
+//! | [`metrics`] | per-query latency and quantiles, per-site utilization, throughput, fault trace, cache stats |
 //!
 //! Each admitted query is scheduled with the paper's TreeSchedule and its
 //! synchronized phases are dispatched *incrementally* onto shared fluid
@@ -51,6 +52,7 @@
 
 pub mod admission;
 pub mod cache;
+pub mod control;
 pub mod job;
 pub use mrs_shardexec::ledger;
 pub mod metrics;
@@ -62,12 +64,16 @@ pub mod trace;
 pub mod prelude {
     pub use crate::admission::{AdmissionPolicy, AdmissionQueue};
     pub use crate::cache::{schedule_digest, CacheStats, PlanSignature, ScheduleCache};
-    pub use crate::job::{work_volume, QueryId, QueryOutcome, QueryRecord};
+    pub use crate::control::{
+        ControlAction, ControlDecision, Controller, ControllerConfig, PressureSample,
+    };
+    pub use crate::job::{work_volume, QueryId, QueryOutcome, QueryRecord, ShedReason};
     pub use crate::ledger::SiteLedger;
     pub use crate::metrics::{FaultRecord, FaultRecordKind, RunSummary};
     pub use crate::recovery::RecoveryConfig;
     pub use crate::runtime::{Runtime, RuntimeConfig, RuntimeError};
     pub use crate::trace::{
-        audit_cache_hit_coherent, audit_placements_valid, audit_repack_conserves, AuditEvent,
+        audit_cache_hit_coherent, audit_control_transition, audit_placements_valid,
+        audit_repack_conserves, AuditEvent,
     };
 }

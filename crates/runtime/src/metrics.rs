@@ -5,7 +5,7 @@
 //! (site crashes, lost clones, re-packs, retries, aborts, sheds).
 
 use crate::cache::CacheStats;
-use crate::job::{QueryId, QueryOutcome, QueryRecord};
+use crate::job::{QueryId, QueryOutcome, QueryRecord, ShedReason};
 use crate::runtime::RuntimeError;
 use crate::trace::AuditEvent;
 use mrs_sim::engine::UtilSample;
@@ -64,10 +64,12 @@ pub enum FaultRecordKind {
         /// The aborted query.
         query: QueryId,
     },
-    /// `query` was shed at arrival (degraded mode).
+    /// `query` was shed at arrival.
     Shed {
         /// The shed query.
         query: QueryId,
+        /// Which admission gate fired.
+        reason: ShedReason,
     },
 }
 
@@ -171,11 +173,19 @@ impl RunSummary {
             .count()
     }
 
-    /// Number of queries shed at arrival (degraded mode).
+    /// Number of queries shed at arrival (any gate).
     pub fn shed(&self) -> usize {
         self.queries
             .iter()
-            .filter(|q| q.outcome == Some(QueryOutcome::Shed))
+            .filter(|q| matches!(q.outcome, Some(QueryOutcome::Shed { .. })))
+            .count()
+    }
+
+    /// Number of queries shed by the given gate.
+    pub fn shed_for(&self, reason: ShedReason) -> usize {
+        self.queries
+            .iter()
+            .filter(|q| q.outcome == Some(QueryOutcome::Shed { reason }))
             .count()
     }
 
@@ -190,7 +200,10 @@ impl RunSummary {
                     query: q.id,
                     reason: reason.clone(),
                 }),
-                Some(QueryOutcome::Shed) => Some(RuntimeError::Shed { query: q.id }),
+                Some(QueryOutcome::Shed { reason }) => Some(RuntimeError::Shed {
+                    query: q.id,
+                    reason: *reason,
+                }),
                 _ => None,
             })
             .collect()
@@ -260,9 +273,25 @@ impl RunSummary {
         mean(self.queries.iter().filter_map(QueryRecord::latency))
     }
 
+    /// Median arrival-to-finish latency (completed queries).
+    pub fn p50_latency(&self) -> f64 {
+        percentile(self.queries.iter().filter_map(QueryRecord::latency), 0.50)
+    }
+
     /// 95th-percentile arrival-to-finish latency (completed queries).
     pub fn p95_latency(&self) -> f64 {
         percentile(self.queries.iter().filter_map(QueryRecord::latency), 0.95)
+    }
+
+    /// 99th-percentile arrival-to-finish latency (completed queries).
+    pub fn p99_latency(&self) -> f64 {
+        percentile(self.queries.iter().filter_map(QueryRecord::latency), 0.99)
+    }
+
+    /// Arrival-to-finish latency at an arbitrary quantile `p ∈ (0, 1]`
+    /// (completed queries; ceiling-rank convention, `0.0` with none).
+    pub fn latency_percentile(&self, p: f64) -> f64 {
+        percentile(self.queries.iter().filter_map(QueryRecord::latency), p)
     }
 
     /// Mean slowdown relative to standalone schedules (completed queries
@@ -301,7 +330,10 @@ impl RunSummary {
                     h.u8(2);
                     h.str(reason);
                 }
-                Some(QueryOutcome::Shed) => h.u8(3),
+                Some(QueryOutcome::Shed { reason }) => {
+                    h.u8(3);
+                    h.u8(reason.discriminant());
+                }
             }
         }
         h.mat(&self.site_busy);
@@ -342,9 +374,10 @@ impl RunSummary {
                     h.u8(5);
                     h.usize(query.0);
                 }
-                FaultRecordKind::Shed { query } => {
+                FaultRecordKind::Shed { query, reason } => {
                     h.u8(6);
                     h.usize(query.0);
+                    h.u8(reason.discriminant());
                 }
             }
         }
@@ -402,6 +435,24 @@ impl RunSummary {
                     h.f64(*time);
                     h.u64(*epoch);
                     h.usize(*site);
+                }
+                AuditEvent::ControlDecision {
+                    time,
+                    action,
+                    level,
+                    gate,
+                    sample,
+                } => {
+                    h.u8(5);
+                    h.f64(*time);
+                    h.u8(action.discriminant());
+                    h.u64(u64::from(*level));
+                    h.u8(u8::from(*gate));
+                    h.f64(sample.time);
+                    h.usize(sample.queue_depth);
+                    h.usize(sample.retries);
+                    h.usize(sample.alive);
+                    h.f64(sample.avg_load);
                 }
             }
         }
@@ -583,7 +634,9 @@ mod tests {
             reason: "deadline".to_owned(),
         });
         let mut shed = QueryRecord::new(QueryId(2), 0, 1.0, 0.0);
-        shed.outcome = Some(QueryOutcome::Shed);
+        shed.outcome = Some(QueryOutcome::Shed {
+            reason: ShedReason::AliveCount,
+        });
         let s = RunSummary::new(
             "fcfs",
             5.0,
@@ -618,6 +671,8 @@ mod tests {
         assert_eq!(s.completed(), 1);
         assert_eq!(s.aborted(), 1);
         assert_eq!(s.shed(), 1);
+        assert_eq!(s.shed_for(ShedReason::AliveCount), 1);
+        assert_eq!(s.shed_for(ShedReason::MeanLoad), 0);
         assert_eq!(s.sites_failed(), 1);
         assert_eq!(s.clones_lost(), 1);
         assert_eq!(s.repacks(), 1);
@@ -627,7 +682,8 @@ mod tests {
             matches!(&failures[0], RuntimeError::Aborted { query, reason }
                 if *query == QueryId(1) && reason == "deadline")
         );
-        assert!(matches!(&failures[1], RuntimeError::Shed { query } if *query == QueryId(2)));
+        assert!(matches!(&failures[1], RuntimeError::Shed { query, reason }
+            if *query == QueryId(2) && *reason == ShedReason::AliveCount));
     }
 
     #[test]
@@ -651,8 +707,16 @@ mod tests {
         }]];
         assert_ne!(a.digest(), series.digest());
         let mut outcome = summary();
-        outcome.queries[0].outcome = Some(QueryOutcome::Shed);
+        outcome.queries[0].outcome = Some(QueryOutcome::Shed {
+            reason: ShedReason::AliveCount,
+        });
         assert_ne!(a.digest(), outcome.digest());
+        // The shed *reason* is part of the digest too.
+        let mut other_reason = summary();
+        other_reason.queries[0].outcome = Some(QueryOutcome::Shed {
+            reason: ShedReason::MeanLoad,
+        });
+        assert_ne!(outcome.digest(), other_reason.digest());
     }
 
     #[test]
@@ -671,5 +735,44 @@ mod tests {
         assert_eq!(percentile(v.iter().copied(), 0.5), 2.0);
         assert_eq!(percentile(v.iter().copied(), 0.95), 4.0);
         assert_eq!(percentile(v.iter().copied(), 0.25), 1.0);
+    }
+
+    #[test]
+    fn latency_quantiles_match_a_hand_checked_stream() {
+        // Twenty completions with latencies 1..=20 (arrival 0, finish k),
+        // submitted out of order to prove the quantile sorts. Ceiling
+        // rank: p50 -> rank 10 (value 10), p95 -> rank 19 (value 19),
+        // p99 -> rank ceil(19.8) = 20 (value 20).
+        let latencies = [
+            13.0, 2.0, 20.0, 7.0, 11.0, 4.0, 18.0, 1.0, 9.0, 15.0, 6.0, 19.0, 3.0, 12.0, 8.0, 16.0,
+            5.0, 14.0, 10.0, 17.0,
+        ];
+        let queries: Vec<QueryRecord> = latencies
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                let mut r = QueryRecord::new(QueryId(i), 0, 1.0, 0.0);
+                r.start = Some(0.0);
+                r.finish = Some(*l);
+                r.standalone_response = *l;
+                r.outcome = Some(QueryOutcome::Completed);
+                r
+            })
+            .collect();
+        let depth_trace = vec![(0.0, 3), (1.0, 7), (2.0, 5), (3.0, 0)];
+        let s = RunSummary::new("fcfs", 20.0, queries, vec![], depth_trace, vec![]);
+        assert_eq!(s.p50_latency(), 10.0);
+        assert_eq!(s.p95_latency(), 19.0);
+        assert_eq!(s.p99_latency(), 20.0);
+        assert_eq!(s.latency_percentile(0.05), 1.0);
+        assert_eq!(s.latency_percentile(1.0), 20.0);
+        assert_eq!(s.max_queue_depth(), 7);
+        // An incomplete query contributes no latency: quantiles are over
+        // completions only.
+        let mut with_queued = s.clone();
+        with_queued
+            .queries
+            .push(QueryRecord::new(QueryId(20), 0, 1.0, 0.0));
+        assert_eq!(with_queued.p99_latency(), 20.0);
     }
 }

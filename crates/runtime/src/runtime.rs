@@ -47,7 +47,8 @@
 
 use crate::admission::AdmissionQueue;
 use crate::cache::{schedule_digest, schedule_footprint, PlanSignature, ScheduleCache};
-use crate::job::{work_volume, QueryId, QueryOutcome, QueryRecord};
+use crate::control::{Controller, ControllerConfig, PressureSample};
+use crate::job::{work_volume, QueryId, QueryOutcome, QueryRecord, ShedReason};
 use crate::metrics::{FaultRecord, FaultRecordKind, RunSummary};
 use crate::recovery::{backoff_delay, rebuild_inflated, replan_lost, RecoveryConfig};
 use crate::trace::{
@@ -57,7 +58,7 @@ use mrs_core::comm::CommModel;
 use mrs_core::error::ScheduleError;
 use mrs_core::model::ResponseModel;
 use mrs_core::resource::{SiteId, SystemSpec};
-use mrs_core::tree::{tree_schedule, TreeProblem, TreeScheduleResult};
+use mrs_core::tree::{tree_schedule_capped, TreeProblem, TreeScheduleResult};
 use mrs_core::vector::WorkVector;
 use mrs_shardexec::fabric::Fabric;
 use mrs_shardexec::merge::{completions_sorted, sort_completions};
@@ -90,11 +91,13 @@ pub enum RuntimeError {
         /// Human-readable cause.
         reason: String,
     },
-    /// Load-shedding refused a query at arrival because too few sites
-    /// were alive (graceful degradation).
+    /// Load-shedding refused a query at arrival — too few alive sites
+    /// (graceful degradation) or an overload-controller last resort.
     Shed {
         /// The shed query.
         query: QueryId,
+        /// Which admission gate refused it.
+        reason: ShedReason,
     },
 }
 
@@ -107,8 +110,8 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Aborted { query, reason } => {
                 write!(f, "{query} aborted: {reason}")
             }
-            RuntimeError::Shed { query } => {
-                write!(f, "{query} shed at arrival: degraded mode")
+            RuntimeError::Shed { query, reason } => {
+                write!(f, "{query} shed at arrival: {}", reason.label())
             }
         }
     }
@@ -167,6 +170,10 @@ pub struct RuntimeConfig {
     /// memory-proportional to the event count; the exact utilization
     /// *integral* is always recorded regardless. Default `false`.
     pub util_series: bool,
+    /// Adaptive overload controller (see [`crate::control`]). Disabled
+    /// by default: the controller is then never consulted and the run is
+    /// byte-identical to the pre-controller runtime.
+    pub controller: ControllerConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -185,6 +192,7 @@ impl Default for RuntimeConfig {
             shards: 1,
             epoch_batching: true,
             util_series: false,
+            controller: ControllerConfig::default(),
         }
     }
 }
@@ -268,9 +276,13 @@ pub struct Runtime<M: ResponseModel> {
     /// is monotone, so the cursor only advances.
     deadline_cursor: usize,
     /// Structured audit trace (see [`crate::trace`]): appended at phase
-    /// dispatch, recovery re-pack, cache hit/insert, and epoch bumps;
-    /// surfaced on the [`RunSummary`] for `mrs-audit`.
+    /// dispatch, recovery re-pack, cache hit/insert, epoch bumps, and
+    /// controller decisions; surfaced on the [`RunSummary`] for
+    /// `mrs-audit`.
     audit_trace: Vec<AuditEvent>,
+    /// The adaptive overload controller (see [`crate::control`]). Never
+    /// consulted while disabled.
+    controller: Controller,
 }
 
 impl<M: ResponseModel> Runtime<M> {
@@ -300,6 +312,7 @@ impl<M: ResponseModel> Runtime<M> {
         let queue = AdmissionQueue::new(cfg.policy);
         let faults = FaultTimeline::new(&cfg.faults);
         let schedule_cache = ScheduleCache::new(sys.sites);
+        let controller = Controller::new(cfg.controller.clone());
         Runtime {
             sys,
             comm,
@@ -323,6 +336,30 @@ impl<M: ResponseModel> Runtime<M> {
             arrivals_next: 0,
             deadline_cursor: 0,
             audit_trace: Vec::new(),
+            controller,
+        }
+    }
+
+    /// The overload controller's current governor level (0 = paper-
+    /// optimal parallelism).
+    pub fn governor_level(&self) -> u32 {
+        self.controller.level()
+    }
+
+    /// Whether the backpressure gate is currently deferring admissions.
+    pub fn gate_engaged(&self) -> bool {
+        self.controller.gate_engaged()
+    }
+
+    /// The pressure signals as the controller would observe them right
+    /// now (see [`PressureSample`]).
+    pub fn pressure_sample(&mut self) -> PressureSample {
+        PressureSample {
+            time: self.clock,
+            queue_depth: self.queue.len(),
+            retries: self.retries.len(),
+            alive: self.fabric.alive_sites(),
+            avg_load: self.fabric.avg_load(),
         }
     }
 
@@ -491,11 +528,21 @@ impl<M: ResponseModel> Runtime<M> {
                     )
                 };
                 let alive_frac = self.fabric.alive_sites() as f64 / self.sys.sites as f64;
-                if alive_frac < self.cfg.recovery.degrade_threshold {
-                    self.records[id.0].outcome = Some(QueryOutcome::Shed);
+                let shed_reason = if alive_frac < self.cfg.recovery.degrade_threshold {
+                    Some(ShedReason::AliveCount)
+                } else if self.controller.enabled() {
+                    // Controller last resort: hard bounds only; plain
+                    // overload defers through the gate instead.
+                    let sample = self.pressure_sample();
+                    self.controller.last_resort_shed(&sample)
+                } else {
+                    None
+                };
+                if let Some(reason) = shed_reason {
+                    self.records[id.0].outcome = Some(QueryOutcome::Shed { reason });
                     self.fault_trace.push(FaultRecord {
                         time: t,
-                        kind: FaultRecordKind::Shed { query: id },
+                        kind: FaultRecordKind::Shed { query: id, reason },
                     });
                     continue;
                 }
@@ -519,6 +566,23 @@ impl<M: ResponseModel> Runtime<M> {
                 expired.sort_unstable();
                 for id in expired {
                     self.abort_query(id, "deadline expired");
+                }
+            }
+
+            // 6½. Feed the controller one pressure observation, after
+            //     every state change at t and before admission, so the
+            //     gate and governor act on this epoch's admissions. The
+            //     disabled controller is never consulted at all.
+            if self.controller.enabled() {
+                let sample = self.pressure_sample();
+                for d in self.controller.observe(sample) {
+                    self.audit_trace.push(AuditEvent::ControlDecision {
+                        time: t,
+                        action: d.action,
+                        level: d.level,
+                        gate: d.gate,
+                        sample: d.sample,
+                    });
                 }
             }
 
@@ -973,7 +1037,8 @@ impl<M: ResponseModel> Runtime<M> {
     }
 
     /// Admits queued queries while the MPL cap (and, for a busy system,
-    /// the optional ledger load gate) allows.
+    /// the optional ledger load gate and the controller's backpressure
+    /// gate) allows.
     fn try_admit(&mut self) -> Result<(), RuntimeError> {
         while self.running.len() < self.cfg.max_in_flight && !self.queue.is_empty() {
             if !self.running.is_empty() {
@@ -981,6 +1046,13 @@ impl<M: ResponseModel> Runtime<M> {
                     if self.fabric.avg_load() >= thr {
                         break;
                     }
+                }
+                // Backpressure: an engaged gate defers every queued
+                // arrival until the load falls back through the low
+                // watermark. Like the load gate it never applies to an
+                // idle system, so it cannot deadlock.
+                if self.controller.enabled() && self.controller.gate_engaged() {
+                    break;
                 }
             }
             let id = self.queue.pop().expect("queue checked non-empty");
@@ -1011,18 +1083,25 @@ impl<M: ResponseModel> Runtime<M> {
     /// plan-signature cache when enabled, computing (and memoizing) a
     /// fresh plan otherwise. With `verify_cache` set, every hit is
     /// shadow-computed and compared bit-for-bit.
+    ///
+    /// The controller's governed degree cap is part of the plan's
+    /// identity: signatures key on the cap, so a template planned at
+    /// level 2 and the same template at level 0 coexist in the cache and
+    /// each admission is served the plan matching the *current* level.
     fn plan(
         &mut self,
         id: QueryId,
         problem: &TreeProblem,
     ) -> Result<Arc<TreeScheduleResult>, RuntimeError> {
+        let cap = self.controller.degree_cap(self.sys.sites);
         if !self.cfg.schedule_cache {
             self.schedule_cache.count_uncached_plan();
-            let fresh = tree_schedule(problem, self.cfg.f, &self.sys, &self.comm, &self.model)
-                .map_err(|source| RuntimeError::Schedule { query: id, source })?;
+            let fresh =
+                tree_schedule_capped(problem, self.cfg.f, &self.sys, &self.comm, &self.model, cap)
+                    .map_err(|source| RuntimeError::Schedule { query: id, source })?;
             return Ok(Arc::new(fresh));
         }
-        let sig = PlanSignature::of(problem, self.cfg.f);
+        let sig = PlanSignature::of_capped(problem, self.cfg.f, cap);
         match self.schedule_cache.get(&sig) {
             Some((hit, insert_epoch, touched)) => {
                 let hit_epoch = self.schedule_cache.epoch();
@@ -1041,9 +1120,15 @@ impl<M: ResponseModel> Runtime<M> {
                     touched,
                 });
                 if self.cfg.verify_cache {
-                    let fresh =
-                        tree_schedule(problem, self.cfg.f, &self.sys, &self.comm, &self.model)
-                            .map_err(|source| RuntimeError::Schedule { query: id, source })?;
+                    let fresh = tree_schedule_capped(
+                        problem,
+                        self.cfg.f,
+                        &self.sys,
+                        &self.comm,
+                        &self.model,
+                        cap,
+                    )
+                    .map_err(|source| RuntimeError::Schedule { query: id, source })?;
                     assert_eq!(
                         schedule_digest(&hit),
                         schedule_digest(&fresh),
@@ -1054,8 +1139,15 @@ impl<M: ResponseModel> Runtime<M> {
             }
             None => {
                 let fresh = Arc::new(
-                    tree_schedule(problem, self.cfg.f, &self.sys, &self.comm, &self.model)
-                        .map_err(|source| RuntimeError::Schedule { query: id, source })?,
+                    tree_schedule_capped(
+                        problem,
+                        self.cfg.f,
+                        &self.sys,
+                        &self.comm,
+                        &self.model,
+                        cap,
+                    )
+                    .map_err(|source| RuntimeError::Schedule { query: id, source })?,
                 );
                 self.schedule_cache
                     .insert(sig, Arc::clone(&fresh), schedule_footprint(&fresh));
@@ -1212,8 +1304,11 @@ mod tests {
             reason: "deadline expired".to_owned(),
         };
         assert_eq!(format!("{abort}"), "q3 aborted: deadline expired");
-        let shed = RuntimeError::Shed { query: QueryId(7) };
-        assert_eq!(format!("{shed}"), "q7 shed at arrival: degraded mode");
+        let shed = RuntimeError::Shed {
+            query: QueryId(7),
+            reason: ShedReason::AliveCount,
+        };
+        assert_eq!(format!("{shed}"), "q7 shed at arrival: alive-count");
         // Clone + PartialEq let tests compare whole failure lists.
         assert_eq!(abort.clone(), abort);
         assert_ne!(abort, shed);
@@ -1415,10 +1510,333 @@ mod tests {
         let mut rt = runtime_with(cfg);
         let id = rt.submit_at(1.0, 0, one_op_problem(10.0));
         let summary = rt.run_to_completion().unwrap();
-        assert_eq!(summary.queries[id.0].outcome, Some(QueryOutcome::Shed));
+        assert_eq!(
+            summary.queries[id.0].outcome,
+            Some(QueryOutcome::Shed {
+                reason: ShedReason::AliveCount
+            })
+        );
         assert_eq!(summary.completed(), 0);
         assert_eq!(summary.shed(), 1);
-        assert!(matches!(&summary.failures()[0], RuntimeError::Shed { query } if *query == id));
+        assert_eq!(summary.shed_for(ShedReason::AliveCount), 1);
+        assert!(matches!(
+            &summary.failures()[0],
+            RuntimeError::Shed { query, reason: ShedReason::AliveCount } if *query == id
+        ));
+    }
+
+    /// Runs `cfg` with 1 and 4 shards and asserts byte-identical
+    /// summaries; returns the 1-shard summary.
+    fn shard_invariant(
+        cfg: RuntimeConfig,
+        submit: impl Fn(&mut Runtime<OverlapModel>),
+    ) -> RunSummary {
+        let mut base = None;
+        for shards in [1usize, 4] {
+            let mut rt = runtime_with(RuntimeConfig {
+                shards,
+                ..cfg.clone()
+            });
+            submit(&mut rt);
+            let s = rt.run_to_completion().unwrap();
+            match &base {
+                None => base = Some(s),
+                Some(b) => {
+                    assert_eq!(b.digest(), s.digest(), "diverged at shards={shards}");
+                    assert_eq!(
+                        b.faults, s.faults,
+                        "fault trace diverged at shards={shards}"
+                    );
+                }
+            }
+        }
+        base.unwrap()
+    }
+
+    #[test]
+    fn retry_at_the_exact_deadline_instant_loses_to_the_deadline() {
+        // Crash everything at t=1; backoff_base 2.0 parks the lost work
+        // with a retry at exactly t=3.0, which is also the query's
+        // deadline instant (arrival 0 + deadline 3). The event order at
+        // the shared barrier is fixed: the retry fires first (step 4,
+        // re-packing onto the recovered sites), the deadline expires
+        // after (step 6) — so the trace shows a re-pack and then the
+        // abort at the same instant, identically at every shard count.
+        let cfg = RuntimeConfig {
+            faults: FaultPlan::scripted(vec![
+                crash(1.0, 0),
+                crash(1.0, 1),
+                crash(1.0, 2),
+                crash(1.0, 3),
+                recover(2.5, 0),
+                recover(2.5, 1),
+                recover(2.5, 2),
+                recover(2.5, 3),
+            ]),
+            deadline: Some(3.0),
+            recovery: RecoveryConfig {
+                backoff_base: 2.0,
+                ..RecoveryConfig::default()
+            },
+            ..RuntimeConfig::default()
+        };
+        let summary = shard_invariant(cfg, |rt| {
+            rt.submit_at(0.0, 0, one_op_problem(40.0));
+        });
+        match &summary.queries[0].outcome {
+            Some(QueryOutcome::Aborted { reason }) => {
+                assert!(reason.contains("deadline"), "{reason}");
+            }
+            other => panic!("expected deadline abort, got {other:?}"),
+        }
+        // The retry's re-pack and the abort share t=3.0, in that order.
+        let at_deadline: Vec<&FaultRecordKind> = summary
+            .faults
+            .iter()
+            .filter(|r| r.time == 3.0)
+            .map(|r| &r.kind)
+            .collect();
+        assert!(
+            matches!(at_deadline.first(), Some(FaultRecordKind::Repacked { .. })),
+            "{at_deadline:?}"
+        );
+        assert!(
+            matches!(at_deadline.last(), Some(FaultRecordKind::Aborted { .. })),
+            "{at_deadline:?}"
+        );
+        assert!((summary.horizon - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retry_into_a_momentarily_empty_alive_set_reparks_and_recovers() {
+        // The first retry (t=1.5) fires while every site is still down:
+        // nothing is packable, so the work re-parks with a doubled
+        // backoff (next at t=2.5) instead of aborting. The fleet comes
+        // back at t=2.0 and the second retry lands the re-pack.
+        let cfg = RuntimeConfig {
+            faults: FaultPlan::scripted(vec![
+                crash(1.0, 0),
+                crash(1.0, 1),
+                crash(1.0, 2),
+                crash(1.0, 3),
+                recover(2.0, 0),
+                recover(2.0, 1),
+                recover(2.0, 2),
+                recover(2.0, 3),
+            ]),
+            recovery: RecoveryConfig {
+                backoff_base: 0.5,
+                ..RecoveryConfig::default()
+            },
+            ..RuntimeConfig::default()
+        };
+        let summary = shard_invariant(cfg, |rt| {
+            rt.submit_at(0.0, 0, one_op_problem(40.0));
+        });
+        assert_eq!(summary.queries[0].outcome, Some(QueryOutcome::Completed));
+        let retries: Vec<f64> = summary
+            .faults
+            .iter()
+            .filter_map(|r| match r.kind {
+                FaultRecordKind::RetryScheduled { at, .. } => Some(at),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(retries, vec![1.5, 2.5], "re-park doubles the backoff");
+        assert!(summary.repacks() > 0);
+        assert!(summary.queries[0].finish.unwrap() > 2.5);
+    }
+
+    #[test]
+    fn backoff_exhaustion_one_event_before_the_restore_still_aborts() {
+        // max_retries 1: the lost work parks once (retry at t=1.5), and
+        // that retry fires into a dead fleet with the cap exhausted —
+        // abort at 1.5. The restore at t=1.6 is one event too late, and
+        // must not resurrect the aborted query (its retries are purged).
+        let cfg = RuntimeConfig {
+            faults: FaultPlan::scripted(vec![
+                crash(1.0, 0),
+                crash(1.0, 1),
+                crash(1.0, 2),
+                crash(1.0, 3),
+                recover(1.6, 0),
+                recover(1.6, 1),
+                recover(1.6, 2),
+                recover(1.6, 3),
+            ]),
+            recovery: RecoveryConfig {
+                max_retries: 1,
+                backoff_base: 0.5,
+                ..RecoveryConfig::default()
+            },
+            ..RuntimeConfig::default()
+        };
+        let summary = shard_invariant(cfg, |rt| {
+            rt.submit_at(0.0, 0, one_op_problem(40.0));
+        });
+        match &summary.queries[0].outcome {
+            Some(QueryOutcome::Aborted { reason }) => {
+                assert!(reason.contains("retries exhausted"), "{reason}");
+            }
+            other => panic!("expected exhaustion abort, got {other:?}"),
+        }
+        let abort_time = summary
+            .faults
+            .iter()
+            .find_map(|r| match r.kind {
+                FaultRecordKind::Aborted { .. } => Some(r.time),
+                _ => None,
+            })
+            .expect("abort recorded");
+        assert!((abort_time - 1.5).abs() < 1e-12);
+        // The run ends at the abort: with no live work left, the
+        // scripted restores never stretch the horizon.
+        assert!((summary.horizon - 1.5).abs() < 1e-12);
+    }
+
+    fn overload_controller() -> ControllerConfig {
+        ControllerConfig {
+            enabled: true,
+            load_high: 0.05,
+            load_low: 0.01,
+            backlog_high: 3,
+            backlog_low: 0,
+            ..ControllerConfig::default()
+        }
+    }
+
+    #[test]
+    fn adaptive_controller_defers_and_governs_under_overload() {
+        use crate::control::ControlAction;
+        use crate::trace::audit_control_transition;
+        let cfg = RuntimeConfig {
+            max_in_flight: 2,
+            controller: overload_controller(),
+            ..RuntimeConfig::default()
+        };
+        let summary = shard_invariant(cfg.clone(), |rt| {
+            for q in 0..12 {
+                rt.submit_at(q as f64 * 0.2, q % 3, one_op_problem(20.0));
+            }
+        });
+        // Backpressure defers, never sheds: everything completes.
+        assert_eq!(summary.completed(), 12);
+        assert_eq!(summary.shed(), 0);
+        // The controller actually moved: the gate engaged and the
+        // governor raised at least one level.
+        let decisions: Vec<_> = summary
+            .trace
+            .iter()
+            .filter_map(|ev| match ev {
+                AuditEvent::ControlDecision {
+                    action,
+                    level,
+                    gate,
+                    sample,
+                    ..
+                } => Some((*action, *level, *gate, *sample)),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            decisions
+                .iter()
+                .any(|(a, ..)| *a == ControlAction::EngageGate),
+            "gate never engaged: {decisions:?}"
+        );
+        assert!(
+            decisions
+                .iter()
+                .any(|(a, ..)| *a == ControlAction::RaiseLevel),
+            "governor never raised: {decisions:?}"
+        );
+        // In-crate replay: every decision is one valid hysteresis step
+        // from the replayed state AND justified by its own snapshot.
+        let (mut level, mut gate) = (0u32, false);
+        for (action, rec_level, rec_gate, sample) in &decisions {
+            assert!(
+                audit_control_transition(level, gate, *action, *rec_level, *rec_gate),
+                "invalid step {action:?} from level {level}"
+            );
+            assert!(
+                cfg.controller.justifies(*action, sample, level),
+                "unjustified {action:?} at {sample:?}"
+            );
+            level = *rec_level;
+            gate = *rec_gate;
+        }
+        // The governed cap re-keys the cache: one template planned at
+        // more than one level means more than one miss.
+        assert!(
+            summary.cache.misses > 1,
+            "expected per-level plans, got {:?}",
+            summary.cache
+        );
+        assert_eq!(summary.cache.hits + summary.cache.misses, 12);
+    }
+
+    #[test]
+    fn controller_last_resort_sheds_with_the_recorded_reason() {
+        let cfg = RuntimeConfig {
+            max_in_flight: 1,
+            controller: ControllerConfig {
+                shed_queue: Some(3),
+                ..overload_controller()
+            },
+            ..RuntimeConfig::default()
+        };
+        let summary = shard_invariant(cfg, |rt| {
+            for q in 0..10 {
+                rt.submit_at(q as f64 * 0.1, 0, one_op_problem(20.0));
+            }
+        });
+        assert!(summary.shed() > 0, "queue bound must fire");
+        assert_eq!(
+            summary.shed(),
+            summary.shed_for(ShedReason::ControllerLastResort),
+            "every shed carries the controller reason"
+        );
+        assert!(summary.failures().iter().any(|f| matches!(
+            f,
+            RuntimeError::Shed {
+                reason: ShedReason::ControllerLastResort,
+                ..
+            }
+        )));
+        // The fault trace records the reason too.
+        assert!(summary.faults.iter().any(|r| matches!(
+            r.kind,
+            FaultRecordKind::Shed {
+                reason: ShedReason::ControllerLastResort,
+                ..
+            }
+        )));
+        // Completed + shed partition the stream.
+        assert_eq!(summary.completed() + summary.shed(), 10);
+    }
+
+    #[test]
+    fn disabled_controller_leaves_no_trace() {
+        // Same overload, controller off: no decisions, no governed
+        // plans (one template = one miss), nothing shed.
+        let cfg = RuntimeConfig {
+            max_in_flight: 2,
+            ..RuntimeConfig::default()
+        };
+        let mut rt = runtime_with(cfg);
+        for q in 0..12 {
+            rt.submit_at(q as f64 * 0.2, q % 3, one_op_problem(20.0));
+        }
+        let summary = rt.run_to_completion().unwrap();
+        assert_eq!(summary.completed(), 12);
+        assert!(
+            !summary
+                .trace
+                .iter()
+                .any(|ev| matches!(ev, AuditEvent::ControlDecision { .. })),
+            "disabled controller recorded a decision"
+        );
+        assert_eq!(summary.cache.misses, 1, "one template, one plan");
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! sequence is deterministic for a fixed seed and identical across
 //! `--jobs` values (it lives entirely inside one runtime's event loop).
 
+use crate::control::{ControlAction, PressureSample};
 use crate::job::QueryId;
 use mrs_core::resource::SiteId;
 use mrs_core::vector::WorkVector;
@@ -90,6 +91,27 @@ pub enum AuditEvent {
         /// The site whose availability changed.
         site: usize,
     },
+    /// The overload controller changed state (see [`crate::control`]).
+    ///
+    /// Replay invariants (checked by `mrs-audit`'s controller-coherence
+    /// family): starting from level 0 / gate released, each decision
+    /// moves exactly one step consistent with its `action`
+    /// ([`audit_control_transition`]), and the recorded signal snapshot
+    /// justifies the action under the run's thresholds
+    /// ([`ControllerConfig::justifies`](crate::control::ControllerConfig)).
+    /// Never recorded while the controller is disabled.
+    ControlDecision {
+        /// Virtual time of the observation (equals `sample.time`).
+        time: f64,
+        /// What changed.
+        action: ControlAction,
+        /// Governor level after the decision.
+        level: u32,
+        /// Gate state after the decision.
+        gate: bool,
+        /// The pressure snapshot that justified the decision.
+        sample: PressureSample,
+    },
 }
 
 impl AuditEvent {
@@ -100,7 +122,8 @@ impl AuditEvent {
             | AuditEvent::Repacked { time, .. }
             | AuditEvent::CacheInsert { time, .. }
             | AuditEvent::CacheHit { time, .. }
-            | AuditEvent::EpochBump { time, .. } => *time,
+            | AuditEvent::EpochBump { time, .. }
+            | AuditEvent::ControlDecision { time, .. } => *time,
         }
     }
 }
@@ -136,6 +159,27 @@ pub fn audit_cache_hit_coherent(
     insert_epoch <= hit_epoch
         && hit_epoch == current_epoch
         && touched.iter().all(|&s| site_last_bump(s) <= insert_epoch)
+}
+
+/// True when one controller decision is a *structurally* valid step from
+/// the replayed `(prev_level, prev_gate)` state: the action matches the
+/// recorded post-state and moves exactly one step (level ±1 with the
+/// gate unchanged, or the gate flipped with the level unchanged).
+/// Threshold justification is a separate, config-aware check
+/// ([`ControllerConfig::justifies`](crate::control::ControllerConfig)).
+pub fn audit_control_transition(
+    prev_level: u32,
+    prev_gate: bool,
+    action: ControlAction,
+    level: u32,
+    gate: bool,
+) -> bool {
+    match action {
+        ControlAction::RaiseLevel => level == prev_level + 1 && gate == prev_gate,
+        ControlAction::LowerLevel => prev_level > 0 && level == prev_level - 1 && gate == prev_gate,
+        ControlAction::EngageGate => !prev_gate && gate && level == prev_level,
+        ControlAction::ReleaseGate => prev_gate && !gate && level == prev_level,
+    }
 }
 
 /// True when every placement names an in-range site and a non-negative
@@ -204,5 +248,37 @@ mod tests {
             phase: 0,
         };
         assert_eq!(ev.time(), 1.0);
+        let ev = AuditEvent::ControlDecision {
+            time: 3.5,
+            action: ControlAction::EngageGate,
+            level: 0,
+            gate: true,
+            sample: PressureSample {
+                time: 3.5,
+                queue_depth: 2,
+                retries: 0,
+                alive: 4,
+                avg_load: 0.9,
+            },
+        };
+        assert_eq!(ev.time(), 3.5);
+    }
+
+    #[test]
+    fn control_transitions_move_exactly_one_step() {
+        use ControlAction::*;
+        // Valid single steps.
+        assert!(audit_control_transition(0, false, RaiseLevel, 1, false));
+        assert!(audit_control_transition(2, true, LowerLevel, 1, true));
+        assert!(audit_control_transition(1, false, EngageGate, 1, true));
+        assert!(audit_control_transition(1, true, ReleaseGate, 1, false));
+        // Level jumps, gate flips on level actions, re-engaging an
+        // engaged gate: all tampered traces.
+        assert!(!audit_control_transition(0, false, RaiseLevel, 2, false));
+        assert!(!audit_control_transition(0, false, RaiseLevel, 1, true));
+        assert!(!audit_control_transition(0, false, LowerLevel, 0, false));
+        assert!(!audit_control_transition(1, true, EngageGate, 1, true));
+        assert!(!audit_control_transition(1, false, ReleaseGate, 1, false));
+        assert!(!audit_control_transition(1, true, ReleaseGate, 0, false));
     }
 }

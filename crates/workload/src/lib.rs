@@ -27,7 +27,9 @@ pub mod suite;
 
 /// One-stop imports.
 pub mod prelude {
-    pub use crate::arrivals::{poisson_arrivals, uniform_arrivals, ArrivalProcess};
+    pub use crate::arrivals::{
+        burst_arrivals, poisson_arrivals, ramp_arrivals, uniform_arrivals, ArrivalProcess,
+    };
     pub use crate::gen::{
         generate_query, generate_query_with, GeneratedQuery, QueryGenConfig, SizeDistribution,
     };

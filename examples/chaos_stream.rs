@@ -103,7 +103,7 @@ fn main() {
         let outcome = match &q.outcome {
             Some(QueryOutcome::Completed) => "completed".to_owned(),
             Some(QueryOutcome::Aborted { reason }) => format!("aborted ({reason})"),
-            Some(QueryOutcome::Shed) => "shed".to_owned(),
+            Some(QueryOutcome::Shed { reason }) => format!("shed ({})", reason.label()),
             None => "UNRESOLVED".to_owned(),
         };
         println!(
@@ -145,7 +145,7 @@ fn main() {
                 q.outcome,
                 Some(QueryOutcome::Completed)
                     | Some(QueryOutcome::Aborted { .. })
-                    | Some(QueryOutcome::Shed)
+                    | Some(QueryOutcome::Shed { .. })
             ),
             "{}: query left without a terminal outcome",
             q.id

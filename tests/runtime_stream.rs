@@ -132,7 +132,7 @@ fn faulted_stream_is_deterministic_and_terminal() {
                 qa.outcome,
                 Some(QueryOutcome::Completed)
                     | Some(QueryOutcome::Aborted { .. })
-                    | Some(QueryOutcome::Shed)
+                    | Some(QueryOutcome::Shed { .. })
             ),
             "{}: non-terminal outcome {:?}",
             qa.id,
