@@ -127,6 +127,12 @@ pub fn audit_run(summary: &RunSummary) -> Vec<Violation> {
     // gate released; each recorded decision must be one valid step.
     let mut ctl_level: u32 = 0;
     let mut ctl_gate = false;
+    // Fragment registry replayed from FragmentInsert events: digest of
+    // the sub-schedule each signature was memoized with. Every splice
+    // must reproduce that digest bit-for-bit (signature equality must
+    // imply identical sub-schedules) and pass the same epoch/footprint
+    // coherence test as a whole-plan hit.
+    let mut fragment_digest: HashMap<u64, u64> = HashMap::new();
     for (index, ev) in summary.trace.iter().enumerate() {
         let t = ev.time();
         if t < last_time {
@@ -212,6 +218,53 @@ pub fn audit_run(summary: &RunSummary) -> Vec<Violation> {
                 }
                 ctl_level = *level;
                 ctl_gate = *gate;
+            }
+            AuditEvent::FragmentInsert {
+                sig_hash, digest, ..
+            } => {
+                fragment_digest.insert(*sig_hash, *digest);
+            }
+            AuditEvent::FragmentSpliced {
+                query,
+                insert_epoch,
+                hit_epoch,
+                touched,
+                sig_hash,
+                digest,
+                ..
+            } => {
+                let coherent = audit_cache_hit_coherent(
+                    *insert_epoch,
+                    *hit_epoch,
+                    current_epoch,
+                    touched,
+                    |s| site_bump.get(&s).copied().unwrap_or(0),
+                );
+                if !coherent {
+                    out.push(Violation::StaleFragmentSplice {
+                        query: *query,
+                        insert_epoch: *insert_epoch,
+                        hit_epoch: *hit_epoch,
+                    });
+                }
+                match fragment_digest.get(sig_hash) {
+                    Some(&inserted) if inserted == *digest => {}
+                    Some(&inserted) => out.push(Violation::FragmentDigestMismatch {
+                        query: *query,
+                        sig_hash: *sig_hash,
+                        inserted,
+                        spliced: *digest,
+                    }),
+                    // A splice with no recorded insert: the fragment
+                    // predates the trace (impossible in one run) — flag
+                    // it as a digest mismatch against digest 0.
+                    None => out.push(Violation::FragmentDigestMismatch {
+                        query: *query,
+                        sig_hash: *sig_hash,
+                        inserted: 0,
+                        spliced: *digest,
+                    }),
+                }
             }
             AuditEvent::CacheInsert { .. } => {}
         }
@@ -385,6 +438,66 @@ mod tests {
             site_util_integral: vec![],
             site_util_series: vec![],
         }
+    }
+
+    #[test]
+    fn fragment_splices_replay_cleanly_and_tampering_is_caught() {
+        let insert = AuditEvent::FragmentInsert {
+            time: 1.0,
+            query: QueryId(0),
+            epoch: 0,
+            sig_hash: 0xABCD,
+            digest: 77,
+        };
+        let splice = |digest: u64| AuditEvent::FragmentSpliced {
+            time: 2.0,
+            query: QueryId(1),
+            insert_epoch: 0,
+            hit_epoch: 0,
+            touched: vec![1, 2],
+            sig_hash: 0xABCD,
+            digest,
+        };
+
+        // Clean: splice reproduces the inserted digest at a coherent
+        // epoch.
+        let s = summary_with_trace(vec![insert.clone(), splice(77)]);
+        assert!(audit_run(&s).is_empty(), "clean splice replay");
+
+        // Digest drift between insert and splice.
+        let s = summary_with_trace(vec![insert.clone(), splice(78)]);
+        let v = audit_run(&s);
+        assert!(v.iter().any(|x| x.kind() == "fragment-digest"), "{v:?}");
+
+        // Splice with no recorded insert at all.
+        let s = summary_with_trace(vec![splice(77)]);
+        let v = audit_run(&s);
+        assert!(v.iter().any(|x| x.kind() == "fragment-digest"), "{v:?}");
+
+        // A bump inside the fragment's footprint between insert and
+        // splice makes the splice stale.
+        let s = summary_with_trace(vec![
+            insert,
+            AuditEvent::EpochBump {
+                time: 1.5,
+                epoch: 1,
+                site: 2,
+            },
+            AuditEvent::FragmentSpliced {
+                time: 2.0,
+                query: QueryId(1),
+                insert_epoch: 0,
+                hit_epoch: 1,
+                touched: vec![1, 2],
+                sig_hash: 0xABCD,
+                digest: 77,
+            },
+        ]);
+        let v = audit_run(&s);
+        assert!(
+            v.iter().any(|x| x.kind() == "stale-fragment-splice"),
+            "{v:?}"
+        );
     }
 
     #[test]

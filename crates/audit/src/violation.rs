@@ -300,6 +300,31 @@ pub enum Violation {
         /// The governed cap it had to respect.
         cap: usize,
     },
+    /// A shared-plan splice served a fragment inserted under an older
+    /// epoch whose footprint has since changed — the spliced
+    /// sub-schedule was computed against a site population that crashed
+    /// or recovered in between.
+    StaleFragmentSplice {
+        /// The query whose plan spliced the stale fragment.
+        query: QueryId,
+        /// Epoch the fragment was inserted under.
+        insert_epoch: u64,
+        /// Epoch current at splice time.
+        hit_epoch: u64,
+    },
+    /// A spliced fragment's digest differs from the digest recorded
+    /// when that signature's fragment was inserted — signature equality
+    /// failed to imply bit-identical sub-schedules.
+    FragmentDigestMismatch {
+        /// The query whose plan spliced the fragment.
+        query: QueryId,
+        /// Truncated subtree-signature hash identifying the entry.
+        sig_hash: u64,
+        /// Digest recorded at insert time.
+        inserted: u64,
+        /// Digest observed at splice time.
+        spliced: u64,
+    },
 }
 
 impl Violation {
@@ -338,6 +363,8 @@ impl Violation {
             Violation::ControlUnjustified { .. } => "control-unjustified",
             Violation::ControlWhileDisabled { .. } => "control-disabled",
             Violation::GovernedDegreeExceeded { .. } => "governed-degree",
+            Violation::StaleFragmentSplice { .. } => "stale-fragment-splice",
+            Violation::FragmentDigestMismatch { .. } => "fragment-digest",
         }
     }
 }
@@ -502,6 +529,24 @@ impl fmt::Display for Violation {
             Violation::GovernedDegreeExceeded { op, degree, cap } => {
                 write!(fm, "{op} at degree {degree} exceeds the governed cap {cap}")
             }
+            Violation::StaleFragmentSplice {
+                query,
+                insert_epoch,
+                hit_epoch,
+            } => write!(
+                fm,
+                "{query} spliced a fragment from epoch {insert_epoch} at epoch {hit_epoch}"
+            ),
+            Violation::FragmentDigestMismatch {
+                query,
+                sig_hash,
+                inserted,
+                spliced,
+            } => write!(
+                fm,
+                "{query} spliced fragment {sig_hash:#018x} with digest {spliced:#018x}, \
+                 inserted as {inserted:#018x}"
+            ),
         }
     }
 }

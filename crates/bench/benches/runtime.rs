@@ -226,6 +226,68 @@ fn bench_serve_stream(b: &mut Bench) {
                     },
                 );
             }
+
+            // MQO pair: the same overlap-templated stream served with
+            // batched admission, once planning every window member
+            // independently and once splicing shared subtrees through
+            // the fragment memo. The delta is the price the runtime
+            // pays (or wins back) for "build once, probe many" at high
+            // template overlap; the plans-computed ratio itself is
+            // gated by X16 in CI, this records the wall-clock side.
+            let window = 6usize;
+            let mqo_stream: Vec<_> = (0..queries / window)
+                .flat_map(|batch| {
+                    overlap_batch(
+                        &QueryGenConfig::paper(10),
+                        0.9,
+                        window,
+                        0x3160_3160 ^ batch as u64,
+                    )
+                    .iter()
+                    .map(|q| query_problem(q, &cost))
+                    .collect::<Vec<_>>()
+                })
+                .collect();
+            let mqo_standalone: f64 = mqo_stream
+                .iter()
+                .map(|p| {
+                    tree_schedule(p, f, &sys, &comm, &model)
+                        .expect("overlap plans always schedule")
+                        .response_time
+                })
+                .sum::<f64>()
+                / mqo_stream.len() as f64;
+            let mqo_rate = load * mpl as f64 / mqo_standalone;
+            let mqo_arrivals =
+                poisson_arrivals(mqo_rate, mqo_stream.len(), 0xA11C_E5ED ^ sites as u64);
+            for (id, sharing) in [("mqo_p140_unshared", false), ("mqo_p140_shared", true)] {
+                g.bench_batched(
+                    id,
+                    || {
+                        let cfg = RuntimeConfig {
+                            f,
+                            max_in_flight: mpl,
+                            batch_window: window,
+                            plan_sharing: sharing,
+                            recovery: RecoveryConfig {
+                                backoff_base: 0.1 * mqo_standalone,
+                                backoff_cap: 2.0 * mqo_standalone,
+                                degrade_threshold: 0.25,
+                                ..RecoveryConfig::default()
+                            },
+                            ..RuntimeConfig::default()
+                        };
+                        let mut rt = Runtime::new(sys.clone(), comm, model, cfg);
+                        for (i, (p, t)) in mqo_stream.iter().zip(&mqo_arrivals).enumerate() {
+                            rt.submit_at(*t, i % 3, p.clone());
+                        }
+                        rt
+                    },
+                    |mut rt| {
+                        black_box(rt.run_to_completion().unwrap());
+                    },
+                );
+            }
         }
     }
     g.finish();

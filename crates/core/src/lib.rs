@@ -72,6 +72,7 @@ pub mod partition;
 pub mod resource;
 pub mod rng;
 pub mod schedule;
+pub mod shared;
 pub mod tasks;
 pub mod tree;
 pub mod vector;
@@ -101,6 +102,10 @@ pub mod prelude {
     pub use crate::resource::{ResourceKind, SiteId, SiteSpec, SystemSpec};
     pub use crate::rng::DetRng;
     pub use crate::schedule::{Assignment, PhaseSchedule, ScheduledOperator};
+    pub use crate::shared::{
+        subtree_signatures, tree_schedule_shared, FragmentCache, MapFragmentCache,
+        ScheduleFragment, SharedStats, SubtreeSig,
+    };
     pub use crate::tasks::{HomeBinding, TaskGraph, TaskId, TaskNode};
     pub use crate::tree::{
         coupled_degree, malleable_tree_schedule, tree_schedule, tree_schedule_capped,

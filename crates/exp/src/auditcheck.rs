@@ -41,6 +41,10 @@
 //!   step, justified by its own pressure snapshot), and governed plans
 //!   must respect both the controller's cap and the paper's `CG_f`
 //!   caps.
+//! * `runtime-mqo` — the X16 batched-admission runs (overlap-templated
+//!   batches, sharing on, clean and faulty): every fragment splice must
+//!   be epoch/footprint-coherent and reproduce its insert-time digest
+//!   bit-for-bit.
 
 use crate::config::ExpConfig;
 use crate::report::Report;
@@ -67,7 +71,7 @@ use mrs_runtime::prelude::{
 };
 use mrs_sim::fault::FaultPlan;
 use mrs_workload::prelude::{
-    burst_arrivals, generate_query, poisson_arrivals, ramp_arrivals, QueryGenConfig,
+    burst_arrivals, generate_query, overlap_batch, poisson_arrivals, ramp_arrivals, QueryGenConfig,
 };
 
 /// One family's audit outcome.
@@ -554,6 +558,73 @@ pub fn audit(cfg: &ExpConfig) -> Report {
         });
     }
 
+    // runtime-mqo: batched admission with cross-query plan sharing.
+    // Overlap-templated batches planned under a batch window with
+    // sharing on must actually splice subtree fragments (guard), and
+    // every recorded splice must replay epoch-coherent and
+    // digest-identical against its FragmentInsert.
+    {
+        let mut violations = Vec::new();
+        let mut cells = 0;
+        let (joins, n_batch) = if cfg.fast { (8, 6) } else { (12, 10) };
+        for (w, &overlap) in [0.5, 0.9].iter().enumerate() {
+            for faulty in [false, true] {
+                let batch = overlap_batch(
+                    &QueryGenConfig::paper(joins),
+                    overlap,
+                    n_batch,
+                    cfg.seed ^ 0x3160_3160 ^ w as u64,
+                );
+                let rt_cfg = RuntimeConfig {
+                    f,
+                    policy: AdmissionPolicy::Fcfs,
+                    max_in_flight: 4,
+                    faults: if faulty {
+                        FaultPlan::seeded(
+                            sites,
+                            60.0 * mean_standalone,
+                            4.0 * mean_standalone,
+                            0.3 * mean_standalone,
+                            cfg.seed ^ 0x0FA7_0FA7,
+                        )
+                    } else {
+                        FaultPlan::none()
+                    },
+                    deadline: faulty.then_some(60.0 * mean_standalone),
+                    recovery: recovery.clone(),
+                    batch_window: n_batch,
+                    plan_sharing: true,
+                    ..RuntimeConfig::default()
+                };
+                let mut rt = Runtime::new(sys.clone(), comm, model, rt_cfg);
+                for (i, (q, t)) in batch.iter().zip(&arrivals).enumerate() {
+                    rt.submit_at(*t, i % 3, query_problem(q, &cost));
+                }
+                let summary = rt
+                    .run_to_completion()
+                    .expect("overlap batches always schedule");
+                if !faulty
+                    && !summary
+                        .trace
+                        .iter()
+                        .any(|ev| matches!(ev, AuditEvent::FragmentSpliced { .. }))
+                {
+                    violations.push(Violation::ShapeMismatch {
+                        detail: format!("overlap-{overlap} batch produced no fragment splices"),
+                    });
+                }
+                violations.extend(audit_run(&summary));
+                cells += 1;
+            }
+        }
+        families.push(FamilyResult {
+            family: "runtime-mqo",
+            covers: "mqo",
+            cells,
+            violations,
+        });
+    }
+
     let mut table = Table::new(vec!["family", "covers", "cells", "violations"]);
     let mut notes = Vec::new();
     let mut total = 0;
@@ -603,7 +674,7 @@ mod tests {
             jobs: 1,
             ..Default::default()
         });
-        assert_eq!(report.table.rows.len(), 11, "eleven families");
+        assert_eq!(report.table.rows.len(), 12, "twelve families");
         for row in &report.table.rows {
             assert_eq!(row[3], "0", "family {} must audit clean", row[0]);
         }

@@ -6,7 +6,7 @@
 //! mrs-repro serve [--seed N] [--queries N] [--sites P] [--mpl M]
 //!                 [--load X] [--policy fcfs|svf|rr-fair]
 //!                 [--mtbf T] [--deadline D] [--templates K] [--shards S]
-//!                 [--no-batch] [--adaptive]
+//!                 [--no-batch] [--adaptive] [--batch W] [--no-share]
 //! ```
 //!
 //! Experiments: table2, fig5a, fig5b, fig6a, fig6b, ablation-dims,
@@ -30,7 +30,15 @@
 //! defers admissions while the fabric is saturated and a parallelism
 //! governor caps clone degrees under backlog; off (the default) the
 //! controller is never consulted and the output is byte-identical to a
-//! build without it.
+//! build without it. `--batch W` switches admission to batched (MQO)
+//! mode: arrivals are released in windows of `W`, each window is planned
+//! up front with cross-query subtree sharing (common rooted subtrees are
+//! packed once and spliced into every later member — "build once, probe
+//! many"), and the report grows an `mqo:` line with the sharing
+//! counters. `--no-share` keeps the batched release discipline but plans
+//! every member independently, isolating the window effect from the
+//! sharing effect; without `--batch` the flag is a no-op and the output
+//! stays byte-identical to the pre-MQO serve path.
 //!
 //! [`ControllerConfig::adaptive`]: mrs_runtime::prelude::ControllerConfig::adaptive
 
@@ -44,10 +52,10 @@ fn usage() -> &'static str {
        or: mrs-repro schedule [--seed N] [--joins J] [--sites P] [--eps E] [--f F]\n\
        or: mrs-repro serve [--seed N] [--queries N] [--sites P] [--mpl M] [--load X] \
      [--policy fcfs|svf|rr-fair] [--mtbf T] [--deadline D] [--templates K] [--shards S] \
-     [--no-batch] [--adaptive]\n\
+     [--no-batch] [--adaptive] [--batch W] [--no-share]\n\
      experiments: table2 fig5a fig5b fig6a fig6b ablation-dims ablation-order \
      malleable planopt pipecheck memcheck dimcheck shelfcheck optgap simcheck skew throughput \
-     faults saturation shards audit"
+     faults saturation shards mqo audit"
 }
 
 /// `mrs-repro serve`: run a Poisson stream of generated queries through
@@ -76,11 +84,20 @@ fn run_serve_demo(args: &[String]) -> ExitCode {
     let mut shards = 1usize;
     let mut batching = true;
     let mut adaptive = false;
+    let mut batch = 0usize;
+    let mut share = true;
     let mut policy = AdmissionPolicy::Fcfs;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         if arg == "--adaptive" {
             adaptive = true;
+            continue;
+        }
+        if arg == "--no-share" {
+            // Batched release without cross-query sharing: every window
+            // member is planned independently. Isolates the admission
+            // window's effect from the subtree memo's.
+            share = false;
             continue;
         }
         if arg == "--no-batch" {
@@ -118,6 +135,7 @@ fn run_serve_demo(args: &[String]) -> ExitCode {
             "--deadline" => deadline = value,
             "--templates" => templates = value as usize,
             "--shards" => shards = value as usize,
+            "--batch" => batch = value as usize,
             other => {
                 eprintln!("unknown serve option {other:?}\n{}", usage());
                 return ExitCode::FAILURE;
@@ -185,6 +203,8 @@ fn run_serve_demo(args: &[String]) -> ExitCode {
         deadline: (deadline > 0.0).then_some(deadline),
         shards,
         epoch_batching: batching,
+        batch_window: batch,
+        plan_sharing: batch > 0 && share,
         controller: if adaptive {
             ControllerConfig::adaptive()
         } else {
@@ -265,6 +285,24 @@ fn run_serve_demo(args: &[String]) -> ExitCode {
         100.0 * summary.cache_hit_rate(),
         summary.cache.epoch_bumps
     );
+    // Only printed under --batch: the default output must stay
+    // byte-identical to the pre-MQO serve path.
+    if batch > 0 {
+        let occupancy = if summary.cache.batches_released == 0 {
+            0.0
+        } else {
+            summary.cache.batch_members as f64 / summary.cache.batches_released as f64
+        };
+        println!(
+            "mqo: {} batches (mean occupancy {:.1}), {} subtree hits, {} phase schedules \
+             spliced, {} pipelines packed",
+            summary.cache.batches_released,
+            occupancy,
+            summary.cache.subtree_hits,
+            summary.cache.fragments_spliced,
+            summary.tasks_planned()
+        );
+    }
     // Only printed under --adaptive: the default output must stay
     // byte-identical to a controller-less build.
     if adaptive {

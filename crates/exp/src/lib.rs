@@ -25,6 +25,7 @@ pub mod extensions;
 pub mod faultcheck;
 pub mod figures;
 pub mod memcheck;
+pub mod mqo;
 pub mod pipecheck;
 pub mod planopt;
 pub mod render;
@@ -66,6 +67,7 @@ pub fn all_experiments() -> Vec<(&'static str, Experiment)> {
         ("faults", faultcheck::faults),
         ("saturation", saturation::saturation),
         ("shards", shards::shards),
+        ("mqo", mqo::mqo),
         ("audit", auditcheck::audit),
     ]
 }
@@ -88,6 +90,7 @@ pub mod prelude {
     pub use crate::faultcheck::faults;
     pub use crate::figures::{fig5a, fig5b, fig6a, fig6b, table2};
     pub use crate::memcheck::memcheck;
+    pub use crate::mqo::mqo;
     pub use crate::pipecheck::pipecheck;
     pub use crate::planopt::planopt;
     pub use crate::render::{phase_heatmap, tree_report};
@@ -113,7 +116,7 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(ids.len(), dedup.len());
-        assert_eq!(ids.len(), 21);
+        assert_eq!(ids.len(), 22);
     }
 
     #[test]

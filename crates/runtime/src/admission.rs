@@ -39,15 +39,32 @@ struct Pending {
     id: QueryId,
     client: usize,
     volume: f64,
+    /// Tombstone flag: popped/removed entries are marked dead in place
+    /// (O(1)) instead of shifting the tail (`Vec::remove` was O(n) per
+    /// admission, O(n²) per drained burst). Dead entries are skipped by
+    /// every scan and physically reclaimed by amortized compaction.
+    live: bool,
 }
 
 /// The runtime's wait queue: insertion-ordered entries popped according
 /// to an [`AdmissionPolicy`].
+///
+/// Pops and removals tombstone in place and compact lazily (whenever
+/// dead entries outnumber live ones), so each operation is amortized
+/// O(live) at worst — O(1) for FCFS — while preserving the exact
+/// deterministic order of the eager-removal implementation: entries are
+/// ordered by submission `seq`, which tombstoning never perturbs.
 #[derive(Clone, Debug)]
 pub struct AdmissionQueue {
     policy: AdmissionPolicy,
     pending: Vec<Pending>,
     next_seq: u64,
+    /// Index of the first possibly-live entry: everything before it is
+    /// dead. Entries are appended in `seq` order, so for FCFS this *is*
+    /// the minimum-seq live entry.
+    head: usize,
+    /// Count of live entries (what [`AdmissionQueue::len`] reports).
+    live: usize,
     /// Last client served by the round-robin policy.
     last_client: Option<usize>,
 }
@@ -59,6 +76,8 @@ impl AdmissionQueue {
             policy,
             pending: Vec::new(),
             next_seq: 0,
+            head: 0,
+            live: 0,
             last_client: None,
         }
     }
@@ -70,12 +89,12 @@ impl AdmissionQueue {
 
     /// Number of queries waiting.
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.live
     }
 
     /// Whether no queries wait.
     pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        self.live == 0
     }
 
     /// Enqueues a query. `volume` is its total work (the SVF key).
@@ -87,16 +106,21 @@ impl AdmissionQueue {
             id,
             client,
             volume,
+            live: true,
         });
+        self.live += 1;
     }
 
     /// Removes a specific queued query (e.g. a deadline abort while still
     /// waiting). Returns whether it was present. Does not perturb the
     /// round-robin cursor.
     pub fn remove(&mut self, id: QueryId) -> bool {
-        match self.pending.iter().position(|p| p.id == id) {
-            Some(idx) => {
-                self.pending.remove(idx);
+        match self.pending[self.head..]
+            .iter()
+            .position(|p| p.live && p.id == id)
+        {
+            Some(off) => {
+                self.bury(self.head + off);
                 true
             }
             None => false,
@@ -106,55 +130,69 @@ impl AdmissionQueue {
     /// Pops the next query under the queue's policy, or `None` if empty.
     pub fn pop(&mut self) -> Option<QueryId> {
         let idx = self.choose()?;
-        let entry = self.pending.remove(idx);
-        self.last_client = Some(entry.client);
-        Some(entry.id)
+        let entry = &self.pending[idx];
+        let (id, client) = (entry.id, entry.client);
+        self.last_client = Some(client);
+        self.bury(idx);
+        Some(id)
+    }
+
+    /// Tombstones the entry at `idx`, advances the head cursor past the
+    /// dead prefix, and compacts once dead entries outnumber live ones
+    /// (amortized O(1) per operation).
+    fn bury(&mut self, idx: usize) {
+        debug_assert!(self.pending[idx].live, "burying a dead entry");
+        self.pending[idx].live = false;
+        self.live -= 1;
+        while self.head < self.pending.len() && !self.pending[self.head].live {
+            self.head += 1;
+        }
+        // Compact when dead entries dominate (the slack constant keeps
+        // tiny queues from thrashing): each compaction drops at least
+        // half the slots, so its O(len) cost amortizes to O(1) per
+        // bury. `retain` keeps relative (= seq) order, so compaction is
+        // invisible to every policy.
+        if self.pending.len() >= 2 * self.live + 16 {
+            self.pending.retain(|p| p.live);
+            self.head = 0;
+        }
     }
 
     fn choose(&self) -> Option<usize> {
-        if self.pending.is_empty() {
+        if self.live == 0 {
             return None;
         }
+        let alive = || self.pending[self.head..].iter().filter(|p| p.live);
         let idx = match self.policy {
-            AdmissionPolicy::Fcfs => self
-                .pending
+            // Appended in seq order, so the first live entry is the
+            // minimum-seq live entry: O(1).
+            AdmissionPolicy::Fcfs => self.head,
+            AdmissionPolicy::SmallestVolumeFirst => self.pending[self.head..]
                 .iter()
                 .enumerate()
-                .min_by_key(|(_, p)| p.seq)
-                .map(|(i, _)| i)?,
-            AdmissionPolicy::SmallestVolumeFirst => self
-                .pending
-                .iter()
-                .enumerate()
+                .filter(|(_, p)| p.live)
                 .min_by(|(_, a), (_, b)| a.volume.total_cmp(&b.volume).then(a.seq.cmp(&b.seq)))
-                .map(|(i, _)| i)?,
+                .map(|(i, _)| self.head + i)?,
             AdmissionPolicy::RoundRobinFair => {
                 // The next distinct client strictly after `last_client` in
                 // cyclic client-id order; within that client, oldest first.
                 let target = {
                     let last = self.last_client;
-                    let after = self
-                        .pending
-                        .iter()
+                    let after = alive()
                         .map(|p| p.client)
                         .filter(|c| last.is_none_or(|l| *c > l))
                         .min();
                     match after {
                         Some(c) => c,
-                        None => self
-                            .pending
-                            .iter()
-                            .map(|p| p.client)
-                            .min()
-                            .expect("queue is non-empty"),
+                        None => alive().map(|p| p.client).min().expect("queue is non-empty"),
                     }
                 };
-                self.pending
+                self.pending[self.head..]
                     .iter()
                     .enumerate()
-                    .filter(|(_, p)| p.client == target)
+                    .filter(|(_, p)| p.live && p.client == target)
                     .min_by_key(|(_, p)| p.seq)
-                    .map(|(i, _)| i)?
+                    .map(|(i, _)| self.head + i)?
             }
         };
         Some(idx)
@@ -222,5 +260,162 @@ mod tests {
         assert_eq!(AdmissionPolicy::Fcfs.label(), "fcfs");
         assert_eq!(AdmissionPolicy::SmallestVolumeFirst.label(), "svf");
         assert_eq!(AdmissionPolicy::RoundRobinFair.label(), "rr-fair");
+    }
+
+    /// Reference model with eager `Vec::remove` semantics — the exact
+    /// pre-tombstone implementation, kept here to pin the pop order.
+    struct EagerQueue {
+        policy: AdmissionPolicy,
+        pending: Vec<Pending>,
+        next_seq: u64,
+        last_client: Option<usize>,
+    }
+
+    impl EagerQueue {
+        fn new(policy: AdmissionPolicy) -> Self {
+            EagerQueue {
+                policy,
+                pending: Vec::new(),
+                next_seq: 0,
+                last_client: None,
+            }
+        }
+
+        fn push(&mut self, id: QueryId, client: usize, volume: f64) {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.pending.push(Pending {
+                seq,
+                id,
+                client,
+                volume,
+                live: true,
+            });
+        }
+
+        fn remove(&mut self, id: QueryId) -> bool {
+            match self.pending.iter().position(|p| p.id == id) {
+                Some(idx) => {
+                    self.pending.remove(idx);
+                    true
+                }
+                None => false,
+            }
+        }
+
+        fn pop(&mut self) -> Option<QueryId> {
+            if self.pending.is_empty() {
+                return None;
+            }
+            let idx = match self.policy {
+                AdmissionPolicy::Fcfs => self
+                    .pending
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, p)| p.seq)
+                    .map(|(i, _)| i)?,
+                AdmissionPolicy::SmallestVolumeFirst => self
+                    .pending
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| a.volume.total_cmp(&b.volume).then(a.seq.cmp(&b.seq)))
+                    .map(|(i, _)| i)?,
+                AdmissionPolicy::RoundRobinFair => {
+                    let target = {
+                        let last = self.last_client;
+                        let after = self
+                            .pending
+                            .iter()
+                            .map(|p| p.client)
+                            .filter(|c| last.is_none_or(|l| *c > l))
+                            .min();
+                        match after {
+                            Some(c) => c,
+                            None => self
+                                .pending
+                                .iter()
+                                .map(|p| p.client)
+                                .min()
+                                .expect("queue is non-empty"),
+                        }
+                    };
+                    self.pending
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, p)| p.client == target)
+                        .min_by_key(|(_, p)| p.seq)
+                        .map(|(i, _)| i)?
+                }
+            };
+            let entry = self.pending.remove(idx);
+            self.last_client = Some(entry.client);
+            Some(entry.id)
+        }
+    }
+
+    #[test]
+    fn tombstoning_pins_the_eager_removal_order() {
+        // A seeded mix of pushes, pops, and targeted removals, dense
+        // enough to force head advances and several compactions: the
+        // tombstone queue must agree with the eager reference on every
+        // single operation, under every policy.
+        use mrs_core::rng::DetRng;
+        for policy in [
+            AdmissionPolicy::Fcfs,
+            AdmissionPolicy::SmallestVolumeFirst,
+            AdmissionPolicy::RoundRobinFair,
+        ] {
+            let mut rng = DetRng::seed_from_u64(0xADA1_5510 ^ policy.label().len() as u64);
+            let mut q = AdmissionQueue::new(policy);
+            let mut r = EagerQueue::new(policy);
+            let mut next_id = 0usize;
+            let mut alive: Vec<QueryId> = Vec::new();
+            for _ in 0..600 {
+                match rng.gen_range(0u64..10) {
+                    0..=4 => {
+                        let id = QueryId(next_id);
+                        next_id += 1;
+                        let client = rng.gen_range(0usize..4);
+                        let volume = rng.gen_range(1.0..100.0f64);
+                        q.push(id, client, volume);
+                        r.push(id, client, volume);
+                        alive.push(id);
+                    }
+                    5..=7 => {
+                        let a = q.pop();
+                        let b = r.pop();
+                        assert_eq!(a, b, "pop diverged under {}", policy.label());
+                        if let Some(id) = a {
+                            alive.retain(|x| *x != id);
+                        }
+                    }
+                    _ => {
+                        // Remove a random alive entry (or a bogus id).
+                        let id = if alive.is_empty() || rng.gen_bool(0.2) {
+                            QueryId(usize::MAX)
+                        } else {
+                            alive[rng.gen_range(0usize..alive.len())]
+                        };
+                        assert_eq!(
+                            q.remove(id),
+                            r.remove(id),
+                            "remove diverged under {}",
+                            policy.label()
+                        );
+                        alive.retain(|x| *x != id);
+                    }
+                }
+                assert_eq!(q.len(), r.pending.len(), "len diverged");
+                assert_eq!(q.is_empty(), r.pending.is_empty());
+            }
+            // Drain both fully: the tail order must match too.
+            loop {
+                let (a, b) = (q.pop(), r.pop());
+                assert_eq!(a, b, "drain diverged under {}", policy.label());
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
     }
 }

@@ -41,6 +41,7 @@
 //!   construction in the current runtime.
 
 use mrs_core::operator::Placement;
+use mrs_core::shared::{ScheduleFragment, SharedStats, SubtreeSig};
 use mrs_core::tree::{TreeProblem, TreeScheduleResult};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -59,6 +60,23 @@ pub struct CacheStats {
     /// Entries evicted at lookup because a site in their footprint
     /// changed after insertion.
     pub stale_evictions: u64,
+    /// Subtree fragments served from the memo by the shared planner
+    /// (one per spliced subtree; zero when plan sharing is off).
+    pub subtree_hits: u64,
+    /// Fragmentable subtrees the shared planner had to compute fresh.
+    pub subtree_misses: u64,
+    /// Phase schedules taken from the subtree memo across all splices.
+    pub fragments_spliced: u64,
+    /// Task pipelines actually packed — the unit of planning work plan
+    /// sharing avoids. Unshared paths count every task of every plan
+    /// they compute, so shared/unshared runs compare directly.
+    pub tasks_planned: u64,
+    /// MQO batches released from the admission queue (zero unless the
+    /// runtime runs with a batch window).
+    pub batches_released: u64,
+    /// Queries released across all MQO batches; divided by
+    /// `batches_released` this gives the mean batch occupancy.
+    pub batch_members: u64,
 }
 
 impl CacheStats {
@@ -149,11 +167,30 @@ struct CacheEntry {
     touched: Vec<usize>,
 }
 
+/// One memoized subtree fragment with its coherence metadata — the
+/// subtree-grained analogue of [`CacheEntry`], validated against its own
+/// per-fragment footprint at lookup.
+#[derive(Debug)]
+struct FragmentEntry {
+    /// The memoized sub-schedule in canonical id space.
+    frag: Arc<ScheduleFragment>,
+    /// Global epoch at insertion time.
+    insert_epoch: u64,
+    /// Sorted, deduplicated site footprint of the fragment.
+    touched: Vec<usize>,
+    /// Bit-level digest of the fragment at insertion (see
+    /// [`fragment_digest`]), replayed by the sharing-coherence audit.
+    digest: u64,
+}
+
 /// An epoch-guarded memo table from [`PlanSignature`] to the schedule,
 /// with per-site invalidation. See the [module docs](self).
 #[derive(Debug, Default)]
 pub struct ScheduleCache {
     entries: HashMap<PlanSignature, CacheEntry>,
+    /// Subtree-grained memo for the shared planner, same invalidation
+    /// discipline as `entries` but with per-fragment footprints.
+    subtree: HashMap<SubtreeSig, FragmentEntry>,
     /// Global epoch: incremented on every environment change.
     epoch: u64,
     /// Per site, the global epoch of its last availability change (`0` =
@@ -248,9 +285,81 @@ impl ScheduleCache {
     }
 
     /// Counts a plan computed while the cache is disabled, so the re-plan
-    /// metric stays meaningful either way.
-    pub fn count_uncached_plan(&mut self) {
+    /// metric stays meaningful either way. `tasks` is the plan's task
+    /// count, charged to [`CacheStats::tasks_planned`] so shared and
+    /// unshared runs report planning work on the same scale.
+    pub fn count_uncached_plan(&mut self, tasks: usize) {
         self.stats.misses += 1;
+        self.stats.tasks_planned += tasks as u64;
+    }
+
+    /// Number of memoized subtree fragments.
+    pub fn fragments_len(&self) -> usize {
+        self.subtree.len()
+    }
+
+    /// Looks up a subtree fragment. A stale entry (some touched site
+    /// bumped after insertion) is evicted, counted in
+    /// [`CacheStats::stale_evictions`], and reported as a miss. A valid
+    /// hit returns the fragment plus the coherence metadata the
+    /// sharing audit events carry (insert epoch, footprint, digest).
+    /// Hit/miss *counters* are charged by [`ScheduleCache::absorb_shared`]
+    /// from the planner's own tally, not here, so a splice is counted
+    /// exactly once.
+    pub fn fragment_get(
+        &mut self,
+        sig: &SubtreeSig,
+    ) -> Option<(Arc<ScheduleFragment>, u64, Vec<usize>, u64)> {
+        if let Some(entry) = self.subtree.get(sig) {
+            let fresh = entry
+                .touched
+                .iter()
+                .all(|&s| self.site_epoch(s) <= entry.insert_epoch);
+            if fresh {
+                return Some((
+                    Arc::clone(&entry.frag),
+                    entry.insert_epoch,
+                    entry.touched.clone(),
+                    entry.digest,
+                ));
+            }
+            self.subtree.remove(sig);
+            self.stats.stale_evictions += 1;
+        }
+        None
+    }
+
+    /// Memoizes a freshly computed subtree fragment, stamped with the
+    /// current epoch, its own footprint, and its bit-level digest.
+    /// Returns the digest so the caller can log it.
+    pub fn fragment_insert(&mut self, sig: SubtreeSig, frag: Arc<ScheduleFragment>) -> u64 {
+        let digest = fragment_digest(&frag);
+        let touched = frag.footprint();
+        self.subtree.insert(
+            sig,
+            FragmentEntry {
+                frag,
+                insert_epoch: self.epoch,
+                touched,
+                digest,
+            },
+        );
+        digest
+    }
+
+    /// Folds one `tree_schedule_shared` call's counters into the run's
+    /// cache statistics.
+    pub fn absorb_shared(&mut self, shared: &SharedStats) {
+        self.stats.subtree_hits += shared.subtree_hits;
+        self.stats.subtree_misses += shared.subtree_misses;
+        self.stats.fragments_spliced += shared.fragments_spliced;
+        self.stats.tasks_planned += shared.tasks_planned;
+    }
+
+    /// Charges an unshared (whole-plan) computation's packing work, so
+    /// [`CacheStats::tasks_planned`] is comparable across modes.
+    pub fn count_planned_tasks(&mut self, tasks: usize) {
+        self.stats.tasks_planned += tasks as u64;
     }
 
     /// `site`'s availability changed (crash or restore): advance the
@@ -310,6 +419,38 @@ pub fn schedule_digest(schedule: &TreeScheduleResult) -> Vec<u64> {
         }
     }
     w
+}
+
+/// A 64-bit FNV-1a fold over a subtree fragment's complete numeric
+/// content — per-level operator ids, degrees, clone work vectors (exact
+/// bit patterns), and clone homes. The sharing-coherence audit replays
+/// these digests: every splice of a signature must carry the digest its
+/// insertion recorded, proving the spliced bytes are the memoized bytes.
+pub fn fragment_digest(frag: &ScheduleFragment) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |w: u64| {
+        for b in w.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    mix(frag.levels.len() as u64);
+    for phase in &frag.levels {
+        mix(phase.ops.len() as u64);
+        for (op, homes) in phase.ops.iter().zip(&phase.assignment.homes) {
+            mix(op.spec.id.0 as u64);
+            mix(op.degree as u64);
+            for clone in &op.clones {
+                for i in 0..clone.dim() {
+                    mix(clone[i].to_bits());
+                }
+            }
+            for s in homes {
+                mix(s.0 as u64);
+            }
+        }
+    }
+    h
 }
 
 #[cfg(test)]
@@ -412,8 +553,7 @@ mod tests {
             CacheStats {
                 hits: 1,
                 misses: 1,
-                epoch_bumps: 0,
-                stale_evictions: 0
+                ..CacheStats::default()
             }
         );
     }
@@ -455,10 +595,96 @@ mod tests {
         let stats = CacheStats {
             hits: 3,
             misses: 1,
-            epoch_bumps: 0,
-            stale_evictions: 0,
+            ..CacheStats::default()
         };
         assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    fn fragment_for(sites: &[usize]) -> Arc<ScheduleFragment> {
+        use mrs_core::schedule::{Assignment, PhaseSchedule, ScheduledOperator};
+        let spec = OperatorSpec::floating(
+            OperatorId(0),
+            OperatorKind::Scan,
+            WorkVector::from_slice(&[1.0, 0.5, 0.0]),
+            64.0,
+        );
+        let clones = vec![WorkVector::from_slice(&[1.0, 0.5, 0.0]); sites.len()];
+        Arc::new(ScheduleFragment {
+            levels: vec![PhaseSchedule {
+                ops: vec![ScheduledOperator {
+                    spec,
+                    degree: sites.len(),
+                    clones,
+                }],
+                assignment: Assignment {
+                    homes: vec![sites.iter().map(|&s| SiteId(s)).collect()],
+                },
+            }],
+        })
+    }
+
+    fn sig_for(cpu: f64) -> SubtreeSig {
+        mrs_core::shared::subtree_signatures(&problem(cpu), 0.7, None).expect("valid problem")[0]
+            .clone()
+    }
+
+    #[test]
+    fn fragment_memo_round_trips_with_metadata() {
+        let mut cache = ScheduleCache::new(4);
+        let sig = sig_for(2.0);
+        assert!(cache.fragment_get(&sig).is_none());
+        let frag = fragment_for(&[1, 3]);
+        let digest = cache.fragment_insert(sig.clone(), Arc::clone(&frag));
+        assert_eq!(cache.fragments_len(), 1);
+        let (hit, inserted, touched, d) = cache.fragment_get(&sig).expect("memoized");
+        assert!(Arc::ptr_eq(&hit, &frag));
+        assert_eq!(inserted, 0);
+        assert_eq!(touched, vec![1, 3]);
+        assert_eq!(d, digest);
+        assert_eq!(d, fragment_digest(&frag));
+    }
+
+    #[test]
+    fn fragment_footprint_bump_evicts_only_touching_fragments() {
+        let mut cache = ScheduleCache::new(4);
+        let hit_sig = sig_for(2.0);
+        let miss_sig = sig_for(3.0);
+        cache.fragment_insert(hit_sig.clone(), fragment_for(&[0]));
+        cache.fragment_insert(miss_sig.clone(), fragment_for(&[2]));
+        cache.bump_epoch(2);
+        assert!(cache.fragment_get(&miss_sig).is_none(), "footprint hit");
+        assert!(
+            cache.fragment_get(&hit_sig).is_some(),
+            "footprint untouched"
+        );
+        assert_eq!(cache.fragments_len(), 1);
+        assert_eq!(cache.stats().stale_evictions, 1);
+    }
+
+    #[test]
+    fn absorb_shared_accumulates_planner_counters() {
+        let mut cache = ScheduleCache::new(2);
+        cache.absorb_shared(&SharedStats {
+            subtree_hits: 2,
+            subtree_misses: 1,
+            fragments_spliced: 5,
+            tasks_planned: 3,
+        });
+        cache.count_uncached_plan(4);
+        let stats = cache.stats();
+        assert_eq!(stats.subtree_hits, 2);
+        assert_eq!(stats.subtree_misses, 1);
+        assert_eq!(stats.fragments_spliced, 5);
+        assert_eq!(stats.tasks_planned, 7);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn fragment_digest_is_content_sensitive() {
+        let a = fragment_for(&[0, 1]);
+        let b = fragment_for(&[0, 2]);
+        assert_ne!(fragment_digest(&a), fragment_digest(&b));
+        assert_eq!(fragment_digest(&a), fragment_digest(&fragment_for(&[0, 1])));
     }
 
     #[test]

@@ -160,6 +160,14 @@ impl RunSummary {
         self.cache.misses
     }
 
+    /// Task pipelines actually packed over the run — the planning-work
+    /// metric the MQO experiments compare across shared and unshared
+    /// modes (unshared plans charge every task of every computed plan;
+    /// spliced subtrees charge nothing).
+    pub fn tasks_planned(&self) -> u64 {
+        self.cache.tasks_planned
+    }
+
     /// Number of queries that finished.
     pub fn completed(&self) -> usize {
         self.queries.iter().filter(|q| q.finish.is_some()).count()
@@ -436,6 +444,41 @@ impl RunSummary {
                     h.u64(*epoch);
                     h.usize(*site);
                 }
+                AuditEvent::FragmentInsert {
+                    time,
+                    query,
+                    epoch,
+                    sig_hash,
+                    digest,
+                } => {
+                    h.u8(6);
+                    h.f64(*time);
+                    h.usize(query.0);
+                    h.u64(*epoch);
+                    h.u64(*sig_hash);
+                    h.u64(*digest);
+                }
+                AuditEvent::FragmentSpliced {
+                    time,
+                    query,
+                    insert_epoch,
+                    hit_epoch,
+                    touched,
+                    sig_hash,
+                    digest,
+                } => {
+                    h.u8(7);
+                    h.f64(*time);
+                    h.usize(query.0);
+                    h.u64(*insert_epoch);
+                    h.u64(*hit_epoch);
+                    h.usize(touched.len());
+                    for &s in touched {
+                        h.usize(s);
+                    }
+                    h.u64(*sig_hash);
+                    h.u64(*digest);
+                }
                 AuditEvent::ControlDecision {
                     time,
                     action,
@@ -621,7 +664,7 @@ mod tests {
             hits: 6,
             misses: 2,
             epoch_bumps: 1,
-            stale_evictions: 0,
+            ..CacheStats::default()
         };
         assert!((s.cache_hit_rate() - 0.75).abs() < 1e-12);
         assert_eq!(s.plans_computed(), 2);

@@ -58,6 +58,9 @@ use mrs_core::comm::CommModel;
 use mrs_core::error::ScheduleError;
 use mrs_core::model::ResponseModel;
 use mrs_core::resource::{SiteId, SystemSpec};
+use mrs_core::shared::{
+    tree_schedule_shared, FragmentCache, MapFragmentCache, ScheduleFragment, SubtreeSig,
+};
 use mrs_core::tree::{tree_schedule_capped, TreeProblem, TreeScheduleResult};
 use mrs_core::vector::WorkVector;
 use mrs_shardexec::fabric::Fabric;
@@ -65,7 +68,7 @@ use mrs_shardexec::merge::{completions_sorted, sort_completions};
 use mrs_shardexec::segment::ShardSegment;
 use mrs_sim::engine::{Completion, SimClone, SimConfig, SiteSim};
 use mrs_sim::fault::{FaultKind, FaultPlan, FaultTimeline};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 
@@ -174,6 +177,25 @@ pub struct RuntimeConfig {
     /// by default: the controller is then never consulted and the run is
     /// byte-identical to the pre-controller runtime.
     pub controller: ControllerConfig,
+    /// Batch (MQO) admission window. `0` (the default) admits queries
+    /// one at a time as before. With `N ≥ 1`, queued arrivals are
+    /// *released* in batches: once `N` queries are queued (or the
+    /// arrival stream is exhausted, which flushes a partial window),
+    /// the window is drained in policy order, every member is planned
+    /// up front — sharing common subtrees when [`Self::plan_sharing`]
+    /// is on — and the planned batch then dispatches through the usual
+    /// MPL/load/backpressure gates in the same deterministic order.
+    pub batch_window: usize,
+    /// Cross-query subtree plan sharing (see [`mrs_core::shared`]).
+    /// When on, cache-missing admissions are planned by
+    /// `tree_schedule_shared` against a subtree-fragment memo keyed by
+    /// canonical signature: subtrees already planned for another query
+    /// of the window (or any earlier arrival) are spliced instead of
+    /// re-packed. Requires [`Self::schedule_cache`]; ignored (with the
+    /// unshared planner used) when the cache is disabled. Off by
+    /// default — and with it off, runs are byte-identical to the
+    /// pre-MQO runtime.
+    pub plan_sharing: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -193,6 +215,8 @@ impl Default for RuntimeConfig {
             epoch_batching: true,
             util_series: false,
             controller: ControllerConfig::default(),
+            batch_window: 0,
+            plan_sharing: false,
         }
     }
 }
@@ -283,6 +307,64 @@ pub struct Runtime<M: ResponseModel> {
     /// The adaptive overload controller (see [`crate::control`]). Never
     /// consulted while disabled.
     controller: Controller,
+    /// Batch-mode staging area: queries released from the queue and
+    /// planned (as one MQO batch), awaiting dispatch capacity. Drained
+    /// front-first, preserving the policy order the release popped.
+    /// Always empty with `batch_window == 0`.
+    released: VecDeque<(QueryId, Arc<TreeScheduleResult>)>,
+    /// Batch-release occupancy counters: windows released and total
+    /// members across them.
+    batches_released: u64,
+    batch_members: u64,
+}
+
+/// [`FragmentCache`] adapter over the runtime's epoch-stamped
+/// [`ScheduleCache`]: every splice and insert is validated against the
+/// footprint discipline and recorded on the audit trace
+/// ([`AuditEvent::FragmentSpliced`] / [`AuditEvent::FragmentInsert`]),
+/// so `mrs-audit` can replay sharing coherence offline.
+struct TracedFragmentCache<'a> {
+    cache: &'a mut ScheduleCache,
+    trace: &'a mut Vec<AuditEvent>,
+    time: f64,
+    query: QueryId,
+}
+
+impl FragmentCache for TracedFragmentCache<'_> {
+    fn get_fragment(&mut self, sig: &SubtreeSig) -> Option<Arc<ScheduleFragment>> {
+        let (frag, insert_epoch, touched, digest) = self.cache.fragment_get(sig)?;
+        let hit_epoch = self.cache.epoch();
+        debug_assert!(
+            audit_cache_hit_coherent(insert_epoch, hit_epoch, hit_epoch, &touched, |s| {
+                self.cache.site_epoch(s)
+            }),
+            "fragment memo served {} a subtree from epoch {insert_epoch} at epoch \
+             {hit_epoch} despite a footprint change",
+            self.query
+        );
+        self.trace.push(AuditEvent::FragmentSpliced {
+            time: self.time,
+            query: self.query,
+            insert_epoch,
+            hit_epoch,
+            touched,
+            sig_hash: sig.hash64(),
+            digest,
+        });
+        Some(frag)
+    }
+
+    fn insert_fragment(&mut self, sig: SubtreeSig, fragment: Arc<ScheduleFragment>) {
+        let sig_hash = sig.hash64();
+        let digest = self.cache.fragment_insert(sig, fragment);
+        self.trace.push(AuditEvent::FragmentInsert {
+            time: self.time,
+            query: self.query,
+            epoch: self.cache.epoch(),
+            sig_hash,
+            digest,
+        });
+    }
 }
 
 impl<M: ResponseModel> Runtime<M> {
@@ -337,6 +419,9 @@ impl<M: ResponseModel> Runtime<M> {
             deadline_cursor: 0,
             audit_trace: Vec::new(),
             controller,
+            released: VecDeque::new(),
+            batches_released: 0,
+            batch_members: 0,
         }
     }
 
@@ -356,7 +441,7 @@ impl<M: ResponseModel> Runtime<M> {
     pub fn pressure_sample(&mut self) -> PressureSample {
         PressureSample {
             time: self.clock,
-            queue_depth: self.queue.len(),
+            queue_depth: self.queue.len() + self.released.len(),
             retries: self.retries.len(),
             alive: self.fabric.alive_sites(),
             avg_load: self.fabric.avg_load(),
@@ -436,6 +521,7 @@ impl<M: ResponseModel> Runtime<M> {
         loop {
             let work_left = self.arrivals_next < self.arrivals.len()
                 || !self.queue.is_empty()
+                || !self.released.is_empty()
                 || !self.running.is_empty()
                 || !self.retries.is_empty();
             let next_arrival = self.arrivals.get(self.arrivals_next).map(|a| a.time);
@@ -589,7 +675,8 @@ impl<M: ResponseModel> Runtime<M> {
             // 7. Admit while capacity allows.
             self.try_admit()?;
 
-            self.depth_trace.push((t, self.queue.len()));
+            self.depth_trace
+                .push((t, self.queue.len() + self.released.len()));
         }
 
         Ok(self.summary())
@@ -888,6 +975,7 @@ impl<M: ResponseModel> Runtime<M> {
         self.running.remove(&id);
         self.queue.remove(id);
         self.pending.remove(&id);
+        self.released.retain(|(q, _)| *q != id);
         self.records[id.0].outcome = Some(QueryOutcome::Aborted {
             reason: reason.to_owned(),
         });
@@ -1036,47 +1124,113 @@ impl<M: ResponseModel> Runtime<M> {
         }
     }
 
-    /// Admits queued queries while the MPL cap (and, for a busy system,
-    /// the optional ledger load gate and the controller's backpressure
-    /// gate) allows.
-    fn try_admit(&mut self) -> Result<(), RuntimeError> {
-        while self.running.len() < self.cfg.max_in_flight && !self.queue.is_empty() {
-            if !self.running.is_empty() {
-                if let Some(thr) = self.cfg.load_threshold {
-                    if self.fabric.avg_load() >= thr {
-                        break;
-                    }
-                }
-                // Backpressure: an engaged gate defers every queued
-                // arrival until the load falls back through the low
-                // watermark. Like the load gate it never applies to an
-                // idle system, so it cannot deadlock.
-                if self.controller.enabled() && self.controller.gate_engaged() {
-                    break;
+    /// Whether one more query may start right now: below the MPL cap
+    /// and, for a busy system, past the optional ledger load gate and
+    /// the controller's backpressure gate. Neither gate applies to an
+    /// idle system, so admission cannot deadlock.
+    fn admission_open(&mut self) -> bool {
+        if self.running.len() >= self.cfg.max_in_flight {
+            return false;
+        }
+        if !self.running.is_empty() {
+            if let Some(thr) = self.cfg.load_threshold {
+                if self.fabric.avg_load() >= thr {
+                    return false;
                 }
             }
+            // Backpressure: an engaged gate defers every queued
+            // arrival until the load falls back through the low
+            // watermark.
+            if self.controller.enabled() && self.controller.gate_engaged() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Moves a planned query into execution at the current clock.
+    fn start_query(&mut self, id: QueryId, schedule: Arc<TreeScheduleResult>) {
+        let rec = &mut self.records[id.0];
+        rec.start = Some(self.clock);
+        rec.phases = schedule.phases.len();
+        rec.standalone_response = schedule.response_time;
+        self.running.insert(
+            id,
+            RunningQuery {
+                schedule,
+                next_phase: 0,
+                outstanding: 0,
+                parked: 0,
+            },
+        );
+        self.advance_query(id);
+    }
+
+    /// Admits queued queries while the MPL cap (and, for a busy system,
+    /// the optional ledger load gate and the controller's backpressure
+    /// gate) allows. With [`RuntimeConfig::batch_window`] set, queries
+    /// are first *released* from the queue in MQO batches and planned
+    /// together ([`Runtime::try_admit_batched`]).
+    fn try_admit(&mut self) -> Result<(), RuntimeError> {
+        if self.cfg.batch_window > 0 {
+            return self.try_admit_batched();
+        }
+        while !self.queue.is_empty() && self.admission_open() {
             let id = self.queue.pop().expect("queue checked non-empty");
             let problem = self
                 .pending
                 .remove(&id)
                 .expect("admitted query has no pending problem");
             let schedule = self.plan(id, &problem)?;
-            let rec = &mut self.records[id.0];
-            rec.start = Some(self.clock);
-            rec.phases = schedule.phases.len();
-            rec.standalone_response = schedule.response_time;
-            self.running.insert(
-                id,
-                RunningQuery {
-                    schedule,
-                    next_phase: 0,
-                    outstanding: 0,
-                    parked: 0,
-                },
-            );
-            self.advance_query(id);
+            self.start_query(id, schedule);
         }
         Ok(())
+    }
+
+    /// Batch (MQO) admission: whenever the staging area is empty and a
+    /// full window is queued — or the arrival stream is exhausted, which
+    /// flushes a partial window — pops `batch_window` queries in policy
+    /// order and plans them all up front, so with plan sharing on, the
+    /// batch's common subtrees are packed once and spliced by every
+    /// later member ("build once, probe many"). The planned batch then
+    /// dispatches through the same gates as singleton admission, in the
+    /// release order. Deterministic: release instants depend only on
+    /// queue/arrival state, and both the release and the drain preserve
+    /// the policy's documented order.
+    fn try_admit_batched(&mut self) -> Result<(), RuntimeError> {
+        loop {
+            if self.released.is_empty() {
+                let window = self.cfg.batch_window;
+                let arrivals_done = self.arrivals_next >= self.arrivals.len();
+                if self.queue.is_empty() || (self.queue.len() < window && !arrivals_done) {
+                    return Ok(());
+                }
+                let take = window.min(self.queue.len());
+                let mut batch = Vec::with_capacity(take);
+                for _ in 0..take {
+                    batch.push(self.queue.pop().expect("queue checked non-empty"));
+                }
+                self.batches_released += 1;
+                self.batch_members += batch.len() as u64;
+                for id in batch {
+                    let problem = self
+                        .pending
+                        .remove(&id)
+                        .expect("released query has no pending problem");
+                    let schedule = self.plan(id, &problem)?;
+                    self.released.push_back((id, schedule));
+                }
+            }
+            while !self.released.is_empty() && self.admission_open() {
+                let (id, schedule) = self.released.pop_front().expect("checked non-empty");
+                self.start_query(id, schedule);
+            }
+            // Blocked mid-batch (MPL or a gate): wait for capacity.
+            // Fully drained with more queued: release the next window.
+            if !self.released.is_empty() || self.queue.is_empty() {
+                return Ok(());
+            }
+        }
     }
 
     /// Produces the admission TreeSchedule for `problem` — from the
@@ -1095,7 +1249,7 @@ impl<M: ResponseModel> Runtime<M> {
     ) -> Result<Arc<TreeScheduleResult>, RuntimeError> {
         let cap = self.controller.degree_cap(self.sys.sites);
         if !self.cfg.schedule_cache {
-            self.schedule_cache.count_uncached_plan();
+            self.schedule_cache.count_uncached_plan(problem.tasks.len());
             let fresh =
                 tree_schedule_capped(problem, self.cfg.f, &self.sys, &self.comm, &self.model, cap)
                     .map_err(|source| RuntimeError::Schedule { query: id, source })?;
@@ -1120,15 +1274,35 @@ impl<M: ResponseModel> Runtime<M> {
                     touched,
                 });
                 if self.cfg.verify_cache {
-                    let fresh = tree_schedule_capped(
-                        problem,
-                        self.cfg.f,
-                        &self.sys,
-                        &self.comm,
-                        &self.model,
-                        cap,
-                    )
-                    .map_err(|source| RuntimeError::Schedule { query: id, source })?;
+                    // The shadow replans with the same strategy that
+                    // produced the cached entry: shared-mode plans come
+                    // from the per-task shared packer, singleton plans
+                    // from the joint per-level packer. Either way the
+                    // hit must be bit-identical to a cold recompute.
+                    let fresh = if self.cfg.plan_sharing {
+                        let mut shadow = MapFragmentCache::new();
+                        tree_schedule_shared(
+                            problem,
+                            self.cfg.f,
+                            &self.sys,
+                            &self.comm,
+                            &self.model,
+                            cap,
+                            &mut shadow,
+                        )
+                        .map_err(|source| RuntimeError::Schedule { query: id, source })?
+                        .0
+                    } else {
+                        tree_schedule_capped(
+                            problem,
+                            self.cfg.f,
+                            &self.sys,
+                            &self.comm,
+                            &self.model,
+                            cap,
+                        )
+                        .map_err(|source| RuntimeError::Schedule { query: id, source })?
+                    };
                     assert_eq!(
                         schedule_digest(&hit),
                         schedule_digest(&fresh),
@@ -1138,17 +1312,40 @@ impl<M: ResponseModel> Runtime<M> {
                 Ok(hit)
             }
             None => {
-                let fresh = Arc::new(
-                    tree_schedule_capped(
+                let fresh = if self.cfg.plan_sharing {
+                    let time = self.clock;
+                    let mut adapter = TracedFragmentCache {
+                        cache: &mut self.schedule_cache,
+                        trace: &mut self.audit_trace,
+                        time,
+                        query: id,
+                    };
+                    let (result, stats) = tree_schedule_shared(
                         problem,
                         self.cfg.f,
                         &self.sys,
                         &self.comm,
                         &self.model,
                         cap,
+                        &mut adapter,
                     )
-                    .map_err(|source| RuntimeError::Schedule { query: id, source })?,
-                );
+                    .map_err(|source| RuntimeError::Schedule { query: id, source })?;
+                    self.schedule_cache.absorb_shared(&stats);
+                    Arc::new(result)
+                } else {
+                    self.schedule_cache.count_planned_tasks(problem.tasks.len());
+                    Arc::new(
+                        tree_schedule_capped(
+                            problem,
+                            self.cfg.f,
+                            &self.sys,
+                            &self.comm,
+                            &self.model,
+                            cap,
+                        )
+                        .map_err(|source| RuntimeError::Schedule { query: id, source })?,
+                    )
+                };
                 self.schedule_cache
                     .insert(sig, Arc::clone(&fresh), schedule_footprint(&fresh));
                 self.audit_trace.push(AuditEvent::CacheInsert {
@@ -1172,6 +1369,8 @@ impl<M: ResponseModel> Runtime<M> {
             self.fault_trace.clone(),
         );
         s.cache = self.schedule_cache.stats();
+        s.cache.batches_released = self.batches_released;
+        s.cache.batch_members = self.batch_members;
         s.trace = self.audit_trace.clone();
         s.site_peak_util = self.fabric.peak_util();
         s.site_util_integral = self.fabric.util_integral();
@@ -2015,6 +2214,249 @@ mod tests {
             summary.queries.len(),
             "outcomes must partition the query set"
         );
+        assert_eq!(rt.total_resident(), 0);
+    }
+
+    /// A three-task probe chain whose deepest task's work is drawn from
+    /// `leaf_seed` and the rest from `top_seed`: two problems sharing
+    /// `leaf_seed` share the deepest subtree's signature bit-for-bit
+    /// while differing above it.
+    fn chain_problem(leaf_seed: u64, top_seed: u64) -> TreeProblem {
+        use mrs_core::rng::DetRng;
+        use mrs_core::tasks::{HomeBinding, TaskId, TaskNode};
+        let depth = 3usize;
+        let mut ops: Vec<OperatorSpec> = Vec::new();
+        let mut tasks = Vec::new();
+        let mut bindings = Vec::new();
+        let mut rng_leaf = DetRng::seed_from_u64(leaf_seed);
+        let mut rng_top = DetRng::seed_from_u64(top_seed);
+        for level in 0..depth {
+            let rng = if level + 1 == depth {
+                &mut rng_leaf
+            } else {
+                &mut rng_top
+            };
+            let a = ops.len();
+            let w = rng.gen_range(1.0..4.0f64);
+            let v = rng.gen_range(1e5..1e6f64);
+            ops.push(OperatorSpec::floating(
+                OperatorId(a),
+                OperatorKind::Scan,
+                WorkVector::from_slice(&[w, w / 2.0, 0.0]),
+                v,
+            ));
+            ops.push(OperatorSpec::floating(
+                OperatorId(a + 1),
+                OperatorKind::Build,
+                WorkVector::from_slice(&[w / 3.0, 0.0, 0.0]),
+                v,
+            ));
+            tasks.push(TaskNode {
+                ops: vec![OperatorId(a), OperatorId(a + 1)],
+                parent: if level == 0 {
+                    None
+                } else {
+                    Some(TaskId(level - 1))
+                },
+            });
+            if level > 0 {
+                let probe = ops.len();
+                let pw = if level + 1 == depth {
+                    2.5
+                } else {
+                    rng_top.gen_range(1.0..3.0f64)
+                };
+                ops.push(OperatorSpec::floating(
+                    OperatorId(probe),
+                    OperatorKind::Probe,
+                    WorkVector::from_slice(&[pw, 0.0, 0.0]),
+                    v,
+                ));
+                tasks[level - 1].ops.push(OperatorId(probe));
+                bindings.push(HomeBinding {
+                    dependent: OperatorId(probe),
+                    source: OperatorId(a + 1),
+                });
+            }
+        }
+        let p = TreeProblem {
+            ops,
+            tasks: TaskGraph::new(tasks).unwrap(),
+            bindings,
+        };
+        p.validate().unwrap();
+        p
+    }
+
+    #[test]
+    fn batch_window_releases_full_windows_and_flushes_the_tail() {
+        let cfg = RuntimeConfig {
+            batch_window: 3,
+            max_in_flight: 8,
+            ..RuntimeConfig::default()
+        };
+        let mut rt = runtime_with(cfg);
+        let ids: Vec<_> = (0..5)
+            .map(|q| rt.submit_at(0.0, q % 2, one_op_problem(10.0 + q as f64)))
+            .collect();
+        let summary = rt.run_to_completion().unwrap();
+        assert_eq!(summary.completed(), 5);
+        // One full window of 3, then the 2-query tail flushed because
+        // the arrival stream was exhausted.
+        assert_eq!(summary.cache.batches_released, 2);
+        assert_eq!(summary.cache.batch_members, 5);
+        // FCFS release keeps submission order: starts are non-decreasing
+        // in id order.
+        let starts: Vec<f64> = ids
+            .iter()
+            .map(|id| summary.queries[id.0].start.unwrap())
+            .collect();
+        assert!(
+            starts.windows(2).all(|w| w[0] <= w[1]),
+            "batched FCFS must preserve submission order: {starts:?}"
+        );
+    }
+
+    #[test]
+    fn batch_window_waits_for_the_window_before_releasing() {
+        // Window of 2 and one query in flight at a time: the second
+        // arrival completes the window, so neither starts before t=5.
+        let cfg = RuntimeConfig {
+            batch_window: 2,
+            ..RuntimeConfig::default()
+        };
+        let mut rt = runtime_with(cfg);
+        let a = rt.submit_at(0.0, 0, one_op_problem(10.0));
+        let b = rt.submit_at(5.0, 0, one_op_problem(10.0));
+        let summary = rt.run_to_completion().unwrap();
+        assert_eq!(summary.completed(), 2);
+        assert_eq!(summary.queries[a.0].start, Some(5.0), "held for the window");
+        assert_eq!(summary.queries[b.0].start, Some(5.0));
+        assert_eq!(summary.cache.batches_released, 1);
+        assert_eq!(summary.cache.batch_members, 2);
+    }
+
+    #[test]
+    fn plan_sharing_splices_common_subtrees_across_a_batch() {
+        let run = |plan_sharing: bool| {
+            let cfg = RuntimeConfig {
+                batch_window: 4,
+                plan_sharing,
+                max_in_flight: 8,
+                ..RuntimeConfig::default()
+            };
+            let mut rt = runtime_with(cfg);
+            // Four distinct templates sharing one deep subtree: the
+            // whole-plan cache never hits, so sharing is the only
+            // source of reuse.
+            for q in 0..4u64 {
+                rt.submit_at(0.0, q as usize % 2, chain_problem(11, 100 + q));
+            }
+            rt.run_to_completion().unwrap()
+        };
+        let shared = run(true);
+        let unshared = run(false);
+        assert_eq!(shared.completed(), 4);
+        assert_eq!(shared.cache.hits, 0, "templates differ above the leaf");
+        assert!(
+            shared.cache.subtree_hits >= 3,
+            "later members must splice the shared leaf subtree: {:?}",
+            shared.cache
+        );
+        assert!(shared.cache.fragments_spliced > 0);
+        // Sharing strictly reduces the pipelines actually packed.
+        assert!(
+            shared.cache.tasks_planned < unshared.cache.tasks_planned,
+            "shared {} vs unshared {}",
+            shared.cache.tasks_planned,
+            unshared.cache.tasks_planned
+        );
+        assert_eq!(unshared.cache.subtree_hits, 0);
+        assert_eq!(unshared.cache.fragments_spliced, 0);
+        // The audit trace records every splice and fragment insert.
+        let splices = shared
+            .trace
+            .iter()
+            .filter(|e| matches!(e, AuditEvent::FragmentSpliced { .. }))
+            .count() as u64;
+        assert_eq!(splices, shared.cache.subtree_hits);
+        assert!(!unshared.trace.iter().any(|e| matches!(
+            e,
+            AuditEvent::FragmentSpliced { .. } | AuditEvent::FragmentInsert { .. }
+        )));
+    }
+
+    #[test]
+    fn shared_plans_are_bit_identical_warm_or_cold() {
+        // verify_cache shadow-replans every whole-plan hit with a cold
+        // fragment cache; a clean run asserts warm == cold bit-for-bit.
+        let cfg = RuntimeConfig {
+            batch_window: 3,
+            plan_sharing: true,
+            verify_cache: true,
+            max_in_flight: 8,
+            ..RuntimeConfig::default()
+        };
+        let mut rt = runtime_with(cfg);
+        for q in 0..6u64 {
+            // Two whole-plan templates, so the second batch hits the
+            // whole-plan cache and exercises the shared-mode shadow.
+            rt.submit_at(q as f64, 0, chain_problem(7, 50 + q % 2));
+        }
+        let summary = rt.run_to_completion().unwrap();
+        assert_eq!(summary.completed(), 6);
+        assert!(summary.cache.hits >= 1, "shadow check needs hits to check");
+        assert!(summary.cache.subtree_hits >= 1);
+    }
+
+    #[test]
+    fn batched_sharing_is_shard_invariant() {
+        let cfg = RuntimeConfig {
+            batch_window: 3,
+            plan_sharing: true,
+            max_in_flight: 2,
+            ..RuntimeConfig::default()
+        };
+        let summary = shard_invariant(cfg, |rt| {
+            for q in 0..6u64 {
+                rt.submit_at(
+                    (q / 3) as f64 * 2.0,
+                    q as usize % 3,
+                    chain_problem(5, 30 + q % 3),
+                );
+            }
+        });
+        assert_eq!(summary.completed(), 6);
+        assert!(summary.cache.subtree_hits > 0);
+    }
+
+    #[test]
+    fn deadline_aborts_released_but_unstarted_queries() {
+        // MPL 1: the second query is released (planned) with the first
+        // but cannot start until the first finishes, which is past its
+        // deadline — it must abort cleanly out of the staging buffer.
+        let cfg = RuntimeConfig {
+            batch_window: 2,
+            max_in_flight: 1,
+            deadline: Some(1.0),
+            ..RuntimeConfig::default()
+        };
+        let mut rt = runtime_with(cfg);
+        let a = rt.submit_at(0.0, 0, one_op_problem(40.0));
+        let b = rt.submit_at(0.0, 0, one_op_problem(40.0));
+        let summary = rt.run_to_completion().unwrap();
+        let (ra, rb) = (&summary.queries[a.0], &summary.queries[b.0]);
+        assert!(
+            matches!(ra.outcome, Some(QueryOutcome::Aborted { .. })),
+            "a exceeds 1.0 too: {:?}",
+            ra.outcome
+        );
+        assert!(
+            matches!(rb.outcome, Some(QueryOutcome::Aborted { .. })),
+            "{:?}",
+            rb.outcome
+        );
+        assert!(rb.start.is_none(), "b never left the staging buffer");
         assert_eq!(rt.total_resident(), 0);
     }
 }

@@ -91,6 +91,49 @@ pub enum AuditEvent {
         /// The site whose availability changed.
         site: usize,
     },
+    /// A freshly computed subtree fragment was memoized by the shared
+    /// planner (plan sharing enabled only). `sig_hash` is a 64-bit fold
+    /// of the subtree's canonical signature and `digest` the bit-level
+    /// digest of the memoized fragment
+    /// ([`crate::cache::fragment_digest`]); together they let the audit
+    /// replay splice coherence without shipping the fragment itself.
+    FragmentInsert {
+        /// Virtual insert time.
+        time: f64,
+        /// The query whose planning produced the fragment.
+        query: QueryId,
+        /// Cache epoch at insert time.
+        epoch: u64,
+        /// Fold of the subtree's canonical signature.
+        sig_hash: u64,
+        /// Bit-level digest of the memoized fragment.
+        digest: u64,
+    },
+    /// A cached subtree fragment was spliced into an admission plan.
+    ///
+    /// Coherence invariants (see the `runtime-mqo` audit family): the
+    /// epoch/footprint discipline of [`AuditEvent::CacheHit`] applies
+    /// unchanged ([`audit_cache_hit_coherent`]), and `digest` must equal
+    /// the digest recorded by the [`AuditEvent::FragmentInsert`] for the
+    /// same `sig_hash` — the spliced bytes are exactly the memoized
+    /// bytes, which the shared planner's determinism ties back to a
+    /// fresh computation over the subtree problem.
+    FragmentSpliced {
+        /// Virtual splice time.
+        time: f64,
+        /// The query receiving the fragment.
+        query: QueryId,
+        /// Epoch the fragment was inserted under.
+        insert_epoch: u64,
+        /// Epoch current at splice time.
+        hit_epoch: u64,
+        /// The fragment's site footprint (sorted, deduplicated).
+        touched: Vec<usize>,
+        /// Fold of the subtree's canonical signature.
+        sig_hash: u64,
+        /// Digest the memo recorded for this fragment at insertion.
+        digest: u64,
+    },
     /// The overload controller changed state (see [`crate::control`]).
     ///
     /// Replay invariants (checked by `mrs-audit`'s controller-coherence
@@ -123,6 +166,8 @@ impl AuditEvent {
             | AuditEvent::CacheInsert { time, .. }
             | AuditEvent::CacheHit { time, .. }
             | AuditEvent::EpochBump { time, .. }
+            | AuditEvent::FragmentInsert { time, .. }
+            | AuditEvent::FragmentSpliced { time, .. }
             | AuditEvent::ControlDecision { time, .. } => *time,
         }
     }

@@ -21,6 +21,7 @@
 
 pub mod arrivals;
 pub mod gen;
+pub mod overlap;
 pub mod shapes;
 pub mod skew;
 pub mod suite;
@@ -33,6 +34,7 @@ pub mod prelude {
     pub use crate::gen::{
         generate_query, generate_query_with, GeneratedQuery, QueryGenConfig, SizeDistribution,
     };
+    pub use crate::overlap::{overlap_batch, shared_joins};
     pub use crate::shapes::{balanced_query, chain_query, star_query};
     pub use crate::skew::{skew_ratio, zipf_partition, zipf_weights};
     pub use crate::suite::{

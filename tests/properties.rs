@@ -135,4 +135,35 @@ proptest! {
             }
         }
     }
+
+    /// Subtree-signature equality implies digest-identical sub-schedules:
+    /// for any overlap-templated batch, planning every member against one
+    /// shared fragment memo splices across members yet reproduces,
+    /// bit for bit, what a cold memo would have packed.
+    #[test]
+    fn shared_splices_match_cold_plans(
+        joins in 4usize..14,
+        overlap in 0.3f64..=1.0,
+        window in 2usize..6,
+        seed in 0u64..500,
+        sites in 4usize..32,
+        eps in 0.0f64..=1.0,
+    ) {
+        let cost = CostModel::paper_defaults();
+        let sys = SystemSpec::homogeneous(sites);
+        let model = OverlapModel::new(eps).unwrap();
+        let comm = cost.params().comm_model();
+        let batch = overlap_batch(&QueryGenConfig::paper(joins), overlap, window, seed);
+        let mut warm = MapFragmentCache::new();
+        for q in &batch {
+            let p = query_problem(q, &cost);
+            let (shared, _) =
+                tree_schedule_shared(&p, 0.7, &sys, &comm, &model, None, &mut warm).unwrap();
+            let (cold, _) = tree_schedule_shared(
+                &p, 0.7, &sys, &comm, &model, None, &mut MapFragmentCache::new(),
+            )
+            .unwrap();
+            prop_assert_eq!(schedule_digest(&shared), schedule_digest(&cold));
+        }
+    }
 }
