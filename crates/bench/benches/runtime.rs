@@ -363,11 +363,50 @@ fn bench_control(b: &mut Bench) {
     g.finish();
 }
 
+fn bench_barrier(b: &mut Bench) {
+    use mrs_shardexec::pool::{Command, ShardPool};
+    use mrs_shardexec::prelude::ShardState;
+    use mrs_sim::engine::{SimConfig, SiteSim};
+
+    // The gate in isolation: one NextTime broadcast + completion wait
+    // per round, measured as 100-round batches so a single park/unpark
+    // pair is resolvable above timer noise. Workers have 4 idle sites
+    // each, so the round is almost pure barrier cost. On a single-core
+    // host ShardPool::new picks spin budget 0 (cores <= shards), so
+    // every round takes the full park path — the worst case the
+    // relaxed orderings have to pay for.
+    let mut g = b.group("barrier");
+    g.sample_size(5);
+    for n_shards in [1usize, 4, 8] {
+        g.bench_batched(
+            &format!("roundtrip100_s{n_shards}"),
+            || {
+                let states = (0..n_shards)
+                    .map(|s| {
+                        let sims = (0..4)
+                            .map(|_| SiteSim::new(SimConfig::default(), 1))
+                            .collect();
+                        ShardState::new(s, s * 4, sims, 1)
+                    })
+                    .collect();
+                ShardPool::new(states)
+            },
+            |pool| {
+                for _ in 0..100 {
+                    pool.run(Command::NextTime);
+                }
+            },
+        );
+    }
+    g.finish();
+}
+
 fn main() {
     let mut b = Bench::from_args();
     bench_ledger(&mut b);
     bench_admission(&mut b);
     bench_stream(&mut b);
     bench_serve_stream(&mut b);
+    bench_barrier(&mut b);
     bench_control(&mut b);
 }

@@ -52,7 +52,7 @@ use crate::operator::{OperatorId, Placement};
 use crate::resource::{SiteId, SystemSpec};
 use crate::schedule::{Assignment, PhaseSchedule};
 use crate::tree::{coupled_degree, PhaseResult, TreeProblem, TreeScheduleResult};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Exact-bits canonical signature of one task subtree (see module docs).
@@ -135,7 +135,7 @@ pub trait FragmentCache {
 /// site crashes) lives in `mrs-runtime`.
 #[derive(Default, Debug)]
 pub struct MapFragmentCache {
-    map: HashMap<SubtreeSig, Arc<ScheduleFragment>>,
+    map: BTreeMap<SubtreeSig, Arc<ScheduleFragment>>,
 }
 
 impl MapFragmentCache {
@@ -237,7 +237,7 @@ impl SubtreeIndex {
             }
         }
         // Task owning each operator (validated problems are dense).
-        let mut task_of: HashMap<OperatorId, usize> = HashMap::new();
+        let mut task_of: BTreeMap<OperatorId, usize> = BTreeMap::new();
         for (t, node) in nodes.iter().enumerate() {
             for op in &node.ops {
                 task_of.insert(*op, t);
@@ -280,12 +280,12 @@ impl SubtreeIndex {
                     }
                 }
             }
-            let task_pos: HashMap<usize, u64> = tasks_pre
+            let task_pos: BTreeMap<usize, u64> = tasks_pre
                 .iter()
                 .enumerate()
                 .map(|(i, &u)| (u, i as u64))
                 .collect();
-            let op_pos: HashMap<OperatorId, u64> = ops
+            let op_pos: BTreeMap<OperatorId, u64> = ops
                 .iter()
                 .enumerate()
                 .map(|(i, &o)| (o, i as u64))
@@ -442,15 +442,15 @@ pub fn tree_schedule_shared<M: ResponseModel, C: FragmentCache>(
     let n = nodes.len();
     let index = SubtreeIndex::build(problem, f, cap);
 
-    let mut binding_of: HashMap<OperatorId, OperatorId> = HashMap::new();
-    let mut dependent_of: HashMap<OperatorId, OperatorId> = HashMap::new();
+    let mut binding_of: BTreeMap<OperatorId, OperatorId> = BTreeMap::new();
+    let mut dependent_of: BTreeMap<OperatorId, OperatorId> = BTreeMap::new();
     for b in &problem.bindings {
         binding_of.insert(b.dependent, b.source);
         dependent_of.insert(b.source, b.dependent);
     }
 
     let mut stats = SharedStats::default();
-    let mut homes: HashMap<OperatorId, Vec<SiteId>> = HashMap::new();
+    let mut homes: BTreeMap<OperatorId, Vec<SiteId>> = BTreeMap::new();
     let mut frags: Vec<Option<Vec<PhaseSchedule>>> = (0..n).map(|_| None).collect();
     let mut scratch = PackScratch::new();
 
@@ -556,7 +556,7 @@ pub fn tree_schedule_shared<M: ResponseModel, C: FragmentCache>(
                 if index.fragmentable[t] {
                     // Canonicalize ids (actual -> preorder position) and
                     // memoize for the next query.
-                    let pos: HashMap<OperatorId, usize> = index.canon_ops[t]
+                    let pos: BTreeMap<OperatorId, usize> = index.canon_ops[t]
                         .iter()
                         .enumerate()
                         .map(|(i, &o)| (o, i))
@@ -823,7 +823,7 @@ mod tests {
         // seeds; wherever two subtree signatures collide, their
         // memoized fragments must be bit-identical.
         let (sys, comm, model) = setup();
-        let mut frag_of: HashMap<SubtreeSig, Arc<ScheduleFragment>> = HashMap::new();
+        let mut frag_of: BTreeMap<SubtreeSig, Arc<ScheduleFragment>> = BTreeMap::new();
         for seed in 0..12u64 {
             let p = chain_problem(2 + (seed as usize % 3), seed % 4, 1000 + seed);
             let mut cache = MapFragmentCache::new();

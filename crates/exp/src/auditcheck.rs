@@ -45,12 +45,19 @@
 //!   batches, sharing on, clean and faulty): every fragment splice must
 //!   be epoch/footprint-coherent and reproduce its insert-time digest
 //!   bit-for-bit.
+//! * `source-lint` — the `mrs-lint` scanner over the committed tree
+//!   itself: the determinism rules plus the `atomics` family (raw
+//!   primitives, ordering tokens, and thread spawns are confined to the
+//!   machine-checked `shardexec::sync` shim and the allowlisted
+//!   `par_map`). A cell is a scanned source file; a violation is an
+//!   unwaived finding.
 
 use crate::config::ExpConfig;
 use crate::report::Report;
 use crate::runner::query_problem;
 use crate::tablefmt::Table;
 use crate::throughput::mixed_stream;
+use mrs_audit::lint::{lint_workspace, workspace_sources, Allowlist};
 use mrs_audit::prelude::{
     audit_controller, audit_governed_degrees, audit_run, audit_shard_segments, audit_tree,
     AuditOptions, Violation,
@@ -625,6 +632,30 @@ pub fn audit(cfg: &ExpConfig) -> Report {
         });
     }
 
+    // source-lint: the scanner is part of the reproduction contract —
+    // concurrency primitives outside the model-checked shim (or any
+    // determinism-rule violation) is an audit failure, not just a CI
+    // failure. The root is resolved relative to this crate so the
+    // family works from any working directory.
+    {
+        let root = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+        let allow = Allowlist::load(&root.join("lint-allow.txt"));
+        let cells = workspace_sources(root).len();
+        let violations: Vec<Violation> = lint_workspace(root, &allow)
+            .into_iter()
+            .filter(|f| !f.waived)
+            .map(|f| Violation::ShapeMismatch {
+                detail: format!("lint: {f}"),
+            })
+            .collect();
+        families.push(FamilyResult {
+            family: "source-lint",
+            covers: "mrs-lint (determinism + atomics rule families)",
+            cells,
+            violations,
+        });
+    }
+
     let mut table = Table::new(vec!["family", "covers", "cells", "violations"]);
     let mut notes = Vec::new();
     let mut total = 0;
@@ -643,7 +674,7 @@ pub fn audit(cfg: &ExpConfig) -> Report {
     notes.push(if total == 0 {
         "all families audit clean: Definition 5.1, CG_f cap, co-location, shelf order, \
          Theorem 5.1 certificates, fluid feasibility, conservation, cache coherence, \
-         shard trace merges"
+         shard trace merges, source lint"
             .to_owned()
     } else {
         format!("{total} violations — the scheduler broke a paper invariant (see rows above)")
@@ -674,7 +705,7 @@ mod tests {
             jobs: 1,
             ..Default::default()
         });
-        assert_eq!(report.table.rows.len(), 12, "twelve families");
+        assert_eq!(report.table.rows.len(), 13, "thirteen families");
         for row in &report.table.rows {
             assert_eq!(row[3], "0", "family {} must audit clean", row[0]);
         }

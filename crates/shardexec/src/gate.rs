@@ -1,0 +1,485 @@
+//! The sense-reversing spin-then-park gate, extracted from [`pool`] so
+//! the barrier protocol is one self-contained, model-checked unit.
+//!
+//! [`Gate`] carries no shard semantics: it broadcasts a `(kind,
+//! payload)` pair to `n` waiters and counts their completions. The
+//! [`ShardPool`](crate::pool::ShardPool) layers commands, cells, and
+//! panic propagation on top. Every primitive routes through
+//! [`crate::sync`], so the same code runs under std, under the in-repo
+//! model checker ([`crate::sync::model`]), and under loom in CI.
+//!
+//! # The protocol
+//!
+//! * **Command side.** The coordinator publishes the payload with
+//!   relaxed stores, arms `pending`, then bumps `generation` with a
+//!   `SeqCst` RMW — the *condition update*. A waiter spins on
+//!   `generation` and, when out of budget, runs the park protocol:
+//!   store its `parked` flag (`SeqCst`), re-check `generation`
+//!   (`SeqCst`), and only then park. The coordinator scans the
+//!   `parked` flags (`SeqCst`) after the bump and unparks hits.
+//! * **Done side.** The mirror image with roles swapped: workers
+//!   decrement `pending` (`SeqCst` RMW); the last one swaps
+//!   `coord_parked` and unparks the coordinator, which runs the same
+//!   store-flag / re-check / park sequence on `pending`.
+//!
+//! # Why the four `SeqCst` pairs must stay
+//!
+//! Each side is a store-buffering (SB) litmus: waiter stores `parked`
+//! then loads `generation`; waker stores `generation` (the RMW) then
+//! loads `parked`. Under anything weaker than `SeqCst` both sides may
+//! read the *old* value — the waiter misses the new generation AND the
+//! waker misses the parked flag — so the waiter parks and nobody ever
+//! unparks it: the classic lost wakeup. `SeqCst` puts all four accesses
+//! in one total order, which forces at least one side to see the other
+//! (`sync::model` test `sb_seqcst_never_both_stale` demonstrates the
+//! exclusion; `sb_relaxed_both_stale_found` shows the model detects the
+//! bug when the orderings are weakened; `missing_recheck_deadlocks`
+//! shows it catches the protocol mutation that drops the re-check).
+//!
+//! Everything else was `SeqCst` by blanket caution before PR 10 and is
+//! now relaxed to the weakest ordering the model still proves correct —
+//! each site carries a `R<n>` comment citing the covering test.
+
+use crate::sync::{self, AtomicU32, AtomicU64, Mutex, Thread};
+
+/// How many spin iterations a waiter burns before parking. Zero on a
+/// host without spare cores.
+pub const SPIN_BUDGET: u32 = 4096;
+
+/// A sense-reversing broadcast/completion barrier for one coordinator
+/// and `n` waiters, built on atomics + `park` (no condvar, no mutex on
+/// the broadcast path).
+#[derive(Debug)]
+pub struct Gate {
+    /// Bumped once per broadcast (the barrier's sense).
+    generation: AtomicU64,
+    /// Command kind for the current generation.
+    cmd_kind: AtomicU32,
+    /// Command payload (e.g. an `f64` bit pattern) for the current
+    /// generation.
+    cmd_payload: AtomicU64,
+    /// Waiters still executing the current generation.
+    pending: AtomicU64,
+    /// Per-waiter parked flags (1 while the waiter is parked or about
+    /// to park on the command side).
+    parked: Vec<AtomicU32>,
+    /// Coordinator-side parked flag for the done side.
+    coord_parked: AtomicU32,
+    /// The coordinator's thread handle, re-published at each broadcast
+    /// (uncontended lock: waiters only take it to wake a parked
+    /// coordinator, which cannot overlap the coordinator re-storing
+    /// it).
+    coordinator: Mutex<Option<Thread>>,
+    /// Sticky flag: some waiter ran its round under a panic.
+    panicked: AtomicU32,
+    /// Spin budget for both sides; 0 when the host has no spare cores.
+    spin: u32,
+}
+
+impl Gate {
+    /// A gate for `waiters` waiting threads with the given spin budget.
+    pub fn new(waiters: usize, spin: u32) -> Self {
+        Gate {
+            generation: AtomicU64::new(0),
+            cmd_kind: AtomicU32::new(0),
+            cmd_payload: AtomicU64::new(0),
+            pending: AtomicU64::new(0),
+            parked: (0..waiters).map(|_| AtomicU32::new(0)).collect(),
+            coord_parked: AtomicU32::new(0),
+            coordinator: Mutex::new(None),
+            panicked: AtomicU32::new(0),
+            spin,
+        }
+    }
+
+    /// Number of waiters the gate was built for.
+    pub fn waiters(&self) -> usize {
+        self.parked.len()
+    }
+
+    /// Publishes `(kind, payload)`, arms the completion count, bumps
+    /// the generation, and wakes exactly the waiters whose parked flag
+    /// is visible. Call from the coordinator only; `workers[i]` must be
+    /// waiter `i`'s thread handle.
+    pub fn broadcast(&self, kind: u32, payload: u64, workers: &[Thread]) {
+        {
+            let mut guard = self
+                .coordinator
+                .lock()
+                .expect("coordinator handle poisoned");
+            *guard = Some(sync::current());
+        }
+        // Payload and pending are Relaxed (R3/R7): the generation bump
+        // below is an RMW with release semantics, so a waiter that
+        // observes the new generation — every exit path of
+        // `await_command` does — also observes these stores. A waiter
+        // cannot reach its `pending` decrement without first observing
+        // the new generation. Covered: `model_handshake_one_worker`,
+        // `model_two_workers_single_round`.
+        self.cmd_payload.store_relaxed(payload);
+        self.cmd_kind.store_relaxed(kind);
+        self.pending.store_relaxed(self.parked.len() as u64);
+        // The condition update of the command-side SB pair: must be
+        // SeqCst so it orders against the waiters' parked-flag stores.
+        // Covered: every model test; `sb_relaxed_both_stale_found`
+        // shows the failure mode if weakened.
+        self.generation.fetch_add_seqcst(1);
+        for (i, flag) in self.parked.iter().enumerate() {
+            // The flag read of the command-side SB pair: SeqCst, paired
+            // with the waiter's `store_seqcst(1)` + re-check. Covered:
+            // `model_handshake_one_worker` (park branch).
+            if flag.load_seqcst() == 1 {
+                workers[i].unpark();
+            }
+        }
+    }
+
+    /// Publishes `(kind, payload)` and wakes *every* waiter
+    /// unconditionally, without arming the completion count — the
+    /// shutdown broadcast. Because the wake is unconditional, the
+    /// parked-flag SB race cannot lose a wakeup, and the generation
+    /// bump only needs release semantics (R8): a parked waiter gets the
+    /// bump's visibility through the unpark token's happens-before
+    /// edge, and a spinning waiter eventually reads the new value.
+    /// Covered: `model_shutdown_wakes_parked_worker`,
+    /// `model_handshake_one_worker` (shutdown leg).
+    pub fn broadcast_all(&self, kind: u32, payload: u64, workers: &[Thread]) {
+        self.cmd_payload.store_relaxed(payload);
+        self.cmd_kind.store_relaxed(kind);
+        self.generation.fetch_add_release(1);
+        for t in workers {
+            t.unpark();
+        }
+    }
+
+    /// Waits until the generation moves past `seen`, spinning at most
+    /// the gate's budget before parking. Returns `(new_generation,
+    /// kind, payload)`.
+    pub fn await_command(&self, waiter: usize, seen: u64) -> (u64, u32, u64) {
+        let mut spins = 0u32;
+        let gen = loop {
+            // R1 (was SeqCst): Acquire suffices on the fast-path read —
+            // it only *accepts* a generation; the lost-wakeup race is
+            // governed entirely by the SeqCst re-check inside the park
+            // protocol below. Acquire synchronizes with the bump RMW so
+            // the payload reads after the loop are ordered. Covered:
+            // `model_handshake_one_worker`,
+            // `model_two_rounds_sense_reversal`,
+            // `model_spin_budget_fast_path`.
+            let g = self.generation.load_acquire();
+            if g != seen {
+                break g;
+            }
+            if spins < self.spin {
+                spins += 1;
+                sync::spin_loop();
+                continue;
+            }
+            // Park protocol: flag, re-check, park. The flag store and
+            // the re-check are the waiter half of the command-side SB
+            // pair and must both stay SeqCst (see module docs;
+            // `sb_seqcst_never_both_stale` / `missing_recheck_deadlocks`
+            // in `sync::model` demonstrate both mutations).
+            self.parked[waiter].store_seqcst(1);
+            if self.generation.load_seqcst() == seen {
+                sync::park();
+            }
+            // R2 (was SeqCst): Relaxed suffices to clear the flag — the
+            // coordinator never synchronizes on the 0 value; a stale 1
+            // at most costs one spurious unpark, which the park-token
+            // semantics absorb. Covered: `model_two_rounds_sense_reversal`
+            // (flag cleared between rounds under every interleaving).
+            self.parked[waiter].store_relaxed(0);
+        };
+        // R3/R4 (were SeqCst): Relaxed payload reads — ordered by the
+        // Acquire generation read that every exit of the loop above
+        // goes through (the park exit re-loops into it). Covered:
+        // `model_handshake_one_worker` (payload must be 41 under every
+        // interleaving), `model_two_rounds_sense_reversal`.
+        let kind = self.cmd_kind.load_relaxed();
+        let payload = self.cmd_payload.load_relaxed();
+        (gen, kind, payload)
+    }
+
+    /// Marks the current round as panicked. Call before [`complete`]
+    /// (on the unwind path): visibility to the coordinator rides the
+    /// release edge of the completion decrement, so Relaxed suffices.
+    /// Covered: `model_panic_flag_visible`.
+    ///
+    /// [`complete`]: Gate::complete
+    pub fn record_panic(&self) {
+        self.panicked.store_relaxed(1);
+    }
+
+    /// Whether any waiter recorded a panic. Relaxed: callers read this
+    /// after [`wait_done`](Gate::wait_done), whose Acquire exit load
+    /// already ordered the flag store (happens-before plus coherence
+    /// forces the 1 to be visible). Covered: `model_panic_flag_visible`.
+    pub fn panicked(&self) -> bool {
+        self.panicked.load_relaxed() == 1
+    }
+
+    /// Reports this waiter's round as finished; the last finisher wakes
+    /// the coordinator if it parked.
+    pub fn complete(&self) {
+        // The condition update of the done-side SB pair (and the
+        // release edge that publishes the waiter's writes to the
+        // coordinator): must stay SeqCst. Covered:
+        // `model_handshake_one_worker`, `model_two_workers_single_round`.
+        if self.pending.fetch_sub_seqcst(1) == 1 {
+            // The flag read of the done-side SB pair: SeqCst swap,
+            // paired with the coordinator's `store_seqcst(1)` +
+            // re-check. Covered: `model_handshake_one_worker` (park
+            // branch of the coordinator).
+            if self.coord_parked.swap_seqcst(0) == 1 {
+                let guard = self
+                    .coordinator
+                    .lock()
+                    .expect("coordinator handle poisoned");
+                if let Some(t) = guard.as_ref() {
+                    t.unpark();
+                }
+            }
+        }
+    }
+
+    /// Blocks the coordinator until every waiter completed the current
+    /// generation.
+    pub fn wait_done(&self) {
+        let mut spins = 0u32;
+        loop {
+            // R5 (was SeqCst): Acquire on the fast-path read — it pairs
+            // with the waiters' SeqCst (hence release) decrements, so
+            // reading 0 publishes everything every waiter did this
+            // round (including `record_panic`). The lost-wakeup race is
+            // governed by the SeqCst re-check below. Covered:
+            // `model_handshake_one_worker` (data visible after
+            // wait_done), `model_panic_flag_visible`.
+            if self.pending.load_acquire() == 0 {
+                return;
+            }
+            if spins < self.spin {
+                spins += 1;
+                sync::spin_loop();
+                continue;
+            }
+            // Coordinator half of the done-side SB pair: both SeqCst
+            // (see module docs).
+            self.coord_parked.store_seqcst(1);
+            if self.pending.load_seqcst() != 0 {
+                sync::park();
+            }
+            // R6 (was SeqCst): Relaxed flag clear, mirror of R2 — the
+            // waiters never synchronize on the 0; a stale 1 costs at
+            // most one banked unpark token, absorbed by the next park's
+            // immediate return and the outer re-check loop. Covered:
+            // `model_two_rounds_sense_reversal`.
+            self.coord_parked.store_relaxed(0);
+        }
+    }
+}
+
+// The model tests run under the in-repo checker; under `--cfg loom`
+// the shim routes to loom instead and the equivalents live in
+// `tests/loom.rs`.
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use crate::sync::model;
+    use crate::sync::spawn_named;
+    use std::sync::Arc;
+
+    /// Shutdown kind used by the tests (the gate itself is agnostic).
+    const STOP: u32 = u32::MAX;
+
+    fn opts(bound: u32) -> model::Options {
+        let base = model::Options::default();
+        // Miri executes the explorer ~2 orders of magnitude slower; a
+        // preemption bound of 1 still covers every single-switch
+        // interleaving.
+        let cap = if cfg!(miri) { 1 } else { bound };
+        model::Options {
+            preemption_bound: base.preemption_bound.min(cap),
+            ..base
+        }
+    }
+
+    fn check(bound: u32, f: impl Fn() + Send + Sync + 'static) -> model::Stats {
+        match model::explore(opts(bound), f) {
+            Ok(stats) => stats,
+            Err(failure) => std::panic::panic_any(failure.to_string()),
+        }
+    }
+
+    /// One waiter loops on the gate until told to stop, echoing each
+    /// payload into `data`.
+    fn echo_worker(gate: Arc<Gate>, data: Arc<AtomicU64>) -> crate::sync::JoinHandle<()> {
+        spawn_named("w0".to_owned(), move || {
+            let mut seen = 0u64;
+            loop {
+                let (gen, kind, payload) = gate.await_command(0, seen);
+                seen = gen;
+                if kind == STOP {
+                    return;
+                }
+                data.store_relaxed(payload);
+                gate.complete();
+            }
+        })
+    }
+
+    #[test]
+    fn model_handshake_one_worker() {
+        // The full protocol, spin budget 0 so every execution exercises
+        // the park path: publish/observe, store-parked -> re-check ->
+        // park, last-finisher wake, and the shutdown leg. The payload
+        // assertion checks R1/R3/R4 (command publication), the data
+        // assertion checks R5/R7 (completion publication).
+        let stats = check(3, || {
+            let gate = Arc::new(Gate::new(1, 0));
+            let data = Arc::new(AtomicU64::new(0));
+            let h = echo_worker(Arc::clone(&gate), Arc::clone(&data));
+            let workers = [h.thread()];
+            gate.broadcast(7, 41, &workers);
+            gate.wait_done();
+            assert_eq!(data.load_relaxed(), 41, "payload lost in the round trip");
+            assert!(!gate.panicked());
+            gate.broadcast_all(STOP, 0, &workers);
+            h.join().expect("worker exits cleanly");
+        });
+        assert!(
+            stats.executions > 10,
+            "exploration is degenerate: {} executions",
+            stats.executions
+        );
+    }
+
+    #[test]
+    fn model_two_rounds_sense_reversal() {
+        // Two consecutive generations: the sense (generation compare)
+        // must isolate the rounds under every interleaving — a stale
+        // parked flag (R2) or banked unpark token (R6) from round one
+        // must not corrupt round two.
+        check(3, || {
+            let gate = Arc::new(Gate::new(1, 0));
+            let data = Arc::new(AtomicU64::new(0));
+            let h = echo_worker(Arc::clone(&gate), Arc::clone(&data));
+            let workers = [h.thread()];
+            gate.broadcast(1, 7, &workers);
+            gate.wait_done();
+            assert_eq!(data.load_relaxed(), 7);
+            gate.broadcast(1, 9, &workers);
+            gate.wait_done();
+            assert_eq!(data.load_relaxed(), 9);
+            gate.broadcast_all(STOP, 0, &workers);
+            h.join().expect("worker exits cleanly");
+        });
+    }
+
+    #[test]
+    fn model_two_workers_single_round() {
+        // Two waiters: the pending count must reach zero exactly once,
+        // with the *last* finisher (either one) waking the coordinator,
+        // and both cells' writes visible after wait_done. Bound 1: the
+        // three-thread state space at bound 2 exceeds the execution
+        // cap; every single-preemption schedule is still explored.
+        check(1, || {
+            let gate = Arc::new(Gate::new(2, 0));
+            let data = [Arc::new(AtomicU64::new(0)), Arc::new(AtomicU64::new(0))];
+            let handles: Vec<_> = (0..2)
+                .map(|i| {
+                    let gate = Arc::clone(&gate);
+                    let cell = Arc::clone(&data[i]);
+                    spawn_named(format!("w{i}"), move || {
+                        let mut seen = 0u64;
+                        loop {
+                            let (gen, kind, payload) = gate.await_command(i, seen);
+                            seen = gen;
+                            if kind == STOP {
+                                return;
+                            }
+                            cell.store_relaxed(payload + i as u64);
+                            gate.complete();
+                        }
+                    })
+                })
+                .collect();
+            let workers: Vec<_> = handles.iter().map(|h| h.thread()).collect();
+            gate.broadcast(1, 10, &workers);
+            gate.wait_done();
+            assert_eq!(data[0].load_relaxed(), 10);
+            assert_eq!(data[1].load_relaxed(), 11);
+            gate.broadcast_all(STOP, 0, &workers);
+            for h in handles {
+                h.join().expect("worker exits cleanly");
+            }
+        });
+    }
+
+    #[test]
+    fn model_spin_budget_fast_path() {
+        // A non-zero spin budget adds the spin-hint scheduling points,
+        // exercising the fast path (generation observed without
+        // parking) alongside the park path in the same exploration.
+        check(2, || {
+            let gate = Arc::new(Gate::new(1, 1));
+            let data = Arc::new(AtomicU64::new(0));
+            let h = echo_worker(Arc::clone(&gate), Arc::clone(&data));
+            let workers = [h.thread()];
+            gate.broadcast(3, 5, &workers);
+            gate.wait_done();
+            assert_eq!(data.load_relaxed(), 5);
+            gate.broadcast_all(STOP, 0, &workers);
+            h.join().expect("worker exits cleanly");
+        });
+    }
+
+    #[test]
+    fn model_panic_flag_visible() {
+        // The unwind-path bookkeeping: a waiter that records a panic
+        // before completing must have the flag visible to the
+        // coordinator the moment wait_done returns, under every
+        // interleaving (record_panic is Relaxed and rides the
+        // completion's release edge).
+        check(3, || {
+            let gate = Arc::new(Gate::new(1, 0));
+            let g2 = Arc::clone(&gate);
+            let h = spawn_named("w0".to_owned(), move || {
+                let (_, kind, _) = g2.await_command(0, 0);
+                if kind != STOP {
+                    g2.record_panic();
+                    g2.complete();
+                    // Drain the shutdown broadcast.
+                    let (_, kind, _) = g2.await_command(0, 1);
+                    assert_eq!(kind, STOP);
+                }
+            });
+            let workers = [h.thread()];
+            gate.broadcast(1, 0, &workers);
+            gate.wait_done();
+            assert!(gate.panicked(), "panic flag lost");
+            gate.broadcast_all(STOP, 0, &workers);
+            h.join().expect("worker exits cleanly");
+        });
+    }
+
+    #[test]
+    fn model_shutdown_wakes_parked_worker() {
+        // The R8 relaxation: broadcast_all bumps the generation with
+        // Release only. A waiter parked before the bump must still wake
+        // (unconditional unpark) and must then *observe* the bump (the
+        // token's happens-before edge) rather than re-parking forever.
+        check(3, || {
+            let gate = Arc::new(Gate::new(1, 0));
+            let g2 = Arc::clone(&gate);
+            let h = spawn_named("w0".to_owned(), move || {
+                let (_, kind, payload) = g2.await_command(0, 0);
+                assert_eq!(kind, STOP);
+                assert_eq!(payload, 123, "R8 release bump must publish the payload");
+            });
+            let workers = [h.thread()];
+            gate.broadcast_all(STOP, 123, &workers);
+            h.join().expect("worker exits cleanly");
+        });
+    }
+}

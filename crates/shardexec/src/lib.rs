@@ -66,12 +66,14 @@
 #![forbid(unsafe_code)]
 
 pub mod fabric;
+pub mod gate;
 pub mod ledger;
 pub mod merge;
 pub mod plan;
 pub mod pool;
 pub mod segment;
 pub mod state;
+pub mod sync;
 
 /// One-stop imports.
 pub mod prelude {

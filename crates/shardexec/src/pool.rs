@@ -1,5 +1,5 @@
-//! The pinned worker pool: one persistent thread per shard, driven by a
-//! sense-reversing spin-then-park barrier on atomics.
+//! The pinned worker pool: one persistent thread per shard, driven by
+//! the sense-reversing spin-then-park [`Gate`].
 //!
 //! The coordinator broadcasts one [`Command`] per barrier round; every
 //! worker executes it against its own [`ShardState`] cell and the
@@ -10,34 +10,24 @@
 //! serial on the coordinator, which is what keeps runs byte-identical
 //! for any shard count.
 //!
-//! # The gate
+//! The barrier protocol itself — the generation sense, the park
+//! protocol, the chosen memory orderings, and their machine-checked
+//! justification — lives in [`crate::gate`]; this module owns what the
+//! barrier carries: command encoding, the shard cells, and panic
+//! propagation. A worker that panics mid-command records the panic on
+//! the gate and still completes its round (a drop guard), so the
+//! coordinator never deadlocks on a dead worker; [`ShardPool::run`]
+//! then re-raises on the coordinator, and [`Drop`] joins without
+//! double-panicking.
 //!
-//! The previous gate was a pair of condvars behind one mutex: every
-//! broadcast paid a kernel wake on the command side and another on the
-//! done side, and on a single-core host each wake is a full scheduling
-//! quantum. The current gate is three atomics:
-//!
-//! * `generation` is the sense: the coordinator publishes the command
-//!   payload (`cmd_kind`, `cmd_time`) with relaxed stores, then bumps
-//!   the generation with a `SeqCst` store. Workers run a command exactly
-//!   once by comparing against the last generation they served.
-//! * `pending` counts workers still executing the current generation;
-//!   the last finisher wakes the coordinator.
-//! * Parking is cooperative: a waiter spins briefly (only when the host
-//!   has spare cores — on a single core spinning merely burns the
-//!   timeslice the other side needs) and then parks its thread. The
-//!   flag-flag protocol makes the park race-free under `SeqCst`: the
-//!   waiter stores its parked flag, re-checks the condition, and parks;
-//!   the waker updates the condition, then swaps the flag and unparks on
-//!   a hit. Whichever store loses the total order, the waiter either
-//!   re-checks successfully or holds an unpark token that makes the
-//!   imminent `park()` return immediately. Spurious `park` returns are
-//!   absorbed by the outer re-check loop.
+//! Every synchronization primitive routes through [`crate::sync`], so
+//! the whole pool — not just the gate — can run under loom in CI and
+//! under ThreadSanitizer/Miri unchanged.
 
+use crate::gate::{Gate, SPIN_BUDGET};
 use crate::state::ShardState;
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
-use std::thread::{JoinHandle, Thread};
+use crate::sync::{self, JoinHandle, Mutex, Thread};
+use std::sync::Arc;
 
 /// A site-local barrier command, broadcast to every worker.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -56,32 +46,11 @@ const CMD_NEXT_TIME: u32 = 0;
 const CMD_ADVANCE_DUE: u32 = 1;
 const CMD_SHUTDOWN: u32 = 2;
 
-/// How many spin iterations a waiter burns before parking. Zero on a
-/// host without spare cores.
-const SPIN_BUDGET: u32 = 4096;
-
 /// State shared between the coordinator and the workers.
 #[derive(Debug)]
 struct Shared {
-    /// Bumped once per broadcast (the barrier's sense).
-    generation: AtomicU64,
-    /// Command payload for the current generation.
-    cmd_kind: AtomicU32,
-    /// `f64` bit pattern of the epoch time (for `AdvanceDue`).
-    cmd_time: AtomicU64,
-    /// Workers still executing the current generation.
-    pending: AtomicUsize,
-    /// Per-worker parked flags (1 while the worker is parked or about to
-    /// park on the command side).
-    parked: Vec<AtomicU32>,
-    /// Coordinator-side parked flag for the done side.
-    coord_parked: AtomicU32,
-    /// The coordinator's thread handle, re-published at each broadcast
-    /// (uncontended lock: workers only take it to wake a parked
-    /// coordinator, which cannot overlap the coordinator re-storing it).
-    coordinator: Mutex<Option<Thread>>,
-    /// Spin budget for both sides; 0 when the host has no spare cores.
-    spin: u32,
+    /// The broadcast/completion barrier.
+    gate: Gate,
     /// One cell per shard; worker `i` only ever locks `cells[i]`.
     cells: Vec<Mutex<ShardState>>,
 }
@@ -99,38 +68,34 @@ pub struct ShardPool {
     parallel: bool,
 }
 
-/// Waits until the generation moves past `seen`, spinning at most
-/// `spin` iterations before parking. Returns the new generation.
-fn wait_for_generation(shared: &Shared, shard: usize, seen: u64) -> u64 {
-    let mut spins = 0u32;
-    loop {
-        let g = shared.generation.load(Ordering::SeqCst);
-        if g != seen {
-            return g;
+/// Completes the worker's round on drop — including the unwind path,
+/// where it first marks the gate panicked so the coordinator can
+/// re-raise instead of deadlocking on a `pending` count that would
+/// never reach zero.
+struct CompleteOnDrop<'a> {
+    gate: &'a Gate,
+}
+
+impl Drop for CompleteOnDrop<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.gate.record_panic();
         }
-        if spins < shared.spin {
-            spins += 1;
-            std::hint::spin_loop();
-            continue;
-        }
-        // Park protocol: flag, re-check, park. See the module docs.
-        shared.parked[shard].store(1, Ordering::SeqCst);
-        if shared.generation.load(Ordering::SeqCst) == seen {
-            std::thread::park();
-        }
-        shared.parked[shard].store(0, Ordering::SeqCst);
+        self.gate.complete();
     }
 }
 
 fn worker(shared: &Shared, shard: usize) {
     let mut seen = 0u64;
     loop {
-        seen = wait_for_generation(shared, shard, seen);
-        let cmd = match shared.cmd_kind.load(Ordering::SeqCst) {
+        let (gen, kind, payload) = shared.gate.await_command(shard, seen);
+        seen = gen;
+        let cmd = match kind {
             CMD_SHUTDOWN => return,
             CMD_NEXT_TIME => Command::NextTime,
-            _ => Command::AdvanceDue(f64::from_bits(shared.cmd_time.load(Ordering::SeqCst))),
+            _ => Command::AdvanceDue(f64::from_bits(payload)),
         };
+        let _complete = CompleteOnDrop { gate: &shared.gate };
         {
             let mut cell = shared.cells[shard]
                 .lock()
@@ -138,18 +103,6 @@ fn worker(shared: &Shared, shard: usize) {
             match cmd {
                 Command::NextTime => cell.compute_next(),
                 Command::AdvanceDue(t) => cell.advance_due(t),
-            }
-        }
-        if shared.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
-            // Last finisher: wake the coordinator if it parked.
-            if shared.coord_parked.swap(0, Ordering::SeqCst) == 1 {
-                let guard = shared
-                    .coordinator
-                    .lock()
-                    .expect("coordinator handle poisoned");
-                if let Some(t) = guard.as_ref() {
-                    t.unpark();
-                }
             }
         }
     }
@@ -162,28 +115,19 @@ impl ShardPool {
         // Spinning only pays when the machine can actually run the other
         // side concurrently; on a saturated (or single-core) host it
         // steals the exact timeslice the workers need.
-        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let cores = sync::available_parallelism();
+        let spin = if cores > n { SPIN_BUDGET } else { 0 };
         let shared = Arc::new(Shared {
-            generation: AtomicU64::new(0),
-            cmd_kind: AtomicU32::new(CMD_NEXT_TIME),
-            cmd_time: AtomicU64::new(0),
-            pending: AtomicUsize::new(0),
-            parked: (0..n).map(|_| AtomicU32::new(0)).collect(),
-            coord_parked: AtomicU32::new(0),
-            coordinator: Mutex::new(None),
-            spin: if cores > n { SPIN_BUDGET } else { 0 },
+            gate: Gate::new(n, spin),
             cells: states.into_iter().map(Mutex::new).collect(),
         });
         let workers: Vec<JoinHandle<()>> = (0..n)
             .map(|i| {
                 let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("mrs-shard-{i}"))
-                    .spawn(move || worker(&shared, i))
-                    .expect("spawning a shard worker thread failed")
+                sync::spawn_named(format!("mrs-shard-{i}"), move || worker(&shared, i))
             })
             .collect();
-        let threads = workers.iter().map(|h| h.thread().clone()).collect();
+        let threads = workers.iter().map(JoinHandle::thread).collect();
         ShardPool {
             shared,
             threads,
@@ -208,53 +152,20 @@ impl ShardPool {
         self.parallel
     }
 
-    /// Publishes `cmd` and bumps the generation, waking parked workers.
-    fn broadcast(&self, cmd: Command) {
-        {
-            let mut guard = self
-                .shared
-                .coordinator
-                .lock()
-                .expect("coordinator handle poisoned");
-            *guard = Some(std::thread::current());
-        }
-        match cmd {
-            Command::NextTime => self.shared.cmd_kind.store(CMD_NEXT_TIME, Ordering::Relaxed),
-            Command::AdvanceDue(t) => {
-                self.shared.cmd_time.store(t.to_bits(), Ordering::Relaxed);
-                self.shared
-                    .cmd_kind
-                    .store(CMD_ADVANCE_DUE, Ordering::Relaxed);
-            }
-        }
-        self.shared.pending.store(self.shards(), Ordering::SeqCst);
-        self.shared.generation.fetch_add(1, Ordering::SeqCst);
-        for (i, flag) in self.shared.parked.iter().enumerate() {
-            if flag.load(Ordering::SeqCst) == 1 {
-                self.threads[i].unpark();
-            }
-        }
-    }
-
     /// Broadcasts `cmd` to every worker and blocks until all finish.
+    /// Re-raises on the coordinator if any worker panicked this round.
     pub fn run(&self, cmd: Command) {
-        self.broadcast(cmd);
-        let mut spins = 0u32;
-        loop {
-            if self.shared.pending.load(Ordering::SeqCst) == 0 {
-                return;
-            }
-            if spins < self.shared.spin {
-                spins += 1;
-                std::hint::spin_loop();
-                continue;
-            }
-            self.shared.coord_parked.store(1, Ordering::SeqCst);
-            if self.shared.pending.load(Ordering::SeqCst) != 0 {
-                std::thread::park();
-            }
-            self.shared.coord_parked.store(0, Ordering::SeqCst);
-        }
+        let (kind, payload) = match cmd {
+            Command::NextTime => (CMD_NEXT_TIME, 0),
+            Command::AdvanceDue(t) => (CMD_ADVANCE_DUE, t.to_bits()),
+        };
+        self.shared.gate.broadcast(kind, payload, &self.threads);
+        self.shared.gate.wait_done();
+        assert!(
+            !self.shared.gate.panicked(),
+            "a shard worker panicked while executing {cmd:?}; \
+             the full payload surfaces when the pool is dropped and joined"
+        );
     }
 
     /// Runs `f` against one shard's state. Only call between broadcasts
@@ -270,15 +181,19 @@ impl ShardPool {
 
 impl Drop for ShardPool {
     fn drop(&mut self) {
-        self.shared.cmd_kind.store(CMD_SHUTDOWN, Ordering::SeqCst);
-        self.shared.generation.fetch_add(1, Ordering::SeqCst);
-        for t in &self.threads {
-            t.unpark();
-        }
+        // Unconditional wake: a dead (panicked) worker simply never
+        // observes it, and the live ones exit without completing.
+        self.shared
+            .gate
+            .broadcast_all(CMD_SHUTDOWN, 0, &self.threads);
         for handle in self.workers.drain(..) {
-            // Propagate worker panics instead of swallowing them.
+            // Propagate worker panics instead of swallowing them — but
+            // only when not already unwinding (e.g. from the `run`
+            // re-raise), where a second panic would abort the process.
             if let Err(panic) = handle.join() {
-                std::panic::resume_unwind(panic);
+                if !std::thread::panicking() {
+                    std::panic::resume_unwind(panic);
+                }
             }
         }
     }
@@ -379,5 +294,78 @@ mod tests {
             }
         }
         assert_eq!(pool.shards(), 5);
+    }
+
+    #[test]
+    fn worker_panic_while_coordinator_parked_reraises_instead_of_deadlocking() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        let pool = pool(2, 1);
+        // Poison shard 0's cell from the coordinator side: the panic
+        // unwinds through the cell's MutexGuard, so the *next* worker
+        // lock sees the poison and panics mid-command — while the
+        // coordinator is parked in wait_done.
+        let inject = catch_unwind(AssertUnwindSafe(|| {
+            pool.with_cell(0, |_| panic!("inject poison"))
+        }));
+        assert!(inject.is_err());
+
+        // The drop guard must still complete the dead worker's round
+        // (no deadlock) and run() must re-raise on the coordinator.
+        let round = catch_unwind(AssertUnwindSafe(|| pool.run(Command::NextTime)));
+        let msg = *round
+            .expect_err("run must re-raise the worker panic")
+            .downcast::<String>()
+            .expect("assert! carries a String payload");
+        assert!(
+            msg.contains("a shard worker panicked"),
+            "unexpected re-raise message: {msg}"
+        );
+
+        // Drop joins the dead worker and surfaces its original payload
+        // (the poison expect), exactly once — no abort, no hang on the
+        // surviving parked worker.
+        let dropped = catch_unwind(AssertUnwindSafe(|| drop(pool)));
+        let msg = *dropped
+            .expect_err("drop must propagate the worker's own panic")
+            .downcast::<String>()
+            .expect("expect carries a String payload");
+        assert!(
+            msg.contains("shard cell poisoned"),
+            "unexpected join payload: {msg}"
+        );
+    }
+
+    #[test]
+    fn shards_covering_every_core_take_the_spin_budget_zero_path() {
+        // With shards >= cores the constructor must pick spin budget 0
+        // (spinning would steal the timeslice the workers need), so
+        // every one of these rounds goes through the full store-parked
+        // -> re-check -> park leg on every host, regardless of core
+        // count.
+        let n = sync::available_parallelism();
+        let pool = pool(n, 1);
+        assert_eq!(pool.shards(), n);
+        for round in 0..50 {
+            pool.run(Command::NextTime);
+            pool.run(Command::AdvanceDue(round as f64));
+        }
+    }
+
+    #[test]
+    fn drop_while_workers_parked_shuts_down_cleanly() {
+        // Workers may still be starting up, spinning, or already parked
+        // when the shutdown broadcast lands; repetition varies the OS
+        // schedule across those phases. Each iteration must join all
+        // workers (a hang here is a lost-unpark bug in the R8 leg).
+        for _ in 0..30 {
+            let fresh = pool(3, 1);
+            drop(fresh);
+        }
+        for round in 0..30 {
+            let busy = pool(3, 1);
+            busy.run(Command::AdvanceDue(round as f64));
+            drop(busy);
+        }
     }
 }

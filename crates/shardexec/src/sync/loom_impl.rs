@@ -1,0 +1,169 @@
+//! The `--cfg loom` backend: the same shim surface over the `loom`
+//! crate's mock primitives, so the whole pool runs under loom's
+//! exhaustive scheduler in the networked CI job. Never compiled in the
+//! offline workspace (the dep is injected by CI; see the module docs).
+
+// lint:allow(atomics-raw) — the shim is the one sanctioned importer.
+use loom::sync::atomic::Ordering;
+use std::sync::LockResult;
+
+macro_rules! atomic_word {
+    ($name:ident, $loom:ty, $raw:ty, $doc:literal) => {
+        #[doc = $doc]
+        #[derive(Debug)]
+        pub struct $name {
+            inner: $loom,
+        }
+
+        impl $name {
+            /// Creates the atomic holding `v`.
+            pub fn new(v: $raw) -> Self {
+                Self {
+                    inner: <$loom>::new(v),
+                }
+            }
+
+            /// `load(Relaxed)`.
+            pub fn load_relaxed(&self) -> $raw {
+                self.inner.load(Ordering::Relaxed)
+            }
+
+            /// `load(Acquire)`.
+            pub fn load_acquire(&self) -> $raw {
+                self.inner.load(Ordering::Acquire)
+            }
+
+            /// `load(SeqCst)`.
+            pub fn load_seqcst(&self) -> $raw {
+                self.inner.load(Ordering::SeqCst)
+            }
+
+            /// `store(Relaxed)`.
+            pub fn store_relaxed(&self, v: $raw) {
+                self.inner.store(v, Ordering::Relaxed);
+            }
+
+            /// `store(Release)`.
+            pub fn store_release(&self, v: $raw) {
+                self.inner.store(v, Ordering::Release);
+            }
+
+            /// `store(SeqCst)`.
+            pub fn store_seqcst(&self, v: $raw) {
+                self.inner.store(v, Ordering::SeqCst);
+            }
+
+            /// `swap(SeqCst)`.
+            pub fn swap_seqcst(&self, v: $raw) -> $raw {
+                self.inner.swap(v, Ordering::SeqCst)
+            }
+
+            /// `fetch_add(SeqCst)`.
+            pub fn fetch_add_seqcst(&self, v: $raw) -> $raw {
+                self.inner.fetch_add(v, Ordering::SeqCst)
+            }
+
+            /// `fetch_add(Release)`.
+            pub fn fetch_add_release(&self, v: $raw) -> $raw {
+                self.inner.fetch_add(v, Ordering::Release)
+            }
+
+            /// `fetch_sub(SeqCst)`.
+            pub fn fetch_sub_seqcst(&self, v: $raw) -> $raw {
+                self.inner.fetch_sub(v, Ordering::SeqCst)
+            }
+        }
+    };
+}
+
+atomic_word!(
+    AtomicU32,
+    loom::sync::atomic::AtomicU32,
+    u32,
+    "Shimmed `AtomicU32` (loom backend)."
+);
+atomic_word!(
+    AtomicU64,
+    loom::sync::atomic::AtomicU64,
+    u64,
+    "Shimmed `AtomicU64` (loom backend)."
+);
+
+/// Shimmed mutex (loom backend).
+#[derive(Debug)]
+pub struct Mutex<T> {
+    inner: loom::sync::Mutex<T>,
+}
+
+/// The guard type [`Mutex::lock`] returns under loom.
+pub type Guard<'a, T> = loom::sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Creates the mutex holding `v`.
+    pub fn new(v: T) -> Self {
+        Self {
+            inner: loom::sync::Mutex::new(v),
+        }
+    }
+
+    /// Locks, reporting poisoning like `std`.
+    pub fn lock(&self) -> LockResult<Guard<'_, T>> {
+        self.inner.lock()
+    }
+}
+
+pub use loom::thread::Thread;
+
+/// Handle to the calling thread.
+pub fn current() -> Thread {
+    loom::thread::current()
+}
+
+/// Blocks until unparked (or spuriously).
+pub fn park() {
+    loom::thread::park();
+}
+
+/// Scheduling hint inside a spin loop; under loom this is a yield so
+/// the scheduler can explore the other thread making progress.
+pub fn spin_loop() {
+    loom::thread::yield_now();
+}
+
+/// Shimmed join handle (loom backend).
+#[derive(Debug)]
+pub struct JoinHandle<T> {
+    inner: loom::thread::JoinHandle<T>,
+}
+
+impl<T> JoinHandle<T> {
+    /// The spawned thread's unpark handle.
+    pub fn thread(&self) -> Thread {
+        self.inner.thread().clone()
+    }
+
+    /// Waits for the thread to finish, returning its value or the
+    /// panic payload.
+    pub fn join(self) -> std::thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+/// Spawns a thread. Loom's mock spawner has no name support; the name
+/// is accepted for API parity and dropped.
+pub fn spawn_named<T, F>(name: String, f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let _ = name;
+    JoinHandle {
+        inner: loom::thread::spawn(f),
+    }
+}
+
+/// Loom models a small fixed machine; pretend two cores so the pool
+/// exercises its parallel path.
+pub fn available_parallelism() -> usize {
+    2
+}

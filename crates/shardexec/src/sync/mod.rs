@@ -1,0 +1,53 @@
+//! The synchronization shim: the single import point for every atomic,
+//! mutex, and thread primitive in this crate.
+//!
+//! The sharded fabric's correctness argument is only as good as the
+//! tools that check it, so nothing in `mrs-shardexec` touches
+//! `std::sync::atomic` or `std::thread` directly (the `atomics` family
+//! of `mrs-lint` rules enforces this). Everything routes through this
+//! module, which exists in three flavours:
+//!
+//! * **std** (the default): thin `#[inline]` wrappers over the real
+//!   primitives. The only cost over raw `std` is one thread-local flag
+//!   check per operation deciding whether the calling thread is inside
+//!   a [`model`] exploration (it never is in production).
+//! * **model** (always compiled, zero-dep): when the calling thread was
+//!   spawned by [`model::explore`], every operation is routed to the
+//!   in-repo exhaustive interleaving explorer in [`model`], which
+//!   drives the *same* barrier code through every bounded interleaving
+//!   and every allowed weak-memory read, and fails with a trace on
+//!   deadlock, livelock, or assertion failure. This is how the memory
+//!   orderings in [`crate::gate`] are machine-checked on an offline,
+//!   single-core host.
+//! * **loom** (`--cfg loom`, networked CI only): the whole shim swaps
+//!   to wrappers over the `loom` crate's primitives so the same code
+//!   can be swept by the external model checker as well. The offline
+//!   workspace deliberately does not vendor `loom`; the CI `loom` job
+//!   injects it with `cargo add --dev --target 'cfg(loom)' --package
+//!   mrs-shardexec loom` before building with `RUSTFLAGS="--cfg
+//!   loom"`, exactly like the `proptest` job injects `proptest`.
+//!
+//! # Why the methods are ordering-named
+//!
+//! The API says [`AtomicU64::load_acquire`], not `load(Acquire)`: each
+//! memory-ordering choice in the barrier is a named, greppable decision
+//! with a justifying comment and a covering model test at its single
+//! call site, and the `atomics-ordering` lint can then forbid the
+//! `Ordering::` tokens everywhere outside this module — there is no
+//! legitimate reason for ordering-generic code elsewhere in the
+//! workspace. Only the orderings the gate actually uses are exposed;
+//! adding a method here is the intended speed bump for adding one
+//! there.
+
+#[cfg(not(loom))]
+pub mod model;
+
+#[cfg(not(loom))]
+mod default_impl;
+#[cfg(not(loom))]
+pub use default_impl::*;
+
+#[cfg(loom)]
+mod loom_impl;
+#[cfg(loom)]
+pub use loom_impl::*;

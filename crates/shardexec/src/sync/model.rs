@@ -1,0 +1,1511 @@
+//! An in-repo, zero-dependency model checker for the shim primitives.
+//!
+//! [`explore`] runs a closure under *every* bounded interleaving of the
+//! threads it spawns, and under every weak-memory read each interleaving
+//! allows, failing with a readable trace on deadlock, panic, or budget
+//! exhaustion. It exists because the offline workspace cannot vendor
+//! `loom` (no registry dependencies — see the root `Cargo.toml`), yet
+//! the memory-ordering relaxations in [`crate::gate`] must be
+//! machine-checked *locally*, on every `cargo test`, not only in the
+//! networked CI `loom` job.
+//!
+//! # How it models executions
+//!
+//! The engine is a cooperative scheduler in the CDSChecker/loom
+//! tradition: only one model thread runs at a time, every shim
+//! operation is a *scheduling point*, and a depth-first search over the
+//! recorded choice trace replays the closure once per distinct choice
+//! sequence. Choices are (a) which runnable thread continues at each
+//! step (bounded by [`Options::preemption_bound`], the classic
+//! context-bounding result that most concurrency bugs need very few
+//! preemptions), (b) which store a weak load reads from, and (c)
+//! whether a `park` returns spuriously.
+//!
+//! Weak memory follows the C11 release/acquire fragment with vector
+//! clocks, per-location store histories, and read coherence floors:
+//!
+//! * every store keeps `(value, writer, writer-seq, release-clock)`;
+//!   a load may read any store not older than one the reader already
+//!   observed (its per-location floor) and not *hidden* — a store is
+//!   hidden when a later store to the same location happens-before the
+//!   reader;
+//! * acquire loads join the release clock of the store they read;
+//!   release stores snapshot the writer's clock; RMWs always read the
+//!   latest store (atomicity) and continue its release sequence;
+//! * `SeqCst` operations additionally join a global `sc` clock before
+//!   acting and fold their clock into it after, which realises the
+//!   single-total-order guarantee — in particular a SeqCst load that
+//!   follows a SeqCst store to another location (the store-buffering
+//!   pattern the gate's park protocol depends on) can no longer read a
+//!   value the total order has overwritten. Like loom, this treats
+//!   `SeqCst` as slightly *stronger* than C11 (fence-like), which is
+//!   conservative in the safe direction for checking relaxations: the
+//!   non-SC orderings, the ones PR 10 weakens, are modelled exactly.
+//!
+//! `park`/`unpark` reproduce [`std::thread::park`] token semantics
+//! (unpark-before-park makes the next park return immediately; the
+//! token carries a happens-before edge; parks may return spuriously up
+//! to [`Options::spurious_parks`] times per thread).
+//!
+//! Model threads are real OS threads handed a baton by the scheduler
+//! (cooperatively parked on one condvar), so the checked code is the
+//! production code — same monomorphisations, no transformation — only
+//! the shim's primitives are swapped underneath it.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once, PoisonError};
+
+/// Memory orderings the shim can request from the model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Ordering {
+    /// No synchronization; value-only.
+    Relaxed,
+    /// Joins the release clock of the store it reads.
+    Acquire,
+    /// Publishes the writer's clock with the store.
+    Release,
+    /// Acquire and release combined (RMWs).
+    AcqRel,
+    /// Release/acquire plus the single total order.
+    SeqCst,
+}
+
+impl Ordering {
+    fn acquires(self) -> bool {
+        matches!(
+            self,
+            Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+        )
+    }
+    fn releases(self) -> bool {
+        matches!(
+            self,
+            Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+        )
+    }
+}
+
+/// Exploration budgets and bounds.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Maximum scheduler preemptions per execution (a switch away from
+    /// a thread that could have continued). Unbounded exploration is
+    /// exponential; almost all barrier bugs surface within 2–3
+    /// preemptions. Overridable via `LOOM_MAX_PREEMPTIONS`, the same
+    /// knob the CI loom job uses.
+    pub preemption_bound: u32,
+    /// Hard cap on executions before giving up (a livelock backstop;
+    /// hitting it is a failure, not a pass).
+    pub max_executions: u64,
+    /// Hard cap on scheduling points within one execution.
+    pub max_steps: u64,
+    /// Spurious `park` returns injected per thread per execution.
+    pub spurious_parks: u32,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        let preemption_bound = std::env::var("LOOM_MAX_PREEMPTIONS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(3);
+        Options {
+            preemption_bound,
+            max_executions: 500_000,
+            max_steps: 50_000,
+            spurious_parks: 1,
+        }
+    }
+}
+
+/// Exploration summary returned on success.
+#[derive(Clone, Copy, Debug)]
+pub struct Stats {
+    /// Distinct executions (choice sequences) explored.
+    pub executions: u64,
+    /// Deepest choice trace encountered.
+    pub max_depth: usize,
+}
+
+/// Why an exploration failed, with the failing execution's trace.
+#[derive(Clone, Debug)]
+pub enum Failure {
+    /// Every live thread is blocked (a lost wakeup, the bug class the
+    /// gate's store/re-check/park protocol exists to exclude).
+    Deadlock {
+        /// Executions completed before the failing one.
+        executions: u64,
+        /// Per-thread blocked states.
+        state: String,
+        /// Recent operations, oldest first.
+        trace: String,
+    },
+    /// A model thread panicked (assertion failure in the checked code).
+    Panic {
+        /// Executions completed before the failing one.
+        executions: u64,
+        /// Name of the panicking thread.
+        thread: String,
+        /// The panic message.
+        message: String,
+        /// Recent operations, oldest first.
+        trace: String,
+    },
+    /// One execution exceeded [`Options::max_steps`] (livelock).
+    StepLimit {
+        /// Executions completed before the failing one.
+        executions: u64,
+        /// The step budget that was exhausted.
+        steps: u64,
+        /// Recent operations, oldest first.
+        trace: String,
+    },
+    /// The search exceeded [`Options::max_executions`] without
+    /// converging; the model is too large for the configured bounds.
+    ExecutionLimit {
+        /// The execution budget that was exhausted.
+        executions: u64,
+    },
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Failure::Deadlock {
+                executions,
+                state,
+                trace,
+            } => write!(
+                f,
+                "model deadlock after {executions} executions\nthreads:\n{state}\ntrace:\n{trace}"
+            ),
+            Failure::Panic {
+                executions,
+                thread,
+                message,
+                trace,
+            } => write!(
+                f,
+                "model thread '{thread}' panicked after {executions} executions: \
+                 {message}\ntrace:\n{trace}"
+            ),
+            Failure::StepLimit {
+                executions,
+                steps,
+                trace,
+            } => write!(
+                f,
+                "model execution exceeded {steps} steps after {executions} executions \
+                 (livelock?)\ntrace:\n{trace}"
+            ),
+            Failure::ExecutionLimit { executions } => write!(
+                f,
+                "model exploration exceeded {executions} executions without converging"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Failure {}
+
+/// Panic payload used internally to unwind model threads when an
+/// execution is being torn down; never escapes [`explore`].
+struct AbortExecution;
+
+// ---------------------------------------------------------------------------
+// Vector clocks
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct VClock(Vec<u32>);
+
+impl VClock {
+    fn get(&self, i: usize) -> u32 {
+        self.0.get(i).copied().unwrap_or(0)
+    }
+    fn bump(&mut self, i: usize) -> u32 {
+        if self.0.len() <= i {
+            self.0.resize(i + 1, 0);
+        }
+        self.0[i] += 1;
+        self.0[i]
+    }
+    fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a = (*a).max(*b);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine state
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+struct StoreRec {
+    val: u64,
+    writer: usize,
+    writer_seq: u32,
+    /// Release clock readers acquire; `None` for relaxed stores that
+    /// do not continue a release sequence.
+    rel: Option<VClock>,
+}
+
+#[derive(Debug, Default)]
+struct LocSt {
+    stores: Vec<StoreRec>,
+}
+
+#[derive(Debug, Default)]
+struct MutexSt {
+    locked_by: Option<usize>,
+    /// Clock of the last unlock; joined by the next lock.
+    clock: VClock,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Run {
+    Ready,
+    Parked,
+    BlockedMutex(usize),
+    BlockedJoin(usize),
+    Done,
+}
+
+#[derive(Debug)]
+struct ThreadSt {
+    name: String,
+    state: Run,
+    clock: VClock,
+    /// Per-location index of the oldest store this thread may still
+    /// read (reads are coherence-monotone).
+    floor: Vec<usize>,
+    token: bool,
+    token_clock: VClock,
+    spurious_left: u32,
+}
+
+impl ThreadSt {
+    fn new(name: String, spurious: u32) -> Self {
+        ThreadSt {
+            name,
+            state: Run::Ready,
+            clock: VClock::default(),
+            floor: Vec::new(),
+            token: false,
+            token_clock: VClock::default(),
+            spurious_left: spurious,
+        }
+    }
+    fn floor_of(&self, loc: usize) -> usize {
+        self.floor.get(loc).copied().unwrap_or(0)
+    }
+    fn set_floor(&mut self, loc: usize, v: usize) {
+        if self.floor.len() <= loc {
+            self.floor.resize(loc + 1, 0);
+        }
+        self.floor[loc] = v;
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Choice {
+    chosen: usize,
+    total: usize,
+}
+
+#[derive(Debug, Default)]
+struct EngineState {
+    /// Execution serial; refs from other executions are rejected.
+    serial: u64,
+    trace: Vec<Choice>,
+    depth: usize,
+    max_depth: usize,
+    executions: u64,
+    threads: Vec<ThreadSt>,
+    locs: Vec<LocSt>,
+    mutexes: Vec<MutexSt>,
+    active: usize,
+    preemptions: u32,
+    steps: u64,
+    sc: VClock,
+    failure: Option<Failure>,
+    aborting: bool,
+    exec_done: bool,
+    log: Vec<String>,
+}
+
+impl EngineState {
+    fn choose(&mut self, n: usize) -> usize {
+        if n <= 1 {
+            return 0;
+        }
+        let at = self.depth;
+        self.depth += 1;
+        self.max_depth = self.max_depth.max(self.depth);
+        if at < self.trace.len() {
+            let c = self.trace[at];
+            assert!(
+                c.total == n,
+                "model replay diverged: {} options at depth {at}, expected {}",
+                n,
+                c.total
+            );
+            c.chosen
+        } else {
+            self.trace.push(Choice {
+                chosen: 0,
+                total: n,
+            });
+            0
+        }
+    }
+
+    /// Move the DFS trace to the next unexplored branch; false when the
+    /// whole bounded space has been covered.
+    fn advance(&mut self) -> bool {
+        while let Some(last) = self.trace.last_mut() {
+            if last.chosen + 1 < last.total {
+                last.chosen += 1;
+                return true;
+            }
+            self.trace.pop();
+        }
+        false
+    }
+
+    fn push_log(&mut self, line: String) {
+        if self.log.len() >= 512 {
+            self.log.drain(..256);
+        }
+        self.log.push(line);
+    }
+
+    fn trace_string(&self) -> String {
+        self.log.join("\n")
+    }
+
+    fn thread_states(&self) -> String {
+        self.threads
+            .iter()
+            .enumerate()
+            .map(|(i, t)| format!("  t{i} '{}': {:?}", t.name, t.state))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// OS worker pool (model threads are real threads, baton-scheduled)
+// ---------------------------------------------------------------------------
+
+enum SlotMsg {
+    Idle,
+    Job(Box<dyn FnOnce() + Send>),
+    Close,
+}
+
+struct WorkerSlot {
+    m: Mutex<SlotMsg>,
+    cv: Condvar,
+}
+
+struct Engine {
+    m: Mutex<EngineState>,
+    cv: Condvar,
+    pool: Mutex<Vec<Arc<WorkerSlot>>>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    opts: Options,
+}
+
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // Engine locks are only poisoned if the engine itself has a bug;
+    // model-thread panics unwind outside any engine lock.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn abort_unwind() -> ! {
+    std::panic::panic_any(AbortExecution)
+}
+
+impl Engine {
+    fn new(opts: Options) -> Self {
+        Engine {
+            m: Mutex::new(EngineState::default()),
+            cv: Condvar::new(),
+            pool: Mutex::new(Vec::new()),
+            handles: Mutex::new(Vec::new()),
+            opts,
+        }
+    }
+
+    fn st(&self) -> MutexGuard<'_, EngineState> {
+        lock_ignore_poison(&self.m)
+    }
+
+    fn fail(&self, st: &mut EngineState, failure: Failure) {
+        if st.failure.is_none() {
+            st.failure = Some(failure);
+        }
+        st.aborting = true;
+        self.cv.notify_all();
+    }
+
+    /// Wait until the scheduler hands this thread the baton (or the
+    /// execution aborts, in which case unwind).
+    fn wait_my_turn<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, EngineState>,
+        me: usize,
+    ) -> MutexGuard<'a, EngineState> {
+        loop {
+            if st.aborting {
+                drop(st);
+                abort_unwind();
+            }
+            if st.active == me && st.threads[me].state == Run::Ready {
+                return st;
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// The universal scheduling point: every shim operation passes
+    /// through here before touching state, making each one a potential
+    /// preemption site.
+    fn sched<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, EngineState>,
+        me: usize,
+    ) -> MutexGuard<'a, EngineState> {
+        if st.aborting {
+            drop(st);
+            abort_unwind();
+        }
+        st.steps += 1;
+        if st.steps > self.opts.max_steps {
+            let failure = Failure::StepLimit {
+                executions: st.executions,
+                steps: self.opts.max_steps,
+                trace: st.trace_string(),
+            };
+            self.fail(&mut st, failure);
+            drop(st);
+            abort_unwind();
+        }
+        let mut options = vec![me];
+        if st.preemptions < self.opts.preemption_bound {
+            for (i, t) in st.threads.iter().enumerate() {
+                if i != me && t.state == Run::Ready {
+                    options.push(i);
+                }
+            }
+        }
+        let k = st.choose(options.len());
+        let next = options[k];
+        if next != me {
+            st.preemptions += 1;
+            st.active = next;
+            self.cv.notify_all();
+            st = self.wait_my_turn(st, me);
+        }
+        st
+    }
+
+    /// Hand the baton to some runnable thread after `active` blocked or
+    /// finished; detects deadlock and execution completion.
+    fn handoff(&self, st: &mut EngineState) {
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.state == Run::Ready)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if st.threads.iter().all(|t| t.state == Run::Done) {
+                st.exec_done = true;
+                self.cv.notify_all();
+            } else {
+                let failure = Failure::Deadlock {
+                    executions: st.executions,
+                    state: st.thread_states(),
+                    trace: st.trace_string(),
+                };
+                self.fail(st, failure);
+            }
+            return;
+        }
+        let k = st.choose(runnable.len());
+        st.active = runnable[k];
+        self.cv.notify_all();
+    }
+
+    /// Block the calling thread in `state` until something makes it
+    /// `Ready` and the scheduler picks it again.
+    fn block<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, EngineState>,
+        me: usize,
+        state: Run,
+    ) -> MutexGuard<'a, EngineState> {
+        st.threads[me].state = state;
+        self.handoff(&mut st);
+        self.wait_my_turn(st, me)
+    }
+
+    fn unpack(&self, st: &EngineState, packed: u64) -> usize {
+        let serial = packed >> 16;
+        assert!(
+            serial == st.serial,
+            "model ref from execution {serial} used in execution {} — primitives must be \
+             created inside the explored closure",
+            st.serial
+        );
+        (packed & 0xffff) as usize
+    }
+
+    // -- shim operations ---------------------------------------------------
+
+    fn reg_atomic(&self, me: usize, init: u64) -> u64 {
+        let mut st = self.st();
+        let idx = st.locs.len();
+        assert!(idx < 0xffff, "model supports at most 65535 atomics");
+        // The initial value is modelled as a release store by the
+        // creating thread, so any thread that learned of the atomic
+        // (necessarily via a real edge, e.g. spawn) sees it.
+        let seq = st.threads[me].clock.bump(me);
+        let rel = st.threads[me].clock.clone();
+        st.locs.push(LocSt {
+            stores: vec![StoreRec {
+                val: init,
+                writer: me,
+                writer_seq: seq,
+                rel: Some(rel),
+            }],
+        });
+        (st.serial << 16) | idx as u64
+    }
+
+    fn reg_mutex(&self, _me: usize) -> u64 {
+        let mut st = self.st();
+        let idx = st.mutexes.len();
+        assert!(idx < 0xffff, "model supports at most 65535 mutexes");
+        st.mutexes.push(MutexSt::default());
+        (st.serial << 16) | idx as u64
+    }
+
+    fn op_load(&self, me: usize, packed: u64, ord: Ordering) -> u64 {
+        let st = self.st();
+        let mut st = self.sched(st, me);
+        let loc = self.unpack(&st, packed);
+        if ord == Ordering::SeqCst {
+            let sc = st.sc.clone();
+            st.threads[me].clock.join(&sc);
+        }
+        // Readable stores: at or above the coherence floor, and not
+        // hidden by a later store that happens-before the reader.
+        let clock = st.threads[me].clock.clone();
+        let floor = st.threads[me].floor_of(loc);
+        let stores = &st.locs[loc].stores;
+        let mut cands: Vec<usize> = Vec::new();
+        for i in floor..stores.len() {
+            let hidden = stores[i + 1..]
+                .iter()
+                .any(|s| clock.get(s.writer) >= s.writer_seq);
+            if !hidden {
+                cands.push(i);
+            }
+        }
+        // Newest first, so the first execution is the intuitive one and
+        // stale-read branches are the explored alternatives.
+        cands.reverse();
+        let k = st.choose(cands.len());
+        let i = cands[k];
+        let (val, rel) = {
+            let s = &st.locs[loc].stores[i];
+            (s.val, s.rel.clone())
+        };
+        st.threads[me].set_floor(loc, i);
+        if ord.acquires() {
+            if let Some(rel) = rel {
+                st.threads[me].clock.join(&rel);
+            }
+        }
+        if ord == Ordering::SeqCst {
+            let clock = st.threads[me].clock.clone();
+            st.sc.join(&clock);
+        }
+        let line = format!("t{me} load {ord:?} a{loc} -> {val} (store #{i})");
+        st.push_log(line);
+        val
+    }
+
+    fn op_store(&self, me: usize, packed: u64, val: u64, ord: Ordering) {
+        let st = self.st();
+        let mut st = self.sched(st, me);
+        let loc = self.unpack(&st, packed);
+        let seq = st.threads[me].clock.bump(me);
+        if ord == Ordering::SeqCst {
+            let sc = st.sc.clone();
+            st.threads[me].clock.join(&sc);
+        }
+        let rel = ord.releases().then(|| st.threads[me].clock.clone());
+        if ord == Ordering::SeqCst {
+            let clock = st.threads[me].clock.clone();
+            st.sc.join(&clock);
+        }
+        let n = st.locs[loc].stores.len();
+        st.locs[loc].stores.push(StoreRec {
+            val,
+            writer: me,
+            writer_seq: seq,
+            rel,
+        });
+        st.threads[me].set_floor(loc, n);
+        let line = format!("t{me} store {ord:?} a{loc} <- {val}");
+        st.push_log(line);
+    }
+
+    fn op_rmw(&self, me: usize, packed: u64, ord: Ordering, f: impl FnOnce(u64) -> u64) -> u64 {
+        let st = self.st();
+        let mut st = self.sched(st, me);
+        let loc = self.unpack(&st, packed);
+        // RMWs are atomic: they always read the latest store.
+        let (prev_val, prev_rel) = {
+            let s = st.locs[loc]
+                .stores
+                .last()
+                .expect("every modelled atomic has its initial store");
+            (s.val, s.rel.clone())
+        };
+        if ord.acquires() {
+            if let Some(rel) = &prev_rel {
+                st.threads[me].clock.join(rel);
+            }
+        }
+        if ord == Ordering::SeqCst {
+            let sc = st.sc.clone();
+            st.threads[me].clock.join(&sc);
+        }
+        let seq = st.threads[me].clock.bump(me);
+        // A relaxed RMW continues the release sequence of the store it
+        // replaces; a releasing RMW additionally folds in its own view.
+        let rel = if ord.releases() {
+            let mut r = prev_rel.unwrap_or_default();
+            r.join(&st.threads[me].clock);
+            Some(r)
+        } else {
+            prev_rel
+        };
+        if ord == Ordering::SeqCst {
+            let clock = st.threads[me].clock.clone();
+            st.sc.join(&clock);
+        }
+        let new_val = f(prev_val);
+        let n = st.locs[loc].stores.len();
+        st.locs[loc].stores.push(StoreRec {
+            val: new_val,
+            writer: me,
+            writer_seq: seq,
+            rel,
+        });
+        st.threads[me].set_floor(loc, n);
+        let line = format!("t{me} rmw {ord:?} a{loc}: {prev_val} -> {new_val}");
+        st.push_log(line);
+        prev_val
+    }
+
+    fn op_mutex_lock(&self, me: usize, packed: u64) {
+        let st = self.st();
+        let mut st = self.sched(st, me);
+        let idx = self.unpack(&st, packed);
+        loop {
+            match st.mutexes[idx].locked_by {
+                None => {
+                    st.mutexes[idx].locked_by = Some(me);
+                    let mc = st.mutexes[idx].clock.clone();
+                    st.threads[me].clock.join(&mc);
+                    let line = format!("t{me} lock m{idx}");
+                    st.push_log(line);
+                    return;
+                }
+                Some(owner) if owner == me => {
+                    let failure = Failure::Deadlock {
+                        executions: st.executions,
+                        state: format!("  t{me} relocked m{idx} it already holds"),
+                        trace: st.trace_string(),
+                    };
+                    self.fail(&mut st, failure);
+                    drop(st);
+                    abort_unwind();
+                }
+                Some(_) => {
+                    let line = format!("t{me} blocked on m{idx}");
+                    st.push_log(line);
+                    st = self.block(st, me, Run::BlockedMutex(idx));
+                }
+            }
+        }
+    }
+
+    fn op_mutex_unlock(&self, me: usize, packed: u64) {
+        let st = self.st();
+        let mut st = self.sched(st, me);
+        let idx = self.unpack(&st, packed);
+        assert!(
+            st.mutexes[idx].locked_by == Some(me),
+            "model mutex m{idx} unlocked by t{me} which does not hold it"
+        );
+        let clock = st.threads[me].clock.clone();
+        st.mutexes[idx].clock.join(&clock);
+        st.mutexes[idx].locked_by = None;
+        for t in &mut st.threads {
+            if t.state == Run::BlockedMutex(idx) {
+                t.state = Run::Ready;
+            }
+        }
+        let line = format!("t{me} unlock m{idx}");
+        st.push_log(line);
+    }
+
+    fn op_park(&self, me: usize) {
+        let st = self.st();
+        let mut st = self.sched(st, me);
+        if st.threads[me].token {
+            st.threads[me].token = false;
+            let tc = st.threads[me].token_clock.clone();
+            st.threads[me].clock.join(&tc);
+            let line = format!("t{me} park (token, returns immediately)");
+            st.push_log(line);
+            return;
+        }
+        if st.threads[me].spurious_left > 0 {
+            // Branch 0: really park. Branch 1: spurious return.
+            if st.choose(2) == 1 {
+                st.threads[me].spurious_left -= 1;
+                let line = format!("t{me} park (spurious return)");
+                st.push_log(line);
+                return;
+            }
+        }
+        let line = format!("t{me} parked");
+        st.push_log(line);
+        st = self.block(st, me, Run::Parked);
+        assert!(
+            st.threads[me].token,
+            "model thread t{me} resumed from park without a token"
+        );
+        st.threads[me].token = false;
+        let tc = st.threads[me].token_clock.clone();
+        st.threads[me].clock.join(&tc);
+        let line = format!("t{me} unparked");
+        st.push_log(line);
+    }
+
+    fn op_unpark(&self, me: usize, target: &ThreadRef) {
+        let st = self.st();
+        let mut st = self.sched(st, me);
+        assert!(
+            target.serial == st.serial,
+            "model thread handle from a previous execution"
+        );
+        let clock = st.threads[me].clock.clone();
+        let t = &mut st.threads[target.tid];
+        t.token = true;
+        t.token_clock.join(&clock);
+        if t.state == Run::Parked {
+            t.state = Run::Ready;
+        }
+        let line = format!("t{me} unpark t{}", target.tid);
+        st.push_log(line);
+    }
+
+    fn op_spawn(
+        engine: &Arc<Engine>,
+        me: usize,
+        name: String,
+        f: Box<dyn FnOnce() + Send>,
+    ) -> ThreadRef {
+        let st = engine.st();
+        let mut st = engine.sched(st, me);
+        let tid = st.threads.len();
+        let mut child = ThreadSt::new(name, engine.opts.spurious_parks);
+        child.clock = st.threads[me].clock.clone();
+        child.clock.bump(tid);
+        st.threads.push(child);
+        let serial = st.serial;
+        let line = format!("t{me} spawn t{tid}");
+        st.push_log(line);
+        drop(st);
+        Engine::dispatch(engine, tid, f);
+        ThreadRef { serial, tid }
+    }
+
+    fn op_join(&self, me: usize, target: &ThreadRef) {
+        let st = self.st();
+        let mut st = self.sched(st, me);
+        assert!(
+            target.serial == st.serial,
+            "model join handle from a previous execution"
+        );
+        if st.threads[target.tid].state != Run::Done {
+            let line = format!("t{me} joining t{}", target.tid);
+            st.push_log(line);
+            st = self.block(st, me, Run::BlockedJoin(target.tid));
+        }
+        let fc = st.threads[target.tid].clock.clone();
+        st.threads[me].clock.join(&fc);
+        let line = format!("t{me} joined t{}", target.tid);
+        st.push_log(line);
+    }
+
+    fn op_yield(&self, me: usize) {
+        let st = self.st();
+        let st = self.sched(st, me);
+        drop(st);
+    }
+
+    // -- lifecycle ---------------------------------------------------------
+
+    /// Queue `job` for the OS worker that plays model thread `tid`,
+    /// growing the pool on first use. Workers persist across the
+    /// explore call's executions.
+    fn dispatch(this: &Arc<Engine>, tid: usize, f: Box<dyn FnOnce() + Send>) {
+        let engine = Arc::clone(this);
+        let job: Box<dyn FnOnce() + Send> = Box::new(move || {
+            ctx::enter(Arc::clone(&engine), tid);
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                let st = engine.st();
+                drop(engine.wait_my_turn(st, tid));
+                f();
+            }));
+            ctx::exit();
+            engine.thread_finished(tid, r);
+        });
+        let slot = {
+            let mut pool = lock_ignore_poison(&this.pool);
+            while pool.len() <= tid {
+                let slot = Arc::new(WorkerSlot {
+                    m: Mutex::new(SlotMsg::Idle),
+                    cv: Condvar::new(),
+                });
+                let worker = Arc::clone(&slot);
+                let handle = std::thread::Builder::new()
+                    .name(format!("model-worker-{}", pool.len()))
+                    .spawn(move || loop {
+                        let job = {
+                            let mut msg = lock_ignore_poison(&worker.m);
+                            loop {
+                                match std::mem::replace(&mut *msg, SlotMsg::Idle) {
+                                    SlotMsg::Job(j) => break j,
+                                    SlotMsg::Close => return,
+                                    SlotMsg::Idle => {
+                                        msg = worker
+                                            .cv
+                                            .wait(msg)
+                                            .unwrap_or_else(PoisonError::into_inner);
+                                    }
+                                }
+                            }
+                        };
+                        job();
+                    })
+                    .expect("spawning a model worker thread failed");
+                lock_ignore_poison(&this.handles).push(handle);
+                pool.push(slot);
+            }
+            Arc::clone(&pool[tid])
+        };
+        *lock_ignore_poison(&slot.m) = SlotMsg::Job(job);
+        slot.cv.notify_one();
+    }
+
+    fn thread_finished(&self, tid: usize, result: std::thread::Result<()>) {
+        let mut st = self.st();
+        st.threads[tid].state = Run::Done;
+        if let Err(payload) = result {
+            if !payload.is::<AbortExecution>() && !st.aborting {
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_owned());
+                let failure = Failure::Panic {
+                    executions: st.executions,
+                    thread: st.threads[tid].name.clone(),
+                    message,
+                    trace: st.trace_string(),
+                };
+                self.fail(&mut st, failure);
+            }
+        }
+        for t in &mut st.threads {
+            if t.state == Run::BlockedJoin(tid) {
+                t.state = Run::Ready;
+            }
+        }
+        if st.threads.iter().all(|t| t.state == Run::Done) {
+            st.exec_done = true;
+            self.cv.notify_all();
+            return;
+        }
+        if st.aborting {
+            // Remaining threads wake from wait_my_turn, observe the
+            // abort, and unwind here themselves.
+            self.cv.notify_all();
+            return;
+        }
+        self.handoff(&mut st);
+    }
+
+    fn close_pool(&self) {
+        let pool = lock_ignore_poison(&self.pool);
+        for slot in pool.iter() {
+            *lock_ignore_poison(&slot.m) = SlotMsg::Close;
+            slot.cv.notify_one();
+        }
+        drop(pool);
+        let handles = std::mem::take(&mut *lock_ignore_poison(&self.handles));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local context (the shim's dispatch hook)
+// ---------------------------------------------------------------------------
+
+/// Handle to a model thread, used for `unpark` and `join`.
+#[derive(Clone, Debug)]
+pub struct ThreadRef {
+    serial: u64,
+    tid: usize,
+}
+
+/// Handle to a model atomic location.
+#[derive(Debug)]
+pub struct AtomicRef {
+    packed: u64,
+}
+
+impl AtomicRef {
+    /// Opaque id passed back into the [`ctx`] operations.
+    pub fn id(&self) -> u64 {
+        self.packed
+    }
+}
+
+/// Handle to a model mutex.
+#[derive(Debug)]
+pub struct MutexRef {
+    packed: u64,
+}
+
+impl MutexRef {
+    /// Opaque id passed back into the [`ctx`] operations.
+    pub fn id(&self) -> u64 {
+        self.packed
+    }
+}
+
+/// The shim's dispatch surface: free functions that consult the calling
+/// thread's model context (set only for threads spawned by
+/// [`explore`]) and route operations into the engine.
+pub mod ctx {
+    use super::*;
+    use std::cell::{Cell, RefCell};
+
+    #[derive(Clone)]
+    struct Ctx {
+        engine: Arc<Engine>,
+        tid: usize,
+    }
+
+    thread_local! {
+        static IN_MODEL: Cell<bool> = const { Cell::new(false) };
+        static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+    }
+
+    pub(super) fn enter(engine: Arc<Engine>, tid: usize) {
+        CTX.with(|c| *c.borrow_mut() = Some(Ctx { engine, tid }));
+        IN_MODEL.with(|f| f.set(true));
+    }
+
+    pub(super) fn exit() {
+        IN_MODEL.with(|f| f.set(false));
+        CTX.with(|c| *c.borrow_mut() = None);
+    }
+
+    /// True when the calling thread runs inside a model exploration.
+    /// This is the branch every shim operation takes first; outside the
+    /// model it is one thread-local flag read.
+    #[inline]
+    pub fn in_model() -> bool {
+        IN_MODEL.with(Cell::get)
+    }
+
+    // Clone the context out instead of operating under the RefCell
+    // borrow: engine operations can unwind (abort, step limit), and the
+    // panic hook must be able to read CTX without hitting a live
+    // borrow.
+    fn current_ctx() -> Ctx {
+        CTX.with(|c| c.borrow().clone())
+            .expect("model operation on a thread outside any exploration")
+    }
+
+    /// Register a new atomic; `None` outside the model.
+    pub fn new_atomic(init: u64) -> Option<AtomicRef> {
+        if !in_model() {
+            return None;
+        }
+        let ctx = current_ctx();
+        Some(AtomicRef {
+            packed: ctx.engine.reg_atomic(ctx.tid, init),
+        })
+    }
+
+    /// Register a new mutex; `None` outside the model.
+    pub fn new_mutex() -> Option<MutexRef> {
+        if !in_model() {
+            return None;
+        }
+        let ctx = current_ctx();
+        Some(MutexRef {
+            packed: ctx.engine.reg_mutex(ctx.tid),
+        })
+    }
+
+    /// Model an atomic load.
+    pub fn load(id: u64, ord: Ordering) -> u64 {
+        let ctx = current_ctx();
+        ctx.engine.op_load(ctx.tid, id, ord)
+    }
+
+    /// Model an atomic store.
+    pub fn store(id: u64, val: u64, ord: Ordering) {
+        let ctx = current_ctx();
+        ctx.engine.op_store(ctx.tid, id, val, ord);
+    }
+
+    /// Model an atomic read-modify-write; returns the previous value.
+    pub fn rmw(id: u64, ord: Ordering, f: impl FnOnce(u64) -> u64) -> u64 {
+        let ctx = current_ctx();
+        ctx.engine.op_rmw(ctx.tid, id, ord, f)
+    }
+
+    /// Model a mutex acquisition (blocking).
+    pub fn mutex_lock(id: u64) {
+        let ctx = current_ctx();
+        ctx.engine.op_mutex_lock(ctx.tid, id);
+    }
+
+    /// Model a mutex release.
+    pub fn mutex_unlock(id: u64) {
+        let ctx = current_ctx();
+        ctx.engine.op_mutex_unlock(ctx.tid, id);
+    }
+
+    /// Model [`std::thread::park`] (token semantics, spurious returns).
+    pub fn park() {
+        let ctx = current_ctx();
+        ctx.engine.op_park(ctx.tid);
+    }
+
+    /// Model [`std::thread::Thread::unpark`].
+    pub fn unpark(target: &ThreadRef) {
+        let ctx = current_ctx();
+        ctx.engine.op_unpark(ctx.tid, target);
+    }
+
+    /// The calling model thread's handle; `None` outside the model.
+    pub fn current() -> Option<ThreadRef> {
+        if !in_model() {
+            return None;
+        }
+        let ctx = current_ctx();
+        let serial = ctx.engine.st().serial;
+        Some(ThreadRef {
+            serial,
+            tid: ctx.tid,
+        })
+    }
+
+    /// Spawn a model thread running `f`.
+    pub fn spawn(name: String, f: impl FnOnce() + Send + 'static) -> ThreadRef {
+        let ctx = current_ctx();
+        Engine::op_spawn(&ctx.engine, ctx.tid, name, Box::new(f))
+    }
+
+    /// Join a model thread (blocking until it finishes).
+    pub fn join(target: &ThreadRef) {
+        let ctx = current_ctx();
+        ctx.engine.op_join(ctx.tid, target);
+    }
+
+    /// A pure scheduling point (spin-loop hint).
+    pub fn spin_hint() {
+        let ctx = current_ctx();
+        ctx.engine.op_yield(ctx.tid);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+static QUIET_HOOK: Once = Once::new();
+
+/// Silence panic-hook output for model threads: aborted executions and
+/// counterexample panics unwind constantly during exploration, and the
+/// failure is reported once, with a trace, by [`explore`]'s return
+/// value instead.
+fn install_quiet_hook() {
+    QUIET_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if ctx::in_model() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// Exhaustively explore `f` under every bounded interleaving and weak
+/// read. Returns [`Stats`] when the whole bounded space passes, or the
+/// first [`Failure`] with its trace.
+///
+/// The closure runs once per execution and must create its own shim
+/// primitives each time (handles must not leak across executions; the
+/// engine rejects stale ones loudly).
+pub fn explore<F>(opts: Options, f: F) -> Result<Stats, Failure>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    install_quiet_hook();
+    let engine = Arc::new(Engine::new(opts.clone()));
+    let f = Arc::new(f);
+    let mut executions = 0u64;
+    loop {
+        {
+            let mut st = engine.st();
+            st.serial += 1;
+            st.depth = 0;
+            st.executions = executions;
+            st.threads.clear();
+            st.locs.clear();
+            st.mutexes.clear();
+            st.active = 0;
+            st.preemptions = 0;
+            st.steps = 0;
+            st.sc = VClock::default();
+            st.failure = None;
+            st.aborting = false;
+            st.exec_done = false;
+            st.log.clear();
+            let mut main = ThreadSt::new("main".to_owned(), opts.spurious_parks);
+            main.clock.bump(0);
+            st.threads.push(main);
+        }
+        let body = Arc::clone(&f);
+        Engine::dispatch(&engine, 0, Box::new(move || body()));
+        {
+            let mut st = engine.st();
+            while !st.exec_done {
+                st = engine.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+        executions += 1;
+        let (failure, more, max_depth) = {
+            let mut st = engine.st();
+            let failure = st.failure.take();
+            let more = failure.is_none() && st.advance();
+            (failure, more, st.max_depth)
+        };
+        if let Some(failure) = failure {
+            engine.close_pool();
+            return Err(failure);
+        }
+        if !more {
+            engine.close_pool();
+            return Ok(Stats {
+                executions,
+                max_depth,
+            });
+        }
+        if executions >= opts.max_executions {
+            engine.close_pool();
+            return Err(Failure::ExecutionLimit { executions });
+        }
+    }
+}
+
+/// [`explore`] with default [`Options`], panicking (with the formatted
+/// failure) on any counterexample — the convenient form for tests.
+pub fn check<F>(f: F) -> Stats
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    match explore(Options::default(), f) {
+        Ok(stats) => stats,
+        Err(failure) => std::panic::panic_any(failure.to_string()),
+    }
+}
+
+// Litmus tests of the checker itself: the classic weak-memory shapes
+// must pass exactly when the memory model says they should, and the
+// seeded protocol mutations (missing re-check, weakened orderings,
+// forgotten wakeups) must be *caught*. These are the soundness evidence
+// behind every relaxation in `crate::gate`.
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use crate::sync::{park, spawn_named, AtomicU32};
+    use std::sync::atomic::{AtomicBool, Ordering as StdOrdering};
+
+    fn small(max_steps: u64) -> Options {
+        Options {
+            max_steps,
+            ..Options::default()
+        }
+    }
+
+    #[test]
+    fn mutex_provides_mutual_exclusion() {
+        let stats = check(|| {
+            let m = Arc::new(crate::sync::Mutex::new(0u64));
+            let handles: Vec<_> = (0..2)
+                .map(|i| {
+                    let m = Arc::clone(&m);
+                    spawn_named(format!("inc{i}"), move || {
+                        let mut g = m.lock().expect("model mutex unpoisoned");
+                        *g += 1;
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("incrementer finishes");
+            }
+            assert_eq!(*m.lock().expect("model mutex unpoisoned"), 2);
+        });
+        assert!(stats.executions > 1, "lock order must branch");
+    }
+
+    #[test]
+    fn mp_release_acquire_passes() {
+        // Message passing: data published before a release flag store
+        // must be visible to an acquire reader of the flag.
+        check(|| {
+            let data = Arc::new(AtomicU32::new(0));
+            let flag = Arc::new(AtomicU32::new(0));
+            let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+            let w = spawn_named("writer".to_owned(), move || {
+                d.store_relaxed(42);
+                f.store_release(1);
+            });
+            let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+            let r = spawn_named("reader".to_owned(), move || {
+                if f.load_acquire() == 1 {
+                    assert_eq!(d.load_relaxed(), 42, "release/acquire edge lost");
+                }
+            });
+            w.join().expect("writer finishes");
+            r.join().expect("reader finishes");
+        });
+    }
+
+    #[test]
+    fn mp_relaxed_counterexample_found() {
+        // The same shape with a relaxed flag is a bug, and the explorer
+        // must surface the stale-data interleaving as a panic.
+        let r = explore(Options::default(), || {
+            let data = Arc::new(AtomicU32::new(0));
+            let flag = Arc::new(AtomicU32::new(0));
+            let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+            let w = spawn_named("writer".to_owned(), move || {
+                d.store_relaxed(42);
+                f.store_relaxed(1);
+            });
+            let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+            let r = spawn_named("reader".to_owned(), move || {
+                if f.load_relaxed() == 1 {
+                    assert_eq!(d.load_relaxed(), 42, "expected stale read");
+                }
+            });
+            w.join().expect("writer finishes");
+            r.join().expect("reader finishes");
+        });
+        assert!(
+            matches!(r, Err(Failure::Panic { .. })),
+            "relaxed message passing must yield a stale-read panic, got {r:?}"
+        );
+    }
+
+    #[test]
+    fn sb_seqcst_never_both_stale() {
+        // Store buffering under SeqCst: the single total order forbids
+        // both threads reading the other's old value — the exact
+        // property the gate's park protocol (store flag, re-check,
+        // park) stands on.
+        let both_stale = Arc::new(AtomicBool::new(false));
+        let hit = Arc::clone(&both_stale);
+        check(move || {
+            let x = Arc::new(AtomicU32::new(0));
+            let y = Arc::new(AtomicU32::new(0));
+            let a = Arc::new(AtomicU32::new(9));
+            let b = Arc::new(AtomicU32::new(9));
+            let (x1, y1, a1) = (Arc::clone(&x), Arc::clone(&y), Arc::clone(&a));
+            let t1 = spawn_named("t1".to_owned(), move || {
+                x1.store_seqcst(1);
+                a1.store_relaxed(y1.load_seqcst());
+            });
+            let (x2, y2, b2) = (Arc::clone(&x), Arc::clone(&y), Arc::clone(&b));
+            let t2 = spawn_named("t2".to_owned(), move || {
+                y2.store_seqcst(1);
+                b2.store_relaxed(x2.load_seqcst());
+            });
+            t1.join().expect("t1 finishes");
+            t2.join().expect("t2 finishes");
+            if a.load_relaxed() == 0 && b.load_relaxed() == 0 {
+                hit.store(true, StdOrdering::Relaxed);
+            }
+        });
+        assert!(
+            !both_stale.load(StdOrdering::Relaxed),
+            "SeqCst store buffering must never read both stale values"
+        );
+    }
+
+    #[test]
+    fn sb_relaxed_both_stale_found() {
+        // Weakening the same pair to Relaxed admits the both-stale
+        // outcome, and the explorer must reach it — this is the
+        // seeded-mutation proof that relaxing the gate's SB pairs would
+        // be *detected* by the model, not silently accepted.
+        let both_stale = Arc::new(AtomicBool::new(false));
+        let hit = Arc::clone(&both_stale);
+        check(move || {
+            let x = Arc::new(AtomicU32::new(0));
+            let y = Arc::new(AtomicU32::new(0));
+            let a = Arc::new(AtomicU32::new(9));
+            let b = Arc::new(AtomicU32::new(9));
+            let (x1, y1, a1) = (Arc::clone(&x), Arc::clone(&y), Arc::clone(&a));
+            let t1 = spawn_named("t1".to_owned(), move || {
+                x1.store_relaxed(1);
+                a1.store_relaxed(y1.load_relaxed());
+            });
+            let (x2, y2, b2) = (Arc::clone(&x), Arc::clone(&y), Arc::clone(&b));
+            let t2 = spawn_named("t2".to_owned(), move || {
+                y2.store_relaxed(1);
+                b2.store_relaxed(x2.load_relaxed());
+            });
+            t1.join().expect("t1 finishes");
+            t2.join().expect("t2 finishes");
+            if a.load_relaxed() == 0 && b.load_relaxed() == 0 {
+                hit.store(true, StdOrdering::Relaxed);
+            }
+        });
+        assert!(
+            both_stale.load(StdOrdering::Relaxed),
+            "relaxed store buffering must expose the both-stale outcome"
+        );
+    }
+
+    #[test]
+    fn missing_recheck_deadlocks() {
+        // The gate's park protocol without the re-check between the
+        // parked-flag store and the park: the waker can read the flag
+        // before it is set AND the waiter can check the condition
+        // before it is updated — a lost wakeup. The model must find it.
+        let r = explore(Options::default(), || {
+            let cond = Arc::new(AtomicU32::new(0));
+            let parked = Arc::new(AtomicU32::new(0));
+            let (c, p) = (Arc::clone(&cond), Arc::clone(&parked));
+            let waiter = spawn_named("waiter".to_owned(), move || {
+                if c.load_seqcst() == 1 {
+                    return;
+                }
+                p.store_seqcst(1);
+                // BUG under test: no `cond` re-check here before
+                // parking.
+                park();
+            });
+            cond.store_seqcst(1);
+            if parked.load_seqcst() == 1 {
+                waiter.thread().unpark();
+            }
+            waiter.join().expect("waiter finishes");
+        });
+        assert!(
+            matches!(r, Err(Failure::Deadlock { .. })),
+            "dropping the re-check must deadlock some interleaving, got {r:?}"
+        );
+    }
+
+    #[test]
+    fn forgotten_unpark_deadlocks() {
+        let r = explore(Options::default(), || {
+            let h = spawn_named("sleeper".to_owned(), || {
+                park();
+            });
+            h.join().expect("sleeper finishes");
+        });
+        assert!(
+            matches!(r, Err(Failure::Deadlock { .. })),
+            "parking with no waker must deadlock, got {r:?}"
+        );
+    }
+
+    #[test]
+    fn unpark_before_park_banks_token() {
+        // std park/unpark token semantics: an early unpark makes the
+        // next park return immediately, under every interleaving.
+        check(|| {
+            let h = spawn_named("late-parker".to_owned(), || {
+                park();
+            });
+            h.thread().unpark();
+            h.join().expect("parker wakes via the banked token");
+        });
+    }
+
+    #[test]
+    fn livelock_hits_step_limit() {
+        let r = explore(small(300), || {
+            let x = Arc::new(AtomicU32::new(0));
+            // Nobody ever stores 1: a pure spin livelock.
+            while x.load_relaxed() == 0 {
+                crate::sync::spin_loop();
+            }
+        });
+        assert!(
+            matches!(r, Err(Failure::StepLimit { .. })),
+            "unbounded spinning must exhaust the step budget, got {r:?}"
+        );
+    }
+
+    #[test]
+    fn panic_is_reported_with_message() {
+        let r = explore(Options::default(), || {
+            let h = spawn_named("bomb".to_owned(), || {
+                panic!("boom-marker");
+            });
+            h.join()
+                .expect("never reached: the panic aborts exploration");
+        });
+        match r {
+            Err(Failure::Panic {
+                thread, message, ..
+            }) => {
+                assert_eq!(thread, "bomb");
+                assert!(message.contains("boom-marker"), "message was {message}");
+            }
+            other => panic!("expected a panic failure, got {other:?}"),
+        }
+    }
+}
